@@ -1,0 +1,284 @@
+//! Kernel-instance generation: the Code Transformation module of the OpenMP
+//! Advisor, reproduced as a source-level variant generator.
+//!
+//! For every kernel of the Table I catalogue, every applicable variant,
+//! every problem size of the kernel's sweep and every launch configuration of
+//! the parallelism budget, [`generate_instances`] emits one
+//! [`KernelInstance`]: the concrete OpenMP C source plus all the metadata the
+//! later pipeline stages (graph construction, runtime simulation, feature
+//! extraction) need.
+
+use crate::launch::{LaunchConfig, ParallelismBudget};
+use crate::variant::Variant;
+use pg_kernels::KernelTemplate;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A fully instantiated kernel variant ready to be "compiled and run".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelInstance {
+    /// Application name (Table I row).
+    pub application: String,
+    /// Kernel name within the application.
+    pub kernel: String,
+    /// Which of the six transformations this is.
+    pub variant: Variant,
+    /// Concrete problem sizes.
+    pub sizes: HashMap<String, i64>,
+    /// Launch configuration (teams and threads).
+    pub launch: LaunchConfig,
+    /// The instantiated OpenMP C source.
+    pub source: String,
+    /// Bytes transferred host→device when the variant transfers data.
+    pub bytes_to_device: u64,
+    /// Bytes transferred device→host when the variant transfers data.
+    pub bytes_from_device: u64,
+}
+
+impl KernelInstance {
+    /// Fully qualified name `application/kernel`.
+    pub fn full_name(&self) -> String {
+        format!("{}/{}", self.application, self.kernel)
+    }
+
+    /// Human-readable identifier including variant and sizes.
+    pub fn describe(&self) -> String {
+        let mut sizes: Vec<(&String, &i64)> = self.sizes.iter().collect();
+        sizes.sort();
+        let sizes: Vec<String> = sizes.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!(
+            "{}/{} [{}] {} teams={} threads={}",
+            self.application,
+            self.kernel,
+            self.variant.name(),
+            sizes.join(","),
+            self.launch.teams,
+            self.launch.threads
+        )
+    }
+}
+
+/// Controls how large the generated instance set is.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Keep every `stride`-th size combination (1 = all).
+    pub size_stride: usize,
+    /// Keep every `stride`-th launch configuration (1 = all).
+    pub launch_stride: usize,
+    /// Include CPU variants.
+    pub include_cpu: bool,
+    /// Include GPU variants.
+    pub include_gpu: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            size_stride: 1,
+            launch_stride: 1,
+            include_cpu: true,
+            include_gpu: true,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A reduced configuration for fast test/CI runs.
+    pub fn fast() -> Self {
+        Self {
+            size_stride: 2,
+            launch_stride: 2,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generate one instance for a single (kernel, variant, sizes, launch) tuple.
+pub fn instantiate(
+    kernel: &KernelTemplate,
+    variant: Variant,
+    sizes: &HashMap<String, i64>,
+    launch: LaunchConfig,
+) -> KernelInstance {
+    let pragma = variant.pragma(kernel, sizes, launch.teams, launch.threads);
+    let source = kernel.instantiate(sizes, &pragma);
+    let (to_dev, from_dev) = if variant.has_data_transfer() {
+        (kernel.bytes_to_device(sizes), kernel.bytes_from_device(sizes))
+    } else {
+        (0, 0)
+    };
+    KernelInstance {
+        application: kernel.application.to_string(),
+        kernel: kernel.kernel.to_string(),
+        variant,
+        sizes: sizes.clone(),
+        launch,
+        source,
+        bytes_to_device: to_dev,
+        bytes_from_device: from_dev,
+    }
+}
+
+/// Generate all instances for one kernel template under a budget.
+pub fn generate_for_kernel(
+    kernel: &KernelTemplate,
+    budget: &ParallelismBudget,
+    config: &GeneratorConfig,
+) -> Vec<KernelInstance> {
+    let mut out = Vec::new();
+    let size_combos: Vec<HashMap<String, i64>> = kernel
+        .size_sweep()
+        .into_iter()
+        .step_by(config.size_stride.max(1))
+        .collect();
+    for variant in Variant::applicable_variants(kernel) {
+        if variant.is_gpu() && !config.include_gpu {
+            continue;
+        }
+        if !variant.is_gpu() && !config.include_cpu {
+            continue;
+        }
+        let launches: Vec<LaunchConfig> = if variant.is_gpu() {
+            budget.gpu_launches()
+        } else {
+            budget.cpu_launches()
+        }
+        .into_iter()
+        .step_by(config.launch_stride.max(1))
+        .collect();
+        for sizes in &size_combos {
+            for &launch in &launches {
+                out.push(instantiate(kernel, variant, sizes, launch));
+            }
+        }
+    }
+    out
+}
+
+/// Generate instances for every kernel of the catalogue.
+pub fn generate_instances(
+    kernels: &[KernelTemplate],
+    budget: &ParallelismBudget,
+    config: &GeneratorConfig,
+) -> Vec<KernelInstance> {
+    kernels
+        .iter()
+        .flat_map(|k| generate_for_kernel(k, budget, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_kernels::{all_kernels, find_kernel};
+
+    #[test]
+    fn instance_source_parses_and_contains_the_right_directive() {
+        let mm = find_kernel("MM/matmul").unwrap();
+        let sizes = mm.default_sizes();
+        for variant in Variant::ALL {
+            let inst = instantiate(&mm, variant, &sizes, LaunchConfig { teams: 80, threads: 128 });
+            let ast = pg_frontend::parse(&inst.source).unwrap();
+            let has_target = ast
+                .find_first(pg_frontend::AstKind::OmpTargetTeamsDistributeParallelForDirective)
+                .is_some();
+            assert_eq!(has_target, variant.is_gpu(), "{}", variant.name());
+        }
+    }
+
+    #[test]
+    fn data_transfer_bytes_only_for_mem_variants() {
+        let mm = find_kernel("MM/matmul").unwrap();
+        let mut sizes = HashMap::new();
+        sizes.insert("N".to_string(), 128i64);
+        let launch = LaunchConfig { teams: 80, threads: 128 };
+        let gpu = instantiate(&mm, Variant::Gpu, &sizes, launch);
+        assert_eq!(gpu.bytes_to_device, 0);
+        assert_eq!(gpu.bytes_from_device, 0);
+        let mem = instantiate(&mm, Variant::GpuMem, &sizes, launch);
+        assert_eq!(mem.bytes_to_device, 2 * 128 * 128 * 4);
+        assert_eq!(mem.bytes_from_device, 128 * 128 * 4);
+    }
+
+    #[test]
+    fn generate_for_kernel_counts() {
+        let mm = find_kernel("MM/matmul").unwrap(); // collapsible: 6 variants
+        let budget = ParallelismBudget {
+            cpu_threads: vec![4, 8],
+            gpu_teams: vec![40, 80],
+            gpu_threads: vec![128],
+        };
+        let config = GeneratorConfig::default();
+        let instances = generate_for_kernel(&mm, &budget, &config);
+        let n_sizes = mm.size_sweep().len();
+        // 2 CPU variants * 2 CPU launches + 4 GPU variants * 2 GPU launches, per size.
+        assert_eq!(instances.len(), n_sizes * (2 * 2 + 4 * 2));
+    }
+
+    #[test]
+    fn full_catalogue_generates_thousands_of_unique_instances() {
+        let kernels = all_kernels();
+        let budget = ParallelismBudget::default();
+        let instances = generate_instances(&kernels, &budget, &GeneratorConfig::fast());
+        assert!(
+            instances.len() > 1000,
+            "expected > 1000 instances, got {}",
+            instances.len()
+        );
+        // Instance descriptions must be unique.
+        let mut keys: Vec<String> = instances.iter().map(KernelInstance::describe).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "duplicate instances generated");
+    }
+
+    #[test]
+    fn fast_config_reduces_the_instance_count() {
+        let kernels = vec![find_kernel("MM/matmul").unwrap()];
+        let budget = ParallelismBudget::default();
+        let all = generate_instances(&kernels, &budget, &GeneratorConfig::default());
+        let fast = generate_instances(&kernels, &budget, &GeneratorConfig::fast());
+        assert!(fast.len() < all.len());
+        assert!(!fast.is_empty());
+    }
+
+    #[test]
+    fn cpu_only_and_gpu_only_filters() {
+        let kernels = vec![find_kernel("MV/matvec").unwrap()];
+        let budget = ParallelismBudget::default();
+        let cpu_only = generate_instances(
+            &kernels,
+            &budget,
+            &GeneratorConfig {
+                include_gpu: false,
+                ..GeneratorConfig::default()
+            },
+        );
+        assert!(cpu_only.iter().all(|i| !i.variant.is_gpu()));
+        let gpu_only = generate_instances(
+            &kernels,
+            &budget,
+            &GeneratorConfig {
+                include_cpu: false,
+                ..GeneratorConfig::default()
+            },
+        );
+        assert!(gpu_only.iter().all(|i| i.variant.is_gpu()));
+    }
+
+    #[test]
+    fn describe_mentions_variant_and_sizes() {
+        let mm = find_kernel("MM/matmul").unwrap();
+        let inst = instantiate(
+            &mm,
+            Variant::GpuCollapse,
+            &mm.default_sizes(),
+            LaunchConfig { teams: 80, threads: 128 },
+        );
+        let d = inst.describe();
+        assert!(d.contains("gpu_collapse"));
+        assert!(d.contains("N="));
+        assert!(d.contains("teams=80"));
+    }
+}

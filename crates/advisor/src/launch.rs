@@ -1,0 +1,127 @@
+//! Launch configurations (levels of parallelism).
+//!
+//! The paper creates additional data points per kernel variant by varying the
+//! number of teams and threads used to execute it. CPU variants sweep the
+//! thread count up to the socket's core count; GPU variants sweep teams and
+//! the per-team thread limit.
+
+use serde::{Deserialize, Serialize};
+
+/// One launch configuration: the `(teams, threads)` side features of the
+/// ParaGraph model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Number of teams (1 for CPU execution).
+    pub teams: u64,
+    /// Threads per team (CPU: total OpenMP threads).
+    pub threads: u64,
+}
+
+impl LaunchConfig {
+    /// Total amount of parallelism.
+    pub fn total_parallelism(&self) -> u64 {
+        self.teams.max(1) * self.threads.max(1)
+    }
+}
+
+/// Parallelism budget of the machine the dataset is generated for.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelismBudget {
+    /// Thread-count sweep used for CPU variants.
+    pub cpu_threads: Vec<u64>,
+    /// Team-count sweep used for GPU variants.
+    pub gpu_teams: Vec<u64>,
+    /// Per-team thread-limit sweep used for GPU variants.
+    pub gpu_threads: Vec<u64>,
+}
+
+impl Default for ParallelismBudget {
+    fn default() -> Self {
+        Self {
+            cpu_threads: vec![4, 8, 16, 22],
+            gpu_teams: vec![40, 80, 160],
+            gpu_threads: vec![64, 128, 256],
+        }
+    }
+}
+
+impl ParallelismBudget {
+    /// Budget matching a CPU with `cores` hardware cores.
+    pub fn for_cpu_cores(cores: u64) -> Self {
+        let mut threads = vec![2, 4, 8, 16];
+        if !threads.contains(&cores) {
+            threads.push(cores);
+        }
+        threads.retain(|&t| t <= cores.max(2));
+        Self {
+            cpu_threads: threads,
+            ..Self::default()
+        }
+    }
+
+    /// Budget matching a GPU with `sms` streaming multiprocessors / compute
+    /// units.
+    pub fn for_gpu(sms: u64) -> Self {
+        Self {
+            gpu_teams: vec![sms / 2, sms, sms * 2],
+            gpu_threads: vec![64, 128, 256],
+            ..Self::default()
+        }
+    }
+
+    /// Launch configurations for CPU variants.
+    pub fn cpu_launches(&self) -> Vec<LaunchConfig> {
+        self.cpu_threads
+            .iter()
+            .map(|&threads| LaunchConfig { teams: 1, threads })
+            .collect()
+    }
+
+    /// Launch configurations for GPU variants (Cartesian product of teams and
+    /// thread limits).
+    pub fn gpu_launches(&self) -> Vec<LaunchConfig> {
+        let mut out = Vec::new();
+        for &teams in &self.gpu_teams {
+            for &threads in &self.gpu_threads {
+                out.push(LaunchConfig { teams, threads });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_parallelism_is_product() {
+        let l = LaunchConfig { teams: 80, threads: 128 };
+        assert_eq!(l.total_parallelism(), 10240);
+        let serial = LaunchConfig { teams: 0, threads: 0 };
+        assert_eq!(serial.total_parallelism(), 1);
+    }
+
+    #[test]
+    fn cpu_budget_respects_core_count() {
+        let b = ParallelismBudget::for_cpu_cores(22);
+        assert!(b.cpu_threads.contains(&22));
+        assert!(b.cpu_threads.iter().all(|&t| t <= 22));
+        let small = ParallelismBudget::for_cpu_cores(4);
+        assert!(small.cpu_threads.iter().all(|&t| t <= 4));
+    }
+
+    #[test]
+    fn gpu_budget_scales_with_sm_count() {
+        let b = ParallelismBudget::for_gpu(80);
+        assert_eq!(b.gpu_teams, vec![40, 80, 160]);
+        assert_eq!(b.gpu_launches().len(), 9);
+    }
+
+    #[test]
+    fn cpu_launches_have_one_team() {
+        let b = ParallelismBudget::default();
+        assert!(b.cpu_launches().iter().all(|l| l.teams == 1));
+        assert_eq!(b.cpu_launches().len(), b.cpu_threads.len());
+    }
+}

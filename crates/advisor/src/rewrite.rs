@@ -1,0 +1,191 @@
+//! AST-level pragma rewriting.
+//!
+//! The source-template path in [`crate::generator`] is the main way variants
+//! are produced, but the OpenMP Advisor also rewrites existing code. This
+//! module mirrors that capability: given an already-parsed kernel, it can
+//! replace (or insert) the OpenMP directive wrapping the main loop nest and
+//! re-emit source through the frontend's pretty-printer.
+
+use pg_frontend::ast::{Ast, AstKind, NodeData};
+use pg_frontend::omp;
+use pg_frontend::printer;
+
+/// Replace the directive (if any) guarding the outermost loop of the first
+/// function in `ast` with the directive described by `pragma_text`
+/// (the text after `#pragma omp`). Returns the rewritten AST.
+///
+/// If the loop has no directive yet, one is inserted between the loop and its
+/// parent.
+pub fn rewrite_pragma(ast: &Ast, pragma_text: &str) -> Ast {
+    let mut rewritten = ast.clone();
+    let directive = omp::parse_pragma(pragma_text);
+    let kind = match directive.kind {
+        omp::OmpDirectiveKind::ParallelFor => AstKind::OmpParallelForDirective,
+        omp::OmpDirectiveKind::TargetTeamsDistributeParallelFor => {
+            AstKind::OmpTargetTeamsDistributeParallelForDirective
+        }
+        omp::OmpDirectiveKind::TargetData => AstKind::OmpTargetDataDirective,
+        omp::OmpDirectiveKind::Simd => AstKind::OmpSimdDirective,
+        omp::OmpDirectiveKind::Other => AstKind::OmpUnknownDirective,
+    };
+
+    // Case 1: there is already a directive — swap its kind and payload.
+    if let Some(existing) = rewritten
+        .preorder()
+        .into_iter()
+        .find(|&id| rewritten.kind(id).is_omp_directive())
+    {
+        let node = rewritten.node_mut(existing);
+        node.kind = kind;
+        node.data.omp = Some(directive);
+        return rewritten;
+    }
+
+    // Case 2: no directive — wrap the first top-level loop of the first
+    // function body. We rebuild the AST because arena nodes cannot be
+    // re-parented in place.
+    let Some(for_stmt) = rewritten.find_first(AstKind::ForStmt) else {
+        return rewritten;
+    };
+    let Some(parent) = rewritten.node(for_stmt).parent else {
+        return rewritten;
+    };
+
+    // Create the directive node, splice it where the loop was, and hang the
+    // loop underneath it.
+    let directive_node = rewritten.add_node(
+        kind,
+        NodeData {
+            omp: Some(directive),
+            ..NodeData::default()
+        },
+    );
+    // Replace the child entry in the parent.
+    let position = rewritten
+        .node(parent)
+        .children
+        .iter()
+        .position(|&c| c == for_stmt)
+        .expect("loop must be a child of its parent");
+    rewritten.node_mut(parent).children[position] = directive_node;
+    rewritten.node_mut(directive_node).parent = Some(parent);
+    rewritten.node_mut(for_stmt).parent = Some(directive_node);
+    rewritten.node_mut(directive_node).children.push(for_stmt);
+    rewritten
+}
+
+/// Remove every OpenMP directive, yielding the serial version of the kernel.
+/// Directive nodes are replaced by their associated statement.
+pub fn strip_pragmas(ast: &Ast) -> Ast {
+    let mut stripped = ast.clone();
+    let directives: Vec<_> = stripped
+        .preorder()
+        .into_iter()
+        .filter(|&id| stripped.kind(id).is_omp_directive())
+        .collect();
+    for directive in directives {
+        let Some(parent) = stripped.node(directive).parent else { continue };
+        let children = stripped.node(directive).children.clone();
+        let Some(&stmt) = children.first() else { continue };
+        let position = stripped
+            .node(parent)
+            .children
+            .iter()
+            .position(|&c| c == directive)
+            .expect("directive must be a child of its parent");
+        stripped.node_mut(parent).children[position] = stmt;
+        stripped.node_mut(stmt).parent = Some(parent);
+        // Detach the directive node (it stays in the arena but unreachable).
+        stripped.node_mut(directive).children.clear();
+        stripped.node_mut(directive).parent = None;
+    }
+    stripped
+}
+
+/// Rewrite the pragma of a kernel and return the regenerated C source.
+pub fn rewrite_to_source(ast: &Ast, pragma_text: &str) -> String {
+    printer::print(&rewrite_pragma(ast, pragma_text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_frontend::parse;
+
+    const CPU_KERNEL: &str = r#"
+        void axpy(float *x, float *y) {
+            #pragma omp parallel for
+            for (int i = 0; i < 1024; i++) {
+                y[i] = y[i] + 2.0 * x[i];
+            }
+        }
+    "#;
+
+    const SERIAL_KERNEL: &str = r#"
+        void axpy(float *x, float *y) {
+            for (int i = 0; i < 1024; i++) {
+                y[i] = y[i] + 2.0 * x[i];
+            }
+        }
+    "#;
+
+    #[test]
+    fn rewrites_existing_directive_to_gpu_offload() {
+        let ast = parse(CPU_KERNEL).unwrap();
+        let rewritten = rewrite_pragma(
+            &ast,
+            "target teams distribute parallel for num_teams(80) thread_limit(128)",
+        );
+        assert!(rewritten
+            .find_first(AstKind::OmpTargetTeamsDistributeParallelForDirective)
+            .is_some());
+        assert!(rewritten.find_first(AstKind::OmpParallelForDirective).is_none());
+        let src = printer::print(&rewritten);
+        assert!(src.contains("target teams distribute parallel for"));
+        assert!(src.contains("num_teams(80)"));
+        // The rewritten source must still parse.
+        parse(&src).unwrap();
+    }
+
+    #[test]
+    fn inserts_directive_when_kernel_is_serial() {
+        let ast = parse(SERIAL_KERNEL).unwrap();
+        assert!(ast.find_first(AstKind::OmpParallelForDirective).is_none());
+        let rewritten = rewrite_pragma(&ast, "parallel for num_threads(8)");
+        rewritten.validate().unwrap();
+        let directive = rewritten.find_first(AstKind::OmpParallelForDirective).unwrap();
+        // The loop is now the directive's child.
+        let children = rewritten.children(directive);
+        assert_eq!(children.len(), 1);
+        assert_eq!(rewritten.kind(children[0]), AstKind::ForStmt);
+        let src = printer::print(&rewritten);
+        assert!(src.contains("#pragma omp parallel for num_threads(8)"));
+        parse(&src).unwrap();
+    }
+
+    #[test]
+    fn strip_pragmas_produces_serial_code() {
+        let ast = parse(CPU_KERNEL).unwrap();
+        let stripped = strip_pragmas(&ast);
+        assert!(stripped
+            .preorder()
+            .into_iter()
+            .all(|id| !stripped.kind(id).is_omp_directive()));
+        let src = printer::print(&stripped);
+        assert!(!src.contains("#pragma"));
+        assert!(src.contains("for (int i = 0;"));
+        parse(&src).unwrap();
+    }
+
+    #[test]
+    fn rewrite_to_source_round_trips_through_the_parser() {
+        let ast = parse(SERIAL_KERNEL).unwrap();
+        let src = rewrite_to_source(&ast, "target teams distribute parallel for collapse(2)");
+        let reparsed = parse(&src).unwrap();
+        let directive = reparsed
+            .find_first(AstKind::OmpTargetTeamsDistributeParallelForDirective)
+            .unwrap();
+        let omp = reparsed.node(directive).data.omp.as_ref().unwrap();
+        assert_eq!(omp.collapse_depth(), 2);
+    }
+}

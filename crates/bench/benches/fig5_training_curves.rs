@@ -1,0 +1,53 @@
+//! Figure 5 — Validation normalised RMSE per training epoch for the four
+//! accelerators (training-stability curves).
+
+use paragraph_core::Representation;
+use pg_bench::{bench_scale, paragraph_run, print_header};
+use pg_perfsim::Platform;
+
+fn main() {
+    let scale = bench_scale();
+    print_header("Figure 5: Normalised RMSE per epoch (ParaGraph model)", scale);
+
+    let runs: Vec<_> = Platform::ALL
+        .iter()
+        .map(|&p| paragraph_run(p, Representation::ParaGraph, scale))
+        .collect();
+
+    let epochs = runs.iter().map(|r| r.history.epochs.len()).max().unwrap_or(0);
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14}",
+        "epoch", "V100", "MI50", "POWER9", "EPYC"
+    );
+    let by_name = |name: &str| runs.iter().find(|r| r.platform_name.contains(name));
+    for e in 0..epochs {
+        let cell = |name: &str| -> String {
+            by_name(name)
+                .and_then(|r| r.history.epochs.get(e))
+                .map(|s| format!("{:.4}", s.val_norm_rmse))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        println!(
+            "{:>6} {:>14} {:>14} {:>14} {:>14}",
+            e + 1,
+            cell("V100"),
+            cell("MI50"),
+            cell("POWER9"),
+            cell("EPYC")
+        );
+    }
+
+    println!();
+    for run in &runs {
+        let first = run.history.epochs.first().map(|s| s.val_norm_rmse).unwrap_or(0.0);
+        let last = run.history.epochs.last().map(|s| s.val_norm_rmse).unwrap_or(0.0);
+        println!(
+            "{:<22} first epoch {:.4} -> final epoch {:.4}   converges: {}",
+            run.platform_name,
+            first,
+            last,
+            last < first
+        );
+    }
+    println!("\nPaper shape: early-epoch fluctuations, then convergence to a small value.");
+}

@@ -1,0 +1,79 @@
+//! Figure 9 — Predicted vs actual runtime on the NVIDIA V100, for ParaGraph
+//! and COMPOFF. The paper shows a scatter plot; the harness reports the
+//! correlation of each model and prints a downsampled predicted/actual table.
+
+use paragraph_core::Representation;
+use pg_bench::{bench_scale, compoff_run, paragraph_run, print_header};
+use pg_perfsim::Platform;
+use pg_tensor::metrics;
+use std::collections::HashMap;
+
+fn pearson(x: &[f32], y: &[f32]) -> f32 {
+    let n = x.len() as f64;
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mx = x.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let my = y.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y.iter()) {
+        let da = a as f64 - mx;
+        let db = b as f64 - my;
+        cov += da * db;
+        vx += da * da;
+        vy += db * db;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    (cov / (vx.sqrt() * vy.sqrt())) as f32
+}
+
+fn main() {
+    let scale = bench_scale();
+    print_header(
+        "Figure 9: predicted vs actual runtime on NVIDIA V100 (ParaGraph and COMPOFF)",
+        scale,
+    );
+
+    let pg = paragraph_run(Platform::SummitV100, Representation::ParaGraph, scale);
+    let co = compoff_run(Platform::SummitV100, scale);
+    let co_by_id: HashMap<usize, f32> = co.validation.iter().map(|p| (p.id, p.predicted_ms)).collect();
+
+    let mut rows: Vec<(f32, f32, f32)> = pg
+        .validation
+        .iter()
+        .filter_map(|p| co_by_id.get(&p.id).map(|&c| (p.actual_ms, p.predicted_ms, c)))
+        .collect();
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+    let actual: Vec<f32> = rows.iter().map(|r| r.0).collect();
+    let pg_pred: Vec<f32> = rows.iter().map(|r| r.1).collect();
+    let co_pred: Vec<f32> = rows.iter().map(|r| r.2).collect();
+
+    println!("validation points: {}", rows.len());
+    println!(
+        "Pearson correlation (predicted vs actual): ParaGraph {:.4}, COMPOFF {:.4}",
+        pearson(&pg_pred, &actual),
+        pearson(&co_pred, &actual)
+    );
+    println!(
+        "R^2:                                      ParaGraph {:.4}, COMPOFF {:.4}",
+        metrics::r2(&pg_pred, &actual),
+        metrics::r2(&co_pred, &actual)
+    );
+
+    println!(
+        "\n{:>16} {:>18} {:>18}   (downsampled scatter data, ms)",
+        "actual", "ParaGraph pred", "COMPOFF pred"
+    );
+    let step = (rows.len() / 25).max(1);
+    for row in rows.iter().step_by(step) {
+        println!("{:>16.3} {:>18.3} {:>18.3}", row.0, row.1, row.2);
+    }
+
+    println!("\nPaper shape: both models correlate strongly with the actual runtime, with");
+    println!("ParaGraph showing the tighter correlation.");
+}

@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the infrastructure itself: parser
+//! throughput, ParaGraph construction, RGAT forward+backward and one
+//! simulated runtime measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paragraph_core::{build, to_relational, BuilderConfig, Representation};
+use pg_advisor::{instantiate, LaunchConfig, Variant};
+use pg_gnn::{GraphSample, ModelConfig, ParaGraphModel};
+use pg_kernels::find_kernel;
+use pg_perfsim::{measure, NoiseModel, Platform};
+
+fn matmul_source() -> String {
+    let mm = find_kernel("MM/matmul").unwrap();
+    let inst = instantiate(
+        &mm,
+        Variant::GpuCollapseMem,
+        &mm.default_sizes(),
+        LaunchConfig { teams: 80, threads: 128 },
+    );
+    inst.source
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let src = matmul_source();
+    c.bench_function("frontend_parse_matmul", |b| {
+        b.iter(|| pg_frontend::parse(std::hint::black_box(&src)).unwrap())
+    });
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let src = matmul_source();
+    let ast = pg_frontend::parse(&src).unwrap();
+    let config = BuilderConfig::for_representation(Representation::ParaGraph).with_launch(80, 128);
+    c.bench_function("paragraph_build_matmul", |b| {
+        b.iter(|| build(std::hint::black_box(&ast), &config))
+    });
+}
+
+fn bench_rgat(c: &mut Criterion) {
+    let src = matmul_source();
+    let ast = pg_frontend::parse(&src).unwrap();
+    let graph = to_relational(&build(
+        &ast,
+        &BuilderConfig::for_representation(Representation::ParaGraph).with_launch(80, 128),
+    ));
+    let sample = GraphSample {
+        graph,
+        side: [0.5, 0.5],
+        target: 0.3,
+    };
+    let model = ParaGraphModel::new(ModelConfig::default(), 1);
+    c.bench_function("rgat_forward_backward_matmul", |b| {
+        b.iter(|| model.loss_and_gradients(std::hint::black_box(&sample)))
+    });
+    c.bench_function("rgat_inference_matmul", |b| {
+        b.iter(|| model.predict(std::hint::black_box(&sample)))
+    });
+}
+
+fn bench_perfsim(c: &mut Criterion) {
+    let mm = find_kernel("MM/matmul").unwrap();
+    let inst = instantiate(
+        &mm,
+        Variant::GpuCollapseMem,
+        &mm.default_sizes(),
+        LaunchConfig { teams: 80, threads: 128 },
+    );
+    let noise = NoiseModel::default();
+    c.bench_function("perfsim_measure_matmul", |b| {
+        b.iter(|| measure(std::hint::black_box(&inst), Platform::SummitV100, &noise).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_parser, bench_graph_construction, bench_rgat, bench_perfsim
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table I — Benchmark Applications: application name, number of kernels and
+//! domain.
+
+use pg_bench::{bench_scale, print_header};
+use pg_kernels::catalog;
+
+fn main() {
+    print_header("Table I: Benchmark Applications", bench_scale());
+    println!("{:<22} {:>11}   {}", "Application", "Num Kernels", "Domain");
+    println!("{:-<22} {:->11}   {:-<20}", "", "", "");
+    let apps = catalog();
+    let mut total = 0;
+    for app in &apps {
+        println!(
+            "{:<22} {:>11}   {}",
+            app.name,
+            app.kernel_count(),
+            app.domain.name()
+        );
+        total += app.kernel_count();
+    }
+    println!("{:-<22} {:->11}", "", "");
+    println!("{:<22} {:>11}   (paper: 9 applications, 17 kernels)", "Total", total);
+
+    println!("\nPer-kernel inventory:");
+    for app in &apps {
+        for kernel in &app.kernels {
+            println!(
+                "  {:<34} collapsible: {:<5} sizes: {}",
+                kernel.full_name(),
+                kernel.collapsible,
+                kernel
+                    .sizes
+                    .iter()
+                    .map(|p| format!("{}({} values)", p.name, p.sweep.len()))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Table II — Data points collected on each accelerator: count, runtime
+//! range and standard deviation.
+
+use pg_bench::{bench_scale, dataset, print_header};
+use pg_perfsim::Platform;
+
+fn main() {
+    let scale = bench_scale();
+    print_header("Table II: Data points collected on each accelerator", scale);
+    println!(
+        "{:<10} {:<22} {:>11}   {:<26} {:>12}",
+        "Cluster", "Platform", "#DataPoints", "Runtime Range (ms)", "Std. Dev."
+    );
+    println!("{:-<10} {:-<22} {:->11}   {:-<26} {:->12}", "", "", "", "", "");
+
+    // Paper values for side-by-side comparison.
+    let paper: [(&str, &str, &str, &str); 4] = [
+        ("Summit", "IBM POWER9 (CPU)", "13,023", "[0.23 - 736,798]"),
+        ("Summit", "NVIDIA V100 (GPU)", "26,040", "[0.035 - 30,174]"),
+        ("Corona", "AMD EPYC7401 (CPU)", "17,681", "[0.024 - 291,627]"),
+        ("Corona", "AMD MI50 (GPU)", "26,668", "[0.448 - 46,913]"),
+    ];
+
+    for (i, platform) in Platform::ALL.iter().enumerate() {
+        let ds = dataset(*platform, scale);
+        let stats = ds.stats();
+        println!(
+            "{:<10} {:<22} {:>11}   {:<26} {:>12.1}",
+            stats.cluster,
+            stats.platform_name,
+            stats.data_points,
+            stats.range_string(),
+            stats.std_dev_ms
+        );
+        println!(
+            "{:<10} {:<22} {:>11}   {:<26}   (paper)",
+            "", paper[i].1, paper[i].2, paper[i].3
+        );
+    }
+    println!();
+    println!("Note: absolute counts and ranges depend on the dataset scale; the paper's");
+    println!("qualitative shape is preserved (GPU datasets are larger than CPU datasets");
+    println!("because four of the six variants target the GPU, and CPU runtimes span a");
+    println!("much wider range than GPU runtimes).");
+}

@@ -1,0 +1,40 @@
+//! Table III — Experimental results: RMSE and normalised RMSE of the
+//! ParaGraph model on every accelerator.
+
+use paragraph_core::Representation;
+use pg_bench::{bench_scale, paragraph_run, print_header, scientific};
+use pg_perfsim::Platform;
+
+fn main() {
+    let scale = bench_scale();
+    print_header("Table III: ParaGraph runtime-prediction error per accelerator", scale);
+
+    // Paper values for comparison.
+    let paper: [(&str, &str, &str); 4] = [
+        ("IBM POWER9 (CPU)", "4325", "6 x 10^-3"),
+        ("NVIDIA V100 (GPU)", "280", "9 x 10^-3"),
+        ("AMD EPYC7401 (CPU)", "968", "4 x 10^-3"),
+        ("AMD MI50 (GPU)", "510", "1 x 10^-2"),
+    ];
+
+    println!(
+        "{:<22} {:>12} {:>14}   {:>12} {:>14}",
+        "Platform", "RMSE (ms)", "Norm-RMSE", "paper RMSE", "paper Norm"
+    );
+    println!("{:-<22} {:->12} {:->14}   {:->12} {:->14}", "", "", "", "", "");
+    for (i, platform) in Platform::ALL.iter().enumerate() {
+        let run = paragraph_run(*platform, Representation::ParaGraph, scale);
+        println!(
+            "{:<22} {:>12.1} {:>14}   {:>12} {:>14}",
+            run.platform_name,
+            run.rmse_ms,
+            scientific(run.norm_rmse),
+            paper[i].1,
+            paper[i].2,
+        );
+    }
+    println!();
+    println!("Normalised RMSE divides the RMSE by the runtime range of the validation");
+    println!("set, so it is comparable across platforms even though the simulated");
+    println!("absolute runtimes differ from the paper's Summit/Corona measurements.");
+}

@@ -1,0 +1,263 @@
+//! # pg-compoff
+//!
+//! The COMPOFF baseline of the paper's comparison (Section V-D): a portable
+//! cost model that statically predicts the runtime of OpenMP GPU offloading
+//! from hand-engineered kernel features fed into a multi-layer perceptron.
+//! As in the paper, COMPOFF is GPU-only — it is trained and evaluated on the
+//! GPU platforms' data points.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod features;
+pub mod mlp;
+
+pub use features::{extract, extract_from_ast, CompoffFeatures, COMPOFF_FEATURE_DIM};
+pub use mlp::Mlp;
+
+use pg_dataset::PlatformDataset;
+use pg_tensor::{metrics, Adam, AdamConfig, Matrix, MinMaxScaler, TargetTransform};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Training configuration for the COMPOFF baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompoffConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Seed for initialisation, shuffling and splitting.
+    pub seed: u64,
+    /// Hidden layer sizes of the MLP.
+    pub hidden: [usize; 2],
+}
+
+impl Default for CompoffConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 60,
+            batch_size: 16,
+            learning_rate: 3e-3,
+            seed: 42,
+            hidden: [32, 16],
+        }
+    }
+}
+
+impl CompoffConfig {
+    /// A reduced configuration for tests.
+    pub fn fast() -> Self {
+        Self {
+            epochs: 15,
+            ..Self::default()
+        }
+    }
+}
+
+/// One validation prediction of the COMPOFF model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompoffPrediction {
+    /// Data-point id.
+    pub id: usize,
+    /// Application name.
+    pub application: String,
+    /// Ground-truth runtime (ms).
+    pub actual_ms: f32,
+    /// Predicted runtime (ms).
+    pub predicted_ms: f32,
+}
+
+/// Result of training the baseline on one platform dataset.
+#[derive(Debug, Clone)]
+pub struct CompoffOutcome {
+    /// The trained model.
+    pub model: CompoffModel,
+    /// Validation-set predictions.
+    pub validation: Vec<CompoffPrediction>,
+    /// Validation RMSE (ms).
+    pub rmse_ms: f32,
+    /// Validation RMSE normalised by the runtime range.
+    pub norm_rmse: f32,
+}
+
+/// The full COMPOFF cost model: feature scaler + target transform + MLP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompoffModel {
+    scaler: MinMaxScaler,
+    target: TargetTransform,
+    mlp: Mlp,
+}
+
+impl CompoffModel {
+    /// Predict the runtime (ms) of a kernel given its source and launch
+    /// configuration.
+    pub fn predict(&self, source: &str, teams: u64, threads: u64) -> Option<f32> {
+        let features = features::extract(source, teams, threads).ok()?;
+        Some(self.predict_features(&features))
+    }
+
+    /// Predict the runtime (ms) from an already-extracted feature vector.
+    pub fn predict_features(&self, features: &CompoffFeatures) -> f32 {
+        let scaled = self.scaler.transform(&features.to_vector());
+        let encoded = self.mlp.predict(&scaled);
+        self.target.decode(encoded).max(0.0)
+    }
+}
+
+/// Train the COMPOFF baseline on one (GPU) platform dataset, using the same
+/// 9:1 split seed as the ParaGraph model so both see identical validation
+/// points.
+pub fn train(dataset: &PlatformDataset, config: &CompoffConfig) -> CompoffOutcome {
+    let (train_idx, val_idx) = dataset.split(config.seed);
+
+    // Feature extraction for every point (parallel).
+    let features: Vec<CompoffFeatures> = dataset
+        .points
+        .par_iter()
+        .map(|p| {
+            features::extract(&p.source, p.teams, p.threads)
+                .expect("generated kernel sources always parse")
+        })
+        .collect();
+    let vectors: Vec<Vec<f32>> = features.iter().map(CompoffFeatures::to_vector).collect();
+
+    // Scalers fitted on the training split.
+    let train_vectors: Vec<Vec<f32>> = train_idx.iter().map(|&i| vectors[i].clone()).collect();
+    let scaler = MinMaxScaler::fit(&train_vectors);
+    let train_runtimes: Vec<f32> = train_idx
+        .iter()
+        .map(|&i| dataset.points[i].runtime_ms as f32)
+        .collect();
+    let target = TargetTransform::fit_log1p(&train_runtimes);
+
+    let scaled: Vec<Vec<f32>> = vectors.iter().map(|v| scaler.transform(v)).collect();
+    let encoded: Vec<f32> = dataset
+        .points
+        .iter()
+        .map(|p| target.encode(p.runtime_ms as f32))
+        .collect();
+
+    // Train the MLP.
+    let mut mlp = Mlp::new(
+        &[COMPOFF_FEATURE_DIM, config.hidden[0], config.hidden[1], 1],
+        config.seed,
+    );
+    let mut adam = Adam::new(AdamConfig {
+        learning_rate: config.learning_rate,
+        ..AdamConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xc0ff);
+    let mut order = train_idx.clone();
+    for _epoch in 0..config.epochs {
+        order.shuffle(&mut rng);
+        for batch in order.chunks(config.batch_size.max(1)) {
+            let results: Vec<(f32, Vec<Matrix>)> = batch
+                .iter()
+                .map(|&i| mlp.loss_and_gradients(&scaled[i], encoded[i]))
+                .collect();
+            let batch_len = results.len().max(1) as f32;
+            let mut mean_grads = results[0].1.clone();
+            for (_, grads) in results.iter().skip(1) {
+                for (acc, g) in mean_grads.iter_mut().zip(grads.iter()) {
+                    acc.add_assign(g);
+                }
+            }
+            for g in &mut mean_grads {
+                *g = g.scale(1.0 / batch_len);
+            }
+            adam.begin_step();
+            for (key, (p, g)) in mlp.parameters_mut().into_iter().zip(mean_grads.iter()).enumerate() {
+                adam.step(key, p, g);
+            }
+        }
+    }
+
+    let model = CompoffModel { scaler, target, mlp };
+
+    // Validation predictions.
+    let validation: Vec<CompoffPrediction> = val_idx
+        .iter()
+        .map(|&i| {
+            let p = &dataset.points[i];
+            CompoffPrediction {
+                id: p.id,
+                application: p.application.clone(),
+                actual_ms: p.runtime_ms as f32,
+                predicted_ms: model.predict_features(&features[i]),
+            }
+        })
+        .collect();
+    let predicted: Vec<f32> = validation.iter().map(|v| v.predicted_ms).collect();
+    let actual: Vec<f32> = validation.iter().map(|v| v.actual_ms).collect();
+    let rmse_ms = metrics::rmse(&predicted, &actual);
+    let range = metrics::value_range(&actual);
+    let norm_rmse = if range > 0.0 { rmse_ms / range } else { 0.0 };
+
+    CompoffOutcome {
+        model,
+        validation,
+        rmse_ms,
+        norm_rmse,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_dataset::{collect_platform, DatasetScale, PipelineConfig};
+    use pg_perfsim::Platform;
+
+    fn gpu_dataset() -> PlatformDataset {
+        collect_platform(
+            Platform::SummitV100,
+            &PipelineConfig {
+                scale: DatasetScale::Fast,
+                seed: 11,
+                noise_sigma: 0.02,
+            },
+        )
+    }
+
+    #[test]
+    fn compoff_trains_and_produces_reasonable_error() {
+        let ds = gpu_dataset();
+        let outcome = train(&ds, &CompoffConfig::fast());
+        assert!(!outcome.validation.is_empty());
+        assert!(outcome.rmse_ms.is_finite());
+        assert!(
+            outcome.norm_rmse < 0.6,
+            "COMPOFF normalised RMSE {} is unreasonably high",
+            outcome.norm_rmse
+        );
+        // Predictions must be non-negative runtimes.
+        assert!(outcome.validation.iter().all(|v| v.predicted_ms >= 0.0));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let ds = gpu_dataset();
+        let a = train(&ds, &CompoffConfig::fast());
+        let b = train(&ds, &CompoffConfig::fast());
+        assert_eq!(a.rmse_ms, b.rmse_ms);
+        assert_eq!(a.validation, b.validation);
+    }
+
+    #[test]
+    fn model_predicts_from_raw_source() {
+        let ds = gpu_dataset();
+        let outcome = train(&ds, &CompoffConfig::fast());
+        let point = &ds.points[0];
+        let prediction = outcome
+            .model
+            .predict(&point.source, point.teams, point.threads)
+            .unwrap();
+        assert!(prediction.is_finite() && prediction >= 0.0);
+        assert!(outcome.model.predict("not a kernel", 1, 1).is_none());
+    }
+}

@@ -1,0 +1,162 @@
+//! The COMPOFF regressor: a fully connected feed-forward network
+//! (multi-layer perceptron), as described in the COMPOFF paper and in
+//! Section II-C of the ParaGraph paper ("effectively stacked layers of
+//! linear regression").
+
+use pg_tensor::{init, Matrix, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network with ReLU activations between layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    weights: Vec<Matrix>,
+    biases: Vec<Matrix>,
+}
+
+impl Mlp {
+    /// Create an MLP with the given layer sizes, e.g. `[12, 32, 16, 1]`.
+    pub fn new(layer_sizes: &[usize], seed: u64) -> Self {
+        assert!(layer_sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for pair in layer_sizes.windows(2) {
+            weights.push(init::he_uniform(&mut rng, pair[0], pair[1]));
+            biases.push(Matrix::zeros(1, pair[1]));
+        }
+        Self { weights, biases }
+    }
+
+    /// Number of layers (weight matrices).
+    pub fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.weights[0].rows()
+    }
+
+    /// Borrow all parameters in a stable order (w0, b0, w1, b1, ...).
+    pub fn parameters(&self) -> Vec<&Matrix> {
+        self.weights
+            .iter()
+            .zip(self.biases.iter())
+            .flat_map(|(w, b)| [w, b])
+            .collect()
+    }
+
+    /// Mutably borrow all parameters in the same order.
+    pub fn parameters_mut(&mut self) -> Vec<&mut Matrix> {
+        self.weights
+            .iter_mut()
+            .zip(self.biases.iter_mut())
+            .flat_map(|(w, b)| [w as &mut Matrix, b as &mut Matrix])
+            .collect()
+    }
+
+    /// Predict the scalar output for one input vector.
+    pub fn predict(&self, input: &[f32]) -> f32 {
+        assert_eq!(input.len(), self.input_dim(), "input dimension mismatch");
+        let mut x = Matrix::row_vector(input);
+        for (i, (w, b)) in self.weights.iter().zip(self.biases.iter()).enumerate() {
+            x = x.matmul(w).add_row_broadcast(b);
+            if i + 1 < self.weights.len() {
+                x.map_inplace(|v| v.max(0.0));
+            }
+        }
+        x.get(0, 0)
+    }
+
+    /// Compute the MSE loss and parameter gradients for one training sample.
+    /// Gradients are aligned with [`Mlp::parameters`].
+    pub fn loss_and_gradients(&self, input: &[f32], target: f32) -> (f32, Vec<Matrix>) {
+        let mut tape = Tape::new();
+        let param_vars: Vec<_> = self
+            .parameters()
+            .iter()
+            .map(|p| tape.leaf((*p).clone()))
+            .collect();
+        let mut x = tape.leaf(Matrix::row_vector(input));
+        for layer in 0..self.weights.len() {
+            let w = param_vars[2 * layer];
+            let b = param_vars[2 * layer + 1];
+            x = tape.matmul(x, w);
+            x = tape.add_row_broadcast(x, b);
+            if layer + 1 < self.weights.len() {
+                x = tape.relu(x);
+            }
+        }
+        let loss = tape.mse_loss(x, &[target]);
+        tape.backward(loss);
+        let grads = param_vars.iter().map(|&v| tape.grad(v)).collect();
+        (tape.value(loss).get(0, 0), grads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_tensor::{Adam, AdamConfig};
+    use rand::Rng;
+
+    #[test]
+    fn mlp_shapes_and_parameters() {
+        let mlp = Mlp::new(&[12, 32, 16, 1], 1);
+        assert_eq!(mlp.num_layers(), 3);
+        assert_eq!(mlp.input_dim(), 12);
+        assert_eq!(mlp.parameters().len(), 6);
+        let mut mlp2 = mlp.clone();
+        assert_eq!(mlp2.parameters_mut().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn predict_checks_input_length() {
+        let mlp = Mlp::new(&[4, 8, 1], 1);
+        mlp.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn gradients_match_parameter_shapes() {
+        let mlp = Mlp::new(&[5, 8, 1], 3);
+        let (loss, grads) = mlp.loss_and_gradients(&[0.1, 0.2, 0.3, 0.4, 0.5], 0.7);
+        assert!(loss.is_finite());
+        assert_eq!(grads.len(), mlp.parameters().len());
+        for (g, p) in grads.iter().zip(mlp.parameters()) {
+            assert_eq!(g.shape(), p.shape());
+        }
+    }
+
+    #[test]
+    fn mlp_learns_a_nonlinear_function() {
+        // y = x0^2 + 0.5*x1 — learnable by a small MLP.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut mlp = Mlp::new(&[2, 16, 8, 1], 5);
+        let mut adam = Adam::new(AdamConfig {
+            learning_rate: 5e-3,
+            ..AdamConfig::default()
+        });
+        let mut last_loss = f32::MAX;
+        for _ in 0..3000 {
+            let x0: f32 = rng.gen_range(-1.0..1.0);
+            let x1: f32 = rng.gen_range(-1.0..1.0);
+            let y = x0 * x0 + 0.5 * x1;
+            let (loss, grads) = mlp.loss_and_gradients(&[x0, x1], y);
+            last_loss = loss;
+            adam.begin_step();
+            for (key, (p, g)) in mlp.parameters_mut().into_iter().zip(grads.iter()).enumerate() {
+                adam.step(key, p, g);
+            }
+        }
+        assert!(last_loss < 0.05, "MLP failed to fit, final loss {last_loss}");
+        // Spot-check a prediction.
+        let pred = mlp.predict(&[0.5, 0.5]);
+        assert!((pred - 0.5).abs() < 0.2, "prediction {pred} too far from 0.5");
+    }
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+}

@@ -1,0 +1,75 @@
+//! Representation variants used by the paper's ablation study (Section V-C).
+//!
+//! * **Raw AST** — only `Child` edges, all with weight 1.
+//! * **Augmented AST** — all eight edge types, but `Child` weights fixed at 1.
+//! * **ParaGraph** — all edge types plus the loop/branch-derived weights.
+
+use serde::{Deserialize, Serialize};
+
+/// Which program representation to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Representation {
+    /// Plain AST: only parent→child edges, uniform weight 1.
+    RawAst,
+    /// AST plus the seven augmentation edge types, uniform weight 1.
+    AugmentedAst,
+    /// The full ParaGraph representation (augmented edges + weights).
+    #[default]
+    ParaGraph,
+}
+
+impl Representation {
+    /// All variants, in the order used by the ablation tables.
+    pub const ALL: [Representation; 3] = [
+        Representation::RawAst,
+        Representation::AugmentedAst,
+        Representation::ParaGraph,
+    ];
+
+    /// Display name used in Table IV and Figure 7.
+    pub fn name(self) -> &'static str {
+        match self {
+            Representation::RawAst => "Raw AST",
+            Representation::AugmentedAst => "Augmented AST",
+            Representation::ParaGraph => "ParaGraph",
+        }
+    }
+
+    /// True when the augmentation edges (NextToken, NextSib, Ref, ForExec,
+    /// ForNext, ConTrue, ConFalse) are included.
+    pub fn has_augmented_edges(self) -> bool {
+        !matches!(self, Representation::RawAst)
+    }
+
+    /// True when Child edges carry loop/branch-derived weights.
+    pub fn has_weights(self) -> bool {
+        matches!(self, Representation::ParaGraph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_table_iv() {
+        assert_eq!(Representation::ALL[0].name(), "Raw AST");
+        assert_eq!(Representation::ALL[1].name(), "Augmented AST");
+        assert_eq!(Representation::ALL[2].name(), "ParaGraph");
+    }
+
+    #[test]
+    fn feature_flags() {
+        assert!(!Representation::RawAst.has_augmented_edges());
+        assert!(!Representation::RawAst.has_weights());
+        assert!(Representation::AugmentedAst.has_augmented_edges());
+        assert!(!Representation::AugmentedAst.has_weights());
+        assert!(Representation::ParaGraph.has_augmented_edges());
+        assert!(Representation::ParaGraph.has_weights());
+    }
+
+    #[test]
+    fn default_is_paragraph() {
+        assert_eq!(Representation::default(), Representation::ParaGraph);
+    }
+}

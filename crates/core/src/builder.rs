@@ -1,0 +1,651 @@
+//! ParaGraph construction (Section III-A of the paper).
+//!
+//! The builder walks the AST and produces the weighted, typed graph:
+//!
+//! 1. every AST node becomes a vertex;
+//! 2. parent→child relations become `Child` edges whose weight reflects how
+//!    often the child executes (loop trip counts divided across threads under
+//!    static scheduling, ½ per `if` branch);
+//! 3. `NextSib` edges connect consecutive siblings, `NextToken` edges connect
+//!    consecutive syntax tokens, `Ref` edges connect variable references to
+//!    their declarations;
+//! 4. `ForExec`/`ForNext` edges expose the execution order of a loop's four
+//!    children, `ConTrue`/`ConFalse` the two outcomes of an `if` condition.
+
+use crate::ablation::Representation;
+use crate::graph::{EdgeType, GraphNode, ParaGraph};
+use crate::weights::WeightPolicy;
+use pg_frontend::analysis::{self, ConstEnv};
+use pg_frontend::{Ast, AstKind, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration for one graph construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BuilderConfig {
+    /// Which representation to build (ablation variants).
+    pub representation: Representation,
+    /// Weight policy (branch probability, thread division, ...).
+    pub weights: WeightPolicy,
+    /// Number of OpenMP threads per team assumed for static scheduling.
+    pub num_threads: u64,
+    /// Number of OpenMP teams assumed for `target teams` offloading.
+    pub num_teams: u64,
+    /// Known integer constants (problem sizes) for trip-count evaluation.
+    pub env: ConstEnv,
+}
+
+impl Default for BuilderConfig {
+    fn default() -> Self {
+        Self {
+            representation: Representation::ParaGraph,
+            weights: WeightPolicy::default(),
+            num_threads: 1,
+            num_teams: 1,
+            env: ConstEnv::new(),
+        }
+    }
+}
+
+impl BuilderConfig {
+    /// Convenience constructor for a given representation with default policy.
+    pub fn for_representation(representation: Representation) -> Self {
+        Self {
+            representation,
+            ..Self::default()
+        }
+    }
+
+    /// Set the launch configuration (teams and threads).
+    pub fn with_launch(mut self, num_teams: u64, num_threads: u64) -> Self {
+        self.num_teams = num_teams.max(1);
+        self.num_threads = num_threads.max(1);
+        self
+    }
+
+    /// Set the problem-size environment.
+    pub fn with_env(mut self, env: ConstEnv) -> Self {
+        self.env = env;
+        self
+    }
+}
+
+/// Build the graph representation of `ast` under `config`.
+pub fn build(ast: &Ast, config: &BuilderConfig) -> ParaGraph {
+    Builder::new(ast, config).run()
+}
+
+/// Build the full ParaGraph with default configuration (serial launch).
+pub fn build_default(ast: &Ast) -> ParaGraph {
+    build(ast, &BuilderConfig::default())
+}
+
+struct Builder<'a> {
+    ast: &'a Ast,
+    config: &'a BuilderConfig,
+    graph: ParaGraph,
+    /// AST node id -> graph vertex index.
+    vertex: HashMap<NodeId, usize>,
+}
+
+/// Parallelism pending application to the next (possibly collapsed) loop nest.
+#[derive(Debug, Clone, Copy)]
+struct PendingParallel {
+    /// Remaining parallel divisor to spread over loop levels.
+    divisor: f64,
+    /// How many more nested loop levels participate (collapse depth).
+    levels_remaining: u32,
+}
+
+impl<'a> Builder<'a> {
+    fn new(ast: &'a Ast, config: &'a BuilderConfig) -> Self {
+        Self {
+            ast,
+            config,
+            graph: ParaGraph::new(),
+            vertex: HashMap::new(),
+        }
+    }
+
+    fn run(mut self) -> ParaGraph {
+        // 1. vertices, in pre-order so vertex 0 is the root.
+        let order = self.ast.preorder();
+        for &id in &order {
+            let node = self.ast.node(id);
+            let label = node_label(self.ast, id);
+            let idx = self.graph.add_node(GraphNode {
+                ast_node: id,
+                kind: node.kind,
+                label,
+                is_token: self.ast.is_terminal(id),
+            });
+            self.vertex.insert(id, idx);
+        }
+
+        // 2. Child edges with weights.
+        self.add_child_edges(self.ast.root(), 1.0, None);
+
+        // 3. Augmentation edges.
+        if self.config.representation.has_augmented_edges() {
+            self.add_next_sibling_edges(&order);
+            self.add_next_token_edges(&order);
+            self.add_ref_edges();
+            self.add_loop_edges();
+            self.add_condition_edges();
+        }
+
+        debug_assert!(self.graph.validate().is_ok(), "builder produced invalid graph");
+        self.graph
+    }
+
+    fn vertex_of(&self, id: NodeId) -> usize {
+        self.vertex[&id]
+    }
+
+    // -- Child edges and weights ------------------------------------------------
+
+    fn add_child_edges(&mut self, node: NodeId, multiplier: f64, pending: Option<PendingParallel>) {
+        let kind = self.ast.kind(node);
+        match kind {
+            kind if kind.is_omp_directive() => self.descend_omp_directive(node, multiplier),
+            AstKind::ForStmt => self.descend_for(node, multiplier, pending),
+            AstKind::IfStmt => self.descend_if(node, multiplier),
+            _ => {
+                for &child in self.ast.children(node) {
+                    self.connect_child(node, child, multiplier);
+                    self.add_child_edges(child, multiplier, pending);
+                }
+            }
+        }
+    }
+
+    fn connect_child(&mut self, parent: NodeId, child: NodeId, multiplier: f64) {
+        let weight = if self.config.representation.has_weights() {
+            multiplier
+        } else {
+            1.0
+        };
+        self.graph
+            .add_edge(self.vertex_of(parent), self.vertex_of(child), EdgeType::Child, weight);
+    }
+
+    fn descend_omp_directive(&mut self, node: NodeId, multiplier: f64) {
+        // Determine the parallelism this directive distributes iterations over.
+        let data = self.ast.node(node).data.omp.clone();
+        let (divisor, collapse) = match &data {
+            Some(omp) => {
+                let is_target = omp.kind.is_target();
+                let threads = omp
+                    .num_threads()
+                    .or(omp.thread_limit())
+                    .unwrap_or(self.config.num_threads)
+                    .max(1);
+                let teams = omp.num_teams().unwrap_or(if is_target {
+                    self.config.num_teams.max(1)
+                } else {
+                    1
+                });
+                let parallelism = if is_target { teams * threads } else { threads };
+                (parallelism as f64, omp.collapse_depth())
+            }
+            None => (1.0, 1),
+        };
+        let pending = Some(PendingParallel {
+            divisor: divisor.max(1.0),
+            levels_remaining: collapse.max(1),
+        });
+        for &child in self.ast.children(node) {
+            self.connect_child(node, child, multiplier);
+            self.add_child_edges(child, multiplier, pending);
+        }
+    }
+
+    fn descend_for(&mut self, node: NodeId, multiplier: f64, pending: Option<PendingParallel>) {
+        let children = self.ast.children(node).to_vec();
+        let trip = analysis::trip_count(self.ast, node, &self.config.env);
+
+        // How much parallelism applies at this loop level.
+        let (share, next_pending) = match pending {
+            Some(p) if p.levels_remaining > 0 => {
+                let (share, remaining_divisor) = self.config.weights.loop_share(trip, p.divisor);
+                let next = if p.levels_remaining > 1 && remaining_divisor > 1.0 {
+                    Some(PendingParallel {
+                        divisor: remaining_divisor,
+                        levels_remaining: p.levels_remaining - 1,
+                    })
+                } else {
+                    None
+                };
+                (share, next)
+            }
+            _ => {
+                let (share, _) = self.config.weights.loop_share(trip, 1.0);
+                (share, None)
+            }
+        };
+        let body_multiplier = multiplier * share;
+
+        // Child order: [init, cond, body, inc] (paper convention).
+        if let Some(&init) = children.first() {
+            self.connect_child(node, init, multiplier);
+            self.add_child_edges(init, multiplier, None);
+        }
+        if let Some(&cond) = children.get(1) {
+            self.connect_child(node, cond, body_multiplier);
+            self.add_child_edges(cond, body_multiplier, None);
+        }
+        if let Some(&body) = children.get(2) {
+            self.connect_child(node, body, body_multiplier);
+            self.add_child_edges(body, body_multiplier, next_pending);
+        }
+        if let Some(&inc) = children.get(3) {
+            self.connect_child(node, inc, body_multiplier);
+            self.add_child_edges(inc, body_multiplier, None);
+        }
+    }
+
+    fn descend_if(&mut self, node: NodeId, multiplier: f64) {
+        let children = self.ast.children(node).to_vec();
+        let branch_multiplier = multiplier * self.config.weights.branch_share();
+        if let Some(&cond) = children.first() {
+            self.connect_child(node, cond, multiplier);
+            self.add_child_edges(cond, multiplier, None);
+        }
+        for &branch in children.iter().skip(1) {
+            self.connect_child(node, branch, branch_multiplier);
+            self.add_child_edges(branch, branch_multiplier, None);
+        }
+    }
+
+    // -- augmentation edges -------------------------------------------------------
+
+    fn add_next_sibling_edges(&mut self, order: &[NodeId]) {
+        for &id in order {
+            let children = self.ast.children(id);
+            for pair in children.windows(2) {
+                self.graph.add_edge(
+                    self.vertex_of(pair[0]),
+                    self.vertex_of(pair[1]),
+                    EdgeType::NextSib,
+                    0.0,
+                );
+            }
+        }
+    }
+
+    fn add_next_token_edges(&mut self, order: &[NodeId]) {
+        let tokens: Vec<NodeId> = order
+            .iter()
+            .copied()
+            .filter(|&id| self.ast.is_terminal(id))
+            .collect();
+        for pair in tokens.windows(2) {
+            self.graph.add_edge(
+                self.vertex_of(pair[0]),
+                self.vertex_of(pair[1]),
+                EdgeType::NextToken,
+                0.0,
+            );
+        }
+    }
+
+    fn add_ref_edges(&mut self) {
+        let table = pg_frontend::symbols::resolve(self.ast);
+        // The symbol table iterates in hash order; sort for deterministic
+        // graph construction (identical inputs must yield identical graphs).
+        let mut references: Vec<(NodeId, NodeId)> = table.references().collect();
+        references.sort_unstable();
+        for (decl_ref, decl) in references {
+            // Both endpoints are guaranteed to be in the graph because every
+            // reachable AST node became a vertex.
+            if let (Some(&src), Some(&dst)) = (self.vertex.get(&decl_ref), self.vertex.get(&decl)) {
+                self.graph.add_edge(src, dst, EdgeType::Ref, 0.0);
+            }
+        }
+    }
+
+    fn add_loop_edges(&mut self) {
+        for for_stmt in self.ast.find_all(AstKind::ForStmt) {
+            let children = self.ast.children(for_stmt);
+            if children.len() != 4 {
+                continue;
+            }
+            let (init, cond, body, inc) = (children[0], children[1], children[2], children[3]);
+            // ForExec: init -> cond -> body (the flow of executing the next
+            // iteration of the loop).
+            self.graph
+                .add_edge(self.vertex_of(init), self.vertex_of(cond), EdgeType::ForExec, 0.0);
+            self.graph
+                .add_edge(self.vertex_of(cond), self.vertex_of(body), EdgeType::ForExec, 0.0);
+            // ForNext: body -> inc -> cond (deciding whether the next
+            // iteration executes).
+            self.graph
+                .add_edge(self.vertex_of(body), self.vertex_of(inc), EdgeType::ForNext, 0.0);
+            self.graph
+                .add_edge(self.vertex_of(inc), self.vertex_of(cond), EdgeType::ForNext, 0.0);
+        }
+    }
+
+    fn add_condition_edges(&mut self) {
+        for if_stmt in self.ast.find_all(AstKind::IfStmt) {
+            let children = self.ast.children(if_stmt);
+            let Some(&cond) = children.first() else { continue };
+            if let Some(&then) = children.get(1) {
+                self.graph
+                    .add_edge(self.vertex_of(cond), self.vertex_of(then), EdgeType::ConTrue, 0.0);
+            }
+            if let Some(&otherwise) = children.get(2) {
+                self.graph.add_edge(
+                    self.vertex_of(cond),
+                    self.vertex_of(otherwise),
+                    EdgeType::ConFalse,
+                    0.0,
+                );
+            }
+        }
+    }
+}
+
+/// Short display label for a vertex.
+fn node_label(ast: &Ast, id: NodeId) -> String {
+    let node = ast.node(id);
+    if let Some(name) = &node.data.name {
+        return name.clone();
+    }
+    if let Some(op) = &node.data.opcode {
+        return op.clone();
+    }
+    if let Some(v) = node.data.int_value {
+        return v.to_string();
+    }
+    if let Some(v) = node.data.float_value {
+        return format!("{v}");
+    }
+    if let Some(lit) = &node.data.literal {
+        return lit.clone();
+    }
+    node.kind.name().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeType;
+    use pg_frontend::parse;
+
+    fn figure2_for_ast() -> Ast {
+        parse("void f() { for (int i = 0; i < 50; i++) { int y; y = 1; } }").unwrap()
+    }
+
+    #[test]
+    fn every_reachable_ast_node_becomes_a_vertex() {
+        let ast = figure2_for_ast();
+        let graph = build_default(&ast);
+        assert_eq!(graph.node_count(), ast.preorder().len());
+        graph.validate().unwrap();
+    }
+
+    #[test]
+    fn child_edges_form_a_tree() {
+        let ast = figure2_for_ast();
+        let graph = build_default(&ast);
+        let child_edges = graph.edges_of_type(EdgeType::Child).count();
+        assert_eq!(child_edges, graph.node_count() - 1);
+    }
+
+    #[test]
+    fn figure2_for_loop_weights() {
+        // for (int i = 0; i < 50; i++): the init edge keeps weight 1, while
+        // cond / body / inc edges carry the trip count 50.
+        let ast = figure2_for_ast();
+        let graph = build_default(&ast);
+        let for_idx = graph
+            .nodes()
+            .iter()
+            .position(|n| n.kind == AstKind::ForStmt)
+            .unwrap();
+        let weights: Vec<f64> = graph
+            .edges_of_type(EdgeType::Child)
+            .filter(|e| e.src == for_idx)
+            .map(|e| e.weight)
+            .collect();
+        assert_eq!(weights, vec![1.0, 50.0, 50.0, 50.0]);
+        // Statements inside the body inherit the factor 50.
+        let body_assign = graph
+            .nodes()
+            .iter()
+            .position(|n| n.kind == AstKind::BinaryOperator && n.label == "=")
+            .unwrap();
+        let into_assign: Vec<f64> = graph
+            .edges_of_type(EdgeType::Child)
+            .filter(|e| e.dst == body_assign)
+            .map(|e| e.weight)
+            .collect();
+        assert_eq!(into_assign, vec![50.0]);
+    }
+
+    #[test]
+    fn figure2_if_branch_weights_are_halved() {
+        let ast = parse("void f(int x) { if (x > 50) { x = 1; } else { x = 2; } }").unwrap();
+        let graph = build_default(&ast);
+        let if_idx = graph
+            .nodes()
+            .iter()
+            .position(|n| n.kind == AstKind::IfStmt)
+            .unwrap();
+        let weights: Vec<f64> = graph
+            .edges_of_type(EdgeType::Child)
+            .filter(|e| e.src == if_idx)
+            .map(|e| e.weight)
+            .collect();
+        assert_eq!(weights, vec![1.0, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn if_inside_loop_combines_factors() {
+        let ast = parse(
+            "void f(int x) { for (int i = 0; i < 50; i++) { if (x > 50) { x = 1; } else { x = 2; } } }",
+        )
+        .unwrap();
+        let graph = build_default(&ast);
+        let if_idx = graph
+            .nodes()
+            .iter()
+            .position(|n| n.kind == AstKind::IfStmt)
+            .unwrap();
+        // CompoundStmt -> IfStmt edge: 50; IfStmt -> cond: 50; branches: 25.
+        let incoming: Vec<f64> = graph
+            .edges_of_type(EdgeType::Child)
+            .filter(|e| e.dst == if_idx)
+            .map(|e| e.weight)
+            .collect();
+        assert_eq!(incoming, vec![50.0]);
+        let outgoing: Vec<f64> = graph
+            .edges_of_type(EdgeType::Child)
+            .filter(|e| e.src == if_idx)
+            .map(|e| e.weight)
+            .collect();
+        assert_eq!(outgoing, vec![50.0, 25.0, 25.0]);
+    }
+
+    #[test]
+    fn parallel_for_divides_by_threads() {
+        let src = r#"
+            void k(float *a) {
+                #pragma omp parallel for
+                for (int i = 0; i < 100; i++) { a[i] = 0.0; }
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        let config = BuilderConfig::default().with_launch(1, 4);
+        let graph = build(&ast, &config);
+        let for_idx = graph
+            .nodes()
+            .iter()
+            .position(|n| n.kind == AstKind::ForStmt)
+            .unwrap();
+        let weights: Vec<f64> = graph
+            .edges_of_type(EdgeType::Child)
+            .filter(|e| e.src == for_idx)
+            .map(|e| e.weight)
+            .collect();
+        // 100 iterations over 4 threads -> 25 per thread.
+        assert_eq!(weights, vec![1.0, 25.0, 25.0, 25.0]);
+    }
+
+    #[test]
+    fn target_offload_uses_teams_times_threads() {
+        let src = r#"
+            void k(float *a, float *b) {
+                #pragma omp target teams distribute parallel for collapse(2)
+                for (int i = 0; i < 64; i++) {
+                    for (int j = 0; j < 64; j++) { a[i * 64 + j] = b[j * 64 + i]; }
+                }
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        let config = BuilderConfig::default().with_launch(16, 64); // 1024-way parallelism
+        let graph = build(&ast, &config);
+        let fors: Vec<usize> = graph
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == AstKind::ForStmt)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(fors.len(), 2);
+        // Outer loop absorbs 64 of the 1024-way parallelism, inner loop the
+        // remaining 16: outer share 1, inner share 4. The innermost body edge
+        // weight is therefore 1 * 4 = 4.
+        let outer_body_weight: Vec<f64> = graph
+            .edges_of_type(EdgeType::Child)
+            .filter(|e| e.src == fors[0])
+            .map(|e| e.weight)
+            .collect();
+        assert_eq!(outer_body_weight, vec![1.0, 1.0, 1.0, 1.0]);
+        let inner_body_weight: Vec<f64> = graph
+            .edges_of_type(EdgeType::Child)
+            .filter(|e| e.src == fors[1])
+            .map(|e| e.weight)
+            .collect();
+        assert_eq!(inner_body_weight, vec![1.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn without_collapse_only_the_outer_loop_is_divided() {
+        let src = r#"
+            void k(float *a, float *b) {
+                #pragma omp parallel for
+                for (int i = 0; i < 64; i++) {
+                    for (int j = 0; j < 64; j++) { a[i * 64 + j] = b[j * 64 + i]; }
+                }
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        let config = BuilderConfig::default().with_launch(1, 8);
+        let graph = build(&ast, &config);
+        let fors: Vec<usize> = graph
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == AstKind::ForStmt)
+            .map(|(i, _)| i)
+            .collect();
+        let outer: Vec<f64> = graph
+            .edges_of_type(EdgeType::Child)
+            .filter(|e| e.src == fors[0])
+            .map(|e| e.weight)
+            .collect();
+        // 64 / 8 = 8 per thread.
+        assert_eq!(outer, vec![1.0, 8.0, 8.0, 8.0]);
+        let inner: Vec<f64> = graph
+            .edges_of_type(EdgeType::Child)
+            .filter(|e| e.src == fors[1])
+            .map(|e| e.weight)
+            .collect();
+        // The inner loop is not distributed: its body runs 64 times per outer
+        // iteration, i.e. weight 8 * 64 = 512.
+        assert_eq!(inner, vec![8.0, 512.0, 512.0, 512.0]);
+    }
+
+    #[test]
+    fn augmentation_edges_exist_for_loops_and_ifs() {
+        let ast = parse(
+            "void f(int x) { for (int i = 0; i < 10; i++) { if (x > 1) { x = 1; } else { x = 2; } } }",
+        )
+        .unwrap();
+        let graph = build_default(&ast);
+        assert_eq!(graph.edges_of_type(EdgeType::ForExec).count(), 2);
+        assert_eq!(graph.edges_of_type(EdgeType::ForNext).count(), 2);
+        assert_eq!(graph.edges_of_type(EdgeType::ConTrue).count(), 1);
+        assert_eq!(graph.edges_of_type(EdgeType::ConFalse).count(), 1);
+        assert!(graph.edges_of_type(EdgeType::NextSib).count() > 0);
+        assert!(graph.edges_of_type(EdgeType::NextToken).count() > 0);
+        assert!(graph.edges_of_type(EdgeType::Ref).count() > 0);
+    }
+
+    #[test]
+    fn next_token_edges_form_a_chain_over_terminals() {
+        let ast = figure2_for_ast();
+        let graph = build_default(&ast);
+        let terminals = graph.nodes().iter().filter(|n| n.is_token).count();
+        assert_eq!(
+            graph.edges_of_type(EdgeType::NextToken).count(),
+            terminals - 1
+        );
+    }
+
+    #[test]
+    fn ref_edges_point_at_declarations() {
+        let ast = parse("void f() { int x; x = 50; }").unwrap();
+        let graph = build_default(&ast);
+        let refs: Vec<_> = graph.edges_of_type(EdgeType::Ref).collect();
+        assert_eq!(refs.len(), 1);
+        let dst = refs[0].dst;
+        assert_eq!(graph.node(dst).kind, AstKind::VarDecl);
+        let src = refs[0].src;
+        assert_eq!(graph.node(src).kind, AstKind::DeclRefExpr);
+    }
+
+    #[test]
+    fn raw_ast_has_only_child_edges_with_unit_weight() {
+        let ast = figure2_for_ast();
+        let config = BuilderConfig::for_representation(Representation::RawAst);
+        let graph = build(&ast, &config);
+        assert_eq!(graph.edge_count(), graph.edges_of_type(EdgeType::Child).count());
+        assert!(graph
+            .edges_of_type(EdgeType::Child)
+            .all(|e| e.weight == 1.0));
+    }
+
+    #[test]
+    fn augmented_ast_has_all_edge_types_but_unit_weights() {
+        let ast = figure2_for_ast();
+        let config = BuilderConfig::for_representation(Representation::AugmentedAst);
+        let graph = build(&ast, &config);
+        assert!(graph.edges_of_type(EdgeType::ForExec).count() > 0);
+        assert!(graph
+            .edges_of_type(EdgeType::Child)
+            .all(|e| e.weight == 1.0));
+    }
+
+    #[test]
+    fn environment_controls_trip_counts() {
+        let src = "void k(float *a, int n) { for (int i = 0; i < n; i++) { a[i] = 0.0; } }";
+        let ast = parse(src).unwrap();
+        let mut env = ConstEnv::new();
+        env.insert("n".into(), 1000);
+        let config = BuilderConfig::default().with_env(env);
+        let graph = build(&ast, &config);
+        let max_weight = graph.stats().max_edge_weight;
+        assert_eq!(max_weight, 1000.0);
+    }
+
+    #[test]
+    fn graph_is_deterministic() {
+        let ast = figure2_for_ast();
+        let g1 = build_default(&ast);
+        let g2 = build_default(&ast);
+        assert_eq!(g1, g2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Graphviz DOT export of a [`ParaGraph`], used to visually inspect the
+//! representation (the kind of rendering shown in Figure 2 of the paper).
+
+use crate::graph::{EdgeType, ParaGraph};
+use std::fmt::Write as _;
+
+/// Options controlling the DOT rendering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DotOptions {
+    /// Include edge weights as labels on `Child` edges.
+    pub show_weights: bool,
+    /// Include the non-AST augmentation edges (NextToken, Ref, ...).
+    pub show_augmented_edges: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        Self {
+            show_weights: true,
+            show_augmented_edges: true,
+        }
+    }
+}
+
+/// Colour used for each edge type, loosely following the paper's figure.
+fn edge_color(ty: EdgeType) -> &'static str {
+    match ty {
+        EdgeType::Child => "black",
+        EdgeType::NextToken => "orange",
+        EdgeType::NextSib => "blue",
+        EdgeType::Ref => "deeppink",
+        EdgeType::ForExec => "darkgreen",
+        EdgeType::ForNext => "purple",
+        EdgeType::ConTrue => "forestgreen",
+        EdgeType::ConFalse => "red",
+    }
+}
+
+/// Render the graph in Graphviz DOT format.
+pub fn to_dot(graph: &ParaGraph, options: &DotOptions) -> String {
+    let mut out = String::new();
+    out.push_str("digraph paragraph {\n");
+    out.push_str("  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let shape = if node.is_token { "ellipse" } else { "box" };
+        let label = format!("{}\\n{}", node.kind.name(), escape(&node.label));
+        let _ = writeln!(out, "  n{i} [label=\"{label}\", shape={shape}];");
+    }
+    for edge in graph.edges() {
+        if !options.show_augmented_edges && edge.ty != EdgeType::Child {
+            continue;
+        }
+        let mut attrs = vec![format!("color={}", edge_color(edge.ty))];
+        if edge.ty != EdgeType::Child {
+            attrs.push("style=dashed".to_string());
+            attrs.push(format!("xlabel=\"{}\"", edge.ty.name()));
+        } else if options.show_weights && (edge.weight - 1.0).abs() > 1e-9 {
+            attrs.push(format!("label=\"{}\"", edge.weight));
+        }
+        let _ = writeln!(out, "  n{} -> n{} [{}];", edge.src, edge.dst, attrs.join(", "));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_default;
+    use pg_frontend::parse;
+
+    fn sample() -> ParaGraph {
+        let ast = parse("void f() { for (int i = 0; i < 50; i++) { if (i > 10) { i = i + 1; } } }").unwrap();
+        build_default(&ast)
+    }
+
+    #[test]
+    fn dot_output_contains_every_node_and_edge() {
+        let graph = sample();
+        let dot = to_dot(&graph, &DotOptions::default());
+        assert!(dot.starts_with("digraph paragraph {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for i in 0..graph.node_count() {
+            assert!(dot.contains(&format!("n{i} [label=")), "node {i} missing");
+        }
+        let arrow_count = dot.matches(" -> ").count();
+        assert_eq!(arrow_count, graph.edge_count());
+    }
+
+    #[test]
+    fn weights_appear_on_weighted_child_edges() {
+        let graph = sample();
+        let dot = to_dot(&graph, &DotOptions::default());
+        assert!(dot.contains("label=\"50\""), "trip-count weight must be rendered");
+        assert!(dot.contains("xlabel=\"ForExec\""));
+    }
+
+    #[test]
+    fn augmented_edges_can_be_hidden() {
+        let graph = sample();
+        let dot = to_dot(
+            &graph,
+            &DotOptions {
+                show_augmented_edges: false,
+                show_weights: false,
+            },
+        );
+        assert!(!dot.contains("ForExec"));
+        assert!(!dot.contains("NextToken"));
+        let arrow_count = dot.matches(" -> ").count();
+        assert_eq!(arrow_count, graph.node_count() - 1, "only Child edges remain");
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut graph = ParaGraph::new();
+        graph.add_node(crate::graph::GraphNode {
+            ast_node: 0,
+            kind: pg_frontend::AstKind::StringLiteral,
+            label: "a \"quoted\" label".to_string(),
+            is_token: true,
+        });
+        let dot = to_dot(&graph, &DotOptions::default());
+        assert!(dot.contains("\\\"quoted\\\""));
+    }
+}

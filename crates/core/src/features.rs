@@ -1,0 +1,206 @@
+//! Conversion of a [`ParaGraph`] into the numeric tensors consumed by the
+//! GNN: per-node feature vectors and per-relation edge lists.
+//!
+//! The paper treats ParaGraph as a homogeneous graph whose edges carry a
+//! type id and a weight; the RGAT convolution computes attention per edge
+//! type. This module groups the edges by type and produces, for every
+//! relation, parallel `src` / `dst` / `weight` arrays (a COO layout).
+
+use crate::graph::{EdgeType, ParaGraph};
+use pg_frontend::AstKind;
+use serde::{Deserialize, Serialize};
+
+/// Dimension of the per-node feature vector produced by [`node_features`]:
+/// a one-hot encoding of the node kind plus two structural scalars
+/// (is-token flag and normalised out-degree).
+pub const NODE_FEATURE_DIM: usize = AstKind::ALL.len() + 2;
+
+/// Per-node feature matrix (`node_count x NODE_FEATURE_DIM`, row-major).
+pub fn node_features(graph: &ParaGraph) -> Vec<Vec<f32>> {
+    let n = graph.node_count();
+    let mut out_degree = vec![0usize; n];
+    for e in graph.edges() {
+        out_degree[e.src] += 1;
+    }
+    let max_degree = out_degree.iter().copied().max().unwrap_or(1).max(1) as f32;
+
+    graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let mut f = vec![0.0f32; NODE_FEATURE_DIM];
+            f[node.kind.index()] = 1.0;
+            f[AstKind::ALL.len()] = if node.is_token { 1.0 } else { 0.0 };
+            f[AstKind::ALL.len() + 1] = out_degree[i] as f32 / max_degree;
+            f
+        })
+        .collect()
+}
+
+/// Edges of one relation in COO format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RelationEdges {
+    /// Source vertex per edge.
+    pub src: Vec<usize>,
+    /// Destination vertex per edge.
+    pub dst: Vec<usize>,
+    /// Edge weight per edge (0 for non-Child relations).
+    pub weight: Vec<f32>,
+}
+
+impl RelationEdges {
+    /// Number of edges in this relation.
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// True when the relation has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+}
+
+/// The GNN-ready form of a graph: node features plus per-relation edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelationalGraph {
+    /// `node_count x NODE_FEATURE_DIM` feature matrix.
+    pub features: Vec<Vec<f32>>,
+    /// One edge list per [`EdgeType`], indexed by [`EdgeType::index`].
+    pub relations: Vec<RelationEdges>,
+    /// Number of vertices.
+    pub node_count: usize,
+}
+
+impl RelationalGraph {
+    /// Total number of edges across all relations.
+    pub fn edge_count(&self) -> usize {
+        self.relations.iter().map(RelationEdges::len).sum()
+    }
+
+    /// Attention priors for one relation: Child edges use `1 + ln(1 + w)` so
+    /// that hot loop bodies attract more attention mass without the raw trip
+    /// counts (which reach millions) destabilising the softmax; all other
+    /// relations use a uniform prior of 1.
+    pub fn attention_priors(&self, relation: usize) -> Vec<f32> {
+        self.relations[relation]
+            .weight
+            .iter()
+            .map(|&w| 1.0 + (1.0 + w.max(0.0)).ln())
+            .collect()
+    }
+}
+
+/// Convert a [`ParaGraph`] into its GNN-ready relational form.
+pub fn to_relational(graph: &ParaGraph) -> RelationalGraph {
+    let mut relations = vec![RelationEdges::default(); EdgeType::COUNT];
+    for e in graph.edges() {
+        let rel = &mut relations[e.ty.index()];
+        rel.src.push(e.src);
+        rel.dst.push(e.dst);
+        rel.weight.push(e.weight as f32);
+    }
+    RelationalGraph {
+        features: node_features(graph),
+        relations,
+        node_count: graph.node_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_default;
+    use pg_frontend::parse;
+
+    fn sample_graph() -> ParaGraph {
+        let ast = parse(
+            "void f(float *a) { for (int i = 0; i < 50; i++) { if (i > 25) { a[i] = 1.0; } } }",
+        )
+        .unwrap();
+        build_default(&ast)
+    }
+
+    #[test]
+    fn feature_matrix_has_expected_shape() {
+        let graph = sample_graph();
+        let features = node_features(&graph);
+        assert_eq!(features.len(), graph.node_count());
+        assert!(features.iter().all(|f| f.len() == NODE_FEATURE_DIM));
+    }
+
+    #[test]
+    fn one_hot_encoding_is_exclusive() {
+        let graph = sample_graph();
+        let features = node_features(&graph);
+        for (i, f) in features.iter().enumerate() {
+            let ones = f[..AstKind::ALL.len()].iter().filter(|&&v| v == 1.0).count();
+            assert_eq!(ones, 1, "node {i} must have exactly one kind bit set");
+            let kind_idx = graph.node(i).kind.index();
+            assert_eq!(f[kind_idx], 1.0);
+        }
+    }
+
+    #[test]
+    fn token_flag_matches_graph() {
+        let graph = sample_graph();
+        let features = node_features(&graph);
+        for (i, f) in features.iter().enumerate() {
+            let flag = f[AstKind::ALL.len()];
+            assert_eq!(flag == 1.0, graph.node(i).is_token);
+        }
+    }
+
+    #[test]
+    fn relational_grouping_preserves_all_edges() {
+        let graph = sample_graph();
+        let rel = to_relational(&graph);
+        assert_eq!(rel.edge_count(), graph.edge_count());
+        assert_eq!(rel.node_count, graph.node_count());
+        assert_eq!(rel.relations.len(), EdgeType::COUNT);
+        // Child relation edge count matches.
+        assert_eq!(
+            rel.relations[EdgeType::Child.index()].len(),
+            graph.edges_of_type(EdgeType::Child).count()
+        );
+    }
+
+    #[test]
+    fn child_weights_survive_grouping() {
+        let graph = sample_graph();
+        let rel = to_relational(&graph);
+        let child = &rel.relations[EdgeType::Child.index()];
+        let max_w = child.weight.iter().copied().fold(0.0f32, f32::max);
+        assert_eq!(max_w, 50.0);
+        // Non-child relations have zero weights.
+        for (i, r) in rel.relations.iter().enumerate() {
+            if i != EdgeType::Child.index() {
+                assert!(r.weight.iter().all(|&w| w == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn attention_priors_compress_large_weights() {
+        let graph = sample_graph();
+        let rel = to_relational(&graph);
+        let priors = rel.attention_priors(EdgeType::Child.index());
+        assert_eq!(priors.len(), rel.relations[EdgeType::Child.index()].len());
+        assert!(priors.iter().all(|&p| p >= 1.0));
+        let max_prior = priors.iter().copied().fold(0.0f32, f32::max);
+        // ln(1+50) + 1 ≈ 4.93 — large trip counts must not blow up the prior.
+        assert!(max_prior < 6.0);
+        // Non-child relations have uniform priors.
+        let ref_priors = rel.attention_priors(EdgeType::Ref.index());
+        assert!(ref_priors.iter().all(|&p| (p - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn relational_graph_serialises() {
+        let graph = sample_graph();
+        let rel = to_relational(&graph);
+        let json = serde_json::to_string(&rel).unwrap();
+        let back: RelationalGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(rel, back);
+    }
+}

@@ -1,0 +1,378 @@
+//! The ParaGraph data structure: a weighted, typed graph over AST nodes.
+//!
+//! Formally (Equation 2 of the paper) a ParaGraph is `(V, E, T, W)` where
+//! `V` are the AST nodes, `E` the edges, `T` the edge types and `W` the edge
+//! weights. Weights are non-zero only on `Child` (AST) edges; every other
+//! edge type carries weight 0.
+
+use pg_frontend::{AstKind, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Edge types of ParaGraph (`T` in Equation 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeType {
+    /// Plain AST parent→child edge. The only edge type that carries weight.
+    Child,
+    /// Connects each syntax token to the next syntax token (left-to-right).
+    NextToken,
+    /// Connects each syntax node to its next sibling.
+    NextSib,
+    /// Connects a `DeclRefExpr` to the declaration of the referenced variable.
+    Ref,
+    /// Loop execution flow: init→cond and cond→body.
+    ForExec,
+    /// Loop back-edge flow: body→inc and inc→cond.
+    ForNext,
+    /// If-condition true branch: cond→then.
+    ConTrue,
+    /// If-condition false branch: cond→else.
+    ConFalse,
+}
+
+impl EdgeType {
+    /// All edge types, in the fixed order used as relation indices by the GNN.
+    pub const ALL: [EdgeType; 8] = [
+        EdgeType::Child,
+        EdgeType::NextToken,
+        EdgeType::NextSib,
+        EdgeType::Ref,
+        EdgeType::ForExec,
+        EdgeType::ForNext,
+        EdgeType::ConTrue,
+        EdgeType::ConFalse,
+    ];
+
+    /// Number of edge types.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable index of this edge type (the relation id used by RGAT).
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&t| t == self).expect("edge type in ALL")
+    }
+
+    /// Human-readable name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            EdgeType::Child => "Child",
+            EdgeType::NextToken => "NextToken",
+            EdgeType::NextSib => "NextSib",
+            EdgeType::Ref => "Ref",
+            EdgeType::ForExec => "ForExec",
+            EdgeType::ForNext => "ForNext",
+            EdgeType::ConTrue => "ConTrue",
+            EdgeType::ConFalse => "ConFalse",
+        }
+    }
+}
+
+/// A vertex of the ParaGraph. Each vertex corresponds to exactly one AST node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphNode {
+    /// Id of the originating AST node.
+    pub ast_node: NodeId,
+    /// Kind of the originating AST node.
+    pub kind: AstKind,
+    /// Short human-readable label (identifier name, literal or operator).
+    pub label: String,
+    /// True when the AST node has no children (a syntax token).
+    pub is_token: bool,
+}
+
+/// A directed, typed, weighted edge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source vertex index.
+    pub src: usize,
+    /// Destination vertex index.
+    pub dst: usize,
+    /// Edge type (`T`).
+    pub ty: EdgeType,
+    /// Edge weight (`W`): non-zero only for [`EdgeType::Child`] edges.
+    pub weight: f64,
+}
+
+/// The ParaGraph representation of one kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ParaGraph {
+    nodes: Vec<GraphNode>,
+    edges: Vec<Edge>,
+}
+
+/// Summary statistics of a graph, useful for dataset inspection and tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Number of edges per edge type (indexed by [`EdgeType::index`]).
+    pub edges_per_type: [usize; EdgeType::COUNT],
+    /// Sum of all `Child`-edge weights.
+    pub total_child_weight: f64,
+    /// Largest single edge weight.
+    pub max_edge_weight: f64,
+    /// Number of syntax-token vertices.
+    pub token_nodes: usize,
+}
+
+impl ParaGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a vertex and return its index.
+    pub fn add_node(&mut self, node: GraphNode) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Add an edge.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range or if the weight is not finite.
+    pub fn add_edge(&mut self, src: usize, dst: usize, ty: EdgeType, weight: f64) {
+        assert!(src < self.nodes.len(), "edge source {src} out of range");
+        assert!(dst < self.nodes.len(), "edge destination {dst} out of range");
+        assert!(weight.is_finite(), "edge weight must be finite");
+        assert!(weight >= 0.0, "edge weight must be non-negative");
+        self.edges.push(Edge { src, dst, ty, weight });
+    }
+
+    /// Number of vertices (`|V|`).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges (`|E|`).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow all vertices.
+    pub fn nodes(&self) -> &[GraphNode] {
+        &self.nodes
+    }
+
+    /// Borrow all edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Borrow one vertex.
+    pub fn node(&self, index: usize) -> &GraphNode {
+        &self.nodes[index]
+    }
+
+    /// Iterator over the edges of one type.
+    pub fn edges_of_type(&self, ty: EdgeType) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.ty == ty)
+    }
+
+    /// Vertex index for a given AST node id, if present.
+    pub fn node_for_ast(&self, ast_node: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|n| n.ast_node == ast_node)
+    }
+
+    /// Out-degree of a vertex (all edge types).
+    pub fn out_degree(&self, index: usize) -> usize {
+        self.edges.iter().filter(|e| e.src == index).count()
+    }
+
+    /// In-degree of a vertex (all edge types).
+    pub fn in_degree(&self, index: usize) -> usize {
+        self.edges.iter().filter(|e| e.dst == index).count()
+    }
+
+    /// Histogram of node kinds.
+    pub fn kind_histogram(&self) -> HashMap<AstKind, usize> {
+        let mut hist = HashMap::new();
+        for n in &self.nodes {
+            *hist.entry(n.kind).or_insert(0) += 1;
+        }
+        hist
+    }
+
+    /// Compute summary statistics.
+    pub fn stats(&self) -> GraphStats {
+        let mut edges_per_type = [0usize; EdgeType::COUNT];
+        let mut total_child_weight = 0.0;
+        let mut max_edge_weight = 0.0f64;
+        for e in &self.edges {
+            edges_per_type[e.ty.index()] += 1;
+            if e.ty == EdgeType::Child {
+                total_child_weight += e.weight;
+            }
+            max_edge_weight = max_edge_weight.max(e.weight);
+        }
+        GraphStats {
+            nodes: self.nodes.len(),
+            edges: self.edges.len(),
+            edges_per_type,
+            total_child_weight,
+            max_edge_weight,
+            token_nodes: self.nodes.iter().filter(|n| n.is_token).count(),
+        }
+    }
+
+    /// Check the structural invariants promised by the paper's definition:
+    ///
+    /// 1. every edge endpoint is a valid vertex,
+    /// 2. only `Child` edges have non-zero weight,
+    /// 3. `Child` edges form a tree over the vertices (each vertex except the
+    ///    root has exactly one incoming `Child` edge),
+    /// 4. all weights are finite and non-negative.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.nodes.len();
+        let mut child_in_degree = vec![0usize; n];
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.src >= n || e.dst >= n {
+                return Err(format!("edge {i} has an out-of-range endpoint"));
+            }
+            if !e.weight.is_finite() || e.weight < 0.0 {
+                return Err(format!("edge {i} has invalid weight {}", e.weight));
+            }
+            match e.ty {
+                EdgeType::Child => child_in_degree[e.dst] += 1,
+                _ => {
+                    if e.weight != 0.0 {
+                        return Err(format!(
+                            "edge {i} of type {} must have weight 0, found {}",
+                            e.ty.name(),
+                            e.weight
+                        ));
+                    }
+                }
+            }
+        }
+        if n > 0 {
+            let roots = child_in_degree.iter().filter(|&&d| d == 0).count();
+            if roots != 1 {
+                return Err(format!("expected exactly one Child-edge root, found {roots}"));
+            }
+            if let Some(idx) = child_in_degree.iter().position(|&d| d > 1) {
+                return Err(format!("vertex {idx} has {} incoming Child edges", child_in_degree[idx]));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_graph() -> ParaGraph {
+        let mut g = ParaGraph::new();
+        let a = g.add_node(GraphNode {
+            ast_node: 0,
+            kind: AstKind::CompoundStmt,
+            label: "CompoundStmt".into(),
+            is_token: false,
+        });
+        let b = g.add_node(GraphNode {
+            ast_node: 1,
+            kind: AstKind::IntegerLiteral,
+            label: "50".into(),
+            is_token: true,
+        });
+        let c = g.add_node(GraphNode {
+            ast_node: 2,
+            kind: AstKind::DeclRefExpr,
+            label: "x".into(),
+            is_token: true,
+        });
+        g.add_edge(a, b, EdgeType::Child, 1.0);
+        g.add_edge(a, c, EdgeType::Child, 1.0);
+        g.add_edge(b, c, EdgeType::NextToken, 0.0);
+        g.add_edge(b, c, EdgeType::NextSib, 0.0);
+        g
+    }
+
+    #[test]
+    fn edge_type_indices_are_stable() {
+        assert_eq!(EdgeType::Child.index(), 0);
+        assert_eq!(EdgeType::ConFalse.index(), 7);
+        assert_eq!(EdgeType::COUNT, 8);
+        for (i, t) in EdgeType::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+    }
+
+    #[test]
+    fn build_and_query_tiny_graph() {
+        let g = tiny_graph();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.edges_of_type(EdgeType::Child).count(), 2);
+        assert_eq!(g.edges_of_type(EdgeType::Ref).count(), 0);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(2), 3);
+        assert_eq!(g.node_for_ast(1), Some(1));
+        assert_eq!(g.node_for_ast(99), None);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn stats_counts_types_and_weights() {
+        let g = tiny_graph();
+        let s = g.stats();
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.edges_per_type[EdgeType::Child.index()], 2);
+        assert_eq!(s.edges_per_type[EdgeType::NextToken.index()], 1);
+        assert_eq!(s.total_child_weight, 2.0);
+        assert_eq!(s.token_nodes, 2);
+    }
+
+    #[test]
+    fn validate_rejects_weighted_non_child_edges() {
+        let mut g = tiny_graph();
+        g.add_edge(1, 2, EdgeType::Ref, 3.0);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_multiple_child_parents() {
+        let mut g = tiny_graph();
+        g.add_edge(1, 2, EdgeType::Child, 1.0);
+        let err = g.validate().unwrap_err();
+        assert!(err.contains("incoming Child edges"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_checks_bounds() {
+        let mut g = tiny_graph();
+        g.add_edge(0, 99, EdgeType::Child, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn add_edge_rejects_negative_weight() {
+        let mut g = tiny_graph();
+        g.add_edge(0, 1, EdgeType::Child, -1.0);
+    }
+
+    #[test]
+    fn kind_histogram() {
+        let g = tiny_graph();
+        let hist = g.kind_histogram();
+        assert_eq!(hist[&AstKind::CompoundStmt], 1);
+        assert_eq!(hist[&AstKind::IntegerLiteral], 1);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let g = tiny_graph();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: ParaGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

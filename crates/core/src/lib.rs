@@ -1,0 +1,125 @@
+//! # paragraph-core
+//!
+//! The paper's primary contribution: **ParaGraph**, a weighted, typed graph
+//! program representation built on top of the Clang-style AST produced by
+//! [`pg_frontend`].
+//!
+//! A ParaGraph is `(V, E, T, W)`: AST nodes, edges, edge types and edge
+//! weights. Beyond the plain parent→child (`Child`) edges of the AST it adds
+//! `NextToken`, `NextSib`, `Ref`, `ForExec`, `ForNext`, `ConTrue` and
+//! `ConFalse` edges, and it weights `Child` edges by how often the target
+//! statement executes (loop trip counts divided across threads under static
+//! scheduling, ½ per `if` branch).
+//!
+//! ```
+//! use paragraph_core::{build_default, EdgeType};
+//! use pg_frontend::parse;
+//!
+//! let ast = parse("void f(float *a) { for (int i = 0; i < 50; i++) { a[i] = 2.0 * a[i]; } }").unwrap();
+//! let graph = build_default(&ast);
+//! assert!(graph.edges_of_type(EdgeType::ForExec).count() == 2);
+//! assert_eq!(graph.stats().max_edge_weight, 50.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod builder;
+pub mod dot;
+pub mod features;
+pub mod graph;
+pub mod weights;
+
+pub use ablation::Representation;
+pub use builder::{build, build_default, BuilderConfig};
+pub use features::{node_features, to_relational, RelationalGraph, RelationEdges, NODE_FEATURE_DIM};
+pub use graph::{Edge, EdgeType, GraphNode, GraphStats, ParaGraph};
+pub use weights::WeightPolicy;
+
+#[cfg(test)]
+mod proptests {
+    //! Property-based tests over arbitrary (small) generated programs:
+    //! whatever the program, the builder must produce a structurally valid
+    //! graph and the representation invariants must hold.
+    use super::*;
+    use pg_frontend::parse;
+    use proptest::prelude::*;
+
+    /// Generate a small random kernel body out of nested loops, ifs and
+    /// assignments. The generated source is always valid for our parser.
+    fn arb_stmt(depth: u32) -> BoxedStrategy<String> {
+        let assign = (0..4u8).prop_map(|v| format!("a[i{v}] = a[i{v}] + 1.0;"));
+        if depth == 0 {
+            assign.boxed()
+        } else {
+            let nested_for = (1u32..64, arb_stmt(depth - 1)).prop_map(move |(n, body)| {
+                let level = depth;
+                format!("for (int i{level} = 0; i{level} < {n}; i{level}++) {{ {body} }}")
+            });
+            let nested_if = (1u32..64, arb_stmt(depth - 1), arb_stmt(depth - 1)).prop_map(
+                move |(n, then_body, else_body)| {
+                    let level = depth;
+                    format!("if (i{level} < {n}) {{ {then_body} }} else {{ {else_body} }}")
+                },
+            );
+            prop_oneof![assign, nested_for, nested_if].boxed()
+        }
+    }
+
+    fn arb_kernel() -> impl Strategy<Value = String> {
+        arb_stmt(3).prop_map(|body| {
+            format!("void k(float *a, int i0, int i1, int i2, int i3) {{ {body} }}")
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn generated_programs_produce_valid_graphs(src in arb_kernel()) {
+            let ast = parse(&src).expect("generated source must parse");
+            for repr in Representation::ALL {
+                let config = BuilderConfig::for_representation(repr).with_launch(2, 8);
+                let graph = build(&ast, &config);
+                prop_assert!(graph.validate().is_ok());
+                prop_assert_eq!(graph.node_count(), ast.preorder().len());
+                // Child edges always form a spanning tree.
+                prop_assert_eq!(
+                    graph.edges_of_type(EdgeType::Child).count(),
+                    graph.node_count() - 1
+                );
+                // Raw AST has no augmentation edges.
+                if repr == Representation::RawAst {
+                    prop_assert_eq!(graph.edge_count(), graph.node_count() - 1);
+                }
+                // Weights only on ParaGraph.
+                if !repr.has_weights() {
+                    prop_assert!(graph.edges_of_type(EdgeType::Child).all(|e| e.weight == 1.0));
+                }
+            }
+        }
+
+        #[test]
+        fn weights_are_monotone_in_trip_count(n in 1u32..512) {
+            let src = format!(
+                "void k(float *a) {{ for (int i = 0; i < {n}; i++) {{ a[i] = 1.0; }} }}"
+            );
+            let ast = parse(&src).unwrap();
+            let graph = build_default(&ast);
+            prop_assert_eq!(graph.stats().max_edge_weight, n as f64);
+        }
+
+        #[test]
+        fn relational_conversion_preserves_edge_counts(n in 1u32..64, m in 1u32..64) {
+            let src = format!(
+                "void k(float *a) {{ for (int i = 0; i < {n}; i++) {{ for (int j = 0; j < {m}; j++) {{ a[i * {m} + j] = 0.0; }} }} }}"
+            );
+            let ast = parse(&src).unwrap();
+            let graph = build_default(&ast);
+            let rel = to_relational(&graph);
+            prop_assert_eq!(rel.edge_count(), graph.edge_count());
+            prop_assert_eq!(rel.features.len(), graph.node_count());
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Edge-weight policy (Section III-A3 of the paper).
+//!
+//! * The default weight of a `Child` edge is 1.
+//! * Statements inside a loop body inherit the loop's trip count as a
+//!   multiplicative factor; when the loop is statically scheduled across
+//!   `t` threads, the factor is divided by `t` (the per-thread share).
+//! * Each branch of an `if` statement is assumed to execute with probability
+//!   ½, so weights inside a branch are halved.
+
+use serde::{Deserialize, Serialize};
+
+/// Configurable weight policy. The defaults reproduce the paper's rules; the
+/// alternatives exist for the ablation benches called out in DESIGN.md.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightPolicy {
+    /// Probability assigned to each branch of an `if` statement (paper: 0.5).
+    pub branch_probability: f64,
+    /// Divide statically scheduled parallel-loop trip counts by the amount of
+    /// parallelism (paper: enabled).
+    pub divide_by_parallelism: bool,
+    /// Trip count assumed for loops whose bounds are unknown statically.
+    pub unknown_trip_count: u64,
+    /// Lower clamp for the per-thread iteration share. Keeping it at 1
+    /// prevents a loop body from receiving a weight below a single execution.
+    pub min_share: f64,
+}
+
+impl Default for WeightPolicy {
+    fn default() -> Self {
+        Self {
+            branch_probability: 0.5,
+            divide_by_parallelism: true,
+            unknown_trip_count: 64,
+            min_share: 1.0,
+        }
+    }
+}
+
+impl WeightPolicy {
+    /// Effective multiplier contributed by one loop level.
+    ///
+    /// `trip` is the loop's trip count (or `None` when unknown) and
+    /// `parallel_divisor` the amount of parallelism still available to divide
+    /// this loop's iterations across (1 for serial loops). Returns the
+    /// per-thread iteration share and the divisor that remains for loops
+    /// nested deeper (relevant for `collapse`).
+    pub fn loop_share(&self, trip: Option<u64>, parallel_divisor: f64) -> (f64, f64) {
+        let trip = trip.unwrap_or(self.unknown_trip_count) as f64;
+        if !self.divide_by_parallelism || parallel_divisor <= 1.0 {
+            return (trip.max(0.0), 1.0);
+        }
+        // Split the divisor: this loop absorbs at most `trip` of it, the rest
+        // is left for the next collapsed level.
+        let absorbed = parallel_divisor.min(trip.max(1.0));
+        let remaining = (parallel_divisor / absorbed).max(1.0);
+        let share = (trip / absorbed).max(self.min_share);
+        (share, remaining)
+    }
+
+    /// Weight multiplier for entering one branch of an `if` statement.
+    pub fn branch_share(&self) -> f64 {
+        self.branch_probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_matches_paper() {
+        let p = WeightPolicy::default();
+        assert_eq!(p.branch_probability, 0.5);
+        assert!(p.divide_by_parallelism);
+        assert_eq!(p.unknown_trip_count, 64);
+    }
+
+    #[test]
+    fn serial_loop_share_is_trip_count() {
+        let p = WeightPolicy::default();
+        let (share, rest) = p.loop_share(Some(100), 1.0);
+        assert_eq!(share, 100.0);
+        assert_eq!(rest, 1.0);
+    }
+
+    #[test]
+    fn paper_example_100_iterations_4_threads() {
+        // "if a loop has 100 iterations, and it is statically scheduled among
+        // four threads, we roughly assume each thread executes 25 iterations"
+        let p = WeightPolicy::default();
+        let (share, rest) = p.loop_share(Some(100), 4.0);
+        assert_eq!(share, 25.0);
+        assert_eq!(rest, 1.0);
+    }
+
+    #[test]
+    fn oversubscribed_loop_clamps_to_one_and_forwards_divisor() {
+        // A GPU with 10240-way parallelism collapsing a 128 x 128 nest:
+        // the outer loop absorbs 128 of the divisor, the inner the rest.
+        let p = WeightPolicy::default();
+        let (outer_share, rest) = p.loop_share(Some(128), 10240.0);
+        assert_eq!(outer_share, 1.0);
+        assert_eq!(rest, 80.0);
+        let (inner_share, rest2) = p.loop_share(Some(128), rest);
+        assert!((inner_share - 1.6).abs() < 1e-9);
+        assert_eq!(rest2, 1.0);
+    }
+
+    #[test]
+    fn unknown_trip_count_uses_default() {
+        let p = WeightPolicy::default();
+        let (share, _) = p.loop_share(None, 1.0);
+        assert_eq!(share, 64.0);
+    }
+
+    #[test]
+    fn division_can_be_disabled_for_ablation() {
+        let p = WeightPolicy {
+            divide_by_parallelism: false,
+            ..WeightPolicy::default()
+        };
+        let (share, rest) = p.loop_share(Some(100), 4.0);
+        assert_eq!(share, 100.0);
+        assert_eq!(rest, 1.0);
+    }
+
+    #[test]
+    fn branch_share_is_configurable() {
+        let p = WeightPolicy {
+            branch_probability: 0.25,
+            ..WeightPolicy::default()
+        };
+        assert_eq!(p.branch_share(), 0.25);
+    }
+}

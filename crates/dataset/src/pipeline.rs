@@ -1,0 +1,317 @@
+//! The data-collection pipeline of Figure 3: variant generation → runtime
+//! measurement (simulated) → labelled data points, per platform.
+
+use crate::datapoint::DataPoint;
+use crate::stats::PlatformStats;
+use pg_advisor::{generate_instances, GeneratorConfig, KernelInstance, ParallelismBudget};
+use pg_kernels::all_kernels;
+use pg_perfsim::{measure, NoiseModel, Platform};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// How large a dataset to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DatasetScale {
+    /// Very small: for unit tests and CI smoke runs.
+    Fast,
+    /// Medium: the default for `cargo bench` on a laptop-class machine.
+    #[default]
+    Default,
+    /// Approaches the paper's ~26 000-point scale (hours of training on a
+    /// laptop; use on a larger machine).
+    Full,
+}
+
+impl DatasetScale {
+    /// Read the scale from the `PARAGRAPH_FAST` / `PARAGRAPH_FULL_DATASET`
+    /// environment variables, falling back to the default.
+    pub fn from_env() -> Self {
+        if std::env::var("PARAGRAPH_FAST").is_ok_and(|v| v != "0") {
+            DatasetScale::Fast
+        } else if std::env::var("PARAGRAPH_FULL_DATASET").is_ok_and(|v| v != "0") {
+            DatasetScale::Full
+        } else {
+            DatasetScale::Default
+        }
+    }
+
+    fn generator_config(self) -> GeneratorConfig {
+        match self {
+            DatasetScale::Fast => GeneratorConfig {
+                size_stride: 4,
+                launch_stride: 3,
+                ..GeneratorConfig::default()
+            },
+            DatasetScale::Default => GeneratorConfig::default(),
+            DatasetScale::Full => GeneratorConfig::default(),
+        }
+    }
+
+    /// Maximum number of points kept per platform (deterministic subsample).
+    fn max_points(self) -> usize {
+        match self {
+            DatasetScale::Fast => 220,
+            DatasetScale::Default => 1100,
+            DatasetScale::Full => usize::MAX,
+        }
+    }
+}
+
+/// Configuration of a dataset-generation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Dataset scale.
+    pub scale: DatasetScale,
+    /// Seed for measurement noise and subsampling.
+    pub seed: u64,
+    /// Noise level (log-normal sigma) of the simulated measurements.
+    pub noise_sigma: f64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            scale: DatasetScale::Default,
+            seed: 42,
+            noise_sigma: 0.04,
+        }
+    }
+}
+
+/// The labelled dataset collected on one platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformDataset {
+    /// Platform the runtimes were collected on.
+    pub platform: Platform,
+    /// All labelled data points.
+    pub points: Vec<DataPoint>,
+}
+
+impl PlatformDataset {
+    /// Number of data points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Runtime labels in milliseconds.
+    pub fn runtimes(&self) -> Vec<f32> {
+        self.points.iter().map(|p| p.runtime_ms as f32).collect()
+    }
+
+    /// Table II statistics for this platform.
+    pub fn stats(&self) -> PlatformStats {
+        PlatformStats::from_dataset(self)
+    }
+
+    /// Deterministic train/validation split with the paper's 9:1 ratio.
+    /// Returns `(train_indices, validation_indices)`.
+    pub fn split(&self, seed: u64) -> (Vec<usize>, Vec<usize>) {
+        self.split_with_ratio(seed, 0.9)
+    }
+
+    /// Deterministic split with an arbitrary train fraction.
+    pub fn split_with_ratio(&self, seed: u64, train_fraction: f64) -> (Vec<usize>, Vec<usize>) {
+        let mut indices: Vec<usize> = (0..self.points.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        indices.shuffle(&mut rng);
+        let train_len = ((self.points.len() as f64) * train_fraction).round() as usize;
+        let train_len = train_len.min(self.points.len());
+        let train = indices[..train_len].to_vec();
+        let val = indices[train_len..].to_vec();
+        (train, val)
+    }
+}
+
+/// The launch-configuration budget matching a platform's hardware.
+pub fn budget_for(platform: Platform) -> ParallelismBudget {
+    match platform {
+        Platform::SummitPower9 => ParallelismBudget::for_cpu_cores(22),
+        Platform::CoronaEpyc7401 => ParallelismBudget::for_cpu_cores(24),
+        Platform::SummitV100 => ParallelismBudget::for_gpu(80),
+        Platform::CoronaMi50 => ParallelismBudget::for_gpu(60),
+    }
+}
+
+/// Generate the kernel instances that run on a given platform: CPU platforms
+/// execute the `cpu*` variants, GPU platforms the `gpu*` variants.
+pub fn instances_for(platform: Platform, scale: DatasetScale) -> Vec<KernelInstance> {
+    let kernels = all_kernels();
+    let budget = budget_for(platform);
+    let config = GeneratorConfig {
+        include_cpu: !platform.is_gpu(),
+        include_gpu: platform.is_gpu(),
+        ..scale.generator_config()
+    };
+    generate_instances(&kernels, &budget, &config)
+}
+
+/// Run the full pipeline for one platform: generate variants, "measure" each
+/// one on the simulator, and return the labelled dataset.
+pub fn collect_platform(platform: Platform, config: &PipelineConfig) -> PlatformDataset {
+    let mut instances = instances_for(platform, config.scale);
+
+    // Deterministic subsample to the configured scale.
+    let max_points = config.scale.max_points();
+    if instances.len() > max_points {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ platform as u64 as u64);
+        instances.shuffle(&mut rng);
+        instances.truncate(max_points);
+    }
+
+    let noise = NoiseModel {
+        sigma: config.noise_sigma,
+        seed: config.seed,
+    };
+
+    let mut points: Vec<DataPoint> = instances
+        .par_iter()
+        .filter_map(|inst| {
+            let measurement = measure(inst, platform, &noise).ok()?;
+            Some(DataPoint {
+                id: 0,
+                application: inst.application.clone(),
+                kernel: inst.kernel.clone(),
+                variant: inst.variant,
+                platform,
+                sizes: inst.sizes.clone(),
+                teams: inst.launch.teams,
+                threads: inst.launch.threads,
+                runtime_ms: measurement.runtime_ms,
+                source: inst.source.clone(),
+            })
+        })
+        .collect();
+
+    // Stable ordering + ids. HashMap iteration order is not deterministic, so
+    // the size component of the key is built from sorted pairs.
+    let sizes_key = |p: &DataPoint| {
+        let mut pairs: Vec<(String, i64)> = p.sizes.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        pairs.sort();
+        pairs
+    };
+    points.sort_by(|a, b| {
+        (a.full_name(), a.variant.name(), a.teams, a.threads, sizes_key(a)).cmp(&(
+            b.full_name(),
+            b.variant.name(),
+            b.teams,
+            b.threads,
+            sizes_key(b),
+        ))
+    });
+    for (i, p) in points.iter_mut().enumerate() {
+        p.id = i;
+    }
+    PlatformDataset { platform, points }
+}
+
+/// Collect the datasets of all four platforms.
+pub fn collect_all(config: &PipelineConfig) -> Vec<PlatformDataset> {
+    Platform::ALL
+        .iter()
+        .map(|&p| collect_platform(p, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_advisor::Variant;
+
+    fn fast_config() -> PipelineConfig {
+        PipelineConfig {
+            scale: DatasetScale::Fast,
+            seed: 7,
+            noise_sigma: 0.03,
+        }
+    }
+
+    #[test]
+    fn cpu_platform_only_gets_cpu_variants() {
+        let ds = collect_platform(Platform::SummitPower9, &fast_config());
+        assert!(!ds.is_empty());
+        assert!(ds.points.iter().all(|p| !p.variant.is_gpu()));
+        assert!(ds.points.iter().all(|p| p.teams == 1));
+    }
+
+    #[test]
+    fn gpu_platform_only_gets_gpu_variants() {
+        let ds = collect_platform(Platform::CoronaMi50, &fast_config());
+        assert!(!ds.is_empty());
+        assert!(ds.points.iter().all(|p| p.variant.is_gpu()));
+        // All four GPU variants appear.
+        for v in [Variant::Gpu, Variant::GpuCollapse, Variant::GpuMem, Variant::GpuCollapseMem] {
+            assert!(
+                ds.points.iter().any(|p| p.variant == v),
+                "variant {} missing from the GPU dataset",
+                v.name()
+            );
+        }
+    }
+
+    #[test]
+    fn runtimes_are_positive_and_varied() {
+        let ds = collect_platform(Platform::SummitV100, &fast_config());
+        assert!(ds.points.iter().all(|p| p.runtime_ms > 0.0));
+        let stats = ds.stats();
+        assert!(stats.max_runtime_ms > 10.0 * stats.min_runtime_ms, "runtime range too narrow");
+    }
+
+    #[test]
+    fn collection_is_deterministic() {
+        let a = collect_platform(Platform::SummitPower9, &fast_config());
+        let b = collect_platform(Platform::SummitPower9, &fast_config());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_is_nine_to_one_and_disjoint() {
+        let ds = collect_platform(Platform::SummitPower9, &fast_config());
+        let (train, val) = ds.split(123);
+        assert_eq!(train.len() + val.len(), ds.len());
+        let expected_train = (ds.len() as f64 * 0.9).round() as usize;
+        assert_eq!(train.len(), expected_train);
+        let mut all: Vec<usize> = train.iter().chain(val.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), ds.len(), "split indices must be disjoint and exhaustive");
+        // Deterministic.
+        let (train2, _) = ds.split(123);
+        assert_eq!(train, train2);
+        // Different seeds differ.
+        let (train3, _) = ds.split(124);
+        assert_ne!(train, train3);
+    }
+
+    #[test]
+    fn every_application_is_represented() {
+        let ds = collect_platform(Platform::SummitV100, &fast_config());
+        let apps: std::collections::HashSet<&str> =
+            ds.points.iter().map(|p| p.application.as_str()).collect();
+        assert!(apps.len() >= 8, "expected most applications, got {apps:?}");
+    }
+
+    #[test]
+    fn gpu_dataset_is_larger_than_cpu_dataset_at_full_stride() {
+        // The paper's Table II shows roughly 2x more GPU points than CPU
+        // points (four GPU variants vs two CPU variants).
+        let cpu = instances_for(Platform::SummitPower9, DatasetScale::Default).len();
+        let gpu = instances_for(Platform::SummitV100, DatasetScale::Default).len();
+        assert!(gpu > cpu, "GPU instance count {gpu} must exceed CPU count {cpu}");
+    }
+
+    #[test]
+    fn scale_from_env_defaults() {
+        // Without the env vars set, the default scale is returned.
+        std::env::remove_var("PARAGRAPH_FAST");
+        std::env::remove_var("PARAGRAPH_FULL_DATASET");
+        assert_eq!(DatasetScale::from_env(), DatasetScale::Default);
+    }
+}

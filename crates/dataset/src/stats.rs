@@ -1,0 +1,101 @@
+//! Dataset statistics (Table II of the paper): number of data points,
+//! runtime range and standard deviation per accelerator.
+
+use crate::pipeline::PlatformDataset;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformStats {
+    /// Accelerator name.
+    pub platform_name: String,
+    /// Cluster the accelerator belongs to.
+    pub cluster: String,
+    /// Number of data points collected.
+    pub data_points: usize,
+    /// Smallest runtime in the dataset (ms).
+    pub min_runtime_ms: f64,
+    /// Largest runtime in the dataset (ms).
+    pub max_runtime_ms: f64,
+    /// Population standard deviation of the runtimes (ms).
+    pub std_dev_ms: f64,
+    /// Mean runtime (ms) — not in the paper's table but useful context.
+    pub mean_runtime_ms: f64,
+}
+
+impl PlatformStats {
+    /// Compute the statistics of a platform dataset.
+    pub fn from_dataset(dataset: &PlatformDataset) -> Self {
+        let runtimes: Vec<f64> = dataset.points.iter().map(|p| p.runtime_ms).collect();
+        let n = runtimes.len().max(1) as f64;
+        let mean = runtimes.iter().sum::<f64>() / n;
+        let variance = runtimes.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n;
+        Self {
+            platform_name: dataset.platform.name().to_string(),
+            cluster: dataset.platform.cluster().to_string(),
+            data_points: dataset.points.len(),
+            min_runtime_ms: runtimes.iter().copied().fold(f64::INFINITY, f64::min),
+            max_runtime_ms: runtimes.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            std_dev_ms: variance.sqrt(),
+            mean_runtime_ms: mean,
+        }
+    }
+
+    /// Runtime range `[min - max]` formatted like the paper's table.
+    pub fn range_string(&self) -> String {
+        format!("[{:.3} - {:.0}]", self.min_runtime_ms, self.max_runtime_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapoint::DataPoint;
+    use pg_advisor::Variant;
+    use pg_perfsim::Platform;
+    use std::collections::HashMap;
+
+    fn dataset_with_runtimes(runtimes: &[f64]) -> PlatformDataset {
+        let points = runtimes
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| DataPoint {
+                id: i,
+                application: "MM".into(),
+                kernel: "matmul".into(),
+                variant: Variant::Cpu,
+                platform: Platform::SummitPower9,
+                sizes: HashMap::new(),
+                teams: 1,
+                threads: 4,
+                runtime_ms: r,
+                source: String::new(),
+            })
+            .collect();
+        PlatformDataset {
+            platform: Platform::SummitPower9,
+            points,
+        }
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let ds = dataset_with_runtimes(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        let stats = ds.stats();
+        assert_eq!(stats.data_points, 8);
+        assert_eq!(stats.min_runtime_ms, 2.0);
+        assert_eq!(stats.max_runtime_ms, 9.0);
+        assert!((stats.mean_runtime_ms - 5.0).abs() < 1e-12);
+        assert!((stats.std_dev_ms - 2.0).abs() < 1e-12);
+        assert_eq!(stats.cluster, "Summit");
+        assert!(stats.range_string().starts_with("[2.000"));
+    }
+
+    #[test]
+    fn single_point_has_zero_std_dev() {
+        let ds = dataset_with_runtimes(&[10.0]);
+        let stats = ds.stats();
+        assert_eq!(stats.std_dev_ms, 0.0);
+        assert_eq!(stats.min_runtime_ms, stats.max_runtime_ms);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type shared by the lexer and parser.
+
+use crate::token::SourceLocation;
+use std::fmt;
+
+/// Error produced while lexing or parsing a kernel source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontendError {
+    /// Which phase produced the error.
+    pub phase: Phase,
+    /// Source location at which the error was detected.
+    pub location: SourceLocation,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Compilation phase that raised the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenisation.
+    Lex,
+    /// Syntactic analysis.
+    Parse,
+    /// Semantic analysis (symbol resolution, OpenMP clause validation, ...).
+    Sema,
+}
+
+impl FrontendError {
+    /// Create a lexer error.
+    pub fn lex(location: SourceLocation, message: impl Into<String>) -> Self {
+        Self {
+            phase: Phase::Lex,
+            location,
+            message: message.into(),
+        }
+    }
+
+    /// Create a parser error.
+    pub fn parse(location: SourceLocation, message: impl Into<String>) -> Self {
+        Self {
+            phase: Phase::Parse,
+            location,
+            message: message.into(),
+        }
+    }
+
+    /// Create a semantic-analysis error.
+    pub fn sema(location: SourceLocation, message: impl Into<String>) -> Self {
+        Self {
+            phase: Phase::Sema,
+            location,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Sema => "sema",
+        };
+        write!(f, "{} error at {}: {}", phase, self.location, self.message)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_location() {
+        let err = FrontendError::parse(SourceLocation { line: 2, column: 5 }, "expected ';'");
+        assert_eq!(err.to_string(), "parse error at 2:5: expected ';'");
+        let err = FrontendError::lex(SourceLocation { line: 1, column: 1 }, "bad char");
+        assert!(err.to_string().starts_with("lex error"));
+        let err = FrontendError::sema(SourceLocation { line: 9, column: 9 }, "unknown variable");
+        assert!(err.to_string().starts_with("sema error"));
+    }
+}

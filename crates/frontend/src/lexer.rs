@@ -1,0 +1,548 @@
+//! Hand-written lexer for the C subset used by the ParaGraph benchmark
+//! kernels, including `#pragma omp` lines and simple object-like `#define`
+//! macros (used to inject problem sizes into kernel templates).
+
+use crate::error::FrontendError;
+use crate::token::{Keyword, Punct, SourceLocation, Token, TokenKind};
+use std::collections::HashMap;
+
+/// Lexer state over a source string.
+pub struct Lexer<'src> {
+    src: &'src [u8],
+    pos: usize,
+    line: u32,
+    column: u32,
+    /// Object-like macros collected from `#define NAME value` lines.
+    macros: HashMap<String, String>,
+}
+
+impl<'src> Lexer<'src> {
+    /// Create a lexer over the given source text.
+    pub fn new(source: &'src str) -> Self {
+        Self {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            macros: HashMap::new(),
+        }
+    }
+
+    /// Tokenise the whole input. The returned vector always ends with an
+    /// [`TokenKind::Eof`] token.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, FrontendError> {
+        let mut tokens = Vec::new();
+        loop {
+            let token = self.next_token()?;
+            let eof = token.is_eof();
+            // Apply object-like macro substitution on identifiers.
+            let token = self.substitute_macro(token)?;
+            match token {
+                Some(ts) => tokens.extend(ts),
+                None => {}
+            }
+            if eof {
+                break;
+            }
+        }
+        Ok(tokens)
+    }
+
+    /// Macros defined so far (name -> replacement text).
+    pub fn macros(&self) -> &HashMap<String, String> {
+        &self.macros
+    }
+
+    fn substitute_macro(&self, token: Token) -> Result<Option<Vec<Token>>, FrontendError> {
+        if let TokenKind::Identifier(name) = &token.kind {
+            if let Some(replacement) = self.macros.get(name) {
+                // Re-lex the replacement text (macros do not nest in our subset).
+                let sub = Lexer::new(replacement);
+                let mut toks = sub.tokenize()?;
+                // Drop the EOF of the nested lex and fix locations.
+                toks.retain(|t| !t.is_eof());
+                for t in &mut toks {
+                    t.location = token.location;
+                }
+                return Ok(Some(toks));
+            }
+        }
+        Ok(Some(vec![token]))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_ahead(&self, offset: usize) -> Option<u8> {
+        self.src.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn location(&self) -> SourceLocation {
+        SourceLocation {
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn skip_whitespace_and_comments(&mut self) -> Result<(), FrontendError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek_ahead(1) == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek_ahead(1) == Some(b'*') => {
+                    let start = self.location();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek_ahead(1) == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(FrontendError::lex(start, "unterminated block comment"));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            if c == b'\n' {
+                break;
+            }
+            // Line continuation inside pragmas/defines.
+            if c == b'\\' && self.peek_ahead(1) == Some(b'\n') {
+                self.bump();
+                self.bump();
+                out.push(' ');
+                continue;
+            }
+            out.push(self.bump().unwrap() as char);
+        }
+        out
+    }
+
+    fn next_token(&mut self) -> Result<Token, FrontendError> {
+        self.skip_whitespace_and_comments()?;
+        let loc = self.location();
+        let Some(c) = self.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, location: loc });
+        };
+
+        // Preprocessor lines.
+        if c == b'#' {
+            self.bump();
+            let line = self.read_line();
+            let trimmed = line.trim();
+            if let Some(rest) = trimmed.strip_prefix("pragma") {
+                let rest = rest.trim();
+                if let Some(omp) = rest.strip_prefix("omp") {
+                    return Ok(Token {
+                        kind: TokenKind::OmpPragma(omp.trim().to_string()),
+                        location: loc,
+                    });
+                }
+                // Non-OpenMP pragmas are ignored.
+                return self.next_token();
+            }
+            if let Some(rest) = trimmed.strip_prefix("define") {
+                let rest = rest.trim();
+                let mut parts = rest.splitn(2, char::is_whitespace);
+                if let Some(name) = parts.next() {
+                    // Function-like macros are not supported; store only
+                    // object-like ones (a bare name followed by a value).
+                    if !name.contains('(') {
+                        let value = parts.next().unwrap_or("").trim().to_string();
+                        if !name.is_empty() && !value.is_empty() {
+                            self.macros.insert(name.to_string(), value);
+                        }
+                    }
+                }
+                return self.next_token();
+            }
+            // #include and other directives are ignored.
+            return self.next_token();
+        }
+
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let mut ident = String::new();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    ident.push(self.bump().unwrap() as char);
+                } else {
+                    break;
+                }
+            }
+            let kind = match Keyword::from_str(&ident) {
+                Some(kw) => TokenKind::Keyword(kw),
+                None => TokenKind::Identifier(ident),
+            };
+            return Ok(Token { kind, location: loc });
+        }
+
+        // Numeric literals.
+        if c.is_ascii_digit() || (c == b'.' && self.peek_ahead(1).is_some_and(|d| d.is_ascii_digit())) {
+            return self.lex_number(loc);
+        }
+
+        // String literals.
+        if c == b'"' {
+            self.bump();
+            let mut s = String::new();
+            loop {
+                match self.bump() {
+                    Some(b'"') => break,
+                    Some(b'\\') => {
+                        if let Some(next) = self.bump() {
+                            s.push('\\');
+                            s.push(next as char);
+                        }
+                    }
+                    Some(other) => s.push(other as char),
+                    None => return Err(FrontendError::lex(loc, "unterminated string literal")),
+                }
+            }
+            return Ok(Token {
+                kind: TokenKind::StringLiteral(s),
+                location: loc,
+            });
+        }
+
+        // Character literals.
+        if c == b'\'' {
+            self.bump();
+            let ch = match self.bump() {
+                Some(b'\\') => {
+                    let esc = self
+                        .bump()
+                        .ok_or_else(|| FrontendError::lex(loc, "unterminated char literal"))?;
+                    match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'0' => '\0',
+                        b'\\' => '\\',
+                        b'\'' => '\'',
+                        other => other as char,
+                    }
+                }
+                Some(other) => other as char,
+                None => return Err(FrontendError::lex(loc, "unterminated char literal")),
+            };
+            if self.bump() != Some(b'\'') {
+                return Err(FrontendError::lex(loc, "unterminated char literal"));
+            }
+            return Ok(Token {
+                kind: TokenKind::CharLiteral(ch),
+                location: loc,
+            });
+        }
+
+        // Punctuation and operators (longest match first).
+        let two = |a: u8, b: u8| -> bool { c == a && self.peek_ahead(1) == Some(b) };
+        let punct = if two(b'-', b'>') {
+            Some((Punct::Arrow, 2))
+        } else if two(b'+', b'+') {
+            Some((Punct::PlusPlus, 2))
+        } else if two(b'-', b'-') {
+            Some((Punct::MinusMinus, 2))
+        } else if two(b'+', b'=') {
+            Some((Punct::PlusAssign, 2))
+        } else if two(b'-', b'=') {
+            Some((Punct::MinusAssign, 2))
+        } else if two(b'*', b'=') {
+            Some((Punct::StarAssign, 2))
+        } else if two(b'/', b'=') {
+            Some((Punct::SlashAssign, 2))
+        } else if two(b'%', b'=') {
+            Some((Punct::PercentAssign, 2))
+        } else if two(b'=', b'=') {
+            Some((Punct::Eq, 2))
+        } else if two(b'!', b'=') {
+            Some((Punct::Ne, 2))
+        } else if two(b'<', b'=') {
+            Some((Punct::Le, 2))
+        } else if two(b'>', b'=') {
+            Some((Punct::Ge, 2))
+        } else if two(b'<', b'<') {
+            Some((Punct::Shl, 2))
+        } else if two(b'>', b'>') {
+            Some((Punct::Shr, 2))
+        } else if two(b'&', b'&') {
+            Some((Punct::AndAnd, 2))
+        } else if two(b'|', b'|') {
+            Some((Punct::OrOr, 2))
+        } else {
+            let single = match c {
+                b'(' => Some(Punct::LParen),
+                b')' => Some(Punct::RParen),
+                b'{' => Some(Punct::LBrace),
+                b'}' => Some(Punct::RBrace),
+                b'[' => Some(Punct::LBracket),
+                b']' => Some(Punct::RBracket),
+                b';' => Some(Punct::Semicolon),
+                b',' => Some(Punct::Comma),
+                b'.' => Some(Punct::Dot),
+                b'+' => Some(Punct::Plus),
+                b'-' => Some(Punct::Minus),
+                b'*' => Some(Punct::Star),
+                b'/' => Some(Punct::Slash),
+                b'%' => Some(Punct::Percent),
+                b'=' => Some(Punct::Assign),
+                b'<' => Some(Punct::Lt),
+                b'>' => Some(Punct::Gt),
+                b'!' => Some(Punct::Not),
+                b'&' => Some(Punct::Amp),
+                b'|' => Some(Punct::Pipe),
+                b'^' => Some(Punct::Caret),
+                b'~' => Some(Punct::Tilde),
+                b'?' => Some(Punct::Question),
+                b':' => Some(Punct::Colon),
+                _ => None,
+            };
+            single.map(|p| (p, 1))
+        };
+
+        match punct {
+            Some((p, len)) => {
+                for _ in 0..len {
+                    self.bump();
+                }
+                Ok(Token {
+                    kind: TokenKind::Punct(p),
+                    location: loc,
+                })
+            }
+            None => Err(FrontendError::lex(
+                loc,
+                format!("unexpected character '{}'", c as char),
+            )),
+        }
+    }
+
+    fn lex_number(&mut self, loc: SourceLocation) -> Result<Token, FrontendError> {
+        let mut text = String::new();
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => text.push(self.bump().unwrap() as char),
+                b'.' => {
+                    is_float = true;
+                    text.push(self.bump().unwrap() as char);
+                }
+                b'e' | b'E' => {
+                    is_float = true;
+                    text.push(self.bump().unwrap() as char);
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        text.push(self.bump().unwrap() as char);
+                    }
+                }
+                // Suffixes are consumed but ignored.
+                b'f' | b'F' => {
+                    is_float = true;
+                    self.bump();
+                }
+                b'l' | b'L' | b'u' | b'U' => {
+                    self.bump();
+                }
+                b'x' | b'X' if text == "0" => {
+                    // Hexadecimal integer.
+                    self.bump();
+                    let mut hex = String::new();
+                    while let Some(h) = self.peek() {
+                        if h.is_ascii_hexdigit() {
+                            hex.push(self.bump().unwrap() as char);
+                        } else {
+                            break;
+                        }
+                    }
+                    let value = i64::from_str_radix(&hex, 16)
+                        .map_err(|_| FrontendError::lex(loc, "invalid hexadecimal literal"))?;
+                    return Ok(Token {
+                        kind: TokenKind::IntLiteral(value),
+                        location: loc,
+                    });
+                }
+                _ => break,
+            }
+        }
+        let kind = if is_float {
+            let value: f64 = text
+                .parse()
+                .map_err(|_| FrontendError::lex(loc, format!("invalid float literal '{text}'")))?;
+            TokenKind::FloatLiteral(value)
+        } else {
+            let value: i64 = text
+                .parse()
+                .map_err(|_| FrontendError::lex(loc, format!("invalid integer literal '{text}'")))?;
+            TokenKind::IntLiteral(value)
+        };
+        Ok(Token { kind, location: loc })
+    }
+}
+
+/// Convenience function: lex a full source string.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, FrontendError> {
+    Lexer::new(source).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_declaration() {
+        let toks = kinds("int x = 50;");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Identifier("x".into()),
+                TokenKind::Punct(Punct::Assign),
+                TokenKind::IntLiteral(50),
+                TokenKind::Punct(Punct::Semicolon),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_float_literals_and_suffixes() {
+        let toks = kinds("double d = 1.5e-3; float f = 2.0f; long n = 10L;");
+        assert!(toks.contains(&TokenKind::FloatLiteral(1.5e-3)));
+        assert!(toks.contains(&TokenKind::FloatLiteral(2.0)));
+        assert!(toks.contains(&TokenKind::IntLiteral(10)));
+    }
+
+    #[test]
+    fn lexes_hex_literals() {
+        let toks = kinds("int mask = 0xFF;");
+        assert!(toks.contains(&TokenKind::IntLiteral(255)));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = kinds("// a comment\nint x; /* multi\nline */ int y;");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::Identifier(n) => Some(n.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        assert!(tokenize("int x; /* oops").is_err());
+    }
+
+    #[test]
+    fn multi_character_operators() {
+        let toks = kinds("a <= b && c != d; i++; j += 2; x >> 1;");
+        assert!(toks.contains(&TokenKind::Punct(Punct::Le)));
+        assert!(toks.contains(&TokenKind::Punct(Punct::AndAnd)));
+        assert!(toks.contains(&TokenKind::Punct(Punct::Ne)));
+        assert!(toks.contains(&TokenKind::Punct(Punct::PlusPlus)));
+        assert!(toks.contains(&TokenKind::Punct(Punct::PlusAssign)));
+        assert!(toks.contains(&TokenKind::Punct(Punct::Shr)));
+    }
+
+    #[test]
+    fn omp_pragma_becomes_a_single_token() {
+        let toks = kinds("#pragma omp parallel for collapse(2)\nfor(;;){}");
+        assert_eq!(
+            toks[0],
+            TokenKind::OmpPragma("parallel for collapse(2)".into())
+        );
+    }
+
+    #[test]
+    fn pragma_line_continuation_is_joined() {
+        let toks = kinds("#pragma omp target teams distribute \\\n parallel for\nint x;");
+        match &toks[0] {
+            TokenKind::OmpPragma(text) => {
+                assert!(text.contains("target teams distribute"));
+                assert!(text.contains("parallel for"));
+            }
+            other => panic!("expected pragma, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn include_lines_are_ignored() {
+        let toks = kinds("#include <stdio.h>\nint x;");
+        assert_eq!(toks[0], TokenKind::Keyword(Keyword::Int));
+    }
+
+    #[test]
+    fn object_like_defines_are_substituted() {
+        let toks = kinds("#define N 1024\nint a[N];");
+        assert!(toks.contains(&TokenKind::IntLiteral(1024)));
+        // The macro name itself must not survive as an identifier.
+        assert!(!toks.contains(&TokenKind::Identifier("N".into())));
+    }
+
+    #[test]
+    fn string_and_char_literals() {
+        let toks = kinds("char c = 'a'; char n = '\\n';");
+        assert!(toks.contains(&TokenKind::CharLiteral('a')));
+        assert!(toks.contains(&TokenKind::CharLiteral('\n')));
+        let toks = kinds(r#"const char *s = "hello world";"#);
+        assert!(toks.contains(&TokenKind::StringLiteral("hello world".into())));
+    }
+
+    #[test]
+    fn unknown_character_is_an_error() {
+        assert!(tokenize("int x = `;").is_err());
+    }
+
+    #[test]
+    fn locations_track_lines_and_columns() {
+        let toks = tokenize("int x;\n  float y;").unwrap();
+        // `float` starts on line 2, column 3.
+        let float_tok = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Keyword(Keyword::Float))
+            .unwrap();
+        assert_eq!(float_tok.location.line, 2);
+        assert_eq!(float_tok.location.column, 3);
+    }
+}

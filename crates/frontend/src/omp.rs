@@ -1,0 +1,475 @@
+//! OpenMP directive and clause model, plus the pragma-text parser.
+//!
+//! The six kernel variants the paper generates differ only in the OpenMP
+//! directive applied to the main loop nest:
+//!
+//! * `cpu`               — `omp parallel for`
+//! * `cpu_collapse`      — `omp parallel for collapse(2)`
+//! * `gpu`               — `omp target teams distribute parallel for`
+//! * `gpu_collapse`      — `omp target teams distribute parallel for collapse(2)`
+//! * `gpu_mem`           — `gpu` plus explicit `map` clauses for the data transfer
+//! * `gpu_collapse_mem`  — `gpu_collapse` plus `map` clauses
+//!
+//! This module understands exactly that directive/clause vocabulary.
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of an OpenMP executable directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OmpDirectiveKind {
+    /// `#pragma omp parallel for`
+    ParallelFor,
+    /// `#pragma omp target teams distribute parallel for`
+    TargetTeamsDistributeParallelFor,
+    /// `#pragma omp target data`
+    TargetData,
+    /// `#pragma omp simd` (accepted, not used by the six variants)
+    Simd,
+    /// Any other directive, preserved verbatim.
+    Other,
+}
+
+impl OmpDirectiveKind {
+    /// Clang-style AST node name for this directive.
+    pub fn clang_node_name(self) -> &'static str {
+        match self {
+            OmpDirectiveKind::ParallelFor => "OMPParallelForDirective",
+            OmpDirectiveKind::TargetTeamsDistributeParallelFor => {
+                "OMPTargetTeamsDistributeParallelForDirective"
+            }
+            OmpDirectiveKind::TargetData => "OMPTargetDataDirective",
+            OmpDirectiveKind::Simd => "OMPSimdDirective",
+            OmpDirectiveKind::Other => "OMPUnknownDirective",
+        }
+    }
+
+    /// True when the directive offloads to a target device.
+    pub fn is_target(self) -> bool {
+        matches!(
+            self,
+            OmpDirectiveKind::TargetTeamsDistributeParallelFor | OmpDirectiveKind::TargetData
+        )
+    }
+}
+
+/// Direction of a `map` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MapDirection {
+    /// `map(to: ...)`
+    To,
+    /// `map(from: ...)`
+    From,
+    /// `map(tofrom: ...)`
+    ToFrom,
+    /// `map(alloc: ...)`
+    Alloc,
+}
+
+impl MapDirection {
+    /// Source spelling of the direction.
+    pub fn spelling(self) -> &'static str {
+        match self {
+            MapDirection::To => "to",
+            MapDirection::From => "from",
+            MapDirection::ToFrom => "tofrom",
+            MapDirection::Alloc => "alloc",
+        }
+    }
+}
+
+/// Schedule kinds for `schedule(...)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// `schedule(static[, chunk])`
+    Static,
+    /// `schedule(dynamic[, chunk])`
+    Dynamic,
+    /// `schedule(guided[, chunk])`
+    Guided,
+    /// `schedule(auto)`
+    Auto,
+}
+
+/// One OpenMP clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OmpClause {
+    /// `collapse(n)`
+    Collapse(u32),
+    /// `num_threads(n)`
+    NumThreads(u64),
+    /// `num_teams(n)`
+    NumTeams(u64),
+    /// `thread_limit(n)`
+    ThreadLimit(u64),
+    /// `schedule(kind[, chunk])`
+    Schedule(ScheduleKind, Option<u64>),
+    /// `map(direction: item, item, ...)` — items keep their source spelling
+    /// (e.g. `a[0:n]`).
+    Map(MapDirection, Vec<String>),
+    /// `reduction(op: var, ...)`
+    Reduction(String, Vec<String>),
+    /// `private(var, ...)`
+    Private(Vec<String>),
+    /// `firstprivate(var, ...)`
+    FirstPrivate(Vec<String>),
+    /// `shared(var, ...)`
+    Shared(Vec<String>),
+    /// Any clause we do not model, preserved verbatim.
+    Other(String),
+}
+
+/// A parsed OpenMP directive: its kind plus its clause list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OmpDirective {
+    /// Which directive this is.
+    pub kind: OmpDirectiveKind,
+    /// Clauses in source order.
+    pub clauses: Vec<OmpClause>,
+    /// The raw pragma text (after `#pragma omp`), useful for re-emission.
+    pub raw: String,
+}
+
+impl OmpDirective {
+    /// Collapse depth requested by a `collapse(n)` clause (1 when absent).
+    pub fn collapse_depth(&self) -> u32 {
+        self.clauses
+            .iter()
+            .find_map(|c| match c {
+                OmpClause::Collapse(n) => Some(*n),
+                _ => None,
+            })
+            .unwrap_or(1)
+    }
+
+    /// Value of `num_threads(n)` if present.
+    pub fn num_threads(&self) -> Option<u64> {
+        self.clauses.iter().find_map(|c| match c {
+            OmpClause::NumThreads(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// Value of `num_teams(n)` if present.
+    pub fn num_teams(&self) -> Option<u64> {
+        self.clauses.iter().find_map(|c| match c {
+            OmpClause::NumTeams(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// Value of `thread_limit(n)` if present.
+    pub fn thread_limit(&self) -> Option<u64> {
+        self.clauses.iter().find_map(|c| match c {
+            OmpClause::ThreadLimit(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// All mapped items with their direction.
+    pub fn map_items(&self) -> Vec<(MapDirection, &str)> {
+        let mut out = Vec::new();
+        for clause in &self.clauses {
+            if let OmpClause::Map(dir, items) = clause {
+                for item in items {
+                    out.push((*dir, item.as_str()));
+                }
+            }
+        }
+        out
+    }
+
+    /// True when the directive carries any `map` clause (the paper's `_mem`
+    /// variants).
+    pub fn has_data_transfer(&self) -> bool {
+        self.clauses.iter().any(|c| matches!(c, OmpClause::Map(..)))
+    }
+
+    /// Schedule kind, defaulting to static as the paper assumes.
+    pub fn schedule(&self) -> ScheduleKind {
+        self.clauses
+            .iter()
+            .find_map(|c| match c {
+                OmpClause::Schedule(kind, _) => Some(*kind),
+                _ => None,
+            })
+            .unwrap_or(ScheduleKind::Static)
+    }
+}
+
+/// Parse the text that follows `#pragma omp`.
+pub fn parse_pragma(text: &str) -> OmpDirective {
+    let raw = text.trim().to_string();
+    let lowered = raw.to_lowercase();
+
+    let kind = if lowered.starts_with("target teams distribute parallel for") {
+        OmpDirectiveKind::TargetTeamsDistributeParallelFor
+    } else if lowered.starts_with("parallel for") {
+        OmpDirectiveKind::ParallelFor
+    } else if lowered.starts_with("target data") {
+        OmpDirectiveKind::TargetData
+    } else if lowered.starts_with("simd") {
+        OmpDirectiveKind::Simd
+    } else {
+        OmpDirectiveKind::Other
+    };
+
+    // Strip the directive words, leaving only the clause text.
+    let directive_len = match kind {
+        OmpDirectiveKind::TargetTeamsDistributeParallelFor => {
+            "target teams distribute parallel for".len()
+        }
+        OmpDirectiveKind::ParallelFor => "parallel for".len(),
+        OmpDirectiveKind::TargetData => "target data".len(),
+        OmpDirectiveKind::Simd => "simd".len(),
+        OmpDirectiveKind::Other => 0,
+    };
+    let clause_text = raw.get(directive_len..).unwrap_or("").trim();
+    let clauses = parse_clauses(clause_text);
+    OmpDirective { kind, clauses, raw }
+}
+
+/// Split clause text like `collapse(2) map(to: a[0:n], b[0:n]) num_threads(8)`
+/// into individual clauses, respecting parenthesis nesting.
+fn split_clauses(text: &str) -> Vec<String> {
+    let mut clauses = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for ch in text.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                current.push(ch);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                current.push(ch);
+                if depth == 0 {
+                    clauses.push(current.trim().to_string());
+                    current.clear();
+                }
+            }
+            c if c.is_whitespace() && depth == 0 => {
+                if !current.trim().is_empty() {
+                    // A clause without arguments (e.g. `nowait`).
+                    clauses.push(current.trim().to_string());
+                    current.clear();
+                }
+            }
+            _ => current.push(ch),
+        }
+    }
+    if !current.trim().is_empty() {
+        clauses.push(current.trim().to_string());
+    }
+    clauses
+}
+
+fn parse_clauses(text: &str) -> Vec<OmpClause> {
+    split_clauses(text)
+        .into_iter()
+        .map(|c| parse_clause(&c))
+        .collect()
+}
+
+fn clause_args(clause: &str) -> Option<&str> {
+    let open = clause.find('(')?;
+    let close = clause.rfind(')')?;
+    clause.get(open + 1..close)
+}
+
+fn parse_clause(clause: &str) -> OmpClause {
+    let name = clause
+        .split('(')
+        .next()
+        .unwrap_or("")
+        .trim()
+        .to_lowercase();
+    let args = clause_args(clause).unwrap_or("").trim();
+    match name.as_str() {
+        "collapse" => args
+            .parse::<u32>()
+            .map(OmpClause::Collapse)
+            .unwrap_or_else(|_| OmpClause::Other(clause.to_string())),
+        "num_threads" => args
+            .parse::<u64>()
+            .map(OmpClause::NumThreads)
+            .unwrap_or_else(|_| OmpClause::Other(clause.to_string())),
+        "num_teams" => args
+            .parse::<u64>()
+            .map(OmpClause::NumTeams)
+            .unwrap_or_else(|_| OmpClause::Other(clause.to_string())),
+        "thread_limit" => args
+            .parse::<u64>()
+            .map(OmpClause::ThreadLimit)
+            .unwrap_or_else(|_| OmpClause::Other(clause.to_string())),
+        "schedule" => {
+            let mut parts = args.split(',').map(|p| p.trim());
+            let kind = match parts.next().unwrap_or("").to_lowercase().as_str() {
+                "static" => ScheduleKind::Static,
+                "dynamic" => ScheduleKind::Dynamic,
+                "guided" => ScheduleKind::Guided,
+                "auto" => ScheduleKind::Auto,
+                _ => return OmpClause::Other(clause.to_string()),
+            };
+            let chunk = parts.next().and_then(|c| c.parse::<u64>().ok());
+            OmpClause::Schedule(kind, chunk)
+        }
+        "map" => {
+            let (dir, items_text) = match args.split_once(':') {
+                Some((d, rest)) => (d.trim().to_lowercase(), rest),
+                None => ("tofrom".to_string(), args),
+            };
+            let direction = match dir.as_str() {
+                "to" => MapDirection::To,
+                "from" => MapDirection::From,
+                "tofrom" => MapDirection::ToFrom,
+                "alloc" => MapDirection::Alloc,
+                _ => MapDirection::ToFrom,
+            };
+            let items = split_top_level_commas(items_text);
+            OmpClause::Map(direction, items)
+        }
+        "reduction" => {
+            let (op, vars_text) = match args.split_once(':') {
+                Some((o, rest)) => (o.trim().to_string(), rest),
+                None => (String::from("+"), args),
+            };
+            OmpClause::Reduction(op, split_top_level_commas(vars_text))
+        }
+        "private" => OmpClause::Private(split_top_level_commas(args)),
+        "firstprivate" => OmpClause::FirstPrivate(split_top_level_commas(args)),
+        "shared" => OmpClause::Shared(split_top_level_commas(args)),
+        _ => OmpClause::Other(clause.to_string()),
+    }
+}
+
+/// Split `a[0:n], b[0:n*m], c` at commas that are not inside brackets.
+fn split_top_level_commas(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for ch in text.chars() {
+        match ch {
+            '[' | '(' => {
+                depth += 1;
+                current.push(ch);
+            }
+            ']' | ')' => {
+                depth -= 1;
+                current.push(ch);
+            }
+            ',' if depth == 0 => {
+                if !current.trim().is_empty() {
+                    out.push(current.trim().to_string());
+                }
+                current.clear();
+            }
+            _ => current.push(ch),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current.trim().to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_cpu_parallel_for() {
+        let d = parse_pragma("parallel for");
+        assert_eq!(d.kind, OmpDirectiveKind::ParallelFor);
+        assert!(d.clauses.is_empty());
+        assert_eq!(d.collapse_depth(), 1);
+        assert!(!d.is_target_directive());
+    }
+
+    #[test]
+    fn parses_collapse_clause() {
+        let d = parse_pragma("parallel for collapse(2)");
+        assert_eq!(d.collapse_depth(), 2);
+    }
+
+    #[test]
+    fn parses_gpu_combined_directive() {
+        let d = parse_pragma("target teams distribute parallel for collapse(2) num_teams(120) thread_limit(128)");
+        assert_eq!(d.kind, OmpDirectiveKind::TargetTeamsDistributeParallelFor);
+        assert!(d.kind.is_target());
+        assert_eq!(d.collapse_depth(), 2);
+        assert_eq!(d.num_teams(), Some(120));
+        assert_eq!(d.thread_limit(), Some(128));
+    }
+
+    #[test]
+    fn parses_map_clauses_with_array_sections() {
+        let d = parse_pragma(
+            "target teams distribute parallel for map(to: a[0:n*m], b[0:m]) map(from: c[0:n])",
+        );
+        assert!(d.has_data_transfer());
+        let items = d.map_items();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0], (MapDirection::To, "a[0:n*m]"));
+        assert_eq!(items[2], (MapDirection::From, "c[0:n]"));
+    }
+
+    #[test]
+    fn parses_schedule_and_reduction_and_private() {
+        let d = parse_pragma("parallel for schedule(static, 16) reduction(+: sum) private(i, j)");
+        assert_eq!(d.schedule(), ScheduleKind::Static);
+        assert!(d
+            .clauses
+            .iter()
+            .any(|c| matches!(c, OmpClause::Schedule(ScheduleKind::Static, Some(16)))));
+        assert!(d
+            .clauses
+            .iter()
+            .any(|c| matches!(c, OmpClause::Reduction(op, vars) if op == "+" && vars == &vec!["sum".to_string()])));
+        assert!(d
+            .clauses
+            .iter()
+            .any(|c| matches!(c, OmpClause::Private(vars) if vars.len() == 2)));
+    }
+
+    #[test]
+    fn default_schedule_is_static() {
+        let d = parse_pragma("parallel for num_threads(8)");
+        assert_eq!(d.schedule(), ScheduleKind::Static);
+        assert_eq!(d.num_threads(), Some(8));
+    }
+
+    #[test]
+    fn unknown_directive_is_preserved() {
+        let d = parse_pragma("barrier");
+        assert_eq!(d.kind, OmpDirectiveKind::Other);
+        assert_eq!(d.raw, "barrier");
+    }
+
+    #[test]
+    fn unknown_clause_is_preserved_verbatim() {
+        let d = parse_pragma("parallel for nowait");
+        assert!(d
+            .clauses
+            .iter()
+            .any(|c| matches!(c, OmpClause::Other(text) if text == "nowait")));
+    }
+
+    #[test]
+    fn clang_node_names() {
+        assert_eq!(
+            OmpDirectiveKind::TargetTeamsDistributeParallelFor.clang_node_name(),
+            "OMPTargetTeamsDistributeParallelForDirective"
+        );
+        assert_eq!(
+            OmpDirectiveKind::ParallelFor.clang_node_name(),
+            "OMPParallelForDirective"
+        );
+    }
+
+    impl OmpDirective {
+        fn is_target_directive(&self) -> bool {
+            self.kind.is_target()
+        }
+    }
+}

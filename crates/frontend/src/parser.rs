@@ -1,0 +1,1019 @@
+//! Recursive-descent parser for the C subset used by the benchmark kernels.
+//!
+//! The parser produces the Clang-style [`Ast`] defined in [`crate::ast`]. It
+//! supports exactly the constructs that appear in the nine benchmark
+//! applications of the paper (Table I): function definitions, scalar and
+//! array declarations, `for`/`while`/`if`/`return` statements, the usual
+//! C expression grammar, and OpenMP pragmas attached to the statement that
+//! follows them.
+
+use crate::ast::{Ast, AstKind, NodeData, NodeId};
+use crate::error::FrontendError;
+use crate::lexer::tokenize;
+use crate::omp::{self, OmpDirectiveKind};
+use crate::token::{Keyword, Punct, SourceLocation, Token, TokenKind};
+
+/// Parse a full translation unit.
+pub fn parse(source: &str) -> Result<Ast, FrontendError> {
+    let tokens = tokenize(source)?;
+    Parser::new(tokens).parse_translation_unit()
+}
+
+/// Parser state.
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    ast: Ast,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Self {
+            tokens,
+            pos: 0,
+            ast: Ast::new(),
+        }
+    }
+
+    // -- token helpers -------------------------------------------------------
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_ahead(&self, offset: usize) -> &TokenKind {
+        let idx = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn location(&self) -> SourceLocation {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].location
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn check_punct(&self, p: Punct) -> bool {
+        matches!(self.peek(), TokenKind::Punct(q) if *q == p)
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.check_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<(), FrontendError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(FrontendError::parse(
+                self.location(),
+                format!("expected '{}', found {:?}", p.spelling(), self.peek()),
+            ))
+        }
+    }
+
+    fn check_keyword(&self, kw: Keyword) -> bool {
+        matches!(self.peek(), TokenKind::Keyword(k) if *k == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if self.check_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_identifier(&mut self) -> Result<String, FrontendError> {
+        match self.bump() {
+            TokenKind::Identifier(name) => Ok(name),
+            other => Err(FrontendError::parse(
+                self.location(),
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    /// True when the upcoming tokens start a type specifier.
+    fn at_type_specifier(&self) -> bool {
+        matches!(self.peek(), TokenKind::Keyword(kw) if kw.is_type_specifier())
+    }
+
+    // -- top level ------------------------------------------------------------
+
+    fn parse_translation_unit(mut self) -> Result<Ast, FrontendError> {
+        while !self.at_eof() {
+            // Stray semicolons at the top level are tolerated.
+            if self.eat_punct(Punct::Semicolon) {
+                continue;
+            }
+            let root = self.ast.root();
+            self.parse_external_declaration(root)?;
+        }
+        debug_assert!(self.ast.validate().is_ok(), "parser produced an invalid AST");
+        Ok(self.ast)
+    }
+
+    fn parse_external_declaration(&mut self, parent: NodeId) -> Result<(), FrontendError> {
+        if !self.at_type_specifier() {
+            return Err(FrontendError::parse(
+                self.location(),
+                format!("expected a declaration, found {:?}", self.peek()),
+            ));
+        }
+        let ty = self.parse_type_specifier()?;
+        let name = self.expect_identifier()?;
+
+        if self.check_punct(Punct::LParen) {
+            self.parse_function_definition(parent, ty, name)
+        } else {
+            // Global variable declaration(s).
+            let decl_stmt = self.ast.add_simple(AstKind::DeclStmt);
+            self.ast.attach(parent, decl_stmt);
+            self.parse_declarator_rest(decl_stmt, &ty, name)?;
+            while self.eat_punct(Punct::Comma) {
+                let next_name = self.expect_identifier()?;
+                self.parse_declarator_rest(decl_stmt, &ty, next_name)?;
+            }
+            self.expect_punct(Punct::Semicolon)?;
+            Ok(())
+        }
+    }
+
+    fn parse_function_definition(
+        &mut self,
+        parent: NodeId,
+        return_ty: String,
+        name: String,
+    ) -> Result<(), FrontendError> {
+        let func = self.ast.add_node(
+            AstKind::FunctionDecl,
+            NodeData {
+                name: Some(name),
+                ty: Some(return_ty),
+                ..NodeData::default()
+            },
+        );
+        self.ast.attach(parent, func);
+        self.expect_punct(Punct::LParen)?;
+        if !self.check_punct(Punct::RParen) {
+            // `(void)` parameter list.
+            if self.check_keyword(Keyword::Void)
+                && matches!(self.peek_ahead(1), TokenKind::Punct(Punct::RParen))
+            {
+                self.bump();
+            } else {
+                loop {
+                    let pty = self.parse_type_specifier()?;
+                    let pname = if matches!(self.peek(), TokenKind::Identifier(_)) {
+                        self.expect_identifier()?
+                    } else {
+                        String::new()
+                    };
+                    let mut dims = Vec::new();
+                    while self.eat_punct(Punct::LBracket) {
+                        if self.check_punct(Punct::RBracket) {
+                            dims.push(None);
+                        } else {
+                            let dim_expr = self.parse_expression(func)?;
+                            dims.push(self.ast.node(dim_expr).data.int_value);
+                            // Detach dimension expressions from the function;
+                            // they live only as the recorded constant.
+                            self.detach_last_child(func, dim_expr);
+                        }
+                        self.expect_punct(Punct::RBracket)?;
+                    }
+                    let parm = self.ast.add_node(
+                        AstKind::ParmVarDecl,
+                        NodeData {
+                            name: Some(pname),
+                            ty: Some(pty),
+                            array_dims: dims,
+                            ..NodeData::default()
+                        },
+                    );
+                    self.ast.attach(func, parm);
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+            }
+        }
+        self.expect_punct(Punct::RParen)?;
+        if self.eat_punct(Punct::Semicolon) {
+            // Prototype without a body.
+            return Ok(());
+        }
+        self.parse_compound_statement(func)?;
+        Ok(())
+    }
+
+    /// Remove a node that was temporarily attached while parsing a
+    /// sub-expression that should not remain in the tree (array dimension
+    /// expressions of parameters). Only valid for the most recent child.
+    fn detach_last_child(&mut self, parent: NodeId, child: NodeId) {
+        let children = &mut self.ast.node_mut(parent).children;
+        if children.last() == Some(&child) {
+            children.pop();
+            self.ast.node_mut(child).parent = None;
+        }
+    }
+
+    fn parse_type_specifier(&mut self) -> Result<String, FrontendError> {
+        let mut parts: Vec<String> = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Keyword(kw) if kw.is_type_specifier() => {
+                    let kw = *kw;
+                    self.bump();
+                    if kw == Keyword::Struct {
+                        let name = self.expect_identifier()?;
+                        parts.push(format!("struct {name}"));
+                    } else {
+                        parts.push(kw.spelling().to_string());
+                    }
+                }
+                TokenKind::Punct(Punct::Star) => {
+                    self.bump();
+                    parts.push("*".to_string());
+                }
+                _ => break,
+            }
+        }
+        if parts.is_empty() {
+            return Err(FrontendError::parse(self.location(), "expected type specifier"));
+        }
+        Ok(parts.join(" "))
+    }
+
+    // -- statements -----------------------------------------------------------
+
+    fn parse_compound_statement(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
+        self.expect_punct(Punct::LBrace)?;
+        let compound = self.ast.add_simple(AstKind::CompoundStmt);
+        self.ast.attach(parent, compound);
+        while !self.check_punct(Punct::RBrace) {
+            if self.at_eof() {
+                return Err(FrontendError::parse(self.location(), "unterminated block"));
+            }
+            self.parse_statement(compound)?;
+        }
+        self.expect_punct(Punct::RBrace)?;
+        Ok(compound)
+    }
+
+    fn parse_statement(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
+        match self.peek().clone() {
+            TokenKind::OmpPragma(text) => {
+                self.bump();
+                self.parse_omp_directive(parent, &text)
+            }
+            TokenKind::Punct(Punct::LBrace) => self.parse_compound_statement(parent),
+            TokenKind::Punct(Punct::Semicolon) => {
+                self.bump();
+                let null = self.ast.add_simple(AstKind::NullStmt);
+                self.ast.attach(parent, null);
+                Ok(null)
+            }
+            TokenKind::Keyword(Keyword::For) => self.parse_for_statement(parent),
+            TokenKind::Keyword(Keyword::While) => self.parse_while_statement(parent),
+            TokenKind::Keyword(Keyword::If) => self.parse_if_statement(parent),
+            TokenKind::Keyword(Keyword::Return) => {
+                self.bump();
+                let ret = self.ast.add_simple(AstKind::ReturnStmt);
+                self.ast.attach(parent, ret);
+                if !self.check_punct(Punct::Semicolon) {
+                    let value = self.parse_expression(ret)?;
+                    let _ = value;
+                }
+                self.expect_punct(Punct::Semicolon)?;
+                Ok(ret)
+            }
+            TokenKind::Keyword(Keyword::Break) => {
+                self.bump();
+                self.expect_punct(Punct::Semicolon)?;
+                let node = self.ast.add_simple(AstKind::BreakStmt);
+                self.ast.attach(parent, node);
+                Ok(node)
+            }
+            TokenKind::Keyword(Keyword::Continue) => {
+                self.bump();
+                self.expect_punct(Punct::Semicolon)?;
+                let node = self.ast.add_simple(AstKind::ContinueStmt);
+                self.ast.attach(parent, node);
+                Ok(node)
+            }
+            TokenKind::Keyword(kw) if kw.is_type_specifier() => self.parse_declaration_statement(parent),
+            _ => {
+                let expr = self.parse_expression(parent)?;
+                self.expect_punct(Punct::Semicolon)?;
+                Ok(expr)
+            }
+        }
+    }
+
+    fn parse_omp_directive(&mut self, parent: NodeId, text: &str) -> Result<NodeId, FrontendError> {
+        let directive = omp::parse_pragma(text);
+        let kind = match directive.kind {
+            OmpDirectiveKind::ParallelFor => AstKind::OmpParallelForDirective,
+            OmpDirectiveKind::TargetTeamsDistributeParallelFor => {
+                AstKind::OmpTargetTeamsDistributeParallelForDirective
+            }
+            OmpDirectiveKind::TargetData => AstKind::OmpTargetDataDirective,
+            OmpDirectiveKind::Simd => AstKind::OmpSimdDirective,
+            OmpDirectiveKind::Other => AstKind::OmpUnknownDirective,
+        };
+        let node = self.ast.add_node(
+            kind,
+            NodeData {
+                omp: Some(directive),
+                ..NodeData::default()
+            },
+        );
+        self.ast.attach(parent, node);
+        // The associated statement (for loop-bound directives: the loop).
+        self.parse_statement(node)?;
+        Ok(node)
+    }
+
+    fn parse_declaration_statement(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
+        let decl_stmt = self.ast.add_simple(AstKind::DeclStmt);
+        self.ast.attach(parent, decl_stmt);
+        let ty = self.parse_type_specifier()?;
+        let name = self.expect_identifier()?;
+        self.parse_declarator_rest(decl_stmt, &ty, name)?;
+        while self.eat_punct(Punct::Comma) {
+            let name = self.expect_identifier()?;
+            self.parse_declarator_rest(decl_stmt, &ty, name)?;
+        }
+        self.expect_punct(Punct::Semicolon)?;
+        Ok(decl_stmt)
+    }
+
+    /// Parse the part of a declarator after the identifier: optional array
+    /// dimensions and an optional initialiser. Attaches a `VarDecl` to
+    /// `decl_stmt`.
+    fn parse_declarator_rest(
+        &mut self,
+        decl_stmt: NodeId,
+        ty: &str,
+        name: String,
+    ) -> Result<NodeId, FrontendError> {
+        let var = self.ast.add_node(
+            AstKind::VarDecl,
+            NodeData {
+                name: Some(name),
+                ty: Some(ty.to_string()),
+                ..NodeData::default()
+            },
+        );
+        self.ast.attach(decl_stmt, var);
+        let mut dims = Vec::new();
+        while self.eat_punct(Punct::LBracket) {
+            if self.check_punct(Punct::RBracket) {
+                dims.push(None);
+            } else {
+                let dim_expr = self.parse_expression(var)?;
+                dims.push(self.ast.node(dim_expr).data.int_value);
+                // Keep the dimension expression in the tree: it is part of
+                // the declaration's syntax and contributes AST nodes exactly
+                // like Clang's ConstantArrayType size expressions do not —
+                // but keeping it preserves token order for NextToken edges.
+            }
+            self.expect_punct(Punct::RBracket)?;
+        }
+        self.ast.node_mut(var).data.array_dims = dims;
+        if self.eat_punct(Punct::Assign) {
+            if self.check_punct(Punct::LBrace) {
+                self.parse_init_list(var)?;
+            } else {
+                self.parse_assignment_expression(var)?;
+            }
+        }
+        Ok(var)
+    }
+
+    fn parse_init_list(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
+        self.expect_punct(Punct::LBrace)?;
+        let list = self.ast.add_simple(AstKind::InitListExpr);
+        self.ast.attach(parent, list);
+        if !self.check_punct(Punct::RBrace) {
+            loop {
+                if self.check_punct(Punct::LBrace) {
+                    self.parse_init_list(list)?;
+                } else {
+                    self.parse_assignment_expression(list)?;
+                }
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(Punct::RBrace)?;
+        Ok(list)
+    }
+
+    fn parse_for_statement(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
+        self.bump(); // for
+        let for_stmt = self.ast.add_simple(AstKind::ForStmt);
+        self.ast.attach(parent, for_stmt);
+        self.expect_punct(Punct::LParen)?;
+
+        // Child 1: initialiser.
+        if self.check_punct(Punct::Semicolon) {
+            let null = self.ast.add_simple(AstKind::NullStmt);
+            self.ast.attach(for_stmt, null);
+            self.bump();
+        } else if self.at_type_specifier() {
+            self.parse_declaration_statement(for_stmt)?;
+        } else {
+            self.parse_expression(for_stmt)?;
+            self.expect_punct(Punct::Semicolon)?;
+        }
+
+        // Child 2: condition.
+        if self.check_punct(Punct::Semicolon) {
+            let null = self.ast.add_simple(AstKind::NullStmt);
+            self.ast.attach(for_stmt, null);
+        } else {
+            self.parse_expression(for_stmt)?;
+        }
+        self.expect_punct(Punct::Semicolon)?;
+
+        // The increment is parsed now but attached *after* the body so the
+        // child order matches the paper's convention [init, cond, body, inc].
+        let increment = if self.check_punct(Punct::RParen) {
+            None
+        } else {
+            Some(self.parse_expression_detached()?)
+        };
+        self.expect_punct(Punct::RParen)?;
+
+        // Child 3: body.
+        self.parse_statement(for_stmt)?;
+
+        // Child 4: increment.
+        match increment {
+            Some(inc) => self.ast.attach(for_stmt, inc),
+            None => {
+                let null = self.ast.add_simple(AstKind::NullStmt);
+                self.ast.attach(for_stmt, null);
+            }
+        }
+        Ok(for_stmt)
+    }
+
+    fn parse_while_statement(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
+        self.bump(); // while
+        let while_stmt = self.ast.add_simple(AstKind::WhileStmt);
+        self.ast.attach(parent, while_stmt);
+        self.expect_punct(Punct::LParen)?;
+        self.parse_expression(while_stmt)?;
+        self.expect_punct(Punct::RParen)?;
+        self.parse_statement(while_stmt)?;
+        Ok(while_stmt)
+    }
+
+    fn parse_if_statement(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
+        self.bump(); // if
+        let if_stmt = self.ast.add_simple(AstKind::IfStmt);
+        self.ast.attach(parent, if_stmt);
+        self.expect_punct(Punct::LParen)?;
+        self.parse_expression(if_stmt)?;
+        self.expect_punct(Punct::RParen)?;
+        self.parse_statement(if_stmt)?;
+        if self.eat_keyword(Keyword::Else) {
+            self.parse_statement(if_stmt)?;
+        }
+        Ok(if_stmt)
+    }
+
+    // -- expressions ----------------------------------------------------------
+
+    /// Parse an expression and attach it to `parent`.
+    fn parse_expression(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
+        let expr = self.parse_expression_detached()?;
+        self.ast.attach(parent, expr);
+        Ok(expr)
+    }
+
+    /// Parse an expression without attaching it anywhere yet.
+    fn parse_expression_detached(&mut self) -> Result<NodeId, FrontendError> {
+        self.parse_assignment_detached()
+    }
+
+    /// Parse an assignment expression and attach it to `parent`.
+    fn parse_assignment_expression(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
+        let expr = self.parse_assignment_detached()?;
+        self.ast.attach(parent, expr);
+        Ok(expr)
+    }
+
+    fn parse_assignment_detached(&mut self) -> Result<NodeId, FrontendError> {
+        let lhs = self.parse_conditional_detached()?;
+        let op = match self.peek() {
+            TokenKind::Punct(Punct::Assign) => Some(("=", AstKind::BinaryOperator)),
+            TokenKind::Punct(Punct::PlusAssign) => Some(("+=", AstKind::CompoundAssignOperator)),
+            TokenKind::Punct(Punct::MinusAssign) => Some(("-=", AstKind::CompoundAssignOperator)),
+            TokenKind::Punct(Punct::StarAssign) => Some(("*=", AstKind::CompoundAssignOperator)),
+            TokenKind::Punct(Punct::SlashAssign) => Some(("/=", AstKind::CompoundAssignOperator)),
+            TokenKind::Punct(Punct::PercentAssign) => Some(("%=", AstKind::CompoundAssignOperator)),
+            _ => None,
+        };
+        match op {
+            Some((spelling, kind)) => {
+                self.bump();
+                let rhs = self.parse_assignment_detached()?;
+                let node = self.ast.add_node(kind, NodeData::op(spelling));
+                self.ast.attach(node, lhs);
+                self.ast.attach(node, rhs);
+                Ok(node)
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn parse_conditional_detached(&mut self) -> Result<NodeId, FrontendError> {
+        let cond = self.parse_binary_detached(1)?;
+        if self.eat_punct(Punct::Question) {
+            let then = self.parse_expression_detached()?;
+            self.expect_punct(Punct::Colon)?;
+            let otherwise = self.parse_conditional_detached()?;
+            let node = self.ast.add_simple(AstKind::ConditionalOperator);
+            self.ast.attach(node, cond);
+            self.ast.attach(node, then);
+            self.ast.attach(node, otherwise);
+            Ok(node)
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binary_precedence(p: Punct) -> Option<(u8, &'static str)> {
+        Some(match p {
+            Punct::Star => (10, "*"),
+            Punct::Slash => (10, "/"),
+            Punct::Percent => (10, "%"),
+            Punct::Plus => (9, "+"),
+            Punct::Minus => (9, "-"),
+            Punct::Shl => (8, "<<"),
+            Punct::Shr => (8, ">>"),
+            Punct::Lt => (7, "<"),
+            Punct::Gt => (7, ">"),
+            Punct::Le => (7, "<="),
+            Punct::Ge => (7, ">="),
+            Punct::Eq => (6, "=="),
+            Punct::Ne => (6, "!="),
+            Punct::Amp => (5, "&"),
+            Punct::Caret => (4, "^"),
+            Punct::Pipe => (3, "|"),
+            Punct::AndAnd => (2, "&&"),
+            Punct::OrOr => (1, "||"),
+            _ => return None,
+        })
+    }
+
+    fn parse_binary_detached(&mut self, min_prec: u8) -> Result<NodeId, FrontendError> {
+        let mut lhs = self.parse_unary_detached()?;
+        loop {
+            let (prec, spelling) = match self.peek() {
+                TokenKind::Punct(p) => match Self::binary_precedence(*p) {
+                    Some((prec, sp)) if prec >= min_prec => (prec, sp),
+                    _ => break,
+                },
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_binary_detached(prec + 1)?;
+            let node = self
+                .ast
+                .add_node(AstKind::BinaryOperator, NodeData::op(spelling));
+            self.ast.attach(node, lhs);
+            self.ast.attach(node, rhs);
+            lhs = node;
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary_detached(&mut self) -> Result<NodeId, FrontendError> {
+        let prefix = match self.peek() {
+            TokenKind::Punct(Punct::Minus) => Some("-"),
+            TokenKind::Punct(Punct::Plus) => Some("+"),
+            TokenKind::Punct(Punct::Not) => Some("!"),
+            TokenKind::Punct(Punct::Tilde) => Some("~"),
+            TokenKind::Punct(Punct::Star) => Some("*"),
+            TokenKind::Punct(Punct::Amp) => Some("&"),
+            TokenKind::Punct(Punct::PlusPlus) => Some("++"),
+            TokenKind::Punct(Punct::MinusMinus) => Some("--"),
+            _ => None,
+        };
+        if let Some(op) = prefix {
+            self.bump();
+            let operand = self.parse_unary_detached()?;
+            let node = self.ast.add_node(AstKind::UnaryOperator, NodeData::op(op));
+            self.ast.attach(node, operand);
+            return Ok(node);
+        }
+
+        // sizeof(expr) / sizeof(type) — modelled as a UnaryOperator.
+        if self.check_keyword(Keyword::Sizeof) {
+            self.bump();
+            let node = self
+                .ast
+                .add_node(AstKind::UnaryOperator, NodeData::op("sizeof"));
+            self.expect_punct(Punct::LParen)?;
+            if self.at_type_specifier() {
+                let ty = self.parse_type_specifier()?;
+                self.ast.node_mut(node).data.ty = Some(ty);
+            } else {
+                let operand = self.parse_expression_detached()?;
+                self.ast.attach(node, operand);
+            }
+            self.expect_punct(Punct::RParen)?;
+            return Ok(node);
+        }
+
+        // C-style cast: '(' type ')' unary-expression.
+        if self.check_punct(Punct::LParen) {
+            if let TokenKind::Keyword(kw) = self.peek_ahead(1) {
+                if kw.is_type_specifier() {
+                    self.bump(); // (
+                    let ty = self.parse_type_specifier()?;
+                    self.expect_punct(Punct::RParen)?;
+                    let operand = self.parse_unary_detached()?;
+                    let node = self.ast.add_node(
+                        AstKind::CStyleCastExpr,
+                        NodeData {
+                            ty: Some(ty),
+                            ..NodeData::default()
+                        },
+                    );
+                    self.ast.attach(node, operand);
+                    return Ok(node);
+                }
+            }
+        }
+
+        self.parse_postfix_detached()
+    }
+
+    fn parse_postfix_detached(&mut self) -> Result<NodeId, FrontendError> {
+        let mut expr = self.parse_primary_detached()?;
+        loop {
+            match self.peek() {
+                TokenKind::Punct(Punct::LParen) => {
+                    self.bump();
+                    let call = self.ast.add_simple(AstKind::CallExpr);
+                    self.ast.attach(call, expr);
+                    if !self.check_punct(Punct::RParen) {
+                        loop {
+                            self.parse_assignment_expression(call)?;
+                            if !self.eat_punct(Punct::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_punct(Punct::RParen)?;
+                    expr = call;
+                }
+                TokenKind::Punct(Punct::LBracket) => {
+                    self.bump();
+                    let subscript = self.ast.add_simple(AstKind::ArraySubscriptExpr);
+                    self.ast.attach(subscript, expr);
+                    self.parse_expression(subscript)?;
+                    self.expect_punct(Punct::RBracket)?;
+                    expr = subscript;
+                }
+                TokenKind::Punct(Punct::Dot) | TokenKind::Punct(Punct::Arrow) => {
+                    let arrow = matches!(self.peek(), TokenKind::Punct(Punct::Arrow));
+                    self.bump();
+                    let member = self.expect_identifier()?;
+                    let node = self.ast.add_node(
+                        AstKind::MemberExpr,
+                        NodeData {
+                            name: Some(member),
+                            opcode: Some(if arrow { "->".into() } else { ".".into() }),
+                            ..NodeData::default()
+                        },
+                    );
+                    self.ast.attach(node, expr);
+                    expr = node;
+                }
+                TokenKind::Punct(Punct::PlusPlus) | TokenKind::Punct(Punct::MinusMinus) => {
+                    let op = if matches!(self.peek(), TokenKind::Punct(Punct::PlusPlus)) {
+                        "++"
+                    } else {
+                        "--"
+                    };
+                    self.bump();
+                    let node = self.ast.add_node(
+                        AstKind::UnaryOperator,
+                        NodeData {
+                            opcode: Some(op.into()),
+                            postfix: true,
+                            ..NodeData::default()
+                        },
+                    );
+                    self.ast.attach(node, expr);
+                    expr = node;
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_primary_detached(&mut self) -> Result<NodeId, FrontendError> {
+        match self.bump() {
+            TokenKind::Identifier(name) => {
+                // As in Figure 2 of the paper, references to declared
+                // variables appear as DeclRefExpr wrapped in an
+                // ImplicitCastExpr.
+                let dre = self.ast.add_node(AstKind::DeclRefExpr, NodeData::named(name));
+                let cast = self.ast.add_simple(AstKind::ImplicitCastExpr);
+                self.ast.attach(cast, dre);
+                Ok(cast)
+            }
+            TokenKind::IntLiteral(value) => Ok(self
+                .ast
+                .add_node(AstKind::IntegerLiteral, NodeData::int(value))),
+            TokenKind::FloatLiteral(value) => Ok(self
+                .ast
+                .add_node(AstKind::FloatingLiteral, NodeData::float(value))),
+            TokenKind::StringLiteral(text) => Ok(self.ast.add_node(
+                AstKind::StringLiteral,
+                NodeData {
+                    literal: Some(text),
+                    ..NodeData::default()
+                },
+            )),
+            TokenKind::CharLiteral(c) => Ok(self.ast.add_node(
+                AstKind::CharacterLiteral,
+                NodeData {
+                    literal: Some(c.to_string()),
+                    int_value: Some(c as i64),
+                    ..NodeData::default()
+                },
+            )),
+            TokenKind::Punct(Punct::LParen) => {
+                let inner = self.parse_expression_detached()?;
+                self.expect_punct(Punct::RParen)?;
+                let paren = self.ast.add_simple(AstKind::ParenExpr);
+                self.ast.attach(paren, inner);
+                Ok(paren)
+            }
+            other => Err(FrontendError::parse(
+                self.location(),
+                format!("unexpected token in expression: {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds_of(ast: &Ast, kind: AstKind) -> usize {
+        ast.find_all(kind).len()
+    }
+
+    #[test]
+    fn parses_figure2_declaration_snippet() {
+        // The first snippet of Figure 2: a declaration and an assignment.
+        let ast = parse("void f() { int x; x = 50; }").unwrap();
+        ast.validate().unwrap();
+        assert_eq!(kinds_of(&ast, AstKind::FunctionDecl), 1);
+        assert_eq!(kinds_of(&ast, AstKind::CompoundStmt), 1);
+        assert_eq!(kinds_of(&ast, AstKind::VarDecl), 1);
+        assert_eq!(kinds_of(&ast, AstKind::BinaryOperator), 1);
+        assert_eq!(kinds_of(&ast, AstKind::ImplicitCastExpr), 1);
+        assert_eq!(kinds_of(&ast, AstKind::DeclRefExpr), 1);
+        assert_eq!(kinds_of(&ast, AstKind::IntegerLiteral), 1);
+    }
+
+    #[test]
+    fn parses_figure2_if_snippet() {
+        let ast = parse("void f() { int x = 1; if (x > 50) { x = 1; } else { x = 2; } }").unwrap();
+        let if_stmt = ast.find_first(AstKind::IfStmt).unwrap();
+        let children = ast.children(if_stmt);
+        assert_eq!(children.len(), 3, "if with else must have three children");
+        assert_eq!(ast.kind(children[0]), AstKind::BinaryOperator);
+        assert_eq!(ast.kind(children[1]), AstKind::CompoundStmt);
+        assert_eq!(ast.kind(children[2]), AstKind::CompoundStmt);
+    }
+
+    #[test]
+    fn parses_figure2_for_snippet_with_paper_child_order() {
+        let ast = parse("void f() { for (int i = 0; i < 50; i++) { } }").unwrap();
+        let for_stmt = ast.find_first(AstKind::ForStmt).unwrap();
+        let children = ast.children(for_stmt);
+        assert_eq!(children.len(), 4);
+        assert_eq!(ast.kind(children[0]), AstKind::DeclStmt, "child 0 = init");
+        assert_eq!(ast.kind(children[1]), AstKind::BinaryOperator, "child 1 = cond");
+        assert_eq!(ast.kind(children[2]), AstKind::CompoundStmt, "child 2 = body");
+        assert_eq!(ast.kind(children[3]), AstKind::UnaryOperator, "child 3 = inc");
+    }
+
+    #[test]
+    fn for_with_missing_parts_gets_null_stmts() {
+        let ast = parse("void f() { for (;;) { break; } }").unwrap();
+        let for_stmt = ast.find_first(AstKind::ForStmt).unwrap();
+        let children = ast.children(for_stmt);
+        assert_eq!(children.len(), 4);
+        assert_eq!(ast.kind(children[0]), AstKind::NullStmt);
+        assert_eq!(ast.kind(children[1]), AstKind::NullStmt);
+        assert_eq!(ast.kind(children[3]), AstKind::NullStmt);
+        assert_eq!(kinds_of(&ast, AstKind::BreakStmt), 1);
+    }
+
+    #[test]
+    fn parses_nested_loops_and_array_accesses() {
+        let src = r#"
+            void mm(float *a, float *b, float *c, int n) {
+                for (int i = 0; i < n; i++) {
+                    for (int j = 0; j < n; j++) {
+                        float sum = 0.0;
+                        for (int k = 0; k < n; k++) {
+                            sum += a[i * n + k] * b[k * n + j];
+                        }
+                        c[i * n + j] = sum;
+                    }
+                }
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        ast.validate().unwrap();
+        assert_eq!(kinds_of(&ast, AstKind::ForStmt), 3);
+        assert_eq!(kinds_of(&ast, AstKind::ArraySubscriptExpr), 3);
+        assert_eq!(kinds_of(&ast, AstKind::CompoundAssignOperator), 1);
+        assert_eq!(kinds_of(&ast, AstKind::ParmVarDecl), 4);
+    }
+
+    #[test]
+    fn parses_omp_parallel_for() {
+        let src = r#"
+            void axpy(float *x, float *y, int n) {
+                #pragma omp parallel for
+                for (int i = 0; i < n; i++) {
+                    y[i] = y[i] + 2.0 * x[i];
+                }
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        let directive = ast.find_first(AstKind::OmpParallelForDirective).unwrap();
+        let children = ast.children(directive);
+        assert_eq!(children.len(), 1);
+        assert_eq!(ast.kind(children[0]), AstKind::ForStmt);
+        let omp = ast.node(directive).data.omp.as_ref().unwrap();
+        assert_eq!(omp.kind, OmpDirectiveKind::ParallelFor);
+    }
+
+    #[test]
+    fn parses_omp_target_offload_with_map() {
+        let src = r#"
+            void axpy(float *x, float *y, int n) {
+                #pragma omp target teams distribute parallel for collapse(2) map(to: x[0:n]) map(tofrom: y[0:n])
+                for (int i = 0; i < n; i++) {
+                    for (int j = 0; j < n; j++) {
+                        y[i] = y[i] + 2.0 * x[j];
+                    }
+                }
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        let directive = ast
+            .find_first(AstKind::OmpTargetTeamsDistributeParallelForDirective)
+            .unwrap();
+        let omp = ast.node(directive).data.omp.as_ref().unwrap();
+        assert_eq!(omp.collapse_depth(), 2);
+        assert!(omp.has_data_transfer());
+        assert_eq!(omp.map_items().len(), 2);
+    }
+
+    #[test]
+    fn parses_calls_casts_and_ternary() {
+        let src = r#"
+            float work(float v, int n) {
+                float r = (float) n;
+                r = sqrt(v) + fabs(r);
+                r = v > 0.0 ? r : -r;
+                return r;
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        assert_eq!(kinds_of(&ast, AstKind::CStyleCastExpr), 1);
+        assert_eq!(kinds_of(&ast, AstKind::CallExpr), 2);
+        assert_eq!(kinds_of(&ast, AstKind::ConditionalOperator), 1);
+        assert_eq!(kinds_of(&ast, AstKind::ReturnStmt), 1);
+    }
+
+    #[test]
+    fn parses_while_and_if_else_chain() {
+        let src = r#"
+            int f(int n) {
+                int i = 0;
+                while (i < n) {
+                    if (i % 2 == 0) { i = i + 1; }
+                    else if (i % 3 == 0) { i = i + 3; }
+                    else { i = i + 2; }
+                }
+                return i;
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        assert_eq!(kinds_of(&ast, AstKind::WhileStmt), 1);
+        assert_eq!(kinds_of(&ast, AstKind::IfStmt), 2);
+    }
+
+    #[test]
+    fn parses_array_declarations_and_init_lists() {
+        let src = "void f() { float a[128]; int b[4] = {1, 2, 3, 4}; double c[8][8]; }";
+        let ast = parse(src).unwrap();
+        let decls = ast.find_all(AstKind::VarDecl);
+        assert_eq!(decls.len(), 3);
+        assert_eq!(ast.node(decls[0]).data.array_dims, vec![Some(128)]);
+        assert_eq!(ast.node(decls[2]).data.array_dims, vec![Some(8), Some(8)]);
+        assert_eq!(kinds_of(&ast, AstKind::InitListExpr), 1);
+    }
+
+    #[test]
+    fn parses_global_declarations_and_prototypes() {
+        let src = "int size; float data[100]; void kernel(float *a, int n); void kernel(float *a, int n) { }";
+        let ast = parse(src).unwrap();
+        assert_eq!(kinds_of(&ast, AstKind::FunctionDecl), 2);
+        assert!(kinds_of(&ast, AstKind::VarDecl) >= 2);
+    }
+
+    #[test]
+    fn operator_precedence_shapes_the_tree() {
+        let ast = parse("void f() { int x; x = 1 + 2 * 3; }").unwrap();
+        // The root assignment's RHS must be `+` with a `*` child.
+        let assigns = ast.find_all(AstKind::BinaryOperator);
+        let assign = assigns
+            .iter()
+            .copied()
+            .find(|&id| ast.node(id).data.opcode.as_deref() == Some("="))
+            .unwrap();
+        let rhs = ast.children(assign)[1];
+        assert_eq!(ast.node(rhs).data.opcode.as_deref(), Some("+"));
+        let mul = ast.children(rhs)[1];
+        assert_eq!(ast.node(mul).data.opcode.as_deref(), Some("*"));
+    }
+
+    #[test]
+    fn postfix_and_prefix_increment() {
+        let ast = parse("void f() { int i = 0; i++; ++i; }").unwrap();
+        let unaries = ast.find_all(AstKind::UnaryOperator);
+        assert_eq!(unaries.len(), 2);
+        let postfix_count = unaries
+            .iter()
+            .filter(|&&id| ast.node(id).data.postfix)
+            .count();
+        assert_eq!(postfix_count, 1);
+    }
+
+    #[test]
+    fn member_access_and_pointers() {
+        let ast = parse("void f(struct particle *p) { p->x = 1.0; (*p).y = 2.0; }").unwrap();
+        assert_eq!(kinds_of(&ast, AstKind::MemberExpr), 2);
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let err = parse("void f() { int x = 1 }").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn error_on_garbage_top_level() {
+        assert!(parse("42;").is_err());
+        assert!(parse("+").is_err());
+    }
+
+    #[test]
+    fn sizeof_forms() {
+        let ast = parse("void f(int n) { int a = sizeof(int); int b = sizeof(n); }").unwrap();
+        let sizeofs: Vec<_> = ast
+            .find_all(AstKind::UnaryOperator)
+            .into_iter()
+            .filter(|&id| ast.node(id).data.opcode.as_deref() == Some("sizeof"))
+            .collect();
+        assert_eq!(sizeofs.len(), 2);
+    }
+}

@@ -1,0 +1,612 @@
+//! Pretty-printer: emits compilable C source back out of the AST.
+//!
+//! The OpenMP Advisor substitute (`pg-advisor`) uses this to materialise
+//! transformed kernel variants after rewriting pragmas at the AST level, and
+//! round-trip tests (parse → print → parse) use it to validate the parser.
+
+use crate::ast::{Ast, AstKind, NodeId};
+use crate::omp::{OmpClause, OmpDirective, OmpDirectiveKind};
+
+/// Print a whole translation unit as C source.
+pub fn print(ast: &Ast) -> String {
+    let mut printer = Printer {
+        ast,
+        out: String::new(),
+        indent: 0,
+    };
+    for &child in ast.children(ast.root()) {
+        printer.print_top_level(child);
+    }
+    printer.out
+}
+
+/// Print a single statement subtree (useful in tests and examples).
+pub fn print_statement(ast: &Ast, stmt: NodeId) -> String {
+    let mut printer = Printer {
+        ast,
+        out: String::new(),
+        indent: 0,
+    };
+    printer.print_stmt(stmt);
+    printer.out
+}
+
+/// Render an OpenMP directive back to its `#pragma omp ...` line.
+pub fn print_pragma(directive: &OmpDirective) -> String {
+    let head = match directive.kind {
+        OmpDirectiveKind::ParallelFor => "parallel for",
+        OmpDirectiveKind::TargetTeamsDistributeParallelFor => {
+            "target teams distribute parallel for"
+        }
+        OmpDirectiveKind::TargetData => "target data",
+        OmpDirectiveKind::Simd => "simd",
+        OmpDirectiveKind::Other => return format!("#pragma omp {}", directive.raw),
+    };
+    let mut line = format!("#pragma omp {head}");
+    for clause in &directive.clauses {
+        line.push(' ');
+        line.push_str(&print_clause(clause));
+    }
+    line
+}
+
+fn print_clause(clause: &OmpClause) -> String {
+    match clause {
+        OmpClause::Collapse(n) => format!("collapse({n})"),
+        OmpClause::NumThreads(n) => format!("num_threads({n})"),
+        OmpClause::NumTeams(n) => format!("num_teams({n})"),
+        OmpClause::ThreadLimit(n) => format!("thread_limit({n})"),
+        OmpClause::Schedule(kind, chunk) => {
+            let kind = match kind {
+                crate::omp::ScheduleKind::Static => "static",
+                crate::omp::ScheduleKind::Dynamic => "dynamic",
+                crate::omp::ScheduleKind::Guided => "guided",
+                crate::omp::ScheduleKind::Auto => "auto",
+            };
+            match chunk {
+                Some(c) => format!("schedule({kind}, {c})"),
+                None => format!("schedule({kind})"),
+            }
+        }
+        OmpClause::Map(dir, items) => format!("map({}: {})", dir.spelling(), items.join(", ")),
+        OmpClause::Reduction(op, vars) => format!("reduction({op}: {})", vars.join(", ")),
+        OmpClause::Private(vars) => format!("private({})", vars.join(", ")),
+        OmpClause::FirstPrivate(vars) => format!("firstprivate({})", vars.join(", ")),
+        OmpClause::Shared(vars) => format!("shared({})", vars.join(", ")),
+        OmpClause::Other(text) => text.clone(),
+    }
+}
+
+struct Printer<'a> {
+    ast: &'a Ast,
+    out: String,
+    indent: usize,
+}
+
+impl<'a> Printer<'a> {
+    fn write_indent(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+    }
+
+    fn print_top_level(&mut self, id: NodeId) {
+        match self.ast.kind(id) {
+            AstKind::FunctionDecl => self.print_function(id),
+            AstKind::DeclStmt => {
+                self.print_stmt(id);
+            }
+            _ => self.print_stmt(id),
+        }
+        self.out.push('\n');
+    }
+
+    fn print_function(&mut self, id: NodeId) {
+        let node = self.ast.node(id);
+        let ret = node.data.ty.clone().unwrap_or_else(|| "void".into());
+        let name = node.data.name.clone().unwrap_or_default();
+        self.out.push_str(&format!("{ret} {name}("));
+        let params: Vec<NodeId> = node
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| self.ast.kind(c) == AstKind::ParmVarDecl)
+            .collect();
+        for (i, &p) in params.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            let pn = self.ast.node(p);
+            let ty = pn.data.ty.clone().unwrap_or_default();
+            let pname = pn.data.name.clone().unwrap_or_default();
+            self.out.push_str(&format!("{ty} {pname}"));
+            for dim in &pn.data.array_dims {
+                match dim {
+                    Some(d) => self.out.push_str(&format!("[{d}]")),
+                    None => self.out.push_str("[]"),
+                }
+            }
+        }
+        self.out.push(')');
+        let body = node
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.ast.kind(c) == AstKind::CompoundStmt);
+        match body {
+            Some(b) => {
+                self.out.push(' ');
+                self.print_stmt(b);
+            }
+            None => self.out.push_str(";\n"),
+        }
+    }
+
+    fn print_stmt(&mut self, id: NodeId) {
+        match self.ast.kind(id) {
+            AstKind::CompoundStmt => {
+                self.out.push_str("{\n");
+                self.indent += 1;
+                for &child in self.ast.children(id) {
+                    self.write_indent();
+                    self.print_stmt(child);
+                }
+                self.indent -= 1;
+                self.write_indent();
+                self.out.push_str("}\n");
+            }
+            AstKind::DeclStmt => {
+                let children: Vec<NodeId> = self.ast.children(id).to_vec();
+                for &var in &children {
+                    self.print_var_decl(var);
+                }
+            }
+            AstKind::ForStmt => {
+                let children = self.ast.children(id).to_vec();
+                self.out.push_str("for (");
+                // init
+                match children.first() {
+                    Some(&init) if self.ast.kind(init) == AstKind::DeclStmt => {
+                        self.print_decl_inline(init);
+                    }
+                    Some(&init) if self.ast.kind(init) != AstKind::NullStmt => {
+                        self.print_expr(init);
+                    }
+                    _ => {}
+                }
+                self.out.push_str("; ");
+                if let Some(&cond) = children.get(1) {
+                    if self.ast.kind(cond) != AstKind::NullStmt {
+                        self.print_expr(cond);
+                    }
+                }
+                self.out.push_str("; ");
+                if let Some(&inc) = children.get(3) {
+                    if self.ast.kind(inc) != AstKind::NullStmt {
+                        self.print_expr(inc);
+                    }
+                }
+                self.out.push_str(") ");
+                if let Some(&body) = children.get(2) {
+                    if self.ast.kind(body) == AstKind::CompoundStmt {
+                        self.print_stmt(body);
+                    } else {
+                        self.out.push_str("{\n");
+                        self.indent += 1;
+                        self.write_indent();
+                        self.print_stmt(body);
+                        self.indent -= 1;
+                        self.write_indent();
+                        self.out.push_str("}\n");
+                    }
+                }
+            }
+            AstKind::WhileStmt => {
+                let children = self.ast.children(id).to_vec();
+                self.out.push_str("while (");
+                if let Some(&cond) = children.first() {
+                    self.print_expr(cond);
+                }
+                self.out.push_str(") ");
+                if let Some(&body) = children.get(1) {
+                    self.print_stmt(body);
+                }
+            }
+            AstKind::IfStmt => {
+                let children = self.ast.children(id).to_vec();
+                self.out.push_str("if (");
+                if let Some(&cond) = children.first() {
+                    self.print_expr(cond);
+                }
+                self.out.push_str(") ");
+                if let Some(&then) = children.get(1) {
+                    self.print_stmt(then);
+                }
+                if let Some(&otherwise) = children.get(2) {
+                    self.write_indent();
+                    self.out.push_str("else ");
+                    self.print_stmt(otherwise);
+                }
+            }
+            AstKind::ReturnStmt => {
+                self.out.push_str("return");
+                if let Some(&value) = self.ast.children(id).first() {
+                    self.out.push(' ');
+                    self.print_expr(value);
+                }
+                self.out.push_str(";\n");
+            }
+            AstKind::BreakStmt => self.out.push_str("break;\n"),
+            AstKind::ContinueStmt => self.out.push_str("continue;\n"),
+            AstKind::NullStmt => self.out.push_str(";\n"),
+            kind if kind.is_omp_directive() => {
+                if let Some(omp) = &self.ast.node(id).data.omp {
+                    self.out.push_str(&print_pragma(omp));
+                    self.out.push('\n');
+                }
+                self.write_indent();
+                if let Some(&stmt) = self.ast.children(id).first() {
+                    self.print_stmt(stmt);
+                }
+            }
+            _ => {
+                // Expression statement.
+                self.print_expr(id);
+                self.out.push_str(";\n");
+            }
+        }
+    }
+
+    fn print_var_decl(&mut self, var: NodeId) {
+        self.print_decl_core(var);
+        self.out.push_str(";\n");
+    }
+
+    /// Print a declaration without the trailing `;\n` (for `for` initialisers).
+    fn print_decl_inline(&mut self, decl_stmt: NodeId) {
+        let vars = self.ast.children(decl_stmt).to_vec();
+        for (i, &var) in vars.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.print_decl_core(var);
+        }
+    }
+
+    fn print_decl_core(&mut self, var: NodeId) {
+        let node = self.ast.node(var);
+        let ty = node.data.ty.clone().unwrap_or_else(|| "int".into());
+        let name = node.data.name.clone().unwrap_or_default();
+        self.out.push_str(&format!("{ty} {name}"));
+        for dim in &node.data.array_dims {
+            match dim {
+                Some(d) => self.out.push_str(&format!("[{d}]")),
+                None => self.out.push_str("[]"),
+            }
+        }
+        // Initialiser: the first child that is an expression / init list.
+        // (Array dimension expressions were kept as children too; they are
+        // distinguished by being IntegerLiterals that match array_dims and
+        // appear before any initialiser, so we print only the *last* child
+        // when its count exceeds the number of dimension expressions.)
+        let dims_with_exprs = node
+            .children
+            .iter()
+            .filter(|&&c| {
+                self.ast.kind(c) == AstKind::IntegerLiteral
+                    && node
+                        .data
+                        .array_dims
+                        .iter()
+                        .any(|d| *d == self.ast.node(c).data.int_value)
+            })
+            .count();
+        if node.children.len() > dims_with_exprs {
+            if let Some(&init) = node.children.last() {
+                self.out.push_str(" = ");
+                self.print_expr(init);
+            }
+        }
+    }
+
+    fn print_expr(&mut self, id: NodeId) {
+        let node = self.ast.node(id);
+        match node.kind {
+            AstKind::BinaryOperator | AstKind::CompoundAssignOperator => {
+                let op = node.data.opcode.clone().unwrap_or_default();
+                let children = node.children.clone();
+                if let Some(&lhs) = children.first() {
+                    self.print_operand(lhs);
+                }
+                self.out.push_str(&format!(" {op} "));
+                if let Some(&rhs) = children.get(1) {
+                    self.print_operand(rhs);
+                }
+            }
+            AstKind::UnaryOperator => {
+                let op = node.data.opcode.clone().unwrap_or_default();
+                let children = node.children.clone();
+                if op == "sizeof" {
+                    if let Some(ty) = &node.data.ty {
+                        self.out.push_str(&format!("sizeof({ty})"));
+                    } else if let Some(&operand) = children.first() {
+                        self.out.push_str("sizeof(");
+                        self.print_expr(operand);
+                        self.out.push(')');
+                    }
+                } else if node.data.postfix {
+                    if let Some(&operand) = children.first() {
+                        self.print_operand(operand);
+                    }
+                    self.out.push_str(&op);
+                } else {
+                    self.out.push_str(&op);
+                    if let Some(&operand) = children.first() {
+                        self.print_operand(operand);
+                    }
+                }
+            }
+            AstKind::ConditionalOperator => {
+                let children = node.children.clone();
+                self.print_operand(children[0]);
+                self.out.push_str(" ? ");
+                self.print_operand(children[1]);
+                self.out.push_str(" : ");
+                self.print_operand(children[2]);
+            }
+            AstKind::ImplicitCastExpr => {
+                if let Some(&inner) = node.children.first() {
+                    self.print_expr(inner);
+                }
+            }
+            AstKind::CStyleCastExpr => {
+                let ty = node.data.ty.clone().unwrap_or_default();
+                self.out.push_str(&format!("({ty}) "));
+                if let Some(&inner) = node.children.first() {
+                    self.print_operand(inner);
+                }
+            }
+            AstKind::ParenExpr => {
+                self.out.push('(');
+                if let Some(&inner) = node.children.first() {
+                    self.print_expr(inner);
+                }
+                self.out.push(')');
+            }
+            AstKind::DeclRefExpr => {
+                self.out.push_str(node.data.name.as_deref().unwrap_or(""));
+            }
+            AstKind::IntegerLiteral => {
+                self.out
+                    .push_str(&node.data.int_value.unwrap_or_default().to_string());
+            }
+            AstKind::FloatingLiteral => {
+                let v = node.data.float_value.unwrap_or_default();
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    self.out.push_str(&format!("{v:.1}"));
+                } else {
+                    self.out.push_str(&format!("{v}"));
+                }
+            }
+            AstKind::StringLiteral => {
+                self.out
+                    .push_str(&format!("\"{}\"", node.data.literal.as_deref().unwrap_or("")));
+            }
+            AstKind::CharacterLiteral => {
+                self.out
+                    .push_str(&format!("'{}'", node.data.literal.as_deref().unwrap_or("")));
+            }
+            AstKind::ArraySubscriptExpr => {
+                let children = node.children.clone();
+                self.print_operand(children[0]);
+                self.out.push('[');
+                if let Some(&idx) = children.get(1) {
+                    self.print_expr(idx);
+                }
+                self.out.push(']');
+            }
+            AstKind::CallExpr => {
+                let children = node.children.clone();
+                if let Some(&callee) = children.first() {
+                    self.print_expr(callee);
+                }
+                self.out.push('(');
+                for (i, &arg) in children.iter().skip(1).enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.print_expr(arg);
+                }
+                self.out.push(')');
+            }
+            AstKind::MemberExpr => {
+                let children = node.children.clone();
+                if let Some(&base) = children.first() {
+                    self.print_operand(base);
+                }
+                self.out
+                    .push_str(node.data.opcode.as_deref().unwrap_or("."));
+                self.out.push_str(node.data.name.as_deref().unwrap_or(""));
+            }
+            AstKind::InitListExpr => {
+                self.out.push('{');
+                let children = node.children.clone();
+                for (i, &item) in children.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.print_expr(item);
+                }
+                self.out.push('}');
+            }
+            _ => {
+                // Statements appearing in expression position (should not
+                // happen); print their children defensively.
+                let children = node.children.clone();
+                for &c in &children {
+                    self.print_expr(c);
+                }
+            }
+        }
+    }
+
+    /// Print an operand of a compound expression, adding parentheses around
+    /// nested operators so precedence is preserved textually.
+    fn print_operand(&mut self, id: NodeId) {
+        let needs_parens = matches!(
+            self.ast.kind(id),
+            AstKind::BinaryOperator | AstKind::CompoundAssignOperator | AstKind::ConditionalOperator
+        );
+        if needs_parens {
+            self.out.push('(');
+            self.print_expr(id);
+            self.out.push(')');
+        } else {
+            self.print_expr(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::AstKind;
+    use crate::parser::parse;
+
+    /// Parse → print → parse and compare structural statistics.
+    fn round_trip_preserves(src: &str, kinds: &[AstKind]) {
+        let ast1 = parse(src).unwrap();
+        let printed = print(&ast1);
+        let ast2 = parse(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{printed}"));
+        for &kind in kinds {
+            assert_eq!(
+                ast1.find_all(kind).len(),
+                ast2.find_all(kind).len(),
+                "count of {kind:?} changed after round trip\n---\n{printed}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_simple_kernel() {
+        round_trip_preserves(
+            "void axpy(float *x, float *y, int n) { for (int i = 0; i < n; i++) { y[i] = y[i] + 2.0 * x[i]; } }",
+            &[
+                AstKind::FunctionDecl,
+                AstKind::ForStmt,
+                AstKind::ArraySubscriptExpr,
+                AstKind::BinaryOperator,
+                AstKind::ParmVarDecl,
+            ],
+        );
+    }
+
+    #[test]
+    fn round_trip_control_flow() {
+        round_trip_preserves(
+            r#"
+            int f(int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i += 2) {
+                    if (i % 3 == 0) { acc += i; } else { acc -= 1; }
+                    while (acc > 100) { acc = acc / 2; }
+                }
+                return acc;
+            }
+            "#,
+            &[
+                AstKind::ForStmt,
+                AstKind::IfStmt,
+                AstKind::WhileStmt,
+                AstKind::ReturnStmt,
+                AstKind::CompoundAssignOperator,
+            ],
+        );
+    }
+
+    #[test]
+    fn round_trip_omp_directives() {
+        let src = r#"
+            void k(float *a, float *b, int n) {
+                #pragma omp target teams distribute parallel for collapse(2) map(to: a[0:n]) map(from: b[0:n])
+                for (int i = 0; i < n; i++) {
+                    for (int j = 0; j < n; j++) {
+                        b[i * n + j] = a[j * n + i];
+                    }
+                }
+            }
+        "#;
+        let ast1 = parse(src).unwrap();
+        let printed = print(&ast1);
+        assert!(printed.contains("#pragma omp target teams distribute parallel for"));
+        assert!(printed.contains("collapse(2)"));
+        assert!(printed.contains("map(to: a[0:n])"));
+        let ast2 = parse(&printed).unwrap();
+        assert_eq!(
+            ast1.find_all(AstKind::OmpTargetTeamsDistributeParallelForDirective)
+                .len(),
+            ast2.find_all(AstKind::OmpTargetTeamsDistributeParallelForDirective)
+                .len()
+        );
+        let d1 = ast1
+            .find_first(AstKind::OmpTargetTeamsDistributeParallelForDirective)
+            .unwrap();
+        let d2 = ast2
+            .find_first(AstKind::OmpTargetTeamsDistributeParallelForDirective)
+            .unwrap();
+        assert_eq!(
+            ast1.node(d1).data.omp.as_ref().unwrap().collapse_depth(),
+            ast2.node(d2).data.omp.as_ref().unwrap().collapse_depth()
+        );
+    }
+
+    #[test]
+    fn prints_operator_precedence_with_parentheses() {
+        let ast = parse("void f() { int x; x = 1 + 2 * 3; }").unwrap();
+        let printed = print(&ast);
+        assert!(printed.contains("x = 1 + (2 * 3)") || printed.contains("x = (1 + (2 * 3))"));
+        // And re-parsing preserves the value under constant evaluation.
+        let ast2 = parse(&printed).unwrap();
+        let assigns = ast2.find_all(AstKind::BinaryOperator);
+        let assign = assigns
+            .iter()
+            .copied()
+            .find(|&id| ast2.node(id).data.opcode.as_deref() == Some("="))
+            .unwrap();
+        let rhs = ast2.children(assign)[1];
+        assert_eq!(
+            crate::analysis::const_eval(&ast2, rhs, &Default::default()),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn prints_pragma_for_cpu_variant() {
+        let d = crate::omp::parse_pragma("parallel for collapse(2) num_threads(16)");
+        let line = print_pragma(&d);
+        assert_eq!(
+            line,
+            "#pragma omp parallel for collapse(2) num_threads(16)"
+        );
+    }
+
+    #[test]
+    fn round_trip_declarations_with_arrays_and_casts() {
+        round_trip_preserves(
+            "void f() { float a[64]; double b[8][8]; int n = (int) 3.5; a[0] = (float) n; }",
+            &[
+                AstKind::VarDecl,
+                AstKind::CStyleCastExpr,
+                AstKind::ArraySubscriptExpr,
+            ],
+        );
+    }
+
+    #[test]
+    fn round_trip_calls_and_member_access() {
+        round_trip_preserves(
+            "void f(struct p *q, float v) { q->x = sqrt(v); q->y = fabs(v) + pow(v, 2.0); }",
+            &[AstKind::CallExpr, AstKind::MemberExpr],
+        );
+    }
+}

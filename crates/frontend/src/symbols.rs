@@ -1,0 +1,245 @@
+//! Symbol resolution: connects each `DeclRefExpr` to the declaration it
+//! refers to. ParaGraph's `Ref` edges (Section III-A2 of the paper) are built
+//! directly from this table.
+
+use crate::ast::{Ast, AstKind, NodeId};
+use std::collections::HashMap;
+
+/// Result of symbol resolution over one AST.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SymbolTable {
+    /// `DeclRefExpr` node -> declaration node (`VarDecl`, `ParmVarDecl` or
+    /// `FunctionDecl`).
+    resolved: HashMap<NodeId, NodeId>,
+    /// References whose name could not be resolved (typically calls into the
+    /// C library such as `sqrt` or `exp`).
+    unresolved: Vec<NodeId>,
+}
+
+impl SymbolTable {
+    /// Declaration node referenced by the given `DeclRefExpr`, if resolved.
+    pub fn resolve(&self, decl_ref: NodeId) -> Option<NodeId> {
+        self.resolved.get(&decl_ref).copied()
+    }
+
+    /// All `(DeclRefExpr, declaration)` pairs.
+    pub fn references(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.resolved.iter().map(|(&r, &d)| (r, d))
+    }
+
+    /// Number of resolved references.
+    pub fn resolved_count(&self) -> usize {
+        self.resolved.len()
+    }
+
+    /// `DeclRefExpr` nodes that did not match any visible declaration.
+    pub fn unresolved(&self) -> &[NodeId] {
+        &self.unresolved
+    }
+}
+
+/// Lexical scope stack used during resolution.
+struct ScopeStack {
+    scopes: Vec<HashMap<String, NodeId>>,
+}
+
+impl ScopeStack {
+    fn new() -> Self {
+        Self {
+            scopes: vec![HashMap::new()],
+        }
+    }
+
+    fn push(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn declare(&mut self, name: &str, node: NodeId) {
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.insert(name.to_string(), node);
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<NodeId> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&id) = scope.get(name) {
+                return Some(id);
+            }
+        }
+        None
+    }
+}
+
+/// Resolve every `DeclRefExpr` in the AST to its declaration.
+pub fn resolve(ast: &Ast) -> SymbolTable {
+    let mut table = SymbolTable::default();
+    let mut scopes = ScopeStack::new();
+    visit(ast, ast.root(), &mut scopes, &mut table);
+    table
+}
+
+fn declares_scope(kind: AstKind) -> bool {
+    matches!(
+        kind,
+        AstKind::FunctionDecl | AstKind::CompoundStmt | AstKind::ForStmt | AstKind::WhileStmt
+    )
+}
+
+fn visit(ast: &Ast, id: NodeId, scopes: &mut ScopeStack, table: &mut SymbolTable) {
+    let node = ast.node(id);
+    let opens_scope = declares_scope(node.kind);
+    if opens_scope {
+        scopes.push();
+    }
+
+    match node.kind {
+        AstKind::FunctionDecl => {
+            if let Some(name) = &node.data.name {
+                // Declare the function in the *enclosing* scope so later
+                // functions can call it; redeclare inside too for recursion.
+                scopes.scopes[0].insert(name.clone(), id);
+                scopes.declare(name, id);
+            }
+        }
+        AstKind::VarDecl | AstKind::ParmVarDecl => {
+            if let Some(name) = &node.data.name {
+                scopes.declare(name, id);
+            }
+        }
+        AstKind::DeclRefExpr => {
+            if let Some(name) = &node.data.name {
+                match scopes.lookup(name) {
+                    Some(decl) => {
+                        table.resolved.insert(id, decl);
+                    }
+                    None => table.unresolved.push(id),
+                }
+            }
+        }
+        _ => {}
+    }
+
+    for &child in &node.children {
+        visit(ast, child, scopes, table);
+    }
+
+    if opens_scope {
+        scopes.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn resolves_local_variable_reference() {
+        let ast = parse("void f() { int x; x = 50; }").unwrap();
+        let table = resolve(&ast);
+        let dre = ast.find_first(AstKind::DeclRefExpr).unwrap();
+        let var = ast.find_first(AstKind::VarDecl).unwrap();
+        assert_eq!(table.resolve(dre), Some(var));
+        assert!(table.unresolved().is_empty());
+    }
+
+    #[test]
+    fn resolves_parameters_and_loop_counters() {
+        let src = r#"
+            void k(float *a, int n) {
+                for (int i = 0; i < n; i++) {
+                    a[i] = a[i] + 1.0;
+                }
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        let table = resolve(&ast);
+        // Every DeclRefExpr must resolve (a, n, i are all declared).
+        let refs = ast.find_all(AstKind::DeclRefExpr);
+        assert!(!refs.is_empty());
+        for r in refs {
+            assert!(table.resolve(r).is_some(), "unresolved reference {r}");
+        }
+    }
+
+    #[test]
+    fn inner_scope_shadows_outer() {
+        let src = r#"
+            void f() {
+                int x;
+                x = 1;
+                {
+                    float x;
+                    x = 2.0;
+                }
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        let table = resolve(&ast);
+        let decls = ast.find_all(AstKind::VarDecl);
+        assert_eq!(decls.len(), 2);
+        let refs = ast.find_all(AstKind::DeclRefExpr);
+        assert_eq!(refs.len(), 2);
+        // First reference resolves to the outer (int) declaration, the second
+        // to the inner (float) one.
+        assert_eq!(table.resolve(refs[0]), Some(decls[0]));
+        assert_eq!(table.resolve(refs[1]), Some(decls[1]));
+    }
+
+    #[test]
+    fn library_calls_are_unresolved() {
+        let ast = parse("void f(float v) { float r; r = sqrt(v); }").unwrap();
+        let table = resolve(&ast);
+        assert_eq!(table.unresolved().len(), 1);
+        let unresolved = table.unresolved()[0];
+        assert_eq!(ast.node(unresolved).data.name.as_deref(), Some("sqrt"));
+    }
+
+    #[test]
+    fn loop_counter_not_visible_after_loop() {
+        let src = r#"
+            void f(int n) {
+                for (int i = 0; i < n; i++) { }
+                int j;
+                j = i;
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        let table = resolve(&ast);
+        // The trailing use of `i` must be unresolved because the counter's
+        // scope is the for statement.
+        assert_eq!(table.unresolved().len(), 1);
+    }
+
+    #[test]
+    fn function_references_resolve_to_function_decls() {
+        let src = r#"
+            float helper(float x) { return x * 2.0; }
+            void main_kernel(float *a, int n) {
+                for (int i = 0; i < n; i++) { a[i] = helper(a[i]); }
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        let table = resolve(&ast);
+        let funcs = ast.find_all(AstKind::FunctionDecl);
+        let helper_refs: Vec<_> = ast
+            .find_all(AstKind::DeclRefExpr)
+            .into_iter()
+            .filter(|&id| ast.node(id).data.name.as_deref() == Some("helper"))
+            .collect();
+        assert_eq!(helper_refs.len(), 1);
+        assert_eq!(table.resolve(helper_refs[0]), Some(funcs[0]));
+    }
+
+    #[test]
+    fn resolved_count_matches_references() {
+        let ast = parse("void f() { int a; int b; a = b; b = a; }").unwrap();
+        let table = resolve(&ast);
+        assert_eq!(table.resolved_count(), 4);
+        assert_eq!(table.references().count(), 4);
+    }
+}

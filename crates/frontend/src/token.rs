@@ -1,0 +1,317 @@
+//! Token definitions for the C-subset + OpenMP lexer.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Kinds of tokens produced by the [`crate::lexer::Lexer`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// Identifier (variable, function or type name not recognised as a keyword).
+    Identifier(String),
+    /// Reserved C keyword (`for`, `if`, `int`, ...).
+    Keyword(Keyword),
+    /// Integer literal with its parsed value.
+    IntLiteral(i64),
+    /// Floating-point literal with its parsed value.
+    FloatLiteral(f64),
+    /// String literal (contents without quotes, escapes resolved textually).
+    StringLiteral(String),
+    /// Character literal.
+    CharLiteral(char),
+    /// Punctuation or operator (`+`, `<=`, `(`, ...).
+    Punct(Punct),
+    /// An OpenMP pragma line: the raw text after `#pragma omp`.
+    OmpPragma(String),
+    /// End of input marker.
+    Eof,
+}
+
+/// C keywords recognised by the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Int,
+    Float,
+    Double,
+    Long,
+    Short,
+    Char,
+    Void,
+    Unsigned,
+    Signed,
+    Const,
+    Static,
+    Struct,
+    For,
+    While,
+    Do,
+    If,
+    Else,
+    Return,
+    Break,
+    Continue,
+    Sizeof,
+}
+
+impl Keyword {
+    /// Map an identifier spelling to a keyword, if it is one.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "int" => Keyword::Int,
+            "float" => Keyword::Float,
+            "double" => Keyword::Double,
+            "long" => Keyword::Long,
+            "short" => Keyword::Short,
+            "char" => Keyword::Char,
+            "void" => Keyword::Void,
+            "unsigned" => Keyword::Unsigned,
+            "signed" => Keyword::Signed,
+            "const" => Keyword::Const,
+            "static" => Keyword::Static,
+            "struct" => Keyword::Struct,
+            "for" => Keyword::For,
+            "while" => Keyword::While,
+            "do" => Keyword::Do,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "sizeof" => Keyword::Sizeof,
+            _ => return None,
+        })
+    }
+
+    /// True for keywords that can start a declaration's type specifier.
+    pub fn is_type_specifier(self) -> bool {
+        matches!(
+            self,
+            Keyword::Int
+                | Keyword::Float
+                | Keyword::Double
+                | Keyword::Long
+                | Keyword::Short
+                | Keyword::Char
+                | Keyword::Void
+                | Keyword::Unsigned
+                | Keyword::Signed
+                | Keyword::Const
+                | Keyword::Static
+                | Keyword::Struct
+        )
+    }
+
+    /// Canonical source spelling.
+    pub fn spelling(self) -> &'static str {
+        match self {
+            Keyword::Int => "int",
+            Keyword::Float => "float",
+            Keyword::Double => "double",
+            Keyword::Long => "long",
+            Keyword::Short => "short",
+            Keyword::Char => "char",
+            Keyword::Void => "void",
+            Keyword::Unsigned => "unsigned",
+            Keyword::Signed => "signed",
+            Keyword::Const => "const",
+            Keyword::Static => "static",
+            Keyword::Struct => "struct",
+            Keyword::For => "for",
+            Keyword::While => "while",
+            Keyword::Do => "do",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::Return => "return",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+            Keyword::Sizeof => "sizeof",
+        }
+    }
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semicolon,
+    Comma,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    PlusPlus,
+    MinusMinus,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+    Question,
+    Colon,
+}
+
+impl Punct {
+    /// Canonical source spelling.
+    pub fn spelling(self) -> &'static str {
+        match self {
+            Punct::LParen => "(",
+            Punct::RParen => ")",
+            Punct::LBrace => "{",
+            Punct::RBrace => "}",
+            Punct::LBracket => "[",
+            Punct::RBracket => "]",
+            Punct::Semicolon => ";",
+            Punct::Comma => ",",
+            Punct::Dot => ".",
+            Punct::Arrow => "->",
+            Punct::Plus => "+",
+            Punct::Minus => "-",
+            Punct::Star => "*",
+            Punct::Slash => "/",
+            Punct::Percent => "%",
+            Punct::Assign => "=",
+            Punct::PlusAssign => "+=",
+            Punct::MinusAssign => "-=",
+            Punct::StarAssign => "*=",
+            Punct::SlashAssign => "/=",
+            Punct::PercentAssign => "%=",
+            Punct::PlusPlus => "++",
+            Punct::MinusMinus => "--",
+            Punct::Eq => "==",
+            Punct::Ne => "!=",
+            Punct::Lt => "<",
+            Punct::Gt => ">",
+            Punct::Le => "<=",
+            Punct::Ge => ">=",
+            Punct::AndAnd => "&&",
+            Punct::OrOr => "||",
+            Punct::Not => "!",
+            Punct::Amp => "&",
+            Punct::Pipe => "|",
+            Punct::Caret => "^",
+            Punct::Tilde => "~",
+            Punct::Shl => "<<",
+            Punct::Shr => ">>",
+            Punct::Question => "?",
+            Punct::Colon => ":",
+        }
+    }
+}
+
+/// Source location of a token (1-based line/column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SourceLocation {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub column: u32,
+}
+
+impl fmt::Display for SourceLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it starts in the source.
+    pub location: SourceLocation,
+}
+
+impl Token {
+    /// Convenience constructor.
+    pub fn new(kind: TokenKind, line: u32, column: u32) -> Self {
+        Self {
+            kind,
+            location: SourceLocation { line, column },
+        }
+    }
+
+    /// True for the end-of-file marker.
+    pub fn is_eof(&self) -> bool {
+        matches!(self.kind, TokenKind::Eof)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [
+            Keyword::Int,
+            Keyword::For,
+            Keyword::If,
+            Keyword::Return,
+            Keyword::Unsigned,
+            Keyword::Sizeof,
+        ] {
+            assert_eq!(Keyword::from_str(kw.spelling()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("banana"), None);
+    }
+
+    #[test]
+    fn type_specifier_classification() {
+        assert!(Keyword::Int.is_type_specifier());
+        assert!(Keyword::Unsigned.is_type_specifier());
+        assert!(Keyword::Const.is_type_specifier());
+        assert!(!Keyword::For.is_type_specifier());
+        assert!(!Keyword::Return.is_type_specifier());
+    }
+
+    #[test]
+    fn punct_spellings_are_unique() {
+        use std::collections::HashSet;
+        let all = [
+            Punct::LParen,
+            Punct::RParen,
+            Punct::Plus,
+            Punct::PlusAssign,
+            Punct::PlusPlus,
+            Punct::Le,
+            Punct::Lt,
+            Punct::Shl,
+            Punct::Assign,
+            Punct::Eq,
+        ];
+        let spellings: HashSet<&str> = all.iter().map(|p| p.spelling()).collect();
+        assert_eq!(spellings.len(), all.len());
+    }
+
+    #[test]
+    fn source_location_display() {
+        let loc = SourceLocation { line: 3, column: 14 };
+        assert_eq!(loc.to_string(), "3:14");
+    }
+}

@@ -1,0 +1,188 @@
+//! Evaluation views over validation predictions, matching the paper's
+//! figures: relative error per runtime bin (Figure 4) and mean error rate per
+//! application (Figure 6).
+
+use crate::train::PredictionRecord;
+use pg_tensor::metrics;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Relative error of one runtime bin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinError {
+    /// Human-readable bin label (e.g. `0-10`, `100 <`).
+    pub label: String,
+    /// Inclusive lower bound of the bin (ms).
+    pub low_ms: f32,
+    /// Exclusive upper bound of the bin (ms); `f32::INFINITY` for the last bin.
+    pub high_ms: f32,
+    /// Number of validation samples in the bin.
+    pub count: usize,
+    /// Mean relative error (|err| / runtime range) of the bin.
+    pub relative_error: f32,
+}
+
+/// Group validation predictions into `num_bins` equally wide runtime bins
+/// plus a final open-ended bin, and compute the mean relative error of each,
+/// exactly like Figure 4 (which uses 10-second bins plus a `100 <` bin).
+pub fn binned_relative_error(
+    records: &[PredictionRecord],
+    bin_width_ms: f32,
+    num_bins: usize,
+) -> Vec<BinError> {
+    let actual: Vec<f32> = records.iter().map(|r| r.actual_ms).collect();
+    let range = metrics::value_range(&actual).max(f32::EPSILON);
+
+    let mut bins: Vec<(Vec<f32>, Vec<f32>)> = vec![(Vec::new(), Vec::new()); num_bins + 1];
+    for r in records {
+        let idx = if bin_width_ms <= 0.0 {
+            0
+        } else {
+            ((r.actual_ms / bin_width_ms).floor() as usize).min(num_bins)
+        };
+        bins[idx].0.push(r.predicted_ms);
+        bins[idx].1.push(r.actual_ms);
+    }
+
+    bins.into_iter()
+        .enumerate()
+        .map(|(i, (pred, act))| {
+            let low = i as f32 * bin_width_ms;
+            let (high, label) = if i == num_bins {
+                (f32::INFINITY, format!("{} <", format_ms(low)))
+            } else {
+                (
+                    (i + 1) as f32 * bin_width_ms,
+                    format!("{}-{}", format_ms(low), format_ms((i + 1) as f32 * bin_width_ms)),
+                )
+            };
+            BinError {
+                label,
+                low_ms: low,
+                high_ms: high,
+                count: pred.len(),
+                relative_error: metrics::mean_relative_error(&pred, &act, range),
+            }
+        })
+        .collect()
+}
+
+fn format_ms(ms: f32) -> String {
+    if ms >= 1000.0 {
+        format!("{:.0}s", ms / 1000.0)
+    } else {
+        format!("{ms:.0}ms")
+    }
+}
+
+/// Mean relative error per application (Figure 6), sorted by application name.
+pub fn per_application_error(records: &[PredictionRecord]) -> Vec<(String, f32, usize)> {
+    let actual: Vec<f32> = records.iter().map(|r| r.actual_ms).collect();
+    let range = metrics::value_range(&actual).max(f32::EPSILON);
+    let mut groups: BTreeMap<String, (Vec<f32>, Vec<f32>)> = BTreeMap::new();
+    for r in records {
+        let entry = groups.entry(r.application.clone()).or_default();
+        entry.0.push(r.predicted_ms);
+        entry.1.push(r.actual_ms);
+    }
+    groups
+        .into_iter()
+        .map(|(app, (pred, act))| {
+            let err = metrics::mean_relative_error(&pred, &act, range);
+            (app, err, pred.len())
+        })
+        .collect()
+}
+
+/// Mean relative error per variant (not in the paper, but a useful
+/// diagnostic for the best-variant selection use case).
+pub fn per_variant_error(records: &[PredictionRecord]) -> Vec<(String, f32, usize)> {
+    let actual: Vec<f32> = records.iter().map(|r| r.actual_ms).collect();
+    let range = metrics::value_range(&actual).max(f32::EPSILON);
+    let mut groups: BTreeMap<String, (Vec<f32>, Vec<f32>)> = BTreeMap::new();
+    for r in records {
+        let entry = groups.entry(r.variant.clone()).or_default();
+        entry.0.push(r.predicted_ms);
+        entry.1.push(r.actual_ms);
+    }
+    groups
+        .into_iter()
+        .map(|(variant, (pred, act))| {
+            let err = metrics::mean_relative_error(&pred, &act, range);
+            (variant, err, pred.len())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(app: &str, variant: &str, actual: f32, predicted: f32) -> PredictionRecord {
+        PredictionRecord {
+            id: 0,
+            application: app.to_string(),
+            variant: variant.to_string(),
+            actual_ms: actual,
+            predicted_ms: predicted,
+        }
+    }
+
+    #[test]
+    fn bins_partition_all_records() {
+        let records = vec![
+            record("MM", "gpu", 5.0, 6.0),
+            record("MM", "gpu", 15.0, 14.0),
+            record("MM", "gpu", 95.0, 90.0),
+            record("MM", "gpu", 250.0, 240.0),
+        ];
+        let bins = binned_relative_error(&records, 10.0, 10);
+        assert_eq!(bins.len(), 11);
+        let total: usize = bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, records.len());
+        // The 250 ms record lands in the open-ended bin.
+        assert_eq!(bins.last().unwrap().count, 1);
+        assert!(bins.last().unwrap().label.contains('<'));
+    }
+
+    #[test]
+    fn per_bin_error_uses_global_range() {
+        let records = vec![record("MM", "gpu", 0.0, 10.0), record("MM", "gpu", 100.0, 100.0)];
+        let bins = binned_relative_error(&records, 10.0, 10);
+        // First bin: |0-10| / range(100) = 0.1.
+        assert!((bins[0].relative_error - 0.1).abs() < 1e-6);
+        assert_eq!(bins[0].count, 1);
+    }
+
+    #[test]
+    fn per_application_groups_and_sorts() {
+        let records = vec![
+            record("Transpose", "gpu", 10.0, 12.0),
+            record("MM", "gpu", 50.0, 45.0),
+            record("MM", "gpu", 110.0, 100.0),
+        ];
+        let per_app = per_application_error(&records);
+        assert_eq!(per_app.len(), 2);
+        assert_eq!(per_app[0].0, "MM");
+        assert_eq!(per_app[0].2, 2);
+        assert_eq!(per_app[1].0, "Transpose");
+        assert!(per_app.iter().all(|(_, err, _)| *err >= 0.0));
+    }
+
+    #[test]
+    fn per_variant_groups() {
+        let records = vec![
+            record("MM", "gpu", 10.0, 12.0),
+            record("MM", "gpu_mem", 50.0, 45.0),
+        ];
+        let per_variant = per_variant_error(&records);
+        assert_eq!(per_variant.len(), 2);
+    }
+
+    #[test]
+    fn empty_records_yield_empty_groups() {
+        assert!(per_application_error(&[]).is_empty());
+        let bins = binned_relative_error(&[], 10.0, 5);
+        assert!(bins.iter().all(|b| b.count == 0 && b.relative_error == 0.0));
+    }
+}

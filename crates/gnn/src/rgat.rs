@@ -1,0 +1,245 @@
+//! Relational Graph Attention (RGAT) convolution layer.
+//!
+//! The paper adapts RGAT (Busbridge et al., 2019): attention logits are
+//! computed **per edge type**, normalised over the incoming edges of each
+//! destination node within that edge type, and the per-relation aggregations
+//! are summed together with a self-connection. ParaGraph's edge weights enter
+//! as multiplicative attention priors on the `Child` relation.
+
+use pg_tensor::{init, Matrix, Tape, Var};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Negative slope of the LeakyReLU applied to attention logits (GAT default).
+pub const ATTENTION_LEAKY_SLOPE: f32 = 0.2;
+
+/// One RGAT convolution layer.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct RgatLayer {
+    /// Per-relation projection matrices (`F_in x F_out`).
+    pub w_rel: Vec<Matrix>,
+    /// Per-relation attention vectors (`2*F_out x 1`).
+    pub a_rel: Vec<Matrix>,
+    /// Self-connection projection (`F_in x F_out`).
+    pub w_self: Matrix,
+    /// Bias (`1 x F_out`).
+    pub bias: Matrix,
+    /// Input feature dimension.
+    pub input_dim: usize,
+    /// Output feature dimension.
+    pub output_dim: usize,
+}
+
+impl RgatLayer {
+    /// Create a layer with Xavier-initialised projections.
+    pub fn new(rng: &mut StdRng, num_relations: usize, input_dim: usize, output_dim: usize) -> Self {
+        let w_rel = (0..num_relations)
+            .map(|_| init::xavier_uniform(rng, input_dim, output_dim))
+            .collect();
+        let a_rel = (0..num_relations)
+            .map(|_| init::small_uniform(rng, 2 * output_dim, 1, 0.1))
+            .collect();
+        Self {
+            w_rel,
+            a_rel,
+            w_self: init::xavier_uniform(rng, input_dim, output_dim),
+            bias: Matrix::zeros(1, output_dim),
+            input_dim,
+            output_dim,
+        }
+    }
+
+    /// Number of relations the layer models.
+    pub fn num_relations(&self) -> usize {
+        self.w_rel.len()
+    }
+
+    /// Total number of trainable matrices in this layer.
+    pub fn parameter_count(&self) -> usize {
+        2 * self.w_rel.len() + 2
+    }
+
+    /// Borrow every trainable matrix, in a stable order.
+    pub fn parameters(&self) -> Vec<&Matrix> {
+        let mut out: Vec<&Matrix> = Vec::with_capacity(self.parameter_count());
+        out.extend(self.w_rel.iter());
+        out.extend(self.a_rel.iter());
+        out.push(&self.w_self);
+        out.push(&self.bias);
+        out
+    }
+
+    /// Mutably borrow every trainable matrix, in the same order as
+    /// [`RgatLayer::parameters`].
+    pub fn parameters_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut out: Vec<&mut Matrix> = Vec::with_capacity(2 * self.w_rel.len() + 2);
+        out.extend(self.w_rel.iter_mut());
+        out.extend(self.a_rel.iter_mut());
+        out.push(&mut self.w_self);
+        out.push(&mut self.bias);
+        out
+    }
+
+    /// Forward pass on the tape.
+    ///
+    /// * `h` — node features (`N x F_in`) already on the tape,
+    /// * `params` — the layer's parameters as tape leaves, in the order of
+    ///   [`RgatLayer::parameters`],
+    /// * `relations` — per-relation `(src, dst, priors)` edge lists.
+    ///
+    /// Returns the new node representations (`N x F_out`).
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        h: Var,
+        params: &[Var],
+        relations: &[(Vec<usize>, Vec<usize>, Vec<f32>)],
+        node_count: usize,
+    ) -> Var {
+        assert_eq!(params.len(), self.parameter_count(), "parameter count mismatch");
+        assert_eq!(relations.len(), self.num_relations(), "relation count mismatch");
+        let r = self.num_relations();
+        let w_rel = &params[0..r];
+        let a_rel = &params[r..2 * r];
+        let w_self = params[2 * r];
+        let bias = params[2 * r + 1];
+
+        // Self connection: H * W_self.
+        let mut agg = tape.matmul(h, w_self);
+
+        for (rel_idx, (src, dst, priors)) in relations.iter().enumerate() {
+            if src.is_empty() {
+                continue;
+            }
+            let hs = tape.gather_rows(h, src);
+            let hd = tape.gather_rows(h, dst);
+            let ms = tape.matmul(hs, w_rel[rel_idx]);
+            let md = tape.matmul(hd, w_rel[rel_idx]);
+            let cat = tape.concat_cols(ms, md);
+            let raw_logits = tape.matmul(cat, a_rel[rel_idx]);
+            let logits = tape.leaky_relu(raw_logits, ATTENTION_LEAKY_SLOPE);
+            let alpha = tape.segment_softmax(logits, dst, priors);
+            // The edge priors (log-compressed ParaGraph weights) scale the
+            // messages *in addition* to steering the attention. This matters
+            // because Child edges form a tree: every destination has exactly
+            // one incoming Child edge, so a per-segment softmax alone would
+            // normalise the weight information away entirely.
+            let prior_col = tape.leaf(pg_tensor::Matrix::col_vector(priors));
+            let messages = tape.mul_col_broadcast(ms, alpha);
+            let messages = tape.mul_col_broadcast(messages, prior_col);
+            let rel_agg = tape.scatter_add_rows(messages, dst, node_count);
+            agg = tape.add(agg, rel_agg);
+        }
+
+        let with_bias = tape.add_row_broadcast(agg, bias);
+        tape.relu(with_bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn simple_relations() -> Vec<(Vec<usize>, Vec<usize>, Vec<f32>)> {
+        vec![
+            // Relation 0: a small tree 0->1, 0->2, 1->3 with weights.
+            (vec![0, 0, 1], vec![1, 2, 3], vec![1.0, 2.0, 4.0]),
+            // Relation 1: a chain 1->2->3.
+            (vec![1, 2], vec![2, 3], vec![1.0, 1.0]),
+            // Relation 2: empty.
+            (vec![], vec![], vec![]),
+        ]
+    }
+
+    #[test]
+    fn forward_produces_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = RgatLayer::new(&mut rng, 3, 6, 4);
+        assert_eq!(layer.parameter_count(), 8);
+        let mut tape = Tape::new();
+        let h = tape.leaf(Matrix::from_fn(4, 6, |r, c| (r + c) as f32 * 0.1));
+        let params: Vec<Var> = layer.parameters().iter().map(|p| tape.leaf((*p).clone())).collect();
+        let out = layer.forward(&mut tape, h, &params, &simple_relations(), 4);
+        assert_eq!(tape.value(out).shape(), (4, 4));
+        assert!(!tape.value(out).has_non_finite());
+    }
+
+    #[test]
+    fn output_is_nonnegative_due_to_relu() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = RgatLayer::new(&mut rng, 3, 5, 3);
+        let mut tape = Tape::new();
+        let h = tape.leaf(Matrix::from_fn(4, 5, |r, c| ((r * 3 + c) as f32).sin()));
+        let params: Vec<Var> = layer.parameters().iter().map(|p| tape.leaf((*p).clone())).collect();
+        let out = layer.forward(&mut tape, h, &params, &simple_relations(), 4);
+        assert!(tape.value(out).min() >= 0.0);
+    }
+
+    #[test]
+    fn edge_priors_change_the_output() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let layer = RgatLayer::new(&mut rng, 1, 4, 4);
+        let h0 = Matrix::from_fn(3, 4, |r, c| (r as f32 - c as f32) * 0.3);
+        // Node 2 receives messages from nodes 0 and 1; the prior decides who
+        // dominates.
+        let run = |priors: Vec<f32>| -> Matrix {
+            let mut tape = Tape::new();
+            let h = tape.leaf(h0.clone());
+            let params: Vec<Var> =
+                layer.parameters().iter().map(|p| tape.leaf((*p).clone())).collect();
+            let rels = vec![(vec![0usize, 1], vec![2usize, 2], priors)];
+            let out = layer.forward(&mut tape, h, &params, &rels, 3);
+            tape.value(out).clone()
+        };
+        let balanced = run(vec![1.0, 1.0]);
+        let skewed = run(vec![100.0, 1.0]);
+        assert!(!balanced.approx_eq(&skewed, 1e-6), "priors must influence attention");
+    }
+
+    #[test]
+    fn gradients_flow_to_every_parameter() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let layer = RgatLayer::new(&mut rng, 2, 4, 3);
+        let mut tape = Tape::new();
+        let h = tape.leaf(Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32 * 0.05 + 0.1));
+        let params: Vec<Var> = layer.parameters().iter().map(|p| tape.leaf((*p).clone())).collect();
+        // Destinations are shared within each relation so the attention
+        // softmax has more than one competitor and its parameters receive a
+        // gradient (a single-edge segment has a constant alpha of 1).
+        let rels = vec![
+            (vec![0usize, 1, 2], vec![3usize, 3, 3], vec![1.0, 2.0, 3.0]),
+            (vec![3usize, 2, 1], vec![0usize, 0, 0], vec![1.0, 1.0, 1.0]),
+        ];
+        let out = layer.forward(&mut tape, h, &params, &rels, 4);
+        let pooled = tape.mean_rows(out);
+        let loss = tape.mse_loss(pooled, &vec![0.5; 3]);
+        tape.backward(loss);
+        // Projection matrices and the self/bias parameters must all receive
+        // gradient; attention vectors receive gradient as a group (an
+        // individual relation can be blocked by a dead ReLU).
+        let r = layer.num_relations();
+        for (i, &p) in params.iter().enumerate().take(r) {
+            assert!(tape.grad(p).frobenius_norm() > 0.0, "W_rel[{i}] received no gradient");
+        }
+        let attention_grad: f32 = params[r..2 * r]
+            .iter()
+            .map(|&p| tape.grad(p).frobenius_norm())
+            .sum();
+        assert!(attention_grad > 0.0, "attention vectors received no gradient");
+        assert!(tape.grad(params[2 * r]).frobenius_norm() > 0.0, "W_self received no gradient");
+        // Node features must also receive gradient.
+        assert!(tape.grad(h).frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn parameters_and_parameters_mut_agree_in_order() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut layer = RgatLayer::new(&mut rng, 3, 4, 4);
+        let shapes: Vec<(usize, usize)> = layer.parameters().iter().map(|m| m.shape()).collect();
+        let shapes_mut: Vec<(usize, usize)> =
+            layer.parameters_mut().iter().map(|m| m.shape()).collect();
+        assert_eq!(shapes, shapes_mut);
+        assert_eq!(shapes.len(), layer.parameter_count());
+    }
+}

@@ -1,0 +1,403 @@
+//! Training loop for the ParaGraph model: dataset preparation (graph
+//! construction, feature/target scaling), mini-batch Adam training with
+//! rayon-parallel gradient computation, and validation-set evaluation after
+//! every epoch (the training curves of Figures 5 and 7).
+
+use crate::model::{GraphSample, ModelConfig, ParaGraphModel};
+use paragraph_core::Representation;
+use pg_dataset::PlatformDataset;
+use pg_tensor::{metrics, Adam, AdamConfig, Matrix, MinMaxScaler, TargetTransform};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training split.
+    pub epochs: usize,
+    /// Mini-batch size (gradients are averaged over the batch).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Seed for parameter initialisation, shuffling and the train/val split.
+    pub seed: u64,
+    /// Which graph representation to train on (ablation study).
+    pub representation: Representation,
+    /// Model hyper-parameters.
+    pub model: ModelConfig,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 30,
+            batch_size: 16,
+            learning_rate: 2e-3,
+            seed: 42,
+            representation: Representation::ParaGraph,
+            model: ModelConfig::default(),
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A reduced configuration for unit tests / CI.
+    pub fn fast() -> Self {
+        Self {
+            epochs: 6,
+            batch_size: 8,
+            model: ModelConfig::tiny(),
+            ..Self::default()
+        }
+    }
+}
+
+/// Metadata of one sample kept alongside the tensors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleMeta {
+    /// Data-point id within the platform dataset.
+    pub id: usize,
+    /// Application name.
+    pub application: String,
+    /// Variant name.
+    pub variant: String,
+    /// Ground-truth runtime in milliseconds.
+    pub runtime_ms: f32,
+}
+
+/// The dataset converted to model inputs.
+#[derive(Debug, Clone)]
+pub struct PreparedDataset {
+    /// Model-ready samples, aligned with `meta`.
+    pub samples: Vec<GraphSample>,
+    /// Per-sample metadata.
+    pub meta: Vec<SampleMeta>,
+    /// Target transform fitted on the training split.
+    pub target_transform: TargetTransform,
+    /// Side-feature scaler fitted on the training split.
+    pub side_scaler: MinMaxScaler,
+    /// Indices of the training split.
+    pub train_idx: Vec<usize>,
+    /// Indices of the validation split.
+    pub val_idx: Vec<usize>,
+}
+
+/// Validation metrics of one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch number (1-based).
+    pub epoch: usize,
+    /// Mean training MSE (in target/encoded space).
+    pub train_loss: f32,
+    /// Validation RMSE in milliseconds.
+    pub val_rmse_ms: f32,
+    /// Validation RMSE normalised by the runtime range.
+    pub val_norm_rmse: f32,
+}
+
+/// Training history across epochs (Figures 5 and 7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TrainingHistory {
+    /// Per-epoch statistics.
+    pub epochs: Vec<EpochStats>,
+}
+
+/// One validation-set prediction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictionRecord {
+    /// Data-point id.
+    pub id: usize,
+    /// Application name.
+    pub application: String,
+    /// Variant name.
+    pub variant: String,
+    /// Ground-truth runtime (ms).
+    pub actual_ms: f32,
+    /// Predicted runtime (ms).
+    pub predicted_ms: f32,
+}
+
+/// Result of training one model on one platform dataset.
+#[derive(Debug, Clone)]
+pub struct TrainedOutcome {
+    /// The trained model.
+    pub model: ParaGraphModel,
+    /// Per-epoch validation metrics.
+    pub history: TrainingHistory,
+    /// Final validation-set predictions.
+    pub validation: Vec<PredictionRecord>,
+    /// Final validation RMSE in milliseconds (Table III).
+    pub rmse_ms: f32,
+    /// Final normalised RMSE (Table III).
+    pub norm_rmse: f32,
+    /// Runtime range (max - min) of the validation labels in milliseconds.
+    pub runtime_range_ms: f32,
+}
+
+/// Convert a platform dataset into model-ready samples.
+pub fn prepare(dataset: &PlatformDataset, representation: Representation, seed: u64) -> PreparedDataset {
+    let (train_idx, val_idx) = dataset.split(seed);
+
+    // Fit scalers on the *training* split only.
+    let train_runtimes: Vec<f32> = train_idx
+        .iter()
+        .map(|&i| dataset.points[i].runtime_ms as f32)
+        .collect();
+    let target_transform = TargetTransform::fit_log1p(&train_runtimes);
+    let train_side: Vec<Vec<f32>> = train_idx
+        .iter()
+        .map(|&i| {
+            vec![
+                dataset.points[i].teams as f32,
+                dataset.points[i].threads as f32,
+            ]
+        })
+        .collect();
+    let side_scaler = if train_side.is_empty() {
+        MinMaxScaler::fit(&[vec![0.0, 0.0], vec![1.0, 1.0]])
+    } else {
+        MinMaxScaler::fit(&train_side)
+    };
+
+    // Build all graphs in parallel.
+    let samples: Vec<GraphSample> = dataset
+        .points
+        .par_iter()
+        .map(|point| {
+            let graph = point.build_relational(representation);
+            let side = side_scaler.transform(&[point.teams as f32, point.threads as f32]);
+            GraphSample {
+                graph,
+                side: [side[0], side[1]],
+                target: target_transform.encode(point.runtime_ms as f32),
+            }
+        })
+        .collect();
+
+    let meta: Vec<SampleMeta> = dataset
+        .points
+        .iter()
+        .map(|p| SampleMeta {
+            id: p.id,
+            application: p.application.clone(),
+            variant: p.variant.name().to_string(),
+            runtime_ms: p.runtime_ms as f32,
+        })
+        .collect();
+
+    PreparedDataset {
+        samples,
+        meta,
+        target_transform,
+        side_scaler,
+        train_idx,
+        val_idx,
+    }
+}
+
+/// Evaluate a model on a set of samples, returning per-sample predictions in
+/// milliseconds.
+pub fn evaluate(
+    model: &ParaGraphModel,
+    prepared: &PreparedDataset,
+    indices: &[usize],
+) -> Vec<PredictionRecord> {
+    indices
+        .par_iter()
+        .map(|&i| {
+            let encoded = model.predict(&prepared.samples[i]);
+            let predicted_ms = prepared.target_transform.decode(encoded).max(0.0);
+            let meta = &prepared.meta[i];
+            PredictionRecord {
+                id: meta.id,
+                application: meta.application.clone(),
+                variant: meta.variant.clone(),
+                actual_ms: meta.runtime_ms,
+                predicted_ms,
+            }
+        })
+        .collect()
+}
+
+/// RMSE (ms) and normalised RMSE of a set of prediction records.
+pub fn summarize(records: &[PredictionRecord]) -> (f32, f32, f32) {
+    let predicted: Vec<f32> = records.iter().map(|r| r.predicted_ms).collect();
+    let actual: Vec<f32> = records.iter().map(|r| r.actual_ms).collect();
+    let rmse = metrics::rmse(&predicted, &actual);
+    let range = metrics::value_range(&actual);
+    let norm = if range > 0.0 { rmse / range } else { 0.0 };
+    (rmse, norm, range)
+}
+
+/// Train the ParaGraph model on one platform dataset.
+pub fn train(dataset: &PlatformDataset, config: &TrainConfig) -> TrainedOutcome {
+    let prepared = prepare(dataset, config.representation, config.seed);
+    train_prepared(&prepared, config)
+}
+
+/// Train on an already-prepared dataset (lets the ablation study reuse the
+/// expensive graph construction across representations when they share it).
+pub fn train_prepared(prepared: &PreparedDataset, config: &TrainConfig) -> TrainedOutcome {
+    let mut model = ParaGraphModel::new(config.model, config.seed);
+    let mut adam = Adam::new(AdamConfig {
+        learning_rate: config.learning_rate,
+        ..AdamConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7261_696e);
+    let mut history = TrainingHistory::default();
+
+    let mut train_order = prepared.train_idx.clone();
+    for epoch in 1..=config.epochs.max(1) {
+        train_order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+
+        for batch in train_order.chunks(config.batch_size.max(1)) {
+            // Parallel gradient computation over the batch.
+            let results: Vec<(f32, Vec<Matrix>)> = batch
+                .par_iter()
+                .map(|&i| model.loss_and_gradients(&prepared.samples[i]))
+                .collect();
+
+            let batch_len = results.len().max(1) as f32;
+            let mut mean_grads: Vec<Matrix> = results[0].1.clone();
+            let mut batch_loss = results[0].0;
+            for (loss, grads) in results.iter().skip(1) {
+                batch_loss += *loss;
+                for (acc, g) in mean_grads.iter_mut().zip(grads.iter()) {
+                    acc.add_assign(g);
+                }
+            }
+            for g in &mut mean_grads {
+                *g = g.scale(1.0 / batch_len);
+            }
+            epoch_loss += (batch_loss / batch_len) as f64;
+            batches += 1;
+
+            adam.begin_step();
+            for (key, (param, grad)) in model
+                .parameters_mut()
+                .into_iter()
+                .zip(mean_grads.iter())
+                .enumerate()
+            {
+                adam.step(key, param, grad);
+            }
+        }
+
+        // Validation after every epoch (Figures 5 and 7 plot this curve).
+        let val_records = evaluate(&model, prepared, &prepared.val_idx);
+        let (rmse_ms, norm_rmse, _) = summarize(&val_records);
+        history.epochs.push(EpochStats {
+            epoch,
+            train_loss: (epoch_loss / batches.max(1) as f64) as f32,
+            val_rmse_ms: rmse_ms,
+            val_norm_rmse: norm_rmse,
+        });
+    }
+
+    let validation = evaluate(&model, prepared, &prepared.val_idx);
+    let (rmse_ms, norm_rmse, runtime_range_ms) = summarize(&validation);
+    TrainedOutcome {
+        model,
+        history,
+        validation,
+        rmse_ms,
+        norm_rmse,
+        runtime_range_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_dataset::{collect_platform, DatasetScale, PipelineConfig};
+    use pg_perfsim::Platform;
+
+    fn tiny_dataset() -> PlatformDataset {
+        collect_platform(
+            Platform::SummitV100,
+            &PipelineConfig {
+                scale: DatasetScale::Fast,
+                seed: 3,
+                noise_sigma: 0.02,
+            },
+        )
+    }
+
+    #[test]
+    fn prepare_builds_one_sample_per_point() {
+        let ds = tiny_dataset();
+        let prepared = prepare(&ds, Representation::ParaGraph, 1);
+        assert_eq!(prepared.samples.len(), ds.len());
+        assert_eq!(prepared.meta.len(), ds.len());
+        assert_eq!(prepared.train_idx.len() + prepared.val_idx.len(), ds.len());
+        // Encoded targets are within [0, 1] (training split) or close to it.
+        assert!(prepared
+            .samples
+            .iter()
+            .all(|s| s.target >= -0.2 && s.target <= 1.2));
+        // Side features are scaled.
+        assert!(prepared.samples.iter().all(|s| s.side[0] >= 0.0 && s.side[0] <= 1.0));
+    }
+
+    #[test]
+    fn training_reduces_validation_error() {
+        let ds = tiny_dataset();
+        let config = TrainConfig {
+            epochs: 8,
+            ..TrainConfig::fast()
+        };
+        let outcome = train(&ds, &config);
+        assert_eq!(outcome.history.epochs.len(), 8);
+        let first = outcome.history.epochs.first().unwrap().val_norm_rmse;
+        let last = outcome.history.epochs.last().unwrap().val_norm_rmse;
+        assert!(
+            last < first,
+            "validation error must improve during training: {first} -> {last}"
+        );
+        assert!(outcome.norm_rmse < 0.5, "normalised RMSE {} is unreasonably high", outcome.norm_rmse);
+        assert_eq!(outcome.validation.len(), ds.split(config.seed).1.len());
+    }
+
+    #[test]
+    fn training_is_deterministic_for_a_seed() {
+        let ds = tiny_dataset();
+        let config = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::fast()
+        };
+        let a = train(&ds, &config);
+        let b = train(&ds, &config);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.rmse_ms, b.rmse_ms);
+    }
+
+    #[test]
+    fn summarize_matches_metrics() {
+        let records = vec![
+            PredictionRecord {
+                id: 0,
+                application: "MM".into(),
+                variant: "gpu".into(),
+                actual_ms: 10.0,
+                predicted_ms: 12.0,
+            },
+            PredictionRecord {
+                id: 1,
+                application: "MM".into(),
+                variant: "gpu".into(),
+                actual_ms: 110.0,
+                predicted_ms: 100.0,
+            },
+        ];
+        let (rmse, norm, range) = summarize(&records);
+        assert!((range - 100.0).abs() < 1e-6);
+        let expected_rmse = ((4.0 + 100.0) / 2.0f32).sqrt();
+        assert!((rmse - expected_rmse).abs() < 1e-4);
+        assert!((norm - expected_rmse / 100.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,28 @@
+//! # pg-kernels
+//!
+//! The benchmark applications of the ParaGraph evaluation (Table I): nine
+//! applications, seventeen OpenMP kernels, spanning statistics, probability
+//! theory, linear algebra, data mining, numerical analysis and medical
+//! imaging. Each kernel is a parameterised C source template that the
+//! OpenMP-Advisor substitute (`pg-advisor`) instantiates into the six
+//! transformation variants at many problem sizes.
+//!
+//! ```
+//! use pg_kernels::{catalog, find_kernel};
+//!
+//! assert_eq!(catalog().len(), 9);
+//! let mm = find_kernel("MM/matmul").unwrap();
+//! let src = mm.instantiate(&mm.default_sizes(), "#pragma omp parallel for");
+//! assert!(src.contains("#pragma omp parallel for"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod sources;
+
+pub use catalog::{
+    all_kernels, catalog, find_kernel, Application, ArraySpec, Domain, Extent, KernelTemplate,
+    SizeParam, TransferDirection,
+};

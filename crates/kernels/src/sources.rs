@@ -1,0 +1,686 @@
+//! The seventeen kernel source templates of the nine benchmark applications
+//! (Table I of the paper).
+//!
+//! Every template is written in the C subset understood by `pg_frontend`;
+//! `{{PRAGMA}}` marks the insertion point of the OpenMP directive and the
+//! upper-case placeholders (`{{N}}`, `{{M}}`, ...) are replaced by concrete
+//! problem sizes during variant generation.
+
+use crate::catalog::{ArraySpec, Domain, Extent, KernelTemplate, SizeParam, TransferDirection};
+
+// ---------------------------------------------------------------------------
+// Correlation Coefficient (Statistics) — 1 kernel
+// ---------------------------------------------------------------------------
+
+/// Correlation-coefficient matrix kernel: `corr[i][j]` over `M` features and
+/// `N` observations.
+pub fn correlation_kernel() -> KernelTemplate {
+    const SRC: &str = r#"
+void correlation(float *data, float *mean, float *stddev, float *corr) {
+    {{PRAGMA}}
+    for (int i = 0; i < {{M}}; i++) {
+        for (int j = 0; j < {{M}}; j++) {
+            float acc = 0.0;
+            for (int k = 0; k < {{N}}; k++) {
+                acc += (data[k * {{M}} + i] - mean[i]) * (data[k * {{M}} + j] - mean[j]);
+            }
+            corr[i * {{M}} + j] = acc / (stddev[i] * stddev[j] * {{N}});
+        }
+    }
+}
+"#;
+    KernelTemplate {
+        application: "Correlation",
+        kernel: "correlation",
+        domain: Domain::Statistics,
+        source: SRC,
+        sizes: &[
+            SizeParam { name: "N", sweep: &[256, 512, 1024, 2048, 4096] },
+            SizeParam { name: "M", sweep: &[32, 64, 96, 128] },
+        ],
+        arrays: &[
+            ArraySpec { name: "data", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "M"), element_size: 4 },
+            ArraySpec { name: "mean", direction: TransferDirection::ToDevice, extent: Extent::Param("M"), element_size: 4 },
+            ArraySpec { name: "stddev", direction: TransferDirection::ToDevice, extent: Extent::Param("M"), element_size: 4 },
+            ArraySpec { name: "corr", direction: TransferDirection::FromDevice, extent: Extent::Product("M", "M"), element_size: 4 },
+        ],
+        collapsible: true,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Covariance (Probability Theory) — 2 kernels
+// ---------------------------------------------------------------------------
+
+/// Covariance kernel 1: per-feature mean over `N` observations.
+pub fn covariance_mean_kernel() -> KernelTemplate {
+    const SRC: &str = r#"
+void covariance_mean(float *data, float *mean) {
+    {{PRAGMA}}
+    for (int j = 0; j < {{M}}; j++) {
+        float acc = 0.0;
+        for (int k = 0; k < {{N}}; k++) {
+            acc += data[k * {{M}} + j];
+        }
+        mean[j] = acc / {{N}};
+    }
+}
+"#;
+    KernelTemplate {
+        application: "Covariance",
+        kernel: "mean",
+        domain: Domain::ProbabilityTheory,
+        source: SRC,
+        sizes: &[
+            SizeParam { name: "N", sweep: &[1024, 4096, 16384, 65536] },
+            SizeParam { name: "M", sweep: &[32, 64, 128] },
+        ],
+        arrays: &[
+            ArraySpec { name: "data", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "M"), element_size: 4 },
+            ArraySpec { name: "mean", direction: TransferDirection::FromDevice, extent: Extent::Param("M"), element_size: 4 },
+        ],
+        collapsible: false,
+    }
+}
+
+/// Covariance kernel 2: the covariance matrix itself.
+pub fn covariance_kernel() -> KernelTemplate {
+    const SRC: &str = r#"
+void covariance(float *data, float *mean, float *cov) {
+    {{PRAGMA}}
+    for (int i = 0; i < {{M}}; i++) {
+        for (int j = 0; j < {{M}}; j++) {
+            float acc = 0.0;
+            for (int k = 0; k < {{N}}; k++) {
+                acc += (data[k * {{M}} + i] - mean[i]) * (data[k * {{M}} + j] - mean[j]);
+            }
+            cov[i * {{M}} + j] = acc / ({{N}} - 1);
+        }
+    }
+}
+"#;
+    KernelTemplate {
+        application: "Covariance",
+        kernel: "covariance",
+        domain: Domain::ProbabilityTheory,
+        source: SRC,
+        sizes: &[
+            SizeParam { name: "N", sweep: &[256, 512, 1024, 2048, 4096] },
+            SizeParam { name: "M", sweep: &[32, 64, 96, 128] },
+        ],
+        arrays: &[
+            ArraySpec { name: "data", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "M"), element_size: 4 },
+            ArraySpec { name: "mean", direction: TransferDirection::ToDevice, extent: Extent::Param("M"), element_size: 4 },
+            ArraySpec { name: "cov", direction: TransferDirection::FromDevice, extent: Extent::Product("M", "M"), element_size: 4 },
+        ],
+        collapsible: true,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauss-Seidel (Linear Algebra) — 1 kernel
+// ---------------------------------------------------------------------------
+
+/// One red-black style Gauss-Seidel sweep over an `N x N` grid.
+pub fn gauss_seidel_kernel() -> KernelTemplate {
+    const SRC: &str = r#"
+void gauss_seidel(float *grid, float *rhs) {
+    {{PRAGMA}}
+    for (int i = 1; i < {{N}} - 1; i++) {
+        for (int j = 1; j < {{N}} - 1; j++) {
+            grid[i * {{N}} + j] = 0.25 * (grid[(i - 1) * {{N}} + j] + grid[(i + 1) * {{N}} + j] + grid[i * {{N}} + j - 1] + grid[i * {{N}} + j + 1] - rhs[i * {{N}} + j]);
+        }
+    }
+}
+"#;
+    KernelTemplate {
+        application: "Gauss Seidel",
+        kernel: "sweep",
+        domain: Domain::LinearAlgebra,
+        source: SRC,
+        sizes: &[SizeParam { name: "N", sweep: &[256, 512, 1024, 2048, 4096] }],
+        arrays: &[
+            ArraySpec { name: "grid", direction: TransferDirection::Both, extent: Extent::Product("N", "N"), element_size: 4 },
+            ArraySpec { name: "rhs", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "N"), element_size: 4 },
+        ],
+        collapsible: true,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// K-nearest neighbours (Data Mining) — 1 kernel
+// ---------------------------------------------------------------------------
+
+/// KNN distance kernel: Euclidean distance of every record to the query.
+pub fn knn_kernel() -> KernelTemplate {
+    const SRC: &str = r#"
+void knn_distances(float *records, float *query, float *distances) {
+    {{PRAGMA}}
+    for (int i = 0; i < {{N}}; i++) {
+        float acc = 0.0;
+        for (int f = 0; f < {{F}}; f++) {
+            float diff = records[i * {{F}} + f] - query[f];
+            acc += diff * diff;
+        }
+        distances[i] = sqrt(acc);
+    }
+}
+"#;
+    KernelTemplate {
+        application: "KNN",
+        kernel: "distances",
+        domain: Domain::DataMining,
+        source: SRC,
+        sizes: &[
+            SizeParam { name: "N", sweep: &[4096, 16384, 65536, 262144, 1048576] },
+            SizeParam { name: "F", sweep: &[8, 16, 32, 64] },
+        ],
+        arrays: &[
+            ArraySpec { name: "records", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "F"), element_size: 4 },
+            ArraySpec { name: "query", direction: TransferDirection::ToDevice, extent: Extent::Param("F"), element_size: 4 },
+            ArraySpec { name: "distances", direction: TransferDirection::FromDevice, extent: Extent::Param("N"), element_size: 4 },
+        ],
+        collapsible: false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Laplace's equation (Numerical Analysis) — 2 kernels
+// ---------------------------------------------------------------------------
+
+/// Laplace kernel 1: one Jacobi iteration of the finite-difference stencil.
+pub fn laplace_jacobi_kernel() -> KernelTemplate {
+    const SRC: &str = r#"
+void laplace_jacobi(float *u, float *unew) {
+    {{PRAGMA}}
+    for (int i = 1; i < {{N}} - 1; i++) {
+        for (int j = 1; j < {{N}} - 1; j++) {
+            unew[i * {{N}} + j] = 0.25 * (u[(i - 1) * {{N}} + j] + u[(i + 1) * {{N}} + j] + u[i * {{N}} + j - 1] + u[i * {{N}} + j + 1]);
+        }
+    }
+}
+"#;
+    KernelTemplate {
+        application: "Laplace",
+        kernel: "jacobi",
+        domain: Domain::NumericalAnalysis,
+        source: SRC,
+        sizes: &[SizeParam { name: "N", sweep: &[256, 512, 1024, 2048, 4096] }],
+        arrays: &[
+            ArraySpec { name: "u", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "N"), element_size: 4 },
+            ArraySpec { name: "unew", direction: TransferDirection::FromDevice, extent: Extent::Product("N", "N"), element_size: 4 },
+        ],
+        collapsible: true,
+    }
+}
+
+/// Laplace kernel 2: copy the updated grid back and accumulate the residual.
+pub fn laplace_copy_kernel() -> KernelTemplate {
+    const SRC: &str = r#"
+void laplace_copy(float *u, float *unew, float *residual) {
+    {{PRAGMA}}
+    for (int i = 0; i < {{T}}; i++) {
+        float diff = unew[i] - u[i];
+        if (diff < 0.0) {
+            diff = -diff;
+        }
+        residual[i] = diff;
+        u[i] = unew[i];
+    }
+}
+"#;
+    KernelTemplate {
+        application: "Laplace",
+        kernel: "copy",
+        domain: Domain::NumericalAnalysis,
+        source: SRC,
+        sizes: &[SizeParam { name: "T", sweep: &[65536, 262144, 1048576, 4194304, 16777216] }],
+        arrays: &[
+            ArraySpec { name: "u", direction: TransferDirection::Both, extent: Extent::Param("T"), element_size: 4 },
+            ArraySpec { name: "unew", direction: TransferDirection::ToDevice, extent: Extent::Param("T"), element_size: 4 },
+            ArraySpec { name: "residual", direction: TransferDirection::FromDevice, extent: Extent::Param("T"), element_size: 4 },
+        ],
+        collapsible: false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matrix-Matrix multiplication (Linear Algebra) — 1 kernel
+// ---------------------------------------------------------------------------
+
+/// Dense `N x N` matrix-matrix multiplication.
+pub fn matmul_kernel() -> KernelTemplate {
+    const SRC: &str = r#"
+void matmul(float *a, float *b, float *c) {
+    {{PRAGMA}}
+    for (int i = 0; i < {{N}}; i++) {
+        for (int j = 0; j < {{N}}; j++) {
+            float sum = 0.0;
+            for (int k = 0; k < {{N}}; k++) {
+                sum += a[i * {{N}} + k] * b[k * {{N}} + j];
+            }
+            c[i * {{N}} + j] = sum;
+        }
+    }
+}
+"#;
+    KernelTemplate {
+        application: "MM",
+        kernel: "matmul",
+        domain: Domain::LinearAlgebra,
+        source: SRC,
+        sizes: &[SizeParam { name: "N", sweep: &[128, 256, 384, 512, 768, 1024] }],
+        arrays: &[
+            ArraySpec { name: "a", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "N"), element_size: 4 },
+            ArraySpec { name: "b", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "N"), element_size: 4 },
+            ArraySpec { name: "c", direction: TransferDirection::FromDevice, extent: Extent::Product("N", "N"), element_size: 4 },
+        ],
+        collapsible: true,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matrix-Vector multiplication (Linear Algebra) — 1 kernel
+// ---------------------------------------------------------------------------
+
+/// Dense `N x M` matrix-vector multiplication.
+pub fn matvec_kernel() -> KernelTemplate {
+    const SRC: &str = r#"
+void matvec(float *a, float *x, float *y) {
+    {{PRAGMA}}
+    for (int i = 0; i < {{N}}; i++) {
+        float sum = 0.0;
+        for (int j = 0; j < {{M}}; j++) {
+            sum += a[i * {{M}} + j] * x[j];
+        }
+        y[i] = sum;
+    }
+}
+"#;
+    KernelTemplate {
+        application: "MV",
+        kernel: "matvec",
+        domain: Domain::LinearAlgebra,
+        source: SRC,
+        sizes: &[
+            SizeParam { name: "N", sweep: &[1024, 2048, 4096, 8192, 16384] },
+            SizeParam { name: "M", sweep: &[1024, 2048, 4096] },
+        ],
+        arrays: &[
+            ArraySpec { name: "a", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "M"), element_size: 4 },
+            ArraySpec { name: "x", direction: TransferDirection::ToDevice, extent: Extent::Param("M"), element_size: 4 },
+            ArraySpec { name: "y", direction: TransferDirection::FromDevice, extent: Extent::Param("N"), element_size: 4 },
+        ],
+        collapsible: false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matrix Transpose (Linear Algebra) — 1 kernel
+// ---------------------------------------------------------------------------
+
+/// Out-of-place `N x N` matrix transpose.
+pub fn transpose_kernel() -> KernelTemplate {
+    const SRC: &str = r#"
+void transpose(float *in, float *out) {
+    {{PRAGMA}}
+    for (int i = 0; i < {{N}}; i++) {
+        for (int j = 0; j < {{N}}; j++) {
+            out[j * {{N}} + i] = in[i * {{N}} + j];
+        }
+    }
+}
+"#;
+    KernelTemplate {
+        application: "Transpose",
+        kernel: "transpose",
+        domain: Domain::LinearAlgebra,
+        source: SRC,
+        sizes: &[SizeParam { name: "N", sweep: &[512, 1024, 2048, 4096, 8192] }],
+        arrays: &[
+            ArraySpec { name: "in", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "N"), element_size: 4 },
+            ArraySpec { name: "out", direction: TransferDirection::FromDevice, extent: Extent::Product("N", "N"), element_size: 4 },
+        ],
+        collapsible: true,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Particle Filter (Medical Imaging) — 7 kernels, modelled on the Rodinia
+// particle-filter structure.
+// ---------------------------------------------------------------------------
+
+/// Particle-filter kernel 1: initialise the particle weights uniformly.
+pub fn pf_init_weights_kernel() -> KernelTemplate {
+    const SRC: &str = r#"
+void pf_init_weights(float *weights) {
+    {{PRAGMA}}
+    for (int i = 0; i < {{P}}; i++) {
+        weights[i] = 1.0 / {{P}};
+    }
+}
+"#;
+    KernelTemplate {
+        application: "ParticleFilter",
+        kernel: "init_weights",
+        domain: Domain::MedicalImaging,
+        source: SRC,
+        sizes: &[SizeParam { name: "P", sweep: &[16384, 65536, 262144, 1048576, 4194304] }],
+        arrays: &[ArraySpec { name: "weights", direction: TransferDirection::Both, extent: Extent::Param("P"), element_size: 4 }],
+        collapsible: false,
+    }
+}
+
+/// Particle-filter kernel 2: per-particle likelihood over the observation
+/// window.
+pub fn pf_likelihood_kernel() -> KernelTemplate {
+    const SRC: &str = r#"
+void pf_likelihood(float *particles_x, float *particles_y, float *frame, float *likelihood) {
+    {{PRAGMA}}
+    for (int i = 0; i < {{P}}; i++) {
+        float acc = 0.0;
+        for (int k = 0; k < {{W}}; k++) {
+            int idx = i * {{W}} + k;
+            float fg = frame[idx % ({{W}} * 128)] - 100.0;
+            float bg = frame[idx % ({{W}} * 128)] - 228.0;
+            acc += (fg * fg - bg * bg) / 50.0;
+        }
+        likelihood[i] = acc / {{W}} + particles_x[i] * 0.0 + particles_y[i] * 0.0;
+    }
+}
+"#;
+    KernelTemplate {
+        application: "ParticleFilter",
+        kernel: "likelihood",
+        domain: Domain::MedicalImaging,
+        source: SRC,
+        sizes: &[
+            SizeParam { name: "P", sweep: &[16384, 65536, 262144, 1048576] },
+            SizeParam { name: "W", sweep: &[16, 32, 64] },
+        ],
+        arrays: &[
+            ArraySpec { name: "particles_x", direction: TransferDirection::ToDevice, extent: Extent::Param("P"), element_size: 4 },
+            ArraySpec { name: "particles_y", direction: TransferDirection::ToDevice, extent: Extent::Param("P"), element_size: 4 },
+            ArraySpec { name: "frame", direction: TransferDirection::ToDevice, extent: Extent::Product("W", "P"), element_size: 4 },
+            ArraySpec { name: "likelihood", direction: TransferDirection::FromDevice, extent: Extent::Param("P"), element_size: 4 },
+        ],
+        collapsible: false,
+    }
+}
+
+/// Particle-filter kernel 3: multiply weights by the likelihood.
+pub fn pf_update_weights_kernel() -> KernelTemplate {
+    const SRC: &str = r#"
+void pf_update_weights(float *weights, float *likelihood) {
+    {{PRAGMA}}
+    for (int i = 0; i < {{P}}; i++) {
+        weights[i] = weights[i] * exp(likelihood[i]);
+    }
+}
+"#;
+    KernelTemplate {
+        application: "ParticleFilter",
+        kernel: "update_weights",
+        domain: Domain::MedicalImaging,
+        source: SRC,
+        sizes: &[SizeParam { name: "P", sweep: &[16384, 65536, 262144, 1048576, 4194304] }],
+        arrays: &[
+            ArraySpec { name: "weights", direction: TransferDirection::Both, extent: Extent::Param("P"), element_size: 4 },
+            ArraySpec { name: "likelihood", direction: TransferDirection::ToDevice, extent: Extent::Param("P"), element_size: 4 },
+        ],
+        collapsible: false,
+    }
+}
+
+/// Particle-filter kernel 4: reduce the weights to their sum (per-block
+/// partial sums).
+pub fn pf_sum_weights_kernel() -> KernelTemplate {
+    const SRC: &str = r#"
+void pf_sum_weights(float *weights, float *partial_sums) {
+    {{PRAGMA}}
+    for (int b = 0; b < {{B}}; b++) {
+        float acc = 0.0;
+        for (int i = 0; i < {{C}}; i++) {
+            acc += weights[b * {{C}} + i];
+        }
+        partial_sums[b] = acc;
+    }
+}
+"#;
+    KernelTemplate {
+        application: "ParticleFilter",
+        kernel: "sum_weights",
+        domain: Domain::MedicalImaging,
+        source: SRC,
+        sizes: &[
+            SizeParam { name: "B", sweep: &[256, 1024, 4096] },
+            SizeParam { name: "C", sweep: &[256, 1024, 4096] },
+        ],
+        arrays: &[
+            ArraySpec { name: "weights", direction: TransferDirection::ToDevice, extent: Extent::Product("B", "C"), element_size: 4 },
+            ArraySpec { name: "partial_sums", direction: TransferDirection::FromDevice, extent: Extent::Param("B"), element_size: 4 },
+        ],
+        collapsible: false,
+    }
+}
+
+/// Particle-filter kernel 5: normalise the weights by the total sum.
+pub fn pf_normalize_weights_kernel() -> KernelTemplate {
+    const SRC: &str = r#"
+void pf_normalize_weights(float *weights, float *sum) {
+    {{PRAGMA}}
+    for (int i = 0; i < {{P}}; i++) {
+        weights[i] = weights[i] / sum[0];
+    }
+}
+"#;
+    KernelTemplate {
+        application: "ParticleFilter",
+        kernel: "normalize_weights",
+        domain: Domain::MedicalImaging,
+        source: SRC,
+        sizes: &[SizeParam { name: "P", sweep: &[16384, 65536, 262144, 1048576, 4194304] }],
+        arrays: &[
+            ArraySpec { name: "weights", direction: TransferDirection::Both, extent: Extent::Param("P"), element_size: 4 },
+            ArraySpec { name: "sum", direction: TransferDirection::ToDevice, extent: Extent::Fixed(1), element_size: 4 },
+        ],
+        collapsible: false,
+    }
+}
+
+/// Particle-filter kernel 6: systematic resampling — find, for every
+/// resampling position, the first particle whose CDF exceeds it.
+pub fn pf_find_index_kernel() -> KernelTemplate {
+    const SRC: &str = r#"
+void pf_find_index(float *cdf, float *u, int *indices) {
+    {{PRAGMA}}
+    for (int j = 0; j < {{P}}; j++) {
+        int found = -1;
+        for (int i = 0; i < {{P}}; i++) {
+            if (cdf[i] >= u[j]) {
+                if (found < 0) {
+                    found = i;
+                }
+            }
+        }
+        if (found < 0) {
+            found = {{P}} - 1;
+        }
+        indices[j] = found;
+    }
+}
+"#;
+    KernelTemplate {
+        application: "ParticleFilter",
+        kernel: "find_index",
+        domain: Domain::MedicalImaging,
+        source: SRC,
+        sizes: &[SizeParam { name: "P", sweep: &[1024, 2048, 4096, 8192, 16384] }],
+        arrays: &[
+            ArraySpec { name: "cdf", direction: TransferDirection::ToDevice, extent: Extent::Param("P"), element_size: 4 },
+            ArraySpec { name: "u", direction: TransferDirection::ToDevice, extent: Extent::Param("P"), element_size: 4 },
+            ArraySpec { name: "indices", direction: TransferDirection::FromDevice, extent: Extent::Param("P"), element_size: 4 },
+        ],
+        collapsible: false,
+    }
+}
+
+/// Particle-filter kernel 7: propagate the resampled particles with the
+/// motion model.
+pub fn pf_move_particles_kernel() -> KernelTemplate {
+    const SRC: &str = r#"
+void pf_move_particles(float *particles_x, float *particles_y, int *indices, float *noise_x, float *noise_y) {
+    {{PRAGMA}}
+    for (int i = 0; i < {{P}}; i++) {
+        int src = indices[i];
+        particles_x[i] = particles_x[src] + 1.0 + 5.0 * noise_x[i];
+        particles_y[i] = particles_y[src] - 2.0 + 2.0 * noise_y[i];
+    }
+}
+"#;
+    KernelTemplate {
+        application: "ParticleFilter",
+        kernel: "move_particles",
+        domain: Domain::MedicalImaging,
+        source: SRC,
+        sizes: &[SizeParam { name: "P", sweep: &[16384, 65536, 262144, 1048576, 4194304] }],
+        arrays: &[
+            ArraySpec { name: "particles_x", direction: TransferDirection::Both, extent: Extent::Param("P"), element_size: 4 },
+            ArraySpec { name: "particles_y", direction: TransferDirection::Both, extent: Extent::Param("P"), element_size: 4 },
+            ArraySpec { name: "indices", direction: TransferDirection::ToDevice, extent: Extent::Param("P"), element_size: 4 },
+            ArraySpec { name: "noise_x", direction: TransferDirection::ToDevice, extent: Extent::Param("P"), element_size: 4 },
+            ArraySpec { name: "noise_y", direction: TransferDirection::ToDevice, extent: Extent::Param("P"), element_size: 4 },
+        ],
+        collapsible: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::all_kernels;
+    use pg_frontend::{analysis, parse, AstKind};
+
+    /// Every template must parse (with every placeholder filled in) and
+    /// contain at least one canonical for-loop with a computable trip count.
+    #[test]
+    fn all_templates_parse_and_have_canonical_loops() {
+        for kernel in all_kernels() {
+            let sizes = kernel.default_sizes();
+            let src = kernel.instantiate(&sizes, "#pragma omp parallel for");
+            let ast = parse(&src)
+                .unwrap_or_else(|e| panic!("{} failed to parse: {e}\n{src}", kernel.full_name()));
+            ast.validate().unwrap();
+            let fors = ast.find_all(AstKind::ForStmt);
+            assert!(!fors.is_empty(), "{} has no loops", kernel.full_name());
+            let outer = fors[0];
+            let tc = analysis::trip_count(&ast, outer, &Default::default());
+            assert!(
+                tc.is_some() && tc.unwrap() > 0,
+                "{}: outer loop trip count not statically computable",
+                kernel.full_name()
+            );
+        }
+    }
+
+    /// The `collapsible` flag must agree with the structural analysis of the
+    /// instantiated source.
+    #[test]
+    fn collapsible_flags_match_structure() {
+        for kernel in all_kernels() {
+            let sizes = kernel.default_sizes();
+            let src = kernel.instantiate(&sizes, "");
+            let ast = parse(&src).unwrap();
+            let outer = ast.find_first(AstKind::ForStmt).unwrap();
+            assert_eq!(
+                analysis::is_collapsible(&ast, outer),
+                kernel.collapsible,
+                "{}: collapsible flag does not match loop structure",
+                kernel.full_name()
+            );
+        }
+    }
+
+    /// Work must grow with the problem size for every kernel (sanity check of
+    /// the templates and the sweeps).
+    #[test]
+    fn work_scales_with_problem_size() {
+        for kernel in all_kernels() {
+            let smallest: std::collections::HashMap<String, i64> = kernel
+                .sizes
+                .iter()
+                .map(|p| (p.name.to_string(), p.sweep[0]))
+                .collect();
+            let largest: std::collections::HashMap<String, i64> = kernel
+                .sizes
+                .iter()
+                .map(|p| (p.name.to_string(), *p.sweep.last().unwrap()))
+                .collect();
+            let src_small = kernel.instantiate(&smallest, "");
+            let src_large = kernel.instantiate(&largest, "");
+            let ast_small = parse(&src_small).unwrap();
+            let ast_large = parse(&src_large).unwrap();
+            let w_small = analysis::estimate_work(&ast_small, ast_small.root(), &Default::default());
+            let w_large = analysis::estimate_work(&ast_large, ast_large.root(), &Default::default());
+            assert!(
+                w_large.arithmetic_ops() + w_large.memory_ops()
+                    > w_small.arithmetic_ops() + w_small.memory_ops(),
+                "{}: work does not grow with size",
+                kernel.full_name()
+            );
+        }
+    }
+
+    /// Every kernel moves some data to the device and some back.
+    #[test]
+    fn every_kernel_has_transfers_in_both_directions() {
+        for kernel in all_kernels() {
+            let sizes = kernel.default_sizes();
+            assert!(
+                kernel.bytes_to_device(&sizes) > 0,
+                "{} transfers nothing to the device",
+                kernel.full_name()
+            );
+            assert!(
+                kernel.bytes_from_device(&sizes) > 0,
+                "{} transfers nothing back",
+                kernel.full_name()
+            );
+        }
+    }
+
+    /// Particle-filter kernels exist in the expected seven flavours.
+    #[test]
+    fn particle_filter_has_seven_kernels() {
+        let names: Vec<String> = all_kernels()
+            .into_iter()
+            .filter(|k| k.application == "ParticleFilter")
+            .map(|k| k.kernel.to_string())
+            .collect();
+        assert_eq!(names.len(), 7);
+        for expected in [
+            "init_weights",
+            "likelihood",
+            "update_weights",
+            "sum_weights",
+            "normalize_weights",
+            "find_index",
+            "move_particles",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+
+    /// Instantiating with a GPU pragma and map clauses must still parse.
+    #[test]
+    fn gpu_mem_instantiation_parses() {
+        let kernel = matmul_kernel();
+        let sizes = kernel.default_sizes();
+        let pragma = "#pragma omp target teams distribute parallel for collapse(2) map(to: a[0:65536], b[0:65536]) map(from: c[0:65536])";
+        let src = kernel.instantiate(&sizes, pragma);
+        let ast = parse(&src).unwrap();
+        assert!(ast
+            .find_first(AstKind::OmpTargetTeamsDistributeParallelForDirective)
+            .is_some());
+    }
+}

@@ -1,0 +1,123 @@
+//! # pg-perfsim
+//!
+//! Analytical accelerator performance simulator standing in for the runtime
+//! measurement step of the ParaGraph pipeline (Figure 3 of the paper). The
+//! paper runs every kernel variant on ORNL Summit (IBM POWER9 + NVIDIA V100)
+//! and LLNL Corona (AMD EPYC 7401 + AMD MI50); those machines are not
+//! available here, so a roofline-style model predicts each variant's runtime
+//! from its static cost analysis, its launch configuration and the platform's
+//! hardware parameters, with deterministic measurement noise on top.
+//!
+//! ```
+//! use pg_perfsim::{measure, Platform};
+//! use pg_advisor::{instantiate, LaunchConfig, Variant};
+//! use pg_kernels::find_kernel;
+//!
+//! let mm = find_kernel("MM/matmul").unwrap();
+//! let inst = instantiate(&mm, Variant::Gpu, &mm.default_sizes(),
+//!                        LaunchConfig { teams: 80, threads: 128 });
+//! let m = measure(&inst, Platform::SummitV100, &Default::default()).unwrap();
+//! assert!(m.runtime_ms > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accelerator;
+pub mod cost;
+pub mod model;
+pub mod noise;
+
+pub use accelerator::{AcceleratorSpec, CpuSpec, GpuSpec, Platform};
+pub use cost::{analyze_ast, analyze_instance, KernelCost};
+pub use model::{predict, predict_cpu, predict_gpu, RuntimeBreakdown};
+pub use noise::NoiseModel;
+
+use pg_advisor::KernelInstance;
+use pg_frontend::FrontendError;
+use serde::{Deserialize, Serialize};
+
+/// One simulated runtime measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeMeasurement {
+    /// Platform the kernel "ran" on.
+    pub platform: Platform,
+    /// Measured (simulated) wall-clock time in milliseconds, including noise.
+    pub runtime_ms: f64,
+    /// Noise-free model prediction in milliseconds.
+    pub ideal_ms: f64,
+    /// Component breakdown of the noise-free prediction.
+    pub breakdown: RuntimeBreakdown,
+}
+
+/// Simulate running a kernel instance on a platform (the "gettimeofday"
+/// measurement of the paper's data-collection step).
+pub fn measure(
+    instance: &KernelInstance,
+    platform: Platform,
+    noise: &NoiseModel,
+) -> Result<RuntimeMeasurement, FrontendError> {
+    let cost = cost::analyze_instance(instance)?;
+    let breakdown = model::predict(&cost, instance.launch, platform);
+    let ideal_ms = breakdown.total_ms();
+    let key = format!("{}@{}", instance.describe(), platform.name());
+    let runtime_ms = noise.apply(ideal_ms, &key);
+    Ok(RuntimeMeasurement {
+        platform,
+        runtime_ms,
+        ideal_ms,
+        breakdown,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_advisor::{instantiate, LaunchConfig, Variant};
+    use pg_kernels::find_kernel;
+
+    #[test]
+    fn measurement_is_reproducible() {
+        let mm = find_kernel("MM/matmul").unwrap();
+        let inst = instantiate(
+            &mm,
+            Variant::GpuMem,
+            &mm.default_sizes(),
+            LaunchConfig { teams: 80, threads: 128 },
+        );
+        let noise = NoiseModel::default();
+        let a = measure(&inst, Platform::SummitV100, &noise).unwrap();
+        let b = measure(&inst, Platform::SummitV100, &noise).unwrap();
+        assert_eq!(a, b);
+        assert!(a.runtime_ms > 0.0);
+        assert!((a.runtime_ms / a.ideal_ms - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn platforms_differ_in_measured_runtime() {
+        let mm = find_kernel("MM/matmul").unwrap();
+        let inst = instantiate(
+            &mm,
+            Variant::Gpu,
+            &mm.default_sizes(),
+            LaunchConfig { teams: 80, threads: 128 },
+        );
+        let noise = NoiseModel::disabled();
+        let v100 = measure(&inst, Platform::SummitV100, &noise).unwrap();
+        let mi50 = measure(&inst, Platform::CoronaMi50, &noise).unwrap();
+        assert_ne!(v100.runtime_ms, mi50.runtime_ms);
+    }
+
+    #[test]
+    fn invalid_source_reports_an_error() {
+        let mm = find_kernel("MM/matmul").unwrap();
+        let mut inst = instantiate(
+            &mm,
+            Variant::Cpu,
+            &mm.default_sizes(),
+            LaunchConfig { teams: 1, threads: 4 },
+        );
+        inst.source = "this is not C".to_string();
+        assert!(measure(&inst, Platform::SummitPower9, &NoiseModel::default()).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Measurement-noise model.
+//!
+//! Real runtime measurements on Summit and Corona fluctuate run to run
+//! (scheduler jitter, DVFS, network interference). The simulator reproduces
+//! this with multiplicative log-normal noise that is *deterministic* for a
+//! given `(seed, instance key)` pair so the whole dataset is reproducible.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Multiplicative noise generator.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseModel {
+    /// Standard deviation of the underlying normal distribution of
+    /// `ln(multiplier)`. 0 disables noise.
+    pub sigma: f64,
+    /// Base seed mixed into every per-instance stream.
+    pub seed: u64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        Self { sigma: 0.04, seed: 0x5eed_cafe }
+    }
+}
+
+impl NoiseModel {
+    /// A noise-free model (useful in tests).
+    pub fn disabled() -> Self {
+        Self { sigma: 0.0, seed: 0 }
+    }
+
+    /// Sample the multiplicative noise factor for a measurement identified by
+    /// `key`. Identical `(seed, key)` pairs always produce the same factor.
+    pub fn factor(&self, key: &str) -> f64 {
+        if self.sigma <= 0.0 {
+            return 1.0;
+        }
+        let mut hasher = DefaultHasher::new();
+        self.seed.hash(&mut hasher);
+        key.hash(&mut hasher);
+        let mut rng = StdRng::seed_from_u64(hasher.finish());
+        // Box-Muller via rand's normal approximation (avoid extra deps):
+        // sum of 12 uniforms minus 6 approximates a standard normal closely
+        // enough for measurement jitter.
+        let uniform = rand::distributions::Uniform::new(0.0f64, 1.0f64);
+        let z: f64 = (0..12).map(|_| uniform.sample(&mut rng)).sum::<f64>() - 6.0;
+        (self.sigma * z).exp()
+    }
+
+    /// Apply noise to a runtime (milliseconds).
+    pub fn apply(&self, runtime_ms: f64, key: &str) -> f64 {
+        runtime_ms * self.factor(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic_per_key() {
+        let noise = NoiseModel::default();
+        assert_eq!(noise.factor("MM/matmul cpu N=512"), noise.factor("MM/matmul cpu N=512"));
+        assert_ne!(noise.factor("key-a"), noise.factor("key-b"));
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let a = NoiseModel { sigma: 0.05, seed: 1 };
+        let b = NoiseModel { sigma: 0.05, seed: 2 };
+        assert_ne!(a.factor("same-key"), b.factor("same-key"));
+    }
+
+    #[test]
+    fn disabled_noise_is_identity() {
+        let noise = NoiseModel::disabled();
+        assert_eq!(noise.factor("anything"), 1.0);
+        assert_eq!(noise.apply(123.4, "anything"), 123.4);
+    }
+
+    #[test]
+    fn noise_magnitude_is_bounded() {
+        let noise = NoiseModel { sigma: 0.04, seed: 99 };
+        for i in 0..500 {
+            let f = noise.factor(&format!("key-{i}"));
+            assert!(f > 0.75 && f < 1.3, "noise factor {f} outside plausible range");
+        }
+    }
+
+    #[test]
+    fn mean_noise_is_close_to_one() {
+        let noise = NoiseModel { sigma: 0.04, seed: 7 };
+        let mean: f64 =
+            (0..2000).map(|i| noise.factor(&format!("k{i}"))).sum::<f64>() / 2000.0;
+        assert!((mean - 1.0).abs() < 0.02, "mean factor {mean}");
+    }
+}

@@ -1,0 +1,739 @@
+//! Reverse-mode automatic differentiation on a per-sample tape.
+//!
+//! The ParaGraph model builds a fresh computation graph for every program
+//! graph (node counts and edge lists differ per sample), so the natural
+//! structure is a *tape*: forward operations append nodes, and
+//! [`Tape::backward`] walks the tape in reverse accumulating gradients.
+//!
+//! The op vocabulary is intentionally small — exactly the operations needed
+//! by the RGAT layers, the readout and the MLP heads — and every backward
+//! rule is validated against finite differences in the test-suite.
+
+use crate::matrix::Matrix;
+
+/// Handle to a value on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+impl Var {
+    /// Index of the underlying tape node (mostly useful for debugging).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Operation recorded on the tape. Parent handles are stored by index.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Leaf value (input or parameter); has no parents.
+    Leaf,
+    /// `C = A * B` matrix product.
+    MatMul(usize, usize),
+    /// `C = A + B` (same shapes).
+    Add(usize, usize),
+    /// `C = A - B` (same shapes).
+    Sub(usize, usize),
+    /// `C = A ⊙ B` elementwise.
+    Hadamard(usize, usize),
+    /// `C = A + bias` where `bias` is `1 x cols`, broadcast over rows.
+    AddRowBroadcast(usize, usize),
+    /// `C = alpha * A`.
+    Scale(usize, f32),
+    /// Rectified linear unit.
+    Relu(usize),
+    /// Leaky ReLU with the given negative slope.
+    LeakyRelu(usize, f32),
+    /// Hyperbolic tangent.
+    Tanh(usize),
+    /// Logistic sigmoid.
+    Sigmoid(usize),
+    /// `[A | B]` column concatenation.
+    ConcatCols(usize, usize),
+    /// Select rows of A by index (rows may repeat).
+    GatherRows(usize, Vec<usize>),
+    /// `out[idx[i]] += A[i]` into a matrix with `out_rows` rows.
+    ScatterAddRows(usize, Vec<usize>, usize),
+    /// Per-segment softmax over an `E x 1` logit column with constant
+    /// multiplicative priors: `alpha_i = w_i e^{l_i} / sum_seg w_j e^{l_j}`.
+    /// The priors are constants, so only the logit handle and the segment
+    /// map are needed for the backward pass.
+    SegmentSoftmax {
+        logits: usize,
+        segments: Vec<usize>,
+    },
+    /// Multiply row `i` of A by scalar `s[i]` (`s` is `rows x 1`).
+    MulColBroadcast(usize, usize),
+    /// Column-wise mean producing a `1 x cols` row vector.
+    MeanRows(usize),
+    /// Sum of all elements producing a `1 x 1` value.
+    SumAll(usize),
+    /// Mean squared error against a constant target, producing `1 x 1`.
+    MseLoss { pred: usize, target: Vec<f32> },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+}
+
+/// Reverse-mode autodiff tape.
+#[derive(Debug, Default, Clone)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Create an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of nodes currently recorded.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        debug_assert!(
+            !value.has_non_finite(),
+            "non-finite value produced by {op:?}"
+        );
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Record a leaf (input or parameter) value.
+    pub fn leaf(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Borrow the forward value of a tape node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Borrow the gradient of a tape node after [`Tape::backward`].
+    ///
+    /// Returns a zero matrix of the right shape if the node did not receive
+    /// any gradient.
+    pub fn grad(&self, v: Var) -> Matrix {
+        let node = &self.nodes[v.0];
+        node.grad
+            .clone()
+            .unwrap_or_else(|| Matrix::zeros(node.value.rows(), node.value.cols()))
+    }
+
+    // -- forward ops --------------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(value, Op::MatMul(a.0, b.0))
+    }
+
+    /// Elementwise addition.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        self.push(value, Op::Add(a.0, b.0))
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
+        self.push(value, Op::Sub(a.0, b.0))
+    }
+
+    /// Elementwise product.
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        self.push(value, Op::Hadamard(a.0, b.0))
+    }
+
+    /// Add a `1 x cols` bias row to every row of `a`.
+    pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        let value = self.nodes[a.0].value.add_row_broadcast(&self.nodes[bias.0].value);
+        self.push(value, Op::AddRowBroadcast(a.0, bias.0))
+    }
+
+    /// Multiply by a scalar constant.
+    pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let value = self.nodes[a.0].value.scale(alpha);
+        self.push(value, Op::Scale(a.0, alpha))
+    }
+
+    /// ReLU activation.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(|v| v.max(0.0));
+        self.push(value, Op::Relu(a.0))
+    }
+
+    /// Leaky ReLU activation.
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let value = self.nodes[a.0].value.map(|v| if v > 0.0 { v } else { slope * v });
+        self.push(value, Op::LeakyRelu(a.0, slope))
+    }
+
+    /// Tanh activation.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(f32::tanh);
+        self.push(value, Op::Tanh(a.0))
+    }
+
+    /// Sigmoid activation.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.push(value, Op::Sigmoid(a.0))
+    }
+
+    /// Column concatenation `[a | b]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.concat_cols(&self.nodes[b.0].value);
+        self.push(value, Op::ConcatCols(a.0, b.0))
+    }
+
+    /// Gather rows of `a` by index.
+    pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        let value = self.nodes[a.0].value.gather_rows(indices);
+        self.push(value, Op::GatherRows(a.0, indices.to_vec()))
+    }
+
+    /// Scatter-add rows of `a` into an `out_rows x cols` matrix.
+    pub fn scatter_add_rows(&mut self, a: Var, indices: &[usize], out_rows: usize) -> Var {
+        let value = self.nodes[a.0].value.scatter_add_rows(indices, out_rows);
+        self.push(value, Op::ScatterAddRows(a.0, indices.to_vec(), out_rows))
+    }
+
+    /// Segment softmax with constant multiplicative priors.
+    ///
+    /// `logits` must be an `E x 1` column; `segments[i]` identifies the
+    /// softmax group of edge `i` (in ParaGraph: its destination node);
+    /// `priors[i] > 0` is a constant prior weight (in ParaGraph: the scaled
+    /// edge weight). The result is an `E x 1` column of attention
+    /// coefficients that sum to one within each segment.
+    pub fn segment_softmax(&mut self, logits: Var, segments: &[usize], priors: &[f32]) -> Var {
+        let l = &self.nodes[logits.0].value;
+        assert_eq!(l.cols(), 1, "segment_softmax expects an E x 1 logit column");
+        assert_eq!(l.rows(), segments.len(), "one segment id per logit required");
+        assert_eq!(l.rows(), priors.len(), "one prior per logit required");
+        let value = segment_softmax_forward(l, segments, priors);
+        self.push(
+            value,
+            Op::SegmentSoftmax {
+                logits: logits.0,
+                segments: segments.to_vec(),
+            },
+        )
+    }
+
+    /// Multiply each row of `a` by the corresponding entry of the column
+    /// vector `s`.
+    pub fn mul_col_broadcast(&mut self, a: Var, s: Var) -> Var {
+        let value = self.nodes[a.0].value.mul_col_broadcast(&self.nodes[s.0].value);
+        self.push(value, Op::MulColBroadcast(a.0, s.0))
+    }
+
+    /// Column-wise mean over rows (graph readout).
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.mean_rows();
+        self.push(value, Op::MeanRows(a.0))
+    }
+
+    /// Sum of all elements.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.sum()]);
+        self.push(value, Op::SumAll(a.0))
+    }
+
+    /// Mean-squared-error loss against a constant target.
+    pub fn mse_loss(&mut self, pred: Var, target: &[f32]) -> Var {
+        let p = &self.nodes[pred.0].value;
+        assert_eq!(p.len(), target.len(), "prediction/target length mismatch");
+        let mse = p
+            .as_slice()
+            .iter()
+            .zip(target.iter())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / target.len().max(1) as f32;
+        let value = Matrix::from_vec(1, 1, vec![mse]);
+        self.push(
+            value,
+            Op::MseLoss {
+                pred: pred.0,
+                target: target.to_vec(),
+            },
+        )
+    }
+
+    // -- backward -----------------------------------------------------------
+
+    fn accumulate(&mut self, idx: usize, delta: &Matrix) {
+        let node = &mut self.nodes[idx];
+        match &mut node.grad {
+            Some(g) => g.add_assign(delta),
+            None => node.grad = Some(delta.clone()),
+        }
+    }
+
+    /// Run reverse-mode accumulation from `output`, which must be a `1 x 1`
+    /// scalar node (typically a loss).
+    pub fn backward(&mut self, output: Var) {
+        assert_eq!(
+            self.nodes[output.0].value.shape(),
+            (1, 1),
+            "backward must start from a scalar node"
+        );
+        // Reset any previous gradients.
+        for node in &mut self.nodes {
+            node.grad = None;
+        }
+        self.nodes[output.0].grad = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        for i in (0..=output.0).rev() {
+            let Some(grad_out) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let a_val = self.nodes[a].value.clone();
+                    let b_val = self.nodes[b].value.clone();
+                    let da = grad_out.matmul(&b_val.transpose());
+                    let db = a_val.transpose().matmul(&grad_out);
+                    self.accumulate(a, &da);
+                    self.accumulate(b, &db);
+                }
+                Op::Add(a, b) => {
+                    self.accumulate(a, &grad_out);
+                    self.accumulate(b, &grad_out);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, &grad_out);
+                    self.accumulate(b, &grad_out.scale(-1.0));
+                }
+                Op::Hadamard(a, b) => {
+                    let da = grad_out.hadamard(&self.nodes[b].value);
+                    let db = grad_out.hadamard(&self.nodes[a].value);
+                    self.accumulate(a, &da);
+                    self.accumulate(b, &db);
+                }
+                Op::AddRowBroadcast(a, bias) => {
+                    self.accumulate(a, &grad_out);
+                    let db = grad_out.sum_rows();
+                    self.accumulate(bias, &db);
+                }
+                Op::Scale(a, alpha) => {
+                    self.accumulate(a, &grad_out.scale(alpha));
+                }
+                Op::Relu(a) => {
+                    let mask = self.nodes[a].value.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                    self.accumulate(a, &grad_out.hadamard(&mask));
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let mask = self.nodes[a].value.map(|v| if v > 0.0 { 1.0 } else { slope });
+                    self.accumulate(a, &grad_out.hadamard(&mask));
+                }
+                Op::Tanh(a) => {
+                    let deriv = self.nodes[i].value.map(|y| 1.0 - y * y);
+                    self.accumulate(a, &grad_out.hadamard(&deriv));
+                }
+                Op::Sigmoid(a) => {
+                    let deriv = self.nodes[i].value.map(|y| y * (1.0 - y));
+                    self.accumulate(a, &grad_out.hadamard(&deriv));
+                }
+                Op::ConcatCols(a, b) => {
+                    let a_cols = self.nodes[a].value.cols();
+                    let rows = grad_out.rows();
+                    let mut da = Matrix::zeros(rows, a_cols);
+                    let mut db = Matrix::zeros(rows, grad_out.cols() - a_cols);
+                    for r in 0..rows {
+                        da.row_mut(r).copy_from_slice(&grad_out.row(r)[..a_cols]);
+                        db.row_mut(r).copy_from_slice(&grad_out.row(r)[a_cols..]);
+                    }
+                    self.accumulate(a, &da);
+                    self.accumulate(b, &db);
+                }
+                Op::GatherRows(a, indices) => {
+                    let rows = self.nodes[a].value.rows();
+                    let da = grad_out.scatter_add_rows(&indices, rows);
+                    self.accumulate(a, &da);
+                }
+                Op::ScatterAddRows(a, indices, _out_rows) => {
+                    let da = grad_out.gather_rows(&indices);
+                    self.accumulate(a, &da);
+                }
+                Op::SegmentSoftmax { logits, segments } => {
+                    // alpha_i = w_i e^{l_i} / sum_j w_j e^{l_j}  (within segment)
+                    // d alpha_i / d l_k = alpha_i (delta_ik - alpha_k)
+                    // => dL/dl = alpha ⊙ (g - sum_seg(g ⊙ alpha))
+                    let alpha = self.nodes[i].value.clone();
+                    let e = alpha.rows();
+                    let mut seg_dot: std::collections::HashMap<usize, f32> =
+                        std::collections::HashMap::new();
+                    for k in 0..e {
+                        *seg_dot.entry(segments[k]).or_insert(0.0) +=
+                            grad_out.get(k, 0) * alpha.get(k, 0);
+                    }
+                    let mut dl = Matrix::zeros(e, 1);
+                    for k in 0..e {
+                        let dot = seg_dot[&segments[k]];
+                        dl.set(k, 0, alpha.get(k, 0) * (grad_out.get(k, 0) - dot));
+                    }
+                    self.accumulate(logits, &dl);
+                }
+                Op::MulColBroadcast(a, s) => {
+                    let a_val = self.nodes[a].value.clone();
+                    let s_val = self.nodes[s].value.clone();
+                    let da = grad_out.mul_col_broadcast(&s_val);
+                    let mut ds = Matrix::zeros(s_val.rows(), 1);
+                    for r in 0..a_val.rows() {
+                        let dot: f32 = grad_out
+                            .row(r)
+                            .iter()
+                            .zip(a_val.row(r).iter())
+                            .map(|(&g, &av)| g * av)
+                            .sum();
+                        ds.set(r, 0, dot);
+                    }
+                    self.accumulate(a, &da);
+                    self.accumulate(s, &ds);
+                }
+                Op::MeanRows(a) => {
+                    let rows = self.nodes[a].value.rows().max(1);
+                    let scale = 1.0 / rows as f32;
+                    let mut da = Matrix::zeros(self.nodes[a].value.rows(), self.nodes[a].value.cols());
+                    for r in 0..da.rows() {
+                        for c in 0..da.cols() {
+                            da.set(r, c, grad_out.get(0, c) * scale);
+                        }
+                    }
+                    self.accumulate(a, &da);
+                }
+                Op::SumAll(a) => {
+                    let g = grad_out.get(0, 0);
+                    let da = Matrix::filled(
+                        self.nodes[a].value.rows(),
+                        self.nodes[a].value.cols(),
+                        g,
+                    );
+                    self.accumulate(a, &da);
+                }
+                Op::MseLoss { pred, target } => {
+                    let g = grad_out.get(0, 0);
+                    let p = self.nodes[pred].value.clone();
+                    let n = target.len().max(1) as f32;
+                    let mut dp = Matrix::zeros(p.rows(), p.cols());
+                    for (idx, (&pv, &tv)) in p.as_slice().iter().zip(target.iter()).enumerate() {
+                        dp.as_mut_slice()[idx] = g * 2.0 * (pv - tv) / n;
+                    }
+                    self.accumulate(pred, &dp);
+                }
+            }
+        }
+    }
+}
+
+/// Forward computation of the segment softmax with priors, shared by the tape
+/// op and (potentially) inference-only paths.
+fn segment_softmax_forward(logits: &Matrix, segments: &[usize], priors: &[f32]) -> Matrix {
+    let e = logits.rows();
+    let mut out = Matrix::zeros(e, 1);
+    if e == 0 {
+        return out;
+    }
+    // Per-segment max for numerical stability.
+    let mut seg_max: std::collections::HashMap<usize, f32> = std::collections::HashMap::new();
+    for i in 0..e {
+        let entry = seg_max.entry(segments[i]).or_insert(f32::NEG_INFINITY);
+        *entry = entry.max(logits.get(i, 0));
+    }
+    let mut seg_sum: std::collections::HashMap<usize, f32> = std::collections::HashMap::new();
+    let mut numerators = vec![0.0f32; e];
+    for i in 0..e {
+        let m = seg_max[&segments[i]];
+        let w = priors[i].max(1e-12);
+        let num = w * (logits.get(i, 0) - m).exp();
+        numerators[i] = num;
+        *seg_sum.entry(segments[i]).or_insert(0.0) += num;
+    }
+    for i in 0..e {
+        let denom = seg_sum[&segments[i]].max(1e-20);
+        out.set(i, 0, numerators[i] / denom);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerically estimate d(loss)/d(x[i][j]) by central differences and
+    /// compare against the analytic gradient from the tape.
+    fn check_gradient<F>(x: &Matrix, analytic: &Matrix, mut loss_fn: F, tol: f32)
+    where
+        F: FnMut(&Matrix) -> f32,
+    {
+        let eps = 1e-3_f32;
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut plus = x.clone();
+                plus.set(r, c, x.get(r, c) + eps);
+                let mut minus = x.clone();
+                minus.set(r, c, x.get(r, c) - eps);
+                let numeric = (loss_fn(&plus) - loss_fn(&minus)) / (2.0 * eps);
+                let got = analytic.get(r, c);
+                assert!(
+                    (numeric - got).abs() < tol,
+                    "gradient mismatch at ({r},{c}): numeric {numeric} vs analytic {got}"
+                );
+            }
+        }
+    }
+
+    fn input(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Simple deterministic pseudo-random fill without pulling rand here.
+        Matrix::from_fn(rows, cols, |r, c| {
+            let v = (seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((r * 31 + c * 7) as u64 * 2654435761))
+                % 1000;
+            (v as f32 / 500.0) - 1.0
+        })
+    }
+
+    #[test]
+    fn matmul_gradients_match_finite_differences() {
+        let a0 = input(3, 4, 1);
+        let b0 = input(4, 2, 2);
+        let loss = |a: &Matrix, b: &Matrix| -> f32 {
+            let mut t = Tape::new();
+            let va = t.leaf(a.clone());
+            let vb = t.leaf(b.clone());
+            let c = t.matmul(va, vb);
+            let s = t.sum_all(c);
+            t.value(s).get(0, 0)
+        };
+        let mut t = Tape::new();
+        let va = t.leaf(a0.clone());
+        let vb = t.leaf(b0.clone());
+        let c = t.matmul(va, vb);
+        let s = t.sum_all(c);
+        t.backward(s);
+        check_gradient(&a0, &t.grad(va), |a| loss(a, &b0), 1e-2);
+        check_gradient(&b0, &t.grad(vb), |b| loss(&a0, b), 1e-2);
+    }
+
+    #[test]
+    fn activation_gradients_match_finite_differences() {
+        let x0 = input(2, 3, 5);
+        for act in ["relu", "leaky", "tanh", "sigmoid"] {
+            let run = |x: &Matrix| -> (f32, Matrix) {
+                let mut t = Tape::new();
+                let vx = t.leaf(x.clone());
+                let y = match act {
+                    "relu" => t.relu(vx),
+                    "leaky" => t.leaky_relu(vx, 0.2),
+                    "tanh" => t.tanh(vx),
+                    _ => t.sigmoid(vx),
+                };
+                let s = t.sum_all(y);
+                t.backward(s);
+                (t.value(s).get(0, 0), t.grad(vx))
+            };
+            let (_, g) = run(&x0);
+            check_gradient(&x0, &g, |x| run(x).0, 2e-2);
+        }
+    }
+
+    #[test]
+    fn broadcast_and_concat_gradients() {
+        let a0 = input(3, 2, 7);
+        let bias0 = input(1, 2, 8);
+        let b0 = input(3, 3, 9);
+        let run = |a: &Matrix, bias: &Matrix, b: &Matrix| -> (f32, Matrix, Matrix, Matrix) {
+            let mut t = Tape::new();
+            let va = t.leaf(a.clone());
+            let vbias = t.leaf(bias.clone());
+            let vb = t.leaf(b.clone());
+            let ab = t.add_row_broadcast(va, vbias);
+            let cat = t.concat_cols(ab, vb);
+            let act = t.tanh(cat);
+            let s = t.sum_all(act);
+            t.backward(s);
+            (t.value(s).get(0, 0), t.grad(va), t.grad(vbias), t.grad(vb))
+        };
+        let (_, ga, gbias, gb) = run(&a0, &bias0, &b0);
+        check_gradient(&a0, &ga, |a| run(a, &bias0, &b0).0, 2e-2);
+        check_gradient(&bias0, &gbias, |bias| run(&a0, bias, &b0).0, 2e-2);
+        check_gradient(&b0, &gb, |b| run(&a0, &bias0, b).0, 2e-2);
+    }
+
+    #[test]
+    fn gather_scatter_gradients() {
+        let x0 = input(4, 3, 11);
+        let indices = vec![0usize, 2, 2, 3, 1];
+        let dst = vec![1usize, 0, 1, 1, 0];
+        let run = |x: &Matrix| -> (f32, Matrix) {
+            let mut t = Tape::new();
+            let vx = t.leaf(x.clone());
+            let g = t.gather_rows(vx, &indices);
+            let sc = t.scatter_add_rows(g, &dst, 2);
+            let act = t.sigmoid(sc);
+            let s = t.sum_all(act);
+            t.backward(s);
+            (t.value(s).get(0, 0), t.grad(vx))
+        };
+        let (_, grad) = run(&x0);
+        check_gradient(&x0, &grad, |x| run(x).0, 2e-2);
+    }
+
+    #[test]
+    fn segment_softmax_is_normalised_per_segment() {
+        let logits = Matrix::col_vector(&[0.3, -0.2, 1.5, 0.0, 0.7]);
+        let segments = vec![0usize, 0, 1, 1, 1];
+        let priors = vec![1.0, 2.0, 1.0, 0.5, 1.0];
+        let mut t = Tape::new();
+        let vl = t.leaf(logits);
+        let alpha = t.segment_softmax(vl, &segments, &priors);
+        let a = t.value(alpha);
+        let seg0: f32 = a.get(0, 0) + a.get(1, 0);
+        let seg1: f32 = a.get(2, 0) + a.get(3, 0) + a.get(4, 0);
+        assert!((seg0 - 1.0).abs() < 1e-5);
+        assert!((seg1 - 1.0).abs() < 1e-5);
+        assert!(a.as_slice().iter().all(|&v| v > 0.0));
+        // Larger prior should increase the share for equal logits.
+        assert!(a.get(1, 0) > 0.0);
+    }
+
+    #[test]
+    fn segment_softmax_gradients_match_finite_differences() {
+        let logits0 = Matrix::col_vector(&[0.2, -0.4, 0.9, 0.1]);
+        let segments = vec![0usize, 0, 1, 1];
+        let priors = vec![1.0, 3.0, 0.5, 1.0];
+        // Weight the alphas so the loss is not constant (softmax sums to 1).
+        let mix = Matrix::col_vector(&[0.7, -1.3, 2.0, 0.4]);
+        let run = |l: &Matrix| -> (f32, Matrix) {
+            let mut t = Tape::new();
+            let vl = t.leaf(l.clone());
+            let vmix = t.leaf(mix.clone());
+            let alpha = t.segment_softmax(vl, &segments, &priors);
+            let weighted = t.hadamard(alpha, vmix);
+            let s = t.sum_all(weighted);
+            t.backward(s);
+            (t.value(s).get(0, 0), t.grad(vl))
+        };
+        let (_, g) = run(&logits0);
+        check_gradient(&logits0, &g, |l| run(l).0, 2e-2);
+    }
+
+    #[test]
+    fn mul_col_broadcast_gradients() {
+        let a0 = input(4, 3, 21);
+        let s0 = input(4, 1, 22);
+        let run = |a: &Matrix, s: &Matrix| -> (f32, Matrix, Matrix) {
+            let mut t = Tape::new();
+            let va = t.leaf(a.clone());
+            let vs = t.leaf(s.clone());
+            let prod = t.mul_col_broadcast(va, vs);
+            let act = t.tanh(prod);
+            let l = t.sum_all(act);
+            t.backward(l);
+            (t.value(l).get(0, 0), t.grad(va), t.grad(vs))
+        };
+        let (_, ga, gs) = run(&a0, &s0);
+        check_gradient(&a0, &ga, |a| run(a, &s0).0, 2e-2);
+        check_gradient(&s0, &gs, |s| run(&a0, s).0, 2e-2);
+    }
+
+    #[test]
+    fn mean_rows_and_mse_gradients() {
+        let x0 = input(5, 3, 31);
+        let target = vec![0.3f32, -0.2, 0.8];
+        let run = |x: &Matrix| -> (f32, Matrix) {
+            let mut t = Tape::new();
+            let vx = t.leaf(x.clone());
+            let pooled = t.mean_rows(vx);
+            let loss = t.mse_loss(pooled, &target);
+            t.backward(loss);
+            (t.value(loss).get(0, 0), t.grad(vx))
+        };
+        let (_, g) = run(&x0);
+        check_gradient(&x0, &g, |x| run(x).0, 2e-2);
+    }
+
+    #[test]
+    fn composite_model_like_graph_gradients() {
+        // A miniature RGAT-style pass: gather, project, attention, scatter,
+        // readout, MLP, MSE — exercising every op end to end.
+        let h0 = input(5, 4, 41);
+        let w0 = input(4, 3, 42).scale(0.5);
+        let attn0 = input(6, 1, 43).scale(0.3);
+        let src = vec![0usize, 1, 2, 3, 4, 0];
+        let dst = vec![1usize, 2, 2, 4, 0, 3];
+        let priors = vec![1.0f32, 2.0, 0.5, 1.0, 4.0, 1.0];
+        let target = vec![0.25f32];
+
+        let run = |h: &Matrix, w: &Matrix, attn: &Matrix| -> (f32, Matrix, Matrix, Matrix) {
+            let mut t = Tape::new();
+            let vh = t.leaf(h.clone());
+            let vw = t.leaf(w.clone());
+            let vattn = t.leaf(attn.clone());
+            let hs = t.gather_rows(vh, &src);
+            let hd = t.gather_rows(vh, &dst);
+            let ms = t.matmul(hs, vw);
+            let md = t.matmul(hd, vw);
+            let cat = t.concat_cols(ms, md);
+            let logits_raw = t.matmul(cat, vattn);
+            let logits = t.leaky_relu(logits_raw, 0.2);
+            let alpha = t.segment_softmax(logits, &dst, &priors);
+            let msg = t.mul_col_broadcast(ms, alpha);
+            let agg = t.scatter_add_rows(msg, &dst, 5);
+            let act = t.relu(agg);
+            let pooled = t.mean_rows(act);
+            let s = t.sum_all(pooled);
+            let loss = t.mse_loss(s, &target);
+            t.backward(loss);
+            (
+                t.value(loss).get(0, 0),
+                t.grad(vh),
+                t.grad(vw),
+                t.grad(vattn),
+            )
+        };
+        let (_, gh, gw, gattn) = run(&h0, &w0, &attn0);
+        check_gradient(&h0, &gh, |h| run(h, &w0, &attn0).0, 3e-2);
+        check_gradient(&w0, &gw, |w| run(&h0, w, &attn0).0, 3e-2);
+        check_gradient(&attn0, &gattn, |a| run(&h0, &w0, a).0, 3e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar node")]
+    fn backward_from_non_scalar_panics() {
+        let mut t = Tape::new();
+        let v = t.leaf(Matrix::zeros(2, 2));
+        t.backward(v);
+    }
+
+    #[test]
+    fn grad_of_unused_leaf_is_zero() {
+        let mut t = Tape::new();
+        let used = t.leaf(Matrix::filled(1, 1, 2.0));
+        let unused = t.leaf(Matrix::filled(3, 3, 1.0));
+        let s = t.sum_all(used);
+        t.backward(s);
+        assert_eq!(t.grad(unused).sum(), 0.0);
+        assert_eq!(t.grad(used).get(0, 0), 1.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Weight-initialisation schemes for the neural-network layers.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialisation: samples from
+/// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+///
+/// This is the initialisation used for the RGAT projection matrices and the
+/// fully connected layers of the ParaGraph model.
+pub fn xavier_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-limit..=limit))
+}
+
+/// He/Kaiming uniform initialisation, appropriate for ReLU activations:
+/// samples from `U(-sqrt(6/fan_in), +sqrt(6/fan_in))`.
+pub fn he_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Matrix {
+    let limit = (6.0 / fan_in.max(1) as f32).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-limit..=limit))
+}
+
+/// Small-uniform initialisation for attention vectors and biases.
+pub fn small_uniform(rng: &mut StdRng, rows: usize, cols: usize, scale: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-scale..=scale))
+}
+
+/// Zero initialisation (used for biases).
+pub fn zeros(rows: usize, cols: usize) -> Matrix {
+    Matrix::zeros(rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = xavier_uniform(&mut rng, 64, 32);
+        let limit = (6.0_f32 / 96.0).sqrt();
+        assert_eq!(m.shape(), (64, 32));
+        assert!(m.as_slice().iter().all(|v| v.abs() <= limit + 1e-6));
+        // Not all values identical (i.e. actual randomness happened).
+        assert!(m.max() > m.min());
+    }
+
+    #[test]
+    fn he_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = he_uniform(&mut rng, 16, 8);
+        let limit = (6.0_f32 / 16.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= limit + 1e-6));
+    }
+
+    #[test]
+    fn initialisation_is_deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        let m1 = xavier_uniform(&mut a, 10, 10);
+        let m2 = xavier_uniform(&mut b, 10, 10);
+        assert!(m1.approx_eq(&m2, 0.0));
+    }
+
+    #[test]
+    fn small_uniform_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = small_uniform(&mut rng, 4, 4, 0.01);
+        assert!(m.as_slice().iter().all(|v| v.abs() <= 0.01 + 1e-9));
+    }
+}

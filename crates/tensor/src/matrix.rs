@@ -1,0 +1,636 @@
+//! Dense row-major `f32` matrix used throughout the ParaGraph models.
+//!
+//! The matrix type is deliberately small and predictable: a shape plus a flat
+//! `Vec<f32>`. All hot operations (matrix multiplication in particular) are
+//! written so that the inner loops are over contiguous slices, and the larger
+//! products are parallelised over output rows with rayon.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Row-major dense matrix of `f32` values.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+/// Minimum number of multiply-accumulate operations before `matmul`
+/// parallelises over output rows. Below this threshold the rayon dispatch
+/// overhead dominates.
+const PAR_MATMUL_THRESHOLD: usize = 64 * 64 * 64;
+
+impl Matrix {
+    /// Create a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a matrix filled with the given value.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Create a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Create a matrix taking ownership of a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Create a 1 x n row vector from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Create an n x 1 column vector from a slice.
+    pub fn col_vector(values: &[f32]) -> Self {
+        Self::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the matrix and return its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow one row as a contiguous slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        let start = r * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Mutably borrow one row as a contiguous slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let start = r * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+
+    /// Copy one column out of the matrix.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Reshape without copying. The number of elements must be preserved.
+    pub fn reshape(mut self, rows: usize, cols: usize) -> Self {
+        assert_eq!(self.data.len(), rows * cols, "reshape must preserve length");
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// Transposed copy of the matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// Parallelised over output rows when the problem is large enough to
+    /// amortise the rayon dispatch.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not agree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let m = self.rows;
+        let k = self.cols;
+        let n = other.cols;
+        let mut out = Matrix::zeros(m, n);
+
+        let work = m * k * n;
+        let compute_row = |row_a: &[f32], row_out: &mut [f32]| {
+            // ikj loop order keeps the innermost loop contiguous in both
+            // `other` and the output row.
+            for (kk, &a) in row_a.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in row_out.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        };
+
+        if work >= PAR_MATMUL_THRESHOLD {
+            out.data
+                .par_chunks_mut(n)
+                .zip(self.data.par_chunks(k))
+                .for_each(|(row_out, row_a)| compute_row(row_a, row_out));
+        } else {
+            for (row_out, row_a) in out.data.chunks_mut(n).zip(self.data.chunks(k)) {
+                compute_row(row_a, row_out);
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum of two equally shaped matrices.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference of two equally shaped matrices.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Elementwise combination of two equally shaped matrices.
+    pub fn zip_with(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "elementwise op shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// In-place elementwise addition.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaled addition: `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiply all elements by a scalar, returning a new matrix.
+    pub fn scale(&self, alpha: f32) -> Matrix {
+        self.map(|v| v * alpha)
+    }
+
+    /// Apply a function to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Apply a function to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Set every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Add a 1 x cols row vector to every row (bias broadcast).
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width must match matrix width");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            for (o, &b) in row.iter_mut().zip(bias.data.iter()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Multiply each row `i` by the scalar `scales[i]` (an n x 1 column vector).
+    pub fn mul_col_broadcast(&self, scales: &Matrix) -> Matrix {
+        assert_eq!(scales.cols, 1, "scales must be a column vector");
+        assert_eq!(scales.rows, self.rows, "scales height must match matrix height");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let s = scales.data[r];
+            for v in out.row_mut(r) {
+                *v *= s;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Column-wise sum, producing a 1 x cols row vector.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.get(r, c);
+            }
+        }
+        out
+    }
+
+    /// Column-wise mean, producing a 1 x cols row vector.
+    pub fn mean_rows(&self) -> Matrix {
+        if self.rows == 0 {
+            return Matrix::zeros(1, self.cols);
+        }
+        self.sum_rows().scale(1.0 / self.rows as f32)
+    }
+
+    /// Maximum element (negative infinity for an empty matrix).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (positive infinity for an empty matrix).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn concat_cols(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "concat_cols requires equal row counts");
+        let cols = self.cols + other.cols;
+        let mut out = Matrix::zeros(self.rows, cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Vertical concatenation of `self` on top of `other`.
+    pub fn concat_rows(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "concat_rows requires equal column counts");
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Gather the given rows into a new matrix (rows may repeat).
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.rows, "gather_rows index {idx} out of bounds ({} rows)", self.rows);
+            out.row_mut(i).copy_from_slice(self.row(idx));
+        }
+        out
+    }
+
+    /// Scatter-add rows of `self` into a new `out_rows x cols` matrix:
+    /// `out[indices[i]] += self[i]`.
+    pub fn scatter_add_rows(&self, indices: &[usize], out_rows: usize) -> Matrix {
+        assert_eq!(indices.len(), self.rows, "one index per row required");
+        let mut out = Matrix::zeros(out_rows, self.cols);
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < out_rows, "scatter index {idx} out of bounds ({out_rows} rows)");
+            let src = self.row(i);
+            let dst = out.row_mut(idx);
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d += s;
+            }
+        }
+        out
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Maximum absolute elementwise difference to another matrix.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Approximate equality within an absolute tolerance.
+    pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
+        self.shape() == other.shape() && self.max_abs_diff(other) <= tol
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8;
+        for r in 0..self.rows.min(max_rows) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:>10.4}", self.get(r, c))?;
+                if c + 1 < self.cols.min(8) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_shape_and_values() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_fn_lays_out_row_major() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m.get(1, 2), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_wrong_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_matmul_is_identity_op() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        let i = Matrix::identity(3);
+        assert!(a.matmul(&i).approx_eq(&a, 1e-6));
+        assert!(i.matmul(&a).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_matches_manual_result() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_large_parallel_path_matches_serial() {
+        // Force the parallel path and compare against an independently
+        // computed small-blocked result.
+        let n = 70;
+        let a = Matrix::from_fn(n, n, |r, c| ((r * 7 + c * 13) % 17) as f32 / 16.0);
+        let b = Matrix::from_fn(n, n, |r, c| ((r * 3 + c * 5) % 23) as f32 / 22.0);
+        let c = a.matmul(&b);
+        // naive reference
+        let mut reference = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                reference.set(i, j, acc);
+            }
+        }
+        assert!(c.approx_eq(&reference, 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(t.get(4, 2), a.get(2, 4));
+        assert!(t.transpose().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn broadcast_ops() {
+        let a = Matrix::from_fn(2, 3, |_, c| c as f32);
+        let bias = Matrix::row_vector(&[10.0, 20.0, 30.0]);
+        let with_bias = a.add_row_broadcast(&bias);
+        assert_eq!(with_bias.row(0), &[10.0, 21.0, 32.0]);
+        assert_eq!(with_bias.row(1), &[10.0, 21.0, 32.0]);
+
+        let scales = Matrix::col_vector(&[2.0, 3.0]);
+        let scaled = a.mul_col_broadcast(&scales);
+        assert_eq!(scaled.row(0), &[0.0, 2.0, 4.0]);
+        assert_eq!(scaled.row(1), &[0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.sum_rows().as_slice(), &[4.0, 6.0]);
+        assert_eq!(a.mean_rows().as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), 1.0);
+    }
+
+    #[test]
+    fn concat_and_gather_and_scatter() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 1, vec![9.0, 8.0]);
+        let cat = a.concat_cols(&b);
+        assert_eq!(cat.shape(), (2, 3));
+        assert_eq!(cat.row(0), &[1.0, 2.0, 9.0]);
+
+        let stacked = a.concat_rows(&a);
+        assert_eq!(stacked.shape(), (4, 2));
+
+        let g = a.gather_rows(&[1, 1, 0]);
+        assert_eq!(g.shape(), (3, 2));
+        assert_eq!(g.row(0), &[3.0, 4.0]);
+        assert_eq!(g.row(2), &[1.0, 2.0]);
+
+        let s = g.scatter_add_rows(&[0, 0, 1], 2);
+        assert_eq!(s.row(0), &[6.0, 8.0]);
+        assert_eq!(s.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_and_fill_zero() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        a.axpy(0.5, &b);
+        assert!(a.as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-6));
+        a.fill_zero();
+        assert_eq!(a.sum(), 0.0);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = Matrix::zeros(2, 2);
+        assert!(!a.has_non_finite());
+        a.set(1, 1, f32::NAN);
+        assert!(a.has_non_finite());
+    }
+}

@@ -1,0 +1,202 @@
+//! Regression metrics used in the paper's evaluation:
+//! RMSE (Eq. 3), normalised RMSE (RMSE divided by the runtime range) and
+//! relative error (absolute error divided by the runtime range).
+
+/// Root mean square error between predictions and ground truth.
+///
+/// Returns 0 for empty inputs.
+///
+/// # Panics
+/// Panics if the two slices have different lengths.
+pub fn rmse(predicted: &[f32], actual: &[f32]) -> f32 {
+    assert_eq!(predicted.len(), actual.len(), "rmse length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let sum_sq: f64 = predicted
+        .iter()
+        .zip(actual.iter())
+        .map(|(&p, &a)| {
+            let d = (p - a) as f64;
+            d * d
+        })
+        .sum();
+    (sum_sq / predicted.len() as f64).sqrt() as f32
+}
+
+/// RMSE normalised by the range (max - min) of the actual values, as used in
+/// Table III of the paper. Returns 0 when the range is degenerate.
+pub fn normalized_rmse(predicted: &[f32], actual: &[f32]) -> f32 {
+    let range = value_range(actual);
+    if range <= f32::EPSILON {
+        return 0.0;
+    }
+    rmse(predicted, actual) / range
+}
+
+/// Mean relative error: mean of |pred - actual| / range(actual), the per-bin
+/// metric of Figure 4 and the per-application metric of Figure 6.
+pub fn mean_relative_error(predicted: &[f32], actual: &[f32], range: f32) -> f32 {
+    assert_eq!(predicted.len(), actual.len(), "relative error length mismatch");
+    if predicted.is_empty() || range <= f32::EPSILON {
+        return 0.0;
+    }
+    let sum: f64 = predicted
+        .iter()
+        .zip(actual.iter())
+        .map(|(&p, &a)| ((p - a).abs() / range) as f64)
+        .sum();
+    (sum / predicted.len() as f64) as f32
+}
+
+/// Mean absolute percentage error (diagnostic; not reported in the paper but
+/// useful when validating the simulator and baselines).
+pub fn mape(predicted: &[f32], actual: &[f32]) -> f32 {
+    assert_eq!(predicted.len(), actual.len(), "mape length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = predicted
+        .iter()
+        .zip(actual.iter())
+        .map(|(&p, &a)| (((p - a).abs()) / a.abs().max(1e-6)) as f64)
+        .sum();
+    (sum / predicted.len() as f64) as f32
+}
+
+/// Coefficient of determination R^2 (diagnostic).
+pub fn r2(predicted: &[f32], actual: &[f32]) -> f32 {
+    assert_eq!(predicted.len(), actual.len(), "r2 length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let mean: f64 = actual.iter().map(|&v| v as f64).sum::<f64>() / actual.len() as f64;
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(actual.iter())
+        .map(|(&p, &a)| {
+            let d = (a - p) as f64;
+            d * d
+        })
+        .sum();
+    let ss_tot: f64 = actual
+        .iter()
+        .map(|&a| {
+            let d = a as f64 - mean;
+            d * d
+        })
+        .sum();
+    if ss_tot <= f64::EPSILON {
+        return 0.0;
+    }
+    (1.0 - ss_res / ss_tot) as f32
+}
+
+/// Range (max - min) of a slice; 0 for empty input.
+pub fn value_range(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let min = values.iter().copied().fold(f32::INFINITY, f32::min);
+    max - min
+}
+
+/// Mean of a slice; 0 for empty input.
+pub fn mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f32>() / values.len() as f32
+    }
+}
+
+/// Population standard deviation of a slice; 0 for empty input.
+pub fn std_dev(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values) as f64;
+    let var: f64 = values
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - m;
+            d * d
+        })
+        .sum::<f64>()
+        / values.len() as f64;
+    var.sqrt() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_of_perfect_prediction_is_zero() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert_eq!(normalized_rmse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn rmse_matches_hand_computation() {
+        let pred = [1.0, 2.0, 3.0, 4.0];
+        let act = [2.0, 2.0, 5.0, 4.0];
+        // errors: 1, 0, 2, 0 -> mse = 5/4 -> rmse = sqrt(1.25)
+        assert!((rmse(&pred, &act) - 1.25_f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalized_rmse_divides_by_range() {
+        let pred = [0.0, 10.0];
+        let act = [0.0, 20.0];
+        // rmse = sqrt(100/2), range = 20
+        let expected = (50.0_f32).sqrt() / 20.0;
+        assert!((normalized_rmse(&pred, &act) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relative_error_uses_supplied_range() {
+        let pred = [5.0];
+        let act = [10.0];
+        assert!((mean_relative_error(&pred, &act, 100.0) - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_inputs_yield_zero() {
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert_eq!(normalized_rmse(&[], &[]), 0.0);
+        assert_eq!(mean_relative_error(&[], &[], 10.0), 0.0);
+        assert_eq!(mape(&[], &[]), 0.0);
+        assert_eq!(r2(&[], &[]), 0.0);
+        assert_eq!(value_range(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn r2_of_perfect_fit_is_one() {
+        let act = [1.0, 2.0, 3.0, 10.0];
+        assert!((r2(&act, &act) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let act = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 2.0];
+        assert!(r2(&pred, &act).abs() < 1e-6);
+    }
+
+    #[test]
+    fn std_dev_matches_hand_computation() {
+        let vals = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&vals) - 2.0).abs() < 1e-6);
+        assert!((mean(&vals) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Feature scaling utilities.
+//!
+//! The paper normalises the edge weights and the two launch-configuration
+//! side features (number of teams, number of threads) with a MinMax scaler,
+//! and trains on runtimes whose ranges span several orders of magnitude. We
+//! provide both a [`MinMaxScaler`] and a log-domain [`TargetTransform`] so
+//! the model can be trained on well-conditioned targets while all reported
+//! errors remain in the original (millisecond) domain.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-column MinMax scaler mapping each feature into `[0, 1]`.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct MinMaxScaler {
+    mins: Vec<f32>,
+    maxs: Vec<f32>,
+}
+
+impl MinMaxScaler {
+    /// Fit the scaler on rows of features (each row one sample).
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or rows have inconsistent widths.
+    pub fn fit(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler on an empty dataset");
+        let width = rows[0].len();
+        let mut mins = vec![f32::INFINITY; width];
+        let mut maxs = vec![f32::NEG_INFINITY; width];
+        for row in rows {
+            assert_eq!(row.len(), width, "inconsistent feature width");
+            for (i, &v) in row.iter().enumerate() {
+                mins[i] = mins[i].min(v);
+                maxs[i] = maxs[i].max(v);
+            }
+        }
+        Self { mins, maxs }
+    }
+
+    /// Fit a scaler over a single feature column.
+    pub fn fit_scalar(values: &[f32]) -> Self {
+        let rows: Vec<Vec<f32>> = values.iter().map(|&v| vec![v]).collect();
+        Self::fit(&rows)
+    }
+
+    /// Number of features the scaler was fitted on.
+    pub fn width(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Observed minimum per column.
+    pub fn mins(&self) -> &[f32] {
+        &self.mins
+    }
+
+    /// Observed maximum per column.
+    pub fn maxs(&self) -> &[f32] {
+        &self.maxs
+    }
+
+    /// Range (max - min) of the given column.
+    pub fn range(&self, column: usize) -> f32 {
+        self.maxs[column] - self.mins[column]
+    }
+
+    /// Scale one sample into `[0, 1]` per column. Columns with zero range map
+    /// to 0.
+    pub fn transform(&self, row: &[f32]) -> Vec<f32> {
+        assert_eq!(row.len(), self.mins.len(), "feature width mismatch");
+        row.iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let range = self.maxs[i] - self.mins[i];
+                if range <= f32::EPSILON {
+                    0.0
+                } else {
+                    (v - self.mins[i]) / range
+                }
+            })
+            .collect()
+    }
+
+    /// Scale a single value using column 0 of the fitted statistics.
+    pub fn transform_scalar(&self, value: f32) -> f32 {
+        self.transform(&[value])[0]
+    }
+
+    /// Invert [`MinMaxScaler::transform`] for one sample.
+    pub fn inverse_transform(&self, row: &[f32]) -> Vec<f32> {
+        assert_eq!(row.len(), self.mins.len(), "feature width mismatch");
+        row.iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let range = self.maxs[i] - self.mins[i];
+                if range <= f32::EPSILON {
+                    self.mins[i]
+                } else {
+                    v * range + self.mins[i]
+                }
+            })
+            .collect()
+    }
+
+    /// Invert a single scaled value using column 0.
+    pub fn inverse_transform_scalar(&self, value: f32) -> f32 {
+        self.inverse_transform(&[value])[0]
+    }
+}
+
+/// Transformation applied to the regression target (the measured runtime)
+/// before training.
+///
+/// Runtimes in the paper span from tens of microseconds to hundreds of
+/// seconds, so training directly on milliseconds makes the MSE loss attend
+/// only to the largest kernels. `Log1pMinMax` trains in `log(1 + ms)` space
+/// scaled to `[0, 1]`, which matches the paper's observation that relative
+/// error stays flat across runtime bins.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub enum TargetTransform {
+    /// Plain MinMax scaling of the raw runtime.
+    MinMax(MinMaxScaler),
+    /// `log(1 + runtime)` followed by MinMax scaling (default).
+    Log1pMinMax(MinMaxScaler),
+}
+
+impl TargetTransform {
+    /// Fit a log-domain transform on raw runtimes (in milliseconds).
+    pub fn fit_log1p(runtimes_ms: &[f32]) -> Self {
+        let logs: Vec<f32> = runtimes_ms.iter().map(|&v| (1.0 + v.max(0.0)).ln()).collect();
+        TargetTransform::Log1pMinMax(MinMaxScaler::fit_scalar(&logs))
+    }
+
+    /// Fit a linear-domain transform on raw runtimes (in milliseconds).
+    pub fn fit_linear(runtimes_ms: &[f32]) -> Self {
+        TargetTransform::MinMax(MinMaxScaler::fit_scalar(runtimes_ms))
+    }
+
+    /// Map a raw runtime (ms) into model/target space.
+    pub fn encode(&self, runtime_ms: f32) -> f32 {
+        match self {
+            TargetTransform::MinMax(s) => s.transform_scalar(runtime_ms),
+            TargetTransform::Log1pMinMax(s) => s.transform_scalar((1.0 + runtime_ms.max(0.0)).ln()),
+        }
+    }
+
+    /// Map a model prediction back to a raw runtime in milliseconds.
+    pub fn decode(&self, encoded: f32) -> f32 {
+        match self {
+            TargetTransform::MinMax(s) => s.inverse_transform_scalar(encoded),
+            TargetTransform::Log1pMinMax(s) => {
+                (s.inverse_transform_scalar(encoded).exp() - 1.0).max(0.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_round_trip() {
+        let rows = vec![vec![1.0, 100.0], vec![3.0, 300.0], vec![2.0, 200.0]];
+        let scaler = MinMaxScaler::fit(&rows);
+        assert_eq!(scaler.mins(), &[1.0, 100.0]);
+        assert_eq!(scaler.maxs(), &[3.0, 300.0]);
+        let t = scaler.transform(&[2.0, 150.0]);
+        assert!((t[0] - 0.5).abs() < 1e-6);
+        assert!((t[1] - 0.25).abs() < 1e-6);
+        let back = scaler.inverse_transform(&t);
+        assert!((back[0] - 2.0).abs() < 1e-5);
+        assert!((back[1] - 150.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let rows = vec![vec![5.0], vec![5.0]];
+        let scaler = MinMaxScaler::fit(&rows);
+        assert_eq!(scaler.transform(&[5.0]), vec![0.0]);
+        assert_eq!(scaler.inverse_transform(&[0.7]), vec![5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn fit_on_empty_panics() {
+        let _ = MinMaxScaler::fit(&[]);
+    }
+
+    #[test]
+    fn log_transform_round_trip() {
+        let runtimes = vec![0.05, 1.0, 250.0, 30_000.0, 700_000.0];
+        let t = TargetTransform::fit_log1p(&runtimes);
+        for &r in &runtimes {
+            let enc = t.encode(r);
+            assert!((0.0..=1.0).contains(&enc), "encoded {enc} out of range");
+            let dec = t.decode(enc);
+            let rel = (dec - r).abs() / r.max(1e-3);
+            assert!(rel < 1e-2, "round trip error too large: {r} -> {dec}");
+        }
+    }
+
+    #[test]
+    fn linear_transform_round_trip() {
+        let runtimes = vec![1.0, 2.0, 10.0];
+        let t = TargetTransform::fit_linear(&runtimes);
+        let enc = t.encode(5.5);
+        let dec = t.decode(enc);
+        assert!((dec - 5.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn transform_scalar_matches_transform() {
+        let scaler = MinMaxScaler::fit_scalar(&[0.0, 10.0]);
+        assert!((scaler.transform_scalar(5.0) - 0.5).abs() < 1e-6);
+        assert!((scaler.range(0) - 10.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,83 @@
+//! Explore the generated dataset: per-platform statistics (Table II at
+//! example scale), the variant mix, and what an individual data point looks
+//! like (source, launch configuration, graph size, simulated runtime).
+//!
+//! Run with: `cargo run --release --example dataset_explorer`
+
+use paragraph::core::Representation;
+use paragraph::dataset::{collect_platform, DatasetScale, PipelineConfig};
+use paragraph::perfsim::Platform;
+use std::collections::BTreeMap;
+
+fn main() {
+    let config = PipelineConfig {
+        scale: DatasetScale::Fast,
+        seed: 42,
+        noise_sigma: 0.04,
+    };
+
+    println!("Per-platform dataset statistics (reduced scale):\n");
+    println!(
+        "{:<22} {:>8} {:>14} {:>14} {:>14}",
+        "platform", "points", "min (ms)", "max (ms)", "std dev"
+    );
+    for platform in Platform::ALL {
+        let ds = collect_platform(platform, &config);
+        let stats = ds.stats();
+        println!(
+            "{:<22} {:>8} {:>14.3} {:>14.1} {:>14.1}",
+            stats.platform_name,
+            stats.data_points,
+            stats.min_runtime_ms,
+            stats.max_runtime_ms,
+            stats.std_dev_ms
+        );
+    }
+
+    // Variant and application mix on the V100.
+    let ds = collect_platform(Platform::SummitV100, &config);
+    let mut by_variant: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut by_app: BTreeMap<String, usize> = BTreeMap::new();
+    for p in &ds.points {
+        *by_variant.entry(p.variant.name()).or_default() += 1;
+        *by_app.entry(p.application.clone()).or_default() += 1;
+    }
+    println!("\nNVIDIA V100 variant mix:");
+    for (variant, count) in &by_variant {
+        println!("  {variant:<18} {count}");
+    }
+    println!("NVIDIA V100 application mix:");
+    for (app, count) in &by_app {
+        println!("  {app:<18} {count}");
+    }
+
+    // One data point in detail.
+    let point = ds
+        .points
+        .iter()
+        .find(|p| p.application == "MM")
+        .unwrap_or(&ds.points[0]);
+    println!("\nOne data point in detail:");
+    println!(
+        "  {} [{}] teams={} threads={} runtime={:.3} ms",
+        point.full_name(),
+        point.variant.name(),
+        point.teams,
+        point.threads,
+        point.runtime_ms
+    );
+    let graph = point.build_graph(Representation::ParaGraph);
+    let stats = graph.stats();
+    println!(
+        "  ParaGraph: {} vertices, {} edges, max Child weight {}",
+        stats.nodes, stats.edges, stats.max_edge_weight
+    );
+    println!("  source:\n{}", indent(&point.source, "    "));
+}
+
+fn indent(text: &str, prefix: &str) -> String {
+    text.lines()
+        .map(|l| format!("{prefix}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

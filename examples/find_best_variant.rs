@@ -1,0 +1,91 @@
+//! Find the best transformation for every benchmark kernel: the use case the
+//! paper motivates — predict each variant's runtime and pick the fastest —
+//! driven here by the accelerator simulator directly, and by a trained
+//! ParaGraph model for one platform.
+//!
+//! Run with: `cargo run --release --example find_best_variant`
+
+use paragraph::advisor::LaunchConfig;
+use paragraph::dataset::{collect_platform, DatasetScale, PipelineConfig};
+use paragraph::gnn::{self, TrainConfig};
+use paragraph::kernels::all_kernels;
+use paragraph::perfsim::Platform;
+use paragraph::rank_variants_by_simulation;
+
+fn main() {
+    // Part 1: rank variants per kernel on the V100 using the simulator.
+    println!("Best GPU variant per kernel (simulated, NVIDIA V100, 80x128 launch):\n");
+    let launch = LaunchConfig { teams: 80, threads: 128 };
+    println!(
+        "{:<34} {:<18} {:>12}   {}",
+        "kernel", "best variant", "runtime", "runner-up"
+    );
+    for kernel in all_kernels() {
+        let ranked = rank_variants_by_simulation(
+            &kernel,
+            &kernel.default_sizes(),
+            Platform::SummitV100,
+            launch,
+        );
+        if ranked.len() < 2 {
+            continue;
+        }
+        println!(
+            "{:<34} {:<18} {:>9.2} ms   {} ({:.2} ms)",
+            kernel.full_name(),
+            ranked[0].0.name(),
+            ranked[0].1,
+            ranked[1].0.name(),
+            ranked[1].1
+        );
+    }
+
+    // Part 2: train a small ParaGraph model on the V100 dataset and check how
+    // often its predicted ranking picks the truly fastest variant among the
+    // validation points of each kernel/size group.
+    println!("\nTraining a small ParaGraph model on a reduced V100 dataset ...");
+    let dataset = collect_platform(
+        Platform::SummitV100,
+        &PipelineConfig {
+            scale: DatasetScale::Fast,
+            seed: 42,
+            noise_sigma: 0.04,
+        },
+    );
+    let outcome = gnn::train(&dataset, &TrainConfig::fast());
+    println!(
+        "validation RMSE {:.2} ms, normalised RMSE {:.4} over {} points",
+        outcome.rmse_ms,
+        outcome.norm_rmse,
+        outcome.validation.len()
+    );
+
+    // Group validation predictions by (application, kernel) and check whether
+    // the predicted-fastest point is also the actually-fastest point.
+    use std::collections::HashMap;
+    let mut groups: HashMap<String, Vec<&gnn::PredictionRecord>> = HashMap::new();
+    for record in &outcome.validation {
+        groups.entry(record.application.clone()).or_default().push(record);
+    }
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (_, records) in groups.iter().filter(|(_, r)| r.len() >= 3) {
+        let best_actual = records
+            .iter()
+            .min_by(|a, b| a.actual_ms.partial_cmp(&b.actual_ms).unwrap())
+            .unwrap();
+        let best_predicted = records
+            .iter()
+            .min_by(|a, b| a.predicted_ms.partial_cmp(&b.predicted_ms).unwrap())
+            .unwrap();
+        total += 1;
+        if best_actual.id == best_predicted.id
+            || best_predicted.actual_ms <= 1.5 * best_actual.actual_ms
+        {
+            correct += 1;
+        }
+    }
+    println!(
+        "model-picked candidate within 1.5x of the true fastest in {correct}/{total} application groups"
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: parse an OpenMP kernel, build its ParaGraph, inspect the
+//! weighted edges, and simulate its runtime on the four accelerators.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use paragraph::advisor::{instantiate, LaunchConfig, Variant};
+use paragraph::core::{build, BuilderConfig, EdgeType, Representation};
+use paragraph::frontend::parse;
+use paragraph::kernels::find_kernel;
+use paragraph::perfsim::{measure, NoiseModel, Platform};
+
+fn main() {
+    // 1. A small OpenMP kernel (you can paste your own C here).
+    let source = r#"
+        void saxpy(float *x, float *y) {
+            #pragma omp parallel for num_threads(8)
+            for (int i = 0; i < 4096; i++) {
+                y[i] = y[i] + 2.5 * x[i];
+            }
+        }
+    "#;
+
+    // 2. Parse it with the built-in C/OpenMP frontend.
+    let ast = parse(source).expect("the kernel parses");
+    println!("parsed {} AST nodes", ast.len());
+
+    // 3. Build the ParaGraph representation (the paper's contribution).
+    let config = BuilderConfig::for_representation(Representation::ParaGraph).with_launch(1, 8);
+    let graph = build(&ast, &config);
+    let stats = graph.stats();
+    println!(
+        "ParaGraph: {} vertices, {} edges ({} syntax tokens)",
+        stats.nodes, stats.edges, stats.token_nodes
+    );
+    for ty in EdgeType::ALL {
+        println!("  {:<10} {}", ty.name(), stats.edges_per_type[ty.index()]);
+    }
+    println!(
+        "largest Child-edge weight: {} (4096 iterations / 8 threads = 512)",
+        stats.max_edge_weight
+    );
+
+    // 4. Ask the accelerator simulator how one of the Table I kernels behaves
+    //    across its six variants on a GPU.
+    let mm = find_kernel("MM/matmul").expect("matmul is in the catalogue");
+    let sizes = mm.default_sizes();
+    let launch = LaunchConfig { teams: 80, threads: 128 };
+    println!("\nsimulated runtimes of MM/matmul (N = {:?}):", sizes.get("N"));
+    for platform in Platform::ALL {
+        let variant = if platform.is_gpu() { Variant::GpuMem } else { Variant::Cpu };
+        let lc = if platform.is_gpu() { launch } else { LaunchConfig { teams: 1, threads: 16 } };
+        let instance = instantiate(&mm, variant, &sizes, lc);
+        let m = measure(&instance, platform, &NoiseModel::default()).unwrap();
+        println!(
+            "  {:<22} {:<16} {:>10.2} ms",
+            platform.name(),
+            variant.name(),
+            m.runtime_ms
+        );
+    }
+
+    println!("\nNext steps: `cargo run --release --example find_best_variant`,");
+    println!("`cargo bench -p pg-bench --bench table3_rmse` to train the GNN.");
+}

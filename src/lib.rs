@@ -1,0 +1,105 @@
+//! # paragraph
+//!
+//! Umbrella crate of the ParaGraph reproduction. It re-exports the public API
+//! of the workspace crates so downstream users can depend on a single crate:
+//!
+//! * [`frontend`] — C-subset + OpenMP parser producing Clang-style ASTs,
+//! * [`core`] — the ParaGraph weighted graph representation itself,
+//! * [`kernels`] — the Table I benchmark applications as source templates,
+//! * [`advisor`] — kernel variant generation (cpu / gpu / collapse / mem),
+//! * [`perfsim`] — the analytical accelerator simulator used as the runtime
+//!   "measurement" step,
+//! * [`dataset`] — the end-to-end labelled-dataset pipeline,
+//! * [`gnn`] — the RGAT runtime-prediction model and training loop,
+//! * [`compoff`] — the COMPOFF baseline cost model,
+//! * [`tensor`] — the dense matrix / autodiff / optimiser substrate.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
+//! the full system inventory.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// The ParaGraph representation (the paper's primary contribution).
+pub use paragraph_core as core;
+
+/// Compiler frontend: lexer, parser, AST, symbol resolution, loop analysis.
+pub use pg_frontend as frontend;
+
+/// Benchmark kernel catalogue (Table I).
+pub use pg_kernels as kernels;
+
+/// OpenMP Advisor substitute: variant generation and pragma rewriting.
+pub use pg_advisor as advisor;
+
+/// Accelerator performance simulator (Summit/Corona substitute).
+pub use pg_perfsim as perfsim;
+
+/// Dataset pipeline: variants → graphs → simulated runtimes.
+pub use pg_dataset as dataset;
+
+/// RGAT runtime-prediction model, training loop, metrics.
+pub use pg_gnn as gnn;
+
+/// COMPOFF baseline cost model.
+pub use pg_compoff as compoff;
+
+/// Dense matrices, reverse-mode autodiff, Adam, scalers, metrics.
+pub use pg_tensor as tensor;
+
+/// Predict the runtime (in milliseconds) of every applicable variant of a
+/// kernel on a platform using the accelerator simulator, and return them
+/// sorted fastest-first. This is the "which transformation should I pick?"
+/// helper that the paper's workflow ultimately serves.
+pub fn rank_variants_by_simulation(
+    kernel: &kernels::KernelTemplate,
+    sizes: &std::collections::HashMap<String, i64>,
+    platform: perfsim::Platform,
+    launch: advisor::LaunchConfig,
+) -> Vec<(advisor::Variant, f64)> {
+    let noise = perfsim::NoiseModel::disabled();
+    let mut ranked: Vec<(advisor::Variant, f64)> = advisor::Variant::applicable_variants(kernel)
+        .into_iter()
+        .filter(|v| v.is_gpu() == platform.is_gpu())
+        .filter_map(|variant| {
+            let instance = advisor::instantiate(kernel, variant, sizes, launch);
+            perfsim::measure(&instance, platform, &noise)
+                .ok()
+                .map(|m| (variant, m.runtime_ms))
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_variants_produces_sorted_gpu_candidates() {
+        let mm = kernels::find_kernel("MM/matmul").unwrap();
+        let ranked = rank_variants_by_simulation(
+            &mm,
+            &mm.default_sizes(),
+            perfsim::Platform::SummitV100,
+            advisor::LaunchConfig { teams: 80, threads: 128 },
+        );
+        assert_eq!(ranked.len(), 4, "four GPU variants for a collapsible kernel");
+        assert!(ranked.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!(ranked.iter().all(|(v, _)| v.is_gpu()));
+    }
+
+    #[test]
+    fn rank_variants_cpu_platform_uses_cpu_variants() {
+        let mv = kernels::find_kernel("MV/matvec").unwrap();
+        let ranked = rank_variants_by_simulation(
+            &mv,
+            &mv.default_sizes(),
+            perfsim::Platform::CoronaEpyc7401,
+            advisor::LaunchConfig { teams: 1, threads: 16 },
+        );
+        assert_eq!(ranked.len(), 1, "matvec is not collapsible: only the plain cpu variant");
+        assert!(!ranked[0].0.is_gpu());
+    }
+}

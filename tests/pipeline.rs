@@ -1,0 +1,220 @@
+//! End-to-end integration tests spanning the whole workspace: source →
+//! variants → graphs → simulated runtimes → trained model → predictions.
+
+use paragraph::advisor::{instantiate, LaunchConfig, Variant};
+use paragraph::core::{build, BuilderConfig, EdgeType, Representation};
+use paragraph::dataset::{collect_platform, DatasetScale, PipelineConfig};
+use paragraph::frontend::parse;
+use paragraph::gnn::{self, TrainConfig};
+use paragraph::kernels::{all_kernels, find_kernel};
+use paragraph::perfsim::{measure, NoiseModel, Platform};
+
+fn fast_pipeline() -> PipelineConfig {
+    PipelineConfig {
+        scale: DatasetScale::Fast,
+        seed: 17,
+        noise_sigma: 0.03,
+    }
+}
+
+/// Every kernel of the catalogue survives the whole static pipeline for every
+/// applicable variant: instantiate → parse → build graph → simulate runtime.
+#[test]
+fn every_kernel_variant_flows_through_the_whole_pipeline() {
+    let launch_gpu = LaunchConfig { teams: 80, threads: 128 };
+    let launch_cpu = LaunchConfig { teams: 1, threads: 16 };
+    for kernel in all_kernels() {
+        let sizes = kernel.default_sizes();
+        for variant in Variant::applicable_variants(&kernel) {
+            let launch = if variant.is_gpu() { launch_gpu } else { launch_cpu };
+            let instance = instantiate(&kernel, variant, &sizes, launch);
+            let ast = parse(&instance.source)
+                .unwrap_or_else(|e| panic!("{} [{}]: {e}", kernel.full_name(), variant.name()));
+            let graph = build(
+                &ast,
+                &BuilderConfig::for_representation(Representation::ParaGraph)
+                    .with_launch(launch.teams, launch.threads),
+            );
+            graph.validate().unwrap();
+            assert!(graph.node_count() > 20, "{} graph suspiciously small", kernel.full_name());
+
+            let platform = if variant.is_gpu() {
+                Platform::SummitV100
+            } else {
+                Platform::SummitPower9
+            };
+            let m = measure(&instance, platform, &NoiseModel::default()).unwrap();
+            assert!(
+                m.runtime_ms > 0.0 && m.runtime_ms.is_finite(),
+                "{} [{}] produced a bad runtime {}",
+                kernel.full_name(),
+                variant.name(),
+                m.runtime_ms
+            );
+        }
+    }
+}
+
+/// The weighted representation reflects the launch configuration: more
+/// threads means smaller per-thread loop weights.
+#[test]
+fn edge_weights_shrink_as_parallelism_grows() {
+    let mm = find_kernel("MM/matmul").unwrap();
+    let sizes = mm.default_sizes();
+
+    let weight_for = |threads: u64| {
+        let instance = instantiate(&mm, Variant::Cpu, &sizes, LaunchConfig { teams: 1, threads });
+        let ast = parse(&instance.source).unwrap();
+        let graph = build(
+            &ast,
+            &BuilderConfig::for_representation(Representation::ParaGraph).with_launch(1, threads),
+        );
+        graph.stats().max_edge_weight
+    };
+    let serial = weight_for(1);
+    let parallel = weight_for(16);
+    assert!(
+        parallel < serial,
+        "per-thread weights must shrink with more threads ({serial} -> {parallel})"
+    );
+}
+
+/// GPU offloading beats the CPU for large compute-heavy kernels and loses for
+/// tiny transfer-dominated ones — the crossover the cost model must expose.
+#[test]
+fn simulator_reproduces_the_cpu_gpu_crossover() {
+    let mm = find_kernel("MM/matmul").unwrap();
+    let gpu_launch = LaunchConfig { teams: 160, threads: 256 };
+    let cpu_launch = LaunchConfig { teams: 1, threads: 22 };
+    let noise = NoiseModel::disabled();
+
+    // Large matmul: GPU (even with transfers) wins.
+    let mut large = std::collections::HashMap::new();
+    large.insert("N".to_string(), 1024i64);
+    let gpu_large = measure(
+        &instantiate(&mm, Variant::GpuMem, &large, gpu_launch),
+        Platform::SummitV100,
+        &noise,
+    )
+    .unwrap();
+    let cpu_large = measure(
+        &instantiate(&mm, Variant::Cpu, &large, cpu_launch),
+        Platform::SummitPower9,
+        &noise,
+    )
+    .unwrap();
+    assert!(
+        gpu_large.runtime_ms < cpu_large.runtime_ms,
+        "large matmul: GPU {} ms should beat CPU {} ms",
+        gpu_large.runtime_ms,
+        cpu_large.runtime_ms
+    );
+
+    // Tiny kernel: the CPU avoids launch + transfer overheads and wins.
+    let pf = find_kernel("ParticleFilter/init_weights").unwrap();
+    let mut tiny = std::collections::HashMap::new();
+    tiny.insert("P".to_string(), 16384i64);
+    let gpu_tiny = measure(
+        &instantiate(&pf, Variant::GpuMem, &tiny, gpu_launch),
+        Platform::SummitV100,
+        &noise,
+    )
+    .unwrap();
+    let cpu_tiny = measure(
+        &instantiate(&pf, Variant::Cpu, &tiny, cpu_launch),
+        Platform::SummitPower9,
+        &noise,
+    )
+    .unwrap();
+    assert!(
+        cpu_tiny.runtime_ms < gpu_tiny.runtime_ms,
+        "tiny kernel: CPU {} ms should beat GPU-with-transfers {} ms",
+        cpu_tiny.runtime_ms,
+        gpu_tiny.runtime_ms
+    );
+}
+
+/// Training the GNN end to end on a small dataset reaches a sane error and
+/// the ablation ordering (ParaGraph at least as good as Raw AST) holds.
+#[test]
+fn end_to_end_training_and_ablation_ordering() {
+    let dataset = collect_platform(Platform::SummitV100, &fast_pipeline());
+    assert!(dataset.len() > 100);
+
+    let paragraph = gnn::train(
+        &dataset,
+        &TrainConfig {
+            representation: Representation::ParaGraph,
+            epochs: 8,
+            ..TrainConfig::fast()
+        },
+    );
+    let raw = gnn::train(
+        &dataset,
+        &TrainConfig {
+            representation: Representation::RawAst,
+            epochs: 8,
+            ..TrainConfig::fast()
+        },
+    );
+    assert!(paragraph.norm_rmse < 0.35, "ParaGraph norm RMSE {}", paragraph.norm_rmse);
+    // At this smoke scale (a few hundred points, a handful of epochs, a tiny
+    // hidden dimension) the representation ordering is noisy; the full
+    // Table IV comparison runs at bench scale. Here we only require that the
+    // weighted representation stays in the same ballpark as the raw AST and
+    // that both models produce sane errors.
+    assert!(
+        paragraph.rmse_ms <= raw.rmse_ms * 1.5,
+        "ParaGraph ({}) is dramatically worse than Raw AST ({})",
+        paragraph.rmse_ms,
+        raw.rmse_ms
+    );
+    assert!(raw.norm_rmse < 0.5, "Raw AST norm RMSE {}", raw.norm_rmse);
+}
+
+/// The COMPOFF baseline trains on the same dataset and produces finite,
+/// comparable errors on the same validation split.
+#[test]
+fn compoff_baseline_runs_on_the_same_split() {
+    let dataset = collect_platform(Platform::SummitV100, &fast_pipeline());
+    let compoff = paragraph::compoff::train(
+        &dataset,
+        &paragraph::compoff::CompoffConfig {
+            seed: 17,
+            ..paragraph::compoff::CompoffConfig::fast()
+        },
+    );
+    let gnn_outcome = gnn::train(
+        &dataset,
+        &TrainConfig {
+            seed: 17,
+            epochs: 8,
+            ..TrainConfig::fast()
+        },
+    );
+    // Identical validation points (same split seed).
+    let mut compoff_ids: Vec<usize> = compoff.validation.iter().map(|p| p.id).collect();
+    let mut gnn_ids: Vec<usize> = gnn_outcome.validation.iter().map(|p| p.id).collect();
+    compoff_ids.sort_unstable();
+    gnn_ids.sort_unstable();
+    assert_eq!(compoff_ids, gnn_ids);
+    assert!(compoff.rmse_ms.is_finite() && compoff.rmse_ms >= 0.0);
+}
+
+/// The graph representations are consistent across the dataset: every point
+/// yields a valid graph for all three ablation variants.
+#[test]
+fn all_dataset_graphs_are_valid_for_every_representation() {
+    let dataset = collect_platform(Platform::CoronaEpyc7401, &fast_pipeline());
+    for point in dataset.points.iter().take(50) {
+        for representation in Representation::ALL {
+            let graph = point.build_graph(representation);
+            graph.validate().unwrap();
+            if representation == Representation::RawAst {
+                assert_eq!(graph.edge_count(), graph.node_count() - 1);
+            } else {
+                assert!(graph.edges_of_type(EdgeType::NextToken).count() > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based integration tests over the public API: random kernels from
+//! the catalogue, random sizes, random launch configurations — the structural
+//! invariants of ParaGraph and the monotonicity properties of the simulator
+//! must always hold.
+
+use paragraph::advisor::{instantiate, LaunchConfig, Variant};
+use paragraph::core::{build, BuilderConfig, EdgeType, Representation};
+use paragraph::frontend::parse;
+use paragraph::kernels::all_kernels;
+use paragraph::perfsim::{measure, NoiseModel, Platform};
+use proptest::prelude::*;
+
+fn arb_kernel_index() -> impl Strategy<Value = usize> {
+    0..all_kernels().len()
+}
+
+fn arb_launch() -> impl Strategy<Value = LaunchConfig> {
+    (1u64..=160, 1u64..=256).prop_map(|(teams, threads)| LaunchConfig { teams, threads })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Graph invariants hold for arbitrary kernels, variants and launches.
+    #[test]
+    fn paragraph_invariants_hold_for_catalogue_kernels(
+        kernel_idx in arb_kernel_index(),
+        variant_idx in 0usize..6,
+        launch in arb_launch(),
+        size_choice in 0usize..4,
+    ) {
+        let kernels = all_kernels();
+        let kernel = &kernels[kernel_idx];
+        let variant = Variant::ALL[variant_idx];
+        prop_assume!(variant.applicable_to(kernel));
+
+        // Pick one of the smaller sweep values to keep graphs small.
+        let sizes: std::collections::HashMap<String, i64> = kernel
+            .sizes
+            .iter()
+            .map(|p| (p.name.to_string(), p.sweep[size_choice.min(p.sweep.len() - 1)]))
+            .collect();
+
+        let instance = instantiate(kernel, variant, &sizes, launch);
+        let ast = parse(&instance.source).unwrap();
+        let graph = build(
+            &ast,
+            &BuilderConfig::for_representation(Representation::ParaGraph)
+                .with_launch(launch.teams, launch.threads),
+        );
+        graph.validate().unwrap();
+
+        // Child edges form a spanning tree; weights are positive and finite.
+        prop_assert_eq!(
+            graph.edges_of_type(EdgeType::Child).count(),
+            graph.node_count() - 1
+        );
+        prop_assert!(graph.edges_of_type(EdgeType::Child).all(|e| e.weight > 0.0));
+        // Loop-flow edges exist for every ForStmt (4 per canonical loop).
+        let loops = ast.find_all(paragraph::frontend::AstKind::ForStmt).len();
+        prop_assert_eq!(graph.edges_of_type(EdgeType::ForExec).count(), 2 * loops);
+        prop_assert_eq!(graph.edges_of_type(EdgeType::ForNext).count(), 2 * loops);
+    }
+
+    /// The simulator never produces negative, zero or non-finite runtimes and
+    /// transfer-bearing variants are never faster than their transfer-free
+    /// counterparts.
+    #[test]
+    fn simulated_runtimes_are_sane(
+        kernel_idx in arb_kernel_index(),
+        launch in arb_launch(),
+    ) {
+        let kernels = all_kernels();
+        let kernel = &kernels[kernel_idx];
+        let sizes = kernel.default_sizes();
+        let noise = NoiseModel::disabled();
+
+        let gpu = instantiate(kernel, Variant::Gpu, &sizes, launch);
+        let gpu_mem = instantiate(kernel, Variant::GpuMem, &sizes, launch);
+        let t_gpu = measure(&gpu, Platform::CoronaMi50, &noise).unwrap().runtime_ms;
+        let t_mem = measure(&gpu_mem, Platform::CoronaMi50, &noise).unwrap().runtime_ms;
+        prop_assert!(t_gpu > 0.0 && t_gpu.is_finite());
+        prop_assert!(t_mem >= t_gpu, "adding transfers cannot make a kernel faster");
+    }
+
+    /// More CPU threads never increase the simulated runtime by more than the
+    /// fork/join overhead (weak monotonicity of the CPU model).
+    #[test]
+    fn cpu_threads_weakly_improve_runtime(kernel_idx in arb_kernel_index()) {
+        let kernels = all_kernels();
+        let kernel = &kernels[kernel_idx];
+        let sizes = kernel.default_sizes();
+        let noise = NoiseModel::disabled();
+        let t1 = measure(
+            &instantiate(kernel, Variant::Cpu, &sizes, LaunchConfig { teams: 1, threads: 1 }),
+            Platform::SummitPower9,
+            &noise,
+        )
+        .unwrap()
+        .runtime_ms;
+        let t16 = measure(
+            &instantiate(kernel, Variant::Cpu, &sizes, LaunchConfig { teams: 1, threads: 16 }),
+            Platform::SummitPower9,
+            &noise,
+        )
+        .unwrap()
+        .runtime_ms;
+        // Allow a small tolerance for the per-thread overhead term.
+        prop_assert!(t16 <= t1 * 1.05 + 0.05, "16 threads ({t16} ms) much slower than 1 ({t1} ms)");
+    }
+}
