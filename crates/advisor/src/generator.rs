@@ -103,7 +103,10 @@ pub fn instantiate(
     let pragma = variant.pragma(kernel, sizes, launch.teams, launch.threads);
     let source = kernel.instantiate(sizes, &pragma);
     let (to_dev, from_dev) = if variant.has_data_transfer() {
-        (kernel.bytes_to_device(sizes), kernel.bytes_from_device(sizes))
+        (
+            kernel.bytes_to_device(sizes),
+            kernel.bytes_from_device(sizes),
+        )
     } else {
         (0, 0)
     };
@@ -177,7 +180,15 @@ mod tests {
         let mm = find_kernel("MM/matmul").unwrap();
         let sizes = mm.default_sizes();
         for variant in Variant::ALL {
-            let inst = instantiate(&mm, variant, &sizes, LaunchConfig { teams: 80, threads: 128 });
+            let inst = instantiate(
+                &mm,
+                variant,
+                &sizes,
+                LaunchConfig {
+                    teams: 80,
+                    threads: 128,
+                },
+            );
             let ast = pg_frontend::parse(&inst.source).unwrap();
             let has_target = ast
                 .find_first(pg_frontend::AstKind::OmpTargetTeamsDistributeParallelForDirective)
@@ -191,7 +202,10 @@ mod tests {
         let mm = find_kernel("MM/matmul").unwrap();
         let mut sizes = HashMap::new();
         sizes.insert("N".to_string(), 128i64);
-        let launch = LaunchConfig { teams: 80, threads: 128 };
+        let launch = LaunchConfig {
+            teams: 80,
+            threads: 128,
+        };
         let gpu = instantiate(&mm, Variant::Gpu, &sizes, launch);
         assert_eq!(gpu.bytes_to_device, 0);
         assert_eq!(gpu.bytes_from_device, 0);
@@ -274,7 +288,10 @@ mod tests {
             &mm,
             Variant::GpuCollapse,
             &mm.default_sizes(),
-            LaunchConfig { teams: 80, threads: 128 },
+            LaunchConfig {
+                teams: 80,
+                threads: 128,
+            },
         );
         let d = inst.describe();
         assert!(d.contains("gpu_collapse"));

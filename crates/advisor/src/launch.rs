@@ -96,9 +96,15 @@ mod tests {
 
     #[test]
     fn total_parallelism_is_product() {
-        let l = LaunchConfig { teams: 80, threads: 128 };
+        let l = LaunchConfig {
+            teams: 80,
+            threads: 128,
+        };
         assert_eq!(l.total_parallelism(), 10240);
-        let serial = LaunchConfig { teams: 0, threads: 0 };
+        let serial = LaunchConfig {
+            teams: 0,
+            threads: 0,
+        };
         assert_eq!(serial.total_parallelism(), 1);
     }
 

@@ -25,6 +25,8 @@ pub mod launch;
 pub mod rewrite;
 pub mod variant;
 
-pub use generator::{generate_for_kernel, generate_instances, instantiate, GeneratorConfig, KernelInstance};
+pub use generator::{
+    generate_for_kernel, generate_instances, instantiate, GeneratorConfig, KernelInstance,
+};
 pub use launch::{LaunchConfig, ParallelismBudget};
 pub use variant::{map_clauses, Variant};

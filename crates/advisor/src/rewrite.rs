@@ -84,9 +84,13 @@ pub fn strip_pragmas(ast: &Ast) -> Ast {
         .filter(|&id| stripped.kind(id).is_omp_directive())
         .collect();
     for directive in directives {
-        let Some(parent) = stripped.node(directive).parent else { continue };
+        let Some(parent) = stripped.node(directive).parent else {
+            continue;
+        };
         let children = stripped.node(directive).children.clone();
-        let Some(&stmt) = children.first() else { continue };
+        let Some(&stmt) = children.first() else {
+            continue;
+        };
         let position = stripped
             .node(parent)
             .children
@@ -139,7 +143,9 @@ mod tests {
         assert!(rewritten
             .find_first(AstKind::OmpTargetTeamsDistributeParallelForDirective)
             .is_some());
-        assert!(rewritten.find_first(AstKind::OmpParallelForDirective).is_none());
+        assert!(rewritten
+            .find_first(AstKind::OmpParallelForDirective)
+            .is_none());
         let src = printer::print(&rewritten);
         assert!(src.contains("target teams distribute parallel for"));
         assert!(src.contains("num_teams(80)"));
@@ -153,7 +159,9 @@ mod tests {
         assert!(ast.find_first(AstKind::OmpParallelForDirective).is_none());
         let rewritten = rewrite_pragma(&ast, "parallel for num_threads(8)");
         rewritten.validate().unwrap();
-        let directive = rewritten.find_first(AstKind::OmpParallelForDirective).unwrap();
+        let directive = rewritten
+            .find_first(AstKind::OmpParallelForDirective)
+            .unwrap();
         // The loop is now the directive's child.
         let children = rewritten.children(directive);
         assert_eq!(children.len(), 1);

@@ -158,7 +158,14 @@ mod tests {
         let names: Vec<&str> = Variant::ALL.iter().map(|v| v.name()).collect();
         assert_eq!(
             names,
-            vec!["cpu", "cpu_collapse", "gpu", "gpu_collapse", "gpu_mem", "gpu_collapse_mem"]
+            vec![
+                "cpu",
+                "cpu_collapse",
+                "gpu",
+                "gpu_collapse",
+                "gpu_mem",
+                "gpu_collapse_mem"
+            ]
         );
         for v in Variant::ALL {
             assert_eq!(Variant::from_name(v.name()), Some(v));
@@ -227,8 +234,8 @@ mod tests {
         for variant in Variant::applicable_variants(&mm) {
             let pragma = variant.pragma(&mm, &sizes, 64, 128);
             let src = mm.instantiate(&sizes, &pragma);
-            let ast = pg_frontend::parse(&src)
-                .unwrap_or_else(|e| panic!("{}: {e}", variant.name()));
+            let ast =
+                pg_frontend::parse(&src).unwrap_or_else(|e| panic!("{}: {e}", variant.name()));
             let directives = ast
                 .preorder()
                 .into_iter()

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the engine serving hot path: cold-cache vs
+//! warm-cache `advise` latency, and batched variant-prediction throughput —
+//! the baseline future serving PRs (sharding, async, ensembles) compare
+//! against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pg_advisor::LaunchConfig;
+use pg_engine::{AdviseRequest, Engine, SimulatorBackend};
+use pg_perfsim::Platform;
+
+fn advise_request() -> AdviseRequest {
+    AdviseRequest::catalog("MM/matmul").with_launch(LaunchConfig {
+        teams: 80,
+        threads: 128,
+    })
+}
+
+/// Every iteration builds a fresh engine: parse + graph construction run
+/// cold on each request.
+fn bench_advise_cold(c: &mut Criterion) {
+    let request = advise_request();
+    c.bench_function("engine_advise_cold", |b| {
+        b.iter(|| {
+            let engine = Engine::builder()
+                .platform(Platform::SummitV100)
+                .backend(SimulatorBackend::noise_free())
+                .build();
+            engine.advise(std::hint::black_box(&request)).unwrap()
+        })
+    });
+}
+
+/// One engine serves every iteration: after the first request the frontend
+/// cache absorbs the parse, so this measures the memoized serving path.
+fn bench_advise_cached(c: &mut Criterion) {
+    let engine = Engine::builder()
+        .platform(Platform::SummitV100)
+        .backend(SimulatorBackend::noise_free())
+        .build();
+    let request = advise_request();
+    engine.advise(&request).unwrap(); // warm the cache
+    c.bench_function("engine_advise_cached", |b| {
+        b.iter(|| engine.advise(std::hint::black_box(&request)).unwrap())
+    });
+}
+
+/// Full launch sweep on a warm engine: 4 variants x 9 launches = 36
+/// candidates per request, fanned out by `predict_batch`.
+fn bench_batched_variant_throughput(c: &mut Criterion) {
+    let engine = Engine::builder()
+        .platform(Platform::SummitV100)
+        .backend(SimulatorBackend::noise_free())
+        .build();
+    let request = AdviseRequest::catalog("MM/matmul");
+    engine.advise(&request).unwrap(); // warm the cache
+    c.bench_function("engine_advise_sweep_36_candidates", |b| {
+        b.iter(|| engine.advise(std::hint::black_box(&request)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_advise_cold, bench_advise_cached, bench_batched_variant_throughput
+}
+criterion_main!(benches);

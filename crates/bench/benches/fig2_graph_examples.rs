@@ -10,7 +10,10 @@ fn show(title: &str, source: &str) {
     println!("\n--- {title}");
     println!("source: {}", source.trim());
     let ast = parse(source).unwrap();
-    let graph = build(&ast, &BuilderConfig::for_representation(Representation::ParaGraph));
+    let graph = build(
+        &ast,
+        &BuilderConfig::for_representation(Representation::ParaGraph),
+    );
     let stats = graph.stats();
     println!(
         "vertices: {}   edges: {}   syntax tokens: {}",

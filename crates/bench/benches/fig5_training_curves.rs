@@ -7,14 +7,21 @@ use pg_perfsim::Platform;
 
 fn main() {
     let scale = bench_scale();
-    print_header("Figure 5: Normalised RMSE per epoch (ParaGraph model)", scale);
+    print_header(
+        "Figure 5: Normalised RMSE per epoch (ParaGraph model)",
+        scale,
+    );
 
     let runs: Vec<_> = Platform::ALL
         .iter()
         .map(|&p| paragraph_run(p, Representation::ParaGraph, scale))
         .collect();
 
-    let epochs = runs.iter().map(|r| r.history.epochs.len()).max().unwrap_or(0);
+    let epochs = runs
+        .iter()
+        .map(|r| r.history.epochs.len())
+        .max()
+        .unwrap_or(0);
     println!(
         "{:>6} {:>14} {:>14} {:>14} {:>14}",
         "epoch", "V100", "MI50", "POWER9", "EPYC"
@@ -39,8 +46,18 @@ fn main() {
 
     println!();
     for run in &runs {
-        let first = run.history.epochs.first().map(|s| s.val_norm_rmse).unwrap_or(0.0);
-        let last = run.history.epochs.last().map(|s| s.val_norm_rmse).unwrap_or(0.0);
+        let first = run
+            .history
+            .epochs
+            .first()
+            .map(|s| s.val_norm_rmse)
+            .unwrap_or(0.0);
+        let last = run
+            .history
+            .epochs
+            .last()
+            .map(|s| s.val_norm_rmse)
+            .unwrap_or(0.0);
         println!(
             "{:<22} first epoch {:.4} -> final epoch {:.4}   converges: {}",
             run.platform_name,

@@ -14,7 +14,10 @@ fn main() {
         let run = paragraph_run(platform, Representation::ParaGraph, scale);
         let per_app = per_application_error(&run.validation);
         println!("\n{}", run.platform_name);
-        println!("  {:<18} {:>8} {:>14}", "application", "samples", "error rate");
+        println!(
+            "  {:<18} {:>8} {:>14}",
+            "application", "samples", "error rate"
+        );
         for (app, err, count) in &per_app {
             println!("  {:<18} {:>8} {:>14.4}", app, count, err);
         }

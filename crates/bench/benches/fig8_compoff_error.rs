@@ -19,11 +19,19 @@ fn main() {
     let co = compoff_run(Platform::SummitV100, scale);
 
     // Join on the validation point ids (same split seed -> same points).
-    let co_by_id: HashMap<usize, f32> = co.validation.iter().map(|p| (p.id, p.predicted_ms)).collect();
+    let co_by_id: HashMap<usize, f32> = co
+        .validation
+        .iter()
+        .map(|p| (p.id, p.predicted_ms))
+        .collect();
     let mut joined: Vec<(f32, f32, f32)> = pg
         .validation
         .iter()
-        .filter_map(|p| co_by_id.get(&p.id).map(|&c| (p.actual_ms, p.predicted_ms, c)))
+        .filter_map(|p| {
+            co_by_id
+                .get(&p.id)
+                .map(|&c| (p.actual_ms, p.predicted_ms, c))
+        })
         .collect();
     joined.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
 
@@ -42,7 +50,9 @@ fn main() {
     let mut pg_wins = 0usize;
     for d in 0..deciles {
         let lo = d * joined.len() / deciles;
-        let hi = ((d + 1) * joined.len() / deciles).max(lo + 1).min(joined.len());
+        let hi = ((d + 1) * joined.len() / deciles)
+            .max(lo + 1)
+            .min(joined.len());
         if lo >= joined.len() {
             break;
         }
@@ -67,7 +77,10 @@ fn main() {
     let overall_co: f32 =
         joined.iter().map(|(a, _, c)| (a - c).abs()).sum::<f32>() / joined.len().max(1) as f32;
     println!("\noverall mean |error|: ParaGraph {overall_pg:.2} ms, COMPOFF {overall_co:.2} ms");
-    println!("ParaGraph RMSE {:.1} ms vs COMPOFF RMSE {:.1} ms", pg.rmse_ms, co.rmse_ms);
+    println!(
+        "ParaGraph RMSE {:.1} ms vs COMPOFF RMSE {:.1} ms",
+        pg.rmse_ms, co.rmse_ms
+    );
     println!("deciles where ParaGraph is at least as accurate: {pg_wins}/10");
     println!("\nPaper shape: COMPOFF shows a higher error for small-runtime kernels, while");
     println!("ParaGraph's error is lower across the board.");

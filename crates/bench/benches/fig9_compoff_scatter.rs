@@ -40,12 +40,20 @@ fn main() {
 
     let pg = paragraph_run(Platform::SummitV100, Representation::ParaGraph, scale);
     let co = compoff_run(Platform::SummitV100, scale);
-    let co_by_id: HashMap<usize, f32> = co.validation.iter().map(|p| (p.id, p.predicted_ms)).collect();
+    let co_by_id: HashMap<usize, f32> = co
+        .validation
+        .iter()
+        .map(|p| (p.id, p.predicted_ms))
+        .collect();
 
     let mut rows: Vec<(f32, f32, f32)> = pg
         .validation
         .iter()
-        .filter_map(|p| co_by_id.get(&p.id).map(|&c| (p.actual_ms, p.predicted_ms, c)))
+        .filter_map(|p| {
+            co_by_id
+                .get(&p.id)
+                .map(|&c| (p.actual_ms, p.predicted_ms, c))
+        })
         .collect();
     rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
 

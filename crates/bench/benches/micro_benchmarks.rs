@@ -15,7 +15,10 @@ fn matmul_source() -> String {
         &mm,
         Variant::GpuCollapseMem,
         &mm.default_sizes(),
-        LaunchConfig { teams: 80, threads: 128 },
+        LaunchConfig {
+            teams: 80,
+            threads: 128,
+        },
     );
     inst.source
 }
@@ -63,7 +66,10 @@ fn bench_perfsim(c: &mut Criterion) {
         &mm,
         Variant::GpuCollapseMem,
         &mm.default_sizes(),
-        LaunchConfig { teams: 80, threads: 128 },
+        LaunchConfig {
+            teams: 80,
+            threads: 128,
+        },
     );
     let noise = NoiseModel::default();
     c.bench_function("perfsim_measure_matmul", |b| {

@@ -6,7 +6,7 @@ use pg_kernels::catalog;
 
 fn main() {
     print_header("Table I: Benchmark Applications", bench_scale());
-    println!("{:<22} {:>11}   {}", "Application", "Num Kernels", "Domain");
+    println!("{:<22} {:>11}   Domain", "Application", "Num Kernels");
     println!("{:-<22} {:->11}   {:-<20}", "", "", "");
     let apps = catalog();
     let mut total = 0;
@@ -20,7 +20,10 @@ fn main() {
         total += app.kernel_count();
     }
     println!("{:-<22} {:->11}", "", "");
-    println!("{:<22} {:>11}   (paper: 9 applications, 17 kernels)", "Total", total);
+    println!(
+        "{:<22} {:>11}   (paper: 9 applications, 17 kernels)",
+        "Total", total
+    );
 
     println!("\nPer-kernel inventory:");
     for app in &apps {

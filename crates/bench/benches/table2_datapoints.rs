@@ -11,13 +11,21 @@ fn main() {
         "{:<10} {:<22} {:>11}   {:<26} {:>12}",
         "Cluster", "Platform", "#DataPoints", "Runtime Range (ms)", "Std. Dev."
     );
-    println!("{:-<10} {:-<22} {:->11}   {:-<26} {:->12}", "", "", "", "", "");
+    println!(
+        "{:-<10} {:-<22} {:->11}   {:-<26} {:->12}",
+        "", "", "", "", ""
+    );
 
     // Paper values for side-by-side comparison.
     let paper: [(&str, &str, &str, &str); 4] = [
         ("Summit", "IBM POWER9 (CPU)", "13,023", "[0.23 - 736,798]"),
         ("Summit", "NVIDIA V100 (GPU)", "26,040", "[0.035 - 30,174]"),
-        ("Corona", "AMD EPYC7401 (CPU)", "17,681", "[0.024 - 291,627]"),
+        (
+            "Corona",
+            "AMD EPYC7401 (CPU)",
+            "17,681",
+            "[0.024 - 291,627]",
+        ),
         ("Corona", "AMD MI50 (GPU)", "26,668", "[0.448 - 46,913]"),
     ];
 

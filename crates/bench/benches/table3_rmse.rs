@@ -7,7 +7,10 @@ use pg_perfsim::Platform;
 
 fn main() {
     let scale = bench_scale();
-    print_header("Table III: ParaGraph runtime-prediction error per accelerator", scale);
+    print_header(
+        "Table III: ParaGraph runtime-prediction error per accelerator",
+        scale,
+    );
 
     // Paper values for comparison.
     let paper: [(&str, &str, &str); 4] = [
@@ -21,7 +24,10 @@ fn main() {
         "{:<22} {:>12} {:>14}   {:>12} {:>14}",
         "Platform", "RMSE (ms)", "Norm-RMSE", "paper RMSE", "paper Norm"
     );
-    println!("{:-<22} {:->12} {:->14}   {:->12} {:->14}", "", "", "", "", "");
+    println!(
+        "{:-<22} {:->12} {:->14}   {:->12} {:->14}",
+        "", "", "", "", ""
+    );
     for (i, platform) in Platform::ALL.iter().enumerate() {
         let run = paragraph_run(*platform, Representation::ParaGraph, scale);
         println!(

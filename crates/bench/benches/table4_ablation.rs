@@ -21,8 +21,8 @@ fn main() {
     ];
 
     println!(
-        "{:<22} {:>12} {:>12} {:>12}   {}",
-        "Platform", "Raw AST", "Aug AST", "ParaGraph", "(measured, ms)"
+        "{:<22} {:>12} {:>12} {:>12}   (measured, ms)",
+        "Platform", "Raw AST", "Aug AST", "ParaGraph"
     );
     println!("{:-<22} {:->12} {:->12} {:->12}", "", "", "", "");
     for (i, platform) in Platform::ALL.iter().enumerate() {

@@ -119,7 +119,10 @@ fn cache_dir() -> PathBuf {
 }
 
 fn cache_key(parts: &[&str]) -> PathBuf {
-    cache_dir().join(format!("{}.json", parts.join("_").replace([' ', '(', ')', '/'], "-")))
+    cache_dir().join(format!(
+        "{}.json",
+        parts.join("_").replace([' ', '(', ')', '/'], "-")
+    ))
 }
 
 fn load_cached<T: for<'de> Deserialize<'de>>(path: &PathBuf) -> Option<T> {
@@ -223,7 +226,10 @@ pub fn print_header(title: &str, scale: DatasetScale) {
     println!();
     println!("==========================================================================");
     println!("  {title}");
-    println!("  scale: {:?} (set PARAGRAPH_FAST=1 or PARAGRAPH_FULL_DATASET=1 to change)", scale);
+    println!(
+        "  scale: {:?} (set PARAGRAPH_FAST=1 or PARAGRAPH_FULL_DATASET=1 to change)",
+        scale
+    );
     println!("==========================================================================");
 }
 

@@ -197,7 +197,11 @@ mod tests {
     #[test]
     fn features_capture_work_and_transfers() {
         let f = extract(GPU_MEM_KERNEL, 80, 128).unwrap();
-        assert!(f.flops > 1e6, "matmul 128^3 must have millions of flops, got {}", f.flops);
+        assert!(
+            f.flops > 1e6,
+            "matmul 128^3 must have millions of flops, got {}",
+            f.flops
+        );
         assert_eq!(f.loop_depth, 3.0);
         assert_eq!(f.bytes_to_device, 2.0 * 16384.0 * 4.0);
         assert_eq!(f.bytes_from_device, 16384.0 * 4.0);

@@ -102,12 +102,26 @@ impl CompoffModel {
         Some(self.predict_features(&features))
     }
 
+    /// Predict the runtime (ms) from an already-parsed kernel AST — the
+    /// entry point for callers (such as the `pg-engine` backend) that cache
+    /// parsed frontends across predictions.
+    pub fn predict_ast(&self, ast: &pg_frontend::Ast, teams: u64, threads: u64) -> f32 {
+        self.predict_features(&features::extract_from_ast(ast, teams, threads))
+    }
+
     /// Predict the runtime (ms) from an already-extracted feature vector.
     pub fn predict_features(&self, features: &CompoffFeatures) -> f32 {
         let scaled = self.scaler.transform(&features.to_vector());
         let encoded = self.mlp.predict(&scaled);
         self.target.decode(encoded).max(0.0)
     }
+}
+
+/// Train the COMPOFF baseline and keep only the deployable model bundle
+/// (feature scaler + target transform + MLP), discarding the validation
+/// bookkeeping of [`train`].
+pub fn train_model(dataset: &PlatformDataset, config: &CompoffConfig) -> CompoffModel {
+    train(dataset, config).model
 }
 
 /// Train the COMPOFF baseline on one (GPU) platform dataset, using the same
@@ -172,13 +186,22 @@ pub fn train(dataset: &PlatformDataset, config: &CompoffConfig) -> CompoffOutcom
                 *g = g.scale(1.0 / batch_len);
             }
             adam.begin_step();
-            for (key, (p, g)) in mlp.parameters_mut().into_iter().zip(mean_grads.iter()).enumerate() {
+            for (key, (p, g)) in mlp
+                .parameters_mut()
+                .into_iter()
+                .zip(mean_grads.iter())
+                .enumerate()
+            {
                 adam.step(key, p, g);
             }
         }
     }
 
-    let model = CompoffModel { scaler, target, mlp };
+    let model = CompoffModel {
+        scaler,
+        target,
+        mlp,
+    };
 
     // Validation predictions.
     let validation: Vec<CompoffPrediction> = val_idx

@@ -18,7 +18,10 @@ pub struct Mlp {
 impl Mlp {
     /// Create an MLP with the given layer sizes, e.g. `[12, 32, 16, 1]`.
     pub fn new(layer_sizes: &[usize], seed: u64) -> Self {
-        assert!(layer_sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(
+            layer_sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut weights = Vec::new();
         let mut biases = Vec::new();
@@ -147,14 +150,25 @@ mod tests {
             let (loss, grads) = mlp.loss_and_gradients(&[x0, x1], y);
             last_loss = loss;
             adam.begin_step();
-            for (key, (p, g)) in mlp.parameters_mut().into_iter().zip(grads.iter()).enumerate() {
+            for (key, (p, g)) in mlp
+                .parameters_mut()
+                .into_iter()
+                .zip(grads.iter())
+                .enumerate()
+            {
                 adam.step(key, p, g);
             }
         }
-        assert!(last_loss < 0.05, "MLP failed to fit, final loss {last_loss}");
+        assert!(
+            last_loss < 0.05,
+            "MLP failed to fit, final loss {last_loss}"
+        );
         // Spot-check a prediction.
         let pred = mlp.predict(&[0.5, 0.5]);
-        assert!((pred - 0.5).abs() < 0.2, "prediction {pred} too far from 0.5");
+        assert!(
+            (pred - 0.5).abs() < 0.2,
+            "prediction {pred} too far from 0.5"
+        );
     }
 
     use rand::rngs::StdRng;

@@ -134,7 +134,10 @@ impl<'a> Builder<'a> {
             self.add_condition_edges();
         }
 
-        debug_assert!(self.graph.validate().is_ok(), "builder produced invalid graph");
+        debug_assert!(
+            self.graph.validate().is_ok(),
+            "builder produced invalid graph"
+        );
         self.graph
     }
 
@@ -165,8 +168,12 @@ impl<'a> Builder<'a> {
         } else {
             1.0
         };
-        self.graph
-            .add_edge(self.vertex_of(parent), self.vertex_of(child), EdgeType::Child, weight);
+        self.graph.add_edge(
+            self.vertex_of(parent),
+            self.vertex_of(child),
+            EdgeType::Child,
+            weight,
+        );
     }
 
     fn descend_omp_directive(&mut self, node: NodeId, multiplier: f64) {
@@ -313,26 +320,48 @@ impl<'a> Builder<'a> {
             let (init, cond, body, inc) = (children[0], children[1], children[2], children[3]);
             // ForExec: init -> cond -> body (the flow of executing the next
             // iteration of the loop).
-            self.graph
-                .add_edge(self.vertex_of(init), self.vertex_of(cond), EdgeType::ForExec, 0.0);
-            self.graph
-                .add_edge(self.vertex_of(cond), self.vertex_of(body), EdgeType::ForExec, 0.0);
+            self.graph.add_edge(
+                self.vertex_of(init),
+                self.vertex_of(cond),
+                EdgeType::ForExec,
+                0.0,
+            );
+            self.graph.add_edge(
+                self.vertex_of(cond),
+                self.vertex_of(body),
+                EdgeType::ForExec,
+                0.0,
+            );
             // ForNext: body -> inc -> cond (deciding whether the next
             // iteration executes).
-            self.graph
-                .add_edge(self.vertex_of(body), self.vertex_of(inc), EdgeType::ForNext, 0.0);
-            self.graph
-                .add_edge(self.vertex_of(inc), self.vertex_of(cond), EdgeType::ForNext, 0.0);
+            self.graph.add_edge(
+                self.vertex_of(body),
+                self.vertex_of(inc),
+                EdgeType::ForNext,
+                0.0,
+            );
+            self.graph.add_edge(
+                self.vertex_of(inc),
+                self.vertex_of(cond),
+                EdgeType::ForNext,
+                0.0,
+            );
         }
     }
 
     fn add_condition_edges(&mut self) {
         for if_stmt in self.ast.find_all(AstKind::IfStmt) {
             let children = self.ast.children(if_stmt);
-            let Some(&cond) = children.first() else { continue };
+            let Some(&cond) = children.first() else {
+                continue;
+            };
             if let Some(&then) = children.get(1) {
-                self.graph
-                    .add_edge(self.vertex_of(cond), self.vertex_of(then), EdgeType::ConTrue, 0.0);
+                self.graph.add_edge(
+                    self.vertex_of(cond),
+                    self.vertex_of(then),
+                    EdgeType::ConTrue,
+                    0.0,
+                );
             }
             if let Some(&otherwise) = children.get(2) {
                 self.graph.add_edge(
@@ -612,7 +641,10 @@ mod tests {
         let ast = figure2_for_ast();
         let config = BuilderConfig::for_representation(Representation::RawAst);
         let graph = build(&ast, &config);
-        assert_eq!(graph.edge_count(), graph.edges_of_type(EdgeType::Child).count());
+        assert_eq!(
+            graph.edge_count(),
+            graph.edges_of_type(EdgeType::Child).count()
+        );
         assert!(graph
             .edges_of_type(EdgeType::Child)
             .all(|e| e.weight == 1.0));

@@ -57,7 +57,13 @@ pub fn to_dot(graph: &ParaGraph, options: &DotOptions) -> String {
         } else if options.show_weights && (edge.weight - 1.0).abs() > 1e-9 {
             attrs.push(format!("label=\"{}\"", edge.weight));
         }
-        let _ = writeln!(out, "  n{} -> n{} [{}];", edge.src, edge.dst, attrs.join(", "));
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [{}];",
+            edge.src,
+            edge.dst,
+            attrs.join(", ")
+        );
     }
     out.push_str("}\n");
     out
@@ -74,7 +80,8 @@ mod tests {
     use pg_frontend::parse;
 
     fn sample() -> ParaGraph {
-        let ast = parse("void f() { for (int i = 0; i < 50; i++) { if (i > 10) { i = i + 1; } } }").unwrap();
+        let ast = parse("void f() { for (int i = 0; i < 50; i++) { if (i > 10) { i = i + 1; } } }")
+            .unwrap();
         build_default(&ast)
     }
 
@@ -95,7 +102,10 @@ mod tests {
     fn weights_appear_on_weighted_child_edges() {
         let graph = sample();
         let dot = to_dot(&graph, &DotOptions::default());
-        assert!(dot.contains("label=\"50\""), "trip-count weight must be rendered");
+        assert!(
+            dot.contains("label=\"50\""),
+            "trip-count weight must be rendered"
+        );
         assert!(dot.contains("xlabel=\"ForExec\""));
     }
 
@@ -112,7 +122,11 @@ mod tests {
         assert!(!dot.contains("ForExec"));
         assert!(!dot.contains("NextToken"));
         let arrow_count = dot.matches(" -> ").count();
-        assert_eq!(arrow_count, graph.node_count() - 1, "only Child edges remain");
+        assert_eq!(
+            arrow_count,
+            graph.node_count() - 1,
+            "only Child edges remain"
+        );
     }
 
     #[test]

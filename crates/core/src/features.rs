@@ -134,7 +134,10 @@ mod tests {
         let graph = sample_graph();
         let features = node_features(&graph);
         for (i, f) in features.iter().enumerate() {
-            let ones = f[..AstKind::ALL.len()].iter().filter(|&&v| v == 1.0).count();
+            let ones = f[..AstKind::ALL.len()]
+                .iter()
+                .filter(|&&v| v == 1.0)
+                .count();
             assert_eq!(ones, 1, "node {i} must have exactly one kind bit set");
             let kind_idx = graph.node(i).kind.index();
             assert_eq!(f[kind_idx], 1.0);

@@ -48,7 +48,10 @@ impl EdgeType {
 
     /// Stable index of this edge type (the relation id used by RGAT).
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&t| t == self).expect("edge type in ALL")
+        Self::ALL
+            .iter()
+            .position(|&t| t == self)
+            .expect("edge type in ALL")
     }
 
     /// Human-readable name matching the paper's terminology.
@@ -134,10 +137,18 @@ impl ParaGraph {
     /// Panics if either endpoint is out of range or if the weight is not finite.
     pub fn add_edge(&mut self, src: usize, dst: usize, ty: EdgeType, weight: f64) {
         assert!(src < self.nodes.len(), "edge source {src} out of range");
-        assert!(dst < self.nodes.len(), "edge destination {dst} out of range");
+        assert!(
+            dst < self.nodes.len(),
+            "edge destination {dst} out of range"
+        );
         assert!(weight.is_finite(), "edge weight must be finite");
         assert!(weight >= 0.0, "edge weight must be non-negative");
-        self.edges.push(Edge { src, dst, ty, weight });
+        self.edges.push(Edge {
+            src,
+            dst,
+            ty,
+            weight,
+        });
     }
 
     /// Number of vertices (`|V|`).
@@ -254,10 +265,15 @@ impl ParaGraph {
         if n > 0 {
             let roots = child_in_degree.iter().filter(|&&d| d == 0).count();
             if roots != 1 {
-                return Err(format!("expected exactly one Child-edge root, found {roots}"));
+                return Err(format!(
+                    "expected exactly one Child-edge root, found {roots}"
+                ));
             }
             if let Some(idx) = child_in_degree.iter().position(|&d| d > 1) {
-                return Err(format!("vertex {idx} has {} incoming Child edges", child_in_degree[idx]));
+                return Err(format!(
+                    "vertex {idx} has {} incoming Child edges",
+                    child_in_degree[idx]
+                ));
             }
         }
         Ok(())

@@ -33,7 +33,9 @@ pub mod weights;
 
 pub use ablation::Representation;
 pub use builder::{build, build_default, BuilderConfig};
-pub use features::{node_features, to_relational, RelationalGraph, RelationEdges, NODE_FEATURE_DIM};
+pub use features::{
+    node_features, to_relational, RelationEdges, RelationalGraph, NODE_FEATURE_DIM,
+};
 pub use graph::{Edge, EdgeType, GraphNode, GraphStats, ParaGraph};
 pub use weights::WeightPolicy;
 

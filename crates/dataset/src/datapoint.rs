@@ -46,8 +46,8 @@ impl DataPoint {
     pub fn build_graph(&self, representation: Representation) -> ParaGraph {
         let ast = pg_frontend::parse(&self.source)
             .expect("data point sources are generated and always parse");
-        let config = BuilderConfig::for_representation(representation)
-            .with_launch(self.teams, self.threads);
+        let config =
+            BuilderConfig::for_representation(representation).with_launch(self.teams, self.threads);
         paragraph_core::build(&ast, &config)
     }
 
@@ -67,7 +67,10 @@ mod tests {
     fn sample_point() -> DataPoint {
         let mm = find_kernel("MM/matmul").unwrap();
         let sizes = mm.default_sizes();
-        let launch = LaunchConfig { teams: 1, threads: 8 };
+        let launch = LaunchConfig {
+            teams: 1,
+            threads: 8,
+        };
         let inst = instantiate(&mm, Variant::Cpu, &sizes, launch);
         DataPoint {
             id: 0,

@@ -29,9 +29,20 @@ impl DatasetScale {
     /// Read the scale from the `PARAGRAPH_FAST` / `PARAGRAPH_FULL_DATASET`
     /// environment variables, falling back to the default.
     pub fn from_env() -> Self {
-        if std::env::var("PARAGRAPH_FAST").is_ok_and(|v| v != "0") {
+        Self::from_vars(
+            std::env::var("PARAGRAPH_FAST").ok().as_deref(),
+            std::env::var("PARAGRAPH_FULL_DATASET").ok().as_deref(),
+        )
+    }
+
+    /// Resolve the scale from the raw values of the two environment
+    /// variables (`PARAGRAPH_FAST`, `PARAGRAPH_FULL_DATASET`). Pure —
+    /// testable without mutating process state, which would race with
+    /// parallel tests reading the same variables.
+    pub fn from_vars(fast: Option<&str>, full: Option<&str>) -> Self {
+        if fast.is_some_and(|v| v != "0") {
             DatasetScale::Fast
-        } else if std::env::var("PARAGRAPH_FULL_DATASET").is_ok_and(|v| v != "0") {
+        } else if full.is_some_and(|v| v != "0") {
             DatasetScale::Full
         } else {
             DatasetScale::Default
@@ -161,7 +172,7 @@ pub fn collect_platform(platform: Platform, config: &PipelineConfig) -> Platform
     // Deterministic subsample to the configured scale.
     let max_points = config.scale.max_points();
     if instances.len() > max_points {
-        let mut rng = StdRng::seed_from_u64(config.seed ^ platform as u64 as u64);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ platform as u64);
         instances.shuffle(&mut rng);
         instances.truncate(max_points);
     }
@@ -191,20 +202,13 @@ pub fn collect_platform(platform: Platform, config: &PipelineConfig) -> Platform
         .collect();
 
     // Stable ordering + ids. HashMap iteration order is not deterministic, so
-    // the size component of the key is built from sorted pairs.
-    let sizes_key = |p: &DataPoint| {
+    // the size component of the key is built from sorted pairs. The key
+    // allocates (name strings + size pairs), so it is computed once per
+    // point via `sort_by_cached_key` instead of twice per comparison.
+    points.sort_by_cached_key(|p| {
         let mut pairs: Vec<(String, i64)> = p.sizes.iter().map(|(k, v)| (k.clone(), *v)).collect();
         pairs.sort();
-        pairs
-    };
-    points.sort_by(|a, b| {
-        (a.full_name(), a.variant.name(), a.teams, a.threads, sizes_key(a)).cmp(&(
-            b.full_name(),
-            b.variant.name(),
-            b.teams,
-            b.threads,
-            sizes_key(b),
-        ))
+        (p.full_name(), p.variant.name(), p.teams, p.threads, pairs)
     });
     for (i, p) in points.iter_mut().enumerate() {
         p.id = i;
@@ -247,7 +251,12 @@ mod tests {
         assert!(!ds.is_empty());
         assert!(ds.points.iter().all(|p| p.variant.is_gpu()));
         // All four GPU variants appear.
-        for v in [Variant::Gpu, Variant::GpuCollapse, Variant::GpuMem, Variant::GpuCollapseMem] {
+        for v in [
+            Variant::Gpu,
+            Variant::GpuCollapse,
+            Variant::GpuMem,
+            Variant::GpuCollapseMem,
+        ] {
             assert!(
                 ds.points.iter().any(|p| p.variant == v),
                 "variant {} missing from the GPU dataset",
@@ -261,7 +270,10 @@ mod tests {
         let ds = collect_platform(Platform::SummitV100, &fast_config());
         assert!(ds.points.iter().all(|p| p.runtime_ms > 0.0));
         let stats = ds.stats();
-        assert!(stats.max_runtime_ms > 10.0 * stats.min_runtime_ms, "runtime range too narrow");
+        assert!(
+            stats.max_runtime_ms > 10.0 * stats.min_runtime_ms,
+            "runtime range too narrow"
+        );
     }
 
     #[test]
@@ -281,7 +293,11 @@ mod tests {
         let mut all: Vec<usize> = train.iter().chain(val.iter()).copied().collect();
         all.sort_unstable();
         all.dedup();
-        assert_eq!(all.len(), ds.len(), "split indices must be disjoint and exhaustive");
+        assert_eq!(
+            all.len(),
+            ds.len(),
+            "split indices must be disjoint and exhaustive"
+        );
         // Deterministic.
         let (train2, _) = ds.split(123);
         assert_eq!(train, train2);
@@ -304,14 +320,31 @@ mod tests {
         // points (four GPU variants vs two CPU variants).
         let cpu = instances_for(Platform::SummitPower9, DatasetScale::Default).len();
         let gpu = instances_for(Platform::SummitV100, DatasetScale::Default).len();
-        assert!(gpu > cpu, "GPU instance count {gpu} must exceed CPU count {cpu}");
+        assert!(
+            gpu > cpu,
+            "GPU instance count {gpu} must exceed CPU count {cpu}"
+        );
     }
 
     #[test]
-    fn scale_from_env_defaults() {
-        // Without the env vars set, the default scale is returned.
-        std::env::remove_var("PARAGRAPH_FAST");
-        std::env::remove_var("PARAGRAPH_FULL_DATASET");
-        assert_eq!(DatasetScale::from_env(), DatasetScale::Default);
+    fn scale_from_vars_resolution() {
+        // Pure resolution — no process-global env mutation, which would race
+        // with parallel tests that read the same variables.
+        assert_eq!(DatasetScale::from_vars(None, None), DatasetScale::Default);
+        assert_eq!(DatasetScale::from_vars(Some("1"), None), DatasetScale::Fast);
+        assert_eq!(DatasetScale::from_vars(None, Some("1")), DatasetScale::Full);
+        // Fast wins when both are set; "0" disables a flag.
+        assert_eq!(
+            DatasetScale::from_vars(Some("1"), Some("1")),
+            DatasetScale::Fast
+        );
+        assert_eq!(
+            DatasetScale::from_vars(Some("0"), None),
+            DatasetScale::Default
+        );
+        assert_eq!(
+            DatasetScale::from_vars(Some("0"), Some("1")),
+            DatasetScale::Full
+        );
     }
 }

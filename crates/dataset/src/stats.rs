@@ -29,7 +29,11 @@ impl PlatformStats {
         let runtimes: Vec<f64> = dataset.points.iter().map(|p| p.runtime_ms).collect();
         let n = runtimes.len().max(1) as f64;
         let mean = runtimes.iter().sum::<f64>() / n;
-        let variance = runtimes.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n;
+        let variance = runtimes
+            .iter()
+            .map(|r| (r - mean) * (r - mean))
+            .sum::<f64>()
+            / n;
         Self {
             platform_name: dataset.platform.name().to_string(),
             cluster: dataset.platform.cluster().to_string(),

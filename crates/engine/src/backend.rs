@@ -1,0 +1,268 @@
+//! The pluggable prediction backends behind one trait.
+//!
+//! [`RuntimePredictor`] is the seam between the engine's request path and
+//! the three runtime-prediction strategies the repository implements:
+//!
+//! * [`SimulatorBackend`] — the analytical accelerator model
+//!   (`pg_perfsim`), bit-identical to [`pg_perfsim::measure`];
+//! * [`GnnBackend`] — a trained RGAT [`TrainedModel`] bundle (`pg_gnn`),
+//!   the paper's model;
+//! * [`CompoffBackend`] — the COMPOFF MLP baseline (`pg_compoff`).
+//!
+//! Backends receive a [`PredictionContext`] giving them the engine's
+//! platform and its memoized frontend, so every backend benefits from the
+//! AST/graph caches. `predict_batch` fans candidates out across threads;
+//! backends can override it when they can amortize work across a batch.
+
+use crate::cache::{FrontendCache, RequestCounters};
+use crate::error::EngineError;
+use pg_advisor::KernelInstance;
+use pg_compoff::CompoffModel;
+use pg_gnn::TrainedModel;
+use pg_perfsim::{analyze_ast, NoiseModel, Platform};
+use rayon::prelude::*;
+
+/// Read-only request-path services the engine lends to a backend for the
+/// duration of one prediction call.
+pub struct PredictionContext<'a> {
+    cache: &'a FrontendCache,
+    platform: Platform,
+    counters: &'a RequestCounters,
+}
+
+impl<'a> PredictionContext<'a> {
+    pub(crate) fn new(
+        cache: &'a FrontendCache,
+        platform: Platform,
+        counters: &'a RequestCounters,
+    ) -> Self {
+        Self {
+            cache,
+            platform,
+            counters,
+        }
+    }
+
+    /// The platform the engine serves.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// Memoized access to the parsed AST of a source.
+    pub fn ast(&self, source: &str) -> Result<std::sync::Arc<pg_frontend::Ast>, EngineError> {
+        self.cache.ast_recorded(source, Some(self.counters))
+    }
+
+    /// Memoized access to the relational graph of a source under a
+    /// representation and launch configuration.
+    pub fn relational_graph(
+        &self,
+        source: &str,
+        representation: paragraph_core::Representation,
+        teams: u64,
+        threads: u64,
+    ) -> Result<std::sync::Arc<paragraph_core::RelationalGraph>, EngineError> {
+        self.cache.relational_graph_recorded(
+            source,
+            representation,
+            teams,
+            threads,
+            Some(self.counters),
+        )
+    }
+}
+
+/// A runtime-prediction strategy the engine can drive.
+pub trait RuntimePredictor: Send + Sync {
+    /// Short name for provenance in reports (e.g. `"simulator"`).
+    fn name(&self) -> &str;
+
+    /// Predict the runtime (ms) of one kernel instance.
+    fn predict(
+        &self,
+        ctx: &PredictionContext<'_>,
+        instance: &KernelInstance,
+    ) -> Result<f64, EngineError>;
+
+    /// Predict a batch of instances, preserving order. The default fans the
+    /// batch out across threads; override to amortize per-batch work.
+    fn predict_batch(
+        &self,
+        ctx: &PredictionContext<'_>,
+        instances: &[KernelInstance],
+    ) -> Vec<Result<f64, EngineError>> {
+        instances
+            .par_iter()
+            .map(|instance| self.predict(ctx, instance))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------------
+
+/// The analytical accelerator simulator as a backend.
+///
+/// Produces exactly the numbers [`pg_perfsim::measure`] produces (same cost
+/// analysis, same execution model, same deterministic noise stream), while
+/// routing the parse through the engine's AST cache.
+#[derive(Debug, Clone)]
+pub struct SimulatorBackend {
+    noise: NoiseModel,
+}
+
+impl SimulatorBackend {
+    /// Simulator with deterministic measurement noise.
+    pub fn new(noise: NoiseModel) -> Self {
+        Self { noise }
+    }
+
+    /// Simulator without measurement noise (the ranking-friendly default).
+    pub fn noise_free() -> Self {
+        Self::new(NoiseModel::disabled())
+    }
+}
+
+impl Default for SimulatorBackend {
+    fn default() -> Self {
+        Self::noise_free()
+    }
+}
+
+impl RuntimePredictor for SimulatorBackend {
+    fn name(&self) -> &str {
+        "simulator"
+    }
+
+    fn predict(
+        &self,
+        ctx: &PredictionContext<'_>,
+        instance: &KernelInstance,
+    ) -> Result<f64, EngineError> {
+        // Mirrors pg_perfsim::measure step for step, with the parse memoized.
+        let ast = ctx.ast(&instance.source)?;
+        let cost = analyze_ast(
+            &ast,
+            instance.bytes_to_device as f64,
+            instance.bytes_from_device as f64,
+        );
+        let breakdown = pg_perfsim::predict(&cost, instance.launch, ctx.platform());
+        let ideal_ms = breakdown.total_ms();
+        if self.noise.sigma <= 0.0 {
+            // The key string only seeds the noise stream; skip building it
+            // on the (default) noise-free hot path.
+            return Ok(ideal_ms);
+        }
+        let key = format!("{}@{}", instance.describe(), ctx.platform().name());
+        Ok(self.noise.apply(ideal_ms, &key))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GNN
+// ---------------------------------------------------------------------------
+
+/// A trained ParaGraph RGAT model as a backend.
+pub struct GnnBackend {
+    bundle: TrainedModel,
+    trained_on: Platform,
+}
+
+impl GnnBackend {
+    /// Serve predictions from a trained bundle. `trained_on` is the
+    /// platform whose dataset fitted the model; predictions are refused
+    /// (with [`EngineError::BackendUnavailable`]) when the engine serves a
+    /// different platform, since a per-platform regressor extrapolates
+    /// silently wrong numbers elsewhere.
+    pub fn new(bundle: TrainedModel, trained_on: Platform) -> Self {
+        Self { bundle, trained_on }
+    }
+
+    /// The bundle this backend serves.
+    pub fn bundle(&self) -> &TrainedModel {
+        &self.bundle
+    }
+
+    /// Platform whose dataset trained the bundle.
+    pub fn trained_on(&self) -> Platform {
+        self.trained_on
+    }
+}
+
+impl RuntimePredictor for GnnBackend {
+    fn name(&self) -> &str {
+        "gnn"
+    }
+
+    fn predict(
+        &self,
+        ctx: &PredictionContext<'_>,
+        instance: &KernelInstance,
+    ) -> Result<f64, EngineError> {
+        if ctx.platform() != self.trained_on {
+            return Err(EngineError::BackendUnavailable(format!(
+                "GNN model was trained on {} but the engine serves {}",
+                self.trained_on.name(),
+                ctx.platform().name()
+            )));
+        }
+        let graph = ctx.relational_graph(
+            &instance.source,
+            self.bundle.representation,
+            instance.launch.teams,
+            instance.launch.threads,
+        )?;
+        Ok(f64::from(self.bundle.predict_relational(
+            &graph,
+            instance.launch.teams,
+            instance.launch.threads,
+        )))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// COMPOFF
+// ---------------------------------------------------------------------------
+
+/// The COMPOFF MLP baseline as a backend. GPU-only, as in the paper.
+pub struct CompoffBackend {
+    model: CompoffModel,
+}
+
+impl CompoffBackend {
+    /// Serve predictions from a trained COMPOFF model.
+    pub fn new(model: CompoffModel) -> Self {
+        Self { model }
+    }
+
+    /// The underlying cost model.
+    pub fn model(&self) -> &CompoffModel {
+        &self.model
+    }
+}
+
+impl RuntimePredictor for CompoffBackend {
+    fn name(&self) -> &str {
+        "compoff"
+    }
+
+    fn predict(
+        &self,
+        ctx: &PredictionContext<'_>,
+        instance: &KernelInstance,
+    ) -> Result<f64, EngineError> {
+        if !ctx.platform().is_gpu() {
+            return Err(EngineError::BackendUnavailable(format!(
+                "COMPOFF models GPU offloading only (paper Section V-D); engine serves {}",
+                ctx.platform().name()
+            )));
+        }
+        let ast = ctx.ast(&instance.source)?;
+        Ok(f64::from(self.model.predict_ast(
+            &ast,
+            instance.launch.teams,
+            instance.launch.threads,
+        )))
+    }
+}

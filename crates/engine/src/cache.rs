@@ -1,0 +1,333 @@
+//! Frontend memoization: the LRU caches that let repeated `advise` calls on
+//! the same kernel skip parsing and graph construction entirely.
+//!
+//! Two layers are cached independently, because backends consume different
+//! artifacts: parsed ASTs (keyed by source) feed the simulator and
+//! COMPOFF backends, and relational graphs (keyed by source plus the
+//! [`BuilderConfig`]-relevant fields: representation and launch) feed the
+//! GNN backend. Keys own the full source text, so distinct kernels can
+//! never alias a cache entry. Entries are shared via `Arc`, so cache hits are pointer
+//! copies. Hit/miss counters are atomic; engine-lifetime totals live on the
+//! cache, and per-request deltas ([`RequestCounters`]) surface in every
+//! [`AdviseReport`](crate::AdviseReport).
+
+use paragraph_core::{build, to_relational, RelationalGraph, Representation};
+use pg_frontend::Ast;
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::EngineError;
+
+/// A small least-recently-used map. Recency is tracked with a monotonic
+/// stamp per entry; eviction scans for the minimum, which is O(capacity) but
+/// only runs when the cache is full — fine for the few-hundred-entry caches
+/// the engine uses.
+#[derive(Debug)]
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, (V, u64)>,
+    stamp: u64,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Create a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            stamp: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Look up a key, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.get_by(key)
+    }
+
+    /// Borrowed-form lookup (e.g. `&str` against `String` keys),
+    /// refreshing recency on a hit.
+    pub fn get_by<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.map.get_mut(key).map(|(value, used)| {
+            *used = stamp;
+            value.clone()
+        })
+    }
+
+    /// Insert a key, evicting the least-recently-used entry when full.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.stamp += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (value, self.stamp));
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Cache key of a built relational graph: source identity plus every
+/// [`BuilderConfig`](paragraph_core::BuilderConfig) field that changes the
+/// graph.
+///
+/// The key owns the full source rather than a 64-bit hash of it: a hash
+/// collision here would silently serve one kernel's graph for another, and
+/// the engine cache is the seam a long-lived serving system leans on. The
+/// source is an interned `Arc<str>` (see [`FrontendCache::intern`]) so
+/// probing the map on the hot path clones a pointer, not kilobytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GraphKey {
+    source: Arc<str>,
+    representation: Representation,
+    teams: u64,
+    threads: u64,
+}
+
+/// Cumulative hit/miss counters of a [`FrontendCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the frontend.
+    pub misses: u64,
+}
+
+impl CacheCounters {
+    /// Counter delta since an earlier snapshot.
+    pub fn since(self, earlier: CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+/// Hit/miss accounting scoped to one request. The engine threads one of
+/// these through each `advise` call so concurrent requests on a shared
+/// engine do not attribute each other's cache activity (the engine-lifetime
+/// totals remain on [`FrontendCache`] itself).
+#[derive(Debug, Default)]
+pub struct RequestCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RequestCounters {
+    /// Read the counters accumulated so far.
+    pub fn snapshot(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The engine's shared frontend memo: parsed ASTs and built relational
+/// graphs. Thread-safe; `Arc`-shared values make hits cheap.
+#[derive(Debug)]
+pub struct FrontendCache {
+    /// Intern table: source text -> shared `Arc<str>` used in graph keys.
+    sources: Mutex<LruCache<String, Arc<str>>>,
+    asts: Mutex<LruCache<Arc<str>, Arc<Ast>>>,
+    graphs: Mutex<LruCache<GraphKey, Arc<RelationalGraph>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FrontendCache {
+    /// Create a cache with `capacity` entries per layer.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            sources: Mutex::new(LruCache::new(capacity)),
+            asts: Mutex::new(LruCache::new(capacity)),
+            graphs: Mutex::new(LruCache::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Shared `Arc<str>` for a source. Interning is contents-based, so an
+    /// evicted-and-re-interned source still compares equal in graph keys.
+    fn intern(&self, source: &str) -> Arc<str> {
+        let mut table = self.sources.lock().expect("intern table poisoned");
+        if let Some(interned) = table.get_by(source) {
+            return interned;
+        }
+        let interned: Arc<str> = Arc::from(source);
+        table.insert(source.to_string(), Arc::clone(&interned));
+        interned
+    }
+
+    fn record(&self, request: Option<&RequestCounters>, hit: bool) {
+        let (global, per_request) = if hit {
+            (&self.hits, request.map(|r| &r.hits))
+        } else {
+            (&self.misses, request.map(|r| &r.misses))
+        };
+        global.fetch_add(1, Ordering::Relaxed);
+        if let Some(counter) = per_request {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Parse `source`, memoized. Parsing happens outside the lock so
+    /// concurrent misses do not serialize the frontend.
+    pub fn ast(&self, source: &str) -> Result<Arc<Ast>, EngineError> {
+        self.ast_recorded(source, None)
+    }
+
+    pub(crate) fn ast_recorded(
+        &self,
+        source: &str,
+        request: Option<&RequestCounters>,
+    ) -> Result<Arc<Ast>, EngineError> {
+        if let Some(ast) = self.asts.lock().expect("ast cache poisoned").get_by(source) {
+            self.record(request, true);
+            return Ok(ast);
+        }
+        self.record(request, false);
+        let ast = Arc::new(pg_frontend::parse(source)?);
+        let key = self.intern(source);
+        self.asts
+            .lock()
+            .expect("ast cache poisoned")
+            .insert(key, Arc::clone(&ast));
+        Ok(ast)
+    }
+
+    /// Build the relational graph of `source` under a representation and
+    /// launch configuration, memoized. Graph misses reuse the AST layer.
+    pub fn relational_graph(
+        &self,
+        source: &str,
+        representation: Representation,
+        teams: u64,
+        threads: u64,
+    ) -> Result<Arc<RelationalGraph>, EngineError> {
+        self.relational_graph_recorded(source, representation, teams, threads, None)
+    }
+
+    pub(crate) fn relational_graph_recorded(
+        &self,
+        source: &str,
+        representation: Representation,
+        teams: u64,
+        threads: u64,
+        request: Option<&RequestCounters>,
+    ) -> Result<Arc<RelationalGraph>, EngineError> {
+        let key = GraphKey {
+            source: self.intern(source),
+            representation,
+            teams,
+            threads,
+        };
+        if let Some(graph) = self.graphs.lock().expect("graph cache poisoned").get(&key) {
+            self.record(request, true);
+            return Ok(graph);
+        }
+        self.record(request, false);
+        let ast = self.ast_recorded(source, request)?;
+        let config = paragraph_core::BuilderConfig::for_representation(representation)
+            .with_launch(teams, threads);
+        let graph = Arc::new(to_relational(&build(&ast, &config)));
+        self.graphs
+            .lock()
+            .expect("graph cache poisoned")
+            .insert(key, Arc::clone(&graph));
+        Ok(graph)
+    }
+
+    /// Snapshot of the cumulative hit/miss counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "void f(float *a) { for (int i = 0; i < 32; i++) { a[i] = 1.0; } }";
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru: LruCache<u32, u32> = LruCache::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.get(&1), Some(10)); // refresh 1; 2 is now oldest
+        lru.insert(3, 30);
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get(&3), Some(30));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_a_key_does_not_evict() {
+        let mut lru: LruCache<u32, u32> = LruCache::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        lru.insert(2, 21);
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get(&2), Some(21));
+    }
+
+    #[test]
+    fn ast_layer_hits_on_repeat() {
+        let cache = FrontendCache::new(8);
+        let a = cache.ast(SRC).unwrap();
+        let b = cache.ast(SRC).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let counters = cache.counters();
+        assert_eq!(counters.hits, 1);
+        assert_eq!(counters.misses, 1);
+    }
+
+    #[test]
+    fn graph_layer_distinguishes_launch_configs() {
+        let cache = FrontendCache::new(8);
+        let g1 = cache
+            .relational_graph(SRC, Representation::ParaGraph, 1, 8)
+            .unwrap();
+        let g2 = cache
+            .relational_graph(SRC, Representation::ParaGraph, 1, 16)
+            .unwrap();
+        let g1_again = cache
+            .relational_graph(SRC, Representation::ParaGraph, 1, 8)
+            .unwrap();
+        assert!(Arc::ptr_eq(&g1, &g1_again));
+        assert!(!Arc::ptr_eq(&g1, &g2));
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let cache = FrontendCache::new(8);
+        assert!(cache.ast("garbage !!").is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! The single error surface of the engine.
+//!
+//! Callers of [`Engine::advise`](crate::Engine::advise) handle exactly one
+//! error type: every lower-layer failure (frontend parse errors — which are
+//! also what `pg-perfsim`'s measurement path returns — unknown catalogue
+//! kernels, empty candidate sets) converts into [`EngineError`].
+
+use pg_frontend::FrontendError;
+use pg_perfsim::Platform;
+use std::fmt;
+
+/// Any failure the engine's request path can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The kernel source failed to lex/parse/analyze. This also covers the
+    /// perfsim measurement path, whose error type is [`FrontendError`].
+    Frontend(FrontendError),
+    /// The requested catalogue kernel does not exist.
+    UnknownKernel(String),
+    /// No variant of the kernel applies to the engine's platform.
+    NoApplicableVariants {
+        /// Fully qualified kernel name.
+        kernel: String,
+        /// Platform the engine serves.
+        platform: Platform,
+    },
+    /// The request's launch budget produced no launch configurations.
+    EmptyBudget,
+    /// Every candidate prediction failed; the first underlying failure is
+    /// carried for diagnosis.
+    AllPredictionsFailed {
+        /// Fully qualified kernel name.
+        kernel: String,
+        /// First underlying failure.
+        first: Box<EngineError>,
+    },
+    /// The backend cannot serve this request (e.g. a GPU-trained model asked
+    /// to predict on a CPU platform).
+    BackendUnavailable(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Frontend(e) => write!(f, "frontend: {e}"),
+            EngineError::UnknownKernel(name) => {
+                write!(f, "unknown catalogue kernel `{name}`")
+            }
+            EngineError::NoApplicableVariants { kernel, platform } => write!(
+                f,
+                "no variant of `{kernel}` applies to platform {}",
+                platform.name()
+            ),
+            EngineError::EmptyBudget => write!(f, "launch budget is empty"),
+            EngineError::AllPredictionsFailed { kernel, first } => {
+                write!(
+                    f,
+                    "every prediction for `{kernel}` failed; first error: {first}"
+                )
+            }
+            EngineError::BackendUnavailable(why) => write!(f, "backend unavailable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Frontend(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrontendError> for EngineError {
+    fn from(e: FrontendError) -> Self {
+        EngineError::Frontend(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_frontend::parse;
+
+    #[test]
+    fn frontend_errors_convert_and_display() {
+        let err = parse("this is not C").unwrap_err();
+        let engine_err: EngineError = err.into();
+        assert!(matches!(engine_err, EngineError::Frontend(_)));
+        assert!(engine_err.to_string().starts_with("frontend:"));
+        assert!(std::error::Error::source(&engine_err).is_some());
+    }
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<EngineError> = vec![
+            EngineError::UnknownKernel("X/y".into()),
+            EngineError::NoApplicableVariants {
+                kernel: "X/y".into(),
+                platform: Platform::SummitV100,
+            },
+            EngineError::EmptyBudget,
+            EngineError::AllPredictionsFailed {
+                kernel: "X/y".into(),
+                first: Box::new(EngineError::EmptyBudget),
+            },
+            EngineError::BackendUnavailable("gpu-only model".into()),
+        ];
+        for case in cases {
+            assert!(!case.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! # pg-engine
+//!
+//! The unified serving facade of the ParaGraph reproduction: one
+//! trait-based prediction API over the analytical simulator, the trained
+//! RGAT model and the COMPOFF baseline.
+//!
+//! The paper's end-to-end workflow — parse a kernel, build its weighted
+//! ParaGraph, enumerate OpenMP variants, predict runtimes, pick the winner —
+//! previously had no single entry point. [`Engine`] owns that whole request
+//! path:
+//!
+//! ```text
+//! AdviseRequest ──► resolve kernel ──► enumerate (variant × launch)
+//!        │                                      │
+//!        │                         predict_batch (rayon fan-out)
+//!        │                                      │
+//!        │               RuntimePredictor backend (simulator | gnn | compoff)
+//!        │                                      │
+//!        │               FrontendCache (LRU: source key → AST / graph)
+//!        ▼                                      ▼
+//!   AdviseReport ◄── rank fastest-first + provenance + timing + cache stats
+//! ```
+//!
+//! ```
+//! use pg_engine::{AdviseRequest, Engine};
+//! use pg_perfsim::Platform;
+//!
+//! let engine = Engine::builder().platform(Platform::SummitV100).build();
+//! let report = engine.advise(&AdviseRequest::catalog("MM/matmul")).unwrap();
+//! assert_eq!(report.backend, "simulator");
+//! assert!(report.best().unwrap().predicted_ms > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod backend;
+pub mod cache;
+pub mod error;
+pub mod report;
+pub mod request;
+
+pub use backend::{
+    CompoffBackend, GnnBackend, PredictionContext, RuntimePredictor, SimulatorBackend,
+};
+pub use cache::{CacheCounters, FrontendCache, LruCache, RequestCounters};
+pub use error::EngineError;
+pub use report::{AdviseReport, CacheActivity, PredictionFailure, Timing, VariantPrediction};
+pub use request::{AdviseRequest, KernelSpec, LaunchBudget};
+
+use pg_advisor::{instantiate, KernelInstance, LaunchConfig, ParallelismBudget, Variant};
+use pg_perfsim::Platform;
+use std::time::Instant;
+
+/// Default capacity of each frontend-cache layer.
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// The serving facade: a platform, a prediction backend, and a memoized
+/// frontend, behind one `advise` call.
+pub struct Engine {
+    platform: Platform,
+    backend: Box<dyn RuntimePredictor>,
+    cache: FrontendCache,
+}
+
+/// Builder for [`Engine`] (`Engine::builder()`).
+pub struct EngineBuilder {
+    platform: Platform,
+    backend: Option<Box<dyn RuntimePredictor>>,
+    cache_capacity: usize,
+}
+
+impl EngineBuilder {
+    /// Target platform (default: Summit's V100 GPU).
+    pub fn platform(mut self, platform: Platform) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Prediction backend (default: the noise-free analytical simulator).
+    pub fn backend(mut self, backend: impl RuntimePredictor + 'static) -> Self {
+        self.backend = Some(Box::new(backend));
+        self
+    }
+
+    /// Entries per frontend-cache layer (default
+    /// [`DEFAULT_CACHE_CAPACITY`]).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Assemble the engine.
+    pub fn build(self) -> Engine {
+        Engine {
+            platform: self.platform,
+            backend: self
+                .backend
+                .unwrap_or_else(|| Box::new(SimulatorBackend::noise_free())),
+            cache: FrontendCache::new(self.cache_capacity),
+        }
+    }
+}
+
+impl Engine {
+    /// Start building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder {
+            platform: Platform::SummitV100,
+            backend: None,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+
+    /// The platform this engine serves.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// Name of the active backend.
+    pub fn backend_name(&self) -> &str {
+        self.backend.name()
+    }
+
+    /// Cumulative frontend-cache counters over the engine's lifetime.
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache.counters()
+    }
+
+    /// Launch configurations for a request's budget on this platform.
+    fn launches(&self, budget: &LaunchBudget, gpu: bool) -> Vec<LaunchConfig> {
+        let sweep_for = |budget: &ParallelismBudget| {
+            if gpu {
+                budget.gpu_launches()
+            } else {
+                budget.cpu_launches()
+            }
+        };
+        match budget {
+            LaunchBudget::Fixed(launch) => vec![*launch],
+            LaunchBudget::Sweep(budget) => sweep_for(budget),
+            LaunchBudget::PlatformDefault => {
+                let units = self.platform.parallel_units();
+                let derived = if self.platform.is_gpu() {
+                    ParallelismBudget::for_gpu(units)
+                } else {
+                    ParallelismBudget::for_cpu_cores(units)
+                };
+                sweep_for(&derived)
+            }
+        }
+    }
+
+    /// Enumerate the candidate instances of a request.
+    fn candidates(
+        &self,
+        request: &AdviseRequest,
+        counters: &RequestCounters,
+    ) -> Result<Vec<KernelInstance>, EngineError> {
+        let launches = self.launches(&request.budget, self.platform.is_gpu());
+        if launches.is_empty() {
+            return Err(EngineError::EmptyBudget);
+        }
+        match &request.kernel {
+            KernelSpec::Catalog(name) => {
+                let kernel = pg_kernels::find_kernel(name)
+                    .ok_or_else(|| EngineError::UnknownKernel(name.clone()))?;
+                let sizes = request
+                    .sizes
+                    .clone()
+                    .unwrap_or_else(|| kernel.default_sizes());
+                let variants: Vec<Variant> = Variant::applicable_variants(&kernel)
+                    .into_iter()
+                    .filter(|v| v.is_gpu() == self.platform.is_gpu())
+                    .collect();
+                if variants.is_empty() {
+                    return Err(EngineError::NoApplicableVariants {
+                        kernel: name.clone(),
+                        platform: self.platform,
+                    });
+                }
+                let mut out = Vec::with_capacity(variants.len() * launches.len());
+                for variant in variants {
+                    for &launch in &launches {
+                        out.push(instantiate(&kernel, variant, &sizes, launch));
+                    }
+                }
+                Ok(out)
+            }
+            KernelSpec::Source { name, source } => {
+                // Validate the source once up front so a typo fails the
+                // request instead of every candidate.
+                self.cache.ast_recorded(source, Some(counters))?;
+                let (app, kernel_name) = match name.split_once('/') {
+                    Some((app, k)) => (app.to_string(), k.to_string()),
+                    None => (name.clone(), name.clone()),
+                };
+                Ok(launches
+                    .into_iter()
+                    .map(|launch| KernelInstance {
+                        application: app.clone(),
+                        kernel: kernel_name.clone(),
+                        variant: if self.platform.is_gpu() {
+                            Variant::Gpu
+                        } else {
+                            Variant::Cpu
+                        },
+                        sizes: Default::default(),
+                        launch,
+                        source: source.clone(),
+                        bytes_to_device: 0,
+                        bytes_from_device: 0,
+                    })
+                    .collect())
+            }
+        }
+    }
+
+    /// Predict already-enumerated kernel instances through the engine's
+    /// backend and frontend cache, preserving order.
+    ///
+    /// This is the lower-level sibling of [`Engine::advise`] for callers
+    /// that bring their own candidates — custom kernel templates not in
+    /// the catalogue, hand-built sweeps, or instances produced by the
+    /// `pg-dataset` pipeline.
+    pub fn predict_instances(&self, instances: &[KernelInstance]) -> Vec<Result<f64, EngineError>> {
+        let counters = RequestCounters::default();
+        let ctx = PredictionContext::new(&self.cache, self.platform, &counters);
+        self.backend.predict_batch(&ctx, instances)
+    }
+
+    /// Run the full request path: resolve → enumerate → batched prediction →
+    /// ranked report.
+    pub fn advise(&self, request: &AdviseRequest) -> Result<AdviseReport, EngineError> {
+        let started = Instant::now();
+        // Per-request accounting: concurrent advise calls on a shared engine
+        // must not attribute each other's cache activity, so the report uses
+        // a request-scoped counter rather than a delta of the global ones.
+        let counters = RequestCounters::default();
+        let is_catalog = matches!(request.kernel, KernelSpec::Catalog(_));
+
+        let candidates = self.candidates(request, &counters)?;
+        let enumerate_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        let predict_started = Instant::now();
+        let ctx = PredictionContext::new(&self.cache, self.platform, &counters);
+        let predictions = self.backend.predict_batch(&ctx, &candidates);
+        let predict_ms = predict_started.elapsed().as_secs_f64() * 1e3;
+
+        let mut rankings = Vec::new();
+        let mut failures = Vec::new();
+        let mut first_error: Option<EngineError> = None;
+        for (instance, prediction) in candidates.iter().zip(predictions) {
+            let variant = is_catalog.then_some(instance.variant);
+            match prediction {
+                Ok(predicted_ms) => rankings.push(VariantPrediction {
+                    variant,
+                    launch: instance.launch,
+                    predicted_ms,
+                }),
+                Err(error) => {
+                    if first_error.is_none() {
+                        first_error = Some(error.clone());
+                    }
+                    failures.push(PredictionFailure {
+                        variant,
+                        launch: instance.launch,
+                        error: error.to_string(),
+                    });
+                }
+            }
+        }
+        if rankings.is_empty() {
+            return Err(EngineError::AllPredictionsFailed {
+                kernel: request.kernel.name().to_string(),
+                first: Box::new(first_error.unwrap_or(EngineError::EmptyBudget)),
+            });
+        }
+        rankings.sort_by(|a, b| {
+            a.predicted_ms
+                .partial_cmp(&b.predicted_ms)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let cache_delta = counters.snapshot();
+        Ok(AdviseReport {
+            kernel: request.kernel.name().to_string(),
+            platform: self.platform,
+            backend: self.backend.name().to_string(),
+            rankings,
+            failures,
+            timing: Timing {
+                enumerate_ms,
+                predict_ms,
+                total_ms: started.elapsed().as_secs_f64() * 1e3,
+            },
+            cache: CacheActivity {
+                hits: cache_delta.hits,
+                misses: cache_delta.misses,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_kernel_is_an_error() {
+        let engine = Engine::builder().build();
+        let err = engine
+            .advise(&AdviseRequest::catalog("Nope/nothing"))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownKernel(_)));
+    }
+
+    #[test]
+    fn catalog_advise_ranks_all_variant_launch_pairs() {
+        let engine = Engine::builder().platform(Platform::SummitV100).build();
+        let launch = LaunchConfig {
+            teams: 80,
+            threads: 128,
+        };
+        let report = engine
+            .advise(&AdviseRequest::catalog("MM/matmul").with_launch(launch))
+            .unwrap();
+        // Four GPU variants for a collapsible kernel, one launch each.
+        assert_eq!(report.rankings.len(), 4);
+        assert!(report.failures.is_empty());
+        assert!(report
+            .rankings
+            .windows(2)
+            .all(|w| w[0].predicted_ms <= w[1].predicted_ms));
+        assert!(report.rankings.iter().all(|r| r.launch == launch));
+        assert_eq!(report.backend, "simulator");
+        assert_eq!(report.platform, Platform::SummitV100);
+    }
+
+    #[test]
+    fn platform_default_budget_sweeps_launches() {
+        let engine = Engine::builder().platform(Platform::CoronaEpyc7401).build();
+        let report = engine.advise(&AdviseRequest::catalog("MV/matvec")).unwrap();
+        // matvec has one CPU variant; the EPYC default budget sweeps threads.
+        assert!(report.rankings.len() > 1);
+        assert!(report.rankings.iter().all(|r| r.launch.teams == 1));
+    }
+
+    #[test]
+    fn raw_source_requests_rank_launches() {
+        let engine = Engine::builder().platform(Platform::SummitPower9).build();
+        let request = AdviseRequest::source(
+            "mine/saxpy",
+            "void saxpy(float *x, float *y) {\n\
+             #pragma omp parallel for\n\
+             for (int i = 0; i < 65536; i++) { y[i] = y[i] + 2.0 * x[i]; }\n}",
+        );
+        let report = engine.advise(&request).unwrap();
+        assert!(!report.rankings.is_empty());
+        assert!(report.rankings.iter().all(|r| r.variant.is_none()));
+        assert_eq!(report.kernel, "mine/saxpy");
+    }
+
+    #[test]
+    fn invalid_raw_source_fails_fast() {
+        let engine = Engine::builder().build();
+        let err = engine
+            .advise(&AdviseRequest::source("bad", "definitely not C"))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Frontend(_)));
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache() {
+        let engine = Engine::builder().platform(Platform::SummitV100).build();
+        let request = AdviseRequest::catalog("MM/matmul").with_launch(LaunchConfig {
+            teams: 80,
+            threads: 128,
+        });
+        let cold = engine.advise(&request).unwrap();
+        assert!(cold.cache.misses > 0);
+        let warm = engine.advise(&request).unwrap();
+        assert_eq!(warm.cache.misses, 0);
+        assert!(warm.cache.hits >= cold.cache.misses);
+        assert_eq!(cold.rankings, warm.rankings);
+    }
+
+    #[test]
+    fn cpu_platform_filters_to_cpu_variants() {
+        let engine = Engine::builder().platform(Platform::SummitPower9).build();
+        let report = engine
+            .advise(
+                &AdviseRequest::catalog("MM/matmul").with_launch(LaunchConfig {
+                    teams: 1,
+                    threads: 16,
+                }),
+            )
+            .unwrap();
+        assert!(report.rankings.iter().all(|r| !r.variant.unwrap().is_gpu()));
+    }
+}

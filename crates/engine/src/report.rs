@@ -1,0 +1,132 @@
+//! What the engine answers: ranked variant predictions with provenance,
+//! wall-time accounting and cache activity.
+
+use pg_advisor::{LaunchConfig, Variant};
+use pg_perfsim::Platform;
+use serde::{Deserialize, Serialize};
+
+/// One ranked candidate: a (variant, launch) pair and its predicted runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariantPrediction {
+    /// The transformation variant; `None` for raw-source requests, which
+    /// have no catalogue template to enumerate variants from.
+    pub variant: Option<Variant>,
+    /// Launch configuration of this candidate.
+    pub launch: LaunchConfig,
+    /// Predicted runtime in milliseconds.
+    pub predicted_ms: f64,
+}
+
+impl VariantPrediction {
+    /// Human-readable candidate label, e.g. `gpu_collapse @ 80x128`.
+    pub fn label(&self) -> String {
+        let variant = self.variant.map_or("source", |v| v.name());
+        format!(
+            "{} @ {}x{}",
+            variant, self.launch.teams, self.launch.threads
+        )
+    }
+}
+
+/// A candidate whose prediction failed (kept for diagnosis; the report is
+/// still produced as long as at least one candidate succeeded).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictionFailure {
+    /// The failed candidate's variant.
+    pub variant: Option<Variant>,
+    /// The failed candidate's launch configuration.
+    pub launch: LaunchConfig,
+    /// Rendered error.
+    pub error: String,
+}
+
+/// Cache activity attributable to one request (delta of the engine's
+/// cumulative counters across the request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct CacheActivity {
+    /// Frontend lookups served from the cache during this request.
+    pub hits: u64,
+    /// Frontend lookups that ran parse / graph construction.
+    pub misses: u64,
+}
+
+/// Wall-time accounting of one request, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Timing {
+    /// Candidate enumeration (catalogue lookup, source instantiation).
+    pub enumerate_ms: f64,
+    /// Batched backend prediction.
+    pub predict_ms: f64,
+    /// Whole request, end to end.
+    pub total_ms: f64,
+}
+
+/// The engine's answer to one [`AdviseRequest`](crate::AdviseRequest).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdviseReport {
+    /// Kernel the request named.
+    pub kernel: String,
+    /// Platform the engine serves.
+    pub platform: Platform,
+    /// Name of the backend that produced the predictions (provenance).
+    pub backend: String,
+    /// Candidates ranked fastest-first.
+    pub rankings: Vec<VariantPrediction>,
+    /// Candidates whose prediction failed.
+    pub failures: Vec<PredictionFailure>,
+    /// Wall-time accounting.
+    pub timing: Timing,
+    /// Cache activity during this request.
+    pub cache: CacheActivity,
+}
+
+impl AdviseReport {
+    /// The predicted-fastest candidate.
+    pub fn best(&self) -> Option<&VariantPrediction> {
+        self.rankings.first()
+    }
+
+    /// Number of candidates the engine evaluated (succeeded + failed).
+    pub fn candidates(&self) -> usize {
+        self.rankings.len() + self.failures.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_best() {
+        let report = AdviseReport {
+            kernel: "MM/matmul".into(),
+            platform: Platform::SummitV100,
+            backend: "simulator".into(),
+            rankings: vec![
+                VariantPrediction {
+                    variant: Some(Variant::GpuCollapse),
+                    launch: LaunchConfig {
+                        teams: 80,
+                        threads: 128,
+                    },
+                    predicted_ms: 1.5,
+                },
+                VariantPrediction {
+                    variant: None,
+                    launch: LaunchConfig {
+                        teams: 1,
+                        threads: 16,
+                    },
+                    predicted_ms: 3.0,
+                },
+            ],
+            failures: vec![],
+            timing: Timing::default(),
+            cache: CacheActivity::default(),
+        };
+        assert_eq!(report.best().unwrap().predicted_ms, 1.5);
+        assert_eq!(report.best().unwrap().label(), "gpu_collapse @ 80x128");
+        assert_eq!(report.rankings[1].label(), "source @ 1x16");
+        assert_eq!(report.candidates(), 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! What callers ask the engine: a kernel, optional problem sizes, and a
+//! launch budget.
+
+use pg_advisor::{LaunchConfig, ParallelismBudget};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which kernel to advise on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum KernelSpec {
+    /// A kernel from the Table I catalogue, by fully qualified name
+    /// (`"MM/matmul"`). The engine enumerates every applicable transformation
+    /// variant.
+    Catalog(String),
+    /// A raw OpenMP C source. Variant enumeration needs a catalogue
+    /// template, so the engine ranks this source across the launch budget
+    /// as-is.
+    Source {
+        /// Display name for the report.
+        name: String,
+        /// The kernel source code.
+        source: String,
+    },
+}
+
+impl KernelSpec {
+    /// Display name of the kernel.
+    pub fn name(&self) -> &str {
+        match self {
+            KernelSpec::Catalog(name) => name,
+            KernelSpec::Source { name, .. } => name,
+        }
+    }
+}
+
+/// The launch configurations to consider.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum LaunchBudget {
+    /// Derive a sweep from the engine platform's hardware (cores / SMs).
+    #[default]
+    PlatformDefault,
+    /// Exactly one launch configuration.
+    Fixed(LaunchConfig),
+    /// An explicit sweep.
+    Sweep(ParallelismBudget),
+}
+
+/// One advise request: kernel, sizes, launch budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdviseRequest {
+    /// Which kernel to advise on.
+    pub kernel: KernelSpec,
+    /// Problem sizes; `None` uses the catalogue kernel's defaults (raw
+    /// sources carry their sizes inline and ignore this).
+    pub sizes: Option<HashMap<String, i64>>,
+    /// Launch configurations to consider.
+    pub budget: LaunchBudget,
+}
+
+impl AdviseRequest {
+    /// Advise on a catalogue kernel with default sizes and the platform's
+    /// default launch sweep.
+    pub fn catalog(name: impl Into<String>) -> Self {
+        Self {
+            kernel: KernelSpec::Catalog(name.into()),
+            sizes: None,
+            budget: LaunchBudget::default(),
+        }
+    }
+
+    /// Advise on a raw kernel source.
+    pub fn source(name: impl Into<String>, source: impl Into<String>) -> Self {
+        Self {
+            kernel: KernelSpec::Source {
+                name: name.into(),
+                source: source.into(),
+            },
+            sizes: None,
+            budget: LaunchBudget::default(),
+        }
+    }
+
+    /// Set explicit problem sizes.
+    pub fn with_sizes(mut self, sizes: HashMap<String, i64>) -> Self {
+        self.sizes = Some(sizes);
+        self
+    }
+
+    /// Restrict the budget to one launch configuration.
+    pub fn with_launch(mut self, launch: LaunchConfig) -> Self {
+        self.budget = LaunchBudget::Fixed(launch);
+        self
+    }
+
+    /// Sweep an explicit parallelism budget.
+    pub fn with_budget(mut self, budget: ParallelismBudget) -> Self {
+        self.budget = LaunchBudget::Sweep(budget);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let mut sizes = HashMap::new();
+        sizes.insert("N".to_string(), 256i64);
+        let request = AdviseRequest::catalog("MM/matmul")
+            .with_sizes(sizes.clone())
+            .with_launch(LaunchConfig {
+                teams: 80,
+                threads: 128,
+            });
+        assert_eq!(request.kernel.name(), "MM/matmul");
+        assert_eq!(request.sizes, Some(sizes));
+        assert!(matches!(request.budget, LaunchBudget::Fixed(l) if l.teams == 80));
+
+        let raw = AdviseRequest::source("mine", "void f() {}");
+        assert_eq!(raw.kernel.name(), "mine");
+        assert!(matches!(raw.budget, LaunchBudget::PlatformDefault));
+    }
+
+    #[test]
+    fn requests_serialize() {
+        let request = AdviseRequest::catalog("MM/matmul");
+        let json = serde_json::to_string(&request).unwrap();
+        let back: AdviseRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(request, back);
+    }
+}

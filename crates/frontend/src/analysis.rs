@@ -113,13 +113,14 @@ pub fn analyze_for(ast: &Ast, for_stmt: NodeId, env: &ConstEnv) -> Option<LoopIn
     }
     let lhs = *cond_node.children.first()?;
     let rhs = *cond_node.children.get(1)?;
-    let (bound_expr, counter_on_left) = if referenced_name(ast, lhs).as_deref() == Some(counter.as_str()) {
-        (rhs, true)
-    } else if referenced_name(ast, rhs).as_deref() == Some(counter.as_str()) {
-        (lhs, false)
-    } else {
-        return None;
-    };
+    let (bound_expr, counter_on_left) =
+        if referenced_name(ast, lhs).as_deref() == Some(counter.as_str()) {
+            (rhs, true)
+        } else if referenced_name(ast, rhs).as_deref() == Some(counter.as_str()) {
+            (lhs, false)
+        } else {
+            return None;
+        };
     let bound = const_eval(ast, bound_expr, env);
 
     // --- increment --------------------------------------------------------------
@@ -428,7 +429,12 @@ struct WorkContext<'a> {
     float_vars: std::collections::HashSet<String>,
 }
 
-fn estimate_rec(ast: &Ast, node: NodeId, ctx: &WorkContext<'_>, is_store_context: bool) -> WorkEstimate {
+fn estimate_rec(
+    ast: &Ast,
+    node: NodeId,
+    ctx: &WorkContext<'_>,
+    is_store_context: bool,
+) -> WorkEstimate {
     let n = ast.node(node);
     let mut acc = WorkEstimate::default();
     match n.kind {
@@ -502,7 +508,10 @@ fn estimate_rec(ast: &Ast, node: NodeId, ctx: &WorkContext<'_>, is_store_context
             }
         }
         AstKind::UnaryOperator => {
-            if matches!(n.data.opcode.as_deref(), Some("++") | Some("--") | Some("-") | Some("~")) {
+            if matches!(
+                n.data.opcode.as_deref(),
+                Some("++") | Some("--") | Some("-") | Some("~")
+            ) {
                 acc.int_ops += 1.0;
             }
             for &c in &n.children {
@@ -548,7 +557,9 @@ fn estimate_rec(ast: &Ast, node: NodeId, ctx: &WorkContext<'_>, is_store_context
 }
 
 fn contains_kind(ast: &Ast, node: NodeId, kind: AstKind) -> bool {
-    ast.preorder_from(node).into_iter().any(|id| ast.kind(id) == kind)
+    ast.preorder_from(node)
+        .into_iter()
+        .any(|id| ast.kind(id) == kind)
 }
 
 fn subtree_touches_float(ast: &Ast, node: NodeId, ctx: &WorkContext<'_>) -> bool {
@@ -626,13 +637,22 @@ mod tests {
     #[test]
     fn trip_count_inclusive_bound_and_steps() {
         let ast = parse("void f() { for (int i = 1; i <= 100; i += 2) { } }").unwrap();
-        assert_eq!(trip_count(&ast, first_for(&ast), &ConstEnv::new()), Some(50));
+        assert_eq!(
+            trip_count(&ast, first_for(&ast), &ConstEnv::new()),
+            Some(50)
+        );
 
         let ast = parse("void f() { for (int i = 10; i > 0; i--) { } }").unwrap();
-        assert_eq!(trip_count(&ast, first_for(&ast), &ConstEnv::new()), Some(10));
+        assert_eq!(
+            trip_count(&ast, first_for(&ast), &ConstEnv::new()),
+            Some(10)
+        );
 
         let ast = parse("void f() { for (int i = 99; i >= 0; i -= 3) { } }").unwrap();
-        assert_eq!(trip_count(&ast, first_for(&ast), &ConstEnv::new()), Some(34));
+        assert_eq!(
+            trip_count(&ast, first_for(&ast), &ConstEnv::new()),
+            Some(34)
+        );
     }
 
     #[test]
@@ -653,7 +673,10 @@ mod tests {
     #[test]
     fn trip_count_reversed_comparison() {
         let ast = parse("void f() { for (int i = 0; 50 > i; i++) { } }").unwrap();
-        assert_eq!(trip_count(&ast, first_for(&ast), &ConstEnv::new()), Some(50));
+        assert_eq!(
+            trip_count(&ast, first_for(&ast), &ConstEnv::new()),
+            Some(50)
+        );
     }
 
     #[test]
@@ -701,9 +724,13 @@ mod tests {
             "void f(int n, float *a) { for (int i = 0; i < n; i++) { a[i] = 0.0; for (int j = 0; j < n; j++) { } } }",
         )
         .unwrap();
-        assert!(!is_collapsible(&not_collapsible, first_for(&not_collapsible)));
+        assert!(!is_collapsible(
+            &not_collapsible,
+            first_for(&not_collapsible)
+        ));
 
-        let flat = parse("void f(int n, float *a) { for (int i = 0; i < n; i++) { a[i] = 1.0; } }").unwrap();
+        let flat = parse("void f(int n, float *a) { for (int i = 0; i < n; i++) { a[i] = 1.0; } }")
+            .unwrap();
         assert!(!is_collapsible(&flat, first_for(&flat)));
     }
 
@@ -720,7 +747,10 @@ mod tests {
         let env = ConstEnv::new();
         let ws = estimate_work(&small, small.root(), &env);
         let wl = estimate_work(&large, large.root(), &env);
-        assert!(wl.flops > ws.flops * 50.0, "flops must scale with trip count");
+        assert!(
+            wl.flops > ws.flops * 50.0,
+            "flops must scale with trip count"
+        );
         assert!(wl.loads > ws.loads * 50.0);
         assert!(wl.stores > ws.stores * 50.0);
         assert!(ws.stores > 0.0);
@@ -748,7 +778,11 @@ mod tests {
         let w = estimate_work(&ast, ast.root(), &env);
         let n3 = 64.0f64.powi(3);
         // 2 flops per innermost iteration (multiply + add).
-        assert!(w.flops > 1.5 * n3 && w.flops < 3.0 * n3, "flops = {}", w.flops);
+        assert!(
+            w.flops > 1.5 * n3 && w.flops < 3.0 * n3,
+            "flops = {}",
+            w.flops
+        );
         assert_eq!(w.max_loop_depth, 3);
         assert!(w.loads >= 2.0 * n3);
     }
@@ -759,10 +793,9 @@ mod tests {
             "void f(float *a) { for (int i = 0; i < 100; i++) { if (i > 50) { a[i] = a[i] * 2.0; } } }",
         )
         .unwrap();
-        let src_unconditional = parse(
-            "void f(float *a) { for (int i = 0; i < 100; i++) { a[i] = a[i] * 2.0; } }",
-        )
-        .unwrap();
+        let src_unconditional =
+            parse("void f(float *a) { for (int i = 0; i < 100; i++) { a[i] = a[i] * 2.0; } }")
+                .unwrap();
         let env = ConstEnv::new();
         let w_if = estimate_work(&src_then_only, src_then_only.root(), &env);
         let w_all = estimate_work(&src_unconditional, src_unconditional.root(), &env);
@@ -774,7 +807,8 @@ mod tests {
     #[test]
     fn intrinsic_calls_add_flops() {
         let with_sqrt =
-            parse("void f(float *a) { for (int i = 0; i < 10; i++) { a[i] = sqrt(a[i]); } }").unwrap();
+            parse("void f(float *a) { for (int i = 0; i < 10; i++) { a[i] = sqrt(a[i]); } }")
+                .unwrap();
         let plain =
             parse("void f(float *a) { for (int i = 0; i < 10; i++) { a[i] = a[i]; } }").unwrap();
         let env = ConstEnv::new();
@@ -786,7 +820,8 @@ mod tests {
 
     #[test]
     fn collect_const_env_picks_up_constant_declarations() {
-        let ast = parse("void f() { int n = 128; int m = n * 2; for (int i = 0; i < m; i++) { } }").unwrap();
+        let ast = parse("void f() { int n = 128; int m = n * 2; for (int i = 0; i < m; i++) { } }")
+            .unwrap();
         let env = collect_const_env(&ast);
         assert_eq!(env.get("n"), Some(&128));
         assert_eq!(env.get("m"), Some(&256));

@@ -355,7 +355,9 @@ impl Ast {
 
     /// First node of the given kind in pre-order, if any.
     pub fn find_first(&self, kind: AstKind) -> Option<NodeId> {
-        self.preorder().into_iter().find(|&id| self.nodes[id].kind == kind)
+        self.preorder()
+            .into_iter()
+            .find(|&id| self.nodes[id].kind == kind)
     }
 
     /// Depth of a node (root is 0).

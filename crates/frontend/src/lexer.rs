@@ -37,9 +37,8 @@ impl<'src> Lexer<'src> {
             let eof = token.is_eof();
             // Apply object-like macro substitution on identifiers.
             let token = self.substitute_macro(token)?;
-            match token {
-                Some(ts) => tokens.extend(ts),
-                None => {}
+            if let Some(ts) = token {
+                tokens.extend(ts)
             }
             if eof {
                 break;
@@ -126,7 +125,10 @@ impl<'src> Lexer<'src> {
                                 self.bump();
                             }
                             None => {
-                                return Err(FrontendError::lex(start, "unterminated block comment"));
+                                return Err(FrontendError::lex(
+                                    start,
+                                    "unterminated block comment",
+                                ));
                             }
                         }
                     }
@@ -158,7 +160,10 @@ impl<'src> Lexer<'src> {
         self.skip_whitespace_and_comments()?;
         let loc = self.location();
         let Some(c) = self.peek() else {
-            return Ok(Token { kind: TokenKind::Eof, location: loc });
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                location: loc,
+            });
         };
 
         // Preprocessor lines.
@@ -210,11 +215,16 @@ impl<'src> Lexer<'src> {
                 Some(kw) => TokenKind::Keyword(kw),
                 None => TokenKind::Identifier(ident),
             };
-            return Ok(Token { kind, location: loc });
+            return Ok(Token {
+                kind,
+                location: loc,
+            });
         }
 
         // Numeric literals.
-        if c.is_ascii_digit() || (c == b'.' && self.peek_ahead(1).is_some_and(|d| d.is_ascii_digit())) {
+        if c.is_ascii_digit()
+            || (c == b'.' && self.peek_ahead(1).is_some_and(|d| d.is_ascii_digit()))
+        {
             return self.lex_number(loc);
         }
 
@@ -404,12 +414,15 @@ impl<'src> Lexer<'src> {
                 .map_err(|_| FrontendError::lex(loc, format!("invalid float literal '{text}'")))?;
             TokenKind::FloatLiteral(value)
         } else {
-            let value: i64 = text
-                .parse()
-                .map_err(|_| FrontendError::lex(loc, format!("invalid integer literal '{text}'")))?;
+            let value: i64 = text.parse().map_err(|_| {
+                FrontendError::lex(loc, format!("invalid integer literal '{text}'"))
+            })?;
             TokenKind::IntLiteral(value)
         };
-        Ok(Token { kind, location: loc })
+        Ok(Token {
+            kind,
+            location: loc,
+        })
     }
 }
 

@@ -278,12 +278,7 @@ fn clause_args(clause: &str) -> Option<&str> {
 }
 
 fn parse_clause(clause: &str) -> OmpClause {
-    let name = clause
-        .split('(')
-        .next()
-        .unwrap_or("")
-        .trim()
-        .to_lowercase();
+    let name = clause.split('(').next().unwrap_or("").trim().to_lowercase();
     let args = clause_args(clause).unwrap_or("").trim();
     match name.as_str() {
         "collapse" => args
@@ -394,7 +389,9 @@ mod tests {
 
     #[test]
     fn parses_gpu_combined_directive() {
-        let d = parse_pragma("target teams distribute parallel for collapse(2) num_teams(120) thread_limit(128)");
+        let d = parse_pragma(
+            "target teams distribute parallel for collapse(2) num_teams(120) thread_limit(128)",
+        );
         assert_eq!(d.kind, OmpDirectiveKind::TargetTeamsDistributeParallelFor);
         assert!(d.kind.is_target());
         assert_eq!(d.collapse_depth(), 2);

@@ -51,7 +51,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -125,7 +127,10 @@ impl Parser {
             let root = self.ast.root();
             self.parse_external_declaration(root)?;
         }
-        debug_assert!(self.ast.validate().is_ok(), "parser produced an invalid AST");
+        debug_assert!(
+            self.ast.validate().is_ok(),
+            "parser produced an invalid AST"
+        );
         Ok(self.ast)
     }
 
@@ -256,7 +261,10 @@ impl Parser {
             }
         }
         if parts.is_empty() {
-            return Err(FrontendError::parse(self.location(), "expected type specifier"));
+            return Err(FrontendError::parse(
+                self.location(),
+                "expected type specifier",
+            ));
         }
         Ok(parts.join(" "))
     }
@@ -318,7 +326,9 @@ impl Parser {
                 self.ast.attach(parent, node);
                 Ok(node)
             }
-            TokenKind::Keyword(kw) if kw.is_type_specifier() => self.parse_declaration_statement(parent),
+            TokenKind::Keyword(kw) if kw.is_type_specifier() => {
+                self.parse_declaration_statement(parent)
+            }
             _ => {
                 let expr = self.parse_expression(parent)?;
                 self.expect_punct(Punct::Semicolon)?;
@@ -590,14 +600,13 @@ impl Parser {
 
     fn parse_binary_detached(&mut self, min_prec: u8) -> Result<NodeId, FrontendError> {
         let mut lhs = self.parse_unary_detached()?;
-        loop {
-            let (prec, spelling) = match self.peek() {
-                TokenKind::Punct(p) => match Self::binary_precedence(*p) {
-                    Some((prec, sp)) if prec >= min_prec => (prec, sp),
-                    _ => break,
-                },
-                _ => break,
-            };
+        let next_op = |parser: &Self| match parser.peek() {
+            TokenKind::Punct(p) => {
+                Self::binary_precedence(*p).filter(|&(prec, _)| prec >= min_prec)
+            }
+            _ => None,
+        };
+        while let Some((prec, spelling)) = next_op(self) {
             self.bump();
             let rhs = self.parse_binary_detached(prec + 1)?;
             let node = self
@@ -744,7 +753,9 @@ impl Parser {
                 // As in Figure 2 of the paper, references to declared
                 // variables appear as DeclRefExpr wrapped in an
                 // ImplicitCastExpr.
-                let dre = self.ast.add_node(AstKind::DeclRefExpr, NodeData::named(name));
+                let dre = self
+                    .ast
+                    .add_node(AstKind::DeclRefExpr, NodeData::named(name));
                 let cast = self.ast.add_simple(AstKind::ImplicitCastExpr);
                 self.ast.attach(cast, dre);
                 Ok(cast)
@@ -825,9 +836,21 @@ mod tests {
         let children = ast.children(for_stmt);
         assert_eq!(children.len(), 4);
         assert_eq!(ast.kind(children[0]), AstKind::DeclStmt, "child 0 = init");
-        assert_eq!(ast.kind(children[1]), AstKind::BinaryOperator, "child 1 = cond");
-        assert_eq!(ast.kind(children[2]), AstKind::CompoundStmt, "child 2 = body");
-        assert_eq!(ast.kind(children[3]), AstKind::UnaryOperator, "child 3 = inc");
+        assert_eq!(
+            ast.kind(children[1]),
+            AstKind::BinaryOperator,
+            "child 1 = cond"
+        );
+        assert_eq!(
+            ast.kind(children[2]),
+            AstKind::CompoundStmt,
+            "child 2 = body"
+        );
+        assert_eq!(
+            ast.kind(children[3]),
+            AstKind::UnaryOperator,
+            "child 3 = inc"
+        );
     }
 
     #[test]

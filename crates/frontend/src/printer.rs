@@ -389,8 +389,10 @@ impl<'a> Printer<'a> {
                 }
             }
             AstKind::StringLiteral => {
-                self.out
-                    .push_str(&format!("\"{}\"", node.data.literal.as_deref().unwrap_or("")));
+                self.out.push_str(&format!(
+                    "\"{}\"",
+                    node.data.literal.as_deref().unwrap_or("")
+                ));
             }
             AstKind::CharacterLiteral => {
                 self.out
@@ -455,7 +457,9 @@ impl<'a> Printer<'a> {
     fn print_operand(&mut self, id: NodeId) {
         let needs_parens = matches!(
             self.ast.kind(id),
-            AstKind::BinaryOperator | AstKind::CompoundAssignOperator | AstKind::ConditionalOperator
+            AstKind::BinaryOperator
+                | AstKind::CompoundAssignOperator
+                | AstKind::ConditionalOperator
         );
         if needs_parens {
             self.out.push('(');
@@ -477,7 +481,8 @@ mod tests {
     fn round_trip_preserves(src: &str, kinds: &[AstKind]) {
         let ast1 = parse(src).unwrap();
         let printed = print(&ast1);
-        let ast2 = parse(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{printed}"));
+        let ast2 =
+            parse(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{printed}"));
         for &kind in kinds {
             assert_eq!(
                 ast1.find_all(kind).len(),
@@ -584,10 +589,7 @@ mod tests {
     fn prints_pragma_for_cpu_variant() {
         let d = crate::omp::parse_pragma("parallel for collapse(2) num_threads(16)");
         let line = print_pragma(&d);
-        assert_eq!(
-            line,
-            "#pragma omp parallel for collapse(2) num_threads(16)"
-        );
+        assert_eq!(line, "#pragma omp parallel for collapse(2) num_threads(16)");
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub enum Keyword {
 
 impl Keyword {
     /// Map an identifier spelling to a keyword, if it is one.
+    ///
+    /// Deliberately not `std::str::FromStr`: absence of a keyword is the
+    /// common, non-error case, so `Option` fits better than `Result`.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         Some(match s {
             "int" => Keyword::Int,
@@ -311,7 +315,10 @@ mod tests {
 
     #[test]
     fn source_location_display() {
-        let loc = SourceLocation { line: 3, column: 14 };
+        let loc = SourceLocation {
+            line: 3,
+            column: 14,
+        };
         assert_eq!(loc.to_string(), "3:14");
     }
 }

@@ -106,8 +106,13 @@ const CORPUS: &[(&str, &str)] = &[
 fn corpus_parses_and_validates() {
     for (name, src) in CORPUS {
         let ast = parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
-        ast.validate().unwrap_or_else(|e| panic!("{name}: invalid AST: {e}"));
-        assert!(ast.len() > 20, "{name}: suspiciously small AST ({})", ast.len());
+        ast.validate()
+            .unwrap_or_else(|e| panic!("{name}: invalid AST: {e}"));
+        assert!(
+            ast.len() > 20,
+            "{name}: suspiciously small AST ({})",
+            ast.len()
+        );
     }
 }
 
@@ -133,7 +138,8 @@ fn corpus_round_trips_through_the_printer() {
     for (name, src) in CORPUS {
         let ast = parse(src).unwrap();
         let printed = printer::print(&ast);
-        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{name}: reprint failed: {e}\n{printed}"));
+        let reparsed =
+            parse(&printed).unwrap_or_else(|e| panic!("{name}: reprint failed: {e}\n{printed}"));
         for kind in [
             AstKind::ForStmt,
             AstKind::IfStmt,

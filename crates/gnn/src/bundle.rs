@@ -1,0 +1,128 @@
+//! The deployable form of a trained ParaGraph model.
+//!
+//! [`train`](crate::train()) returns the model and its metrics, but the
+//! fitted scalers live in the [`PreparedDataset`](crate::PreparedDataset)
+//! and are easy to lose track of — and a model is useless for serving
+//! without them. [`TrainedModel`] bundles everything a prediction needs
+//! (model weights, the graph representation it was trained on, the fitted
+//! target transform and side-feature scaler) behind source- and graph-level
+//! `predict` entry points. The `pg-engine` GNN backend consumes exactly this
+//! bundle.
+
+use crate::model::ParaGraphModel;
+use crate::train::{prepare, train_prepared, TrainConfig, TrainedOutcome};
+use paragraph_core::{build, to_relational, BuilderConfig, RelationalGraph, Representation};
+use pg_dataset::PlatformDataset;
+use pg_frontend::FrontendError;
+use pg_tensor::{MinMaxScaler, TargetTransform};
+use serde::{Deserialize, Serialize};
+
+/// A trained ParaGraph model together with the fitted scalers and the
+/// representation it expects — everything needed to serve predictions.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TrainedModel {
+    /// The trained network.
+    pub model: ParaGraphModel,
+    /// Graph representation the model was trained on.
+    pub representation: Representation,
+    /// Target transform fitted on the training split (decodes predictions
+    /// back to milliseconds).
+    pub target_transform: TargetTransform,
+    /// Side-feature scaler fitted on the training split (scales the raw
+    /// `(teams, threads)` launch configuration).
+    pub side_scaler: MinMaxScaler,
+}
+
+impl TrainedModel {
+    /// Train on a platform dataset and return the bundle plus the training
+    /// metrics ([`TrainedOutcome`]).
+    pub fn fit(dataset: &PlatformDataset, config: &TrainConfig) -> (TrainedModel, TrainedOutcome) {
+        let prepared = prepare(dataset, config.representation, config.seed);
+        let outcome = train_prepared(&prepared, config);
+        let bundle = TrainedModel {
+            model: outcome.model.clone(),
+            representation: config.representation,
+            target_transform: prepared.target_transform,
+            side_scaler: prepared.side_scaler,
+        };
+        (bundle, outcome)
+    }
+
+    /// The builder configuration a caller must use to construct graphs this
+    /// model can consume for a given launch configuration.
+    pub fn builder_config(&self, teams: u64, threads: u64) -> BuilderConfig {
+        BuilderConfig::for_representation(self.representation).with_launch(teams, threads)
+    }
+
+    /// Predict the runtime (ms) from an already-built relational graph and a
+    /// raw launch configuration.
+    pub fn predict_relational(&self, graph: &RelationalGraph, teams: u64, threads: u64) -> f32 {
+        let side = self.side_scaler.transform(&[teams as f32, threads as f32]);
+        let encoded = self.model.predict_graph(graph, [side[0], side[1]]);
+        self.target_transform.decode(encoded).max(0.0)
+    }
+
+    /// Predict the runtime (ms) of a kernel source under a launch
+    /// configuration: parse, build the graph in this model's representation,
+    /// and run the forward pass.
+    pub fn predict_source(
+        &self,
+        source: &str,
+        teams: u64,
+        threads: u64,
+    ) -> Result<f32, FrontendError> {
+        let ast = pg_frontend::parse(source)?;
+        let graph = to_relational(&build(&ast, &self.builder_config(teams, threads)));
+        Ok(self.predict_relational(&graph, teams, threads))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::evaluate;
+    use pg_dataset::{collect_platform, DatasetScale, PipelineConfig};
+    use pg_perfsim::Platform;
+
+    fn tiny_dataset() -> PlatformDataset {
+        collect_platform(
+            Platform::SummitV100,
+            &PipelineConfig {
+                scale: DatasetScale::Fast,
+                seed: 3,
+                noise_sigma: 0.02,
+            },
+        )
+    }
+
+    #[test]
+    fn bundle_predictions_match_the_training_pipeline() {
+        let ds = tiny_dataset();
+        let config = TrainConfig::fast();
+        let (bundle, _) = TrainedModel::fit(&ds, &config);
+
+        // Re-derive the prepared dataset the training run used and check the
+        // bundle's source-level path reproduces evaluate()'s predictions.
+        let prepared = prepare(&ds, config.representation, config.seed);
+        let records = evaluate(&bundle.model, &prepared, &prepared.val_idx);
+        for (record, &idx) in records.iter().zip(prepared.val_idx.iter()).take(10) {
+            let point = &ds.points[idx];
+            let from_source = bundle
+                .predict_source(&point.source, point.teams, point.threads)
+                .unwrap();
+            assert!(
+                (from_source - record.predicted_ms).abs()
+                    <= 1e-4 * record.predicted_ms.abs().max(1.0),
+                "bundle prediction {from_source} diverged from training-path prediction {}",
+                record.predicted_ms
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_source_is_an_error() {
+        let ds = tiny_dataset();
+        let (bundle, _) = TrainedModel::fit(&ds, &TrainConfig::fast());
+        assert!(bundle.predict_source("not C at all", 80, 128).is_err());
+    }
+}

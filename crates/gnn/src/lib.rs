@@ -10,11 +10,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bundle;
 pub mod metrics;
 pub mod model;
 pub mod rgat;
 pub mod train;
 
+pub use bundle::TrainedModel;
 pub use metrics::{binned_relative_error, per_application_error, per_variant_error, BinError};
 pub use model::{GraphSample, ModelConfig, ParaGraphModel};
 pub use rgat::RgatLayer;

@@ -53,7 +53,11 @@ pub fn binned_relative_error(
             } else {
                 (
                     (i + 1) as f32 * bin_width_ms,
-                    format!("{}-{}", format_ms(low), format_ms((i + 1) as f32 * bin_width_ms)),
+                    format!(
+                        "{}-{}",
+                        format_ms(low),
+                        format_ms((i + 1) as f32 * bin_width_ms)
+                    ),
                 )
             };
             BinError {
@@ -147,7 +151,10 @@ mod tests {
 
     #[test]
     fn per_bin_error_uses_global_range() {
-        let records = vec![record("MM", "gpu", 0.0, 10.0), record("MM", "gpu", 100.0, 100.0)];
+        let records = vec![
+            record("MM", "gpu", 0.0, 10.0),
+            record("MM", "gpu", 100.0, 100.0),
+        ];
         let bins = binned_relative_error(&records, 10.0, 10);
         // First bin: |0-10| / range(100) = 0.1.
         assert!((bins[0].relative_error - 0.1).abs() < 1e-6);

@@ -105,11 +105,24 @@ impl ParaGraphModel {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut rgat = Vec::with_capacity(config.num_layers);
         for layer in 0..config.num_layers {
-            let input = if layer == 0 { config.input_dim } else { config.hidden_dim };
-            rgat.push(RgatLayer::new(&mut rng, config.num_relations, input, config.hidden_dim));
+            let input = if layer == 0 {
+                config.input_dim
+            } else {
+                config.hidden_dim
+            };
+            rgat.push(RgatLayer::new(
+                &mut rng,
+                config.num_relations,
+                input,
+                config.hidden_dim,
+            ));
         }
         let side = DenseLayer::new(&mut rng, 2, config.side_dim);
-        let head1 = DenseLayer::new(&mut rng, config.hidden_dim + config.side_dim, config.head_dim);
+        let head1 = DenseLayer::new(
+            &mut rng,
+            config.hidden_dim + config.side_dim,
+            config.head_dim,
+        );
         let head2 = DenseLayer::new(&mut rng, config.head_dim, 1);
         Self {
             config,
@@ -164,6 +177,19 @@ impl ParaGraphModel {
         sample: &GraphSample,
         target: Option<f32>,
     ) -> (Var, Option<Var>, Vec<Var>) {
+        self.forward_parts(tape, &sample.graph, sample.side, target)
+    }
+
+    /// Forward pass over a borrowed graph and side features (lets callers
+    /// that hold a graph elsewhere — e.g. a cache — avoid assembling a
+    /// [`GraphSample`]).
+    fn forward_parts(
+        &self,
+        tape: &mut Tape,
+        graph: &RelationalGraph,
+        side: [f32; 2],
+        target: Option<f32>,
+    ) -> (Var, Option<Var>, Vec<Var>) {
         // Register parameters as tape leaves.
         let param_vars: Vec<Var> = self
             .parameters()
@@ -172,22 +198,27 @@ impl ParaGraphModel {
             .collect();
 
         // Node features.
-        let n = sample.graph.node_count.max(1);
+        let n = graph.node_count.max(1);
         let feat_dim = self.config.input_dim;
         let mut feature_data = Vec::with_capacity(n * feat_dim);
-        for row in &sample.graph.features {
+        for row in &graph.features {
             feature_data.extend_from_slice(row);
         }
-        let features = Matrix::from_vec(sample.graph.features.len(), feat_dim, feature_data);
+        let features = Matrix::from_vec(graph.features.len(), feat_dim, feature_data);
         let mut h = tape.leaf(features);
 
         // Edge lists with attention priors per relation.
-        let relations: Vec<(Vec<usize>, Vec<usize>, Vec<f32>)> = sample
-            .graph
+        let relations: Vec<(Vec<usize>, Vec<usize>, Vec<f32>)> = graph
             .relations
             .iter()
             .enumerate()
-            .map(|(idx, rel)| (rel.src.clone(), rel.dst.clone(), sample.graph.attention_priors(idx)))
+            .map(|(idx, rel)| {
+                (
+                    rel.src.clone(),
+                    rel.dst.clone(),
+                    graph.attention_priors(idx),
+                )
+            })
             .collect();
 
         // RGAT stack.
@@ -210,7 +241,7 @@ impl ParaGraphModel {
         let head2_w = param_vars[offset + 4];
         let head2_b = param_vars[offset + 5];
 
-        let side_input = tape.leaf(Matrix::row_vector(&sample.side));
+        let side_input = tape.leaf(Matrix::row_vector(&side));
         let side_proj = tape.matmul(side_input, side_w);
         let side_proj = tape.add_row_broadcast(side_proj, side_b);
         let side_embedding = tape.relu(side_proj);
@@ -231,6 +262,14 @@ impl ParaGraphModel {
     pub fn predict(&self, sample: &GraphSample) -> f32 {
         let mut tape = Tape::new();
         let (prediction, _, _) = self.forward_on_tape(&mut tape, sample, None);
+        tape.value(prediction).get(0, 0)
+    }
+
+    /// Predict the encoded runtime from a borrowed graph and already-scaled
+    /// side features, without building a [`GraphSample`].
+    pub fn predict_graph(&self, graph: &RelationalGraph, side: [f32; 2]) -> f32 {
+        let mut tape = Tape::new();
+        let (prediction, _, _) = self.forward_parts(&mut tape, graph, side, None);
         tape.value(prediction).get(0, 0)
     }
 
@@ -255,7 +294,11 @@ mod tests {
     fn sample_from_source(src: &str, side: [f32; 2], target: f32) -> GraphSample {
         let ast = parse(src).unwrap();
         let graph = to_relational(&build_default(&ast));
-        GraphSample { graph, side, target }
+        GraphSample {
+            graph,
+            side,
+            target,
+        }
     }
 
     fn small_sample(target: f32) -> GraphSample {
@@ -299,7 +342,10 @@ mod tests {
             assert_eq!(g.shape(), p.shape());
         }
         let total_grad_norm: f32 = grads.iter().map(|g| g.frobenius_norm()).sum();
-        assert!(total_grad_norm > 0.0, "at least some gradients must be non-zero");
+        assert!(
+            total_grad_norm > 0.0,
+            "at least some gradients must be non-zero"
+        );
     }
 
     #[test]
@@ -338,7 +384,12 @@ mod tests {
             let (loss, grads) = model.loss_and_gradients(&sample);
             last_loss = loss;
             adam.begin_step();
-            for (key, (param, grad)) in model.parameters_mut().into_iter().zip(grads.iter()).enumerate() {
+            for (key, (param, grad)) in model
+                .parameters_mut()
+                .into_iter()
+                .zip(grads.iter())
+                .enumerate()
+            {
                 adam.step(key, param, grad);
             }
         }

@@ -32,7 +32,12 @@ pub struct RgatLayer {
 
 impl RgatLayer {
     /// Create a layer with Xavier-initialised projections.
-    pub fn new(rng: &mut StdRng, num_relations: usize, input_dim: usize, output_dim: usize) -> Self {
+    pub fn new(
+        rng: &mut StdRng,
+        num_relations: usize,
+        input_dim: usize,
+        output_dim: usize,
+    ) -> Self {
         let w_rel = (0..num_relations)
             .map(|_| init::xavier_uniform(rng, input_dim, output_dim))
             .collect();
@@ -96,8 +101,16 @@ impl RgatLayer {
         relations: &[(Vec<usize>, Vec<usize>, Vec<f32>)],
         node_count: usize,
     ) -> Var {
-        assert_eq!(params.len(), self.parameter_count(), "parameter count mismatch");
-        assert_eq!(relations.len(), self.num_relations(), "relation count mismatch");
+        assert_eq!(
+            params.len(),
+            self.parameter_count(),
+            "parameter count mismatch"
+        );
+        assert_eq!(
+            relations.len(),
+            self.num_relations(),
+            "relation count mismatch"
+        );
         let r = self.num_relations();
         let w_rel = &params[0..r];
         let a_rel = &params[r..2 * r];
@@ -159,7 +172,11 @@ mod tests {
         assert_eq!(layer.parameter_count(), 8);
         let mut tape = Tape::new();
         let h = tape.leaf(Matrix::from_fn(4, 6, |r, c| (r + c) as f32 * 0.1));
-        let params: Vec<Var> = layer.parameters().iter().map(|p| tape.leaf((*p).clone())).collect();
+        let params: Vec<Var> = layer
+            .parameters()
+            .iter()
+            .map(|p| tape.leaf((*p).clone()))
+            .collect();
         let out = layer.forward(&mut tape, h, &params, &simple_relations(), 4);
         assert_eq!(tape.value(out).shape(), (4, 4));
         assert!(!tape.value(out).has_non_finite());
@@ -171,7 +188,11 @@ mod tests {
         let layer = RgatLayer::new(&mut rng, 3, 5, 3);
         let mut tape = Tape::new();
         let h = tape.leaf(Matrix::from_fn(4, 5, |r, c| ((r * 3 + c) as f32).sin()));
-        let params: Vec<Var> = layer.parameters().iter().map(|p| tape.leaf((*p).clone())).collect();
+        let params: Vec<Var> = layer
+            .parameters()
+            .iter()
+            .map(|p| tape.leaf((*p).clone()))
+            .collect();
         let out = layer.forward(&mut tape, h, &params, &simple_relations(), 4);
         assert!(tape.value(out).min() >= 0.0);
     }
@@ -186,15 +207,21 @@ mod tests {
         let run = |priors: Vec<f32>| -> Matrix {
             let mut tape = Tape::new();
             let h = tape.leaf(h0.clone());
-            let params: Vec<Var> =
-                layer.parameters().iter().map(|p| tape.leaf((*p).clone())).collect();
+            let params: Vec<Var> = layer
+                .parameters()
+                .iter()
+                .map(|p| tape.leaf((*p).clone()))
+                .collect();
             let rels = vec![(vec![0usize, 1], vec![2usize, 2], priors)];
             let out = layer.forward(&mut tape, h, &params, &rels, 3);
             tape.value(out).clone()
         };
         let balanced = run(vec![1.0, 1.0]);
         let skewed = run(vec![100.0, 1.0]);
-        assert!(!balanced.approx_eq(&skewed, 1e-6), "priors must influence attention");
+        assert!(
+            !balanced.approx_eq(&skewed, 1e-6),
+            "priors must influence attention"
+        );
     }
 
     #[test]
@@ -202,8 +229,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let layer = RgatLayer::new(&mut rng, 2, 4, 3);
         let mut tape = Tape::new();
-        let h = tape.leaf(Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32 * 0.05 + 0.1));
-        let params: Vec<Var> = layer.parameters().iter().map(|p| tape.leaf((*p).clone())).collect();
+        let h = tape.leaf(Matrix::from_fn(4, 4, |r, c| {
+            (r * 4 + c) as f32 * 0.05 + 0.1
+        }));
+        let params: Vec<Var> = layer
+            .parameters()
+            .iter()
+            .map(|p| tape.leaf((*p).clone()))
+            .collect();
         // Destinations are shared within each relation so the attention
         // softmax has more than one competitor and its parameters receive a
         // gradient (a single-edge segment has a constant alpha of 1).
@@ -213,21 +246,30 @@ mod tests {
         ];
         let out = layer.forward(&mut tape, h, &params, &rels, 4);
         let pooled = tape.mean_rows(out);
-        let loss = tape.mse_loss(pooled, &vec![0.5; 3]);
+        let loss = tape.mse_loss(pooled, &[0.5; 3]);
         tape.backward(loss);
         // Projection matrices and the self/bias parameters must all receive
         // gradient; attention vectors receive gradient as a group (an
         // individual relation can be blocked by a dead ReLU).
         let r = layer.num_relations();
         for (i, &p) in params.iter().enumerate().take(r) {
-            assert!(tape.grad(p).frobenius_norm() > 0.0, "W_rel[{i}] received no gradient");
+            assert!(
+                tape.grad(p).frobenius_norm() > 0.0,
+                "W_rel[{i}] received no gradient"
+            );
         }
         let attention_grad: f32 = params[r..2 * r]
             .iter()
             .map(|&p| tape.grad(p).frobenius_norm())
             .sum();
-        assert!(attention_grad > 0.0, "attention vectors received no gradient");
-        assert!(tape.grad(params[2 * r]).frobenius_norm() > 0.0, "W_self received no gradient");
+        assert!(
+            attention_grad > 0.0,
+            "attention vectors received no gradient"
+        );
+        assert!(
+            tape.grad(params[2 * r]).frobenius_norm() > 0.0,
+            "W_self received no gradient"
+        );
         // Node features must also receive gradient.
         assert!(tape.grad(h).frobenius_norm() > 0.0);
     }

@@ -138,7 +138,11 @@ pub struct TrainedOutcome {
 }
 
 /// Convert a platform dataset into model-ready samples.
-pub fn prepare(dataset: &PlatformDataset, representation: Representation, seed: u64) -> PreparedDataset {
+pub fn prepare(
+    dataset: &PlatformDataset,
+    representation: Representation,
+    seed: u64,
+) -> PreparedDataset {
     let (train_idx, val_idx) = dataset.split(seed);
 
     // Fit scalers on the *training* split only.
@@ -341,7 +345,10 @@ mod tests {
             .iter()
             .all(|s| s.target >= -0.2 && s.target <= 1.2));
         // Side features are scaled.
-        assert!(prepared.samples.iter().all(|s| s.side[0] >= 0.0 && s.side[0] <= 1.0));
+        assert!(prepared
+            .samples
+            .iter()
+            .all(|s| s.side[0] >= 0.0 && s.side[0] <= 1.0));
     }
 
     #[test]
@@ -359,7 +366,11 @@ mod tests {
             last < first,
             "validation error must improve during training: {first} -> {last}"
         );
-        assert!(outcome.norm_rmse < 0.5, "normalised RMSE {} is unreasonably high", outcome.norm_rmse);
+        assert!(
+            outcome.norm_rmse < 0.5,
+            "normalised RMSE {} is unreasonably high",
+            outcome.norm_rmse
+        );
         assert_eq!(outcome.validation.len(), ds.split(config.seed).1.len());
     }
 

@@ -248,7 +248,10 @@ pub fn catalog() -> Vec<Application> {
         Application {
             name: "Covariance",
             domain: Domain::ProbabilityTheory,
-            kernels: vec![sources::covariance_mean_kernel(), sources::covariance_kernel()],
+            kernels: vec![
+                sources::covariance_mean_kernel(),
+                sources::covariance_kernel(),
+            ],
         },
         Application {
             name: "Gauss Seidel",
@@ -263,7 +266,10 @@ pub fn catalog() -> Vec<Application> {
         Application {
             name: "Laplace",
             domain: Domain::NumericalAnalysis,
-            kernels: vec![sources::laplace_jacobi_kernel(), sources::laplace_copy_kernel()],
+            kernels: vec![
+                sources::laplace_jacobi_kernel(),
+                sources::laplace_copy_kernel(),
+            ],
         },
         Application {
             name: "MM",
@@ -303,7 +309,9 @@ pub fn all_kernels() -> Vec<KernelTemplate> {
 
 /// Look up one kernel by `application/kernel` name.
 pub fn find_kernel(full_name: &str) -> Option<KernelTemplate> {
-    all_kernels().into_iter().find(|k| k.full_name() == full_name)
+    all_kernels()
+        .into_iter()
+        .find(|k| k.full_name() == full_name)
 }
 
 #[cfg(test)]
@@ -317,10 +325,8 @@ mod tests {
         let total: usize = apps.iter().map(Application::kernel_count).sum();
         assert_eq!(total, 17, "Table I lists seventeen kernels in total");
         // Per-application counts from Table I.
-        let counts: HashMap<&str, usize> = apps
-            .iter()
-            .map(|a| (a.name, a.kernel_count()))
-            .collect();
+        let counts: HashMap<&str, usize> =
+            apps.iter().map(|a| (a.name, a.kernel_count())).collect();
         assert_eq!(counts["Correlation"], 1);
         assert_eq!(counts["Covariance"], 2);
         assert_eq!(counts["Gauss Seidel"], 1);

@@ -35,14 +35,40 @@ void correlation(float *data, float *mean, float *stddev, float *corr) {
         domain: Domain::Statistics,
         source: SRC,
         sizes: &[
-            SizeParam { name: "N", sweep: &[256, 512, 1024, 2048, 4096] },
-            SizeParam { name: "M", sweep: &[32, 64, 96, 128] },
+            SizeParam {
+                name: "N",
+                sweep: &[256, 512, 1024, 2048, 4096],
+            },
+            SizeParam {
+                name: "M",
+                sweep: &[32, 64, 96, 128],
+            },
         ],
         arrays: &[
-            ArraySpec { name: "data", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "M"), element_size: 4 },
-            ArraySpec { name: "mean", direction: TransferDirection::ToDevice, extent: Extent::Param("M"), element_size: 4 },
-            ArraySpec { name: "stddev", direction: TransferDirection::ToDevice, extent: Extent::Param("M"), element_size: 4 },
-            ArraySpec { name: "corr", direction: TransferDirection::FromDevice, extent: Extent::Product("M", "M"), element_size: 4 },
+            ArraySpec {
+                name: "data",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Product("N", "M"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "mean",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Param("M"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "stddev",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Param("M"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "corr",
+                direction: TransferDirection::FromDevice,
+                extent: Extent::Product("M", "M"),
+                element_size: 4,
+            },
         ],
         collapsible: true,
     }
@@ -72,12 +98,28 @@ void covariance_mean(float *data, float *mean) {
         domain: Domain::ProbabilityTheory,
         source: SRC,
         sizes: &[
-            SizeParam { name: "N", sweep: &[1024, 4096, 16384, 65536] },
-            SizeParam { name: "M", sweep: &[32, 64, 128] },
+            SizeParam {
+                name: "N",
+                sweep: &[1024, 4096, 16384, 65536],
+            },
+            SizeParam {
+                name: "M",
+                sweep: &[32, 64, 128],
+            },
         ],
         arrays: &[
-            ArraySpec { name: "data", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "M"), element_size: 4 },
-            ArraySpec { name: "mean", direction: TransferDirection::FromDevice, extent: Extent::Param("M"), element_size: 4 },
+            ArraySpec {
+                name: "data",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Product("N", "M"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "mean",
+                direction: TransferDirection::FromDevice,
+                extent: Extent::Param("M"),
+                element_size: 4,
+            },
         ],
         collapsible: false,
     }
@@ -105,13 +147,34 @@ void covariance(float *data, float *mean, float *cov) {
         domain: Domain::ProbabilityTheory,
         source: SRC,
         sizes: &[
-            SizeParam { name: "N", sweep: &[256, 512, 1024, 2048, 4096] },
-            SizeParam { name: "M", sweep: &[32, 64, 96, 128] },
+            SizeParam {
+                name: "N",
+                sweep: &[256, 512, 1024, 2048, 4096],
+            },
+            SizeParam {
+                name: "M",
+                sweep: &[32, 64, 96, 128],
+            },
         ],
         arrays: &[
-            ArraySpec { name: "data", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "M"), element_size: 4 },
-            ArraySpec { name: "mean", direction: TransferDirection::ToDevice, extent: Extent::Param("M"), element_size: 4 },
-            ArraySpec { name: "cov", direction: TransferDirection::FromDevice, extent: Extent::Product("M", "M"), element_size: 4 },
+            ArraySpec {
+                name: "data",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Product("N", "M"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "mean",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Param("M"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "cov",
+                direction: TransferDirection::FromDevice,
+                extent: Extent::Product("M", "M"),
+                element_size: 4,
+            },
         ],
         collapsible: true,
     }
@@ -138,10 +201,23 @@ void gauss_seidel(float *grid, float *rhs) {
         kernel: "sweep",
         domain: Domain::LinearAlgebra,
         source: SRC,
-        sizes: &[SizeParam { name: "N", sweep: &[256, 512, 1024, 2048, 4096] }],
+        sizes: &[SizeParam {
+            name: "N",
+            sweep: &[256, 512, 1024, 2048, 4096],
+        }],
         arrays: &[
-            ArraySpec { name: "grid", direction: TransferDirection::Both, extent: Extent::Product("N", "N"), element_size: 4 },
-            ArraySpec { name: "rhs", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "N"), element_size: 4 },
+            ArraySpec {
+                name: "grid",
+                direction: TransferDirection::Both,
+                extent: Extent::Product("N", "N"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "rhs",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Product("N", "N"),
+                element_size: 4,
+            },
         ],
         collapsible: true,
     }
@@ -172,13 +248,34 @@ void knn_distances(float *records, float *query, float *distances) {
         domain: Domain::DataMining,
         source: SRC,
         sizes: &[
-            SizeParam { name: "N", sweep: &[4096, 16384, 65536, 262144, 1048576] },
-            SizeParam { name: "F", sweep: &[8, 16, 32, 64] },
+            SizeParam {
+                name: "N",
+                sweep: &[4096, 16384, 65536, 262144, 1048576],
+            },
+            SizeParam {
+                name: "F",
+                sweep: &[8, 16, 32, 64],
+            },
         ],
         arrays: &[
-            ArraySpec { name: "records", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "F"), element_size: 4 },
-            ArraySpec { name: "query", direction: TransferDirection::ToDevice, extent: Extent::Param("F"), element_size: 4 },
-            ArraySpec { name: "distances", direction: TransferDirection::FromDevice, extent: Extent::Param("N"), element_size: 4 },
+            ArraySpec {
+                name: "records",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Product("N", "F"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "query",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Param("F"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "distances",
+                direction: TransferDirection::FromDevice,
+                extent: Extent::Param("N"),
+                element_size: 4,
+            },
         ],
         collapsible: false,
     }
@@ -205,10 +302,23 @@ void laplace_jacobi(float *u, float *unew) {
         kernel: "jacobi",
         domain: Domain::NumericalAnalysis,
         source: SRC,
-        sizes: &[SizeParam { name: "N", sweep: &[256, 512, 1024, 2048, 4096] }],
+        sizes: &[SizeParam {
+            name: "N",
+            sweep: &[256, 512, 1024, 2048, 4096],
+        }],
         arrays: &[
-            ArraySpec { name: "u", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "N"), element_size: 4 },
-            ArraySpec { name: "unew", direction: TransferDirection::FromDevice, extent: Extent::Product("N", "N"), element_size: 4 },
+            ArraySpec {
+                name: "u",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Product("N", "N"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "unew",
+                direction: TransferDirection::FromDevice,
+                extent: Extent::Product("N", "N"),
+                element_size: 4,
+            },
         ],
         collapsible: true,
     }
@@ -234,11 +344,29 @@ void laplace_copy(float *u, float *unew, float *residual) {
         kernel: "copy",
         domain: Domain::NumericalAnalysis,
         source: SRC,
-        sizes: &[SizeParam { name: "T", sweep: &[65536, 262144, 1048576, 4194304, 16777216] }],
+        sizes: &[SizeParam {
+            name: "T",
+            sweep: &[65536, 262144, 1048576, 4194304, 16777216],
+        }],
         arrays: &[
-            ArraySpec { name: "u", direction: TransferDirection::Both, extent: Extent::Param("T"), element_size: 4 },
-            ArraySpec { name: "unew", direction: TransferDirection::ToDevice, extent: Extent::Param("T"), element_size: 4 },
-            ArraySpec { name: "residual", direction: TransferDirection::FromDevice, extent: Extent::Param("T"), element_size: 4 },
+            ArraySpec {
+                name: "u",
+                direction: TransferDirection::Both,
+                extent: Extent::Param("T"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "unew",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Param("T"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "residual",
+                direction: TransferDirection::FromDevice,
+                extent: Extent::Param("T"),
+                element_size: 4,
+            },
         ],
         collapsible: false,
     }
@@ -269,11 +397,29 @@ void matmul(float *a, float *b, float *c) {
         kernel: "matmul",
         domain: Domain::LinearAlgebra,
         source: SRC,
-        sizes: &[SizeParam { name: "N", sweep: &[128, 256, 384, 512, 768, 1024] }],
+        sizes: &[SizeParam {
+            name: "N",
+            sweep: &[128, 256, 384, 512, 768, 1024],
+        }],
         arrays: &[
-            ArraySpec { name: "a", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "N"), element_size: 4 },
-            ArraySpec { name: "b", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "N"), element_size: 4 },
-            ArraySpec { name: "c", direction: TransferDirection::FromDevice, extent: Extent::Product("N", "N"), element_size: 4 },
+            ArraySpec {
+                name: "a",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Product("N", "N"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "b",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Product("N", "N"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "c",
+                direction: TransferDirection::FromDevice,
+                extent: Extent::Product("N", "N"),
+                element_size: 4,
+            },
         ],
         collapsible: true,
     }
@@ -303,13 +449,34 @@ void matvec(float *a, float *x, float *y) {
         domain: Domain::LinearAlgebra,
         source: SRC,
         sizes: &[
-            SizeParam { name: "N", sweep: &[1024, 2048, 4096, 8192, 16384] },
-            SizeParam { name: "M", sweep: &[1024, 2048, 4096] },
+            SizeParam {
+                name: "N",
+                sweep: &[1024, 2048, 4096, 8192, 16384],
+            },
+            SizeParam {
+                name: "M",
+                sweep: &[1024, 2048, 4096],
+            },
         ],
         arrays: &[
-            ArraySpec { name: "a", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "M"), element_size: 4 },
-            ArraySpec { name: "x", direction: TransferDirection::ToDevice, extent: Extent::Param("M"), element_size: 4 },
-            ArraySpec { name: "y", direction: TransferDirection::FromDevice, extent: Extent::Param("N"), element_size: 4 },
+            ArraySpec {
+                name: "a",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Product("N", "M"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "x",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Param("M"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "y",
+                direction: TransferDirection::FromDevice,
+                extent: Extent::Param("N"),
+                element_size: 4,
+            },
         ],
         collapsible: false,
     }
@@ -336,10 +503,23 @@ void transpose(float *in, float *out) {
         kernel: "transpose",
         domain: Domain::LinearAlgebra,
         source: SRC,
-        sizes: &[SizeParam { name: "N", sweep: &[512, 1024, 2048, 4096, 8192] }],
+        sizes: &[SizeParam {
+            name: "N",
+            sweep: &[512, 1024, 2048, 4096, 8192],
+        }],
         arrays: &[
-            ArraySpec { name: "in", direction: TransferDirection::ToDevice, extent: Extent::Product("N", "N"), element_size: 4 },
-            ArraySpec { name: "out", direction: TransferDirection::FromDevice, extent: Extent::Product("N", "N"), element_size: 4 },
+            ArraySpec {
+                name: "in",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Product("N", "N"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "out",
+                direction: TransferDirection::FromDevice,
+                extent: Extent::Product("N", "N"),
+                element_size: 4,
+            },
         ],
         collapsible: true,
     }
@@ -365,8 +545,16 @@ void pf_init_weights(float *weights) {
         kernel: "init_weights",
         domain: Domain::MedicalImaging,
         source: SRC,
-        sizes: &[SizeParam { name: "P", sweep: &[16384, 65536, 262144, 1048576, 4194304] }],
-        arrays: &[ArraySpec { name: "weights", direction: TransferDirection::Both, extent: Extent::Param("P"), element_size: 4 }],
+        sizes: &[SizeParam {
+            name: "P",
+            sweep: &[16384, 65536, 262144, 1048576, 4194304],
+        }],
+        arrays: &[ArraySpec {
+            name: "weights",
+            direction: TransferDirection::Both,
+            extent: Extent::Param("P"),
+            element_size: 4,
+        }],
         collapsible: false,
     }
 }
@@ -395,14 +583,40 @@ void pf_likelihood(float *particles_x, float *particles_y, float *frame, float *
         domain: Domain::MedicalImaging,
         source: SRC,
         sizes: &[
-            SizeParam { name: "P", sweep: &[16384, 65536, 262144, 1048576] },
-            SizeParam { name: "W", sweep: &[16, 32, 64] },
+            SizeParam {
+                name: "P",
+                sweep: &[16384, 65536, 262144, 1048576],
+            },
+            SizeParam {
+                name: "W",
+                sweep: &[16, 32, 64],
+            },
         ],
         arrays: &[
-            ArraySpec { name: "particles_x", direction: TransferDirection::ToDevice, extent: Extent::Param("P"), element_size: 4 },
-            ArraySpec { name: "particles_y", direction: TransferDirection::ToDevice, extent: Extent::Param("P"), element_size: 4 },
-            ArraySpec { name: "frame", direction: TransferDirection::ToDevice, extent: Extent::Product("W", "P"), element_size: 4 },
-            ArraySpec { name: "likelihood", direction: TransferDirection::FromDevice, extent: Extent::Param("P"), element_size: 4 },
+            ArraySpec {
+                name: "particles_x",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Param("P"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "particles_y",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Param("P"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "frame",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Product("W", "P"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "likelihood",
+                direction: TransferDirection::FromDevice,
+                extent: Extent::Param("P"),
+                element_size: 4,
+            },
         ],
         collapsible: false,
     }
@@ -423,10 +637,23 @@ void pf_update_weights(float *weights, float *likelihood) {
         kernel: "update_weights",
         domain: Domain::MedicalImaging,
         source: SRC,
-        sizes: &[SizeParam { name: "P", sweep: &[16384, 65536, 262144, 1048576, 4194304] }],
+        sizes: &[SizeParam {
+            name: "P",
+            sweep: &[16384, 65536, 262144, 1048576, 4194304],
+        }],
         arrays: &[
-            ArraySpec { name: "weights", direction: TransferDirection::Both, extent: Extent::Param("P"), element_size: 4 },
-            ArraySpec { name: "likelihood", direction: TransferDirection::ToDevice, extent: Extent::Param("P"), element_size: 4 },
+            ArraySpec {
+                name: "weights",
+                direction: TransferDirection::Both,
+                extent: Extent::Param("P"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "likelihood",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Param("P"),
+                element_size: 4,
+            },
         ],
         collapsible: false,
     }
@@ -453,12 +680,28 @@ void pf_sum_weights(float *weights, float *partial_sums) {
         domain: Domain::MedicalImaging,
         source: SRC,
         sizes: &[
-            SizeParam { name: "B", sweep: &[256, 1024, 4096] },
-            SizeParam { name: "C", sweep: &[256, 1024, 4096] },
+            SizeParam {
+                name: "B",
+                sweep: &[256, 1024, 4096],
+            },
+            SizeParam {
+                name: "C",
+                sweep: &[256, 1024, 4096],
+            },
         ],
         arrays: &[
-            ArraySpec { name: "weights", direction: TransferDirection::ToDevice, extent: Extent::Product("B", "C"), element_size: 4 },
-            ArraySpec { name: "partial_sums", direction: TransferDirection::FromDevice, extent: Extent::Param("B"), element_size: 4 },
+            ArraySpec {
+                name: "weights",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Product("B", "C"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "partial_sums",
+                direction: TransferDirection::FromDevice,
+                extent: Extent::Param("B"),
+                element_size: 4,
+            },
         ],
         collapsible: false,
     }
@@ -479,10 +722,23 @@ void pf_normalize_weights(float *weights, float *sum) {
         kernel: "normalize_weights",
         domain: Domain::MedicalImaging,
         source: SRC,
-        sizes: &[SizeParam { name: "P", sweep: &[16384, 65536, 262144, 1048576, 4194304] }],
+        sizes: &[SizeParam {
+            name: "P",
+            sweep: &[16384, 65536, 262144, 1048576, 4194304],
+        }],
         arrays: &[
-            ArraySpec { name: "weights", direction: TransferDirection::Both, extent: Extent::Param("P"), element_size: 4 },
-            ArraySpec { name: "sum", direction: TransferDirection::ToDevice, extent: Extent::Fixed(1), element_size: 4 },
+            ArraySpec {
+                name: "weights",
+                direction: TransferDirection::Both,
+                extent: Extent::Param("P"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "sum",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Fixed(1),
+                element_size: 4,
+            },
         ],
         collapsible: false,
     }
@@ -515,11 +771,29 @@ void pf_find_index(float *cdf, float *u, int *indices) {
         kernel: "find_index",
         domain: Domain::MedicalImaging,
         source: SRC,
-        sizes: &[SizeParam { name: "P", sweep: &[1024, 2048, 4096, 8192, 16384] }],
+        sizes: &[SizeParam {
+            name: "P",
+            sweep: &[1024, 2048, 4096, 8192, 16384],
+        }],
         arrays: &[
-            ArraySpec { name: "cdf", direction: TransferDirection::ToDevice, extent: Extent::Param("P"), element_size: 4 },
-            ArraySpec { name: "u", direction: TransferDirection::ToDevice, extent: Extent::Param("P"), element_size: 4 },
-            ArraySpec { name: "indices", direction: TransferDirection::FromDevice, extent: Extent::Param("P"), element_size: 4 },
+            ArraySpec {
+                name: "cdf",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Param("P"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "u",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Param("P"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "indices",
+                direction: TransferDirection::FromDevice,
+                extent: Extent::Param("P"),
+                element_size: 4,
+            },
         ],
         collapsible: false,
     }
@@ -543,13 +817,41 @@ void pf_move_particles(float *particles_x, float *particles_y, int *indices, flo
         kernel: "move_particles",
         domain: Domain::MedicalImaging,
         source: SRC,
-        sizes: &[SizeParam { name: "P", sweep: &[16384, 65536, 262144, 1048576, 4194304] }],
+        sizes: &[SizeParam {
+            name: "P",
+            sweep: &[16384, 65536, 262144, 1048576, 4194304],
+        }],
         arrays: &[
-            ArraySpec { name: "particles_x", direction: TransferDirection::Both, extent: Extent::Param("P"), element_size: 4 },
-            ArraySpec { name: "particles_y", direction: TransferDirection::Both, extent: Extent::Param("P"), element_size: 4 },
-            ArraySpec { name: "indices", direction: TransferDirection::ToDevice, extent: Extent::Param("P"), element_size: 4 },
-            ArraySpec { name: "noise_x", direction: TransferDirection::ToDevice, extent: Extent::Param("P"), element_size: 4 },
-            ArraySpec { name: "noise_y", direction: TransferDirection::ToDevice, extent: Extent::Param("P"), element_size: 4 },
+            ArraySpec {
+                name: "particles_x",
+                direction: TransferDirection::Both,
+                extent: Extent::Param("P"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "particles_y",
+                direction: TransferDirection::Both,
+                extent: Extent::Param("P"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "indices",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Param("P"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "noise_x",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Param("P"),
+                element_size: 4,
+            },
+            ArraySpec {
+                name: "noise_y",
+                direction: TransferDirection::ToDevice,
+                extent: Extent::Param("P"),
+                element_size: 4,
+            },
         ],
         collapsible: false,
     }
@@ -620,8 +922,10 @@ mod tests {
             let src_large = kernel.instantiate(&largest, "");
             let ast_small = parse(&src_small).unwrap();
             let ast_large = parse(&src_large).unwrap();
-            let w_small = analysis::estimate_work(&ast_small, ast_small.root(), &Default::default());
-            let w_large = analysis::estimate_work(&ast_large, ast_large.root(), &Default::default());
+            let w_small =
+                analysis::estimate_work(&ast_small, ast_small.root(), &Default::default());
+            let w_large =
+                analysis::estimate_work(&ast_large, ast_large.root(), &Default::default());
             assert!(
                 w_large.arithmetic_ops() + w_large.memory_ops()
                     > w_small.arithmetic_ops() + w_small.memory_ops(),

@@ -194,7 +194,10 @@ mod tests {
         assert!(Platform::CoronaMi50.is_gpu());
         assert!(!Platform::SummitPower9.is_gpu());
         assert!(!Platform::CoronaEpyc7401.is_gpu());
-        assert!(matches!(Platform::SummitV100.spec(), AcceleratorSpec::Gpu(_)));
+        assert!(matches!(
+            Platform::SummitV100.spec(),
+            AcceleratorSpec::Gpu(_)
+        ));
     }
 
     #[test]

@@ -122,7 +122,15 @@ mod tests {
         let mm = find_kernel("MM/matmul").unwrap();
         let mut sizes = HashMap::new();
         sizes.insert("N".to_string(), n);
-        instantiate(&mm, variant, &sizes, LaunchConfig { teams: 80, threads: 128 })
+        instantiate(
+            &mm,
+            variant,
+            &sizes,
+            LaunchConfig {
+                teams: 80,
+                threads: 128,
+            },
+        )
     }
 
     #[test]
@@ -168,7 +176,10 @@ mod tests {
             &copy_kernel,
             Variant::Gpu,
             &sizes,
-            LaunchConfig { teams: 80, threads: 128 },
+            LaunchConfig {
+                teams: 80,
+                threads: 128,
+            },
         );
         let copy_cost = analyze_instance(&copy).unwrap();
         assert!(mm.arithmetic_intensity > 3.0 * copy_cost.arithmetic_intensity);
@@ -176,7 +187,8 @@ mod tests {
 
     #[test]
     fn serial_source_still_analyzes() {
-        let ast = parse("void f(float *a) { for (int i = 0; i < 100; i++) { a[i] = 1.0; } }").unwrap();
+        let ast =
+            parse("void f(float *a) { for (int i = 0; i < 100; i++) { a[i] = 1.0; } }").unwrap();
         let cost = analyze_ast(&ast, 0.0, 0.0);
         assert_eq!(cost.parallel_iterations, 100.0);
         assert!(cost.bytes_accessed > 0.0);

@@ -83,7 +83,10 @@ mod tests {
             &mm,
             Variant::GpuMem,
             &mm.default_sizes(),
-            LaunchConfig { teams: 80, threads: 128 },
+            LaunchConfig {
+                teams: 80,
+                threads: 128,
+            },
         );
         let noise = NoiseModel::default();
         let a = measure(&inst, Platform::SummitV100, &noise).unwrap();
@@ -100,7 +103,10 @@ mod tests {
             &mm,
             Variant::Gpu,
             &mm.default_sizes(),
-            LaunchConfig { teams: 80, threads: 128 },
+            LaunchConfig {
+                teams: 80,
+                threads: 128,
+            },
         );
         let noise = NoiseModel::disabled();
         let v100 = measure(&inst, Platform::SummitV100, &noise).unwrap();
@@ -115,7 +121,10 @@ mod tests {
             &mm,
             Variant::Cpu,
             &mm.default_sizes(),
-            LaunchConfig { teams: 1, threads: 4 },
+            LaunchConfig {
+                teams: 1,
+                threads: 4,
+            },
         );
         inst.source = "this is not C".to_string();
         assert!(measure(&inst, Platform::SummitPower9, &NoiseModel::default()).is_err());

@@ -69,8 +69,8 @@ pub fn predict_cpu(cost: &KernelCost, launch: LaunchConfig, spec: &CpuSpec) -> R
     let imbalance = (chunks * threads) / cost.parallel_iterations.max(1.0);
     let effective_speedup = (speedup / imbalance.max(1.0)).max(1.0);
 
-    let compute_s = cost.work.flops.max(cost.work.int_ops * 0.5)
-        / (spec.flops_per_core * effective_speedup);
+    let compute_s =
+        cost.work.flops.max(cost.work.int_ops * 0.5) / (spec.flops_per_core * effective_speedup);
 
     // Memory bandwidth saturates well before all cores are in use.
     let bw_fraction = 0.35 + 0.65 * (physical / cores).min(1.0);
@@ -78,8 +78,7 @@ pub fn predict_cpu(cost: &KernelCost, launch: LaunchConfig, spec: &CpuSpec) -> R
     let memory_s = dram_bytes / (spec.mem_bandwidth * bw_fraction);
 
     // Fork/join plus per-thread management overhead.
-    let overhead_s =
-        (spec.fork_join_overhead_us + spec.per_thread_overhead_us * threads) * 1e-6;
+    let overhead_s = (spec.fork_join_overhead_us + spec.per_thread_overhead_us * threads) * 1e-6;
 
     // Loop bookkeeping that does not parallelise (compares + increments of
     // the sequential fraction).
@@ -112,8 +111,8 @@ pub fn predict_gpu(cost: &KernelCost, launch: LaunchConfig, spec: &GpuSpec) -> R
     let compute_utilisation = (0.02 + 0.98 * occupancy.powf(0.75)).min(1.0);
     let memory_utilisation = (0.05 + 0.95 * occupancy.powf(0.5)).min(1.0);
 
-    let compute_s = cost.work.flops.max(cost.work.int_ops * 0.25)
-        / (spec.peak_flops * compute_utilisation);
+    let compute_s =
+        cost.work.flops.max(cost.work.int_ops * 0.25) / (spec.peak_flops * compute_utilisation);
 
     // GPU caches are small relative to the working sets: streaming kernels
     // send most accesses to DRAM, while deep loop nests (matmul-like kernels)
@@ -175,8 +174,14 @@ mod tests {
 
     #[test]
     fn more_cpu_threads_reduce_runtime() {
-        let launch1 = LaunchConfig { teams: 1, threads: 1 };
-        let launch16 = LaunchConfig { teams: 1, threads: 16 };
+        let launch1 = LaunchConfig {
+            teams: 1,
+            threads: 1,
+        };
+        let launch16 = LaunchConfig {
+            teams: 1,
+            threads: 16,
+        };
         let (cost, _) = mm_cost(Variant::Cpu, 512, launch1);
         let spec = match Platform::SummitPower9.spec() {
             AcceleratorSpec::Cpu(c) => c,
@@ -184,13 +189,22 @@ mod tests {
         };
         let t1 = predict_cpu(&cost, launch1, &spec).total_ms();
         let t16 = predict_cpu(&cost, launch16, &spec).total_ms();
-        assert!(t16 < t1 / 4.0, "16 threads ({t16} ms) must be much faster than 1 ({t1} ms)");
+        assert!(
+            t16 < t1 / 4.0,
+            "16 threads ({t16} ms) must be much faster than 1 ({t1} ms)"
+        );
     }
 
     #[test]
     fn gpu_beats_cpu_on_large_matmul() {
-        let gpu_launch = LaunchConfig { teams: 160, threads: 256 };
-        let cpu_launch = LaunchConfig { teams: 1, threads: 22 };
+        let gpu_launch = LaunchConfig {
+            teams: 160,
+            threads: 256,
+        };
+        let cpu_launch = LaunchConfig {
+            teams: 1,
+            threads: 22,
+        };
         let (cost_gpu, _) = mm_cost(Variant::GpuCollapse, 1024, gpu_launch);
         let (cost_cpu, _) = mm_cost(Variant::Cpu, 1024, cpu_launch);
         let t_gpu = predict(&cost_gpu, gpu_launch, Platform::SummitV100).total_ms();
@@ -203,7 +217,10 @@ mod tests {
 
     #[test]
     fn transfer_overhead_hurts_small_kernels_more() {
-        let launch = LaunchConfig { teams: 80, threads: 128 };
+        let launch = LaunchConfig {
+            teams: 80,
+            threads: 128,
+        };
         let (small_no_mem, _) = mm_cost(Variant::Gpu, 128, launch);
         let (small_mem, _) = mm_cost(Variant::GpuMem, 128, launch);
         let (large_no_mem, _) = mm_cost(Variant::Gpu, 1024, launch);
@@ -214,7 +231,10 @@ mod tests {
         let t_large_mem = predict(&large_mem, launch, Platform::CoronaMi50).total_ms();
         let small_penalty = t_small_mem / t_small_no;
         let large_penalty = t_large_mem / t_large_no;
-        assert!(small_penalty > large_penalty, "relative transfer penalty must shrink with kernel size");
+        assert!(
+            small_penalty > large_penalty,
+            "relative transfer penalty must shrink with kernel size"
+        );
         assert!(t_small_mem > t_small_no, "transfers must add time");
     }
 
@@ -226,12 +246,24 @@ mod tests {
         let mut sizes = HashMap::new();
         sizes.insert("N".to_string(), 4096i64);
         sizes.insert("M".to_string(), 32i64);
-        let launch = LaunchConfig { teams: 80, threads: 128 };
+        let launch = LaunchConfig {
+            teams: 80,
+            threads: 128,
+        };
         let flat = instantiate(&corr, Variant::Gpu, &sizes, launch);
         let collapsed = instantiate(&corr, Variant::GpuCollapse, &sizes, launch);
-        let t_flat = predict(&analyze_instance(&flat).unwrap(), launch, Platform::SummitV100).total_ms();
-        let t_collapsed =
-            predict(&analyze_instance(&collapsed).unwrap(), launch, Platform::SummitV100).total_ms();
+        let t_flat = predict(
+            &analyze_instance(&flat).unwrap(),
+            launch,
+            Platform::SummitV100,
+        )
+        .total_ms();
+        let t_collapsed = predict(
+            &analyze_instance(&collapsed).unwrap(),
+            launch,
+            Platform::SummitV100,
+        )
+        .total_ms();
         assert!(
             t_collapsed < t_flat,
             "collapse ({t_collapsed} ms) must beat the flat variant ({t_flat} ms) for a narrow outer loop"
@@ -244,21 +276,41 @@ mod tests {
         let pf = find_kernel("ParticleFilter/init_weights").unwrap();
         let mut sizes = HashMap::new();
         sizes.insert("P".to_string(), 16384i64);
-        let launch = LaunchConfig { teams: 40, threads: 64 };
+        let launch = LaunchConfig {
+            teams: 40,
+            threads: 64,
+        };
         let inst = instantiate(&pf, Variant::Gpu, &sizes, launch);
-        let t = predict(&analyze_instance(&inst).unwrap(), launch, Platform::SummitV100);
-        assert!(t.total_ms() >= 0.018, "runtime {t:?} must include launch latency");
+        let t = predict(
+            &analyze_instance(&inst).unwrap(),
+            launch,
+            Platform::SummitV100,
+        );
+        assert!(
+            t.total_ms() >= 0.018,
+            "runtime {t:?} must include launch latency"
+        );
     }
 
     #[test]
     fn runtime_grows_with_problem_size_on_every_platform() {
         for platform in Platform::ALL {
             let launch = if platform.is_gpu() {
-                LaunchConfig { teams: 80, threads: 128 }
+                LaunchConfig {
+                    teams: 80,
+                    threads: 128,
+                }
             } else {
-                LaunchConfig { teams: 1, threads: 16 }
+                LaunchConfig {
+                    teams: 1,
+                    threads: 16,
+                }
             };
-            let variant = if platform.is_gpu() { Variant::Gpu } else { Variant::Cpu };
+            let variant = if platform.is_gpu() {
+                Variant::Gpu
+            } else {
+                Variant::Cpu
+            };
             let (small, _) = mm_cost(variant, 128, launch);
             let (large, _) = mm_cost(variant, 768, launch);
             let t_small = predict(&small, launch, platform).total_ms();

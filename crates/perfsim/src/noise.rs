@@ -23,14 +23,20 @@ pub struct NoiseModel {
 
 impl Default for NoiseModel {
     fn default() -> Self {
-        Self { sigma: 0.04, seed: 0x5eed_cafe }
+        Self {
+            sigma: 0.04,
+            seed: 0x5eed_cafe,
+        }
     }
 }
 
 impl NoiseModel {
     /// A noise-free model (useful in tests).
     pub fn disabled() -> Self {
-        Self { sigma: 0.0, seed: 0 }
+        Self {
+            sigma: 0.0,
+            seed: 0,
+        }
     }
 
     /// Sample the multiplicative noise factor for a measurement identified by
@@ -64,14 +70,23 @@ mod tests {
     #[test]
     fn noise_is_deterministic_per_key() {
         let noise = NoiseModel::default();
-        assert_eq!(noise.factor("MM/matmul cpu N=512"), noise.factor("MM/matmul cpu N=512"));
+        assert_eq!(
+            noise.factor("MM/matmul cpu N=512"),
+            noise.factor("MM/matmul cpu N=512")
+        );
         assert_ne!(noise.factor("key-a"), noise.factor("key-b"));
     }
 
     #[test]
     fn different_seeds_give_different_streams() {
-        let a = NoiseModel { sigma: 0.05, seed: 1 };
-        let b = NoiseModel { sigma: 0.05, seed: 2 };
+        let a = NoiseModel {
+            sigma: 0.05,
+            seed: 1,
+        };
+        let b = NoiseModel {
+            sigma: 0.05,
+            seed: 2,
+        };
         assert_ne!(a.factor("same-key"), b.factor("same-key"));
     }
 
@@ -84,18 +99,29 @@ mod tests {
 
     #[test]
     fn noise_magnitude_is_bounded() {
-        let noise = NoiseModel { sigma: 0.04, seed: 99 };
+        let noise = NoiseModel {
+            sigma: 0.04,
+            seed: 99,
+        };
         for i in 0..500 {
             let f = noise.factor(&format!("key-{i}"));
-            assert!(f > 0.75 && f < 1.3, "noise factor {f} outside plausible range");
+            assert!(
+                f > 0.75 && f < 1.3,
+                "noise factor {f} outside plausible range"
+            );
         }
     }
 
     #[test]
     fn mean_noise_is_close_to_one() {
-        let noise = NoiseModel { sigma: 0.04, seed: 7 };
-        let mean: f64 =
-            (0..2000).map(|i| noise.factor(&format!("k{i}"))).sum::<f64>() / 2000.0;
+        let noise = NoiseModel {
+            sigma: 0.04,
+            seed: 7,
+        };
+        let mean: f64 = (0..2000)
+            .map(|i| noise.factor(&format!("k{i}")))
+            .sum::<f64>()
+            / 2000.0;
         assert!((mean - 1.0).abs() < 0.02, "mean factor {mean}");
     }
 }

@@ -1,0 +1,167 @@
+//! In-repo stand-in for `criterion`: a small wall-clock micro-benchmark
+//! harness with the `criterion_group!` / `criterion_main!` /
+//! `Criterion::bench_function` API shape the workspace's benches use.
+//!
+//! Each benchmark runs a short warm-up, then `sample_size` timed samples of
+//! an adaptively chosen iteration batch, and reports min / median / mean
+//! per-iteration times to stdout.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from eliding a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver. One instance is threaded through every target of a
+/// `criterion_group!`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters_per_sample: 0,
+            samples: Vec::new(),
+        };
+
+        // Calibration: find an iteration batch that takes ~2 ms, so timer
+        // resolution is irrelevant but samples stay quick.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            bencher.iters_per_sample = iters;
+            bencher.samples.clear();
+            routine(&mut bencher);
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+
+        // Measurement.
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            routine(&mut bencher);
+        }
+
+        let mut per_iter: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / bencher.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = per_iter.first().copied().unwrap_or(0.0);
+        let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(0.0);
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+        println!(
+            "bench {name:<40} min {:>12}  median {:>12}  mean {:>12}  ({} samples x {} iters)",
+            format_time(min),
+            format_time(median),
+            format_time(mean),
+            per_iter.len(),
+            bencher.iters_per_sample,
+        );
+        self
+    }
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `iters_per_sample` iterations of `f` as one sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Group benchmark targets under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(2.0), "2.000 s");
+        assert_eq!(format_time(2.5e-3), "2.500 ms");
+        assert_eq!(format_time(2.5e-6), "2.500 us");
+        assert_eq!(format_time(5e-9), "5.0 ns");
+    }
+}

@@ -1,0 +1,36 @@
+//! Distribution sampling (`Uniform`).
+
+use crate::Rng;
+
+/// Types that can produce samples of `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over `[low, high)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<X> {
+    low: X,
+    high: X,
+}
+
+impl<X: Copy + PartialOrd> Uniform<X> {
+    /// Create a uniform distribution over `[low, high)`.
+    pub fn new(low: X, high: X) -> Self {
+        assert!(low < high, "Uniform::new called with an empty range");
+        Uniform { low, high }
+    }
+}
+
+impl Distribution<f64> for Uniform<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.low + rng.next_f64() * (self.high - self.low)
+    }
+}
+
+impl Distribution<f32> for Uniform<f32> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        self.low + (rng.next_f64() as f32) * (self.high - self.low)
+    }
+}

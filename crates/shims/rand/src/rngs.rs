@@ -1,0 +1,42 @@
+//! Concrete generators.
+
+use crate::{Rng, SeedableRng};
+
+/// xoshiro256** generator, seeded through SplitMix64. Stands in for rand's
+/// `StdRng`: fast, high-quality and fully deterministic per seed.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed, as recommended by the xoshiro
+        // authors, so nearby seeds produce unrelated streams.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let state = [next(), next(), next(), next()];
+        StdRng { state }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let [ref mut s0, ref mut s1, ref mut s2, ref mut s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = *s1 << 17;
+        *s2 ^= *s0;
+        *s3 ^= *s1;
+        *s1 ^= *s2;
+        *s0 ^= *s3;
+        *s2 ^= t;
+        *s3 = s3.rotate_left(45);
+        result
+    }
+}

@@ -1,0 +1,352 @@
+//! In-repo stand-in for `rayon`, covering the patterns the ParaGraph
+//! workspace uses:
+//!
+//! * `collection.par_iter().map(f).collect::<Vec<_>>()`
+//! * `collection.par_iter().filter_map(f).collect::<Vec<_>>()`
+//! * `data.par_chunks_mut(n).zip(other.par_chunks(k)).for_each(f)`
+//!
+//! Unlike a sequential mock, this shim really fans work out across
+//! `std::thread::scope` threads (one contiguous chunk per worker, results
+//! stitched back in input order, so everything stays deterministic). A
+//! thread-local re-entrancy guard makes nested parallel regions run
+//! sequentially instead of spawning threads quadratically — rayon gets the
+//! same effect from its fixed-size pool.
+
+use std::cell::Cell;
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelRefIterator, ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of worker threads for `n_items` of work. Scoped threads are
+/// spawned per call (there is no persistent pool), so small batches run
+/// sequentially — below the threshold, thread create/join would dominate
+/// the work itself.
+fn worker_count(n_items: usize) -> usize {
+    const MIN_ITEMS_TO_SPAWN: usize = 8;
+    const MIN_ITEMS_PER_WORKER: usize = 4;
+    if n_items < MIN_ITEMS_TO_SPAWN || IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(n_items / MIN_ITEMS_PER_WORKER).clamp(1, 16)
+}
+
+/// Run `f` over every index chunk of `0..n_items` on worker threads and
+/// return the per-chunk outputs in chunk order.
+fn run_chunked<R, F>(n_items: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    run_chunked_on(worker_count(n_items), n_items, f)
+}
+
+/// [`run_chunked`] with an explicit worker count (separated so chunk-bound
+/// arithmetic is testable independently of the host's core count).
+fn run_chunked_on<R, F>(workers: usize, n_items: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    if workers <= 1 {
+        if n_items == 0 {
+            return Vec::new();
+        }
+        return vec![f(0..n_items)];
+    }
+    let chunk = n_items.div_ceil(workers);
+    std::thread::scope(|scope| {
+        // Clamp both bounds: with chunk = ceil(n/workers), trailing workers
+        // can start past the end (e.g. 10 items on 8 workers), so they get
+        // an empty clamped range instead of an out-of-bounds slice.
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = (w * chunk).min(n_items);
+                let hi = ((w + 1) * chunk).min(n_items);
+                let f = &f;
+                scope.spawn(move || {
+                    IN_WORKER.with(|flag| flag.set(true));
+                    f(lo..hi)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// par_iter
+// ---------------------------------------------------------------------------
+
+/// `&self` parallel iteration, mirroring rayon's trait of the same name.
+pub trait IntoParallelRefIterator<T> {
+    /// A parallel iterator over shared references.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> IntoParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Sync> IntoParallelRefIterator<T> for Vec<T> {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over `&T` items.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map every item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Map every item through `f`, keeping the `Some` results, in parallel.
+    pub fn filter_map<R, F>(self, f: F) -> ParFilterMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> Option<R> + Sync,
+    {
+        ParFilterMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Collections a parallel pipeline can collect into.
+pub trait FromParallelVec<R> {
+    /// Build the collection from the in-order result vector.
+    fn from_parallel_vec(items: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelVec<R> for Vec<R> {
+    fn from_parallel_vec(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+/// Pending parallel `map`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Execute the map and collect results in input order.
+    pub fn collect<C: FromParallelVec<R>>(self) -> C {
+        let ParMap { items, f } = self;
+        let per_chunk = run_chunked(items.len(), |range| {
+            items[range].iter().map(&f).collect::<Vec<R>>()
+        });
+        C::from_parallel_vec(per_chunk.into_iter().flatten().collect())
+    }
+}
+
+/// Pending parallel `filter_map`.
+pub struct ParFilterMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParFilterMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> Option<R> + Sync,
+{
+    /// Execute the filter-map and collect results in input order.
+    pub fn collect<C: FromParallelVec<R>>(self) -> C {
+        let ParFilterMap { items, f } = self;
+        let per_chunk = run_chunked(items.len(), |range| {
+            items[range].iter().filter_map(&f).collect::<Vec<R>>()
+        });
+        C::from_parallel_vec(per_chunk.into_iter().flatten().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// par_chunks / par_chunks_mut
+// ---------------------------------------------------------------------------
+
+/// Parallel chunked views of shared slices.
+pub trait ParallelSlice<T> {
+    /// Split into `size`-element chunks for parallel consumption.
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        ParChunks {
+            chunks: self.chunks(size.max(1)).collect(),
+        }
+    }
+}
+
+/// Parallel chunked views of mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Split into `size`-element mutable chunks for parallel consumption.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut {
+            chunks: self.chunks_mut(size.max(1)).collect(),
+        }
+    }
+}
+
+/// Chunks of a shared slice.
+pub struct ParChunks<'a, T> {
+    chunks: Vec<&'a [T]>,
+}
+
+/// Chunks of a mutable slice.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send + Sync> ParChunksMut<'a, T> {
+    /// Pair mutable chunks with the chunks of another slice.
+    pub fn zip<'b, U: Sync>(self, other: ParChunks<'b, U>) -> ParZipChunks<'a, 'b, T, U> {
+        ParZipChunks {
+            pairs: self.chunks.into_iter().zip(other.chunks).collect(),
+        }
+    }
+}
+
+/// Zipped (mutable chunk, shared chunk) pairs.
+pub struct ParZipChunks<'a, 'b, T, U> {
+    pairs: Vec<(&'a mut [T], &'b [U])>,
+}
+
+impl<'a, 'b, T: Send + Sync, U: Sync> ParZipChunks<'a, 'b, T, U> {
+    /// Apply `f` to every pair, fanning the pairs out across workers.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((&mut [T], &[U])) + Sync,
+    {
+        let mut pairs = self.pairs;
+        let workers = worker_count(pairs.len());
+        if workers <= 1 {
+            for (a, b) in pairs {
+                f((a, b));
+            }
+            return;
+        }
+        let chunk = pairs.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let f = &f;
+            while !pairs.is_empty() {
+                let batch: Vec<_> = pairs.drain(..chunk.min(pairs.len())).collect();
+                scope.spawn(move || {
+                    IN_WORKER.with(|flag| flag.set(true));
+                    for (a, b) in batch {
+                        f((a, b));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let input: Vec<usize> = (0..10_000).collect();
+        let out: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_filter_map_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = input
+            .par_iter()
+            .filter_map(|&x| (x % 3 == 0).then_some(x))
+            .collect();
+        assert_eq!(out, (0..1000).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zipped_chunks_see_matched_pairs() {
+        let mut out = vec![0i64; 64];
+        let src: Vec<i64> = (0..32).collect();
+        out.par_chunks_mut(4)
+            .zip(src.par_chunks(2))
+            .for_each(|(o, s)| {
+                for v in o.iter_mut() {
+                    *v = s.iter().sum();
+                }
+            });
+        assert_eq!(out[0], 1);
+        assert_eq!(out[4], 2 + 3);
+        assert_eq!(out[60], 30 + 31);
+    }
+
+    #[test]
+    fn chunk_bounds_hold_when_workers_exceed_even_splits() {
+        // 10 items on 8 workers: ceil(10/8)=2 per chunk, so workers 5..8
+        // start at or past the end — their ranges must clamp, not panic.
+        for (workers, n_items) in [(8, 10), (4, 5), (16, 3), (3, 7), (7, 49)] {
+            let items: Vec<usize> = (0..n_items).collect();
+            let out: Vec<usize> = crate::run_chunked_on(workers, n_items, |range| {
+                items[range].iter().map(|&x| x * 2).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+            assert_eq!(
+                out,
+                (0..n_items).map(|x| x * 2).collect::<Vec<_>>(),
+                "workers={workers} n_items={n_items}"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_explode() {
+        let input: Vec<usize> = (0..64).collect();
+        let out: Vec<usize> = input
+            .par_iter()
+            .map(|&x| {
+                let inner: Vec<usize> = input.par_iter().map(|&y| x + y).collect();
+                inner.len()
+            })
+            .collect();
+        assert!(out.iter().all(|&n| n == 64));
+    }
+}

@@ -1,0 +1,420 @@
+//! Derive macros for the in-repo serde shim.
+//!
+//! Implemented without `syn`/`quote` (the build environment has no crates.io
+//! access): a small hand-rolled parser walks the `proc_macro::TokenStream` of
+//! the item, extracts the shape (named-field struct, tuple struct, or enum
+//! with unit/tuple/struct variants), and the generated impl is assembled as a
+//! source string and re-parsed into a token stream.
+//!
+//! Supported surface: non-generic structs and enums, no `#[serde(...)]`
+//! attributes. Enums use serde's externally-tagged representation
+//! (`"Variant"`, `{"Variant": payload}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<VariantShape>,
+    },
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types ({name})");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]` attribute (doc comments arrive in this form too).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2;
+            }
+            // `pub`, optionally followed by `(crate)` / `(super)` / ...
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` named fields, tracking `<...>` depth so commas
+/// inside generic arguments do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Expect `:`, then consume the type until a top-level `,`.
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        let mut angle_depth = 0usize;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant payload.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma does not add a field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<VariantShape> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let vname = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                VariantShape::Tuple(vname, arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantShape::Struct(vname, fields)
+            }
+            _ => VariantShape::Unit(vname),
+        };
+        variants.push(shape);
+        // Skip an optional explicit discriminant, then the separating comma.
+        while let Some(tok) = tokens.get(i) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "pairs.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut pairs: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(pairs)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v {
+                    VariantShape::Unit(vn) => format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    ),
+                    VariantShape::Tuple(vn, 1) => format!(
+                        "{name}::{vn}(x0) => ::serde::variant_value(\"{vn}\", ::serde::Serialize::to_value(x0)),\n"
+                    ),
+                    VariantShape::Tuple(vn, arity) => {
+                        let binders = (0..*arity)
+                            .map(|i| format!("x{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let items = (0..*arity)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "{name}::{vn}({binders}) => ::serde::variant_value(\"{vn}\", ::serde::Value::Array(vec![{items}])),\n"
+                        )
+                    }
+                    VariantShape::Struct(vn, fields) => {
+                        let binders = fields.join(", ");
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "pairs.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {binders} }} => {{\n\
+                                 let mut pairs: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::variant_value(\"{vn}\", ::serde::Value::Object(pairs))\n\
+                             }}\n"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(value, \"{f}\")?,\n"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let inits = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let items = ::serde::as_array(value, {arity})?;\n\
+                         ::std::result::Result::Ok({name}({inits}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn from_value(_value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    VariantShape::Unit(vn) => Some(format!(
+                        "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    _ => None,
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    VariantShape::Unit(_) => None,
+                    VariantShape::Tuple(vn, 1) => Some(format!(
+                        "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    VariantShape::Tuple(vn, arity) => {
+                        let inits = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        Some(format!(
+                            "\"{vn}\" => {{\n\
+                                 let items = ::serde::as_array(payload, {arity})?;\n\
+                                 return ::std::result::Result::Ok({name}::{vn}({inits}));\n\
+                             }}\n"
+                        ))
+                    }
+                    VariantShape::Struct(vn, fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(payload, \"{f}\")?,\n"))
+                            .collect();
+                        Some(format!(
+                            "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn} {{\n{inits}}}),\n"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::serde::Value::Str(tag) = value {{\n\
+                             match tag.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+                         }}\n\
+                         if let ::serde::Value::Object(pairs) = value {{\n\
+                             if pairs.len() == 1 {{\n\
+                                 let (tag, payload) = &pairs[0];\n\
+                                 let _ = payload;\n\
+                                 match tag.as_str() {{\n{data_arms}_ => {{}}\n}}\n\
+                             }}\n\
+                         }}\n\
+                         ::std::result::Result::Err(::serde::Error::msg(concat!(\"invalid \", stringify!({name}), \" value\")))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -85,15 +85,28 @@ impl Adam {
     /// Panics if `param` and `grad` shapes differ, or if `begin_step` has not
     /// been called yet.
     pub fn step(&mut self, key: usize, param: &mut Matrix, grad: &Matrix) {
-        assert!(self.t > 0, "Adam::begin_step must be called before Adam::step");
-        assert_eq!(param.shape(), grad.shape(), "parameter/gradient shape mismatch");
+        assert!(
+            self.t > 0,
+            "Adam::begin_step must be called before Adam::step"
+        );
+        assert_eq!(
+            param.shape(),
+            grad.shape(),
+            "parameter/gradient shape mismatch"
+        );
         let cfg = self.config;
 
-        let (m, v) = self
-            .moments
-            .entry(key)
-            .or_insert_with(|| (Matrix::zeros(param.rows(), param.cols()), Matrix::zeros(param.rows(), param.cols())));
-        assert_eq!(m.shape(), param.shape(), "parameter {key} changed shape between steps");
+        let (m, v) = self.moments.entry(key).or_insert_with(|| {
+            (
+                Matrix::zeros(param.rows(), param.cols()),
+                Matrix::zeros(param.rows(), param.cols()),
+            )
+        });
+        assert_eq!(
+            m.shape(),
+            param.shape(),
+            "parameter {key} changed shape between steps"
+        );
 
         // Optional gradient clipping by global norm of this parameter.
         let mut grad_scale = 1.0_f32;
@@ -203,6 +216,9 @@ mod tests {
         }
         assert!(a.get(0, 0) < 0.0);
         assert!(b.get(0, 0) > 0.0);
-        assert!((a.get(0, 0) + b.get(0, 0)).abs() < 1e-5, "symmetric problems should move symmetrically");
+        assert!(
+            (a.get(0, 0) + b.get(0, 0)).abs() < 1e-5,
+            "symmetric problems should move symmetrically"
+        );
     }
 }

@@ -57,10 +57,7 @@ enum Op {
     /// multiplicative priors: `alpha_i = w_i e^{l_i} / sum_seg w_j e^{l_j}`.
     /// The priors are constants, so only the logit handle and the segment
     /// map are needed for the backward pass.
-    SegmentSoftmax {
-        logits: usize,
-        segments: Vec<usize>,
-    },
+    SegmentSoftmax { logits: usize, segments: Vec<usize> },
     /// Multiply row `i` of A by scalar `s[i]` (`s` is `rows x 1`).
     MulColBroadcast(usize, usize),
     /// Column-wise mean producing a `1 x cols` row vector.
@@ -162,7 +159,9 @@ impl Tape {
 
     /// Add a `1 x cols` bias row to every row of `a`.
     pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
-        let value = self.nodes[a.0].value.add_row_broadcast(&self.nodes[bias.0].value);
+        let value = self.nodes[a.0]
+            .value
+            .add_row_broadcast(&self.nodes[bias.0].value);
         self.push(value, Op::AddRowBroadcast(a.0, bias.0))
     }
 
@@ -180,7 +179,9 @@ impl Tape {
 
     /// Leaky ReLU activation.
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        let value = self.nodes[a.0].value.map(|v| if v > 0.0 { v } else { slope * v });
+        let value = self.nodes[a.0]
+            .value
+            .map(|v| if v > 0.0 { v } else { slope * v });
         self.push(value, Op::LeakyRelu(a.0, slope))
     }
 
@@ -224,7 +225,11 @@ impl Tape {
     pub fn segment_softmax(&mut self, logits: Var, segments: &[usize], priors: &[f32]) -> Var {
         let l = &self.nodes[logits.0].value;
         assert_eq!(l.cols(), 1, "segment_softmax expects an E x 1 logit column");
-        assert_eq!(l.rows(), segments.len(), "one segment id per logit required");
+        assert_eq!(
+            l.rows(),
+            segments.len(),
+            "one segment id per logit required"
+        );
         assert_eq!(l.rows(), priors.len(), "one prior per logit required");
         let value = segment_softmax_forward(l, segments, priors);
         self.push(
@@ -239,7 +244,9 @@ impl Tape {
     /// Multiply each row of `a` by the corresponding entry of the column
     /// vector `s`.
     pub fn mul_col_broadcast(&mut self, a: Var, s: Var) -> Var {
-        let value = self.nodes[a.0].value.mul_col_broadcast(&self.nodes[s.0].value);
+        let value = self.nodes[a.0]
+            .value
+            .mul_col_broadcast(&self.nodes[s.0].value);
         self.push(value, Op::MulColBroadcast(a.0, s.0))
     }
 
@@ -342,7 +349,9 @@ impl Tape {
                     self.accumulate(a, &grad_out.hadamard(&mask));
                 }
                 Op::LeakyRelu(a, slope) => {
-                    let mask = self.nodes[a].value.map(|v| if v > 0.0 { 1.0 } else { slope });
+                    let mask = self.nodes[a]
+                        .value
+                        .map(|v| if v > 0.0 { 1.0 } else { slope });
                     self.accumulate(a, &grad_out.hadamard(&mask));
                 }
                 Op::Tanh(a) => {
@@ -382,9 +391,8 @@ impl Tape {
                     let e = alpha.rows();
                     let mut seg_dot: std::collections::HashMap<usize, f32> =
                         std::collections::HashMap::new();
-                    for k in 0..e {
-                        *seg_dot.entry(segments[k]).or_insert(0.0) +=
-                            grad_out.get(k, 0) * alpha.get(k, 0);
+                    for (k, &seg) in segments.iter().enumerate().take(e) {
+                        *seg_dot.entry(seg).or_insert(0.0) += grad_out.get(k, 0) * alpha.get(k, 0);
                     }
                     let mut dl = Matrix::zeros(e, 1);
                     for k in 0..e {
@@ -413,7 +421,8 @@ impl Tape {
                 Op::MeanRows(a) => {
                     let rows = self.nodes[a].value.rows().max(1);
                     let scale = 1.0 / rows as f32;
-                    let mut da = Matrix::zeros(self.nodes[a].value.rows(), self.nodes[a].value.cols());
+                    let mut da =
+                        Matrix::zeros(self.nodes[a].value.rows(), self.nodes[a].value.cols());
                     for r in 0..da.rows() {
                         for c in 0..da.cols() {
                             da.set(r, c, grad_out.get(0, c) * scale);
@@ -423,11 +432,8 @@ impl Tape {
                 }
                 Op::SumAll(a) => {
                     let g = grad_out.get(0, 0);
-                    let da = Matrix::filled(
-                        self.nodes[a].value.rows(),
-                        self.nodes[a].value.cols(),
-                        g,
-                    );
+                    let da =
+                        Matrix::filled(self.nodes[a].value.rows(), self.nodes[a].value.cols(), g);
                     self.accumulate(a, &da);
                 }
                 Op::MseLoss { pred, target } => {
@@ -455,8 +461,8 @@ fn segment_softmax_forward(logits: &Matrix, segments: &[usize], priors: &[f32]) 
     }
     // Per-segment max for numerical stability.
     let mut seg_max: std::collections::HashMap<usize, f32> = std::collections::HashMap::new();
-    for i in 0..e {
-        let entry = seg_max.entry(segments[i]).or_insert(f32::NEG_INFINITY);
+    for (i, &seg) in segments.iter().enumerate().take(e) {
+        let entry = seg_max.entry(seg).or_insert(f32::NEG_INFINITY);
         *entry = entry.max(logits.get(i, 0));
     }
     let mut seg_sum: std::collections::HashMap<usize, f32> = std::collections::HashMap::new();

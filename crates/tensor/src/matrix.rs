@@ -324,7 +324,10 @@ impl Matrix {
     /// Multiply each row `i` by the scalar `scales[i]` (an n x 1 column vector).
     pub fn mul_col_broadcast(&self, scales: &Matrix) -> Matrix {
         assert_eq!(scales.cols, 1, "scales must be a column vector");
-        assert_eq!(scales.rows, self.rows, "scales height must match matrix height");
+        assert_eq!(
+            scales.rows, self.rows,
+            "scales height must match matrix height"
+        );
         let mut out = self.clone();
         for r in 0..out.rows {
             let s = scales.data[r];
@@ -385,7 +388,10 @@ impl Matrix {
 
     /// Horizontal concatenation `[self | other]`.
     pub fn concat_cols(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "concat_cols requires equal row counts");
+        assert_eq!(
+            self.rows, other.rows,
+            "concat_cols requires equal row counts"
+        );
         let cols = self.cols + other.cols;
         let mut out = Matrix::zeros(self.rows, cols);
         for r in 0..self.rows {
@@ -397,7 +403,10 @@ impl Matrix {
 
     /// Vertical concatenation of `self` on top of `other`.
     pub fn concat_rows(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "concat_rows requires equal column counts");
+        assert_eq!(
+            self.cols, other.cols,
+            "concat_rows requires equal column counts"
+        );
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
@@ -412,7 +421,11 @@ impl Matrix {
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
         for (i, &idx) in indices.iter().enumerate() {
-            assert!(idx < self.rows, "gather_rows index {idx} out of bounds ({} rows)", self.rows);
+            assert!(
+                idx < self.rows,
+                "gather_rows index {idx} out of bounds ({} rows)",
+                self.rows
+            );
             out.row_mut(i).copy_from_slice(self.row(idx));
         }
         out
@@ -424,7 +437,10 @@ impl Matrix {
         assert_eq!(indices.len(), self.rows, "one index per row required");
         let mut out = Matrix::zeros(out_rows, self.cols);
         for (i, &idx) in indices.iter().enumerate() {
-            assert!(idx < out_rows, "scatter index {idx} out of bounds ({out_rows} rows)");
+            assert!(
+                idx < out_rows,
+                "scatter index {idx} out of bounds ({out_rows} rows)"
+            );
             let src = self.row(i);
             let dst = out.row_mut(idx);
             for (d, s) in dst.iter_mut().zip(src.iter()) {

@@ -37,7 +37,11 @@ pub fn normalized_rmse(predicted: &[f32], actual: &[f32]) -> f32 {
 /// Mean relative error: mean of |pred - actual| / range(actual), the per-bin
 /// metric of Figure 4 and the per-application metric of Figure 6.
 pub fn mean_relative_error(predicted: &[f32], actual: &[f32], range: f32) -> f32 {
-    assert_eq!(predicted.len(), actual.len(), "relative error length mismatch");
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "relative error length mismatch"
+    );
     if predicted.is_empty() || range <= f32::EPSILON {
         return 0.0;
     }

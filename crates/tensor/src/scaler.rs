@@ -125,7 +125,10 @@ pub enum TargetTransform {
 impl TargetTransform {
     /// Fit a log-domain transform on raw runtimes (in milliseconds).
     pub fn fit_log1p(runtimes_ms: &[f32]) -> Self {
-        let logs: Vec<f32> = runtimes_ms.iter().map(|&v| (1.0 + v.max(0.0)).ln()).collect();
+        let logs: Vec<f32> = runtimes_ms
+            .iter()
+            .map(|&v| (1.0 + v.max(0.0)).ln())
+            .collect();
         TargetTransform::Log1pMinMax(MinMaxScaler::fit_scalar(&logs))
     }
 

@@ -1,0 +1,112 @@
+//! The unified engine API: one request shape, three interchangeable
+//! prediction backends (analytical simulator, trained RGAT model, COMPOFF
+//! baseline), with the frontend memoized across requests.
+//!
+//! Run with: `cargo run --release --example engine_advise`
+
+use paragraph::compoff;
+use paragraph::dataset::{collect_platform, DatasetScale, PipelineConfig};
+use paragraph::engine::{
+    AdviseReport, AdviseRequest, CompoffBackend, Engine, GnnBackend, SimulatorBackend,
+};
+use paragraph::gnn::{TrainConfig, TrainedModel};
+use paragraph::perfsim::Platform;
+
+fn print_report(report: &AdviseReport) {
+    println!(
+        "  backend={} platform={} candidates={} total={:.2} ms (predict {:.2} ms) cache {}h/{}m",
+        report.backend,
+        report.platform.name(),
+        report.candidates(),
+        report.timing.total_ms,
+        report.timing.predict_ms,
+        report.cache.hits,
+        report.cache.misses,
+    );
+    for prediction in report.rankings.iter().take(3) {
+        println!(
+            "    {:<28} {:>10.3} ms",
+            prediction.label(),
+            prediction.predicted_ms
+        );
+    }
+}
+
+fn main() {
+    let platform = Platform::SummitV100;
+
+    // 1. The simulator backend needs no training: build and ask.
+    println!("simulator backend, MM/matmul, launch sweep derived from the V100:");
+    let simulator = Engine::builder()
+        .platform(platform)
+        .backend(SimulatorBackend::noise_free())
+        .cache_capacity(512)
+        .build();
+    let request = AdviseRequest::catalog("MM/matmul");
+    let cold = simulator.advise(&request).expect("advise succeeds");
+    print_report(&cold);
+
+    // The engine memoizes parse + graph construction: the same request again
+    // runs entirely from cache.
+    let warm = simulator.advise(&request).expect("advise succeeds");
+    println!(
+        "  same request again: {:.2} ms total, cache {}h/{}m",
+        warm.timing.total_ms, warm.cache.hits, warm.cache.misses
+    );
+
+    // 2. Train the paper's RGAT model and the COMPOFF baseline on a small
+    //    V100 dataset, then serve both through the same request shape.
+    println!("\ntraining GNN + COMPOFF backends on a reduced V100 dataset ...");
+    let dataset = collect_platform(
+        platform,
+        &PipelineConfig {
+            scale: DatasetScale::Fast,
+            seed: 42,
+            noise_sigma: 0.04,
+        },
+    );
+    let (bundle, outcome) = TrainedModel::fit(&dataset, &TrainConfig::fast());
+    println!(
+        "  gnn validation: RMSE {:.2} ms, normalised {:.4}",
+        outcome.rmse_ms, outcome.norm_rmse
+    );
+    let compoff_model = compoff::train_model(&dataset, &compoff::CompoffConfig::fast());
+
+    let gnn_engine = Engine::builder()
+        .platform(platform)
+        .backend(GnnBackend::new(bundle, platform))
+        .build();
+    let compoff_engine = Engine::builder()
+        .platform(platform)
+        .backend(CompoffBackend::new(compoff_model))
+        .build();
+
+    for kernel in ["MM/matmul", "MV/matvec", "Laplace/copy"] {
+        println!("\n{kernel}:");
+        for engine in [&simulator, &gnn_engine, &compoff_engine] {
+            let report = engine
+                .advise(&AdviseRequest::catalog(kernel))
+                .expect("advise succeeds");
+            let best = report.best().expect("non-empty ranking");
+            println!(
+                "  {:<10} picks {:<28} {:>10.3} ms",
+                report.backend,
+                best.label(),
+                best.predicted_ms
+            );
+        }
+    }
+
+    println!("\nengine-lifetime cache counters:");
+    for (name, engine) in [
+        ("simulator", &simulator),
+        ("gnn", &gnn_engine),
+        ("compoff", &compoff_engine),
+    ] {
+        let counters = engine.cache_counters();
+        println!(
+            "  {:<10} {} hits / {} misses",
+            name, counters.hits, counters.misses
+        );
+    }
+}

@@ -1,42 +1,49 @@
 //! Find the best transformation for every benchmark kernel: the use case the
 //! paper motivates — predict each variant's runtime and pick the fastest —
-//! driven here by the accelerator simulator directly, and by a trained
-//! ParaGraph model for one platform.
+//! driven here through the unified engine with the simulator backend, and by
+//! a trained ParaGraph model for one platform.
 //!
 //! Run with: `cargo run --release --example find_best_variant`
 
 use paragraph::advisor::LaunchConfig;
 use paragraph::dataset::{collect_platform, DatasetScale, PipelineConfig};
+use paragraph::engine::{AdviseRequest, Engine, SimulatorBackend};
 use paragraph::gnn::{self, TrainConfig};
 use paragraph::kernels::all_kernels;
 use paragraph::perfsim::Platform;
-use paragraph::rank_variants_by_simulation;
 
 fn main() {
-    // Part 1: rank variants per kernel on the V100 using the simulator.
+    // Part 1: rank variants per kernel on the V100 through the engine. One
+    // engine serves every request, so the frontend cache warms across
+    // kernels.
     println!("Best GPU variant per kernel (simulated, NVIDIA V100, 80x128 launch):\n");
-    let launch = LaunchConfig { teams: 80, threads: 128 };
+    let launch = LaunchConfig {
+        teams: 80,
+        threads: 128,
+    };
+    let engine = Engine::builder()
+        .platform(Platform::SummitV100)
+        .backend(SimulatorBackend::noise_free())
+        .build();
     println!(
-        "{:<34} {:<18} {:>12}   {}",
-        "kernel", "best variant", "runtime", "runner-up"
+        "{:<34} {:<18} {:>12}   runner-up",
+        "kernel", "best variant", "runtime"
     );
     for kernel in all_kernels() {
-        let ranked = rank_variants_by_simulation(
-            &kernel,
-            &kernel.default_sizes(),
-            Platform::SummitV100,
-            launch,
-        );
-        if ranked.len() < 2 {
+        let report = engine
+            .advise(&AdviseRequest::catalog(kernel.full_name()).with_launch(launch))
+            .expect("catalogue kernels always advise");
+        if report.rankings.len() < 2 {
             continue;
         }
+        let (best, runner_up) = (&report.rankings[0], &report.rankings[1]);
         println!(
             "{:<34} {:<18} {:>9.2} ms   {} ({:.2} ms)",
-            kernel.full_name(),
-            ranked[0].0.name(),
-            ranked[0].1,
-            ranked[1].0.name(),
-            ranked[1].1
+            report.kernel,
+            best.variant.expect("catalogue request").name(),
+            best.predicted_ms,
+            runner_up.variant.expect("catalogue request").name(),
+            runner_up.predicted_ms
         );
     }
 
@@ -65,7 +72,10 @@ fn main() {
     use std::collections::HashMap;
     let mut groups: HashMap<String, Vec<&gnn::PredictionRecord>> = HashMap::new();
     for record in &outcome.validation {
-        groups.entry(record.application.clone()).or_default().push(record);
+        groups
+            .entry(record.application.clone())
+            .or_default()
+            .push(record);
     }
     let mut correct = 0usize;
     let mut total = 0usize;

@@ -44,11 +44,28 @@ fn main() {
     //    across its six variants on a GPU.
     let mm = find_kernel("MM/matmul").expect("matmul is in the catalogue");
     let sizes = mm.default_sizes();
-    let launch = LaunchConfig { teams: 80, threads: 128 };
-    println!("\nsimulated runtimes of MM/matmul (N = {:?}):", sizes.get("N"));
+    let launch = LaunchConfig {
+        teams: 80,
+        threads: 128,
+    };
+    println!(
+        "\nsimulated runtimes of MM/matmul (N = {:?}):",
+        sizes.get("N")
+    );
     for platform in Platform::ALL {
-        let variant = if platform.is_gpu() { Variant::GpuMem } else { Variant::Cpu };
-        let lc = if platform.is_gpu() { launch } else { LaunchConfig { teams: 1, threads: 16 } };
+        let variant = if platform.is_gpu() {
+            Variant::GpuMem
+        } else {
+            Variant::Cpu
+        };
+        let lc = if platform.is_gpu() {
+            launch
+        } else {
+            LaunchConfig {
+                teams: 1,
+                threads: 16,
+            }
+        };
         let instance = instantiate(&mm, variant, &sizes, lc);
         let m = measure(&instance, platform, &NoiseModel::default()).unwrap();
         println!(

@@ -3,6 +3,9 @@
 //! Umbrella crate of the ParaGraph reproduction. It re-exports the public API
 //! of the workspace crates so downstream users can depend on a single crate:
 //!
+//! * [`engine`] — the unified serving facade: one trait-based prediction API
+//!   (`Engine` / `RuntimePredictor`) over the simulator, GNN and COMPOFF
+//!   backends, with a memoized frontend,
 //! * [`frontend`] — C-subset + OpenMP parser producing Clang-style ASTs,
 //! * [`core`] — the ParaGraph weighted graph representation itself,
 //! * [`kernels`] — the Table I benchmark applications as source templates,
@@ -14,11 +17,15 @@
 //! * [`compoff`] — the COMPOFF baseline cost model,
 //! * [`tensor`] — the dense matrix / autodiff / optimiser substrate.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
-//! the full system inventory.
+//! See `examples/quickstart.rs` for a five-minute tour,
+//! `examples/engine_advise.rs` for the engine API, and `DESIGN.md` for the
+//! full system inventory and the request-path diagram.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+/// The unified prediction engine (`Engine`, `RuntimePredictor`, backends).
+pub use pg_engine as engine;
 
 /// The ParaGraph representation (the paper's primary contribution).
 pub use paragraph_core as core;
@@ -49,30 +56,47 @@ pub use pg_tensor as tensor;
 
 /// Predict the runtime (in milliseconds) of every applicable variant of a
 /// kernel on a platform using the accelerator simulator, and return them
-/// sorted fastest-first. This is the "which transformation should I pick?"
-/// helper that the paper's workflow ultimately serves.
+/// sorted fastest-first.
+///
+/// This is a thin compatibility shim over [`engine::Engine`] with the
+/// simulator backend; it produces byte-identical results to the original
+/// free-function implementation. The candidates are instantiated from the
+/// template argument itself (not re-resolved from the catalogue), so custom
+/// or modified templates rank exactly as they used to. New code should
+/// build an `Engine` (which adds backend choice, launch sweeps, caching and
+/// report provenance) and call [`engine::Engine::advise`] — or
+/// [`engine::Engine::predict_instances`] for hand-built candidates.
+#[deprecated(
+    since = "0.2.0",
+    note = "use paragraph::engine::Engine::builder() ... .advise(&AdviseRequest::catalog(..)) instead"
+)]
 pub fn rank_variants_by_simulation(
     kernel: &kernels::KernelTemplate,
     sizes: &std::collections::HashMap<String, i64>,
     platform: perfsim::Platform,
     launch: advisor::LaunchConfig,
 ) -> Vec<(advisor::Variant, f64)> {
-    let noise = perfsim::NoiseModel::disabled();
-    let mut ranked: Vec<(advisor::Variant, f64)> = advisor::Variant::applicable_variants(kernel)
+    let eng = engine::Engine::builder()
+        .platform(platform)
+        .backend(engine::SimulatorBackend::noise_free())
+        .build();
+    let instances: Vec<advisor::KernelInstance> = advisor::Variant::applicable_variants(kernel)
         .into_iter()
         .filter(|v| v.is_gpu() == platform.is_gpu())
-        .filter_map(|variant| {
-            let instance = advisor::instantiate(kernel, variant, sizes, launch);
-            perfsim::measure(&instance, platform, &noise)
-                .ok()
-                .map(|m| (variant, m.runtime_ms))
-        })
+        .map(|variant| advisor::instantiate(kernel, variant, sizes, launch))
+        .collect();
+    let mut ranked: Vec<(advisor::Variant, f64)> = eng
+        .predict_instances(&instances)
+        .into_iter()
+        .zip(&instances)
+        .filter_map(|(prediction, instance)| prediction.ok().map(|ms| (instance.variant, ms)))
         .collect();
     ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
     ranked
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -83,9 +107,16 @@ mod tests {
             &mm,
             &mm.default_sizes(),
             perfsim::Platform::SummitV100,
-            advisor::LaunchConfig { teams: 80, threads: 128 },
+            advisor::LaunchConfig {
+                teams: 80,
+                threads: 128,
+            },
         );
-        assert_eq!(ranked.len(), 4, "four GPU variants for a collapsible kernel");
+        assert_eq!(
+            ranked.len(),
+            4,
+            "four GPU variants for a collapsible kernel"
+        );
         assert!(ranked.windows(2).all(|w| w[0].1 <= w[1].1));
         assert!(ranked.iter().all(|(v, _)| v.is_gpu()));
     }
@@ -97,9 +128,16 @@ mod tests {
             &mv,
             &mv.default_sizes(),
             perfsim::Platform::CoronaEpyc7401,
-            advisor::LaunchConfig { teams: 1, threads: 16 },
+            advisor::LaunchConfig {
+                teams: 1,
+                threads: 16,
+            },
         );
-        assert_eq!(ranked.len(), 1, "matvec is not collapsible: only the plain cpu variant");
+        assert_eq!(
+            ranked.len(),
+            1,
+            "matvec is not collapsible: only the plain cpu variant"
+        );
         assert!(!ranked[0].0.is_gpu());
     }
 }

@@ -21,12 +21,22 @@ fn fast_pipeline() -> PipelineConfig {
 /// applicable variant: instantiate → parse → build graph → simulate runtime.
 #[test]
 fn every_kernel_variant_flows_through_the_whole_pipeline() {
-    let launch_gpu = LaunchConfig { teams: 80, threads: 128 };
-    let launch_cpu = LaunchConfig { teams: 1, threads: 16 };
+    let launch_gpu = LaunchConfig {
+        teams: 80,
+        threads: 128,
+    };
+    let launch_cpu = LaunchConfig {
+        teams: 1,
+        threads: 16,
+    };
     for kernel in all_kernels() {
         let sizes = kernel.default_sizes();
         for variant in Variant::applicable_variants(&kernel) {
-            let launch = if variant.is_gpu() { launch_gpu } else { launch_cpu };
+            let launch = if variant.is_gpu() {
+                launch_gpu
+            } else {
+                launch_cpu
+            };
             let instance = instantiate(&kernel, variant, &sizes, launch);
             let ast = parse(&instance.source)
                 .unwrap_or_else(|e| panic!("{} [{}]: {e}", kernel.full_name(), variant.name()));
@@ -36,7 +46,11 @@ fn every_kernel_variant_flows_through_the_whole_pipeline() {
                     .with_launch(launch.teams, launch.threads),
             );
             graph.validate().unwrap();
-            assert!(graph.node_count() > 20, "{} graph suspiciously small", kernel.full_name());
+            assert!(
+                graph.node_count() > 20,
+                "{} graph suspiciously small",
+                kernel.full_name()
+            );
 
             let platform = if variant.is_gpu() {
                 Platform::SummitV100
@@ -63,7 +77,12 @@ fn edge_weights_shrink_as_parallelism_grows() {
     let sizes = mm.default_sizes();
 
     let weight_for = |threads: u64| {
-        let instance = instantiate(&mm, Variant::Cpu, &sizes, LaunchConfig { teams: 1, threads });
+        let instance = instantiate(
+            &mm,
+            Variant::Cpu,
+            &sizes,
+            LaunchConfig { teams: 1, threads },
+        );
         let ast = parse(&instance.source).unwrap();
         let graph = build(
             &ast,
@@ -84,8 +103,14 @@ fn edge_weights_shrink_as_parallelism_grows() {
 #[test]
 fn simulator_reproduces_the_cpu_gpu_crossover() {
     let mm = find_kernel("MM/matmul").unwrap();
-    let gpu_launch = LaunchConfig { teams: 160, threads: 256 };
-    let cpu_launch = LaunchConfig { teams: 1, threads: 22 };
+    let gpu_launch = LaunchConfig {
+        teams: 160,
+        threads: 256,
+    };
+    let cpu_launch = LaunchConfig {
+        teams: 1,
+        threads: 22,
+    };
     let noise = NoiseModel::disabled();
 
     // Large matmul: GPU (even with transfers) wins.
@@ -157,7 +182,11 @@ fn end_to_end_training_and_ablation_ordering() {
             ..TrainConfig::fast()
         },
     );
-    assert!(paragraph.norm_rmse < 0.35, "ParaGraph norm RMSE {}", paragraph.norm_rmse);
+    assert!(
+        paragraph.norm_rmse < 0.35,
+        "ParaGraph norm RMSE {}",
+        paragraph.norm_rmse
+    );
     // At this smoke scale (a few hundred points, a handful of epochs, a tiny
     // hidden dimension) the representation ordering is noisy; the full
     // Table IV comparison runs at bench scale. Here we only require that the
