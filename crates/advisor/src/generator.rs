@@ -65,6 +65,15 @@ pub struct GeneratorConfig {
     pub size_stride: usize,
     /// Keep every `stride`-th launch configuration (1 = all).
     pub launch_stride: usize,
+    /// Subdivide each gap of every size sweep into this many segments by
+    /// inserting geometric midpoints (1 = the template sweeps as written).
+    /// This is how `Full`-scale dataset generation densifies toward the
+    /// paper's point counts without touching the kernel catalogue.
+    pub size_densify: usize,
+    /// Subdivide each gap of every launch-budget axis into this many
+    /// segments (1 = the budget as given); see
+    /// [`ParallelismBudget::densified`].
+    pub launch_densify: usize,
     /// Include CPU variants.
     pub include_cpu: bool,
     /// Include GPU variants.
@@ -76,6 +85,8 @@ impl Default for GeneratorConfig {
         Self {
             size_stride: 1,
             launch_stride: 1,
+            size_densify: 1,
+            launch_densify: 1,
             include_cpu: true,
             include_gpu: true,
         }
@@ -122,6 +133,32 @@ pub fn instantiate(
     }
 }
 
+/// Cartesian size combinations of a kernel, with each per-parameter sweep
+/// densified by `factor` (geometric midpoints, matching
+/// [`pg_advisor::launch::densify_axis`](crate::launch::densify_axis)).
+/// `factor <= 1` reproduces [`KernelTemplate::size_sweep`] exactly,
+/// combination order included.
+fn densified_size_combos(kernel: &KernelTemplate, factor: usize) -> Vec<HashMap<String, i64>> {
+    if factor <= 1 {
+        return kernel.size_sweep();
+    }
+    let mut combos: Vec<HashMap<String, i64>> = vec![HashMap::new()];
+    for param in kernel.sizes {
+        let unsigned: Vec<u64> = param.sweep.iter().map(|&v| v.max(0) as u64).collect();
+        let sweep = crate::launch::densify_axis(&unsigned, factor);
+        let mut next = Vec::with_capacity(combos.len() * sweep.len());
+        for combo in &combos {
+            for &value in &sweep {
+                let mut c = combo.clone();
+                c.insert(param.name.to_string(), value as i64);
+                next.push(c);
+            }
+        }
+        combos = next;
+    }
+    combos
+}
+
 /// Generate all instances for one kernel template under a budget.
 pub fn generate_for_kernel(
     kernel: &KernelTemplate,
@@ -129,8 +166,8 @@ pub fn generate_for_kernel(
     config: &GeneratorConfig,
 ) -> Vec<KernelInstance> {
     let mut out = Vec::new();
-    let size_combos: Vec<HashMap<String, i64>> = kernel
-        .size_sweep()
+    let budget = budget.densified(config.launch_densify);
+    let size_combos: Vec<HashMap<String, i64>> = densified_size_combos(kernel, config.size_densify)
         .into_iter()
         .step_by(config.size_stride.max(1))
         .collect();
@@ -255,6 +292,45 @@ mod tests {
         let fast = generate_instances(&kernels, &budget, &GeneratorConfig::fast());
         assert!(fast.len() < all.len());
         assert!(!fast.is_empty());
+    }
+
+    #[test]
+    fn densified_config_multiplies_instance_counts() {
+        let kernels = vec![find_kernel("MM/matmul").unwrap()];
+        let budget = ParallelismBudget::default();
+        let base = generate_instances(&kernels, &budget, &GeneratorConfig::default());
+        let dense = generate_instances(
+            &kernels,
+            &budget,
+            &GeneratorConfig {
+                size_densify: 2,
+                launch_densify: 2,
+                ..GeneratorConfig::default()
+            },
+        );
+        assert!(
+            dense.len() > 3 * base.len(),
+            "densify 2x2 must multiply counts: {} -> {}",
+            base.len(),
+            dense.len()
+        );
+        // Factor 1 is the identity, instance for instance.
+        let same = generate_instances(
+            &kernels,
+            &budget,
+            &GeneratorConfig {
+                size_densify: 1,
+                launch_densify: 1,
+                ..GeneratorConfig::default()
+            },
+        );
+        assert_eq!(same, base);
+        // Densified instances are still unique.
+        let mut keys: Vec<String> = dense.iter().map(KernelInstance::describe).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "duplicate densified instances");
     }
 
     #[test]

@@ -69,6 +69,19 @@ impl ParallelismBudget {
         }
     }
 
+    /// A copy of this budget with every sweep axis geometrically densified:
+    /// each gap between consecutive values is subdivided into `factor`
+    /// segments by inserting rounded geometric midpoints. `factor <= 1`
+    /// returns the budget unchanged, so existing sweeps (and the datasets
+    /// derived from them) are bit-identical when densification is off.
+    pub fn densified(&self, factor: usize) -> Self {
+        Self {
+            cpu_threads: densify_axis(&self.cpu_threads, factor),
+            gpu_teams: densify_axis(&self.gpu_teams, factor),
+            gpu_threads: densify_axis(&self.gpu_threads, factor),
+        }
+    }
+
     /// Launch configurations for CPU variants.
     pub fn cpu_launches(&self) -> Vec<LaunchConfig> {
         self.cpu_threads
@@ -88,6 +101,29 @@ impl ParallelismBudget {
         }
         out
     }
+}
+
+/// Subdivide each gap of a sorted sweep axis into `factor` segments with
+/// rounded geometric midpoints (sweeps are geometric progressions, so
+/// geometric interpolation keeps the spacing perceptually even). Duplicates
+/// introduced by rounding are removed; `factor <= 1` is the identity.
+pub fn densify_axis(values: &[u64], factor: usize) -> Vec<u64> {
+    if factor <= 1 || values.len() < 2 {
+        return values.to_vec();
+    }
+    let mut out: Vec<u64> = Vec::with_capacity(values.len() * factor);
+    for pair in values.windows(2) {
+        let (lo, hi) = (pair[0] as f64, pair[1] as f64);
+        out.push(pair[0]);
+        for step in 1..factor {
+            let t = step as f64 / factor as f64;
+            let mid = (lo.ln() * (1.0 - t) + hi.ln() * t).exp().round() as u64;
+            out.push(mid);
+        }
+    }
+    out.push(*values.last().expect("len >= 2"));
+    out.dedup();
+    out
 }
 
 #[cfg(test)]
@@ -122,6 +158,23 @@ mod tests {
         let b = ParallelismBudget::for_gpu(80);
         assert_eq!(b.gpu_teams, vec![40, 80, 160]);
         assert_eq!(b.gpu_launches().len(), 9);
+    }
+
+    #[test]
+    fn densified_axes_interleave_geometric_midpoints() {
+        assert_eq!(
+            densify_axis(&[64, 128, 256], 2),
+            vec![64, 91, 128, 181, 256]
+        );
+        // factor 1 (and short axes) are the identity.
+        assert_eq!(densify_axis(&[64, 128, 256], 1), vec![64, 128, 256]);
+        assert_eq!(densify_axis(&[7], 4), vec![7]);
+        // The budget as a whole densifies every axis and keeps ordering.
+        let b = ParallelismBudget::for_gpu(80).densified(2);
+        assert_eq!(b.gpu_teams, vec![40, 57, 80, 113, 160]);
+        assert_eq!(b.gpu_launches().len(), 25);
+        let same = ParallelismBudget::for_gpu(80).densified(1);
+        assert_eq!(same, ParallelismBudget::for_gpu(80));
     }
 
     #[test]

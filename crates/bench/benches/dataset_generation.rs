@@ -1,0 +1,50 @@
+//! Dataset-generation throughput: cold sweep vs warm resume through the
+//! sharded pipeline's shard store, per platform.
+//!
+//! Uses a private throwaway store so the numbers measure the pipeline, not
+//! whatever earlier runs left under `target/paragraph-cache`.
+
+use pg_bench::{bench_scale, pipeline_config, print_header};
+use pg_dataset::{generate_platform, ShardStore};
+use pg_perfsim::Platform;
+
+fn main() {
+    let scale = bench_scale();
+    print_header("Dataset generation: cold vs warm (sharded pipeline)", scale);
+
+    let dir = std::env::temp_dir().join(format!("pg-dataset-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ShardStore::at(dir.clone());
+    let config = pipeline_config(scale);
+
+    println!(
+        "{:<22} {:>8} {:>7} {:>12} {:>12} {:>9}",
+        "platform", "points", "shards", "cold (ms)", "warm (ms)", "speedup"
+    );
+    println!(
+        "{:-<22} {:->8} {:->7} {:->12} {:->12} {:->9}",
+        "", "", "", "", "", ""
+    );
+    for &platform in Platform::ALL.iter() {
+        let cold = generate_platform(platform, &config, &store);
+        let warm = generate_platform(platform, &config, &store);
+        assert_eq!(
+            cold.dataset, warm.dataset,
+            "warm resume must be bit-identical to the cold run"
+        );
+        assert_eq!(warm.summary.shard_misses, 0, "warm run must resume fully");
+        println!(
+            "{:<22} {:>8} {:>7} {:>12.1} {:>12.1} {:>8.1}x",
+            platform.name(),
+            cold.summary.points,
+            cold.summary.shards_total,
+            cold.summary.wall_ms,
+            warm.summary.wall_ms,
+            cold.summary.wall_ms / warm.summary.wall_ms.max(1e-3)
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!();
+    println!("Cold runs measure every instance through the shared engine; warm runs");
+    println!("load content-addressed shard artifacts and only re-merge.");
+}

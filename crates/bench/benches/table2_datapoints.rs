@@ -1,7 +1,7 @@
 //! Table II — Data points collected on each accelerator: count, runtime
 //! range and standard deviation.
 
-use pg_bench::{bench_scale, dataset, print_header};
+use pg_bench::{bench_scale, dataset_outcome, print_header};
 use pg_perfsim::Platform;
 
 fn main() {
@@ -30,8 +30,8 @@ fn main() {
     ];
 
     for (i, platform) in Platform::ALL.iter().enumerate() {
-        let ds = dataset(*platform, scale);
-        let stats = ds.stats();
+        let outcome = dataset_outcome(*platform, scale);
+        let stats = outcome.dataset.stats();
         println!(
             "{:<10} {:<22} {:>11}   {:<26} {:>12.1}",
             stats.cluster,

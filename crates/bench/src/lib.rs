@@ -16,7 +16,9 @@
 
 use paragraph_core::Representation;
 use pg_compoff::{CompoffConfig, CompoffPrediction};
-use pg_dataset::{collect_platform, DatasetScale, PipelineConfig, PlatformDataset};
+use pg_dataset::{
+    generate_platform, DatasetScale, GenerationOutcome, PipelineConfig, PlatformDataset, ShardStore,
+};
 use pg_gnn::{ModelConfig, PredictionRecord, TrainConfig, TrainingHistory};
 use pg_perfsim::Platform;
 use serde::{Deserialize, Serialize};
@@ -149,7 +151,20 @@ fn scale_tag(scale: DatasetScale) -> &'static str {
 
 /// Generate (or re-generate) the dataset of one platform at the given scale.
 pub fn dataset(platform: Platform, scale: DatasetScale) -> PlatformDataset {
-    collect_platform(platform, &pipeline_config(scale))
+    dataset_outcome(platform, scale).dataset
+}
+
+/// Sharded generation of one platform's dataset against the workspace shard
+/// store (`target/paragraph-cache/shards`), printing the run summary so
+/// every experiment reports how much was resumed vs. recomputed.
+pub fn dataset_outcome(platform: Platform, scale: DatasetScale) -> GenerationOutcome {
+    let outcome = generate_platform(
+        platform,
+        &pipeline_config(scale),
+        &ShardStore::default_location(),
+    );
+    println!("  [shard store] {}", outcome.summary);
+    outcome
 }
 
 /// Train (or load from cache) the ParaGraph model for one platform and
@@ -171,7 +186,8 @@ pub fn paragraph_run(
         return cached;
     }
     let ds = dataset(platform, scale);
-    let outcome = pg_gnn::train(&ds, &config);
+    let outcome =
+        pg_gnn::train(&ds, &config).expect("bench training configs always have at least one epoch");
     let run = ParaGraphRun {
         platform_name: platform.name().to_string(),
         representation: representation.name().to_string(),

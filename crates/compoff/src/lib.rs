@@ -9,9 +9,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod features;
 pub mod mlp;
 
+pub use backend::CompoffBackend;
 pub use features::{extract, extract_from_ast, CompoffFeatures, COMPOFF_FEATURE_DIM};
 pub use mlp::Mlp;
 

@@ -1,0 +1,252 @@
+//! The on-disk shard store: content-hash-addressed generation artifacts
+//! under `target/paragraph-cache/shards`.
+//!
+//! Completed shards are persisted as JSON artifacts named by the shard's
+//! [fingerprint](crate::shard::Shard::fingerprint), so an interrupted or
+//! repeated run resumes from whatever already completed instead of
+//! recomputing. An artifact stores only the shard's
+//! [labels](crate::shard::ShardLabel) — `(instance index, runtime)` pairs —
+//! because the deterministic plan already holds every instance: warm loads
+//! parse a few hundred bytes instead of re-serialized kernel sources, which
+//! is what makes resuming decisively cheaper than re-measuring. Loads
+//! verify the stored fingerprint string against the requesting shard (a
+//! hash collision or stale artifact degrades to a miss), and writes go
+//! through a temp-file + atomic rename so concurrent generators — parallel
+//! tests, overlapping bench runs — can never observe a torn artifact.
+//!
+//! Environment overrides:
+//! * `PARAGRAPH_SHARD_DIR=<path>` — relocate the store;
+//! * `PARAGRAPH_SHARD_STORE=0` — disable persistence entirely (every load
+//!   misses, every save is dropped).
+
+use crate::shard::{Shard, ShardLabel, SHARD_FORMAT_VERSION};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One persisted shard: its identity and its measurement labels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ShardArtifact {
+    format_version: u32,
+    fingerprint: String,
+    labels: Vec<ShardLabel>,
+}
+
+/// A content-addressed store of completed shards.
+#[derive(Debug)]
+pub struct ShardStore {
+    /// `None` disables persistence.
+    dir: Option<PathBuf>,
+    /// Unique suffix source for temp files within this store handle.
+    tmp_counter: AtomicU64,
+}
+
+impl ShardStore {
+    /// The workspace-default store under `target/paragraph-cache/shards`,
+    /// honouring the `PARAGRAPH_SHARD_DIR` / `PARAGRAPH_SHARD_STORE`
+    /// overrides.
+    pub fn default_location() -> Self {
+        if std::env::var("PARAGRAPH_SHARD_STORE").is_ok_and(|v| v == "0") {
+            return Self::disabled();
+        }
+        if let Ok(dir) = std::env::var("PARAGRAPH_SHARD_DIR") {
+            if !dir.is_empty() {
+                return Self::at(PathBuf::from(dir));
+            }
+        }
+        // crates/dataset/../../target/paragraph-cache/shards
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let dir = manifest
+            .parent()
+            .and_then(Path::parent)
+            .map(|root| root.join("target"))
+            .unwrap_or_else(|| PathBuf::from("target"))
+            .join("paragraph-cache")
+            .join("shards");
+        Self::at(dir)
+    }
+
+    /// A store rooted at an explicit directory (created lazily on first
+    /// save).
+    pub fn at(dir: PathBuf) -> Self {
+        Self {
+            dir: Some(dir),
+            tmp_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// A store that never persists anything: loads always miss, saves are
+    /// dropped. Used to force cold runs in tests and benches.
+    pub fn disabled() -> Self {
+        Self {
+            dir: None,
+            tmp_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this store persists artifacts at all.
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Directory the store writes to, if enabled.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    fn artifact_path(&self, shard: &Shard) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        Some(dir.join(format!(
+            "{}-{:016x}.json",
+            shard.key.slug(),
+            shard.content_hash()
+        )))
+    }
+
+    /// Load the labels of a completed shard, or `None` on a miss (absent,
+    /// unreadable, torn, stale version, fingerprint mismatch, or labels
+    /// that do not fit the shard).
+    pub fn load(&self, shard: &Shard) -> Option<Vec<ShardLabel>> {
+        let path = self.artifact_path(shard)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let artifact: ShardArtifact = serde_json::from_str(&text).ok()?;
+        if artifact.format_version != SHARD_FORMAT_VERSION
+            || artifact.fingerprint != shard.fingerprint()
+            || artifact
+                .labels
+                .iter()
+                .any(|l| l.index >= shard.instances.len())
+        {
+            return None;
+        }
+        Some(artifact.labels)
+    }
+
+    /// Persist a completed shard's labels. Failures are silently dropped —
+    /// the store is a cache; generation must succeed without it (read-only
+    /// file systems, full disks).
+    pub fn save(&self, shard: &Shard, labels: &[ShardLabel]) {
+        let Some(path) = self.artifact_path(shard) else {
+            return;
+        };
+        let Some(dir) = path.parent() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let artifact = ShardArtifact {
+            format_version: SHARD_FORMAT_VERSION,
+            fingerprint: shard.fingerprint(),
+            labels: labels.to_vec(),
+        };
+        let Ok(text) = serde_json::to_string(&artifact) else {
+            return;
+        };
+        // Atomic publish: write a unique temp file in the same directory,
+        // then rename over the final name. Concurrent writers of the same
+        // shard race benignly (identical contents).
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}-{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed),
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("shard")
+        ));
+        if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{DatasetScale, PipelineConfig};
+    use crate::shard::ShardPlan;
+    use pg_perfsim::Platform;
+
+    fn temp_store(tag: &str) -> ShardStore {
+        let dir =
+            std::env::temp_dir().join(format!("pg-shard-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ShardStore::at(dir)
+    }
+
+    fn tiny_shard() -> Shard {
+        let plan = ShardPlan::plan(
+            Platform::SummitPower9,
+            &PipelineConfig {
+                scale: DatasetScale::Fast,
+                seed: 5,
+                noise_sigma: 0.02,
+            },
+        );
+        plan.shards.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn save_then_load_round_trips_exactly() {
+        let store = temp_store("roundtrip");
+        let shard = tiny_shard();
+        let engine = pg_engine::Engine::builder()
+            .platform(Platform::SummitPower9)
+            .backend(pg_engine::SimulatorBackend::new(pg_perfsim::NoiseModel {
+                sigma: 0.02,
+                seed: 5,
+            }))
+            .build();
+        let (labels, _) = shard.measure(&engine);
+        assert!(!labels.is_empty());
+        assert!(store.load(&shard).is_none(), "store must start cold");
+        store.save(&shard, &labels);
+        let loaded = store.load(&shard).expect("artifact must load");
+        // Bit-exact: the f64 runtimes survive the JSON round trip, so the
+        // materialized points do too.
+        assert_eq!(labels, loaded);
+        assert_eq!(shard.points(&labels), shard.points(&loaded));
+        let _ = std::fs::remove_dir_all(store.dir().unwrap());
+    }
+
+    #[test]
+    fn out_of_range_labels_are_a_miss() {
+        let store = temp_store("oob");
+        let shard = tiny_shard();
+        store.save(
+            &shard,
+            &[ShardLabel {
+                index: shard.instances.len(),
+                runtime_ms: 1.0,
+            }],
+        );
+        assert!(store.load(&shard).is_none());
+        let _ = std::fs::remove_dir_all(store.dir().unwrap());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_a_miss() {
+        let store = temp_store("mismatch");
+        let shard = tiny_shard();
+        store.save(&shard, &[]);
+        assert!(store.load(&shard).is_some());
+        // A shard with different content hashes to a different artifact
+        // path; simulate a collision by renaming the artifact onto the
+        // other shard's address and confirm the fingerprint check rejects.
+        let mut other = shard.clone();
+        other.instances.pop();
+        let from = store.artifact_path(&shard).unwrap();
+        let to = store.artifact_path(&other).unwrap();
+        std::fs::rename(from, to).unwrap();
+        assert!(
+            store.load(&other).is_none(),
+            "foreign fingerprint must be rejected"
+        );
+        let _ = std::fs::remove_dir_all(store.dir().unwrap());
+    }
+
+    #[test]
+    fn disabled_store_never_hits() {
+        let store = ShardStore::disabled();
+        let shard = tiny_shard();
+        store.save(&shard, &[]);
+        assert!(store.load(&shard).is_none());
+        assert!(!store.is_enabled());
+    }
+}

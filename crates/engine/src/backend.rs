@@ -1,13 +1,14 @@
 //! The pluggable prediction backends behind one trait.
 //!
 //! [`RuntimePredictor`] is the seam between the engine's request path and
-//! the three runtime-prediction strategies the repository implements:
+//! the runtime-prediction strategies the repository implements. The engine
+//! crate itself ships only [`SimulatorBackend`] (the analytical accelerator
+//! model, bit-identical to [`pg_perfsim::measure`]); the learned backends
+//! register from above, so the facade sits below every model crate:
 //!
-//! * [`SimulatorBackend`] — the analytical accelerator model
-//!   (`pg_perfsim`), bit-identical to [`pg_perfsim::measure`];
-//! * [`GnnBackend`] — a trained RGAT [`TrainedModel`] bundle (`pg_gnn`),
-//!   the paper's model;
-//! * [`CompoffBackend`] — the COMPOFF MLP baseline (`pg_compoff`).
+//! * `pg_gnn::GnnBackend` — a trained RGAT `TrainedModel` bundle, the
+//!   paper's model;
+//! * `pg_compoff::CompoffBackend` — the COMPOFF MLP baseline.
 //!
 //! Backends receive a [`PredictionContext`] giving them the engine's
 //! platform and its memoized frontend, so every backend benefits from the
@@ -17,8 +18,6 @@
 use crate::cache::{FrontendCache, RequestCounters};
 use crate::error::EngineError;
 use pg_advisor::KernelInstance;
-use pg_compoff::CompoffModel;
-use pg_gnn::TrainedModel;
 use pg_perfsim::{analyze_ast, NoiseModel, Platform};
 use rayon::prelude::*;
 
@@ -156,113 +155,5 @@ impl RuntimePredictor for SimulatorBackend {
         }
         let key = format!("{}@{}", instance.describe(), ctx.platform().name());
         Ok(self.noise.apply(ideal_ms, &key))
-    }
-}
-
-// ---------------------------------------------------------------------------
-// GNN
-// ---------------------------------------------------------------------------
-
-/// A trained ParaGraph RGAT model as a backend.
-pub struct GnnBackend {
-    bundle: TrainedModel,
-    trained_on: Platform,
-}
-
-impl GnnBackend {
-    /// Serve predictions from a trained bundle. `trained_on` is the
-    /// platform whose dataset fitted the model; predictions are refused
-    /// (with [`EngineError::BackendUnavailable`]) when the engine serves a
-    /// different platform, since a per-platform regressor extrapolates
-    /// silently wrong numbers elsewhere.
-    pub fn new(bundle: TrainedModel, trained_on: Platform) -> Self {
-        Self { bundle, trained_on }
-    }
-
-    /// The bundle this backend serves.
-    pub fn bundle(&self) -> &TrainedModel {
-        &self.bundle
-    }
-
-    /// Platform whose dataset trained the bundle.
-    pub fn trained_on(&self) -> Platform {
-        self.trained_on
-    }
-}
-
-impl RuntimePredictor for GnnBackend {
-    fn name(&self) -> &str {
-        "gnn"
-    }
-
-    fn predict(
-        &self,
-        ctx: &PredictionContext<'_>,
-        instance: &KernelInstance,
-    ) -> Result<f64, EngineError> {
-        if ctx.platform() != self.trained_on {
-            return Err(EngineError::BackendUnavailable(format!(
-                "GNN model was trained on {} but the engine serves {}",
-                self.trained_on.name(),
-                ctx.platform().name()
-            )));
-        }
-        let graph = ctx.relational_graph(
-            &instance.source,
-            self.bundle.representation,
-            instance.launch.teams,
-            instance.launch.threads,
-        )?;
-        Ok(f64::from(self.bundle.predict_relational(
-            &graph,
-            instance.launch.teams,
-            instance.launch.threads,
-        )))
-    }
-}
-
-// ---------------------------------------------------------------------------
-// COMPOFF
-// ---------------------------------------------------------------------------
-
-/// The COMPOFF MLP baseline as a backend. GPU-only, as in the paper.
-pub struct CompoffBackend {
-    model: CompoffModel,
-}
-
-impl CompoffBackend {
-    /// Serve predictions from a trained COMPOFF model.
-    pub fn new(model: CompoffModel) -> Self {
-        Self { model }
-    }
-
-    /// The underlying cost model.
-    pub fn model(&self) -> &CompoffModel {
-        &self.model
-    }
-}
-
-impl RuntimePredictor for CompoffBackend {
-    fn name(&self) -> &str {
-        "compoff"
-    }
-
-    fn predict(
-        &self,
-        ctx: &PredictionContext<'_>,
-        instance: &KernelInstance,
-    ) -> Result<f64, EngineError> {
-        if !ctx.platform().is_gpu() {
-            return Err(EngineError::BackendUnavailable(format!(
-                "COMPOFF models GPU offloading only (paper Section V-D); engine serves {}",
-                ctx.platform().name()
-            )));
-        }
-        let ast = ctx.ast(&instance.source)?;
-        Ok(f64::from(self.model.predict_ast(
-            &ast,
-            instance.launch.teams,
-            instance.launch.threads,
-        )))
     }
 }

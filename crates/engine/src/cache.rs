@@ -43,6 +43,14 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
     }
 
     /// Look up a key, refreshing its recency on a hit.
+    ///
+    /// Delegates to [`LruCache::get_by`], so the two lookup paths can never
+    /// diverge in recency behaviour: a hit through either refreshes the
+    /// entry's stamp. (The borrowed-form path is the one every
+    /// [`FrontendCache`] probe takes — `&str` against `String`/`Arc<str>`
+    /// keys — so a `get_by` that forgot to refresh would evict the hottest
+    /// AST entries mid-sweep. `lru_get_by_refreshes_recency_like_get` below
+    /// pins both paths.)
     pub fn get(&mut self, key: &K) -> Option<V> {
         self.get_by(key)
     }
@@ -286,6 +294,29 @@ mod tests {
         assert_eq!(lru.get(&1), Some(10));
         assert_eq!(lru.get(&3), Some(30));
         assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn lru_get_by_refreshes_recency_like_get() {
+        // Same scenario twice — once through the typed path, once through
+        // the borrowed-form path `FrontendCache` uses — asserting identical
+        // eviction order. A `get_by` that failed to refresh recency would
+        // evict the hot entry (1) instead of the cold one (2) here.
+        let run = |use_get_by: bool| -> (Option<u32>, Option<u32>, Option<u32>) {
+            let mut lru: LruCache<String, u32> = LruCache::new(2);
+            lru.insert("one".to_string(), 10);
+            lru.insert("two".to_string(), 20);
+            let hit = if use_get_by {
+                lru.get_by("one")
+            } else {
+                lru.get(&"one".to_string())
+            };
+            assert_eq!(hit, Some(10)); // refresh "one"; "two" is now oldest
+            lru.insert("three".to_string(), 30);
+            (lru.get_by("one"), lru.get_by("two"), lru.get_by("three"))
+        };
+        assert_eq!(run(false), (Some(10), None, Some(30)));
+        assert_eq!(run(true), (Some(10), None, Some(30)));
     }
 
     #[test]

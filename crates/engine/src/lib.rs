@@ -2,7 +2,12 @@
 //!
 //! The unified serving facade of the ParaGraph reproduction: one
 //! trait-based prediction API over the analytical simulator, the trained
-//! RGAT model and the COMPOFF baseline.
+//! RGAT model and the COMPOFF baseline. The facade sits *below* the model
+//! crates: `pg-engine` ships the trait and the simulator backend, while
+//! `pg_gnn::GnnBackend` and `pg_compoff::CompoffBackend` implement
+//! [`RuntimePredictor`] from above. That keeps the dependency graph acyclic
+//! so the dataset pipeline (`pg-dataset`, which the model crates train on)
+//! can itself route measurement through an [`Engine`].
 //!
 //! The paper's end-to-end workflow — parse a kernel, build its weighted
 //! ParaGraph, enumerate OpenMP variants, predict runtimes, pick the winner —
@@ -40,9 +45,7 @@ pub mod error;
 pub mod report;
 pub mod request;
 
-pub use backend::{
-    CompoffBackend, GnnBackend, PredictionContext, RuntimePredictor, SimulatorBackend,
-};
+pub use backend::{PredictionContext, RuntimePredictor, SimulatorBackend};
 pub use cache::{CacheCounters, FrontendCache, LruCache, RequestCounters};
 pub use error::EngineError;
 pub use report::{AdviseReport, CacheActivity, PredictionFailure, Timing, VariantPrediction};
@@ -50,6 +53,7 @@ pub use request::{AdviseRequest, KernelSpec, LaunchBudget};
 
 use pg_advisor::{instantiate, KernelInstance, LaunchConfig, ParallelismBudget, Variant};
 use pg_perfsim::Platform;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default capacity of each frontend-cache layer.
@@ -57,10 +61,16 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 
 /// The serving facade: a platform, a prediction backend, and a memoized
 /// frontend, behind one `advise` call.
+///
+/// The frontend cache is held behind an `Arc` so several engines (one per
+/// platform, say, or one per shard worker) can share a single memo: the
+/// sharded dataset pipeline in `pg-dataset` builds one cache and hands it to
+/// every per-platform engine, so a kernel source parsed for one platform is
+/// a cache hit for every other.
 pub struct Engine {
     platform: Platform,
     backend: Box<dyn RuntimePredictor>,
-    cache: FrontendCache,
+    cache: Arc<FrontendCache>,
 }
 
 /// Builder for [`Engine`] (`Engine::builder()`).
@@ -68,6 +78,7 @@ pub struct EngineBuilder {
     platform: Platform,
     backend: Option<Box<dyn RuntimePredictor>>,
     cache_capacity: usize,
+    shared_cache: Option<Arc<FrontendCache>>,
 }
 
 impl EngineBuilder {
@@ -84,9 +95,18 @@ impl EngineBuilder {
     }
 
     /// Entries per frontend-cache layer (default
-    /// [`DEFAULT_CACHE_CAPACITY`]).
+    /// [`DEFAULT_CACHE_CAPACITY`]). Ignored when a [`shared_cache`]
+    /// (`EngineBuilder::shared_cache`) is supplied.
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Share an existing frontend cache instead of building a private one —
+    /// engines sharing a cache share parsed ASTs and built graphs, so the
+    /// same kernel source is parsed once per process, not once per engine.
+    pub fn shared_cache(mut self, cache: Arc<FrontendCache>) -> Self {
+        self.shared_cache = Some(cache);
         self
     }
 
@@ -97,7 +117,9 @@ impl EngineBuilder {
             backend: self
                 .backend
                 .unwrap_or_else(|| Box::new(SimulatorBackend::noise_free())),
-            cache: FrontendCache::new(self.cache_capacity),
+            cache: self
+                .shared_cache
+                .unwrap_or_else(|| Arc::new(FrontendCache::new(self.cache_capacity))),
         }
     }
 }
@@ -109,6 +131,7 @@ impl Engine {
             platform: Platform::SummitV100,
             backend: None,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            shared_cache: None,
         }
     }
 
@@ -224,9 +247,21 @@ impl Engine {
     /// the catalogue, hand-built sweeps, or instances produced by the
     /// `pg-dataset` pipeline.
     pub fn predict_instances(&self, instances: &[KernelInstance]) -> Vec<Result<f64, EngineError>> {
+        self.predict_instances_counted(instances).0
+    }
+
+    /// [`Engine::predict_instances`] plus the frontend-cache activity the
+    /// batch caused (hits/misses scoped to this call, not engine-lifetime
+    /// totals). The sharded dataset pipeline uses this to report cache
+    /// effectiveness per generation run.
+    pub fn predict_instances_counted(
+        &self,
+        instances: &[KernelInstance],
+    ) -> (Vec<Result<f64, EngineError>>, CacheCounters) {
         let counters = RequestCounters::default();
         let ctx = PredictionContext::new(&self.cache, self.platform, &counters);
-        self.backend.predict_batch(&ctx, instances)
+        let results = self.backend.predict_batch(&ctx, instances);
+        (results, counters.snapshot())
     }
 
     /// Run the full request path: resolve → enumerate → batched prediction →

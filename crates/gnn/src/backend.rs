@@ -1,0 +1,69 @@
+//! The trained RGAT bundle as a `pg-engine` backend.
+//!
+//! Lives here (not in `pg-engine`) so the engine facade stays below every
+//! model crate in the dependency graph: `pg-gnn` trains on `pg-dataset`,
+//! and `pg-dataset` routes its measurement through `pg-engine` — a
+//! `pg-engine → pg-gnn` edge would close that cycle.
+
+use crate::bundle::TrainedModel;
+use pg_advisor::KernelInstance;
+use pg_engine::{EngineError, PredictionContext, RuntimePredictor};
+use pg_perfsim::Platform;
+
+/// A trained ParaGraph RGAT model as a backend.
+pub struct GnnBackend {
+    bundle: TrainedModel,
+    trained_on: Platform,
+}
+
+impl GnnBackend {
+    /// Serve predictions from a trained bundle. `trained_on` is the
+    /// platform whose dataset fitted the model; predictions are refused
+    /// (with [`EngineError::BackendUnavailable`]) when the engine serves a
+    /// different platform, since a per-platform regressor extrapolates
+    /// silently wrong numbers elsewhere.
+    pub fn new(bundle: TrainedModel, trained_on: Platform) -> Self {
+        Self { bundle, trained_on }
+    }
+
+    /// The bundle this backend serves.
+    pub fn bundle(&self) -> &TrainedModel {
+        &self.bundle
+    }
+
+    /// Platform whose dataset trained the bundle.
+    pub fn trained_on(&self) -> Platform {
+        self.trained_on
+    }
+}
+
+impl RuntimePredictor for GnnBackend {
+    fn name(&self) -> &str {
+        "gnn"
+    }
+
+    fn predict(
+        &self,
+        ctx: &PredictionContext<'_>,
+        instance: &KernelInstance,
+    ) -> Result<f64, EngineError> {
+        if ctx.platform() != self.trained_on {
+            return Err(EngineError::BackendUnavailable(format!(
+                "GNN model was trained on {} but the engine serves {}",
+                self.trained_on.name(),
+                ctx.platform().name()
+            )));
+        }
+        let graph = ctx.relational_graph(
+            &instance.source,
+            self.bundle.representation,
+            instance.launch.teams,
+            instance.launch.threads,
+        )?;
+        Ok(f64::from(self.bundle.predict_relational(
+            &graph,
+            instance.launch.teams,
+            instance.launch.threads,
+        )))
+    }
+}

@@ -10,7 +10,7 @@
 //! bundle.
 
 use crate::model::ParaGraphModel;
-use crate::train::{prepare, train_prepared, TrainConfig, TrainedOutcome};
+use crate::train::{prepare, train_prepared, TrainConfig, TrainError, TrainedOutcome};
 use paragraph_core::{build, to_relational, BuilderConfig, RelationalGraph, Representation};
 use pg_dataset::PlatformDataset;
 use pg_frontend::FrontendError;
@@ -36,16 +36,19 @@ pub struct TrainedModel {
 impl TrainedModel {
     /// Train on a platform dataset and return the bundle plus the training
     /// metrics ([`TrainedOutcome`]).
-    pub fn fit(dataset: &PlatformDataset, config: &TrainConfig) -> (TrainedModel, TrainedOutcome) {
+    pub fn fit(
+        dataset: &PlatformDataset,
+        config: &TrainConfig,
+    ) -> Result<(TrainedModel, TrainedOutcome), TrainError> {
         let prepared = prepare(dataset, config.representation, config.seed);
-        let outcome = train_prepared(&prepared, config);
+        let outcome = train_prepared(&prepared, config)?;
         let bundle = TrainedModel {
             model: outcome.model.clone(),
             representation: config.representation,
             target_transform: prepared.target_transform,
             side_scaler: prepared.side_scaler,
         };
-        (bundle, outcome)
+        Ok((bundle, outcome))
     }
 
     /// The builder configuration a caller must use to construct graphs this
@@ -99,7 +102,7 @@ mod tests {
     fn bundle_predictions_match_the_training_pipeline() {
         let ds = tiny_dataset();
         let config = TrainConfig::fast();
-        let (bundle, _) = TrainedModel::fit(&ds, &config);
+        let (bundle, _) = TrainedModel::fit(&ds, &config).unwrap();
 
         // Re-derive the prepared dataset the training run used and check the
         // bundle's source-level path reproduces evaluate()'s predictions.
@@ -122,7 +125,7 @@ mod tests {
     #[test]
     fn invalid_source_is_an_error() {
         let ds = tiny_dataset();
-        let (bundle, _) = TrainedModel::fit(&ds, &TrainConfig::fast());
+        let (bundle, _) = TrainedModel::fit(&ds, &TrainConfig::fast()).unwrap();
         assert!(bundle.predict_source("not C at all", 80, 128).is_err());
     }
 }

@@ -10,17 +10,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod bundle;
 pub mod metrics;
 pub mod model;
 pub mod rgat;
 pub mod train;
 
+pub use backend::GnnBackend;
 pub use bundle::TrainedModel;
 pub use metrics::{binned_relative_error, per_application_error, per_variant_error, BinError};
 pub use model::{GraphSample, ModelConfig, ParaGraphModel};
 pub use rgat::RgatLayer;
 pub use train::{
     evaluate, prepare, summarize, train, train_prepared, EpochStats, PredictionRecord,
-    PreparedDataset, SampleMeta, TrainConfig, TrainedOutcome, TrainingHistory,
+    PreparedDataset, SampleMeta, TrainConfig, TrainError, TrainedOutcome, TrainingHistory,
 };

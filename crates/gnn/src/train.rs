@@ -55,6 +55,39 @@ impl TrainConfig {
     }
 }
 
+/// Typed failure of the training entry points.
+///
+/// Training used to clamp a zero epoch count to one pass silently
+/// (`epochs.max(1)`), and downstream consumers of
+/// [`TrainingHistory::epochs`] (`first()`/`last()` on the curve) would
+/// panic if the clamp were removed without validation. A zero epoch count
+/// is a real misconfiguration — e.g. a `PARAGRAPH_FAST` harness computing
+/// `epochs` by integer division — so it is now rejected up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainError {
+    /// `TrainConfig::epochs` was zero; the training loop would produce an
+    /// untrained model and an empty history.
+    ZeroEpochs,
+    /// The training split contains no samples, so there is nothing to fit
+    /// scalers or gradients on.
+    EmptyTrainingSplit,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::ZeroEpochs => {
+                write!(f, "training requires at least one epoch (epochs was 0)")
+            }
+            TrainError::EmptyTrainingSplit => {
+                write!(f, "training split is empty; nothing to fit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
 /// Metadata of one sample kept alongside the tensors.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SampleMeta {
@@ -237,14 +270,26 @@ pub fn summarize(records: &[PredictionRecord]) -> (f32, f32, f32) {
 }
 
 /// Train the ParaGraph model on one platform dataset.
-pub fn train(dataset: &PlatformDataset, config: &TrainConfig) -> TrainedOutcome {
+pub fn train(
+    dataset: &PlatformDataset,
+    config: &TrainConfig,
+) -> Result<TrainedOutcome, TrainError> {
     let prepared = prepare(dataset, config.representation, config.seed);
     train_prepared(&prepared, config)
 }
 
 /// Train on an already-prepared dataset (lets the ablation study reuse the
 /// expensive graph construction across representations when they share it).
-pub fn train_prepared(prepared: &PreparedDataset, config: &TrainConfig) -> TrainedOutcome {
+pub fn train_prepared(
+    prepared: &PreparedDataset,
+    config: &TrainConfig,
+) -> Result<TrainedOutcome, TrainError> {
+    if config.epochs == 0 {
+        return Err(TrainError::ZeroEpochs);
+    }
+    if prepared.train_idx.is_empty() {
+        return Err(TrainError::EmptyTrainingSplit);
+    }
     let mut model = ParaGraphModel::new(config.model, config.seed);
     let mut adam = Adam::new(AdamConfig {
         learning_rate: config.learning_rate,
@@ -254,7 +299,7 @@ pub fn train_prepared(prepared: &PreparedDataset, config: &TrainConfig) -> Train
     let mut history = TrainingHistory::default();
 
     let mut train_order = prepared.train_idx.clone();
-    for epoch in 1..=config.epochs.max(1) {
+    for epoch in 1..=config.epochs {
         train_order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
@@ -305,14 +350,14 @@ pub fn train_prepared(prepared: &PreparedDataset, config: &TrainConfig) -> Train
 
     let validation = evaluate(&model, prepared, &prepared.val_idx);
     let (rmse_ms, norm_rmse, runtime_range_ms) = summarize(&validation);
-    TrainedOutcome {
+    Ok(TrainedOutcome {
         model,
         history,
         validation,
         rmse_ms,
         norm_rmse,
         runtime_range_ms,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -358,7 +403,7 @@ mod tests {
             epochs: 8,
             ..TrainConfig::fast()
         };
-        let outcome = train(&ds, &config);
+        let outcome = train(&ds, &config).unwrap();
         assert_eq!(outcome.history.epochs.len(), 8);
         let first = outcome.history.epochs.first().unwrap().val_norm_rmse;
         let last = outcome.history.epochs.last().unwrap().val_norm_rmse;
@@ -381,10 +426,37 @@ mod tests {
             epochs: 2,
             ..TrainConfig::fast()
         };
-        let a = train(&ds, &config);
-        let b = train(&ds, &config);
+        let a = train(&ds, &config).unwrap();
+        let b = train(&ds, &config).unwrap();
         assert_eq!(a.history, b.history);
         assert_eq!(a.rmse_ms, b.rmse_ms);
+    }
+
+    #[test]
+    fn zero_epochs_is_a_typed_error_not_a_panic() {
+        let ds = tiny_dataset();
+        let config = TrainConfig {
+            epochs: 0,
+            ..TrainConfig::fast()
+        };
+        assert_eq!(train(&ds, &config).unwrap_err(), TrainError::ZeroEpochs);
+        // The prepared-dataset entry point rejects it the same way.
+        let prepared = prepare(&ds, config.representation, config.seed);
+        assert_eq!(
+            train_prepared(&prepared, &config).unwrap_err(),
+            TrainError::ZeroEpochs
+        );
+    }
+
+    #[test]
+    fn empty_training_split_is_a_typed_error() {
+        let ds = tiny_dataset();
+        let mut prepared = prepare(&ds, Representation::ParaGraph, 1);
+        prepared.train_idx.clear();
+        assert_eq!(
+            train_prepared(&prepared, &TrainConfig::fast()).unwrap_err(),
+            TrainError::EmptyTrainingSplit
+        );
     }
 
     #[test]

@@ -39,6 +39,33 @@ impl NoiseModel {
         }
     }
 
+    /// Derive a deterministic child noise model from this one, labelled by
+    /// `label` (e.g. a shard id). Child streams share the parent's `sigma`
+    /// but sample from an independent stream, and the same `(parent seed,
+    /// label)` pair always derives the same child.
+    ///
+    /// Note what this is *not* for: dataset measurement noise. Measurement
+    /// factors are keyed per instance ([`NoiseModel::factor`] hashes the
+    /// global seed with the instance key), so a sharded generation run that
+    /// hands every shard worker a copy of the global model produces labels
+    /// that are bit-identical to an unsharded sweep no matter how the work
+    /// is partitioned — `shard_partitioning_cannot_perturb_labels` below
+    /// pins this. Substreams exist for shard-*local* stochastic decisions
+    /// (retry jitter, shard-scoped subsampling) that must not consume from,
+    /// or perturb, the label stream.
+    pub fn substream(&self, label: &str) -> NoiseModel {
+        let mut hasher = DefaultHasher::new();
+        // Domain-separate derivation from measurement so a substream label
+        // can never collide with an instance key.
+        0x7061_7261_7368_6472u64.hash(&mut hasher);
+        self.seed.hash(&mut hasher);
+        label.hash(&mut hasher);
+        NoiseModel {
+            sigma: self.sigma,
+            seed: hasher.finish(),
+        }
+    }
+
     /// Sample the multiplicative noise factor for a measurement identified by
     /// `key`. Identical `(seed, key)` pairs always produce the same factor.
     pub fn factor(&self, key: &str) -> f64 {
@@ -95,6 +122,53 @@ mod tests {
         let noise = NoiseModel::disabled();
         assert_eq!(noise.factor("anything"), 1.0);
         assert_eq!(noise.apply(123.4, "anything"), 123.4);
+    }
+
+    #[test]
+    fn substreams_are_deterministic_and_independent() {
+        let global = NoiseModel {
+            sigma: 0.05,
+            seed: 42,
+        };
+        let a = global.substream("shard-0");
+        let a2 = global.substream("shard-0");
+        let b = global.substream("shard-1");
+        assert_eq!(a.seed, a2.seed, "same label must derive the same child");
+        assert_ne!(a.seed, b.seed, "labels must separate streams");
+        assert_ne!(a.seed, global.seed, "child must not alias the parent");
+        assert_eq!(a.sigma, global.sigma);
+        // Child streams draw different factors from the parent for the same
+        // measurement key.
+        assert_ne!(a.factor("k"), global.factor("k"));
+    }
+
+    #[test]
+    fn shard_partitioning_cannot_perturb_labels() {
+        // Simulate two generation strategies over the same instance keys:
+        // one pass over everything vs. three "shard workers" each holding a
+        // copy of the global model and measuring its own slice in its own
+        // order. Labels must be bit-identical.
+        let global = NoiseModel {
+            sigma: 0.04,
+            seed: 7,
+        };
+        let keys: Vec<String> = (0..30)
+            .map(|i| format!("kernel-{}/inst-{i}", i % 5))
+            .collect();
+        let unsharded: Vec<f64> = keys.iter().map(|k| global.apply(100.0, k)).collect();
+        let mut sharded = vec![0.0; keys.len()];
+        for shard in 0..3 {
+            let worker = global; // each worker gets a copy of the global model
+            for (i, key) in keys
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 3 == shard)
+                .rev()
+            {
+                sharded[i] = worker.apply(100.0, key);
+            }
+        }
+        assert_eq!(unsharded, sharded);
     }
 
     #[test]

@@ -36,7 +36,7 @@ fn main() {
             epochs: 10,
             ..TrainConfig::fast()
         };
-        let outcome = train(&dataset, &config);
+        let outcome = train(&dataset, &config).expect("ablation configs train at least one epoch");
         println!(
             "{:<16} {:>12.1} {:>14.4}",
             representation.name(),

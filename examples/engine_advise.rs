@@ -5,11 +5,10 @@
 //! Run with: `cargo run --release --example engine_advise`
 
 use paragraph::compoff;
+use paragraph::compoff::CompoffBackend;
 use paragraph::dataset::{collect_platform, DatasetScale, PipelineConfig};
-use paragraph::engine::{
-    AdviseReport, AdviseRequest, CompoffBackend, Engine, GnnBackend, SimulatorBackend,
-};
-use paragraph::gnn::{TrainConfig, TrainedModel};
+use paragraph::engine::{AdviseReport, AdviseRequest, Engine, SimulatorBackend};
+use paragraph::gnn::{GnnBackend, TrainConfig, TrainedModel};
 use paragraph::perfsim::Platform;
 
 fn print_report(report: &AdviseReport) {
@@ -65,7 +64,8 @@ fn main() {
             noise_sigma: 0.04,
         },
     );
-    let (bundle, outcome) = TrainedModel::fit(&dataset, &TrainConfig::fast());
+    let (bundle, outcome) = TrainedModel::fit(&dataset, &TrainConfig::fast())
+        .expect("fast config trains at least one epoch");
     println!(
         "  gnn validation: RMSE {:.2} ms, normalised {:.4}",
         outcome.rmse_ms, outcome.norm_rmse

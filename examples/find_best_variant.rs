@@ -59,7 +59,8 @@ fn main() {
             noise_sigma: 0.04,
         },
     );
-    let outcome = gnn::train(&dataset, &TrainConfig::fast());
+    let outcome =
+        gnn::train(&dataset, &TrainConfig::fast()).expect("fast config trains at least one epoch");
     println!(
         "validation RMSE {:.2} ms, normalised RMSE {:.4} over {} points",
         outcome.rmse_ms,

@@ -1,0 +1,56 @@
+//! Sharded, resumable dataset generation from the command line.
+//!
+//! Generates the labelled datasets of all four platforms through the
+//! sharded pipeline, printing each run's summary (shard-store hits,
+//! frontend-cache activity, wall time). Completed shards persist under
+//! `target/paragraph-cache/shards`, so re-running — or resuming an
+//! interrupted run — only recomputes what is missing.
+//!
+//! ```text
+//! cargo run --release --example generate_dataset                  # Default scale
+//! PARAGRAPH_FAST=1 cargo run --release --example generate_dataset # smoke scale
+//! PARAGRAPH_FULL_DATASET=1 ...                                    # paper scale
+//! ```
+//!
+//! `--expect-warm` exits non-zero if any shard had to be recomputed: CI
+//! runs the example twice and uses this flag on the second run to guard
+//! the resume path against silent regressions.
+
+use paragraph::dataset::{generate_all, DatasetScale, PipelineConfig, ShardStore};
+
+fn main() {
+    let expect_warm = std::env::args().any(|a| a == "--expect-warm");
+    let config = PipelineConfig {
+        scale: DatasetScale::from_env(),
+        ..PipelineConfig::default()
+    };
+    let store = ShardStore::default_location();
+    println!(
+        "Generating {:?}-scale datasets (shard store: {})",
+        config.scale,
+        store
+            .dir()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "disabled".to_string())
+    );
+
+    let outcomes = generate_all(&config, &store);
+    let mut recomputed = 0;
+    for outcome in &outcomes {
+        println!("  {}", outcome.summary);
+        recomputed += outcome.summary.shard_misses;
+    }
+    let total_points: usize = outcomes.iter().map(|o| o.summary.points).sum();
+    println!(
+        "{total_points} data points across {} platforms",
+        outcomes.len()
+    );
+
+    if expect_warm && recomputed > 0 {
+        eprintln!(
+            "error: expected a fully warm resume, but {recomputed} shard(s) \
+             missed the store and were recomputed"
+        );
+        std::process::exit(1);
+    }
+}

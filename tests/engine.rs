@@ -5,8 +5,10 @@
 
 use paragraph::advisor::LaunchConfig;
 use paragraph::compoff;
+use paragraph::compoff::CompoffBackend;
 use paragraph::dataset::{collect_platform, DatasetScale, PipelineConfig};
-use paragraph::engine::{AdviseRequest, CompoffBackend, Engine, GnnBackend, SimulatorBackend};
+use paragraph::engine::{AdviseRequest, Engine, SimulatorBackend};
+use paragraph::gnn::GnnBackend;
 use paragraph::gnn::{TrainConfig, TrainedModel};
 use paragraph::kernels::find_kernel;
 use paragraph::perfsim::Platform;
@@ -33,7 +35,7 @@ fn fast_dataset() -> paragraph::dataset::PlatformDataset {
 #[test]
 fn all_three_backends_rank_the_same_kernel() {
     let dataset = fast_dataset();
-    let (bundle, _) = TrainedModel::fit(&dataset, &TrainConfig::fast());
+    let (bundle, _) = TrainedModel::fit(&dataset, &TrainConfig::fast()).unwrap();
     let compoff_model = compoff::train_model(&dataset, &compoff::CompoffConfig::fast());
 
     let engines = [
@@ -164,7 +166,7 @@ fn second_identical_request_hits_the_graph_cache() {
 #[test]
 fn gnn_backend_uses_the_cache_and_stays_deterministic() {
     let dataset = fast_dataset();
-    let (bundle, _) = TrainedModel::fit(&dataset, &TrainConfig::fast());
+    let (bundle, _) = TrainedModel::fit(&dataset, &TrainConfig::fast()).unwrap();
     let engine = Engine::builder()
         .platform(PLATFORM)
         .backend(GnnBackend::new(bundle, PLATFORM))
@@ -185,7 +187,7 @@ fn gnn_backend_uses_the_cache_and_stays_deterministic() {
 #[test]
 fn mismatched_backend_platform_is_refused() {
     let dataset = fast_dataset();
-    let (bundle, _) = TrainedModel::fit(&dataset, &TrainConfig::fast());
+    let (bundle, _) = TrainedModel::fit(&dataset, &TrainConfig::fast()).unwrap();
     let gnn_on_cpu = Engine::builder()
         .platform(Platform::SummitPower9)
         .backend(GnnBackend::new(bundle, PLATFORM)) // trained on the V100

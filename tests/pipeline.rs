@@ -3,11 +3,17 @@
 
 use paragraph::advisor::{instantiate, LaunchConfig, Variant};
 use paragraph::core::{build, BuilderConfig, EdgeType, Representation};
-use paragraph::dataset::{collect_platform, DatasetScale, PipelineConfig};
+use paragraph::dataset::{
+    collect_platform, collect_platform_unsharded, generate_platform, DatasetScale, PipelineConfig,
+    ShardPlan, ShardStore,
+};
+use paragraph::engine::{Engine, SimulatorBackend};
 use paragraph::frontend::parse;
 use paragraph::gnn::{self, TrainConfig};
 use paragraph::kernels::{all_kernels, find_kernel};
 use paragraph::perfsim::{measure, NoiseModel, Platform};
+use proptest::prelude::*;
+use std::path::PathBuf;
 
 fn fast_pipeline() -> PipelineConfig {
     PipelineConfig {
@@ -15,6 +21,30 @@ fn fast_pipeline() -> PipelineConfig {
         seed: 17,
         noise_sigma: 0.03,
     }
+}
+
+/// A unique, throwaway shard-store directory for one test (or one proptest
+/// case), so cold/warm behaviour is controlled by the test and not by
+/// whatever earlier runs left in the workspace store.
+fn temp_store(tag: &str) -> (ShardStore, PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "paragraph-pipeline-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    (ShardStore::at(dir.clone()), dir)
+}
+
+/// The engine a generation run measures through — same construction the
+/// pipeline uses, for tests that execute shards by hand.
+fn measurement_engine(platform: Platform, config: &PipelineConfig) -> Engine {
+    Engine::builder()
+        .platform(platform)
+        .backend(SimulatorBackend::new(NoiseModel {
+            sigma: config.noise_sigma,
+            seed: config.seed,
+        }))
+        .build()
 }
 
 /// Every kernel of the catalogue survives the whole static pipeline for every
@@ -173,7 +203,8 @@ fn end_to_end_training_and_ablation_ordering() {
             epochs: 8,
             ..TrainConfig::fast()
         },
-    );
+    )
+    .unwrap();
     let raw = gnn::train(
         &dataset,
         &TrainConfig {
@@ -181,7 +212,8 @@ fn end_to_end_training_and_ablation_ordering() {
             epochs: 8,
             ..TrainConfig::fast()
         },
-    );
+    )
+    .unwrap();
     assert!(
         paragraph.norm_rmse < 0.35,
         "ParaGraph norm RMSE {}",
@@ -220,7 +252,8 @@ fn compoff_baseline_runs_on_the_same_split() {
             epochs: 8,
             ..TrainConfig::fast()
         },
-    );
+    )
+    .unwrap();
     // Identical validation points (same split seed).
     let mut compoff_ids: Vec<usize> = compoff.validation.iter().map(|p| p.id).collect();
     let mut gnn_ids: Vec<usize> = gnn_outcome.validation.iter().map(|p| p.id).collect();
@@ -245,5 +278,122 @@ fn all_dataset_graphs_are_valid_for_every_representation() {
                 assert!(graph.edges_of_type(EdgeType::NextToken).count() > 0);
             }
         }
+    }
+}
+
+/// The tentpole guarantee of the sharded rewrite: for the same
+/// configuration, the sharded, store-backed, engine-routed pipeline
+/// produces a dataset bit-identical to the pre-shard reference sweep —
+/// same points, same `f64` labels, same ids, same order.
+#[test]
+fn sharded_default_scale_is_bit_identical_to_the_reference_pipeline() {
+    let config = PipelineConfig {
+        scale: DatasetScale::Default,
+        seed: 42,
+        noise_sigma: 0.04,
+    };
+    let reference = collect_platform_unsharded(Platform::SummitV100, &config);
+    // `collect_platform` is the sharded path against the workspace store;
+    // run it twice so both the cold (measure + persist) and the warm
+    // (resume from artifacts, including the JSON round-trip of every f64
+    // label) paths are held to bit-identity.
+    let cold_or_warm = collect_platform(Platform::SummitV100, &config);
+    let warm = collect_platform(Platform::SummitV100, &config);
+    assert_eq!(reference, cold_or_warm);
+    assert_eq!(reference, warm);
+}
+
+/// A second run over an already-populated store must resume every shard
+/// (zero misses) and be at least twice as fast as the cold run — the
+/// pipeline's reason to exist. Wall-clock ratios are noisy on loaded CI
+/// runners, so the timing claim gets three attempts (each with a fresh
+/// store); the functional resume assertions are checked on every attempt.
+#[test]
+fn warm_resume_hits_every_shard_and_is_at_least_twice_as_fast() {
+    let config = PipelineConfig {
+        scale: DatasetScale::Fast,
+        seed: 2024,
+        noise_sigma: 0.03,
+    };
+    let mut ratios = Vec::new();
+    for attempt in 0..3 {
+        let (store, dir) = temp_store(&format!("warm-resume-{attempt}"));
+        let cold = generate_platform(Platform::CoronaMi50, &config, &store);
+        assert_eq!(cold.summary.shard_hits, 0, "store must start cold");
+        assert!(cold.summary.instances_measured > 0);
+
+        let warm = generate_platform(Platform::CoronaMi50, &config, &store);
+        assert_eq!(warm.summary.shard_misses, 0, "warm run must miss nothing");
+        assert_eq!(warm.summary.shard_hits, warm.summary.shards_total);
+        assert_eq!(warm.summary.instances_measured, 0);
+        assert_eq!(cold.dataset, warm.dataset);
+        let _ = std::fs::remove_dir_all(dir);
+
+        ratios.push(cold.summary.wall_ms / warm.summary.wall_ms.max(1e-6));
+        if *ratios.last().unwrap() >= 2.0 {
+            return;
+        }
+    }
+    panic!("warm resume never reached 2x over cold in three attempts: ratios {ratios:?}");
+}
+
+/// Deterministic Fisher-Yates over a xorshift stream: the proptest shim
+/// supplies integers, the test derives the permutation.
+fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    seed |= 1;
+    for i in (1..n).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        order.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Property: whatever order shards complete in, and wherever a run is
+    /// interrupted and resumed, the merged dataset is byte-identical to the
+    /// reference sweep for a fixed seed. The first `resume_at` shards (in a
+    /// random permutation) are executed by hand and persisted — the
+    /// "interrupted first run" — then the pipeline finishes the job from
+    /// the half-populated store.
+    #[test]
+    fn any_shard_completion_order_and_resume_point_is_byte_identical(
+        perm_seed in 0u64..1_000_000,
+        resume_fraction in 0usize..=100,
+    ) {
+        let config = PipelineConfig {
+            scale: DatasetScale::Fast,
+            seed: 17,
+            noise_sigma: 0.03,
+        };
+        let platform = Platform::SummitPower9;
+        let (store, dir) = temp_store(&format!("order-{perm_seed}-{resume_fraction}"));
+
+        let plan = ShardPlan::plan(platform, &config);
+        let order = permutation(plan.shards.len(), perm_seed);
+        let resume_at = plan.shards.len() * resume_fraction / 100;
+        let engine = measurement_engine(platform, &config);
+        for &i in order.iter().take(resume_at) {
+            let (labels, _) = plan.shards[i].measure(&engine);
+            store.save(&plan.shards[i], &labels);
+        }
+
+        let outcome = generate_platform(platform, &config, &store);
+        prop_assert_eq!(outcome.summary.shard_hits, resume_at);
+        prop_assert_eq!(
+            outcome.summary.shard_misses,
+            plan.shards.len() - resume_at
+        );
+        let reference = collect_platform_unsharded(platform, &config);
+        prop_assert_eq!(&outcome.dataset, &reference);
+        // Byte-identical, not merely equal: serialize both and compare.
+        let a = serde_json::to_string(&outcome.dataset).unwrap();
+        let b = serde_json::to_string(&reference).unwrap();
+        prop_assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(dir);
     }
 }
