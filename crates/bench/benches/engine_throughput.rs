@@ -1,11 +1,13 @@
 //! Criterion micro-benchmarks of the engine serving hot path: cold-cache vs
-//! warm-cache `advise` latency, and batched variant-prediction throughput —
-//! the baseline future serving PRs (sharding, async, ensembles) compare
-//! against.
+//! warm-cache `advise` latency, batched variant-prediction throughput, and
+//! a launch-sweep advise through the batched GNN backend — the baseline
+//! future serving PRs (sharding, async, ensembles) compare against.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pg_advisor::LaunchConfig;
+use pg_dataset::{collect_platform, DatasetScale, PipelineConfig};
 use pg_engine::{AdviseRequest, Engine, SimulatorBackend};
+use pg_gnn::{GnnBackend, TrainConfig, TrainedModel};
 use pg_perfsim::Platform;
 
 fn advise_request() -> AdviseRequest {
@@ -58,9 +60,48 @@ fn bench_batched_variant_throughput(c: &mut Criterion) {
     });
 }
 
+/// Launch-sweep advise through the trained RGAT backend on a warm engine:
+/// every candidate graph is cached, so this isolates the batched
+/// `GnnBackend::predict_batch` forward pass (one disjoint-union tape pass
+/// per request). The machine-readable speedup against the per-instance
+/// path is recorded by the `gnn_training` bench in `BENCH_gnn.json`.
+fn bench_gnn_backend_sweep(c: &mut Criterion) {
+    let ds = collect_platform(
+        Platform::SummitV100,
+        &PipelineConfig {
+            scale: DatasetScale::Fast,
+            seed: 3,
+            noise_sigma: 0.02,
+        },
+    );
+    let (bundle, _) = TrainedModel::fit(
+        &ds,
+        &TrainConfig {
+            epochs: 2,
+            ..TrainConfig::fast()
+        },
+    )
+    .unwrap();
+    let engine = Engine::builder()
+        .platform(Platform::SummitV100)
+        .backend(GnnBackend::new(bundle, Platform::SummitV100))
+        .build();
+    let request = AdviseRequest::source(
+        "bench/saxpy",
+        "void saxpy(float *x, float *y) {\n\
+         #pragma omp target teams distribute parallel for\n\
+         for (int i = 0; i < 65536; i++) { y[i] = y[i] + 2.0 * x[i]; }\n}",
+    );
+    engine.advise(&request).unwrap(); // warm the frontend cache
+    c.bench_function("engine_advise_gnn_sweep_batched", |b| {
+        b.iter(|| engine.advise(std::hint::black_box(&request)).unwrap())
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_advise_cold, bench_advise_cached, bench_batched_variant_throughput
+    targets = bench_advise_cold, bench_advise_cached, bench_batched_variant_throughput,
+        bench_gnn_backend_sweep
 }
 criterion_main!(benches);

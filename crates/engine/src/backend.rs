@@ -85,6 +85,12 @@ pub trait RuntimePredictor: Send + Sync {
 
     /// Predict a batch of instances, preserving order. The default fans the
     /// batch out across threads; override to amortize per-batch work.
+    /// `pg_gnn::GnnBackend` does exactly that: it joins the whole candidate
+    /// set into disjoint-union mini-batches and serves them with one tape
+    /// forward pass per chunk, which is why `advise` hands backends the full
+    /// candidate list instead of looping over `predict`. Overrides must
+    /// return one result per instance, in instance order, and report
+    /// per-instance failures in place rather than failing the whole batch.
     fn predict_batch(
         &self,
         ctx: &PredictionContext<'_>,

@@ -6,9 +6,11 @@
 //! `pg-engine → pg-gnn` edge would close that cycle.
 
 use crate::bundle::TrainedModel;
+use paragraph_core::RelationalGraph;
 use pg_advisor::KernelInstance;
 use pg_engine::{EngineError, PredictionContext, RuntimePredictor};
 use pg_perfsim::Platform;
+use std::sync::Arc;
 
 /// A trained ParaGraph RGAT model as a backend.
 pub struct GnnBackend {
@@ -65,5 +67,60 @@ impl RuntimePredictor for GnnBackend {
             instance.launch.teams,
             instance.launch.threads,
         )))
+    }
+
+    /// Batched override: the whole candidate set becomes one (chunked)
+    /// disjoint-union forward pass instead of one tape per candidate. Graph
+    /// construction still goes through the engine's memoized frontend;
+    /// candidates whose source fails the frontend report their own error
+    /// while the rest of the batch proceeds.
+    fn predict_batch(
+        &self,
+        ctx: &PredictionContext<'_>,
+        instances: &[KernelInstance],
+    ) -> Vec<Result<f64, EngineError>> {
+        if ctx.platform() != self.trained_on {
+            let err = EngineError::BackendUnavailable(format!(
+                "GNN model was trained on {} but the engine serves {}",
+                self.trained_on.name(),
+                ctx.platform().name()
+            ));
+            return instances.iter().map(|_| Err(err.clone())).collect();
+        }
+        // Resolve graphs through the frontend cache, keeping per-candidate
+        // errors in place.
+        let mut results: Vec<Result<f64, EngineError>> = Vec::with_capacity(instances.len());
+        let mut ok_indices: Vec<usize> = Vec::with_capacity(instances.len());
+        let mut graphs: Vec<Arc<RelationalGraph>> = Vec::with_capacity(instances.len());
+        for (idx, instance) in instances.iter().enumerate() {
+            match ctx.relational_graph(
+                &instance.source,
+                self.bundle.representation,
+                instance.launch.teams,
+                instance.launch.threads,
+            ) {
+                Ok(graph) => {
+                    ok_indices.push(idx);
+                    graphs.push(graph);
+                    results.push(Ok(0.0)); // placeholder, filled below
+                }
+                Err(error) => results.push(Err(error)),
+            }
+        }
+        let items: Vec<(&RelationalGraph, u64, u64)> = ok_indices
+            .iter()
+            .zip(graphs.iter())
+            .map(|(&idx, graph)| {
+                let launch = instances[idx].launch;
+                (graph.as_ref(), launch.teams, launch.threads)
+            })
+            .collect();
+        for (&idx, prediction) in ok_indices
+            .iter()
+            .zip(self.bundle.predict_relational_batch(&items))
+        {
+            results[idx] = Ok(f64::from(prediction));
+        }
+        results
     }
 }

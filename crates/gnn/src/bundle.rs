@@ -9,13 +9,19 @@
 //! `predict` entry points. The `pg-engine` GNN backend consumes exactly this
 //! bundle.
 
+use crate::batch::{BatchedGraph, PreparedGraph};
 use crate::model::ParaGraphModel;
 use crate::train::{prepare, train_prepared, TrainConfig, TrainError, TrainedOutcome};
 use paragraph_core::{build, to_relational, BuilderConfig, RelationalGraph, Representation};
 use pg_dataset::PlatformDataset;
 use pg_frontend::FrontendError;
-use pg_tensor::{MinMaxScaler, TargetTransform};
+use pg_tensor::{MinMaxScaler, Tape, TargetTransform};
 use serde::{Deserialize, Serialize};
+
+/// Graphs per batched forward pass in [`TrainedModel::predict_relational_batch`]:
+/// bounds the disjoint union's peak memory while keeping the batched
+/// matrices large enough for the parallel matmul kernels.
+const PREDICT_BATCH: usize = 64;
 
 /// A trained ParaGraph model together with the fitted scalers and the
 /// representation it expects — everything needed to serve predictions.
@@ -63,6 +69,39 @@ impl TrainedModel {
         let side = self.side_scaler.transform(&[teams as f32, threads as f32]);
         let encoded = self.model.predict_graph(graph, [side[0], side[1]]);
         self.target_transform.decode(encoded).max(0.0)
+    }
+
+    /// Predict the runtimes (ms) of a whole candidate set in batched forward
+    /// passes: the graphs are joined into disjoint unions of up to
+    /// [`PREDICT_BATCH`] members and driven through one tape per chunk, so
+    /// parameters are registered once per chunk instead of once per
+    /// candidate. Results are ordered like the input and match
+    /// [`TrainedModel::predict_relational`] to float precision.
+    pub fn predict_relational_batch(&self, items: &[(&RelationalGraph, u64, u64)]) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let mut out = Vec::with_capacity(items.len());
+        for chunk in items.chunks(PREDICT_BATCH) {
+            let prepared: Vec<PreparedGraph> = chunk
+                .iter()
+                .map(|(graph, _, _)| PreparedGraph::from_relational(graph))
+                .collect();
+            let batch_items: Vec<(&PreparedGraph, [f32; 2])> = prepared
+                .iter()
+                .zip(chunk)
+                .map(|(graph, &(_, teams, threads))| {
+                    let side = self.side_scaler.transform(&[teams as f32, threads as f32]);
+                    (graph, [side[0], side[1]])
+                })
+                .collect();
+            let batch = BatchedGraph::build(&batch_items);
+            out.extend(
+                self.model
+                    .predict_batched(&mut tape, &batch)
+                    .into_iter()
+                    .map(|encoded| self.target_transform.decode(encoded).max(0.0)),
+            );
+        }
+        out
     }
 
     /// Predict the runtime (ms) of a kernel source under a launch

@@ -11,13 +11,16 @@
 #![forbid(unsafe_code)]
 
 pub mod backend;
+pub mod batch;
 pub mod bundle;
 pub mod metrics;
 pub mod model;
+pub mod reference;
 pub mod rgat;
 pub mod train;
 
 pub use backend::GnnBackend;
+pub use batch::{BatchedGraph, PreparedGraph, PreparedRelation};
 pub use bundle::TrainedModel;
 pub use metrics::{binned_relative_error, per_application_error, per_variant_error, BinError};
 pub use model::{GraphSample, ModelConfig, ParaGraphModel};

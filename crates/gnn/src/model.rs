@@ -4,12 +4,14 @@
 //! and threads), and a fully connected head that maps the concatenation of
 //! both embeddings to the predicted runtime.
 
+use crate::batch::{BatchedGraph, PreparedGraph};
 use crate::rgat::RgatLayer;
 use paragraph_core::{RelationalGraph, NODE_FEATURE_DIM};
 use pg_tensor::{init, Matrix, Tape, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Hyper-parameters of the ParaGraph model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -169,71 +171,53 @@ impl ParaGraphModel {
         self.parameters().iter().map(|m| m.len()).sum()
     }
 
-    /// Run a forward pass and return `(prediction, loss, parameter_vars)`.
-    /// When `target` is `None` the loss is `None` and only inference happens.
-    fn forward_on_tape(
-        &self,
-        tape: &mut Tape,
-        sample: &GraphSample,
-        target: Option<f32>,
-    ) -> (Var, Option<Var>, Vec<Var>) {
-        self.forward_parts(tape, &sample.graph, sample.side, target)
+    /// Register every trainable matrix as a tape leaf (copying into the
+    /// tape's retained slot buffers), in the order of
+    /// [`ParaGraphModel::parameters`]. One call serves a whole batch — the
+    /// old execution path re-cloned all parameters once per sample.
+    fn register_parameters(&self, tape: &mut Tape) -> Vec<Var> {
+        self.parameters()
+            .into_iter()
+            .map(|p| tape.leaf_copy(p))
+            .collect()
     }
 
-    /// Forward pass over a borrowed graph and side features (lets callers
-    /// that hold a graph elsewhere — e.g. a cache — avoid assembling a
-    /// [`GraphSample`]).
-    fn forward_parts(
+    /// Run a forward pass over a batched (disjoint-union) graph, producing a
+    /// `B x 1` prediction column, the batch-mean MSE loss when `targets` is
+    /// given, and the parameter leaves (aligned with
+    /// [`ParaGraphModel::parameters`]) for gradient readout.
+    ///
+    /// Every per-node and per-edge computation is row-identical to a
+    /// per-sample pass over each member graph, so batched predictions match
+    /// the per-sample path to float precision; the batch-mean loss equals
+    /// the mean of per-sample losses, and its gradients equal the mean of
+    /// per-sample gradients.
+    pub fn forward_batched(
         &self,
         tape: &mut Tape,
-        graph: &RelationalGraph,
-        side: [f32; 2],
-        target: Option<f32>,
+        batch: &BatchedGraph,
+        targets: Option<&[f32]>,
     ) -> (Var, Option<Var>, Vec<Var>) {
-        // Register parameters as tape leaves.
-        let param_vars: Vec<Var> = self
-            .parameters()
-            .iter()
-            .map(|p| tape.leaf((*p).clone()))
-            .collect();
+        let param_vars = self.register_parameters(tape);
+        let n = batch.total_nodes();
 
-        // Node features.
-        let n = graph.node_count.max(1);
-        let feat_dim = self.config.input_dim;
-        let mut feature_data = Vec::with_capacity(n * feat_dim);
-        for row in &graph.features {
-            feature_data.extend_from_slice(row);
-        }
-        let features = Matrix::from_vec(graph.features.len(), feat_dim, feature_data);
-        let mut h = tape.leaf(features);
+        // Input features are constants: no-grad leaf, so backward prunes the
+        // whole d(features) branch of the first layer.
+        let mut h = tape.leaf_copy_no_grad(&batch.features);
 
-        // Edge lists with attention priors per relation.
-        let relations: Vec<(Vec<usize>, Vec<usize>, Vec<f32>)> = graph
-            .relations
-            .iter()
-            .enumerate()
-            .map(|(idx, rel)| {
-                (
-                    rel.src.clone(),
-                    rel.dst.clone(),
-                    graph.attention_priors(idx),
-                )
-            })
-            .collect();
-
-        // RGAT stack.
+        // RGAT stack over the disjoint union.
         let mut offset = 0;
         for layer in &self.rgat {
             let count = layer.parameter_count();
             let layer_params = &param_vars[offset..offset + count];
-            h = layer.forward(tape, h, layer_params, &relations, n);
+            h = layer.forward(tape, h, layer_params, &batch.relations, n);
             offset += count;
         }
 
-        // Readout: mean over nodes.
-        let graph_embedding = tape.mean_rows(h);
+        // Readout: per-graph mean over that graph's node rows.
+        let graph_embedding = tape.segment_mean_rows_shared(h, Arc::clone(&batch.offsets));
 
-        // Side features (teams, threads).
+        // Side features (teams, threads), one row per graph.
         let side_w = param_vars[offset];
         let side_b = param_vars[offset + 1];
         let head1_w = param_vars[offset + 2];
@@ -241,7 +225,7 @@ impl ParaGraphModel {
         let head2_w = param_vars[offset + 4];
         let head2_b = param_vars[offset + 5];
 
-        let side_input = tape.leaf(Matrix::row_vector(&side));
+        let side_input = tape.leaf_copy_no_grad(&batch.sides);
         let side_proj = tape.matmul(side_input, side_w);
         let side_proj = tape.add_row_broadcast(side_proj, side_b);
         let side_embedding = tape.relu(side_proj);
@@ -254,30 +238,51 @@ impl ParaGraphModel {
         let out = tape.matmul(h1, head2_w);
         let prediction = tape.add_row_broadcast(out, head2_b);
 
-        let loss = target.map(|t| tape.mse_loss(prediction, &[t]));
+        let loss = targets.map(|t| {
+            assert_eq!(t.len(), batch.batch_size(), "one target per graph");
+            tape.mse_loss(prediction, t)
+        });
         (prediction, loss, param_vars)
+    }
+
+    /// Predict the encoded runtimes of a whole batch on a caller-owned tape
+    /// (the tape is reset first, so one tape amortises across calls).
+    pub fn predict_batched(&self, tape: &mut Tape, batch: &BatchedGraph) -> Vec<f32> {
+        tape.reset();
+        let (prediction, _, _) = self.forward_batched(tape, batch, None);
+        tape.value(prediction).col(0)
+    }
+
+    /// Predict the encoded runtime of one prepared graph on a caller-owned
+    /// tape.
+    pub fn predict_prepared(&self, tape: &mut Tape, graph: &PreparedGraph, side: [f32; 2]) -> f32 {
+        self.predict_batched(tape, &BatchedGraph::single(graph, side))[0]
     }
 
     /// Predict the encoded runtime of one sample (inference only).
     pub fn predict(&self, sample: &GraphSample) -> f32 {
-        let mut tape = Tape::new();
-        let (prediction, _, _) = self.forward_on_tape(&mut tape, sample, None);
-        tape.value(prediction).get(0, 0)
+        self.predict_graph(&sample.graph, sample.side)
     }
 
     /// Predict the encoded runtime from a borrowed graph and already-scaled
     /// side features, without building a [`GraphSample`].
     pub fn predict_graph(&self, graph: &RelationalGraph, side: [f32; 2]) -> f32 {
+        let prepared = PreparedGraph::from_relational(graph);
         let mut tape = Tape::new();
-        let (prediction, _, _) = self.forward_parts(&mut tape, graph, side, None);
-        tape.value(prediction).get(0, 0)
+        self.predict_prepared(&mut tape, &prepared, side)
     }
 
     /// Compute the loss and parameter gradients for one sample.
     /// The gradients are aligned with [`ParaGraphModel::parameters`].
+    ///
+    /// This is the per-sample reference path: training and serving use
+    /// [`ParaGraphModel::forward_batched`], and the golden-equivalence tests
+    /// pin the batched results against this one.
     pub fn loss_and_gradients(&self, sample: &GraphSample) -> (f32, Vec<Matrix>) {
+        let prepared = PreparedGraph::from_relational(&sample.graph);
+        let batch = BatchedGraph::single(&prepared, sample.side);
         let mut tape = Tape::new();
-        let (_, loss, param_vars) = self.forward_on_tape(&mut tape, sample, Some(sample.target));
+        let (_, loss, param_vars) = self.forward_batched(&mut tape, &batch, Some(&[sample.target]));
         let loss = loss.expect("loss requested");
         tape.backward(loss);
         let grads = param_vars.iter().map(|&v| tape.grad(v)).collect();

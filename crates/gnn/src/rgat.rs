@@ -6,9 +6,11 @@
 //! are summed together with a self-connection. ParaGraph's edge weights enter
 //! as multiplicative attention priors on the `Child` relation.
 
+use crate::batch::PreparedRelation;
 use pg_tensor::{init, Matrix, Tape, Var};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Negative slope of the LeakyReLU applied to attention logits (GAT default).
 pub const ATTENTION_LEAKY_SLOPE: f32 = 0.2;
@@ -90,7 +92,30 @@ impl RgatLayer {
     /// * `h` — node features (`N x F_in`) already on the tape,
     /// * `params` — the layer's parameters as tape leaves, in the order of
     ///   [`RgatLayer::parameters`],
-    /// * `relations` — per-relation `(src, dst, priors)` edge lists.
+    /// * `relations` — prepared per-relation edge lists (single graph or a
+    ///   disjoint-union batch; the layer does not care — shifted indices and
+    ///   per-destination softmax segments batch transparently).
+    ///
+    /// The interned `Arc` index slices are recorded on the tape by refcount,
+    /// so a forward pass copies no edge list.
+    ///
+    /// # Kernel structure
+    ///
+    /// The attention logit `leakyrelu(a^T [W h_src | W h_dst])` decomposes
+    /// into `leakyrelu(a_src^T (W h_src) + a_dst^T (W h_dst))`, so instead of
+    /// materialising the `E x 2H` concatenation the layer computes two
+    /// per-edge scalar columns and adds them (the standard GAT
+    /// factorisation). Projections are placed by density:
+    ///
+    /// * **dense relations** (`2E >= N`, e.g. the Child tree): project every
+    ///   node once (`proj = H W`, reused for messages and both attention
+    ///   terms) and gather rows of the projection — `gather(H, src) * W` and
+    ///   `gather(H W, src)` are row-identical, so this halves the projection
+    ///   work without changing a single output row;
+    /// * **sparse relations** (`2E < N`): project only the gathered source
+    ///   rows, and fold the destination projection into the attention vector
+    ///   (`(h_dst W) a_dst = h_dst (W a_dst)`, an `F x 1` precontraction) so
+    ///   the destination side never materialises an `E x H` matrix at all.
     ///
     /// Returns the new node representations (`N x F_out`).
     pub fn forward(
@@ -98,7 +123,7 @@ impl RgatLayer {
         tape: &mut Tape,
         h: Var,
         params: &[Var],
-        relations: &[(Vec<usize>, Vec<usize>, Vec<f32>)],
+        relations: &[PreparedRelation],
         node_count: usize,
     ) -> Var {
         assert_eq!(
@@ -116,32 +141,64 @@ impl RgatLayer {
         let a_rel = &params[r..2 * r];
         let w_self = params[2 * r];
         let bias = params[2 * r + 1];
+        let out_dim = self.output_dim;
 
         // Self connection: H * W_self.
         let mut agg = tape.matmul(h, w_self);
 
-        for (rel_idx, (src, dst, priors)) in relations.iter().enumerate() {
-            if src.is_empty() {
+        for (rel_idx, rel) in relations.iter().enumerate() {
+            if rel.is_empty() {
                 continue;
             }
-            let hs = tape.gather_rows(h, src);
-            let hd = tape.gather_rows(h, dst);
-            let ms = tape.matmul(hs, w_rel[rel_idx]);
-            let md = tape.matmul(hd, w_rel[rel_idx]);
-            let cat = tape.concat_cols(ms, md);
-            let raw_logits = tape.matmul(cat, a_rel[rel_idx]);
+            let e = rel.len();
+            let w = w_rel[rel_idx];
+            let a_src = tape.slice_rows(a_rel[rel_idx], 0, out_dim);
+            let a_dst = tape.slice_rows(a_rel[rel_idx], out_dim, 2 * out_dim);
+
+            let (msg, msg_src, s_src, s_dst) = if 2 * e >= node_count {
+                // Dense: one projection of every node; attention terms and
+                // messages gather rows of the projection per edge.
+                let proj = tape.matmul(h, w);
+                let node_s_src = tape.matmul(proj, a_src);
+                let node_s_dst = tape.matmul(proj, a_dst);
+                let s_src = tape.gather_rows_shared(node_s_src, Arc::clone(&rel.src));
+                let s_dst = tape.gather_rows_shared(node_s_dst, Arc::clone(&rel.dst));
+                (proj, Some(Arc::clone(&rel.src)), s_src, s_dst)
+            } else {
+                // Sparse: project gathered sources; precontract W with the
+                // destination attention half so the destination side costs
+                // one E x F gather and an E x F dot.
+                let hs = tape.gather_rows_shared(h, Arc::clone(&rel.src));
+                let ms = tape.matmul(hs, w);
+                let s_src = tape.matmul(ms, a_src);
+                let w_a_dst = tape.matmul(w, a_dst);
+                let hd = tape.gather_rows_shared(h, Arc::clone(&rel.dst));
+                let s_dst = tape.matmul(hd, w_a_dst);
+                (ms, None, s_src, s_dst)
+            };
+
+            let raw_logits = tape.add(s_src, s_dst);
             let logits = tape.leaky_relu(raw_logits, ATTENTION_LEAKY_SLOPE);
-            let alpha = tape.segment_softmax(logits, dst, priors);
+            let alpha =
+                tape.segment_softmax_shared(logits, Arc::clone(&rel.dst), rel.priors.as_slice());
             // The edge priors (log-compressed ParaGraph weights) scale the
             // messages *in addition* to steering the attention. This matters
             // because Child edges form a tree: every destination has exactly
             // one incoming Child edge, so a per-segment softmax alone would
-            // normalise the weight information away entirely.
-            let prior_col = tape.leaf(pg_tensor::Matrix::col_vector(priors));
-            let messages = tape.mul_col_broadcast(ms, alpha);
-            let messages = tape.mul_col_broadcast(messages, prior_col);
-            let rel_agg = tape.scatter_add_rows(messages, dst, node_count);
-            agg = tape.add(agg, rel_agg);
+            // normalise the weight information away entirely. Folding the
+            // prior into the attention column first keeps the message path
+            // to one fused pass over the edges (gather, scale and
+            // scatter-add in a single op, no E x F_out intermediates).
+            let prior_col = tape.leaf_copy_no_grad(&rel.priors);
+            let scale = tape.hadamard(alpha, prior_col);
+            agg = tape.edge_scale_scatter(
+                msg,
+                scale,
+                Some(agg),
+                msg_src,
+                Arc::clone(&rel.dst),
+                node_count,
+            );
         }
 
         let with_bias = tape.add_row_broadcast(agg, bias);
@@ -154,14 +211,22 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
-    fn simple_relations() -> Vec<(Vec<usize>, Vec<usize>, Vec<f32>)> {
+    fn rel(src: Vec<usize>, dst: Vec<usize>, priors: Vec<f32>) -> PreparedRelation {
+        PreparedRelation {
+            src: Arc::from(src),
+            dst: Arc::from(dst),
+            priors: Matrix::col_vector(&priors),
+        }
+    }
+
+    fn simple_relations() -> Vec<PreparedRelation> {
         vec![
             // Relation 0: a small tree 0->1, 0->2, 1->3 with weights.
-            (vec![0, 0, 1], vec![1, 2, 3], vec![1.0, 2.0, 4.0]),
+            rel(vec![0, 0, 1], vec![1, 2, 3], vec![1.0, 2.0, 4.0]),
             // Relation 1: a chain 1->2->3.
-            (vec![1, 2], vec![2, 3], vec![1.0, 1.0]),
+            rel(vec![1, 2], vec![2, 3], vec![1.0, 1.0]),
             // Relation 2: empty.
-            (vec![], vec![], vec![]),
+            rel(vec![], vec![], vec![]),
         ]
     }
 
@@ -212,7 +277,7 @@ mod tests {
                 .iter()
                 .map(|p| tape.leaf((*p).clone()))
                 .collect();
-            let rels = vec![(vec![0usize, 1], vec![2usize, 2], priors)];
+            let rels = vec![rel(vec![0, 1], vec![2, 2], priors)];
             let out = layer.forward(&mut tape, h, &params, &rels, 3);
             tape.value(out).clone()
         };
@@ -241,8 +306,8 @@ mod tests {
         // softmax has more than one competitor and its parameters receive a
         // gradient (a single-edge segment has a constant alpha of 1).
         let rels = vec![
-            (vec![0usize, 1, 2], vec![3usize, 3, 3], vec![1.0, 2.0, 3.0]),
-            (vec![3usize, 2, 1], vec![0usize, 0, 0], vec![1.0, 1.0, 1.0]),
+            rel(vec![0, 1, 2], vec![3, 3, 3], vec![1.0, 2.0, 3.0]),
+            rel(vec![3, 2, 1], vec![0, 0, 0], vec![1.0, 1.0, 1.0]),
         ];
         let out = layer.forward(&mut tape, h, &params, &rels, 4);
         let pooled = tape.mean_rows(out);

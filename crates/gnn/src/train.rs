@@ -1,12 +1,21 @@
 //! Training loop for the ParaGraph model: dataset preparation (graph
-//! construction, feature/target scaling), mini-batch Adam training with
-//! rayon-parallel gradient computation, and validation-set evaluation after
-//! every epoch (the training curves of Figures 5 and 7).
+//! construction, feature/target scaling, one-time tensor conversion),
+//! mini-batch Adam training over batched disjoint-union graphs on a single
+//! reused tape, and validation-set evaluation after every epoch (the
+//! training curves of Figures 5 and 7).
+//!
+//! One tape forward/backward serves a whole mini-batch: the batch-mean MSE
+//! loss makes the batched gradients equal (to float precision) to the mean
+//! of per-sample gradients, which is exactly what the previous per-sample
+//! path averaged by hand. [`crate::reference`] keeps that path alive as the
+//! baseline for the golden-equivalence tests and the `gnn_training`
+//! benchmark.
 
+use crate::batch::{BatchedGraph, PreparedGraph};
 use crate::model::{GraphSample, ModelConfig, ParaGraphModel};
 use paragraph_core::Representation;
 use pg_dataset::PlatformDataset;
-use pg_tensor::{metrics, Adam, AdamConfig, Matrix, MinMaxScaler, TargetTransform};
+use pg_tensor::{metrics, Adam, AdamConfig, Matrix, MinMaxScaler, Tape, TargetTransform};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -106,6 +115,11 @@ pub struct SampleMeta {
 pub struct PreparedDataset {
     /// Model-ready samples, aligned with `meta`.
     pub samples: Vec<GraphSample>,
+    /// Tensor-ready form of each sample's graph (flattened features,
+    /// interned edge lists, materialised attention priors), aligned with
+    /// `samples`. Converted once here so neither training epochs nor
+    /// evaluation passes re-clone edge lists or re-flatten features.
+    pub prepared: Vec<PreparedGraph>,
     /// Per-sample metadata.
     pub meta: Vec<SampleMeta>,
     /// Target transform fitted on the training split.
@@ -214,6 +228,12 @@ pub fn prepare(
         })
         .collect();
 
+    // One-time tensor conversion (flatten features, intern edge lists).
+    let prepared: Vec<PreparedGraph> = samples
+        .par_iter()
+        .map(|s| PreparedGraph::from_relational(&s.graph))
+        .collect();
+
     let meta: Vec<SampleMeta> = dataset
         .points
         .iter()
@@ -227,6 +247,7 @@ pub fn prepare(
 
     PreparedDataset {
         samples,
+        prepared,
         meta,
         target_transform,
         side_scaler,
@@ -235,28 +256,46 @@ pub fn prepare(
     }
 }
 
+/// Assemble the disjoint-union batch of a set of sample indices.
+fn batch_of(prepared: &PreparedDataset, indices: &[usize]) -> BatchedGraph {
+    let items: Vec<(&PreparedGraph, [f32; 2])> = indices
+        .iter()
+        .map(|&i| (&prepared.prepared[i], prepared.samples[i].side))
+        .collect();
+    BatchedGraph::build(&items)
+}
+
+/// Number of graphs evaluated per batched forward pass outside training.
+/// Bounds peak memory of the disjoint union while keeping the matrices
+/// large enough for the parallel matmul kernels.
+const EVAL_BATCH: usize = 64;
+
 /// Evaluate a model on a set of samples, returning per-sample predictions in
-/// milliseconds.
+/// milliseconds. Batched: chunks of [`EVAL_BATCH`] graphs go through one
+/// forward pass each on a single reused tape.
 pub fn evaluate(
     model: &ParaGraphModel,
     prepared: &PreparedDataset,
     indices: &[usize],
 ) -> Vec<PredictionRecord> {
-    indices
-        .par_iter()
-        .map(|&i| {
-            let encoded = model.predict(&prepared.samples[i]);
+    let mut tape = Tape::new();
+    let mut records = Vec::with_capacity(indices.len());
+    for chunk in indices.chunks(EVAL_BATCH) {
+        let batch = batch_of(prepared, chunk);
+        let encoded = model.predict_batched(&mut tape, &batch);
+        for (&i, encoded) in chunk.iter().zip(encoded) {
             let predicted_ms = prepared.target_transform.decode(encoded).max(0.0);
             let meta = &prepared.meta[i];
-            PredictionRecord {
+            records.push(PredictionRecord {
                 id: meta.id,
                 application: meta.application.clone(),
                 variant: meta.variant.clone(),
                 actual_ms: meta.runtime_ms,
                 predicted_ms,
-            }
-        })
-        .collect()
+            });
+        }
+    }
+    records
 }
 
 /// RMSE (ms) and normalised RMSE of a set of prediction records.
@@ -280,6 +319,11 @@ pub fn train(
 
 /// Train on an already-prepared dataset (lets the ablation study reuse the
 /// expensive graph construction across representations when they share it).
+///
+/// Each mini-batch is a disjoint-union [`BatchedGraph`] driven through one
+/// forward/backward on a single tape that is `reset()` (not rebuilt)
+/// between steps, and the optimiser reads gradients by reference
+/// ([`pg_tensor::Tape::grad_ref`]) instead of cloning them.
 pub fn train_prepared(
     prepared: &PreparedDataset,
     config: &TrainConfig,
@@ -297,6 +341,13 @@ pub fn train_prepared(
     });
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7261_696e);
     let mut history = TrainingHistory::default();
+    let mut tape = Tape::new();
+    let mut last_validation: Option<Vec<PredictionRecord>> = None;
+    // Parameters that receive no gradient (e.g. the attention vector of a
+    // relation absent from a batch) still take an Adam step with a zero
+    // gradient, exactly as the per-sample path always did (its `Tape::grad`
+    // materialised zeros). Cache the zero matrices per parameter key.
+    let mut zeros: Vec<Matrix> = Vec::new();
 
     let mut train_order = prepared.train_idx.clone();
     for epoch in 1..=config.epochs {
@@ -304,36 +355,38 @@ pub fn train_prepared(
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
 
-        for batch in train_order.chunks(config.batch_size.max(1)) {
-            // Parallel gradient computation over the batch.
-            let results: Vec<(f32, Vec<Matrix>)> = batch
-                .par_iter()
-                .map(|&i| model.loss_and_gradients(&prepared.samples[i]))
+        for batch_indices in train_order.chunks(config.batch_size.max(1)) {
+            tape.reset();
+            let batch = batch_of(prepared, batch_indices);
+            let targets: Vec<f32> = batch_indices
+                .iter()
+                .map(|&i| prepared.samples[i].target)
                 .collect();
-
-            let batch_len = results.len().max(1) as f32;
-            let mut mean_grads: Vec<Matrix> = results[0].1.clone();
-            let mut batch_loss = results[0].0;
-            for (loss, grads) in results.iter().skip(1) {
-                batch_loss += *loss;
-                for (acc, g) in mean_grads.iter_mut().zip(grads.iter()) {
-                    acc.add_assign(g);
-                }
-            }
-            for g in &mut mean_grads {
-                *g = g.scale(1.0 / batch_len);
-            }
-            epoch_loss += (batch_loss / batch_len) as f64;
+            let (_, loss, param_vars) = model.forward_batched(&mut tape, &batch, Some(&targets));
+            let loss = loss.expect("targets were supplied");
+            tape.backward(loss);
+            // The batch-mean MSE equals the mean of per-sample losses.
+            epoch_loss += f64::from(tape.value(loss).get(0, 0));
             batches += 1;
 
             adam.begin_step();
-            for (key, (param, grad)) in model
+            for (key, (param, var)) in model
                 .parameters_mut()
                 .into_iter()
-                .zip(mean_grads.iter())
+                .zip(param_vars.iter())
                 .enumerate()
             {
-                adam.step(key, param, grad);
+                if let Some(grad) = tape.grad_ref(*var) {
+                    adam.step(key, param, grad);
+                } else {
+                    if zeros.len() <= key {
+                        zeros.resize_with(key + 1, || Matrix::zeros(0, 0));
+                    }
+                    if zeros[key].shape() != param.shape() {
+                        zeros[key].reset_to_zeros(param.rows(), param.cols());
+                    }
+                    adam.step(key, param, &zeros[key]);
+                }
             }
         }
 
@@ -346,9 +399,14 @@ pub fn train_prepared(
             val_rmse_ms: rmse_ms,
             val_norm_rmse: norm_rmse,
         });
+        last_validation = Some(val_records);
     }
 
-    let validation = evaluate(&model, prepared, &prepared.val_idx);
+    // The final validation pass is exactly the last epoch's (same model,
+    // same split, deterministic forward), so reuse it instead of paying a
+    // second evaluation sweep per training run.
+    let validation =
+        last_validation.unwrap_or_else(|| evaluate(&model, prepared, &prepared.val_idx));
     let (rmse_ms, norm_rmse, runtime_range_ms) = summarize(&validation);
     Ok(TrainedOutcome {
         model,

@@ -78,10 +78,11 @@ mod integration_tests {
             final_loss = tape.value(loss).get(0, 0);
 
             adam.begin_step();
-            adam.step(0, &mut w1, &tape.grad(vw1));
-            adam.step(1, &mut b1, &tape.grad(vb1));
-            adam.step(2, &mut w2, &tape.grad(vw2));
-            adam.step(3, &mut b2, &tape.grad(vb2));
+            // grad_ref borrows the retained gradient buffers — no clones.
+            adam.step(0, &mut w1, tape.grad_ref(vw1).expect("w1 gradient"));
+            adam.step(1, &mut b1, tape.grad_ref(vb1).expect("b1 gradient"));
+            adam.step(2, &mut w2, tape.grad_ref(vw2).expect("w2 gradient"));
+            adam.step(3, &mut b2, tape.grad_ref(vb2).expect("b2 gradient"));
         }
         assert!(
             final_loss < 0.05,
