@@ -267,73 +267,138 @@ impl Engine {
     /// Run the full request path: resolve → enumerate → batched prediction →
     /// ranked report.
     pub fn advise(&self, request: &AdviseRequest) -> Result<AdviseReport, EngineError> {
-        let started = Instant::now();
-        // Per-request accounting: concurrent advise calls on a shared engine
-        // must not attribute each other's cache activity, so the report uses
-        // a request-scoped counter rather than a delta of the global ones.
-        let counters = RequestCounters::default();
-        let is_catalog = matches!(request.kernel, KernelSpec::Catalog(_));
+        self.advise_many(std::slice::from_ref(request))
+            .pop()
+            .expect("advise_many returns one result per request")
+    }
 
-        let candidates = self.candidates(request, &counters)?;
-        let enumerate_ms = started.elapsed().as_secs_f64() * 1e3;
+    /// [`Engine::advise`] over several requests at once, coalescing every
+    /// request's candidates into **one** backend `predict_batch` call.
+    ///
+    /// This is the micro-batching primitive the serving tier (`pg-serve`)
+    /// is built on: backends that amortize per-batch work — the GNN
+    /// backend's disjoint-union forward pass above all — see one large
+    /// candidate set instead of many small ones, so concurrent requests
+    /// share tape setup and the batched matmul kernels. Results come back
+    /// in request order, one per request; a request that fails enumeration
+    /// (unknown kernel, empty budget) reports its own error without
+    /// failing the rest of the batch.
+    ///
+    /// Rankings are bit-identical to per-request [`Engine::advise`] calls:
+    /// prediction of one candidate never depends on what else is in the
+    /// batch. Two accounting fields are batch-scoped, though:
+    /// [`Timing::predict_ms`] is the whole batch's prediction wall time,
+    /// and the prediction-phase share of [`CacheActivity`] is accounted to
+    /// the batch and reported identically on every member report
+    /// (enumeration-phase activity stays per-request).
+    pub fn advise_many(
+        &self,
+        requests: &[AdviseRequest],
+    ) -> Vec<Result<AdviseReport, EngineError>> {
+        struct Pending {
+            request_idx: usize,
+            started: Instant,
+            enumerate_ms: f64,
+            enum_cache: CacheCounters,
+            is_catalog: bool,
+            range: std::ops::Range<usize>,
+        }
 
-        let predict_started = Instant::now();
-        let ctx = PredictionContext::new(&self.cache, self.platform, &counters);
-        let predictions = self.backend.predict_batch(&ctx, &candidates);
-        let predict_ms = predict_started.elapsed().as_secs_f64() * 1e3;
-
-        let mut rankings = Vec::new();
-        let mut failures = Vec::new();
-        let mut first_error: Option<EngineError> = None;
-        for (instance, prediction) in candidates.iter().zip(predictions) {
-            let variant = is_catalog.then_some(instance.variant);
-            match prediction {
-                Ok(predicted_ms) => rankings.push(VariantPrediction {
-                    variant,
-                    launch: instance.launch,
-                    predicted_ms,
-                }),
-                Err(error) => {
-                    if first_error.is_none() {
-                        first_error = Some(error.clone());
-                    }
-                    failures.push(PredictionFailure {
-                        variant,
-                        launch: instance.launch,
-                        error: error.to_string(),
+        let mut results: Vec<Option<Result<AdviseReport, EngineError>>> =
+            requests.iter().map(|_| None).collect();
+        let mut pending: Vec<Pending> = Vec::with_capacity(requests.len());
+        let mut candidates: Vec<KernelInstance> = Vec::new();
+        for (request_idx, request) in requests.iter().enumerate() {
+            let started = Instant::now();
+            let counters = RequestCounters::default();
+            match self.candidates(request, &counters) {
+                Ok(mut enumerated) => {
+                    let start = candidates.len();
+                    candidates.append(&mut enumerated);
+                    pending.push(Pending {
+                        request_idx,
+                        started,
+                        enumerate_ms: started.elapsed().as_secs_f64() * 1e3,
+                        enum_cache: counters.snapshot(),
+                        is_catalog: matches!(request.kernel, KernelSpec::Catalog(_)),
+                        range: start..candidates.len(),
                     });
                 }
+                Err(error) => results[request_idx] = Some(Err(error)),
             }
         }
-        if rankings.is_empty() {
-            return Err(EngineError::AllPredictionsFailed {
-                kernel: request.kernel.name().to_string(),
-                first: Box::new(first_error.unwrap_or(EngineError::EmptyBudget)),
+
+        // One backend call over the whole batch. Cache activity during
+        // prediction is shared accounting: the backend resolves graphs for
+        // every request through one context.
+        let predict_started = Instant::now();
+        let batch_counters = RequestCounters::default();
+        let ctx = PredictionContext::new(&self.cache, self.platform, &batch_counters);
+        let predictions = self.backend.predict_batch(&ctx, &candidates);
+        let predict_ms = predict_started.elapsed().as_secs_f64() * 1e3;
+        let predict_cache = batch_counters.snapshot();
+
+        for entry in pending {
+            let request = &requests[entry.request_idx];
+            let mut rankings = Vec::new();
+            let mut failures = Vec::new();
+            let mut first_error: Option<EngineError> = None;
+            for (instance, prediction) in candidates[entry.range.clone()]
+                .iter()
+                .zip(&predictions[entry.range.clone()])
+            {
+                let variant = entry.is_catalog.then_some(instance.variant);
+                match prediction {
+                    Ok(predicted_ms) => rankings.push(VariantPrediction {
+                        variant,
+                        launch: instance.launch,
+                        predicted_ms: *predicted_ms,
+                    }),
+                    Err(error) => {
+                        if first_error.is_none() {
+                            first_error = Some(error.clone());
+                        }
+                        failures.push(PredictionFailure {
+                            variant,
+                            launch: instance.launch,
+                            error: error.to_string(),
+                        });
+                    }
+                }
+            }
+            results[entry.request_idx] = Some(if rankings.is_empty() {
+                Err(EngineError::AllPredictionsFailed {
+                    kernel: request.kernel.name().to_string(),
+                    first: Box::new(first_error.unwrap_or(EngineError::EmptyBudget)),
+                })
+            } else {
+                rankings.sort_by(|a, b| {
+                    a.predicted_ms
+                        .partial_cmp(&b.predicted_ms)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                Ok(AdviseReport {
+                    kernel: request.kernel.name().to_string(),
+                    platform: self.platform,
+                    backend: self.backend.name().to_string(),
+                    rankings,
+                    failures,
+                    timing: Timing {
+                        enumerate_ms: entry.enumerate_ms,
+                        predict_ms,
+                        total_ms: entry.started.elapsed().as_secs_f64() * 1e3,
+                    },
+                    cache: CacheActivity {
+                        hits: entry.enum_cache.hits + predict_cache.hits,
+                        misses: entry.enum_cache.misses + predict_cache.misses,
+                    },
+                })
             });
         }
-        rankings.sort_by(|a, b| {
-            a.predicted_ms
-                .partial_cmp(&b.predicted_ms)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-
-        let cache_delta = counters.snapshot();
-        Ok(AdviseReport {
-            kernel: request.kernel.name().to_string(),
-            platform: self.platform,
-            backend: self.backend.name().to_string(),
-            rankings,
-            failures,
-            timing: Timing {
-                enumerate_ms,
-                predict_ms,
-                total_ms: started.elapsed().as_secs_f64() * 1e3,
-            },
-            cache: CacheActivity {
-                hits: cache_delta.hits,
-                misses: cache_delta.misses,
-            },
-        })
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every request produced a result"))
+            .collect()
     }
 }
 
@@ -418,6 +483,41 @@ mod tests {
         assert_eq!(warm.cache.misses, 0);
         assert!(warm.cache.hits >= cold.cache.misses);
         assert_eq!(cold.rankings, warm.rankings);
+    }
+
+    #[test]
+    fn advise_many_matches_per_request_advise() {
+        let engine = Engine::builder().platform(Platform::SummitV100).build();
+        let requests = vec![
+            AdviseRequest::catalog("MM/matmul"),
+            AdviseRequest::catalog("MV/matvec"),
+            AdviseRequest::catalog("MM/matmul").with_launch(LaunchConfig {
+                teams: 80,
+                threads: 128,
+            }),
+        ];
+        let coalesced = engine.advise_many(&requests);
+        assert_eq!(coalesced.len(), requests.len());
+        for (request, batched) in requests.iter().zip(&coalesced) {
+            let direct = engine.advise(request).unwrap();
+            let batched = batched.as_ref().unwrap();
+            assert_eq!(direct.rankings, batched.rankings);
+            assert_eq!(direct.failures, batched.failures);
+            assert_eq!(direct.kernel, batched.kernel);
+            assert_eq!(direct.backend, batched.backend);
+        }
+    }
+
+    #[test]
+    fn advise_many_isolates_per_request_failures() {
+        let engine = Engine::builder().platform(Platform::SummitV100).build();
+        let requests = vec![
+            AdviseRequest::catalog("Nope/nothing"),
+            AdviseRequest::catalog("MM/matmul"),
+        ];
+        let results = engine.advise_many(&requests);
+        assert!(matches!(results[0], Err(EngineError::UnknownKernel(_))));
+        assert!(results[1].is_ok());
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Concurrency regression tests for the shared-engine serving path.
+//!
+//! The serving tier (`pg-serve`) hands one `Arc<Engine>` to many threads,
+//! so `Engine` must be `Send + Sync` and the interior mutability inside
+//! [`FrontendCache`] (per-layer mutexes + atomic counters) must not lose
+//! updates or tear under contention. The hammer test pins that: against a
+//! fully warmed cache, every lookup is deterministic, so the counter
+//! deltas of N concurrent sweeps must equal exactly N times the delta of
+//! one serial sweep — a lost counter update, a racy eviction, or any
+//! accidental per-thread state would break the equality.
+
+use pg_engine::{AdviseRequest, CacheCounters, Engine, FrontendCache};
+use pg_perfsim::Platform;
+use std::sync::Arc;
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn engine_and_cache_are_send_sync() {
+    assert_send_sync::<Engine>();
+    assert_send_sync::<Arc<Engine>>();
+    assert_send_sync::<FrontendCache>();
+}
+
+fn request_mix() -> Vec<AdviseRequest> {
+    use pg_advisor::LaunchConfig;
+    let mut requests = Vec::new();
+    for kernel in ["MM/matmul", "MV/matvec", "Transpose/transpose"] {
+        for &(teams, threads) in &[(80u64, 128u64), (40, 256)] {
+            requests
+                .push(AdviseRequest::catalog(kernel).with_launch(LaunchConfig { teams, threads }));
+        }
+    }
+    requests
+}
+
+#[test]
+fn hammering_a_shared_engine_matches_serial_cache_accounting() {
+    const THREADS: usize = 8;
+    const SWEEPS_PER_THREAD: usize = 4;
+
+    let engine = Arc::new(Engine::builder().platform(Platform::SummitV100).build());
+    let requests = request_mix();
+
+    // Warm every key so lookups become deterministic hits (no first-miss
+    // races left to blur the accounting).
+    let warm_reports: Vec<_> = requests.iter().map(|r| engine.advise(r).unwrap()).collect();
+
+    // One serial sweep over the warm cache is the per-sweep reference.
+    let before_serial = engine.cache_counters();
+    for request in &requests {
+        let report = engine.advise(request).unwrap();
+        assert_eq!(report.cache.misses, 0, "cache must be fully warm");
+    }
+    let per_sweep = engine.cache_counters().since(before_serial);
+    assert!(per_sweep.hits > 0);
+    assert_eq!(per_sweep.misses, 0);
+
+    // Hammer: N threads, each sweeping the same requests over the shared
+    // engine.
+    let before_hammer = engine.cache_counters();
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let requests = requests.clone();
+            std::thread::spawn(move || {
+                let mut reports = Vec::new();
+                for _ in 0..SWEEPS_PER_THREAD {
+                    for request in &requests {
+                        reports.push(engine.advise(request).unwrap());
+                    }
+                }
+                reports
+            })
+        })
+        .collect();
+    let mut all_reports = Vec::new();
+    for worker in workers {
+        all_reports.extend(worker.join().unwrap());
+    }
+
+    // Counter totals must be exactly serial × thread count: relaxed-atomic
+    // increments may not lose updates, and no warm lookup may miss.
+    let hammer_delta = engine.cache_counters().since(before_hammer);
+    let expected = CacheCounters {
+        hits: per_sweep.hits * (THREADS * SWEEPS_PER_THREAD) as u64,
+        misses: 0,
+    };
+    assert_eq!(
+        hammer_delta, expected,
+        "concurrent cache accounting diverged from the serial reference"
+    );
+
+    // And every concurrent report is bit-identical to the serial one.
+    for (i, report) in all_reports.iter().enumerate() {
+        let reference = &warm_reports[i % requests.len()];
+        assert_eq!(report.rankings, reference.rankings);
+        assert_eq!(report.failures, reference.failures);
+        assert_eq!(report.cache.misses, 0);
+    }
+}

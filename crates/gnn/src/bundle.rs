@@ -104,6 +104,26 @@ impl TrainedModel {
         out
     }
 
+    /// Persist this bundle at `path` with a content fingerprint (atomic
+    /// rename write), returning the fingerprint. `trained_on` is the
+    /// platform whose dataset fitted the model; it is stored in the
+    /// artifact so [`TrainedModel::load`] can reconstruct a
+    /// [`GnnBackend`](crate::GnnBackend) that refuses foreign platforms.
+    pub fn save(
+        &self,
+        path: &std::path::Path,
+        trained_on: pg_perfsim::Platform,
+    ) -> Result<String, crate::registry::BundleError> {
+        crate::registry::save_bundle(self, trained_on, path)
+    }
+
+    /// Load and verify a bundle persisted by [`TrainedModel::save`].
+    pub fn load(
+        path: &std::path::Path,
+    ) -> Result<crate::registry::LoadedBundle, crate::registry::BundleError> {
+        crate::registry::load_bundle(path)
+    }
+
     /// Predict the runtime (ms) of a kernel source under a launch
     /// configuration: parse, build the graph in this model's representation,
     /// and run the forward pass.

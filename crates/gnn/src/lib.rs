@@ -16,6 +16,7 @@ pub mod bundle;
 pub mod metrics;
 pub mod model;
 pub mod reference;
+pub mod registry;
 pub mod rgat;
 pub mod train;
 
@@ -24,6 +25,9 @@ pub use batch::{BatchedGraph, PreparedGraph, PreparedRelation};
 pub use bundle::TrainedModel;
 pub use metrics::{binned_relative_error, per_application_error, per_variant_error, BinError};
 pub use model::{GraphSample, ModelConfig, ParaGraphModel};
+pub use registry::{
+    load_bundle, save_bundle, BundleError, LoadedBundle, ModelRegistry, BUNDLE_FORMAT_VERSION,
+};
 pub use rgat::RgatLayer;
 pub use train::{
     evaluate, prepare, summarize, train, train_prepared, EpochStats, PredictionRecord,

@@ -1,0 +1,368 @@
+//! Persisted model bundles: fingerprinted save/load and a directory
+//! registry, so a serving process loads a trained [`TrainedModel`] from
+//! disk instead of retraining at startup.
+//!
+//! A bundle artifact is a JSON file carrying the serialized model, the
+//! platform whose dataset trained it, and a content fingerprint over the
+//! serialized payload. Loads verify the format version and recompute the
+//! fingerprint, so a corrupt, truncated, hand-edited or foreign file
+//! degrades to a typed [`BundleError`] instead of a panic or — worse — a
+//! model that silently predicts garbage. Writes go through a unique temp
+//! file plus atomic rename, mirroring the dataset shard store, so a reader
+//! (a server hot-loading `--model <path>`) can never observe a torn
+//! artifact.
+//!
+//! [`ModelRegistry`] layers a content-addressed directory on top:
+//! `publish` names artifacts by platform slug and fingerprint hash, and
+//! `load_platform` picks the bundle serving a platform.
+
+use crate::backend::GnnBackend;
+use crate::bundle::TrainedModel;
+use pg_perfsim::Platform;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Format version of bundle artifacts; bump on layout changes so old files
+/// degrade to a typed error instead of misparsing.
+pub const BUNDLE_FORMAT_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a over the serialized payload: stable across processes and
+/// Rust versions (unlike `DefaultHasher`), which matters because the hash
+/// is persisted inside — and addresses — on-disk artifacts.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut state = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    state
+}
+
+/// The on-disk form of a bundle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BundleArtifact {
+    format_version: u32,
+    platform: Platform,
+    fingerprint: String,
+    model: TrainedModel,
+}
+
+/// Fingerprint string over a bundle's identity: format version, training
+/// platform, and the FNV-1a hash of the serialized model JSON.
+fn fingerprint_of(model_json: &str, platform: Platform) -> String {
+    format!(
+        "v{}|{}|model={:016x}",
+        BUNDLE_FORMAT_VERSION,
+        platform.slug(),
+        fnv1a(model_json.as_bytes())
+    )
+}
+
+/// Typed failure of bundle persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BundleError {
+    /// The file could not be read or written.
+    Io {
+        /// Path of the artifact.
+        path: PathBuf,
+        /// Rendered OS error.
+        detail: String,
+    },
+    /// The file is not a parseable bundle artifact (corrupt, truncated, or
+    /// not JSON at all).
+    Malformed {
+        /// Path of the artifact.
+        path: PathBuf,
+        /// Rendered parse error.
+        detail: String,
+    },
+    /// The artifact was written by an incompatible bundle layout.
+    FormatVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build reads.
+        expected: u32,
+    },
+    /// The stored fingerprint does not match the recomputed one: the model
+    /// payload was edited, truncated at a JSON boundary, or the artifact
+    /// belongs to a different platform/version than it claims.
+    FingerprintMismatch {
+        /// Fingerprint stored in the artifact.
+        stored: String,
+        /// Fingerprint recomputed from the payload.
+        computed: String,
+    },
+    /// The registry holds no bundle for the requested platform.
+    NotFound {
+        /// Platform requested.
+        platform: Platform,
+        /// Directory searched.
+        dir: PathBuf,
+    },
+}
+
+impl std::fmt::Display for BundleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BundleError::Io { path, detail } => {
+                write!(f, "bundle io error at {}: {detail}", path.display())
+            }
+            BundleError::Malformed { path, detail } => {
+                write!(f, "malformed bundle at {}: {detail}", path.display())
+            }
+            BundleError::FormatVersion { found, expected } => write!(
+                f,
+                "bundle format version {found} is not the supported {expected}"
+            ),
+            BundleError::FingerprintMismatch { stored, computed } => write!(
+                f,
+                "bundle fingerprint mismatch: stored `{stored}`, recomputed `{computed}`"
+            ),
+            BundleError::NotFound { platform, dir } => write!(
+                f,
+                "no bundle for {} under {}",
+                platform.name(),
+                dir.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+/// A bundle loaded from disk: the model, its training platform, and the
+/// verified fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedBundle {
+    /// The trained model.
+    pub model: TrainedModel,
+    /// Platform whose dataset trained the model.
+    pub trained_on: Platform,
+    /// Content fingerprint, verified against the payload at load time.
+    pub fingerprint: String,
+}
+
+impl LoadedBundle {
+    /// Turn the loaded bundle into an engine backend serving its platform.
+    pub fn into_backend(self) -> GnnBackend {
+        GnnBackend::new(self.model, self.trained_on)
+    }
+}
+
+/// Save a bundle artifact at `path` (atomic rename write), returning the
+/// fingerprint it was stored under.
+pub fn save_bundle(
+    model: &TrainedModel,
+    trained_on: Platform,
+    path: &Path,
+) -> Result<String, BundleError> {
+    let io_err = |detail: std::io::Error| BundleError::Io {
+        path: path.to_path_buf(),
+        detail: detail.to_string(),
+    };
+    let model_json = serde_json::to_string(model).map_err(|e| BundleError::Malformed {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })?;
+    let fingerprint = fingerprint_of(&model_json, trained_on);
+    let artifact = BundleArtifact {
+        format_version: BUNDLE_FORMAT_VERSION,
+        platform: trained_on,
+        fingerprint: fingerprint.clone(),
+        model: model.clone(),
+    };
+    let text = serde_json::to_string(&artifact).map_err(|e| BundleError::Malformed {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })?;
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).map_err(io_err)?;
+    }
+    // Atomic publish: unique temp file in the target directory, renamed
+    // over the final name, so concurrent readers never see a torn bundle.
+    static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+    let tmp = dir.unwrap_or(Path::new(".")).join(format!(
+        ".tmp-bundle-{}-{}",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, text).map_err(io_err)?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        io_err(e)
+    })?;
+    Ok(fingerprint)
+}
+
+/// Load and verify a bundle artifact from `path`.
+pub fn load_bundle(path: &Path) -> Result<LoadedBundle, BundleError> {
+    let text = std::fs::read_to_string(path).map_err(|e| BundleError::Io {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })?;
+    let artifact: BundleArtifact =
+        serde_json::from_str(&text).map_err(|e| BundleError::Malformed {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        })?;
+    if artifact.format_version != BUNDLE_FORMAT_VERSION {
+        return Err(BundleError::FormatVersion {
+            found: artifact.format_version,
+            expected: BUNDLE_FORMAT_VERSION,
+        });
+    }
+    let model_json =
+        serde_json::to_string(&artifact.model).map_err(|e| BundleError::Malformed {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        })?;
+    let computed = fingerprint_of(&model_json, artifact.platform);
+    if computed != artifact.fingerprint {
+        return Err(BundleError::FingerprintMismatch {
+            stored: artifact.fingerprint,
+            computed,
+        });
+    }
+    Ok(LoadedBundle {
+        model: artifact.model,
+        trained_on: artifact.platform,
+        fingerprint: artifact.fingerprint,
+    })
+}
+
+/// A directory of published bundles, addressed by platform slug and
+/// fingerprint hash.
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    dir: PathBuf,
+}
+
+impl ModelRegistry {
+    /// A registry rooted at `dir` (created lazily on first publish).
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The registry's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Publish a bundle, returning the path it was stored at. The file name
+    /// embeds the platform slug and the fingerprint hash, so re-publishing
+    /// the same model is idempotent and different models never collide.
+    pub fn publish(
+        &self,
+        model: &TrainedModel,
+        trained_on: Platform,
+    ) -> Result<PathBuf, BundleError> {
+        let model_json = serde_json::to_string(model).map_err(|e| BundleError::Malformed {
+            path: self.dir.clone(),
+            detail: e.to_string(),
+        })?;
+        let path = self.dir.join(format!(
+            "{}-{:016x}.bundle.json",
+            trained_on.slug(),
+            fnv1a(model_json.as_bytes())
+        ));
+        save_bundle(model, trained_on, &path)?;
+        Ok(path)
+    }
+
+    /// Load the newest verified bundle serving `platform`. Unreadable or
+    /// corrupt candidates are skipped (another writer may be mid-publish of
+    /// an unrelated file); if none verifies, the error of the newest
+    /// candidate — or [`BundleError::NotFound`] — is returned.
+    pub fn load_platform(&self, platform: Platform) -> Result<LoadedBundle, BundleError> {
+        let prefix = format!("{}-", platform.slug());
+        let mut candidates: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+        let entries = std::fs::read_dir(&self.dir).map_err(|_| BundleError::NotFound {
+            platform,
+            dir: self.dir.clone(),
+        })?;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.starts_with(&prefix) || !name.ends_with(".bundle.json") {
+                continue;
+            }
+            let modified = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            candidates.push((modified, path));
+        }
+        candidates.sort();
+        let mut last_error = None;
+        for (_, path) in candidates.iter().rev() {
+            match load_bundle(path) {
+                Ok(bundle) if bundle.trained_on == platform => return Ok(bundle),
+                Ok(_) => continue, // mis-named foreign bundle; keep looking
+                Err(error) => last_error = last_error.or(Some(error)),
+            }
+        }
+        Err(last_error.unwrap_or(BundleError::NotFound {
+            platform,
+            dir: self.dir.clone(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::TrainConfig;
+    use pg_dataset::{collect_platform, DatasetScale, PipelineConfig};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pg-model-registry-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_bundle() -> TrainedModel {
+        let ds = collect_platform(
+            Platform::SummitV100,
+            &PipelineConfig {
+                scale: DatasetScale::Fast,
+                seed: 3,
+                noise_sigma: 0.02,
+            },
+        );
+        TrainedModel::fit(&ds, &TrainConfig::fast()).unwrap().0
+    }
+
+    #[test]
+    fn registry_publishes_and_loads_newest() {
+        let dir = temp_dir("publish");
+        let registry = ModelRegistry::at(&dir);
+        let bundle = tiny_bundle();
+        let path = registry.publish(&bundle, Platform::SummitV100).unwrap();
+        assert!(path.exists());
+        // Idempotent: same model, same address.
+        let again = registry.publish(&bundle, Platform::SummitV100).unwrap();
+        assert_eq!(path, again);
+        let loaded = registry.load_platform(Platform::SummitV100).unwrap();
+        assert_eq!(loaded.model, bundle);
+        assert_eq!(loaded.trained_on, Platform::SummitV100);
+        // No bundle for the other platforms.
+        assert!(matches!(
+            registry.load_platform(Platform::CoronaMi50),
+            Err(BundleError::NotFound { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        let err = load_bundle(Path::new("/nonexistent/model.bundle.json")).unwrap_err();
+        assert!(matches!(err, BundleError::Io { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+}

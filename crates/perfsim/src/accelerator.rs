@@ -43,6 +43,24 @@ impl Platform {
         }
     }
 
+    /// Short filesystem/CLI-safe identifier (`summit-v100`), the inverse of
+    /// [`Platform::from_slug`]. Model-bundle artifacts and the serving
+    /// tier's `--platform` flag use these instead of the display names,
+    /// which contain spaces and parentheses.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Platform::SummitPower9 => "summit-power9",
+            Platform::SummitV100 => "summit-v100",
+            Platform::CoronaEpyc7401 => "corona-epyc7401",
+            Platform::CoronaMi50 => "corona-mi50",
+        }
+    }
+
+    /// Parse a [`Platform::slug`] back to the platform.
+    pub fn from_slug(slug: &str) -> Option<Platform> {
+        Platform::ALL.into_iter().find(|p| p.slug() == slug)
+    }
+
     /// Cluster the accelerator belongs to.
     pub fn cluster(self) -> &'static str {
         match self {

@@ -1,0 +1,351 @@
+//! The micro-batching scheduler: concurrent `/advise` requests coalesce
+//! into one [`Engine::advise_many`] call.
+//!
+//! Connection workers submit requests into a bounded queue and block on a
+//! per-request reply channel. A single scheduler thread drains the queue
+//! with an adaptive flush policy:
+//!
+//! 1. **Backlog**: requests that queued while the previous batch executed
+//!    are drained (up to [`BatchConfig::max_batch`]) and flushed
+//!    immediately — under sustained load, execution time *is* the
+//!    coalescing window and batching costs no extra latency;
+//! 2. **Deadline**: a lone request arriving on an idle scheduler is held
+//!    for at most [`BatchConfig::max_wait`] in case concurrent company is
+//!    already in flight, and flushed the moment any arrives.
+//!
+//! So the tail latency of an unloaded server is one prediction plus at
+//! most `max_wait`, while a loaded one rides the engine's batched
+//! execution path at full speed — for the GNN backend, one disjoint-union
+//! forward pass per flush instead of one tape per request. Predictions
+//! are invariant to batch composition (pinned by `pg-gnn`'s
+//! `batched_prediction_is_invariant_to_batch_composition`), so coalescing
+//! never changes an answer, only its latency.
+//!
+//! On shutdown the scheduler drains: queued requests are still flushed
+//! (deadline waiving — there is no reason to wait once no more traffic is
+//! coming), new submissions are refused, and the thread exits when the
+//! queue is empty.
+
+use crate::metrics::ServeMetrics;
+use crate::ServeError;
+use pg_engine::{AdviseReport, AdviseRequest, Engine, EngineError};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Flush policy of the micro-batcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Most requests coalesced into one engine call.
+    pub max_batch: usize,
+    /// Longest a batch is held open waiting for company.
+    pub max_wait: Duration,
+    /// Most requests queued but not yet executing; submissions beyond this
+    /// are refused with [`ServeError::Overloaded`]. The server's admission
+    /// control normally rejects earlier — this is the batcher's own
+    /// defensive bound.
+    pub queue_depth: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_wait: Duration::from_millis(1),
+            queue_depth: 1024,
+        }
+    }
+}
+
+struct Job {
+    request: AdviseRequest,
+    reply: mpsc::Sender<Result<AdviseReport, EngineError>>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled on submit and on shutdown.
+    arrived: Condvar,
+    draining: AtomicBool,
+    config: BatchConfig,
+    metrics: Arc<ServeMetrics>,
+}
+
+/// Handle to the scheduler thread. Dropping it without
+/// [`MicroBatcher::shutdown`] also drains (the thread is joined).
+pub struct MicroBatcher {
+    shared: Arc<Shared>,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MicroBatcher {
+    /// Start the scheduler thread over a shared engine.
+    pub fn start(engine: Arc<Engine>, config: BatchConfig, metrics: Arc<ServeMetrics>) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            arrived: Condvar::new(),
+            draining: AtomicBool::new(false),
+            config,
+            metrics,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let scheduler = std::thread::Builder::new()
+            .name("pg-serve-batcher".into())
+            .spawn(move || scheduler_loop(&worker_shared, &engine))
+            .expect("spawning the batcher scheduler thread");
+        Self {
+            shared,
+            scheduler: Some(scheduler),
+        }
+    }
+
+    /// Submit one request and block until its batch executes. Refused
+    /// (without queuing) when the batcher is draining or the queue is full.
+    pub fn advise(&self, request: AdviseRequest) -> Result<AdviseReport, ServeError> {
+        let (reply, result) = mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().expect("batcher queue poisoned");
+            if self.shared.draining.load(Ordering::SeqCst) {
+                return Err(ServeError::ShuttingDown);
+            }
+            if queue.len() >= self.shared.config.queue_depth {
+                return Err(ServeError::Overloaded {
+                    in_flight: queue.len(),
+                    limit: self.shared.config.queue_depth,
+                });
+            }
+            queue.push_back(Job { request, reply });
+        }
+        self.shared.arrived.notify_one();
+        match result.recv() {
+            Ok(outcome) => outcome.map_err(ServeError::Engine),
+            // The scheduler dropped the reply sender without answering:
+            // only possible if it panicked mid-batch.
+            Err(_) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Drain and stop: refuse new submissions, flush everything queued,
+    /// join the scheduler thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.arrived.notify_all();
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn scheduler_loop(shared: &Shared, engine: &Engine) {
+    loop {
+        let batch = collect_batch(shared);
+        if batch.is_empty() {
+            // Only returned empty when draining and the queue is dry.
+            return;
+        }
+        shared.metrics.record_batch(batch.len());
+        let requests: Vec<AdviseRequest> = batch.iter().map(|job| job.request.clone()).collect();
+        let results = engine.advise_many(&requests);
+        for (job, result) in batch.into_iter().zip(results) {
+            // A receiver may have given up (client disconnected); that is
+            // its problem, not the batch's.
+            let _ = job.reply.send(result);
+        }
+    }
+}
+
+/// Block until at least one job arrives (or drain), then assemble a batch.
+///
+/// Backlog that accumulated while the previous batch executed is the
+/// natural coalescing window: it is drained and flushed immediately, with
+/// no added latency. The `max_wait` deadline only comes into play for a
+/// *lone* request arriving on an idle scheduler — it is held briefly in
+/// case concurrent company is in flight, and flushed as soon as any
+/// arrives (or the deadline passes). A saturated server therefore batches
+/// at full speed, while an unloaded one adds at most `max_wait` to a
+/// single request's latency.
+fn collect_batch(shared: &Shared) -> Vec<Job> {
+    let mut queue = shared.queue.lock().expect("batcher queue poisoned");
+    while queue.is_empty() {
+        if shared.draining.load(Ordering::SeqCst) {
+            return Vec::new();
+        }
+        queue = shared.arrived.wait(queue).expect("batcher queue poisoned");
+    }
+
+    let mut batch = Vec::with_capacity(shared.config.max_batch.min(queue.len()));
+    let drain_backlog = |queue: &mut VecDeque<Job>, batch: &mut Vec<Job>| {
+        while batch.len() < shared.config.max_batch {
+            match queue.pop_front() {
+                Some(job) => batch.push(job),
+                None => break,
+            }
+        }
+    };
+    drain_backlog(&mut queue, &mut batch);
+    // Backlog already coalesced (or the cap is 1): flush with no hold.
+    if batch.len() > 1 || batch.len() >= shared.config.max_batch {
+        return batch;
+    }
+
+    // A lone request from an idle queue: hold it for company until the
+    // deadline, flushing as soon as any arrives.
+    let deadline = Instant::now() + shared.config.max_wait;
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return batch; // no more traffic is coming
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return batch;
+        }
+        let (guard, _timeout) = shared
+            .arrived
+            .wait_timeout(queue, deadline - now)
+            .expect("batcher queue poisoned");
+        queue = guard;
+        drain_backlog(&mut queue, &mut batch);
+        if batch.len() > 1 {
+            return batch;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_perfsim::Platform;
+
+    fn test_engine() -> Arc<Engine> {
+        Arc::new(Engine::builder().platform(Platform::SummitV100).build())
+    }
+
+    fn catalog_request() -> AdviseRequest {
+        AdviseRequest::catalog("MM/matmul")
+    }
+
+    #[test]
+    fn lone_requests_flush_at_the_deadline() {
+        let metrics = Arc::new(ServeMetrics::default());
+        let batcher = MicroBatcher::start(
+            test_engine(),
+            BatchConfig {
+                max_batch: 64,
+                max_wait: Duration::from_millis(2),
+                queue_depth: 16,
+            },
+            Arc::clone(&metrics),
+        );
+        let report = batcher.advise(catalog_request()).unwrap();
+        assert!(!report.rankings.is_empty());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.batched_requests, 1);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn concurrent_submissions_coalesce() {
+        let metrics = Arc::new(ServeMetrics::default());
+        let batcher = Arc::new(MicroBatcher::start(
+            test_engine(),
+            BatchConfig {
+                max_batch: 64,
+                // Generous window so every thread lands in one batch even
+                // under scheduler noise.
+                max_wait: Duration::from_millis(200),
+                queue_depth: 64,
+            },
+            Arc::clone(&metrics),
+        ));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let batcher = Arc::clone(&batcher);
+                std::thread::spawn(move || batcher.advise(catalog_request()).unwrap())
+            })
+            .collect();
+        let reports: Vec<AdviseReport> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        assert!(reports.iter().all(|r| !r.rankings.is_empty()));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.batched_requests, 8);
+        assert!(
+            snap.coalesced_batches >= 1,
+            "8 concurrent requests should coalesce at least once: {snap:?}"
+        );
+        assert!(snap.max_batch_size > 1);
+    }
+
+    #[test]
+    fn max_batch_caps_a_flush() {
+        let metrics = Arc::new(ServeMetrics::default());
+        let batcher = Arc::new(MicroBatcher::start(
+            test_engine(),
+            BatchConfig {
+                max_batch: 2,
+                max_wait: Duration::from_millis(100),
+                queue_depth: 64,
+            },
+            Arc::clone(&metrics),
+        ));
+        let threads: Vec<_> = (0..6)
+            .map(|_| {
+                let batcher = Arc::clone(&batcher);
+                std::thread::spawn(move || batcher.advise(catalog_request()).unwrap())
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.batched_requests, 6);
+        assert!(snap.max_batch_size <= 2);
+        assert!(snap.batches >= 3);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work_and_refuses_new() {
+        let metrics = Arc::new(ServeMetrics::default());
+        let batcher = MicroBatcher::start(test_engine(), BatchConfig::default(), metrics);
+        let report = batcher.advise(catalog_request()).unwrap();
+        assert!(!report.rankings.is_empty());
+        batcher.shutdown();
+
+        let metrics = Arc::new(ServeMetrics::default());
+        let batcher = MicroBatcher::start(test_engine(), BatchConfig::default(), metrics);
+        batcher.shared.draining.store(true, Ordering::SeqCst);
+        assert!(matches!(
+            batcher.advise(catalog_request()),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn full_queue_is_refused_as_overload() {
+        let metrics = Arc::new(ServeMetrics::default());
+        let batcher = MicroBatcher::start(
+            test_engine(),
+            BatchConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+                queue_depth: 0,
+            },
+            metrics,
+        );
+        assert!(matches!(
+            batcher.advise(catalog_request()),
+            Err(ServeError::Overloaded { .. })
+        ));
+    }
+}

@@ -1,0 +1,382 @@
+//! A deliberately small HTTP/1.1 implementation over `std::net`.
+//!
+//! The serving tier needs exactly three routes, bodies of modest size, and
+//! sequential keep-alive — not a general web framework. Everything else
+//! (chunked transfer, pipelining, multipart, TLS) is out of scope and
+//! rejected cleanly. The parser enforces hard limits on request-line,
+//! header and body sizes so a misbehaving client cannot balloon a worker's
+//! memory.
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on the request line and on each header line, in bytes.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Upper bound on the number of headers.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method verb, uppercase (`GET`, `POST`).
+    pub method: String,
+    /// Request target path, without query string.
+    pub path: String,
+    /// True for `HTTP/1.1`, false for `HTTP/1.0` (the two versions the
+    /// parser admits); they default to opposite connection persistence.
+    pub http11: bool,
+    /// Header name/value pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after the response:
+    /// HTTP/1.1 defaults to keep-alive unless the client sends
+    /// `Connection: close`; HTTP/1.0 defaults to close unless the client
+    /// sends `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => v.eq_ignore_ascii_case("keep-alive"),
+            None => self.http11,
+        }
+    }
+}
+
+/// Why a request could not be parsed. Each maps to one 4xx response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The socket errored or the request was cut off mid-message.
+    Io(String),
+    /// The request line or a header violated the grammar or a size limit.
+    Malformed(String),
+    /// `Content-Length` exceeded the configured body cap (413).
+    BodyTooLarge {
+        /// Declared body length.
+        declared: usize,
+        /// Configured limit.
+        limit: usize,
+    },
+}
+
+/// Read one request. `Ok(None)` means the client closed the connection
+/// cleanly between requests (normal keep-alive termination).
+///
+/// `interim` is the write half of the connection: a client announcing
+/// `Expect: 100-continue` (curl does, automatically, for larger bodies)
+/// holds the body back until the server answers `100 Continue`, so the
+/// parser emits that interim response between the header and body phases —
+/// otherwise every such request stalls for the client's expect-timeout.
+pub fn read_request(
+    stream: &mut impl BufRead,
+    max_body_bytes: usize,
+    interim: &mut impl Write,
+) -> Result<Option<Request>, ParseError> {
+    let line = match read_line(stream)? {
+        // EOF before any byte of a new request: clean close.
+        None => return Ok(None),
+        Some(line) if line.is_empty() => return Ok(None),
+        Some(line) => line,
+    };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(ParseError::Malformed(format!("bad request line `{line}`"))),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::Malformed(format!("unsupported {version}")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let header = match read_line(stream)? {
+            None => return Err(ParseError::Io("eof inside headers".into())),
+            Some(line) if line.is_empty() => break,
+            Some(line) => line,
+        };
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::Malformed("too many headers".into()));
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(ParseError::Malformed(format!("bad header `{header}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ParseError::Malformed(
+            "chunked transfer encoding is not supported".into(),
+        ));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ParseError::Malformed(format!("bad content-length `{v}`")))?,
+    };
+    if content_length > max_body_bytes {
+        return Err(ParseError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body_bytes,
+        });
+    }
+    if headers
+        .iter()
+        .any(|(k, v)| k == "expect" && v.eq_ignore_ascii_case("100-continue"))
+    {
+        interim
+            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+            .and_then(|()| interim.flush())
+            .map_err(|e| ParseError::Io(format!("writing 100 Continue: {e}")))?;
+    }
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| ParseError::Io(format!("reading body: {e}")))?;
+
+    Ok(Some(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        http11: version == "HTTP/1.1",
+        headers,
+        body,
+    }))
+}
+
+/// Read one CRLF-terminated line (LF tolerated), without the terminator.
+/// `Ok(None)` on immediate EOF.
+fn read_line(stream: &mut impl BufRead) -> Result<Option<String>, ParseError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte) {
+            Ok(0) if buf.is_empty() => return Ok(None),
+            Ok(0) => return Err(ParseError::Io("eof mid-line".into())),
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    let line = String::from_utf8(buf)
+                        .map_err(|_| ParseError::Malformed("non-UTF-8 header".into()))?;
+                    return Ok(Some(line));
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE_BYTES {
+                    return Err(ParseError::Malformed("line too long".into()));
+                }
+            }
+            Err(e) => return Err(ParseError::Io(e.to_string())),
+        }
+    }
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            headers: vec![("Content-Type".into(), "text/plain; charset=utf-8".into())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `{"error": ...}` JSON response.
+    pub fn error(status: u16, message: &str) -> Self {
+        let payload = serde_json::to_string(&serde::Value::Object(vec![(
+            "error".to_string(),
+            serde::Value::Str(message.to_string()),
+        )]))
+        .unwrap_or_else(|_| "{\"error\":\"unrenderable\"}".to_string());
+        Self::json(status, payload)
+    }
+
+    /// Add a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// The status code.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// Serialize onto the wire. `close` adds `Connection: close`.
+    pub fn write_to(&self, stream: &mut impl Write, close: bool) -> std::io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "",
+        };
+        let mut head = format!("HTTP/1.1 {} {reason}\r\n", self.status);
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        if close {
+            head.push_str("Connection: close\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, ParseError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024, &mut Vec::new())
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let request = parse("POST /advise HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"")
+            .unwrap()
+            .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/advise");
+        assert_eq!(request.body, b"{\"a\"");
+        assert_eq!(request.header("host"), Some("x"));
+        assert!(request.keep_alive());
+    }
+
+    #[test]
+    fn connection_close_is_honoured_and_query_strings_stripped() {
+        let request = parse("GET /metrics?x=1 HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(request.path, "/metrics");
+        assert!(!request.keep_alive());
+    }
+
+    #[test]
+    fn eof_between_requests_is_a_clean_close() {
+        assert_eq!(parse("").unwrap(), None);
+    }
+
+    #[test]
+    fn http_1_0_defaults_to_close_and_opts_into_keep_alive() {
+        let request = parse("GET /healthz HTTP/1.0\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!request.http11);
+        assert!(!request.keep_alive(), "1.0 without keep-alive must close");
+        let request = parse("GET /healthz HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(request.keep_alive());
+    }
+
+    #[test]
+    fn expect_100_continue_gets_the_interim_response_before_the_body() {
+        let raw = "POST /advise HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\nok";
+        let mut interim = Vec::new();
+        let request = read_request(&mut BufReader::new(raw.as_bytes()), 1024, &mut interim)
+            .unwrap()
+            .unwrap();
+        assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+        assert_eq!(request.body, b"ok");
+        // No Expect header: no interim response.
+        let mut interim = Vec::new();
+        read_request(
+            &mut BufReader::new("GET / HTTP/1.1\r\n\r\n".as_bytes()),
+            1024,
+            &mut interim,
+        )
+        .unwrap()
+        .unwrap();
+        assert!(interim.is_empty());
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_before_reading() {
+        let err = parse("POST /advise HTTP/1.1\r\nContent-Length: 4096\r\n\r\n").unwrap_err();
+        assert!(matches!(
+            err,
+            ParseError::BodyTooLarge {
+                declared: 4096,
+                limit: 1024
+            }
+        ));
+    }
+
+    #[test]
+    fn malformed_request_lines_are_errors() {
+        assert!(matches!(
+            parse("NONSENSE\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/9\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        let err = parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").unwrap_err();
+        assert!(matches!(err, ParseError::Io(_)));
+    }
+
+    #[test]
+    fn responses_render_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::json(200, "{}".to_string())
+            .with_header("Retry-After", "1")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Serving counters: request accounting, admission-control rejections, and
+//! the micro-batcher's coalescing statistics.
+//!
+//! Counters are relaxed atomics — they are monotonic tallies, not
+//! synchronization — and a [`MetricsSnapshot`] is a plain copy that the
+//! `/metrics` endpoint renders in Prometheus text exposition format.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters shared by the listener, the connection workers and the
+/// micro-batcher.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// HTTP requests received, any route.
+    pub(crate) http_requests: AtomicU64,
+    /// Requests answered 4xx for malformed HTTP or JSON.
+    pub(crate) http_bad_requests: AtomicU64,
+    /// `/advise` requests admitted and answered 200.
+    pub(crate) advise_ok: AtomicU64,
+    /// `/advise` requests admitted but failed in the engine.
+    pub(crate) advise_failed: AtomicU64,
+    /// `/advise` requests rejected 429 by admission control.
+    pub(crate) advise_rejected: AtomicU64,
+    /// Connections shed 429 at accept because `max_connections` was
+    /// reached.
+    pub(crate) connections_shed: AtomicU64,
+    /// `/advise` requests currently being served (gauge).
+    pub(crate) in_flight: AtomicU64,
+    /// Prediction batches executed by the micro-batcher.
+    pub(crate) batches: AtomicU64,
+    /// `/advise` requests that went through the micro-batcher.
+    pub(crate) batched_requests: AtomicU64,
+    /// Batches that coalesced more than one request.
+    pub(crate) coalesced_batches: AtomicU64,
+    /// Largest batch executed so far.
+    pub(crate) max_batch_size: AtomicU64,
+}
+
+/// A point-in-time copy of every counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Default)]
+pub struct MetricsSnapshot {
+    /// HTTP requests received, any route.
+    pub http_requests: u64,
+    /// Requests answered 4xx for malformed HTTP or JSON.
+    pub http_bad_requests: u64,
+    /// `/advise` requests answered 200.
+    pub advise_ok: u64,
+    /// `/advise` requests that failed in the engine.
+    pub advise_failed: u64,
+    /// `/advise` requests rejected 429 by admission control.
+    pub advise_rejected: u64,
+    /// Connections shed 429 at accept (`max_connections` reached).
+    pub connections_shed: u64,
+    /// `/advise` requests currently in flight.
+    pub in_flight: u64,
+    /// Prediction batches executed.
+    pub batches: u64,
+    /// Requests that went through the micro-batcher.
+    pub batched_requests: u64,
+    /// Batches that coalesced more than one request.
+    pub coalesced_batches: u64,
+    /// Largest batch executed.
+    pub max_batch_size: u64,
+}
+
+impl ServeMetrics {
+    /// Record one executed batch of `size` coalesced requests.
+    pub(crate) fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+        if size > 1 {
+            self.coalesced_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.max_batch_size
+            .fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    /// Copy every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            http_requests: self.http_requests.load(Ordering::Relaxed),
+            http_bad_requests: self.http_bad_requests.load(Ordering::Relaxed),
+            advise_ok: self.advise_ok.load(Ordering::Relaxed),
+            advise_failed: self.advise_failed.load(Ordering::Relaxed),
+            advise_rejected: self.advise_rejected.load(Ordering::Relaxed),
+            connections_shed: self.connections_shed.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
+            max_batch_size: self.max_batch_size.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Render in Prometheus text exposition format (what `GET /metrics`
+    /// returns).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP paragraph_serve_{name} {help}\n\
+                 # TYPE paragraph_serve_{name} counter\n\
+                 paragraph_serve_{name} {value}\n"
+            ));
+        };
+        counter(
+            "http_requests_total",
+            "HTTP requests received",
+            self.http_requests,
+        );
+        counter(
+            "http_bad_requests_total",
+            "Requests rejected for malformed HTTP or JSON",
+            self.http_bad_requests,
+        );
+        counter(
+            "advise_ok_total",
+            "Advise requests answered 200",
+            self.advise_ok,
+        );
+        counter(
+            "advise_failed_total",
+            "Advise requests that failed in the engine",
+            self.advise_failed,
+        );
+        counter(
+            "advise_rejected_total",
+            "Advise requests rejected by admission control",
+            self.advise_rejected,
+        );
+        counter(
+            "connections_shed_total",
+            "Connections shed at accept by the connection limit",
+            self.connections_shed,
+        );
+        counter("batches_total", "Prediction batches executed", self.batches);
+        counter(
+            "batched_requests_total",
+            "Advise requests served through the micro-batcher",
+            self.batched_requests,
+        );
+        counter(
+            "coalesced_batches_total",
+            "Batches that coalesced more than one request",
+            self.coalesced_batches,
+        );
+        out.push_str(&format!(
+            "# HELP paragraph_serve_in_flight Advise requests currently in flight\n\
+             # TYPE paragraph_serve_in_flight gauge\n\
+             paragraph_serve_in_flight {}\n",
+            self.in_flight
+        ));
+        out.push_str(&format!(
+            "# HELP paragraph_serve_max_batch_size Largest batch executed\n\
+             # TYPE paragraph_serve_max_batch_size gauge\n\
+             paragraph_serve_max_batch_size {}\n",
+            self.max_batch_size
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_accounting_tracks_coalescing() {
+        let metrics = ServeMetrics::default();
+        metrics.record_batch(1);
+        metrics.record_batch(5);
+        metrics.record_batch(3);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.batched_requests, 9);
+        assert_eq!(snap.coalesced_batches, 2);
+        assert_eq!(snap.max_batch_size, 5);
+    }
+
+    #[test]
+    fn prometheus_rendering_names_every_counter() {
+        let metrics = ServeMetrics::default();
+        metrics.record_batch(4);
+        let text = metrics.snapshot().to_prometheus();
+        for name in [
+            "paragraph_serve_http_requests_total",
+            "paragraph_serve_advise_ok_total",
+            "paragraph_serve_advise_rejected_total",
+            "paragraph_serve_batches_total",
+            "paragraph_serve_coalesced_batches_total",
+            "paragraph_serve_max_batch_size",
+            "paragraph_serve_in_flight",
+        ] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        assert!(text.contains("paragraph_serve_max_batch_size 4"));
+    }
+}

@@ -1,0 +1,669 @@
+//! The HTTP server: accept loop, per-connection threads, routing,
+//! admission control and graceful drain.
+//!
+//! Threading model: the accept thread spawns one thread per connection
+//! (sequential keep-alive — one request at a time per connection), bounded
+//! by [`ServeConfig::max_connections`]. At the bound, new connections are
+//! shed immediately with a `429` written straight from the accept loop —
+//! an idle or slow client can hold at most its own thread, never starve
+//! other connections. `/advise` handlers block on the shared
+//! [`MicroBatcher`], so the prediction work of many connections coalesces
+//! into few engine calls regardless of how many connection threads exist.
+//!
+//! Admission control is layered: the connection bound caps sockets (and
+//! sheds before reading a single byte), and [`ServeConfig::max_inflight`]
+//! caps concurrent `/advise` work (checked after the HTTP read, before the
+//! JSON body is parsed into a request) — under overload, shedding early
+//! keeps latency sane for the admitted.
+//!
+//! Shutdown is drain-then-close: new connections stop being accepted,
+//! requests already admitted finish (the batcher flushes its queue), and
+//! every connection thread has exited before [`Server::shutdown`] returns
+//! (an idle keep-alive client can delay that by at most
+//! [`ServeConfig::idle_timeout`]).
+
+use crate::batcher::{BatchConfig, MicroBatcher};
+use crate::http::{read_request, ParseError, Request, Response};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::ServeError;
+use pg_engine::{AdviseRequest, Engine, EngineError};
+use std::io::BufReader;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Most open connections (each owns one thread); beyond it new
+    /// connections are shed with an immediate 429.
+    pub max_connections: usize,
+    /// Most `/advise` requests in flight before admission control answers
+    /// 429.
+    pub max_inflight: usize,
+    /// Micro-batcher flush policy.
+    pub batch: BatchConfig,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Idle keep-alive connections are closed after this long without a
+    /// request (also bounds how long a drain can wait on an idle client).
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 1024,
+            max_inflight: 256,
+            batch: BatchConfig::default(),
+            max_body_bytes: 1 << 20,
+            idle_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Count of live connection threads; shutdown waits for it to reach zero.
+#[derive(Default)]
+struct ConnGauge {
+    count: Mutex<usize>,
+    all_exited: Condvar,
+}
+
+struct Shared {
+    engine: Arc<Engine>,
+    batcher: MicroBatcher,
+    metrics: Arc<ServeMetrics>,
+    draining: AtomicBool,
+    connections: ConnGauge,
+    max_inflight: usize,
+    max_body_bytes: usize,
+    idle_timeout: Duration,
+}
+
+/// A running server. Keep the handle; [`Server::shutdown`] drains and
+/// joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving a shared engine.
+    pub fn start(engine: Arc<Engine>, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(ServeMetrics::default());
+        let batcher = MicroBatcher::start(Arc::clone(&engine), config.batch, Arc::clone(&metrics));
+        let shared = Arc::new(Shared {
+            engine,
+            batcher,
+            metrics,
+            draining: AtomicBool::new(false),
+            connections: ConnGauge::default(),
+            max_inflight: config.max_inflight.max(1),
+            max_body_bytes: config.max_body_bytes,
+            idle_timeout: config.idle_timeout,
+        });
+
+        let max_connections = config.max_connections.max(1);
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("pg-serve-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shared.draining.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(mut stream) = stream else { continue };
+                    // Connection-level shedding: at the bound, answer 429
+                    // from the accept loop without reading a byte, so a
+                    // flood cannot accumulate sockets or threads.
+                    {
+                        let mut count = accept_shared
+                            .connections
+                            .count
+                            .lock()
+                            .expect("connection gauge poisoned");
+                        if *count >= max_connections {
+                            drop(count);
+                            accept_shared
+                                .metrics
+                                .connections_shed
+                                .fetch_add(1, Ordering::Relaxed);
+                            let _ = Response::error(429, "connection limit reached")
+                                .with_header("Retry-After", "1")
+                                .write_to(&mut stream, true);
+                            continue;
+                        }
+                        *count += 1;
+                    }
+                    let conn_shared = Arc::clone(&accept_shared);
+                    let spawned = std::thread::Builder::new()
+                        .name("pg-serve-conn".into())
+                        .spawn(move || {
+                            // Decrements even if the handler panics.
+                            let _guard = ConnExit(&conn_shared.connections);
+                            handle_connection(&conn_shared, stream);
+                        });
+                    if spawned.is_err() {
+                        // Spawn failure: roll the registration back.
+                        ConnExit(&accept_shared.connections);
+                    }
+                }
+            })
+            .expect("spawning the accept thread");
+
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Point-in-time serving counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Drain and stop: stop accepting, finish admitted requests, flush the
+    /// batcher, join every thread. Returns the final counters.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection. A wildcard
+        // bind address is not connectable on every platform; aim the wake
+        // at the loopback of the same family instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Wait for every connection thread to exit (bounded by the idle
+        // timeout for clients that are holding a silent keep-alive open).
+        let mut count = self
+            .shared
+            .connections
+            .count
+            .lock()
+            .expect("connection gauge poisoned");
+        while *count > 0 {
+            count = self
+                .shared
+                .connections
+                .all_exited
+                .wait(count)
+                .expect("connection gauge poisoned");
+        }
+        drop(count);
+        let snapshot = self.shared.metrics.snapshot();
+        // This handle holds the last `Arc<Shared>` once the threads are
+        // done; dropping it drains and joins the batcher's scheduler.
+        drop(self);
+        snapshot
+    }
+}
+
+/// RAII decrement of the connection gauge (notifies a waiting drain).
+struct ConnExit<'a>(&'a ConnGauge);
+
+impl Drop for ConnExit<'_> {
+    fn drop(&mut self) {
+        let mut count = self.0.count.lock().expect("connection gauge poisoned");
+        *count = count.saturating_sub(1);
+        if *count == 0 {
+            self.0.all_exited.notify_all();
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.idle_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader, shared.max_body_bytes, &mut writer) {
+            Ok(None) | Err(ParseError::Io(_)) => return, // closed or timed out
+            Ok(Some(request)) => request,
+            Err(ParseError::Malformed(detail)) => {
+                shared
+                    .metrics
+                    .http_bad_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = Response::error(400, &detail).write_to(&mut writer, true);
+                return;
+            }
+            Err(ParseError::BodyTooLarge { declared, limit }) => {
+                shared
+                    .metrics
+                    .http_bad_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = Response::error(
+                    413,
+                    &format!("body of {declared} bytes exceeds the {limit}-byte limit"),
+                )
+                .write_to(&mut writer, true);
+                return;
+            }
+        };
+        shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+        let response = route(shared, &request);
+        // Drain closes connections after the in-flight response.
+        let close = !request.keep_alive() || shared.draining.load(Ordering::SeqCst);
+        if response.write_to(&mut writer, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+fn route(shared: &Shared, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => Response::text(200, shared.metrics.snapshot().to_prometheus()),
+        ("POST", "/advise") => advise(shared, &request.body),
+        (_, "/healthz" | "/metrics" | "/advise") => {
+            Response::error(405, &format!("method {} not allowed", request.method))
+        }
+        (_, path) => Response::error(404, &format!("no route for `{path}`")),
+    }
+}
+
+fn healthz(shared: &Shared) -> Response {
+    let status = if shared.draining.load(Ordering::SeqCst) {
+        "draining"
+    } else {
+        "ok"
+    };
+    let payload = serde::Value::Object(vec![
+        ("status".into(), serde::Value::Str(status.into())),
+        (
+            "backend".into(),
+            serde::Value::Str(shared.engine.backend_name().into()),
+        ),
+        (
+            "platform".into(),
+            serde::Value::Str(shared.engine.platform().slug().into()),
+        ),
+    ]);
+    Response::json(
+        200,
+        serde_json::to_string(&payload).unwrap_or_else(|_| "{}".into()),
+    )
+}
+
+/// RAII decrement of the in-flight gauge.
+struct InFlight<'a>(&'a ServeMetrics);
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn advise(shared: &Shared, body: &[u8]) -> Response {
+    // Admission control before the JSON parse and the engine: an
+    // overloaded server sheds this request after the (size-bounded) HTTP
+    // read, spending no prediction work on it.
+    let admitted = shared.metrics.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+    let guard = InFlight(&shared.metrics);
+    if admitted > shared.max_inflight as u64 {
+        drop(guard);
+        shared
+            .metrics
+            .advise_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        return Response::error(
+            429,
+            &format!(
+                "{admitted} requests in flight exceeds the {} admitted",
+                shared.max_inflight
+            ),
+        )
+        .with_header("Retry-After", "1");
+    }
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::error(503, "server is draining");
+    }
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => {
+            shared
+                .metrics
+                .http_bad_requests
+                .fetch_add(1, Ordering::Relaxed);
+            return Response::error(400, "request body is not UTF-8");
+        }
+    };
+    let request: AdviseRequest = match serde_json::from_str(text) {
+        Ok(request) => request,
+        Err(error) => {
+            shared
+                .metrics
+                .http_bad_requests
+                .fetch_add(1, Ordering::Relaxed);
+            return Response::error(400, &format!("invalid AdviseRequest: {error}"));
+        }
+    };
+    match shared.batcher.advise(request) {
+        Ok(report) => match serde_json::to_string(&report) {
+            Ok(json) => {
+                shared.metrics.advise_ok.fetch_add(1, Ordering::Relaxed);
+                Response::json(200, json)
+            }
+            Err(error) => {
+                shared.metrics.advise_failed.fetch_add(1, Ordering::Relaxed);
+                Response::error(500, &format!("serializing report: {error}"))
+            }
+        },
+        Err(error) => {
+            let status = match &error {
+                ServeError::Overloaded { .. } => {
+                    shared
+                        .metrics
+                        .advise_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Response::error(429, &error.to_string())
+                        .with_header("Retry-After", "1");
+                }
+                ServeError::ShuttingDown => 503,
+                ServeError::Engine(EngineError::BackendUnavailable(_)) => 503,
+                // The request was well-formed HTTP+JSON but the engine
+                // cannot satisfy it (unknown kernel, bad source, empty
+                // budget): the client's fault, a semantic 422.
+                ServeError::Engine(_) => 422,
+            };
+            shared.metrics.advise_failed.fetch_add(1, Ordering::Relaxed);
+            Response::error(status, &error.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_engine::AdviseReport;
+    use pg_perfsim::Platform;
+    use std::io::{Read, Write};
+
+    fn start(config: ServeConfig) -> (Server, Arc<Engine>) {
+        let engine = Arc::new(Engine::builder().platform(Platform::SummitV100).build());
+        let server = Server::start(Arc::clone(&engine), config).unwrap();
+        (server, engine)
+    }
+
+    /// One request over a fresh connection; returns (status, body).
+    fn roundtrip(addr: SocketAddr, raw: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status: u16 = response
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn post_advise(addr: SocketAddr, json: &str) -> (u16, String) {
+        roundtrip(
+            addr,
+            &format!(
+                "POST /advise HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n{json}",
+                json.len()
+            ),
+        )
+    }
+
+    #[test]
+    fn healthz_reports_backend_and_platform() {
+        let (server, _) = start(ServeConfig::default());
+        let (status, body) = roundtrip(
+            server.addr(),
+            "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""));
+        assert!(body.contains("\"backend\":\"simulator\""));
+        assert!(body.contains("\"platform\":\"summit-v100\""));
+        server.shutdown();
+    }
+
+    #[test]
+    fn advise_round_trip_matches_direct_engine_call() {
+        let (server, engine) = start(ServeConfig::default());
+        let request = AdviseRequest::catalog("MM/matmul");
+        let json = serde_json::to_string(&request).unwrap();
+        let (status, body) = post_advise(server.addr(), &json);
+        assert_eq!(status, 200, "body: {body}");
+        let served: AdviseReport = serde_json::from_str(&body).unwrap();
+        let direct = engine.advise(&request).unwrap();
+        assert_eq!(served.rankings, direct.rankings);
+        assert_eq!(served.failures, direct.failures);
+        assert_eq!(served.kernel, direct.kernel);
+        assert_eq!(served.backend, "simulator");
+        let metrics = server.shutdown();
+        assert_eq!(metrics.advise_ok, 1);
+        assert_eq!(metrics.in_flight, 0);
+    }
+
+    #[test]
+    fn unknown_routes_bad_json_and_unknown_kernels_map_to_statuses() {
+        let (server, _) = start(ServeConfig::default());
+        let addr = server.addr();
+        let (status, _) = roundtrip(
+            addr,
+            "GET /nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 404);
+        let (status, _) = roundtrip(
+            addr,
+            "DELETE /advise HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 405);
+        let (status, body) = post_advise(addr, "{not json");
+        assert_eq!(status, 400, "body: {body}");
+        let (status, body) = post_advise(
+            addr,
+            "{\"kernel\":{\"Catalog\":\"Nope/x\"},\"sizes\":null,\"budget\":\"PlatformDefault\"}",
+        );
+        assert_eq!(status, 422, "body: {body}");
+        assert!(body.contains("unknown catalogue kernel"));
+        let metrics = server.shutdown();
+        assert_eq!(metrics.http_bad_requests, 1);
+        assert_eq!(metrics.advise_failed, 1);
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let (server, _) = start(ServeConfig::default());
+        let json = serde_json::to_string(&AdviseRequest::catalog("MV/matvec")).unwrap();
+        post_advise(server.addr(), &json);
+        let (status, body) = roundtrip(
+            server.addr(),
+            "GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+        assert!(body.contains("paragraph_serve_advise_ok_total 1"));
+        assert!(body.contains("paragraph_serve_batches_total 1"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn admission_control_rejects_with_retry_after() {
+        let (server, _) = start(ServeConfig {
+            max_inflight: 1,
+            ..ServeConfig::default()
+        });
+        // Saturate the single admission slot by holding the gauge
+        // ourselves, then observe the rejection.
+        server
+            .shared
+            .metrics
+            .in_flight
+            .fetch_add(1, Ordering::SeqCst);
+        let json = serde_json::to_string(&AdviseRequest::catalog("MM/matmul")).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(
+                format!(
+                    "POST /advise HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\
+                     Connection: close\r\n\r\n{json}",
+                    json.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 429"), "{response}");
+        assert!(response.contains("Retry-After: 1"), "{response}");
+        server
+            .shared
+            .metrics
+            .in_flight
+            .fetch_sub(1, Ordering::SeqCst);
+        let metrics = server.shutdown();
+        assert_eq!(metrics.advise_rejected, 1);
+        assert_eq!(metrics.advise_ok, 0);
+    }
+
+    #[test]
+    fn slow_advise_saturates_admission_for_real() {
+        // max_inflight 2 with many connections allowed: flood with slow
+        // GNN-free requests and verify at least one real 429 under load.
+        let (server, _) = start(ServeConfig {
+            max_inflight: 2,
+            batch: BatchConfig {
+                max_batch: 1,
+                max_wait: Duration::from_millis(20),
+                queue_depth: 1024,
+            },
+            ..ServeConfig::default()
+        });
+        let addr = server.addr();
+        let json = serde_json::to_string(&AdviseRequest::catalog("MM/matmul")).unwrap();
+        let clients: Vec<_> = (0..12)
+            .map(|_| {
+                let json = json.clone();
+                std::thread::spawn(move || post_advise(addr, &json).0)
+            })
+            .collect();
+        let statuses: Vec<u16> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        assert!(statuses.iter().all(|s| *s == 200 || *s == 429));
+        assert!(statuses.contains(&200));
+        let metrics = server.shutdown();
+        assert_eq!(metrics.advise_ok + metrics.advise_rejected, 12);
+        // With 12 concurrent one-per-batch requests against 2 admission
+        // slots, overload must actually shed.
+        assert!(
+            metrics.advise_rejected > 0,
+            "admission control never fired: {metrics:?}"
+        );
+    }
+
+    #[test]
+    fn connection_limit_sheds_at_accept() {
+        let (server, _) = start(ServeConfig {
+            max_connections: 1,
+            idle_timeout: Duration::from_millis(300),
+            ..ServeConfig::default()
+        });
+        let addr = server.addr();
+        // Occupy the single slot with a keep-alive connection...
+        let mut held = TcpStream::connect(addr).unwrap();
+        held.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut first = [0u8; 12];
+        held.read_exact(&mut first).unwrap();
+        assert_eq!(&first, b"HTTP/1.1 200");
+        // ...and watch the next connection get shed without sending a byte.
+        let mut shed = TcpStream::connect(addr).unwrap();
+        let mut response = String::new();
+        shed.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 429"), "{response}");
+        assert!(response.contains("Retry-After: 1"), "{response}");
+        drop(held);
+        let metrics = server.shutdown();
+        assert_eq!(metrics.connections_shed, 1);
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let (server, _) = start(ServeConfig::default());
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        for _ in 0..3 {
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                .unwrap();
+            let mut header = Vec::new();
+            let mut byte = [0u8; 1];
+            while !header.ends_with(b"\r\n\r\n") {
+                stream.read_exact(&mut byte).unwrap();
+                header.push(byte[0]);
+            }
+            let head = String::from_utf8(header).unwrap();
+            assert!(head.starts_with("HTTP/1.1 200"));
+            let length: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            let mut body = vec![0u8; length];
+            stream.read_exact(&mut body).unwrap();
+        }
+        // Close the client side so the drain below does not have to wait
+        // out the idle timeout.
+        drop(stream);
+        let metrics = server.shutdown();
+        assert_eq!(metrics.http_requests, 3);
+    }
+
+    #[test]
+    fn shutdown_drains_and_leaves_no_thread_behind() {
+        let (server, engine) = start(ServeConfig::default());
+        let addr = server.addr();
+        let json = serde_json::to_string(&AdviseRequest::catalog("MM/matmul")).unwrap();
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                let json = json.clone();
+                std::thread::spawn(move || post_advise(addr, &json).0)
+            })
+            .collect();
+        for client in clients {
+            assert_eq!(client.join().unwrap(), 200);
+        }
+        let metrics = server.shutdown();
+        assert_eq!(metrics.advise_ok, 4);
+        assert_eq!(metrics.in_flight, 0);
+        // The port is released: a fresh server can bind the same address.
+        let listener = TcpListener::bind(addr);
+        assert!(listener.is_ok(), "address still held after shutdown");
+        drop(engine);
+    }
+}

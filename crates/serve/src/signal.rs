@@ -1,0 +1,81 @@
+//! Minimal SIGTERM/SIGINT hook for graceful drain, without a `libc` crate.
+//!
+//! The build environment has no crates.io access, so instead of the usual
+//! `signal-hook`, this module declares the two libc symbols it needs
+//! (`std` already links libc on every unix target) and installs a handler
+//! that does the only async-signal-safe thing a drain needs: store into a
+//! process-global atomic flag. The serving process polls
+//! [`termination_requested`] and runs its ordinary drain path — the
+//! handler itself never allocates, locks or calls back into the server.
+//!
+//! This is the one place in the workspace that uses `unsafe` (the crate is
+//! `deny(unsafe_code)` elsewhere): registering a C signal handler is
+//! inherently an FFI contract the compiler cannot check.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGTERM or SIGINT has been received (always false until
+/// [`install_termination_handler`] is called, and on non-unix targets).
+pub fn termination_requested() -> bool {
+    TERMINATION.load(Ordering::SeqCst)
+}
+
+/// Test hook: simulate a received signal.
+#[doc(hidden)]
+pub fn request_termination() {
+    TERMINATION.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::{Ordering, TERMINATION};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// `sighandler_t signal(int signum, sighandler_t handler)` from
+        /// libc, which `std` links unconditionally on unix.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe operation here: one atomic store.
+        TERMINATION.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the documented libc API; the handler is a
+        // plain `extern "C"` function performing a single atomic store,
+        // which POSIX lists as async-signal-safe.
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+/// Route SIGTERM and SIGINT into [`termination_requested`] instead of the
+/// default kill-the-process disposition. No-op on non-unix targets (the
+/// flag simply never trips).
+pub fn install_termination_handler() {
+    #[cfg(unix)]
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_trips_once_requested() {
+        // Process-global state: this test only asserts the transition it
+        // causes itself.
+        install_termination_handler();
+        request_termination();
+        assert!(termination_requested());
+    }
+}

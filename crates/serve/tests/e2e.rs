@@ -1,0 +1,163 @@
+//! End-to-end acceptance: a server on an ephemeral port, serving a GNN
+//! bundle hot-loaded through the model registry, hammered by concurrent
+//! clients — every response must match a direct `Engine::advise` call
+//! bit-for-bit, and the scheduler must actually coalesce.
+
+use pg_advisor::LaunchConfig;
+use pg_engine::{AdviseReport, AdviseRequest, Engine};
+use pg_gnn::{ModelRegistry, TrainConfig, TrainedModel};
+use pg_perfsim::Platform;
+use pg_serve::{BatchConfig, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+const PLATFORM: Platform = Platform::SummitV100;
+
+/// POST one advise request over a fresh connection, returning (status,
+/// body).
+fn post_advise(addr: SocketAddr, json: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(
+            format!(
+                "POST /advise HTTP/1.1\r\nHost: e2e\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n{json}",
+                json.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn concurrent_gnn_serving_is_bit_identical_to_direct_advise_and_coalesces() {
+    // Train a small bundle, publish it to a registry directory, and load
+    // it back — the server consumes the *persisted* model, exactly like a
+    // process started with `--model`.
+    let dataset = pg_dataset::collect_platform(
+        PLATFORM,
+        &pg_dataset::PipelineConfig {
+            scale: pg_dataset::DatasetScale::Fast,
+            seed: 3,
+            noise_sigma: 0.02,
+        },
+    );
+    let (bundle, _) = TrainedModel::fit(&dataset, &TrainConfig::fast()).unwrap();
+    let dir = std::env::temp_dir().join(format!("pg-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = ModelRegistry::at(&dir);
+    registry.publish(&bundle, PLATFORM).unwrap();
+    let loaded = registry.load_platform(PLATFORM).unwrap();
+
+    let engine = Arc::new(
+        Engine::builder()
+            .platform(PLATFORM)
+            .backend(loaded.into_backend())
+            .build(),
+    );
+    let server = Server::start(
+        Arc::clone(&engine),
+        ServeConfig {
+            // A generous flush window so the coalescing we assert on
+            // cannot be lost to scheduler noise (each client gets its own
+            // connection thread, so all 32 are in the batcher together).
+            batch: BatchConfig {
+                max_batch: 64,
+                max_wait: Duration::from_millis(50),
+                queue_depth: 256,
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Eight distinct requests, cycled over 32 concurrent clients.
+    let launches = [
+        LaunchConfig {
+            teams: 80,
+            threads: 128,
+        },
+        LaunchConfig {
+            teams: 40,
+            threads: 256,
+        },
+    ];
+    let distinct: Vec<AdviseRequest> = [
+        "MM/matmul",
+        "MV/matvec",
+        "Transpose/transpose",
+        "KNN/distances",
+    ]
+    .iter()
+    .flat_map(|kernel| {
+        launches
+            .iter()
+            .map(|&launch| AdviseRequest::catalog(*kernel).with_launch(launch))
+    })
+    .collect();
+    assert!(pg_kernels_exist(&distinct, &engine));
+
+    let clients: Vec<_> = (0..32)
+        .map(|i| {
+            let request = distinct[i % distinct.len()].clone();
+            let json = serde_json::to_string(&request).unwrap();
+            std::thread::spawn(move || {
+                let (status, body) = post_advise(addr, &json);
+                (request, status, body)
+            })
+        })
+        .collect();
+
+    let mut served = 0;
+    for client in clients {
+        let (request, status, body) = client.join().unwrap();
+        assert_eq!(status, 200, "request {:?} failed: {body}", request.kernel);
+        let response: AdviseReport = serde_json::from_str(&body).unwrap();
+        let direct = engine.advise(&request).unwrap();
+        // Bit-for-bit: the ranked predictions (f64 bit patterns included —
+        // JSON uses the shortest round-trippable form) and every
+        // provenance field. Timing and batch-scoped cache accounting are
+        // wall-clock- and coalescing-dependent by design, so they are the
+        // only fields excluded.
+        assert_eq!(response.rankings, direct.rankings);
+        assert_eq!(response.failures, direct.failures);
+        assert_eq!(response.kernel, direct.kernel);
+        assert_eq!(response.platform, direct.platform);
+        assert_eq!(response.backend, "gnn");
+        for (a, b) in response.rankings.iter().zip(&direct.rankings) {
+            assert_eq!(a.predicted_ms.to_bits(), b.predicted_ms.to_bits());
+        }
+        served += 1;
+    }
+    assert_eq!(served, 32);
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.advise_ok, 32);
+    assert_eq!(metrics.batched_requests, 32);
+    assert!(
+        metrics.coalesced_batches >= 1 && metrics.max_batch_size > 1,
+        "scheduler never coalesced: {metrics:?}"
+    );
+    assert!(metrics.batches < 32, "every request ran in its own batch");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Guard against catalogue renames silently weakening the test.
+fn pg_kernels_exist(requests: &[AdviseRequest], engine: &Engine) -> bool {
+    requests.iter().all(|r| engine.advise(r).is_ok())
+}

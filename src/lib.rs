@@ -51,6 +51,9 @@ pub use pg_gnn as gnn;
 /// COMPOFF baseline cost model.
 pub use pg_compoff as compoff;
 
+/// HTTP serving tier: micro-batching, admission control, model hot-loading.
+pub use pg_serve as serve;
+
 /// Dense matrices, reverse-mode autodiff, Adam, scalers, metrics.
 pub use pg_tensor as tensor;
 
