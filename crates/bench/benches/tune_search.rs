@@ -1,0 +1,196 @@
+//! Machine-readable baseline for the search subsystem: beam vs exhaustive
+//! tuning over the densified launch grid, on every catalogue kernel × both
+//! platform families.
+//!
+//! For each case the harness records how many evaluations and how much
+//! wall time each strategy spends to reach the exhaustive-search optimum
+//! (exhaustive search *is* the optimum by definition; the beam ends its run
+//! having either matched the optimal predicted runtime bit-for-bit or
+//! missed it, which the report records). Besides the criterion output, the
+//! results are written to `BENCH_tune.json` at the repository root so
+//! future PRs can track the pruning power of the search. Set
+//! `PARAGRAPH_BENCH_SMOKE=1` for the CI smoke run: two kernels, one
+//! repetition, no JSON rewrite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pg_advisor::ParallelismBudget;
+use pg_engine::Engine;
+use pg_perfsim::Platform;
+use pg_tune::{StrategySpec, TuneEngine, TuneReport, TuneRequest};
+use serde::Serialize;
+use std::time::Instant;
+
+const PLATFORMS: [Platform; 2] = [Platform::SummitV100, Platform::SummitPower9];
+
+fn smoke() -> bool {
+    std::env::var("PARAGRAPH_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// The densified grid the acceptance criterion is measured on (the same
+/// grid `crates/tune/tests/search_equivalence.rs` asserts over).
+fn dense_budget(platform: Platform) -> ParallelismBudget {
+    platform.default_budget().densified(4)
+}
+
+/// The tight beam the acceptance criterion uses.
+fn beam_spec() -> StrategySpec {
+    StrategySpec::Beam {
+        width: 1,
+        patience: 1,
+    }
+}
+
+fn request(kernel: &str, platform: Platform, strategy: StrategySpec) -> TuneRequest {
+    TuneRequest::catalog(kernel)
+        .with_budget(dense_budget(platform))
+        .with_strategy(strategy)
+}
+
+fn kernels() -> Vec<String> {
+    let all: Vec<String> = pg_kernels::all_kernels()
+        .iter()
+        .map(|k| k.full_name())
+        .collect();
+    if smoke() {
+        all.into_iter().take(2).collect()
+    } else {
+        all
+    }
+}
+
+/// Median wall-clock milliseconds of `reps` tuning runs.
+fn median_wall_ms(engine: &Engine, request: &TuneRequest, reps: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            engine.tune(request).expect("tuning run");
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+#[derive(Serialize)]
+struct Case {
+    kernel: String,
+    platform: String,
+    candidates: u64,
+    exhaustive_evaluations: u64,
+    beam_evaluations: u64,
+    /// `beam_evaluations / exhaustive_evaluations` — the acceptance
+    /// criterion requires ≤ 0.5 everywhere.
+    eval_fraction: f64,
+    exhaustive_wall_ms: f64,
+    beam_wall_ms: f64,
+    beam_generations: u64,
+    /// Whether the beam's best equals the exhaustive optimum bit-for-bit.
+    beam_found_optimum: bool,
+}
+
+#[derive(Serialize)]
+struct Aggregate {
+    cases: usize,
+    beam_found_optimum_everywhere: bool,
+    max_eval_fraction: f64,
+    mean_eval_fraction: f64,
+    exhaustive_wall_ms_total: f64,
+    beam_wall_ms_total: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    schema: u32,
+    grid_densify: u32,
+    beam: String,
+    cases: Vec<Case>,
+    aggregate: Aggregate,
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let engine = Engine::builder().platform(Platform::SummitV100).build();
+    let exhaustive = request("MM/matmul", Platform::SummitV100, StrategySpec::Exhaustive);
+    let beam = request("MM/matmul", Platform::SummitV100, beam_spec());
+    // Warm the frontend cache so criterion times the search, not the parse.
+    engine.tune(&exhaustive).unwrap();
+    c.bench_function("tune_exhaustive_mm_dense", |b| {
+        b.iter(|| engine.tune(std::hint::black_box(&exhaustive)).unwrap())
+    });
+    c.bench_function("tune_beam_mm_dense", |b| {
+        b.iter(|| engine.tune(std::hint::black_box(&beam)).unwrap())
+    });
+}
+
+fn record_json(c: &mut Criterion) {
+    let reps = if smoke() { 1 } else { 5 };
+    let mut cases = Vec::new();
+    for platform in PLATFORMS {
+        let engine = Engine::builder().platform(platform).build();
+        for kernel in kernels() {
+            let exhaustive_request = request(&kernel, platform, StrategySpec::Exhaustive);
+            let beam_request = request(&kernel, platform, beam_spec());
+            let exhaustive: TuneReport = engine.tune(&exhaustive_request).unwrap();
+            let beam: TuneReport = engine.tune(&beam_request).unwrap();
+            let exhaustive_wall = median_wall_ms(&engine, &exhaustive_request, reps);
+            let beam_wall = median_wall_ms(&engine, &beam_request, reps);
+            cases.push(Case {
+                kernel: kernel.clone(),
+                platform: platform.slug().to_string(),
+                candidates: exhaustive.space.candidates,
+                exhaustive_evaluations: exhaustive.space.evaluated,
+                beam_evaluations: beam.space.evaluated,
+                eval_fraction: beam.space.evaluated as f64
+                    / exhaustive.space.evaluated.max(1) as f64,
+                exhaustive_wall_ms: exhaustive_wall,
+                beam_wall_ms: beam_wall,
+                beam_generations: beam.generations,
+                beam_found_optimum: beam.best.predicted_ms.to_bits()
+                    == exhaustive.best.predicted_ms.to_bits(),
+            });
+        }
+    }
+    let aggregate = Aggregate {
+        cases: cases.len(),
+        beam_found_optimum_everywhere: cases.iter().all(|c| c.beam_found_optimum),
+        max_eval_fraction: cases.iter().map(|c| c.eval_fraction).fold(0.0, f64::max),
+        mean_eval_fraction: cases.iter().map(|c| c.eval_fraction).sum::<f64>()
+            / cases.len().max(1) as f64,
+        exhaustive_wall_ms_total: cases.iter().map(|c| c.exhaustive_wall_ms).sum(),
+        beam_wall_ms_total: cases.iter().map(|c| c.beam_wall_ms).sum(),
+    };
+    println!(
+        "tune search: {} cases, beam found the optimum everywhere: {}, eval fraction mean {:.2} max {:.2}, wall {:.1}ms -> {:.1}ms",
+        aggregate.cases,
+        aggregate.beam_found_optimum_everywhere,
+        aggregate.mean_eval_fraction,
+        aggregate.max_eval_fraction,
+        aggregate.exhaustive_wall_ms_total,
+        aggregate.beam_wall_ms_total,
+    );
+    let report = BenchReport {
+        schema: 1,
+        grid_densify: 4,
+        beam: "width=1 patience=1".to_string(),
+        cases,
+        aggregate,
+    };
+    if smoke() {
+        // The CI smoke run proves the harness executes end to end; keep the
+        // committed baseline intact.
+        return;
+    }
+    let json = serde_json::to_string(&report).expect("bench report serialises");
+    std::fs::write(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tune.json"),
+        json,
+    )
+    .expect("write BENCH_tune.json at the repository root");
+    let _ = c;
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_strategies, record_json
+}
+criterion_main!(benches);

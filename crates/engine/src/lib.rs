@@ -162,15 +162,7 @@ impl Engine {
         match budget {
             LaunchBudget::Fixed(launch) => vec![*launch],
             LaunchBudget::Sweep(budget) => sweep_for(budget),
-            LaunchBudget::PlatformDefault => {
-                let units = self.platform.parallel_units();
-                let derived = if self.platform.is_gpu() {
-                    ParallelismBudget::for_gpu(units)
-                } else {
-                    ParallelismBudget::for_cpu_cores(units)
-                };
-                sweep_for(&derived)
-            }
+            LaunchBudget::PlatformDefault => sweep_for(&self.platform.default_budget()),
         }
     }
 

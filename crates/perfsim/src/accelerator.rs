@@ -123,6 +123,23 @@ impl Platform {
             AcceleratorSpec::Gpu(g) => g.sms,
         }
     }
+
+    /// The launch-sweep budget this platform's hardware implies: a
+    /// teams × threads grid from the SM count for GPUs, a thread sweep from
+    /// the core count for CPUs.
+    ///
+    /// This is the single source of the "platform default" grid: the
+    /// engine's `LaunchBudget::PlatformDefault` and the tuner's
+    /// `SearchSpace` both resolve through it, which is what keeps an
+    /// exhaustive tuning run bit-identical to an advise sweep.
+    pub fn default_budget(self) -> pg_advisor::ParallelismBudget {
+        let units = self.parallel_units();
+        if self.is_gpu() {
+            pg_advisor::ParallelismBudget::for_gpu(units)
+        } else {
+            pg_advisor::ParallelismBudget::for_cpu_cores(units)
+        }
+    }
 }
 
 /// Specification of a CPU socket.

@@ -20,9 +20,13 @@
 //!                                  disjoint-union forward pass per flush)
 //! ```
 //!
-//! Three routes: `POST /advise` (the engine's own serde types as the wire
-//! format), `GET /healthz`, `GET /metrics` (Prometheus text). Admission
-//! control bounds in-flight requests (429 + `Retry-After` on overload),
+//! Four routes: `POST /advise` and `POST /tune` (the engine's and tuner's
+//! own serde types as the wire format), `GET /healthz`, `GET /metrics`
+//! (Prometheus text). `/tune` runs a budgeted `pg_tune` search with the
+//! shared engine as cost model (it batches internally — one backend call
+//! per search generation — so it bypasses the micro-batcher but shares the
+//! admission gauge). Admission control bounds in-flight requests across
+//! both POST routes (429 + `Retry-After` on overload),
 //! and shutdown drains: admitted requests finish, queued batches flush,
 //! every thread joins. Pair with `pg_gnn::registry` to hot-load a trained
 //! model bundle instead of training in-process — see `examples/serve.rs`.

@@ -22,10 +22,19 @@ pub struct ServeMetrics {
     pub(crate) advise_failed: AtomicU64,
     /// `/advise` requests rejected 429 by admission control.
     pub(crate) advise_rejected: AtomicU64,
+    /// `/tune` requests received (admitted or not).
+    pub(crate) tune_requests: AtomicU64,
+    /// `/tune` requests answered 200.
+    pub(crate) tune_ok: AtomicU64,
+    /// `/tune` requests admitted but failed in the tuner.
+    pub(crate) tune_failed: AtomicU64,
+    /// `/tune` requests rejected 429 by admission control.
+    pub(crate) tune_rejected: AtomicU64,
     /// Connections shed 429 at accept because `max_connections` was
     /// reached.
     pub(crate) connections_shed: AtomicU64,
-    /// `/advise` requests currently being served (gauge).
+    /// POST requests (`/advise` + `/tune`) currently being served — the
+    /// shared admission gauge (gauge).
     pub(crate) in_flight: AtomicU64,
     /// Prediction batches executed by the micro-batcher.
     pub(crate) batches: AtomicU64,
@@ -50,9 +59,18 @@ pub struct MetricsSnapshot {
     pub advise_failed: u64,
     /// `/advise` requests rejected 429 by admission control.
     pub advise_rejected: u64,
+    /// `/tune` requests received (admitted or not).
+    pub tune_requests: u64,
+    /// `/tune` requests answered 200.
+    pub tune_ok: u64,
+    /// `/tune` requests that failed in the tuner.
+    pub tune_failed: u64,
+    /// `/tune` requests rejected 429 by admission control.
+    pub tune_rejected: u64,
     /// Connections shed 429 at accept (`max_connections` reached).
     pub connections_shed: u64,
-    /// `/advise` requests currently in flight.
+    /// POST requests (`/advise` + `/tune`) currently in flight (the
+    /// shared admission gauge).
     pub in_flight: u64,
     /// Prediction batches executed.
     pub batches: u64,
@@ -85,6 +103,10 @@ impl ServeMetrics {
             advise_ok: self.advise_ok.load(Ordering::Relaxed),
             advise_failed: self.advise_failed.load(Ordering::Relaxed),
             advise_rejected: self.advise_rejected.load(Ordering::Relaxed),
+            tune_requests: self.tune_requests.load(Ordering::Relaxed),
+            tune_ok: self.tune_ok.load(Ordering::Relaxed),
+            tune_failed: self.tune_failed.load(Ordering::Relaxed),
+            tune_rejected: self.tune_rejected.load(Ordering::Relaxed),
             connections_shed: self.connections_shed.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
@@ -133,6 +155,22 @@ impl MetricsSnapshot {
             self.advise_rejected,
         );
         counter(
+            "tune_requests_total",
+            "Tune requests received",
+            self.tune_requests,
+        );
+        counter("tune_ok_total", "Tune requests answered 200", self.tune_ok);
+        counter(
+            "tune_failed_total",
+            "Tune requests that failed in the tuner",
+            self.tune_failed,
+        );
+        counter(
+            "tune_rejected_total",
+            "Tune requests rejected by admission control",
+            self.tune_rejected,
+        );
+        counter(
             "connections_shed_total",
             "Connections shed at accept by the connection limit",
             self.connections_shed,
@@ -149,7 +187,7 @@ impl MetricsSnapshot {
             self.coalesced_batches,
         );
         out.push_str(&format!(
-            "# HELP paragraph_serve_in_flight Advise requests currently in flight\n\
+            "# HELP paragraph_serve_in_flight POST requests (advise + tune) currently in flight\n\
              # TYPE paragraph_serve_in_flight gauge\n\
              paragraph_serve_in_flight {}\n",
             self.in_flight
@@ -190,6 +228,10 @@ mod tests {
             "paragraph_serve_http_requests_total",
             "paragraph_serve_advise_ok_total",
             "paragraph_serve_advise_rejected_total",
+            "paragraph_serve_tune_requests_total",
+            "paragraph_serve_tune_ok_total",
+            "paragraph_serve_tune_failed_total",
+            "paragraph_serve_tune_rejected_total",
             "paragraph_serve_batches_total",
             "paragraph_serve_coalesced_batches_total",
             "paragraph_serve_max_batch_size",

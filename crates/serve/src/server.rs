@@ -27,9 +27,10 @@ use crate::http::{read_request, ParseError, Request, Response};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::ServeError;
 use pg_engine::{AdviseRequest, Engine, EngineError};
+use pg_tune::{TuneEngine, TuneError, TuneRequest};
 use std::io::BufReader;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -51,6 +52,15 @@ pub struct ServeConfig {
     /// Idle keep-alive connections are closed after this long without a
     /// request (also bounds how long a drain can wait on an idle client).
     pub idle_timeout: Duration,
+    /// Server-side ceiling on a `/tune` request's `max_evaluations`: the
+    /// wire-supplied budget is clamped to it. A tuning run's work is
+    /// client-controlled (budget × sweep axes), and an uncapped request
+    /// could hold an admission slot for hours and stall the drain; the
+    /// clamp bounds every run to a predictable worst case.
+    pub max_tune_evaluations: u64,
+    /// Server-side ceiling on a `/tune` request's `max_generations`
+    /// (backend batches), clamped like `max_tune_evaluations`.
+    pub max_tune_generations: u64,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +72,8 @@ impl Default for ServeConfig {
             batch: BatchConfig::default(),
             max_body_bytes: 1 << 20,
             idle_timeout: Duration::from_secs(5),
+            max_tune_evaluations: 65_536,
+            max_tune_generations: 1024,
         }
     }
 }
@@ -82,6 +94,8 @@ struct Shared {
     max_inflight: usize,
     max_body_bytes: usize,
     idle_timeout: Duration,
+    max_tune_evaluations: u64,
+    max_tune_generations: u64,
 }
 
 /// A running server. Keep the handle; [`Server::shutdown`] drains and
@@ -108,6 +122,8 @@ impl Server {
             max_inflight: config.max_inflight.max(1),
             max_body_bytes: config.max_body_bytes,
             idle_timeout: config.idle_timeout,
+            max_tune_evaluations: config.max_tune_evaluations.max(1),
+            max_tune_generations: config.max_tune_generations.max(1),
         });
 
         let max_connections = config.max_connections.max(1);
@@ -279,7 +295,8 @@ fn route(shared: &Shared, request: &Request) -> Response {
         ("GET", "/healthz") => healthz(shared),
         ("GET", "/metrics") => Response::text(200, shared.metrics.snapshot().to_prometheus()),
         ("POST", "/advise") => advise(shared, &request.body),
-        (_, "/healthz" | "/metrics" | "/advise") => {
+        ("POST", "/tune") => tune(shared, &request.body),
+        (_, "/healthz" | "/metrics" | "/advise" | "/tune") => {
             Response::error(405, &format!("method {} not allowed", request.method))
         }
         (_, path) => Response::error(404, &format!("no route for `{path}`")),
@@ -318,29 +335,35 @@ impl Drop for InFlight<'_> {
     }
 }
 
-fn advise(shared: &Shared, body: &[u8]) -> Response {
-    // Admission control before the JSON parse and the engine: an
-    // overloaded server sheds this request after the (size-bounded) HTTP
-    // read, spending no prediction work on it.
+/// The admission + body-parse preamble both POST routes share: count the
+/// request into the in-flight gauge (the returned guard holds the slot for
+/// the engine work and releases it on drop), shed 429 + `Retry-After` past
+/// `max_inflight` (bumping the route's `rejected` counter), refuse 503
+/// while draining, and parse the JSON body (400s name the expected
+/// `payload` type). Admission runs before the JSON parse: an overloaded
+/// server sheds after the size-bounded HTTP read, spending no further work.
+fn admit_and_parse<'a, T: for<'de> serde::Deserialize<'de>>(
+    shared: &'a Shared,
+    body: &[u8],
+    rejected: &AtomicU64,
+    payload: &str,
+) -> Result<(T, InFlight<'a>), Response> {
     let admitted = shared.metrics.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
     let guard = InFlight(&shared.metrics);
     if admitted > shared.max_inflight as u64 {
         drop(guard);
-        shared
-            .metrics
-            .advise_rejected
-            .fetch_add(1, Ordering::Relaxed);
-        return Response::error(
+        rejected.fetch_add(1, Ordering::Relaxed);
+        return Err(Response::error(
             429,
             &format!(
                 "{admitted} requests in flight exceeds the {} admitted",
                 shared.max_inflight
             ),
         )
-        .with_header("Retry-After", "1");
+        .with_header("Retry-After", "1"));
     }
     if shared.draining.load(Ordering::SeqCst) {
-        return Response::error(503, "server is draining");
+        return Err(Response::error(503, "server is draining"));
     }
     let text = match std::str::from_utf8(body) {
         Ok(text) => text,
@@ -349,18 +372,30 @@ fn advise(shared: &Shared, body: &[u8]) -> Response {
                 .metrics
                 .http_bad_requests
                 .fetch_add(1, Ordering::Relaxed);
-            return Response::error(400, "request body is not UTF-8");
+            return Err(Response::error(400, "request body is not UTF-8"));
         }
     };
-    let request: AdviseRequest = match serde_json::from_str(text) {
-        Ok(request) => request,
+    match serde_json::from_str(text) {
+        Ok(request) => Ok((request, guard)),
         Err(error) => {
             shared
                 .metrics
                 .http_bad_requests
                 .fetch_add(1, Ordering::Relaxed);
-            return Response::error(400, &format!("invalid AdviseRequest: {error}"));
+            Err(Response::error(400, &format!("invalid {payload}: {error}")))
         }
+    }
+}
+
+fn advise(shared: &Shared, body: &[u8]) -> Response {
+    let (request, _guard): (AdviseRequest, _) = match admit_and_parse(
+        shared,
+        body,
+        &shared.metrics.advise_rejected,
+        "AdviseRequest",
+    ) {
+        Ok(admitted) => admitted,
+        Err(response) => return response,
     };
     match shared.batcher.advise(request) {
         Ok(report) => match serde_json::to_string(&report) {
@@ -391,6 +426,58 @@ fn advise(shared: &Shared, body: &[u8]) -> Response {
                 ServeError::Engine(_) => 422,
             };
             shared.metrics.advise_failed.fetch_add(1, Ordering::Relaxed);
+            Response::error(status, &error.to_string())
+        }
+    }
+}
+
+/// `POST /tune`: run a budgeted variant-space search with the shared engine
+/// as cost model.
+///
+/// Admission control is the same in-flight gauge `/advise` uses — a tuning
+/// run is strictly heavier than an advise call (many frontier batches), so
+/// it must not be able to sneak past the load shedding. The micro-batcher
+/// is *not* in this path: the tuner already batches internally (each search
+/// generation is one `advise_many`, i.e. one backend `predict_batch`).
+fn tune(shared: &Shared, body: &[u8]) -> Response {
+    shared.metrics.tune_requests.fetch_add(1, Ordering::Relaxed);
+    let (mut request, _guard): (TuneRequest, _) =
+        match admit_and_parse(shared, body, &shared.metrics.tune_rejected, "TuneRequest") {
+            Ok(admitted) => admitted,
+            Err(response) => return response,
+        };
+    // Clamp the client-supplied budget to the server's ceiling: search
+    // work is otherwise unbounded from the wire, and an admission slot
+    // must not be holdable for hours (the report's accounting shows the
+    // clamped budget the run actually got).
+    request.limits.max_evaluations = request
+        .limits
+        .max_evaluations
+        .min(shared.max_tune_evaluations);
+    request.limits.max_generations = request
+        .limits
+        .max_generations
+        .min(shared.max_tune_generations);
+    match shared.engine.tune(&request) {
+        Ok(report) => match serde_json::to_string(&report) {
+            Ok(json) => {
+                shared.metrics.tune_ok.fetch_add(1, Ordering::Relaxed);
+                Response::json(200, json)
+            }
+            Err(error) => {
+                shared.metrics.tune_failed.fetch_add(1, Ordering::Relaxed);
+                Response::error(500, &format!("serializing tune report: {error}"))
+            }
+        },
+        Err(error) => {
+            let status = match &error {
+                TuneError::Engine(EngineError::BackendUnavailable(_)) => 503,
+                // Well-formed HTTP+JSON the tuner cannot satisfy (unknown
+                // kernel, empty budget, starved evaluation budget): a
+                // semantic 422, mirroring /advise.
+                _ => 422,
+            };
+            shared.metrics.tune_failed.fetch_add(1, Ordering::Relaxed);
             Response::error(status, &error.to_string())
         }
     }
@@ -495,6 +582,138 @@ mod tests {
         let metrics = server.shutdown();
         assert_eq!(metrics.http_bad_requests, 1);
         assert_eq!(metrics.advise_failed, 1);
+    }
+
+    #[test]
+    fn tune_round_trip_matches_direct_engine_tune() {
+        use pg_tune::{StrategySpec, TuneReport, TuneRequest};
+        let (server, engine) = start(ServeConfig::default());
+        let request = TuneRequest::catalog("MM/matmul").with_strategy(StrategySpec::Beam {
+            width: 2,
+            patience: 1,
+        });
+        let json = serde_json::to_string(&request).unwrap();
+        let (status, body) = roundtrip(
+            server.addr(),
+            &format!(
+                "POST /tune HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n{json}",
+                json.len()
+            ),
+        );
+        assert_eq!(status, 200, "body: {body}");
+        let served: TuneReport = serde_json::from_str(&body).unwrap();
+        let direct = engine.tune(&request).unwrap();
+        assert_eq!(served.best, direct.best);
+        assert_eq!(served.trajectory, direct.trajectory);
+        assert_eq!(served.space, direct.space);
+        let metrics = server.shutdown();
+        assert_eq!(metrics.tune_requests, 1);
+        assert_eq!(metrics.tune_ok, 1);
+        assert_eq!(metrics.advise_ok, 0);
+        assert_eq!(metrics.in_flight, 0);
+    }
+
+    #[test]
+    fn tune_budgets_are_clamped_to_the_server_ceiling() {
+        use pg_tune::{StrategySpec, TuneReport, TuneRequest};
+        let (server, _) = start(ServeConfig {
+            max_tune_evaluations: 8,
+            max_tune_generations: 1,
+            ..ServeConfig::default()
+        });
+        // The client asks for the default 4096-evaluation budget; the
+        // server must cut the run to its own ceiling.
+        let request = TuneRequest::catalog("MM/matmul").with_strategy(StrategySpec::Exhaustive);
+        let json = serde_json::to_string(&request).unwrap();
+        let (status, body) = roundtrip(
+            server.addr(),
+            &format!(
+                "POST /tune HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n{json}",
+                json.len()
+            ),
+        );
+        assert_eq!(status, 200, "body: {body}");
+        let served: TuneReport = serde_json::from_str(&body).unwrap();
+        assert!(
+            served.space.evaluated <= 8,
+            "server ceiling ignored: {:?}",
+            served.space
+        );
+        assert!(served.generations <= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tune_maps_bad_requests_and_unknown_kernels_to_statuses() {
+        use pg_tune::TuneRequest;
+        let (server, _) = start(ServeConfig::default());
+        let addr = server.addr();
+        let post = |json: &str| {
+            roundtrip(
+                addr,
+                &format!(
+                    "POST /tune HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\
+                     Connection: close\r\n\r\n{json}",
+                    json.len()
+                ),
+            )
+        };
+        let (status, _) = post("{not json");
+        assert_eq!(status, 400);
+        let json = serde_json::to_string(&TuneRequest::catalog("Nope/none")).unwrap();
+        let (status, body) = post(&json);
+        assert_eq!(status, 422, "body: {body}");
+        assert!(body.contains("unknown catalogue kernel"));
+        let (status, _) = roundtrip(
+            addr,
+            "DELETE /tune HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 405);
+        let metrics = server.shutdown();
+        assert_eq!(metrics.tune_requests, 2);
+        assert_eq!(metrics.tune_ok, 0);
+        assert_eq!(metrics.tune_failed, 1);
+        assert_eq!(metrics.http_bad_requests, 1);
+    }
+
+    #[test]
+    fn tune_admission_control_rejects_with_retry_after() {
+        use pg_tune::TuneRequest;
+        let (server, _) = start(ServeConfig {
+            max_inflight: 1,
+            ..ServeConfig::default()
+        });
+        server
+            .shared
+            .metrics
+            .in_flight
+            .fetch_add(1, Ordering::SeqCst);
+        let json = serde_json::to_string(&TuneRequest::catalog("MM/matmul")).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(
+                format!(
+                    "POST /tune HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\
+                     Connection: close\r\n\r\n{json}",
+                    json.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 429"), "{response}");
+        assert!(response.contains("Retry-After: 1"), "{response}");
+        server
+            .shared
+            .metrics
+            .in_flight
+            .fetch_sub(1, Ordering::SeqCst);
+        let metrics = server.shutdown();
+        assert_eq!(metrics.tune_rejected, 1);
+        assert_eq!(metrics.tune_ok, 0);
     }
 
     #[test]

@@ -161,3 +161,97 @@ fn concurrent_gnn_serving_is_bit_identical_to_direct_advise_and_coalesces() {
 fn pg_kernels_exist(requests: &[AdviseRequest], engine: &Engine) -> bool {
     requests.iter().all(|r| engine.advise(r).is_ok())
 }
+
+/// POST one tune request over a fresh connection, returning (status, body).
+fn post_tune(addr: SocketAddr, json: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(
+            format!(
+                "POST /tune HTTP/1.1\r\nHost: e2e\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n{json}",
+                json.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// The serve-tier tune contract: a tuned request over HTTP is bit-for-bit
+/// the direct `Engine::tune` answer (wall time excluded — the only
+/// wall-clock-dependent field), every strategy included, and `/metrics`
+/// exposes a `tune_requests_total` counter that counts exactly the `/tune`
+/// requests received.
+#[test]
+fn tune_over_http_is_bit_identical_to_direct_engine_tune_and_counted() {
+    use pg_tune::{Budget, StrategySpec, TuneEngine, TuneReport, TuneRequest};
+
+    let engine = Arc::new(Engine::builder().platform(PLATFORM).build());
+    let server = Server::start(Arc::clone(&engine), pg_serve::ServeConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let requests = [
+        TuneRequest::catalog("MM/matmul").with_strategy(StrategySpec::Exhaustive),
+        TuneRequest::catalog("Transpose/transpose").with_strategy(StrategySpec::Beam {
+            width: 2,
+            patience: 1,
+        }),
+        TuneRequest::catalog("KNN/distances")
+            .with_strategy(StrategySpec::Hillclimb {
+                seed: 99,
+                restarts: 1,
+            })
+            .with_limits(Budget::evaluations(64)),
+    ];
+    for (posted, request) in requests.iter().enumerate() {
+        let json = serde_json::to_string(request).unwrap();
+        let (status, body) = post_tune(addr, &json);
+        assert_eq!(status, 200, "{:?}: body {body}", request.strategy);
+        let served: TuneReport = serde_json::from_str(&body).unwrap();
+        let direct = engine.tune(request).unwrap();
+        assert_eq!(served.best, direct.best);
+        assert_eq!(
+            served.best.predicted_ms.to_bits(),
+            direct.best.predicted_ms.to_bits()
+        );
+        assert_eq!(served.trajectory, direct.trajectory);
+        assert_eq!(served.space, direct.space);
+        assert_eq!(served.stop, direct.stop);
+        assert_eq!(served.generations, direct.generations);
+        assert_eq!(served.strategy, direct.strategy);
+        assert_eq!(served.backend, direct.backend);
+        assert_eq!(served.platform, direct.platform);
+        assert_eq!(served.kernel, direct.kernel);
+
+        // The counter is on /metrics and counts exactly the posts so far.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: e2e\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut metrics_text = String::new();
+        stream.read_to_string(&mut metrics_text).unwrap();
+        let expected = format!("paragraph_serve_tune_requests_total {}", posted + 1);
+        assert!(
+            metrics_text.contains(&expected),
+            "metrics missing `{expected}`:\n{metrics_text}"
+        );
+    }
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.tune_requests, requests.len() as u64);
+    assert_eq!(metrics.tune_ok, requests.len() as u64);
+    assert_eq!(metrics.tune_failed, 0);
+    assert_eq!(metrics.in_flight, 0);
+}

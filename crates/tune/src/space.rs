@@ -1,0 +1,330 @@
+//! The search space: the `(variant × launch)` grid a tuning run explores.
+//!
+//! A [`SearchSpace`] is built from the same ingredients [`pg_engine::Engine`]
+//! uses to enumerate an advise sweep — [`Variant::applicable_variants`]
+//! filtered to the platform, and the launch grid of a
+//! [`ParallelismBudget`] — so that exhaustively evaluating the space is
+//! *bit-identical* to `Engine::advise` over the same request. Strategies
+//! move over the launch grid (the "levels of parallelism" axes of the
+//! paper); every visited grid point scores **all** applicable variants at
+//! that launch in one engine request, so the variant and clause dimensions
+//! (collapse, map, schedule — carried by the variant's pragma) are ranked
+//! for free with each move.
+
+use crate::error::TuneError;
+use pg_advisor::{LaunchConfig, ParallelismBudget, Variant};
+use pg_engine::LaunchBudget;
+use pg_kernels::KernelTemplate;
+use pg_perfsim::Platform;
+use std::collections::HashMap;
+
+/// One point of the launch grid, addressed by its index on each axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GridPoint {
+    /// Index into [`SearchSpace::teams_axis`].
+    pub teams_idx: usize,
+    /// Index into [`SearchSpace::threads_axis`].
+    pub threads_idx: usize,
+}
+
+/// The space a tuning run searches: a catalogue kernel, the variants
+/// applicable on the platform, and the launch grid spanned by a parallelism
+/// budget.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// The kernel template being tuned.
+    pub kernel: KernelTemplate,
+    /// Platform the engine serves (fixes the GPU/CPU variant filter and the
+    /// default launch grid).
+    pub platform: Platform,
+    /// Explicit problem sizes, if the request carried any (`None` lets the
+    /// engine use the kernel's defaults, exactly like `advise`).
+    pub sizes: Option<HashMap<String, i64>>,
+    /// Applicable variants in enumeration order — identical to the order
+    /// `Engine::advise` enumerates, which is what makes tie-breaking
+    /// bit-compatible.
+    pub variants: Vec<Variant>,
+    /// Team-count axis of the launch grid (always `[1]` on CPU platforms).
+    pub teams_axis: Vec<u64>,
+    /// Thread-count axis of the launch grid.
+    pub threads_axis: Vec<u64>,
+}
+
+impl SearchSpace {
+    /// Build the space for a catalogue kernel under a launch budget,
+    /// mirroring `Engine::advise` enumeration exactly: the same variant
+    /// filter, the same launch grid, the same ordering.
+    pub fn build(
+        platform: Platform,
+        kernel_name: &str,
+        sizes: Option<HashMap<String, i64>>,
+        budget: &LaunchBudget,
+    ) -> Result<SearchSpace, TuneError> {
+        let kernel = pg_kernels::find_kernel(kernel_name)
+            .ok_or_else(|| TuneError::UnknownKernel(kernel_name.to_string()))?;
+        let variants: Vec<Variant> = Variant::applicable_variants(&kernel)
+            .into_iter()
+            .filter(|v| v.is_gpu() == platform.is_gpu())
+            .collect();
+        if variants.is_empty() {
+            return Err(TuneError::NoApplicableVariants {
+                kernel: kernel_name.to_string(),
+                platform,
+            });
+        }
+        let (teams_axis, threads_axis) = match budget {
+            LaunchBudget::Fixed(launch) => (vec![launch.teams], vec![launch.threads]),
+            LaunchBudget::Sweep(budget) => axes_of(budget, platform.is_gpu()),
+            LaunchBudget::PlatformDefault => axes_of(&platform.default_budget(), platform.is_gpu()),
+        };
+        if teams_axis.is_empty() || threads_axis.is_empty() {
+            return Err(TuneError::EmptyBudget);
+        }
+        Ok(SearchSpace {
+            kernel,
+            platform,
+            sizes,
+            variants,
+            teams_axis,
+            threads_axis,
+        })
+    }
+
+    /// Number of grid points (launch configurations).
+    pub fn launch_points(&self) -> usize {
+        self.teams_axis.len() * self.threads_axis.len()
+    }
+
+    /// Number of candidates (`variants × launch points`) — what exhaustive
+    /// search evaluates, and what an advise sweep ranks.
+    pub fn candidates(&self) -> u64 {
+        self.variants.len() as u64 * self.launch_points() as u64
+    }
+
+    /// The launch configuration at a grid point.
+    pub fn launch(&self, point: GridPoint) -> LaunchConfig {
+        LaunchConfig {
+            teams: self.teams_axis[point.teams_idx],
+            threads: self.threads_axis[point.threads_idx],
+        }
+    }
+
+    /// Flat index of a grid point in advise enumeration order (teams-major,
+    /// matching [`ParallelismBudget::gpu_launches`] /
+    /// [`ParallelismBudget::cpu_launches`]).
+    pub fn flat_index(&self, point: GridPoint) -> usize {
+        point.teams_idx * self.threads_axis.len() + point.threads_idx
+    }
+
+    /// Grid point of a flat index (inverse of [`SearchSpace::flat_index`]).
+    pub fn point_from_flat(&self, flat: usize) -> GridPoint {
+        GridPoint {
+            teams_idx: flat / self.threads_axis.len(),
+            threads_idx: flat % self.threads_axis.len(),
+        }
+    }
+
+    /// Every grid point, in advise enumeration (teams-major) order.
+    pub fn all_points(&self) -> Vec<GridPoint> {
+        (0..self.launch_points())
+            .map(|flat| self.point_from_flat(flat))
+            .collect()
+    }
+
+    /// The 4-neighbourhood of a point: one step along each axis, in a fixed
+    /// deterministic order (teams−1, teams+1, threads−1, threads+1).
+    pub fn neighbors(&self, point: GridPoint) -> Vec<GridPoint> {
+        let mut out = Vec::with_capacity(4);
+        if point.teams_idx > 0 {
+            out.push(GridPoint {
+                teams_idx: point.teams_idx - 1,
+                ..point
+            });
+        }
+        if point.teams_idx + 1 < self.teams_axis.len() {
+            out.push(GridPoint {
+                teams_idx: point.teams_idx + 1,
+                ..point
+            });
+        }
+        if point.threads_idx > 0 {
+            out.push(GridPoint {
+                threads_idx: point.threads_idx - 1,
+                ..point
+            });
+        }
+        if point.threads_idx + 1 < self.threads_axis.len() {
+            out.push(GridPoint {
+                threads_idx: point.threads_idx + 1,
+                ..point
+            });
+        }
+        out
+    }
+
+    /// Deterministic seed frontier for local strategies: the centre of the
+    /// grid plus its four corners (deduplicated, order-stable). Extremes
+    /// catch monotone landscapes ("more parallelism is always better"), the
+    /// centre catches interior optima.
+    pub fn seed_points(&self) -> Vec<GridPoint> {
+        let (tmax, hmax) = (self.teams_axis.len() - 1, self.threads_axis.len() - 1);
+        let candidates = [
+            GridPoint {
+                teams_idx: tmax / 2,
+                threads_idx: hmax / 2,
+            },
+            GridPoint {
+                teams_idx: 0,
+                threads_idx: 0,
+            },
+            GridPoint {
+                teams_idx: 0,
+                threads_idx: hmax,
+            },
+            GridPoint {
+                teams_idx: tmax,
+                threads_idx: 0,
+            },
+            GridPoint {
+                teams_idx: tmax,
+                threads_idx: hmax,
+            },
+        ];
+        let mut out: Vec<GridPoint> = Vec::with_capacity(candidates.len());
+        for p in candidates {
+            if !out.contains(&p) {
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+/// The two launch-grid axes of a budget: GPU variants sweep
+/// `teams × threads`; CPU variants sweep threads at one team.
+fn axes_of(budget: &ParallelismBudget, gpu: bool) -> (Vec<u64>, Vec<u64>) {
+    if gpu {
+        (budget.gpu_teams.clone(), budget.gpu_threads.clone())
+    } else {
+        (vec![1], budget.cpu_threads.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> SearchSpace {
+        SearchSpace::build(
+            Platform::SummitV100,
+            "MM/matmul",
+            None,
+            &LaunchBudget::PlatformDefault,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grid_matches_the_platform_default_budget() {
+        let s = space();
+        // V100: 80 SMs -> teams {40, 80, 160}, threads {64, 128, 256}.
+        assert_eq!(s.teams_axis, vec![40, 80, 160]);
+        assert_eq!(s.threads_axis, vec![64, 128, 256]);
+        assert_eq!(s.launch_points(), 9);
+        assert_eq!(s.candidates(), 4 * 9); // four GPU variants on matmul
+        assert!(s.variants.iter().all(|v| v.is_gpu()));
+    }
+
+    #[test]
+    fn flat_order_matches_gpu_launch_enumeration() {
+        let s = space();
+        let budget = ParallelismBudget::for_gpu(Platform::SummitV100.parallel_units());
+        let launches = budget.gpu_launches();
+        for (flat, expected) in launches.iter().enumerate() {
+            let point = s.point_from_flat(flat);
+            assert_eq!(s.launch(point), *expected);
+            assert_eq!(s.flat_index(point), flat);
+        }
+    }
+
+    #[test]
+    fn cpu_spaces_have_one_team() {
+        let s = SearchSpace::build(
+            Platform::SummitPower9,
+            "MM/matmul",
+            None,
+            &LaunchBudget::PlatformDefault,
+        )
+        .unwrap();
+        assert_eq!(s.teams_axis, vec![1]);
+        assert!(s.variants.iter().all(|v| !v.is_gpu()));
+        // 1D grid: neighbours only along the threads axis.
+        let p = GridPoint {
+            teams_idx: 0,
+            threads_idx: 1,
+        };
+        assert!(s
+            .neighbors(p)
+            .iter()
+            .all(|n| n.teams_idx == 0 && n.threads_idx != 1));
+    }
+
+    #[test]
+    fn neighbors_stay_in_bounds_and_seeds_dedup() {
+        let s = space();
+        for p in s.all_points() {
+            for n in s.neighbors(p) {
+                assert!(n.teams_idx < s.teams_axis.len());
+                assert!(n.threads_idx < s.threads_axis.len());
+                let manhattan =
+                    n.teams_idx.abs_diff(p.teams_idx) + n.threads_idx.abs_diff(p.threads_idx);
+                assert_eq!(manhattan, 1);
+            }
+        }
+        let seeds = s.seed_points();
+        let mut dedup = seeds.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+        // A 1×1 grid still has exactly one seed.
+        let tiny = SearchSpace::build(
+            Platform::SummitV100,
+            "MM/matmul",
+            None,
+            &LaunchBudget::Fixed(LaunchConfig {
+                teams: 80,
+                threads: 128,
+            }),
+        )
+        .unwrap();
+        assert_eq!(tiny.seed_points().len(), 1);
+        assert!(tiny.neighbors(tiny.seed_points()[0]).is_empty());
+    }
+
+    #[test]
+    fn unknown_kernels_and_empty_budgets_error() {
+        assert!(matches!(
+            SearchSpace::build(
+                Platform::SummitV100,
+                "Nope/none",
+                None,
+                &LaunchBudget::PlatformDefault
+            ),
+            Err(TuneError::UnknownKernel(_))
+        ));
+        let empty = ParallelismBudget {
+            cpu_threads: vec![],
+            gpu_teams: vec![],
+            gpu_threads: vec![],
+        };
+        assert!(matches!(
+            SearchSpace::build(
+                Platform::SummitV100,
+                "MM/matmul",
+                None,
+                &LaunchBudget::Sweep(empty)
+            ),
+            Err(TuneError::EmptyBudget)
+        ));
+    }
+}

@@ -1,0 +1,125 @@
+//! Tune a catalogue kernel: search the variant × launch space for the
+//! fastest configuration with the engine as cost model, under a hard
+//! evaluation budget.
+//!
+//! ```text
+//! cargo run --release --example tune_kernel                       # beam on MM/matmul, V100
+//! cargo run --release --example tune_kernel -- --budget 64        # cap the spend
+//! cargo run --release --example tune_kernel -- --kernel MV/matvec --platform summit-power9
+//! cargo run --release --example tune_kernel -- --strategy hillclimb --seed 7
+//! cargo run --release --example tune_kernel -- --strategy exhaustive --densify 4
+//! ```
+//!
+//! The CI pipeline smoke-runs `--budget 64` next to the serve smoke: the
+//! example must tune within budget and exit 0.
+
+use paragraph::engine::Engine;
+use paragraph::perfsim::Platform;
+use paragraph::tune::{Budget, StrategySpec, TuneEngine, TuneRequest};
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match flag_value(args, name) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: bad value `{raw}` for {name}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kernel = flag_value(&args, "--kernel").unwrap_or_else(|| "MM/matmul".to_string());
+    let platform = match flag_value(&args, "--platform") {
+        None => Platform::SummitV100,
+        Some(slug) => Platform::from_slug(&slug).unwrap_or_else(|| {
+            eprintln!(
+                "error: unknown platform `{slug}` (one of: {})",
+                Platform::ALL.map(|p| p.slug()).join(", ")
+            );
+            std::process::exit(2);
+        }),
+    };
+    let strategy = match flag_value(&args, "--strategy").as_deref() {
+        None | Some("beam") => StrategySpec::Beam {
+            width: parsed_flag(&args, "--width", 2),
+            patience: parsed_flag(&args, "--patience", 1),
+        },
+        Some("exhaustive") => StrategySpec::Exhaustive,
+        Some("hillclimb") => StrategySpec::Hillclimb {
+            seed: parsed_flag(&args, "--seed", 42),
+            restarts: parsed_flag(&args, "--restarts", 2),
+        },
+        Some(other) => {
+            eprintln!("error: unknown strategy `{other}` (exhaustive | beam | hillclimb)");
+            std::process::exit(2);
+        }
+    };
+    let limits = Budget {
+        max_evaluations: parsed_flag(&args, "--budget", 4096),
+        max_generations: parsed_flag(&args, "--generations", 256),
+    };
+
+    let mut request = TuneRequest::catalog(&kernel)
+        .with_strategy(strategy)
+        .with_limits(limits);
+    let densify: usize = parsed_flag(&args, "--densify", 1);
+    if densify > 1 {
+        request = request.with_budget(platform.default_budget().densified(densify));
+    }
+
+    let engine = Engine::builder().platform(platform).build();
+    let report = match engine.tune(&request) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "tuned {} on {} via {} ({} backend)",
+        report.kernel,
+        report.platform.name(),
+        report.strategy,
+        report.backend
+    );
+    println!(
+        "  space    : {} variants x {} launches = {} candidates",
+        report.space.variants, report.space.launch_points, report.space.candidates
+    );
+    println!(
+        "  spent    : {} evaluations in {} generations ({:.1}% of the space pruned), {:.2} ms wall",
+        report.space.evaluated,
+        report.generations,
+        100.0 * report.space.pruned as f64 / report.space.candidates.max(1) as f64,
+        report.wall_ms
+    );
+    println!("  stopped  : {:?}", report.stop);
+    for point in &report.trajectory {
+        println!(
+            "  gen {:>3}  : best {:.6} ms after {} evaluations",
+            point.generation, point.best_ms, point.evaluations
+        );
+    }
+    println!(
+        "  best     : {} -> {:.6} ms",
+        report.best.label(),
+        report.best.predicted_ms
+    );
+
+    if report.space.evaluated > limits.max_evaluations {
+        eprintln!(
+            "error: spent {} evaluations over a budget of {}",
+            report.space.evaluated, limits.max_evaluations
+        );
+        std::process::exit(1);
+    }
+}

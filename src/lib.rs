@@ -15,7 +15,10 @@
 //! * [`dataset`] — the end-to-end labelled-dataset pipeline,
 //! * [`gnn`] — the RGAT runtime-prediction model and training loop,
 //! * [`compoff`] — the COMPOFF baseline cost model,
-//! * [`tensor`] — the dense matrix / autodiff / optimiser substrate.
+//! * [`tensor`] — the dense matrix / autodiff / optimiser substrate,
+//! * [`tune`] — budgeted search over the variant × launch space with the
+//!   engine as cost model (exhaustive / beam / hillclimb),
+//! * [`serve`] — the HTTP tier exposing `/advise` and `/tune`.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour,
 //! `examples/engine_advise.rs` for the engine API, and `DESIGN.md` for the
@@ -53,6 +56,10 @@ pub use pg_compoff as compoff;
 
 /// HTTP serving tier: micro-batching, admission control, model hot-loading.
 pub use pg_serve as serve;
+
+/// Budgeted variant-space search over the engine (exhaustive / beam /
+/// hillclimb strategies, deterministic seeds, batched frontier evaluation).
+pub use pg_tune as tune;
 
 /// Dense matrices, reverse-mode autodiff, Adam, scalers, metrics.
 pub use pg_tensor as tensor;
