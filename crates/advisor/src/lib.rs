@@ -20,11 +20,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod gate;
 pub mod generator;
 pub mod launch;
 pub mod rewrite;
 pub mod variant;
 
+pub use gate::{assess_instance, gate_instances, repair_instance, GateOutcome, PrunedVariant};
 pub use generator::{
     generate_for_kernel, generate_instances, instantiate, GeneratorConfig, KernelInstance,
 };

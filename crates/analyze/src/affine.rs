@@ -1,0 +1,332 @@
+//! Affine forms over normalised loop counters.
+//!
+//! Subscript expressions are lowered to `constant + Σ coeff·e_i + Σ coeff·s_j`
+//! where each `e_i` is the *normalised* (0-based) iteration index of a loop in
+//! the surrounding nest and each `s_j` is a loop-invariant symbolic value the
+//! analysis cannot fold to a constant (an unknown loop start, a read-only
+//! scalar). Counter occurrences are rewritten through `value = start +
+//! step·e`, so strided and offset loops land in the same iteration space and
+//! the dependence tests in [`crate::deps`] only ever see iteration distances.
+
+use pg_frontend::analysis::ConstEnv;
+use pg_frontend::{Ast, AstKind, NodeId};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Depth limit for inlining single-assignment body scalars into subscripts
+/// (`int row = i * m; a[row + j]`), which also breaks substitution cycles.
+const MAX_SUBSTITUTION_DEPTH: u32 = 4;
+
+/// What the analysis knows about one canonical loop counter of a nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterMeta {
+    /// Initial counter value when constant.
+    pub start: Option<i64>,
+    /// Counter step per iteration.
+    pub step: i64,
+    /// Largest normalised iteration index (`trip_count - 1`), when known.
+    pub span: Option<i64>,
+    /// True when iterations of this loop run concurrently (the loop is
+    /// swallowed by the parallel directive, directly or via `collapse`).
+    pub parallel: bool,
+}
+
+/// `constant + Σ terms[c]·e_c + Σ symbols[s]·s`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AffineForm {
+    /// Constant part.
+    pub constant: i64,
+    /// Normalised-counter coefficients (zero coefficients are dropped).
+    pub terms: BTreeMap<String, i64>,
+    /// Loop-invariant symbolic addends and their coefficients.
+    pub symbols: BTreeMap<String, i64>,
+}
+
+impl AffineForm {
+    /// A pure constant.
+    pub fn constant(value: i64) -> Self {
+        AffineForm {
+            constant: value,
+            ..AffineForm::default()
+        }
+    }
+
+    /// True when the form has no counter terms and no symbols.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty() && self.symbols.is_empty()
+    }
+
+    fn add_into(map: &mut BTreeMap<String, i64>, key: &str, coeff: i64) -> Option<()> {
+        let slot = map.entry(key.to_string()).or_insert(0);
+        *slot = slot.checked_add(coeff)?;
+        if *slot == 0 {
+            map.remove(key);
+        }
+        Some(())
+    }
+
+    fn checked_add(mut self, other: &AffineForm) -> Option<Self> {
+        self.constant = self.constant.checked_add(other.constant)?;
+        for (name, coeff) in &other.terms {
+            Self::add_into(&mut self.terms, name, *coeff)?;
+        }
+        for (name, coeff) in &other.symbols {
+            Self::add_into(&mut self.symbols, name, *coeff)?;
+        }
+        Some(self)
+    }
+
+    fn checked_scale(mut self, k: i64) -> Option<Self> {
+        self.constant = self.constant.checked_mul(k)?;
+        if k == 0 {
+            self.terms.clear();
+            self.symbols.clear();
+            return Some(self);
+        }
+        for coeff in self.terms.values_mut() {
+            *coeff = coeff.checked_mul(k)?;
+        }
+        for coeff in self.symbols.values_mut() {
+            *coeff = coeff.checked_mul(k)?;
+        }
+        Some(self)
+    }
+
+    fn checked_sub(self, other: &AffineForm) -> Option<Self> {
+        let negated = other.clone().checked_scale(-1)?;
+        self.checked_add(&negated)
+    }
+}
+
+/// Everything subscript lowering needs to know about the enclosing region.
+pub struct ExtractCtx<'a> {
+    /// The AST the nodes live in.
+    pub ast: &'a Ast,
+    /// Canonical counters of the loop nest, keyed by source name.
+    pub counters: &'a BTreeMap<String, CounterMeta>,
+    /// Known integer constants (problem sizes folded in by instantiation).
+    pub env: &'a ConstEnv,
+    /// Region-local scalars written exactly once — by their declaration
+    /// initialiser — mapped to that initialiser expression. Their uses are
+    /// inlined so `int src = indices[i]; a[src]` is seen for what it is.
+    pub substitutable: &'a HashMap<String, NodeId>,
+    /// Scalars never written inside the region (loop-invariant values).
+    pub invariant: &'a HashSet<String>,
+}
+
+/// Lower an expression to an affine form, or `None` when it is not affine in
+/// the nest counters (the dependence pass then assumes the worst).
+pub fn extract(ctx: &ExtractCtx<'_>, node: NodeId) -> Option<AffineForm> {
+    extract_at(ctx, node, 0)
+}
+
+fn extract_at(ctx: &ExtractCtx<'_>, node: NodeId, depth: u32) -> Option<AffineForm> {
+    let n = ctx.ast.node(node);
+    match n.kind {
+        AstKind::IntegerLiteral | AstKind::CharacterLiteral => {
+            n.data.int_value.map(AffineForm::constant)
+        }
+        AstKind::DeclRefExpr => {
+            let name = n.data.name.as_deref()?;
+            if let Some(meta) = ctx.counters.get(name) {
+                // value = start + step·e; an unknown start becomes a symbol
+                // that cancels when both sides of a pair use the same loop.
+                let mut form = AffineForm::default();
+                form.terms.insert(name.to_string(), meta.step);
+                match meta.start {
+                    Some(start) => form.constant = start,
+                    None => {
+                        form.symbols.insert(format!("{name}#start"), 1);
+                    }
+                }
+                return Some(form);
+            }
+            if depth < MAX_SUBSTITUTION_DEPTH {
+                if let Some(&init) = ctx.substitutable.get(name) {
+                    return extract_at(ctx, init, depth + 1);
+                }
+            }
+            // Only values provably not written inside the region may be
+            // folded from the constant environment or kept symbolic: a
+            // reassigned scalar's declaration-time constant says nothing
+            // about its value at the access.
+            if ctx.invariant.contains(name) {
+                if let Some(&value) = ctx.env.get(name) {
+                    return Some(AffineForm::constant(value));
+                }
+                let mut form = AffineForm::default();
+                form.symbols.insert(name.to_string(), 1);
+                return Some(form);
+            }
+            None
+        }
+        AstKind::ParenExpr | AstKind::ImplicitCastExpr | AstKind::CStyleCastExpr => {
+            let &child = n.children.first()?;
+            extract_at(ctx, child, depth)
+        }
+        AstKind::UnaryOperator => {
+            let &child = n.children.first()?;
+            let inner = extract_at(ctx, child, depth)?;
+            match n.data.opcode.as_deref() {
+                Some("-") if !n.data.postfix => inner.checked_scale(-1),
+                Some("+") if !n.data.postfix => Some(inner),
+                _ => None,
+            }
+        }
+        AstKind::BinaryOperator => {
+            let lhs = extract_at(ctx, *n.children.first()?, depth)?;
+            let rhs = extract_at(ctx, *n.children.get(1)?, depth)?;
+            match n.data.opcode.as_deref() {
+                Some("+") => lhs.checked_add(&rhs),
+                Some("-") => lhs.checked_sub(&rhs),
+                Some("*") => {
+                    // Only constant × affine stays affine; symbol × counter
+                    // (`i * n` with unknown n) is out of scope and handled
+                    // conservatively by the caller.
+                    if lhs.is_constant() {
+                        rhs.checked_scale(lhs.constant)
+                    } else if rhs.is_constant() {
+                        lhs.checked_scale(rhs.constant)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_frontend::parse;
+
+    fn lower(src: &str, counters: &[(&str, i64, i64)]) -> Option<AffineForm> {
+        // `src` is a full function; the expression under test is the index of
+        // the first array subscript.
+        let ast = parse(src).unwrap();
+        let subscript = ast.find_first(AstKind::ArraySubscriptExpr).unwrap();
+        let index = ast.children(subscript)[1];
+        let mut metas = BTreeMap::new();
+        for (name, start, step) in counters {
+            metas.insert(
+                name.to_string(),
+                CounterMeta {
+                    start: Some(*start),
+                    step: *step,
+                    span: Some(100),
+                    parallel: true,
+                },
+            );
+        }
+        let env = ConstEnv::new();
+        let substitutable = HashMap::new();
+        let invariant = HashSet::new();
+        let ctx = ExtractCtx {
+            ast: &ast,
+            counters: &metas,
+            env: &env,
+            substitutable: &substitutable,
+            invariant: &invariant,
+        };
+        extract(&ctx, index)
+    }
+
+    #[test]
+    fn flattened_2d_subscript() {
+        let form = lower(
+            "void f(float *a, int i, int j) { a[i * 64 + j + 1] = 0.0; }",
+            &[("i", 0, 1), ("j", 0, 1)],
+        )
+        .unwrap();
+        assert_eq!(form.constant, 1);
+        assert_eq!(form.terms.get("i"), Some(&64));
+        assert_eq!(form.terms.get("j"), Some(&1));
+        assert!(form.symbols.is_empty());
+    }
+
+    #[test]
+    fn counter_normalisation_folds_start_and_step() {
+        // i runs 2, 5, 8, ... -> value = 2 + 3e, so a[i - 2] has coeff 3.
+        let form = lower(
+            "void f(float *a, int i) { a[i - 2] = 0.0; }",
+            &[("i", 2, 3)],
+        )
+        .unwrap();
+        assert_eq!(form.constant, 0);
+        assert_eq!(form.terms.get("i"), Some(&3));
+    }
+
+    #[test]
+    fn symbolic_times_counter_is_rejected() {
+        assert!(lower(
+            "void f(float *a, int i, int n) { a[i * n] = 0.0; }",
+            &[("i", 0, 1)],
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn invariant_scalar_becomes_symbol() {
+        let ast = parse("void f(float *a, int i, int off) { a[i + off] = 0.0; }").unwrap();
+        let subscript = ast.find_first(AstKind::ArraySubscriptExpr).unwrap();
+        let index = ast.children(subscript)[1];
+        let mut counters = BTreeMap::new();
+        counters.insert(
+            "i".to_string(),
+            CounterMeta {
+                start: Some(0),
+                step: 1,
+                span: Some(7),
+                parallel: true,
+            },
+        );
+        let env = ConstEnv::new();
+        let substitutable = HashMap::new();
+        let invariant: HashSet<String> = ["off".to_string()].into_iter().collect();
+        let ctx = ExtractCtx {
+            ast: &ast,
+            counters: &counters,
+            env: &env,
+            substitutable: &substitutable,
+            invariant: &invariant,
+        };
+        let form = extract(&ctx, index).unwrap();
+        assert_eq!(form.symbols.get("off"), Some(&1));
+        assert_eq!(form.terms.get("i"), Some(&1));
+    }
+
+    #[test]
+    fn substitution_inlines_single_assignment_locals() {
+        let ast = parse("void f(float *a, int i) { int row = i * 8; a[row + 3] = 0.0; }").unwrap();
+        let subscript = ast.find_first(AstKind::ArraySubscriptExpr).unwrap();
+        let index = ast.children(subscript)[1];
+        let row_decl = ast.find_first(AstKind::VarDecl).unwrap();
+        let row_init = ast.children(row_decl)[0];
+        let mut counters = BTreeMap::new();
+        counters.insert(
+            "i".to_string(),
+            CounterMeta {
+                start: Some(0),
+                step: 1,
+                span: Some(7),
+                parallel: true,
+            },
+        );
+        let env = ConstEnv::new();
+        let substitutable: HashMap<String, NodeId> =
+            [("row".to_string(), row_init)].into_iter().collect();
+        let invariant = HashSet::new();
+        let ctx = ExtractCtx {
+            ast: &ast,
+            counters: &counters,
+            env: &env,
+            substitutable: &substitutable,
+            invariant: &invariant,
+        };
+        let form = extract(&ctx, index).unwrap();
+        assert_eq!(form.constant, 3);
+        assert_eq!(form.terms.get("i"), Some(&8));
+    }
+}

@@ -1,0 +1,596 @@
+//! Loop-carried dependence tests over pairs of affine accesses.
+//!
+//! Given two affine subscript vectors into the same array (at least one of
+//! them a write), decide whether two *different* parallel iterations of the
+//! enclosing nest can touch the same element. The machinery is the classic
+//! lattice — ZIV, strong SIV and GCD refutation, a bounded unique-solve in
+//! the spirit of the mixed-radix (Banerjee) condition for exactly-solvable
+//! multi-term subscripts, and Banerjee bounds for coupled subscripts —
+//! falling back to "assume dependence" whenever a test cannot conclude.
+
+use crate::affine::{AffineForm, CounterMeta};
+use std::collections::BTreeMap;
+
+/// Outcome of testing one access pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PairVerdict {
+    /// Provably no two iterations collide.
+    NoDep,
+    /// Collisions exist but only between iterations of sequential (per-thread)
+    /// loops; the parallel iteration indices always agree.
+    SeqOnly,
+    /// Two different parallel iterations can touch the same element.
+    Parallel(String),
+    /// The tests could not conclude; treated as a dependence.
+    Unknown(String),
+}
+
+/// Maximum number of concrete solutions the bounded solver keeps per
+/// subscript dimension before declaring the search inconclusive.
+const MAX_SOLUTIONS: usize = 4;
+/// Maximum candidate values explored per solver level.
+const MAX_CANDIDATES: i128 = 16;
+/// Global step budget for the bounded solver.
+const MAX_STEPS: u32 = 256;
+
+/// One iteration-distance solution: counter name → `d = e − e'`.
+type Solution = BTreeMap<String, i64>;
+
+enum DimOutcome {
+    /// No solution in bounds: the dimension alone refutes the dependence.
+    Refuted,
+    /// Equal coefficient vectors; the distance equation was solved.
+    Solved {
+        solutions: Vec<Solution>,
+        complete: bool,
+        /// Counters appearing with a nonzero coefficient.
+        vars: Vec<String>,
+    },
+    /// Coupled/symbolic subscripts the solver does not model exactly.
+    Opaque,
+}
+
+/// Test one pair of same-array accesses for a parallel-loop-carried
+/// dependence. `dims1`/`dims2` must have equal length (one affine form per
+/// subscript dimension); `same_node` marks the degenerate self-pair of a
+/// single access, whose `d = 0` identity solution is not a dependence.
+pub fn test_pair(
+    dims1: &[AffineForm],
+    dims2: &[AffineForm],
+    counters: &BTreeMap<String, CounterMeta>,
+    same_node: bool,
+) -> PairVerdict {
+    if dims1.len() != dims2.len() {
+        return PairVerdict::Unknown("subscript dimensionality differs".into());
+    }
+    let mut dim_results = Vec::with_capacity(dims1.len());
+    for (f1, f2) in dims1.iter().zip(dims2) {
+        match test_dim(f1, f2, counters) {
+            DimOutcome::Refuted => return PairVerdict::NoDep,
+            other => dim_results.push(other),
+        }
+    }
+
+    // A dependence needs every dimension satisfied simultaneously. Start from
+    // the trivial solution and refine it through each solved dimension; any
+    // opaque dimension leaves the pair unresolvable.
+    let mut merged: Vec<Solution> = vec![Solution::new()];
+    let mut complete = true;
+    let mut used_vars: Vec<String> = Vec::new();
+    for dim in &dim_results {
+        match dim {
+            DimOutcome::Refuted => unreachable!("refuted dims return early"),
+            DimOutcome::Opaque => {
+                return PairVerdict::Unknown(
+                    "subscripts are coupled or symbolic beyond the dependence tests".into(),
+                )
+            }
+            DimOutcome::Solved {
+                solutions,
+                complete: dim_complete,
+                vars,
+            } => {
+                complete &= dim_complete;
+                for v in vars {
+                    if !used_vars.contains(v) {
+                        used_vars.push(v.clone());
+                    }
+                }
+                let mut next = Vec::new();
+                for base in &merged {
+                    for sol in solutions {
+                        if let Some(combined) = merge_solutions(base, sol) {
+                            if !next.contains(&combined) {
+                                next.push(combined);
+                            }
+                        }
+                    }
+                }
+                merged = next;
+            }
+        }
+    }
+
+    if merged.is_empty() {
+        return if complete {
+            PairVerdict::NoDep
+        } else {
+            PairVerdict::Unknown("distance equation too complex to solve".into())
+        };
+    }
+
+    // A counter absent from every subscript leaves its distance free: if such
+    // a counter is parallel (and actually iterates), two different parallel
+    // iterations reach the same element.
+    let free_parallel = counters
+        .iter()
+        .find(|(name, meta)| meta.parallel && meta.span != Some(0) && !used_vars.contains(*name));
+    if let Some((name, _)) = free_parallel {
+        return PairVerdict::Parallel(format!(
+            "element is reachable from every iteration of parallel loop `{name}`"
+        ));
+    }
+
+    let mut any_cross_iteration = false;
+    for sol in &merged {
+        if let Some((name, d)) = sol
+            .iter()
+            .find(|(name, &d)| d != 0 && counters.get(*name).is_some_and(|m| m.parallel))
+        {
+            return PairVerdict::Parallel(format!(
+                "iterations of parallel loop `{name}` at distance {d} touch the same element"
+            ));
+        }
+        if sol.values().any(|&d| d != 0) {
+            any_cross_iteration = true;
+        }
+    }
+    if !complete {
+        return PairVerdict::Unknown("distance equation has an unexplored solution space".into());
+    }
+    if same_node && merged.iter().all(|s| s.values().all(|&d| d == 0)) {
+        // The only collision is the access with itself in the same iteration.
+        return PairVerdict::NoDep;
+    }
+    if any_cross_iteration {
+        PairVerdict::SeqOnly
+    } else {
+        // Distinct accesses meeting only at distance zero run in one
+        // iteration of every loop — ordinary sequential execution.
+        PairVerdict::NoDep
+    }
+}
+
+fn merge_solutions(a: &Solution, b: &Solution) -> Option<Solution> {
+    let mut out = a.clone();
+    for (name, &d) in b {
+        match out.get(name) {
+            Some(&existing) if existing != d => return None,
+            _ => {
+                out.insert(name.clone(), d);
+            }
+        }
+    }
+    Some(out)
+}
+
+fn test_dim(
+    f1: &AffineForm,
+    f2: &AffineForm,
+    counters: &BTreeMap<String, CounterMeta>,
+) -> DimOutcome {
+    // Loop-invariant symbols cancel only when both sides carry identical
+    // symbolic parts; otherwise the difference is unknowable.
+    if f1.symbols != f2.symbols {
+        return DimOutcome::Opaque;
+    }
+    if f1.terms == f2.terms {
+        // Equal coefficient vectors: substitute d = e − e' and solve
+        // Σ c·d = T over bounded distances.
+        let Some(t) = f2.constant.checked_sub(f1.constant) else {
+            return DimOutcome::Opaque;
+        };
+        let coeffs: Vec<(String, i64, Option<i64>)> = f1
+            .terms
+            .iter()
+            .map(|(name, &c)| {
+                let span = counters.get(name).and_then(|m| m.span);
+                (name.clone(), c, span)
+            })
+            .collect();
+        solve_distance(&coeffs, t)
+    } else {
+        // Coupled subscripts (different coefficient vectors): refutation-only
+        // via a 2n-variable GCD test and Banerjee-style bounds.
+        refute_coupled(f1, f2, counters)
+    }
+}
+
+/// Solve `Σ c_i·d_i = t` with `|d_i| ≤ span_i`, collecting up to
+/// [`MAX_SOLUTIONS`] solutions via a bounded DFS ordered by descending
+/// coefficient magnitude (the mixed-radix order in which well-separated
+/// coefficient vectors admit unique greedy solutions).
+fn solve_distance(coeffs: &[(String, i64, Option<i64>)], t: i64) -> DimOutcome {
+    // ZIV: no counter terms at all.
+    if coeffs.is_empty() {
+        return if t == 0 {
+            DimOutcome::Solved {
+                solutions: vec![Solution::new()],
+                complete: true,
+                vars: Vec::new(),
+            }
+        } else {
+            DimOutcome::Refuted
+        };
+    }
+    // GCD refutation.
+    let g = coeffs.iter().fold(0i64, |g, (_, c, _)| gcd(g, c.abs()));
+    if g != 0 && t % g != 0 {
+        return DimOutcome::Refuted;
+    }
+    let mut sorted: Vec<&(String, i64, Option<i64>)> = coeffs.iter().collect();
+    sorted.sort_by_key(|(_, c, _)| std::cmp::Reverse(c.abs()));
+    // tail[k] = max |Σ_{j>k} c_j·d_j| given the spans, None when unbounded.
+    let mut tails: Vec<Option<i128>> = vec![Some(0); sorted.len()];
+    for k in (0..sorted.len().saturating_sub(1)).rev() {
+        let (_, c, span) = sorted[k + 1];
+        tails[k] = match (tails[k + 1], span) {
+            (Some(tail), Some(s)) => Some(tail + (c.abs() as i128) * (*s as i128)),
+            _ => None,
+        };
+    }
+
+    let mut solutions = Vec::new();
+    let mut complete = true;
+    let mut steps = 0u32;
+    dfs(
+        &sorted,
+        &tails,
+        0,
+        t as i128,
+        &mut Solution::new(),
+        &mut solutions,
+        &mut complete,
+        &mut steps,
+    );
+    if solutions.is_empty() && complete {
+        return DimOutcome::Refuted;
+    }
+    DimOutcome::Solved {
+        solutions,
+        complete,
+        vars: coeffs.iter().map(|(n, _, _)| n.clone()).collect(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    sorted: &[&(String, i64, Option<i64>)],
+    tails: &[Option<i128>],
+    level: usize,
+    remaining: i128,
+    current: &mut Solution,
+    solutions: &mut Vec<Solution>,
+    complete: &mut bool,
+    steps: &mut u32,
+) {
+    *steps += 1;
+    if *steps > MAX_STEPS {
+        *complete = false;
+        return;
+    }
+    if level == sorted.len() {
+        if remaining == 0 {
+            if solutions.len() < MAX_SOLUTIONS {
+                solutions.push(current.clone());
+            } else {
+                *complete = false;
+            }
+        }
+        return;
+    }
+    let (name, c, span) = sorted[level];
+    let c = *c as i128;
+    // Feasible d satisfy |remaining − c·d| ≤ tail and |d| ≤ span.
+    let (mut lo, mut hi) = match tails[level] {
+        Some(tail) => {
+            let x_lo = remaining - tail;
+            let x_hi = remaining + tail;
+            if c > 0 {
+                (div_ceil(x_lo, c), div_floor(x_hi, c))
+            } else {
+                (div_ceil(x_hi, c), div_floor(x_lo, c))
+            }
+        }
+        None => match span {
+            Some(s) => (-(*s as i128), *s as i128),
+            None => {
+                *complete = false;
+                return;
+            }
+        },
+    };
+    if let Some(s) = span {
+        lo = lo.max(-(*s as i128));
+        hi = hi.min(*s as i128);
+    }
+    if hi - lo >= MAX_CANDIDATES {
+        *complete = false;
+        return;
+    }
+    let mut d = lo;
+    while d <= hi {
+        current.insert(name.clone(), d as i64);
+        dfs(
+            sorted,
+            tails,
+            level + 1,
+            remaining - c * d,
+            current,
+            solutions,
+            complete,
+            steps,
+        );
+        current.remove(name);
+        d += 1;
+    }
+}
+
+fn refute_coupled(
+    f1: &AffineForm,
+    f2: &AffineForm,
+    counters: &BTreeMap<String, CounterMeta>,
+) -> DimOutcome {
+    let t = (f2.constant as i128) - (f1.constant as i128);
+    // GCD over all 2n coefficients.
+    let mut g = 0i64;
+    for c in f1.terms.values().chain(f2.terms.values()) {
+        g = gcd(g, c.abs());
+    }
+    if g != 0 && t % (g as i128) != 0 {
+        return DimOutcome::Refuted;
+    }
+    // Banerjee bounds for Σ c1·e − Σ c2·e' with e, e' ∈ [0, span].
+    let mut min = 0i128;
+    let mut max = 0i128;
+    let mut bounded = true;
+    let mut add_range = |coeff: i64, span: Option<i64>, negated: bool| {
+        let c = if negated { -coeff } else { coeff } as i128;
+        match span {
+            Some(s) => {
+                let reach = c * (s as i128);
+                if reach >= 0 {
+                    max += reach;
+                } else {
+                    min += reach;
+                }
+            }
+            None => {
+                if c != 0 {
+                    bounded = false;
+                }
+            }
+        }
+    };
+    for (name, &c) in &f1.terms {
+        add_range(c, counters.get(name).and_then(|m| m.span), false);
+    }
+    for (name, &c) in &f2.terms {
+        add_range(c, counters.get(name).and_then(|m| m.span), true);
+    }
+    if bounded && (t < min || t > max) {
+        return DimOutcome::Refuted;
+    }
+    DimOutcome::Opaque
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+fn div_floor(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn div_ceil(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(span: i64, parallel: bool) -> CounterMeta {
+        CounterMeta {
+            start: Some(0),
+            step: 1,
+            span: Some(span),
+            parallel,
+        }
+    }
+
+    fn form(constant: i64, terms: &[(&str, i64)]) -> AffineForm {
+        let mut f = AffineForm::constant(constant);
+        for (name, c) in terms {
+            f.terms.insert(name.to_string(), *c);
+        }
+        f
+    }
+
+    fn counters(entries: &[(&str, i64, bool)]) -> BTreeMap<String, CounterMeta> {
+        entries
+            .iter()
+            .map(|(n, s, p)| (n.to_string(), meta(*s, *p)))
+            .collect()
+    }
+
+    #[test]
+    fn injective_write_is_independent() {
+        // a[i] vs itself under parallel i.
+        let c = counters(&[("i", 1023, true)]);
+        let f = [form(0, &[("i", 1)])];
+        assert_eq!(test_pair(&f, &f, &c, true), PairVerdict::NoDep);
+    }
+
+    #[test]
+    fn missing_parallel_counter_races() {
+        // a[j] written under parallel i, sequential j.
+        let c = counters(&[("i", 1023, true), ("j", 15, false)]);
+        let f = [form(0, &[("j", 1)])];
+        assert!(matches!(
+            test_pair(&f, &f, &c, true),
+            PairVerdict::Parallel(_)
+        ));
+    }
+
+    #[test]
+    fn distance_one_stencil_races() {
+        // write a[i], read a[i-1] under parallel i.
+        let c = counters(&[("i", 1023, true)]);
+        let w = [form(0, &[("i", 1)])];
+        let r = [form(-1, &[("i", 1)])];
+        assert!(matches!(
+            test_pair(&w, &r, &c, false),
+            PairVerdict::Parallel(_)
+        ));
+    }
+
+    #[test]
+    fn sequential_carried_distance_is_safe() {
+        // write a[i*64 + j], read a[i*64 + j + 1]: carried only on j.
+        let c = counters(&[("i", 61, true), ("j", 61, false)]);
+        let w = [form(0, &[("i", 64), ("j", 1)])];
+        let r = [form(1, &[("i", 64), ("j", 1)])];
+        assert_eq!(test_pair(&w, &r, &c, false), PairVerdict::SeqOnly);
+    }
+
+    #[test]
+    fn row_offset_races_across_parallel_rows() {
+        // write a[i*64 + j], read a[(i-1)*64 + j]: distance (1, 0).
+        let c = counters(&[("i", 61, true), ("j", 61, false)]);
+        let w = [form(0, &[("i", 64), ("j", 1)])];
+        let r = [form(-64, &[("i", 64), ("j", 1)])];
+        assert!(matches!(
+            test_pair(&w, &r, &c, false),
+            PairVerdict::Parallel(_)
+        ));
+    }
+
+    #[test]
+    fn gcd_refutes_stride_mismatch() {
+        // write a[2i], read a[2i + 1]: parity never matches.
+        let c = counters(&[("i", 1023, true)]);
+        let w = [form(0, &[("i", 2)])];
+        let r = [form(1, &[("i", 2)])];
+        assert_eq!(test_pair(&w, &r, &c, false), PairVerdict::NoDep);
+    }
+
+    #[test]
+    fn flattened_2d_write_is_injective_when_strides_separate() {
+        // c[i*64 + j], spans 63: |64| > 1·63 → unique solution d = 0.
+        let c = counters(&[("i", 63, true), ("j", 63, true)]);
+        let f = [form(0, &[("i", 64), ("j", 1)])];
+        assert_eq!(test_pair(&f, &f, &c, true), PairVerdict::NoDep);
+    }
+
+    #[test]
+    fn flattened_write_races_when_rows_overlap() {
+        // a[i*4 + j] with j spanning 0..=7 overruns the row stride.
+        let c = counters(&[("i", 63, true), ("j", 7, false)]);
+        let f = [form(0, &[("i", 4), ("j", 1)])];
+        assert!(matches!(
+            test_pair(&f, &f, &c, true),
+            PairVerdict::Parallel(_)
+        ));
+    }
+
+    #[test]
+    fn ziv_pair_on_shared_element_races() {
+        // write s[0] every iteration of parallel i.
+        let c = counters(&[("i", 1023, true)]);
+        let f = [form(0, &[])];
+        assert!(matches!(
+            test_pair(&f, &f, &c, true),
+            PairVerdict::Parallel(_)
+        ));
+    }
+
+    #[test]
+    fn ziv_distinct_constants_are_independent() {
+        let c = counters(&[("i", 1023, true)]);
+        let w = [form(0, &[("i", 1)])];
+        let r = [form(-5, &[])];
+        // Coupled (different coefficient vectors) — Banerjee refutes: i ≥ 0
+        // but the read sits at −5.
+        assert_eq!(test_pair(&w, &r, &c, false), PairVerdict::NoDep);
+    }
+
+    #[test]
+    fn coupled_unrefutable_pair_is_unknown() {
+        // write a[2i], read a[i]: collisions exist (even i).
+        let c = counters(&[("i", 1023, true)]);
+        let w = [form(0, &[("i", 2)])];
+        let r = [form(0, &[("i", 1)])];
+        assert!(matches!(
+            test_pair(&w, &r, &c, false),
+            PairVerdict::Unknown(_)
+        ));
+    }
+
+    #[test]
+    fn symbol_mismatch_is_unknown() {
+        let c = counters(&[("i", 1023, true)]);
+        let mut w = form(0, &[("i", 1)]);
+        w.symbols.insert("off".into(), 1);
+        let r = form(0, &[("i", 1)]);
+        assert!(matches!(
+            test_pair(&[w], &[r], &c, false),
+            PairVerdict::Unknown(_)
+        ));
+    }
+
+    #[test]
+    fn matching_symbols_cancel() {
+        let c = counters(&[("i", 1023, true)]);
+        let mut w = form(0, &[("i", 1)]);
+        w.symbols.insert("off".into(), 1);
+        let r = w.clone();
+        assert_eq!(test_pair(&[w], &[r], &c, false), PairVerdict::NoDep);
+    }
+
+    #[test]
+    fn multi_dim_consistency_refutes() {
+        // write a[i][i] vs read a[i][i+1]: the first dimension forces
+        // d_i = 0, the second d_i = 1 — no simultaneous solution.
+        let c = counters(&[("i", 1023, true)]);
+        let w = [form(0, &[("i", 1)]), form(0, &[("i", 1)])];
+        let r = [form(0, &[("i", 1)]), form(1, &[("i", 1)])];
+        assert_eq!(test_pair(&w, &r, &c, false), PairVerdict::NoDep);
+    }
+
+    #[test]
+    fn unknown_span_single_counter_still_injective() {
+        // a[i] with unknown trip count: a single nonzero coefficient forces
+        // d = 0 regardless of span.
+        let mut c = counters(&[("i", 0, true)]);
+        c.get_mut("i").unwrap().span = None;
+        let f = [form(0, &[("i", 1)])];
+        assert_eq!(test_pair(&f, &f, &c, true), PairVerdict::NoDep);
+    }
+}

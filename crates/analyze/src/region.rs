@@ -1,0 +1,689 @@
+//! Parallel-region discovery and def-use/read-write set collection.
+//!
+//! A *region* is one OpenMP loop directive (`parallel for`, `target teams
+//! distribute parallel for`, `simd`) together with its associated loop nest.
+//! Region construction classifies the nest counters (parallel vs sequential,
+//! honouring `collapse`), walks the loop body once, and records every array
+//! access, scalar access, local declaration and call — the raw material every
+//! lint rule works from.
+
+use crate::affine::CounterMeta;
+use crate::SourceSpan;
+use pg_frontend::analysis::{collect_const_env, loop_nest, ConstEnv, LoopNestLevel};
+use pg_frontend::symbols::resolve;
+use pg_frontend::{Ast, AstKind, NodeId, OmpClause, OmpDirective, SymbolTable};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// One array read or write inside a region.
+#[derive(Debug, Clone)]
+pub struct ArrayAccess {
+    /// Base array name.
+    pub array: String,
+    /// The `ArraySubscriptExpr` (or operator) node of the access.
+    pub node: NodeId,
+    /// True for writes (including the write half of `a[i] += x`).
+    pub is_write: bool,
+    /// Subscript expressions, outermost dimension first.
+    pub subscripts: Vec<NodeId>,
+}
+
+/// One scalar read or write inside a region.
+#[derive(Debug, Clone)]
+pub struct ScalarAccess {
+    /// Variable name.
+    pub name: String,
+    /// The node performing the access.
+    pub node: NodeId,
+    /// True for writes.
+    pub is_write: bool,
+    /// Pre-order position inside the region, for before/after heuristics.
+    pub order: usize,
+    /// True when the access sits in the init/increment slot of a `ForStmt`
+    /// (ordinary counter bookkeeping, not a body write).
+    pub in_for_slot: bool,
+    /// Assigned expression for plain/compound assignments.
+    pub rhs: Option<NodeId>,
+    /// Operator spelling of the writing node (`=`, `+=`, `++`, ...).
+    pub opcode: Option<String>,
+}
+
+/// A scalar declared inside the region body.
+#[derive(Debug, Clone)]
+pub struct LocalDecl {
+    /// Variable name.
+    pub name: String,
+    /// The `VarDecl` node.
+    pub node: NodeId,
+    /// Initialiser expression, when present.
+    pub init: Option<NodeId>,
+    /// Pre-order position inside the region.
+    pub order: usize,
+    /// True for array declarations (`float tmp[16]`).
+    pub is_array: bool,
+}
+
+/// One OpenMP loop directive and everything collected from its nest.
+#[derive(Debug, Clone)]
+pub struct ParallelRegion {
+    /// The directive node.
+    pub directive_node: NodeId,
+    /// Parsed directive payload.
+    pub directive: OmpDirective,
+    /// The associated `ForStmt`, when the directive is bound to one.
+    pub for_stmt: Option<NodeId>,
+    /// Source location of the directive (or its loop).
+    pub span: Option<SourceSpan>,
+    /// Why the parallel loop (nest) is not analysable, when it is not.
+    pub defect: Option<String>,
+    /// Canonical counters of the nest keyed by name.
+    pub counters: BTreeMap<String, CounterMeta>,
+    /// Names of the parallel counters, outermost first.
+    pub parallel_counters: Vec<String>,
+    /// Every array access in the nest.
+    pub array_accesses: Vec<ArrayAccess>,
+    /// Every scalar access in the nest.
+    pub scalar_accesses: Vec<ScalarAccess>,
+    /// Scalars declared inside the nest.
+    pub local_decls: Vec<LocalDecl>,
+    /// Calls `(callee name, node)`; unnamed callees record an empty name.
+    pub calls: Vec<(String, NodeId)>,
+    /// Assignment targets that are neither scalars nor array subscripts.
+    pub opaque_writes: Vec<NodeId>,
+    /// Variables privatised by `private`/`firstprivate` clauses.
+    pub clause_private: HashSet<String>,
+    /// `(operator, variable)` pairs from `reduction` clauses.
+    pub clause_reductions: Vec<(String, String)>,
+}
+
+impl ParallelRegion {
+    /// Names of region-local scalars written exactly once, by their
+    /// declaration initialiser — safe to inline into subscripts.
+    pub fn substitutable(&self) -> HashMap<String, NodeId> {
+        let written: HashSet<&str> = self
+            .scalar_accesses
+            .iter()
+            .filter(|a| a.is_write)
+            .map(|a| a.name.as_str())
+            .collect();
+        self.local_decls
+            .iter()
+            .filter(|d| !d.is_array && !written.contains(d.name.as_str()))
+            .filter_map(|d| d.init.map(|init| (d.name.clone(), init)))
+            .collect()
+    }
+
+    /// Names provably loop-invariant inside the region: referenced scalars
+    /// that are never written and not declared in the region (a region-local
+    /// is re-initialised every iteration, so it is never invariant — its uses
+    /// go through substitution or degrade conservatively).
+    pub fn invariant(&self) -> HashSet<String> {
+        let mut names: HashSet<String> = self
+            .scalar_accesses
+            .iter()
+            .map(|a| a.name.clone())
+            .collect();
+        for access in &self.scalar_accesses {
+            if access.is_write {
+                names.remove(&access.name);
+            }
+        }
+        for counter in self.counters.keys() {
+            names.remove(counter);
+        }
+        for decl in &self.local_decls {
+            names.remove(&decl.name);
+        }
+        names
+    }
+
+    /// True when `name` is declared inside the region body.
+    pub fn is_local(&self, name: &str) -> bool {
+        self.local_decls.iter().any(|d| d.name == name)
+    }
+}
+
+/// Shared input to every lint rule: the AST plus the discovered regions.
+pub struct AnalysisContext<'a> {
+    /// The translation unit under analysis.
+    pub ast: &'a Ast,
+    /// Resolved symbol table.
+    pub symbols: SymbolTable,
+    /// Constants folded from declarations (instantiated problem sizes).
+    pub env: ConstEnv,
+    /// One entry per OpenMP loop directive.
+    pub regions: Vec<ParallelRegion>,
+}
+
+impl<'a> AnalysisContext<'a> {
+    /// Discover every parallel region of `ast` and collect its access sets.
+    pub fn build(ast: &'a Ast) -> Self {
+        let symbols = resolve(ast);
+        let env = collect_const_env(ast);
+        let mut regions = Vec::new();
+        for (id, node) in ast.iter() {
+            if !matches!(
+                node.kind,
+                AstKind::OmpParallelForDirective
+                    | AstKind::OmpTargetTeamsDistributeParallelForDirective
+                    | AstKind::OmpSimdDirective
+            ) {
+                continue;
+            }
+            let Some(directive) = node.data.omp.clone() else {
+                continue;
+            };
+            regions.push(build_region(ast, &env, id, directive));
+        }
+        AnalysisContext {
+            ast,
+            symbols,
+            env,
+            regions,
+        }
+    }
+}
+
+fn span_of(ast: &Ast, node: NodeId) -> Option<SourceSpan> {
+    ast.node(node).data.loc.map(SourceSpan::from)
+}
+
+fn build_region(
+    ast: &Ast,
+    env: &ConstEnv,
+    directive_node: NodeId,
+    directive: OmpDirective,
+) -> ParallelRegion {
+    let associated = ast.children(directive_node).first().copied();
+    let for_stmt = associated.filter(|&s| ast.kind(s) == AstKind::ForStmt);
+
+    let mut clause_private = HashSet::new();
+    let mut clause_reductions = Vec::new();
+    for clause in &directive.clauses {
+        match clause {
+            OmpClause::Private(vars) | OmpClause::FirstPrivate(vars) => {
+                clause_private.extend(vars.iter().cloned());
+            }
+            OmpClause::Reduction(op, vars) => {
+                for var in vars {
+                    clause_reductions.push((op.clone(), var.clone()));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut region = ParallelRegion {
+        directive_node,
+        directive,
+        for_stmt,
+        span: span_of(ast, directive_node).or_else(|| for_stmt.and_then(|f| span_of(ast, f))),
+        defect: None,
+        counters: BTreeMap::new(),
+        parallel_counters: Vec::new(),
+        array_accesses: Vec::new(),
+        scalar_accesses: Vec::new(),
+        local_decls: Vec::new(),
+        calls: Vec::new(),
+        opaque_writes: Vec::new(),
+        clause_private,
+        clause_reductions,
+    };
+
+    let Some(for_stmt) = for_stmt else {
+        region.defect = Some("directive is not bound to a for loop".into());
+        return region;
+    };
+
+    let nest = loop_nest(ast, for_stmt, env);
+    let parallel_depth = region.directive.collapse_depth() as usize;
+    classify_counters(&nest, parallel_depth, &mut region);
+
+    let mut walker = Walker {
+        ast,
+        region: &mut region,
+        order: 0,
+    };
+    walker.walk(for_stmt, false);
+    region
+}
+
+/// Split the nest counters into parallel (the first `collapse` canonical
+/// levels) and sequential ones, recording a defect when the parallel part of
+/// the nest is not analysable.
+fn classify_counters(nest: &[LoopNestLevel], parallel_depth: usize, region: &mut ParallelRegion) {
+    let mut duplicates = HashSet::new();
+    for depth in 0..parallel_depth {
+        let at_depth: Vec<&LoopNestLevel> = nest.iter().filter(|l| l.depth == depth).collect();
+        if at_depth.len() != 1 {
+            region.defect = Some(format!(
+                "collapse({parallel_depth}) needs exactly one loop at depth {depth}, found {}",
+                at_depth.len()
+            ));
+            return;
+        }
+        match &at_depth[0].info {
+            Some(info) => {
+                let meta = counter_meta(info, true);
+                if region.counters.insert(info.counter.clone(), meta).is_some() {
+                    duplicates.insert(info.counter.clone());
+                }
+                region.parallel_counters.push(info.counter.clone());
+            }
+            None => {
+                let reason = at_depth[0]
+                    .shape
+                    .map(|s| s.reason().to_string())
+                    .unwrap_or_else(|| "loop is not canonical".into());
+                region.defect = Some(format!("parallel loop at depth {depth}: {reason}"));
+                return;
+            }
+        }
+    }
+    for level in nest {
+        if level.depth < parallel_depth {
+            continue;
+        }
+        if let Some(info) = &level.info {
+            let meta = counter_meta(info, false);
+            match region.counters.get(&info.counter) {
+                Some(existing) if *existing != meta => {
+                    duplicates.insert(info.counter.clone());
+                }
+                _ => {
+                    region.counters.insert(info.counter.clone(), meta);
+                }
+            }
+        }
+        // Sequential non-canonical loops need no defect: their counters are
+        // simply unknown and subscripts using them degrade conservatively.
+    }
+    // Two same-named loops with different geometry would alias one variable
+    // in the distance equations; drop the name so its uses go conservative.
+    for name in duplicates {
+        region.counters.remove(&name);
+        region.parallel_counters.retain(|c| *c != name);
+    }
+}
+
+fn counter_meta(info: &pg_frontend::LoopInfo, parallel: bool) -> CounterMeta {
+    CounterMeta {
+        start: info.start,
+        step: info.step,
+        span: info
+            .trip_count
+            .map(|t| (t.saturating_sub(1)).min(i64::MAX as u64) as i64),
+        parallel,
+    }
+}
+
+struct Walker<'a, 'r> {
+    ast: &'a Ast,
+    region: &'r mut ParallelRegion,
+    order: usize,
+}
+
+impl Walker<'_, '_> {
+    fn next_order(&mut self) -> usize {
+        self.order += 1;
+        self.order
+    }
+
+    fn walk(&mut self, id: NodeId, in_for_slot: bool) {
+        let node = self.ast.node(id);
+        match node.kind {
+            AstKind::ForStmt => {
+                let children = self.ast.children(id).to_vec();
+                if let Some(&init) = children.first() {
+                    self.walk(init, true);
+                }
+                if let Some(&cond) = children.get(1) {
+                    self.walk(cond, false);
+                }
+                if let Some(&body) = children.get(2) {
+                    self.walk(body, false);
+                }
+                if let Some(&inc) = children.get(3) {
+                    self.walk(inc, true);
+                }
+            }
+            AstKind::BinaryOperator if node.data.opcode.as_deref() == Some("=") => {
+                let children = self.ast.children(id).to_vec();
+                if let (Some(&lhs), rhs) = (children.first(), children.get(1).copied()) {
+                    self.record_target(id, lhs, rhs, false, "=", in_for_slot);
+                    if let Some(rhs) = rhs {
+                        self.walk(rhs, in_for_slot);
+                    }
+                }
+            }
+            AstKind::CompoundAssignOperator => {
+                let children = self.ast.children(id).to_vec();
+                let opcode = node.data.opcode.clone().unwrap_or_default();
+                if let (Some(&lhs), rhs) = (children.first(), children.get(1).copied()) {
+                    self.record_target(id, lhs, rhs, true, &opcode, in_for_slot);
+                    if let Some(rhs) = rhs {
+                        self.walk(rhs, in_for_slot);
+                    }
+                }
+            }
+            AstKind::UnaryOperator
+                if matches!(node.data.opcode.as_deref(), Some("++") | Some("--")) =>
+            {
+                let opcode = node.data.opcode.clone().unwrap_or_default();
+                if let Some(&operand) = self.ast.children(id).first() {
+                    self.record_target(id, operand, None, true, &opcode, in_for_slot);
+                }
+            }
+            AstKind::ArraySubscriptExpr => {
+                self.record_subscript(id, false, false);
+            }
+            AstKind::CallExpr => {
+                let children = self.ast.children(id).to_vec();
+                let callee = children
+                    .first()
+                    .and_then(|&c| pg_frontend::analysis::referenced_name(self.ast, c))
+                    .unwrap_or_default();
+                self.region.calls.push((callee, id));
+                for &arg in children.iter().skip(1) {
+                    self.walk(arg, in_for_slot);
+                }
+            }
+            AstKind::DeclRefExpr => {
+                if let Some(name) = node.data.name.clone() {
+                    let order = self.next_order();
+                    self.region.scalar_accesses.push(ScalarAccess {
+                        name,
+                        node: id,
+                        is_write: false,
+                        order,
+                        in_for_slot,
+                        rhs: None,
+                        opcode: None,
+                    });
+                }
+            }
+            AstKind::VarDecl => {
+                let order = self.next_order();
+                let init = self.ast.children(id).first().copied();
+                if let Some(name) = node.data.name.clone() {
+                    self.region.local_decls.push(LocalDecl {
+                        name,
+                        node: id,
+                        init,
+                        order,
+                        is_array: !node.data.array_dims.is_empty(),
+                    });
+                }
+                if let Some(init) = init {
+                    self.walk(init, in_for_slot);
+                }
+            }
+            _ => {
+                for &child in &self.ast.children(id).to_vec() {
+                    self.walk(child, in_for_slot);
+                }
+            }
+        }
+    }
+
+    /// Record the target of an assignment/increment. Compound operators read
+    /// the old value, so they contribute a read access as well.
+    fn record_target(
+        &mut self,
+        op_node: NodeId,
+        lhs: NodeId,
+        rhs: Option<NodeId>,
+        compound: bool,
+        opcode: &str,
+        in_for_slot: bool,
+    ) {
+        let target = strip(self.ast, lhs);
+        let node = self.ast.node(target);
+        match node.kind {
+            AstKind::ArraySubscriptExpr => {
+                self.record_subscript(target, true, compound);
+            }
+            AstKind::DeclRefExpr => {
+                if let Some(name) = node.data.name.clone() {
+                    if compound {
+                        let order = self.next_order();
+                        self.region.scalar_accesses.push(ScalarAccess {
+                            name: name.clone(),
+                            node: target,
+                            is_write: false,
+                            order,
+                            in_for_slot,
+                            rhs: None,
+                            opcode: None,
+                        });
+                    }
+                    let order = self.next_order();
+                    self.region.scalar_accesses.push(ScalarAccess {
+                        name,
+                        node: op_node,
+                        is_write: true,
+                        order,
+                        in_for_slot,
+                        rhs,
+                        opcode: Some(opcode.to_string()),
+                    });
+                }
+            }
+            _ => {
+                self.region.opaque_writes.push(op_node);
+                self.walk(target, in_for_slot);
+            }
+        }
+    }
+
+    /// Record one (possibly multi-dimensional) subscript access and then walk
+    /// its index expressions, which are ordinary reads.
+    fn record_subscript(&mut self, subscript: NodeId, is_write: bool, compound: bool) {
+        match collect_dims(self.ast, subscript) {
+            Some((array, dims)) => {
+                if is_write {
+                    self.region.array_accesses.push(ArrayAccess {
+                        array: array.clone(),
+                        node: subscript,
+                        is_write: true,
+                        subscripts: dims.clone(),
+                    });
+                }
+                if !is_write || compound {
+                    self.region.array_accesses.push(ArrayAccess {
+                        array,
+                        node: subscript,
+                        is_write: false,
+                        subscripts: dims.clone(),
+                    });
+                }
+                for dim in dims {
+                    self.walk(dim, false);
+                }
+            }
+            None => {
+                // Subscript on something that is not a named array
+                // (`(*p)[i]`, `f(x)[i]`): treat a write conservatively and
+                // walk everything as reads.
+                if is_write {
+                    self.region.opaque_writes.push(subscript);
+                }
+                for &child in &self.ast.children(subscript).to_vec() {
+                    self.walk(child, false);
+                }
+            }
+        }
+    }
+}
+
+fn strip(ast: &Ast, node: NodeId) -> NodeId {
+    let mut current = node;
+    loop {
+        let n = ast.node(current);
+        match n.kind {
+            AstKind::ParenExpr | AstKind::ImplicitCastExpr | AstKind::CStyleCastExpr => {
+                match n.children.first() {
+                    Some(&child) => current = child,
+                    None => return current,
+                }
+            }
+            _ => return current,
+        }
+    }
+}
+
+/// Resolve `a[i][j]` chains to the base array name plus the per-dimension
+/// index expressions, outermost first.
+fn collect_dims(ast: &Ast, subscript: NodeId) -> Option<(String, Vec<NodeId>)> {
+    let mut dims = Vec::new();
+    let mut current = subscript;
+    loop {
+        let children = ast.children(current);
+        let (&base, &index) = (children.first()?, children.get(1)?);
+        dims.push(index);
+        let base = strip(ast, base);
+        match ast.kind(base) {
+            AstKind::ArraySubscriptExpr => current = base,
+            AstKind::DeclRefExpr => {
+                let name = ast.node(base).data.name.clone()?;
+                dims.reverse();
+                return Some((name, dims));
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_frontend::parse;
+
+    fn region_of(src: &str) -> ParallelRegion {
+        let ast = parse(src).unwrap();
+        let ctx = AnalysisContext::build(Box::leak(Box::new(ast)));
+        assert_eq!(ctx.regions.len(), 1, "expected one region");
+        ctx.regions.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn counters_and_accesses_are_collected() {
+        let region = region_of(
+            r#"
+            void f(float *a, float *b) {
+                #pragma omp parallel for
+                for (int i = 0; i < 128; i++) {
+                    float acc = 0.0;
+                    for (int k = 0; k < 16; k++) {
+                        acc += b[i * 16 + k];
+                    }
+                    a[i] = acc;
+                }
+            }
+            "#,
+        );
+        assert!(region.defect.is_none());
+        assert_eq!(region.parallel_counters, vec!["i".to_string()]);
+        assert!(region.counters["i"].parallel);
+        assert!(!region.counters["k"].parallel);
+        assert_eq!(region.counters["i"].span, Some(127));
+        let writes: Vec<&ArrayAccess> = region
+            .array_accesses
+            .iter()
+            .filter(|a| a.is_write)
+            .collect();
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].array, "a");
+        let reads: Vec<&ArrayAccess> = region
+            .array_accesses
+            .iter()
+            .filter(|a| !a.is_write)
+            .collect();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].array, "b");
+        // `acc` is local with a compound write; counter writes sit in for
+        // slots.
+        assert!(region.local_decls.iter().any(|d| d.name == "acc"));
+        assert!(region
+            .scalar_accesses
+            .iter()
+            .any(|s| s.name == "acc" && s.is_write && !s.in_for_slot));
+        assert!(region
+            .scalar_accesses
+            .iter()
+            .filter(|s| s.name == "i" && s.is_write)
+            .all(|s| s.in_for_slot));
+    }
+
+    #[test]
+    fn collapse_promotes_inner_counter_to_parallel() {
+        let region = region_of(
+            r#"
+            void f(float *a) {
+                #pragma omp parallel for collapse(2)
+                for (int i = 0; i < 8; i++) {
+                    for (int j = 0; j < 8; j++) {
+                        a[i * 8 + j] = 0.0;
+                    }
+                }
+            }
+            "#,
+        );
+        assert!(region.defect.is_none());
+        assert_eq!(
+            region.parallel_counters,
+            vec!["i".to_string(), "j".to_string()]
+        );
+        assert!(region.counters["j"].parallel);
+    }
+
+    #[test]
+    fn compound_array_update_records_read_and_write() {
+        let region = region_of(
+            r#"
+            void f(float *a) {
+                #pragma omp parallel for
+                for (int i = 0; i < 8; i++) { a[i] += 1.0; }
+            }
+            "#,
+        );
+        let on_a: Vec<&ArrayAccess> = region
+            .array_accesses
+            .iter()
+            .filter(|x| x.array == "a")
+            .collect();
+        assert_eq!(on_a.len(), 2);
+        assert!(on_a.iter().any(|x| x.is_write));
+        assert!(on_a.iter().any(|x| !x.is_write));
+    }
+
+    #[test]
+    fn non_loop_directive_records_defect() {
+        let region = region_of(
+            r#"
+            void f(float *a) {
+                #pragma omp parallel for
+                a[0] = 1.0;
+            }
+            "#,
+        );
+        assert!(region.defect.is_some());
+    }
+
+    #[test]
+    fn substitutable_and_invariant_sets() {
+        let region = region_of(
+            r#"
+            void f(float *a, int *idx, int off) {
+                #pragma omp parallel for
+                for (int i = 0; i < 8; i++) {
+                    int j = idx[i];
+                    a[j + off] = 0.0;
+                }
+            }
+            "#,
+        );
+        assert!(region.substitutable().contains_key("j"));
+        assert!(region.invariant().contains("off"));
+        assert!(!region.invariant().contains("j"));
+    }
+}

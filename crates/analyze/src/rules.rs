@@ -1,0 +1,556 @@
+//! The lint-rule framework and the shipped rule set.
+//!
+//! Every rule sees the same [`AnalysisContext`] and appends to a shared
+//! [`DiagnosticSink`]; the verdict is derived afterwards from the collected
+//! severities. New rules plug in by implementing [`LintRule`] and joining
+//! [`default_rules`] (or a caller-assembled rule list).
+
+use crate::affine::{extract, ExtractCtx};
+use crate::deps::{test_pair, PairVerdict};
+use crate::region::{AnalysisContext, ParallelRegion, ScalarAccess};
+use crate::{Diagnostic, Severity, SourceSpan};
+use pg_frontend::{AstKind, NodeId, OmpClause};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Math intrinsics with no side effects on kernel arrays: calling them inside
+/// a parallel loop is safe.
+const PURE_CALLS: &[&str] = &[
+    "sqrt", "sqrtf", "exp", "expf", "fabs", "fabsf", "abs", "log", "logf", "pow", "powf", "sin",
+    "sinf", "cos", "cosf", "tan", "tanf", "floor", "floorf", "ceil", "ceilf", "fmin", "fminf",
+    "fmax", "fmaxf",
+];
+
+/// Collects diagnostics and clause suggestions while rules run.
+#[derive(Debug, Default)]
+pub struct DiagnosticSink {
+    /// Diagnostics in emission order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// OpenMP clauses that would make the loop safe (`reduction(+:s)`, ...).
+    pub suggestions: Vec<String>,
+}
+
+impl DiagnosticSink {
+    /// Emit an error-severity diagnostic.
+    pub fn error(&mut self, rule: &str, span: Option<SourceSpan>, message: impl Into<String>) {
+        self.diagnostics.push(Diagnostic {
+            rule: rule.to_string(),
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+        });
+    }
+
+    /// Emit a warning-severity diagnostic.
+    pub fn warning(&mut self, rule: &str, span: Option<SourceSpan>, message: impl Into<String>) {
+        self.diagnostics.push(Diagnostic {
+            rule: rule.to_string(),
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+        });
+    }
+
+    /// Record a clause that would repair the loop.
+    pub fn suggest(&mut self, clause: String) {
+        if !self.suggestions.contains(&clause) {
+            self.suggestions.push(clause);
+        }
+    }
+}
+
+/// One static-analysis rule over a shared [`AnalysisContext`].
+pub trait LintRule {
+    /// Primary rule id this rule emits (informational; a rule may emit
+    /// closely related ids).
+    fn id(&self) -> &'static str;
+    /// Inspect the context and append findings to the sink.
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut DiagnosticSink);
+}
+
+/// The shipped rule set, in emission order.
+pub fn default_rules() -> Vec<Box<dyn LintRule>> {
+    vec![
+        Box::new(UnknownClauseRule),
+        Box::new(NonCanonicalLoopRule),
+        Box::new(OpaqueCallRule),
+        Box::new(LoopIndexWriteRule),
+        Box::new(UninitializedReadRule),
+        Box::new(SharedScalarRule),
+        Box::new(DependenceRule),
+    ]
+}
+
+fn node_span(ctx: &AnalysisContext<'_>, node: NodeId) -> Option<SourceSpan> {
+    ctx.ast.node(node).data.loc.map(SourceSpan::from)
+}
+
+/// Flags `OmpClause::Unknown` on every directive in the translation unit.
+pub struct UnknownClauseRule;
+
+impl LintRule for UnknownClauseRule {
+    fn id(&self) -> &'static str {
+        "unknown-clause"
+    }
+
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut DiagnosticSink) {
+        for (id, node) in ctx.ast.iter() {
+            let Some(directive) = &node.data.omp else {
+                continue;
+            };
+            for clause in &directive.clauses {
+                if let OmpClause::Unknown(text) = clause {
+                    sink.warning(
+                        "unknown-clause",
+                        node_span(ctx, id),
+                        format!("unrecognised or malformed OpenMP clause `{text}` is ignored"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A parallel loop directive whose nest cannot be analysed is rejected
+/// outright: nothing can be said about its memory behaviour.
+pub struct NonCanonicalLoopRule;
+
+impl LintRule for NonCanonicalLoopRule {
+    fn id(&self) -> &'static str {
+        "non-canonical-loop"
+    }
+
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut DiagnosticSink) {
+        for region in &ctx.regions {
+            if let Some(defect) = &region.defect {
+                sink.error("non-canonical-loop", region.span, defect.clone());
+            }
+        }
+    }
+}
+
+/// Calls to anything but known pure math intrinsics inside a parallel loop
+/// have unknown side effects.
+pub struct OpaqueCallRule;
+
+impl LintRule for OpaqueCallRule {
+    fn id(&self) -> &'static str {
+        "opaque-call"
+    }
+
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut DiagnosticSink) {
+        for region in &ctx.regions {
+            for (callee, node) in &region.calls {
+                if !PURE_CALLS.contains(&callee.as_str()) {
+                    let shown = if callee.is_empty() { "<expr>" } else { callee };
+                    sink.error(
+                        "opaque-call",
+                        node_span(ctx, *node),
+                        format!(
+                            "call to `{shown}` inside a parallel loop has unknown side effects"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Writing to a loop counter from the loop body breaks the canonical-form
+/// contract the whole analysis (and OpenMP itself) relies on.
+pub struct LoopIndexWriteRule;
+
+impl LintRule for LoopIndexWriteRule {
+    fn id(&self) -> &'static str {
+        "loop-index-write"
+    }
+
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut DiagnosticSink) {
+        for region in &ctx.regions {
+            for access in &region.scalar_accesses {
+                if access.is_write
+                    && !access.in_for_slot
+                    && region.counters.contains_key(&access.name)
+                {
+                    sink.error(
+                        "loop-index-write",
+                        node_span(ctx, access.node),
+                        format!("loop body writes to loop counter `{}`", access.name),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A region-local scalar declared without an initialiser and read before any
+/// write yields garbage (and under `private` semantics, so would the clause).
+pub struct UninitializedReadRule;
+
+impl LintRule for UninitializedReadRule {
+    fn id(&self) -> &'static str {
+        "uninitialized-read"
+    }
+
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut DiagnosticSink) {
+        for region in &ctx.regions {
+            for decl in &region.local_decls {
+                if decl.init.is_some() || decl.is_array {
+                    continue;
+                }
+                if region.counters.contains_key(&decl.name) {
+                    continue;
+                }
+                let first_write = region
+                    .scalar_accesses
+                    .iter()
+                    .filter(|a| a.is_write && a.name == decl.name && a.order > decl.order)
+                    .map(|a| a.order)
+                    .min();
+                let first_read = region
+                    .scalar_accesses
+                    .iter()
+                    .filter(|a| !a.is_write && a.name == decl.name && a.order > decl.order)
+                    .map(|a| a.order)
+                    .min();
+                if let Some(read) = first_read {
+                    if first_write.is_none_or(|write| read < write) {
+                        sink.warning(
+                            "uninitialized-read",
+                            node_span(ctx, decl.node),
+                            format!("`{}` may be read before it is first written", decl.name),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Shared-scalar classification: OpenMP data-sharing defaults make every
+/// scalar declared outside the loop shared, so any write to one from the
+/// body is a race unless it matches a declared reduction, a recognised
+/// reduction idiom (repairable with a `reduction` clause) or a
+/// write-before-read temporary (repairable with `private`).
+pub struct SharedScalarRule;
+
+/// Writes grouped per scalar for idiom matching.
+struct ScalarWrites<'a> {
+    writes: Vec<&'a ScalarAccess>,
+    reads: Vec<&'a ScalarAccess>,
+}
+
+impl LintRule for SharedScalarRule {
+    fn id(&self) -> &'static str {
+        "shared-scalar-race"
+    }
+
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut DiagnosticSink) {
+        for region in &ctx.regions {
+            let mut by_name: BTreeMap<&str, ScalarWrites<'_>> = BTreeMap::new();
+            for access in &region.scalar_accesses {
+                if access.in_for_slot || region.counters.contains_key(&access.name) {
+                    continue;
+                }
+                let entry = by_name.entry(access.name.as_str()).or_insert(ScalarWrites {
+                    writes: Vec::new(),
+                    reads: Vec::new(),
+                });
+                if access.is_write {
+                    entry.writes.push(access);
+                } else {
+                    entry.reads.push(access);
+                }
+            }
+
+            for (name, info) in &by_name {
+                if info.writes.is_empty() {
+                    continue;
+                }
+                if region.clause_private.contains(*name) || region.is_local(name) {
+                    continue;
+                }
+                if let Some((op, _)) = region.clause_reductions.iter().find(|(_, var)| var == name)
+                {
+                    // Declared reduction: verify every write matches the
+                    // declared operator's idiom.
+                    let bad = info
+                        .writes
+                        .iter()
+                        .find(|w| reduction_op(ctx, w, name) != Some(op.clone()));
+                    if let Some(w) = bad {
+                        sink.error(
+                            "reduction-unproven",
+                            node_span(ctx, w.node),
+                            format!(
+                                "`{name}` is declared `reduction({op}:{name})` but this update \
+                                 does not match the `{op}` reduction idiom"
+                            ),
+                        );
+                    }
+                    continue;
+                }
+
+                // Shared scalar written from the body.
+                let span = node_span(ctx, info.writes[0].node);
+                let ops: BTreeSet<Option<String>> = info
+                    .writes
+                    .iter()
+                    .map(|w| reduction_op(ctx, w, name))
+                    .collect();
+                let single_op = if ops.len() == 1 {
+                    ops.into_iter().next().unwrap()
+                } else {
+                    None
+                };
+                if let Some(op) = single_op {
+                    // Every write is `s = s ⊕ e`; reads outside those updates
+                    // would observe partial sums, so only suggest the clause
+                    // when the updates are the whole story.
+                    let update_reads: Vec<usize> = info.writes.iter().map(|w| w.order).collect();
+                    let stray_read = info.reads.iter().any(|r| {
+                        !update_reads
+                            .iter()
+                            .any(|&w| r.order >= w.saturating_sub(4) && r.order <= w + 4)
+                    });
+                    if !stray_read {
+                        sink.warning(
+                            "shared-scalar-race",
+                            span,
+                            format!(
+                                "shared scalar `{name}` accumulates across iterations without a \
+                                 reduction; add `reduction({op}:{name})`"
+                            ),
+                        );
+                        sink.suggest(format!("reduction({op}:{name})"));
+                        continue;
+                    }
+                }
+                // Write-before-read temporary: privatisable.
+                let first_write = info.writes.iter().map(|w| w.order).min().unwrap_or(0);
+                let read_before_write = info.reads.iter().any(|r| r.order < first_write);
+                let plain_first_write = info
+                    .writes
+                    .iter()
+                    .min_by_key(|w| w.order)
+                    .is_some_and(|w| w.opcode.as_deref() == Some("="));
+                if !read_before_write && plain_first_write {
+                    sink.warning(
+                        "shared-scalar-race",
+                        span,
+                        format!(
+                            "shared scalar `{name}` is used as a per-iteration temporary; \
+                             add `private({name})`"
+                        ),
+                    );
+                    sink.suggest(format!("private({name})"));
+                } else {
+                    sink.error(
+                        "shared-scalar-race",
+                        span,
+                        format!(
+                            "concurrent iterations read and write shared scalar `{name}` \
+                             without a reduction or privatisation"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// When `write` is a reduction-style update of `name` (`s += e`, `s = s + e`,
+/// `s *= e`, ...), return the reduction operator, else `None`. The update
+/// expression must not read `name` beyond the single self-reference.
+fn reduction_op(ctx: &AnalysisContext<'_>, write: &ScalarAccess, name: &str) -> Option<String> {
+    let self_reads_in = |node: NodeId| -> usize {
+        ctx.ast
+            .preorder_from(node)
+            .into_iter()
+            .filter(|&id| {
+                ctx.ast.kind(id) == AstKind::DeclRefExpr
+                    && ctx.ast.node(id).data.name.as_deref() == Some(name)
+            })
+            .count()
+    };
+    match write.opcode.as_deref() {
+        Some("+=") | Some("++") => {
+            if write.rhs.is_none_or(|r| self_reads_in(r) == 0) {
+                Some("+".to_string())
+            } else {
+                None
+            }
+        }
+        Some("-=") | Some("--") => {
+            if write.rhs.is_none_or(|r| self_reads_in(r) == 0) {
+                Some("-".to_string())
+            } else {
+                None
+            }
+        }
+        Some("*=") => {
+            if write.rhs.is_none_or(|r| self_reads_in(r) == 0) {
+                Some("*".to_string())
+            } else {
+                None
+            }
+        }
+        Some("=") => {
+            let rhs = write.rhs?;
+            let node = ctx.ast.node(rhs);
+            if node.kind != AstKind::BinaryOperator {
+                return None;
+            }
+            let op = node.data.opcode.as_deref()?;
+            if !matches!(op, "+" | "*" | "-") {
+                return None;
+            }
+            let lhs_child = *node.children.first()?;
+            let rhs_child = *node.children.get(1)?;
+            let is_self = |id: NodeId| {
+                pg_frontend::analysis::referenced_name(ctx.ast, id).as_deref() == Some(name)
+            };
+            // `s = s + e` or `s = e + s` (subtraction only in `s = s - e`
+            // form); `e` must not mention `s` again.
+            let other = if is_self(lhs_child) {
+                rhs_child
+            } else if is_self(rhs_child) && op != "-" {
+                lhs_child
+            } else {
+                return None;
+            };
+            if self_reads_in(other) == 0 {
+                Some(op.to_string())
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// The dependence rule proper: affine subscript lowering plus the pair tests
+/// from [`crate::deps`] over every written array.
+pub struct DependenceRule;
+
+impl LintRule for DependenceRule {
+    fn id(&self) -> &'static str {
+        "loop-carried-dependence"
+    }
+
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut DiagnosticSink) {
+        for region in &ctx.regions {
+            if region.defect.is_some() {
+                // Already rejected by NonCanonicalLoopRule; the counters are
+                // meaningless.
+                continue;
+            }
+            check_region_dependences(ctx, region, sink);
+        }
+    }
+}
+
+fn check_region_dependences(
+    ctx: &AnalysisContext<'_>,
+    region: &ParallelRegion,
+    sink: &mut DiagnosticSink,
+) {
+    for node in &region.opaque_writes {
+        sink.error(
+            "non-affine-subscript",
+            node_span(ctx, *node),
+            "assignment target is not a scalar or a named array element; assuming a dependence",
+        );
+    }
+
+    let substitutable = region.substitutable();
+    let invariant = region.invariant();
+    let ectx = ExtractCtx {
+        ast: ctx.ast,
+        counters: &region.counters,
+        env: &ctx.env,
+        substitutable: &substitutable,
+        invariant: &invariant,
+    };
+
+    // Group accesses per array, writes first.
+    let mut arrays: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (idx, access) in region.array_accesses.iter().enumerate() {
+        arrays.entry(access.array.as_str()).or_default().push(idx);
+    }
+
+    for (array, indices) in &arrays {
+        if !region
+            .array_accesses
+            .iter()
+            .any(|a| a.array == *array && a.is_write)
+        {
+            continue; // read-only arrays cannot race
+        }
+        if region.clause_private.contains(*array) || region.is_local(array) {
+            continue; // privatised or per-iteration storage
+        }
+
+        // Lower every access; any non-affine subscript on a written array is
+        // conservatively a dependence.
+        let mut forms: Vec<Option<Vec<crate::affine::AffineForm>>> = Vec::new();
+        let mut non_affine = None;
+        for &idx in indices {
+            let access = &region.array_accesses[idx];
+            let lowered: Option<Vec<_>> = access
+                .subscripts
+                .iter()
+                .map(|&s| extract(&ectx, s))
+                .collect();
+            if lowered.is_none() && non_affine.is_none() {
+                non_affine = Some(access.node);
+            }
+            forms.push(lowered);
+        }
+        if let Some(node) = non_affine {
+            sink.error(
+                "non-affine-subscript",
+                node_span(ctx, node),
+                format!(
+                    "subscript into written array `{array}` is not affine in the loop \
+                     counters; assuming a dependence"
+                ),
+            );
+            continue;
+        }
+
+        // Pairwise tests: write × every access (each unordered pair once).
+        // One diagnostic per array keeps the stream readable.
+        'pairs: for (i, &wi) in indices.iter().enumerate() {
+            let w = &region.array_accesses[wi];
+            if !w.is_write {
+                continue;
+            }
+            for (j, &aj) in indices.iter().enumerate() {
+                let a = &region.array_accesses[aj];
+                // Visit write/write pairs once and always include the
+                // self-pair; write/read pairs are direction-agnostic.
+                if a.is_write && j < i {
+                    continue;
+                }
+                let same_node = wi == aj || (w.node == a.node);
+                let verdict = test_pair(
+                    forms[i].as_ref().expect("lowered above"),
+                    forms[j].as_ref().expect("lowered above"),
+                    &region.counters,
+                    same_node,
+                );
+                match verdict {
+                    PairVerdict::NoDep | PairVerdict::SeqOnly => {}
+                    PairVerdict::Parallel(detail) | PairVerdict::Unknown(detail) => {
+                        sink.error(
+                            "loop-carried-dependence",
+                            node_span(ctx, w.node),
+                            format!("loop-carried dependence on `{array}`: {detail}"),
+                        );
+                        break 'pairs;
+                    }
+                }
+            }
+        }
+    }
+}

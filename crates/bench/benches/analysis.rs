@@ -1,0 +1,212 @@
+//! Machine-readable baseline for the legality gate: what one `pg_analyze`
+//! pass costs per catalogue kernel, and what the gate adds to a warm
+//! `Engine::advise` round trip with the analysis memo populated (the
+//! serving-path number — the gate's acceptance target is < 5% overhead).
+//!
+//! Besides the criterion output, the results are written to
+//! `BENCH_analyze.json` at the repository root so future PRs can track the
+//! analysis cost. Set `PARAGRAPH_BENCH_SMOKE=1` for the CI smoke run: two
+//! kernels, one repetition, no JSON rewrite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pg_advisor::{instantiate, LaunchConfig, Variant};
+use pg_analyze::{analyze_source_tolerant, catalogue_tolerances};
+use pg_engine::{AdviseRequest, Engine};
+use pg_perfsim::Platform;
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var("PARAGRAPH_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn kernels() -> Vec<pg_kernels::KernelTemplate> {
+    let all = pg_kernels::all_kernels();
+    if smoke() {
+        all.into_iter().take(2).collect()
+    } else {
+        all
+    }
+}
+
+/// Median of `reps` wall-clock samples from `f`, in microseconds.
+fn median_wall_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+#[derive(serde::Serialize)]
+struct AnalysisCase {
+    kernel: String,
+    variant: String,
+    source_lines: usize,
+    diagnostics: usize,
+    analyze_wall_us: f64,
+}
+
+#[derive(serde::Serialize)]
+struct AdviseCase {
+    kernel: String,
+    gated_wall_us: f64,
+    ungated_wall_us: f64,
+    /// `(gated - ungated) / ungated` on a warm engine; the acceptance
+    /// target is < 0.05. Negative values are measurement noise.
+    overhead_fraction: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Aggregate {
+    analysis_cases: usize,
+    advise_cases: usize,
+    analyze_wall_us_median: f64,
+    analyze_wall_us_max: f64,
+    mean_overhead_fraction: f64,
+    /// The acceptance criterion: mean warm-advise overhead < 5%.
+    overhead_within_target: bool,
+}
+
+#[derive(serde::Serialize)]
+struct BenchReport {
+    schema: u32,
+    analysis: Vec<AnalysisCase>,
+    advise: Vec<AdviseCase>,
+    aggregate: Aggregate,
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let kernel = pg_kernels::find_kernel("MM/matmul").unwrap();
+    let instance = instantiate(
+        &kernel,
+        Variant::applicable_variants(&kernel)[0],
+        &kernel.default_sizes(),
+        LaunchConfig {
+            teams: 80,
+            threads: 128,
+        },
+    );
+    c.bench_function("analyze_matmul", |b| {
+        b.iter(|| analyze_source_tolerant(std::hint::black_box(&instance.source), &[]))
+    });
+
+    let request = AdviseRequest::catalog("MM/matmul");
+    let gated = Engine::builder().platform(Platform::SummitV100).build();
+    let ungated = Engine::builder()
+        .platform(Platform::SummitV100)
+        .analysis_gate(false)
+        .build();
+    gated.advise(&request).unwrap();
+    ungated.advise(&request).unwrap();
+    c.bench_function("advise_matmul_gated_warm", |b| {
+        b.iter(|| gated.advise(std::hint::black_box(&request)).unwrap())
+    });
+    c.bench_function("advise_matmul_ungated_warm", |b| {
+        b.iter(|| ungated.advise(std::hint::black_box(&request)).unwrap())
+    });
+}
+
+fn record_json(c: &mut Criterion) {
+    let reps = if smoke() { 1 } else { 31 };
+    let launch = LaunchConfig {
+        teams: 80,
+        threads: 128,
+    };
+
+    // Per-kernel cold analysis cost, one case per variant.
+    let mut analysis = Vec::new();
+    for kernel in kernels() {
+        let full_name = kernel.full_name();
+        let tolerated = catalogue_tolerances(&full_name);
+        let sizes = kernel.default_sizes();
+        for variant in Variant::applicable_variants(&kernel) {
+            let instance = instantiate(&kernel, variant, &sizes, launch);
+            let report = analyze_source_tolerant(&instance.source, tolerated);
+            let wall = median_wall_us(reps, || {
+                analyze_source_tolerant(&instance.source, tolerated);
+            });
+            analysis.push(AnalysisCase {
+                kernel: full_name.clone(),
+                variant: variant.name().to_string(),
+                source_lines: instance.source.lines().count(),
+                diagnostics: report.diagnostics.len(),
+                analyze_wall_us: wall,
+            });
+        }
+    }
+
+    // Warm advise overhead, gate on vs off, on the same platform.
+    let gated = Engine::builder().platform(Platform::SummitV100).build();
+    let ungated = Engine::builder()
+        .platform(Platform::SummitV100)
+        .analysis_gate(false)
+        .build();
+    let mut advise = Vec::new();
+    for kernel in kernels() {
+        let request = AdviseRequest::catalog(kernel.full_name());
+        gated.advise(&request).unwrap(); // warm frontend + analysis memo
+        ungated.advise(&request).unwrap();
+        let gated_wall = median_wall_us(reps, || {
+            gated.advise(&request).unwrap();
+        });
+        let ungated_wall = median_wall_us(reps, || {
+            ungated.advise(&request).unwrap();
+        });
+        advise.push(AdviseCase {
+            kernel: kernel.full_name(),
+            gated_wall_us: gated_wall,
+            ungated_wall_us: ungated_wall,
+            overhead_fraction: (gated_wall - ungated_wall) / ungated_wall.max(1e-9),
+        });
+    }
+
+    let mut walls: Vec<f64> = analysis.iter().map(|a| a.analyze_wall_us).collect();
+    walls.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean_overhead =
+        advise.iter().map(|a| a.overhead_fraction).sum::<f64>() / advise.len().max(1) as f64;
+    let aggregate = Aggregate {
+        analysis_cases: analysis.len(),
+        advise_cases: advise.len(),
+        analyze_wall_us_median: walls[walls.len() / 2],
+        analyze_wall_us_max: walls.last().copied().unwrap_or(0.0),
+        mean_overhead_fraction: mean_overhead,
+        overhead_within_target: mean_overhead < 0.05,
+    };
+    println!(
+        "analysis: {} variant cases, median {:.1}us max {:.1}us per pass; warm advise overhead mean {:+.2}% (target < 5%: {})",
+        aggregate.analysis_cases,
+        aggregate.analyze_wall_us_median,
+        aggregate.analyze_wall_us_max,
+        aggregate.mean_overhead_fraction * 100.0,
+        aggregate.overhead_within_target,
+    );
+    let report = BenchReport {
+        schema: 1,
+        analysis,
+        advise,
+        aggregate,
+    };
+    if smoke() {
+        // The CI smoke run proves the harness executes end to end; keep the
+        // committed baseline intact.
+        return;
+    }
+    let json = serde_json::to_string(&report).expect("bench report serialises");
+    std::fs::write(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_analyze.json"),
+        json,
+    )
+    .expect("write BENCH_analyze.json at the repository root");
+    let _ = c;
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_analysis, record_json
+}
+criterion_main!(benches);

@@ -37,6 +37,14 @@ pub enum EngineError {
     /// The backend cannot serve this request (e.g. a GPU-trained model asked
     /// to predict on a CPU platform).
     BackendUnavailable(String),
+    /// The static legality gate rejected every applicable variant as a data
+    /// race, leaving nothing to rank.
+    AllVariantsRace {
+        /// Fully qualified kernel name.
+        kernel: String,
+        /// The race reason of the first pruned variant.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -59,6 +67,10 @@ impl fmt::Display for EngineError {
                 )
             }
             EngineError::BackendUnavailable(why) => write!(f, "backend unavailable: {why}"),
+            EngineError::AllVariantsRace { kernel, reason } => write!(
+                f,
+                "every variant of `{kernel}` was rejected by the legality gate: {reason}"
+            ),
         }
     }
 }
@@ -106,6 +118,10 @@ mod tests {
                 first: Box::new(EngineError::EmptyBudget),
             },
             EngineError::BackendUnavailable("gpu-only model".into()),
+            EngineError::AllVariantsRace {
+                kernel: "X/y".into(),
+                reason: "loop-carried-dependence".into(),
+            },
         ];
         for case in cases {
             assert!(!case.to_string().is_empty());

@@ -51,13 +51,21 @@ pub use error::EngineError;
 pub use report::{AdviseReport, CacheActivity, PredictionFailure, Timing, VariantPrediction};
 pub use request::{AdviseRequest, KernelSpec, LaunchBudget};
 
-use pg_advisor::{instantiate, KernelInstance, LaunchConfig, ParallelismBudget, Variant};
+use pg_advisor::{
+    instantiate, KernelInstance, LaunchConfig, ParallelismBudget, PrunedVariant, Variant,
+};
+use pg_analyze::{AnalysisReport, Diagnostic, LegalityVerdict};
 use pg_perfsim::Platform;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Default capacity of each frontend-cache layer.
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// What candidate enumeration hands the predictor: admitted instances, the
+/// unique diagnostics collected while gating them, and the variants the
+/// legality analysis pruned.
+type GatedCandidates = (Vec<KernelInstance>, Vec<Diagnostic>, Vec<PrunedVariant>);
 
 /// The serving facade: a platform, a prediction backend, and a memoized
 /// frontend, behind one `advise` call.
@@ -71,6 +79,12 @@ pub struct Engine {
     platform: Platform,
     backend: Box<dyn RuntimePredictor>,
     cache: Arc<FrontendCache>,
+    analysis_gate: bool,
+    /// Memoized legality analysis keyed by (kernel name, source): analysing
+    /// a variant costs far more than a warm advise, so repeated requests
+    /// must not re-run it. Kept separate from [`FrontendCache`] so analysis
+    /// lookups never perturb the frontend hit/miss accounting.
+    analysis_memo: Mutex<LruCache<String, Arc<AnalysisReport>>>,
 }
 
 /// Builder for [`Engine`] (`Engine::builder()`).
@@ -79,6 +93,7 @@ pub struct EngineBuilder {
     backend: Option<Box<dyn RuntimePredictor>>,
     cache_capacity: usize,
     shared_cache: Option<Arc<FrontendCache>>,
+    analysis_gate: bool,
 }
 
 impl EngineBuilder {
@@ -110,6 +125,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Enable or disable the static legality gate (default: enabled).
+    /// Disabling reproduces the ungated engine exactly: no analysis runs,
+    /// reports carry no diagnostics, and nothing is pruned.
+    pub fn analysis_gate(mut self, enabled: bool) -> Self {
+        self.analysis_gate = enabled;
+        self
+    }
+
     /// Assemble the engine.
     pub fn build(self) -> Engine {
         Engine {
@@ -120,6 +143,8 @@ impl EngineBuilder {
             cache: self
                 .shared_cache
                 .unwrap_or_else(|| Arc::new(FrontendCache::new(self.cache_capacity))),
+            analysis_gate: self.analysis_gate,
+            analysis_memo: Mutex::new(LruCache::new(self.cache_capacity)),
         }
     }
 }
@@ -132,6 +157,7 @@ impl Engine {
             backend: None,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             shared_cache: None,
+            analysis_gate: true,
         }
     }
 
@@ -166,12 +192,52 @@ impl Engine {
         }
     }
 
-    /// Enumerate the candidate instances of a request.
+    /// Legality analysis of one instance's source, memoized by
+    /// (kernel full name, source). Catalogue kernels are assessed under
+    /// their documented tolerances via
+    /// [`pg_advisor::assess_instance`]; the memo makes the warm advise
+    /// path as cheap as before the gate existed.
+    fn analysis_of(&self, instance: &KernelInstance) -> Arc<AnalysisReport> {
+        let key = format!(
+            "{}/{}\u{0}{}",
+            instance.application, instance.kernel, instance.source
+        );
+        if let Some(report) = self
+            .analysis_memo
+            .lock()
+            .expect("analysis memo poisoned")
+            .get_by(key.as_str())
+        {
+            return report;
+        }
+        let report = Arc::new(pg_advisor::assess_instance(instance));
+        self.analysis_memo
+            .lock()
+            .expect("analysis memo poisoned")
+            .insert(key, Arc::clone(&report));
+        report
+    }
+
+    /// Append `src` diagnostics not already present in `dst` (launch-grid
+    /// probes of one kernel repeat the same findings).
+    fn merge_diagnostics(dst: &mut Vec<Diagnostic>, src: &[Diagnostic]) {
+        for diag in src {
+            if !dst.contains(diag) {
+                dst.push(diag.clone());
+            }
+        }
+    }
+
+    /// Enumerate the candidate instances of a request, gated by the static
+    /// legality analysis when enabled: catalogue variants with a `Race`
+    /// verdict are pruned before prediction, raw-source requests are
+    /// diagnosed but never pruned (there is no alternative variant to fall
+    /// back on — the caller sees the diagnostics and decides).
     fn candidates(
         &self,
         request: &AdviseRequest,
         counters: &RequestCounters,
-    ) -> Result<Vec<KernelInstance>, EngineError> {
+    ) -> Result<GatedCandidates, EngineError> {
         let launches = self.launches(&request.budget, self.platform.is_gpu());
         if launches.is_empty() {
             return Err(EngineError::EmptyBudget);
@@ -195,12 +261,45 @@ impl Engine {
                     });
                 }
                 let mut out = Vec::with_capacity(variants.len() * launches.len());
+                let mut diagnostics: Vec<Diagnostic> = Vec::new();
+                let mut race_pruned: Vec<PrunedVariant> = Vec::new();
                 for variant in variants {
-                    for &launch in &launches {
-                        out.push(instantiate(&kernel, variant, &sizes, launch));
+                    // Legality never depends on the launch clauses
+                    // (num_teams / thread_limit / schedule), so one probe
+                    // at the first grid point gates the variant's whole
+                    // launch sweep — the golden suite pins this
+                    // launch-invariance.
+                    if self.analysis_gate {
+                        let probe = instantiate(&kernel, variant, &sizes, launches[0]);
+                        let report = self.analysis_of(&probe);
+                        Self::merge_diagnostics(&mut diagnostics, &report.diagnostics);
+                        if let LegalityVerdict::Race(reason) = &report.verdict {
+                            race_pruned.push(PrunedVariant {
+                                variant: variant.name().to_string(),
+                                reason: reason.clone(),
+                            });
+                            continue;
+                        }
+                        out.push(probe);
+                        for &launch in &launches[1..] {
+                            out.push(instantiate(&kernel, variant, &sizes, launch));
+                        }
+                    } else {
+                        for &launch in &launches {
+                            out.push(instantiate(&kernel, variant, &sizes, launch));
+                        }
                     }
                 }
-                Ok(out)
+                if out.is_empty() {
+                    return Err(EngineError::AllVariantsRace {
+                        kernel: name.clone(),
+                        reason: race_pruned
+                            .first()
+                            .map(|p| p.reason.clone())
+                            .unwrap_or_default(),
+                    });
+                }
+                Ok((out, diagnostics, race_pruned))
             }
             KernelSpec::Source { name, source } => {
                 // Validate the source once up front so a typo fails the
@@ -210,7 +309,7 @@ impl Engine {
                     Some((app, k)) => (app.to_string(), k.to_string()),
                     None => (name.clone(), name.clone()),
                 };
-                Ok(launches
+                let instances: Vec<KernelInstance> = launches
                     .into_iter()
                     .map(|launch| KernelInstance {
                         application: app.clone(),
@@ -226,7 +325,20 @@ impl Engine {
                         bytes_to_device: 0,
                         bytes_from_device: 0,
                     })
-                    .collect())
+                    .collect();
+                if !self.analysis_gate {
+                    return Ok((instances, Vec::new(), Vec::new()));
+                }
+                // Every candidate shares the one raw source, so a single
+                // assessment covers the whole launch sweep. Raw sources
+                // are diagnosed but never pruned — there is no alternative
+                // variant to fall back on.
+                let mut diagnostics = Vec::new();
+                Self::merge_diagnostics(
+                    &mut diagnostics,
+                    &self.analysis_of(&instances[0]).diagnostics,
+                );
+                Ok((instances, diagnostics, Vec::new()))
             }
         }
     }
@@ -294,6 +406,8 @@ impl Engine {
             enum_cache: CacheCounters,
             is_catalog: bool,
             range: std::ops::Range<usize>,
+            diagnostics: Vec<Diagnostic>,
+            race_pruned: Vec<PrunedVariant>,
         }
 
         let mut results: Vec<Option<Result<AdviseReport, EngineError>>> =
@@ -304,7 +418,7 @@ impl Engine {
             let started = Instant::now();
             let counters = RequestCounters::default();
             match self.candidates(request, &counters) {
-                Ok(mut enumerated) => {
+                Ok((mut enumerated, diagnostics, race_pruned)) => {
                     let start = candidates.len();
                     candidates.append(&mut enumerated);
                     pending.push(Pending {
@@ -314,6 +428,8 @@ impl Engine {
                         enum_cache: counters.snapshot(),
                         is_catalog: matches!(request.kernel, KernelSpec::Catalog(_)),
                         range: start..candidates.len(),
+                        diagnostics,
+                        race_pruned,
                     });
                 }
                 Err(error) => results[request_idx] = Some(Err(error)),
@@ -384,6 +500,8 @@ impl Engine {
                         hits: entry.enum_cache.hits + predict_cache.hits,
                         misses: entry.enum_cache.misses + predict_cache.misses,
                     },
+                    diagnostics: entry.diagnostics,
+                    race_pruned: entry.race_pruned,
                 })
             });
         }
@@ -510,6 +628,50 @@ mod tests {
         let results = engine.advise_many(&requests);
         assert!(matches!(results[0], Err(EngineError::UnknownKernel(_))));
         assert!(results[1].is_ok());
+    }
+
+    #[test]
+    fn racy_raw_source_is_diagnosed_but_still_ranked() {
+        let engine = Engine::builder().platform(Platform::SummitPower9).build();
+        let request = AdviseRequest::source(
+            "mine/scan",
+            "void scan(float *a) {\n\
+             #pragma omp parallel for\n\
+             for (int i = 1; i < 65536; i++) { a[i] = a[i - 1]; }\n}",
+        );
+        let report = engine.advise(&request).unwrap();
+        // Raw sources are never pruned — the caller gets predictions plus
+        // the race diagnostics and decides.
+        assert!(!report.rankings.is_empty());
+        assert!(report.race_pruned.is_empty());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "loop-carried-dependence"));
+    }
+
+    #[test]
+    fn clean_catalogue_rankings_are_identical_with_gate_on_and_off() {
+        let request = AdviseRequest::catalog("MM/matmul").with_launch(LaunchConfig {
+            teams: 80,
+            threads: 128,
+        });
+        let gated = Engine::builder()
+            .platform(Platform::SummitV100)
+            .build()
+            .advise(&request)
+            .unwrap();
+        let ungated = Engine::builder()
+            .platform(Platform::SummitV100)
+            .analysis_gate(false)
+            .build()
+            .advise(&request)
+            .unwrap();
+        // Nothing in the shipped catalogue is pruned, so the gate must not
+        // perturb rankings at all.
+        assert_eq!(gated.rankings, ungated.rankings);
+        assert!(gated.race_pruned.is_empty());
+        assert!(ungated.diagnostics.is_empty());
     }
 
     #[test]

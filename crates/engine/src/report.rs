@@ -1,7 +1,8 @@
 //! What the engine answers: ranked variant predictions with provenance,
 //! wall-time accounting and cache activity.
 
-use pg_advisor::{LaunchConfig, Variant};
+use pg_advisor::{LaunchConfig, PrunedVariant, Variant};
+use pg_analyze::Diagnostic;
 use pg_perfsim::Platform;
 use serde::{Deserialize, Serialize};
 
@@ -78,6 +79,13 @@ pub struct AdviseReport {
     pub timing: Timing,
     /// Cache activity during this request.
     pub cache: CacheActivity,
+    /// Unique static-analysis diagnostics across the request's candidates
+    /// (empty when the analysis gate is disabled).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Variants the legality gate pruned as provable data races before
+    /// prediction (always empty for raw-source requests, which are
+    /// diagnosed but never pruned).
+    pub race_pruned: Vec<PrunedVariant>,
 }
 
 impl AdviseReport {
@@ -123,6 +131,8 @@ mod tests {
             failures: vec![],
             timing: Timing::default(),
             cache: CacheActivity::default(),
+            diagnostics: vec![],
+            race_pruned: vec![],
         };
         assert_eq!(report.best().unwrap().predicted_ms, 1.5);
         assert_eq!(report.best().unwrap().label(), "gpu_collapse @ 80x128");

@@ -86,45 +86,104 @@ pub struct LoopInfo {
     pub trip_count: Option<u64>,
 }
 
+/// Why a loop was rejected by canonical-form recognition.
+///
+/// Carried alongside `Option<LoopInfo>` so analyses and diagnostics can say
+/// *why* a loop is opaque instead of just that it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoopShape {
+    /// The node is not a `ForStmt` at all.
+    NotAForLoop,
+    /// The `ForStmt` is missing one of its `init`/`cond`/`body`/`inc` parts.
+    MissingClause,
+    /// The init is neither `int i = <expr>` nor `i = <expr>`.
+    NonCanonicalInit,
+    /// The condition is not a comparison (`<`, `<=`, `>`, `>=`, `!=`).
+    NonCanonicalCondition,
+    /// The condition is a comparison, but neither side is the loop counter.
+    CounterNotInCondition,
+    /// The increment is not `i++`/`i--`/`i += c`/`i -= c`/`i = i ± c` with a
+    /// constant `c`.
+    NonConstantStride,
+}
+
+impl LoopShape {
+    /// Human-readable reason, phrased for diagnostics.
+    pub fn reason(self) -> &'static str {
+        match self {
+            LoopShape::NotAForLoop => "not a for loop",
+            LoopShape::MissingClause => "for statement is missing an init, condition or increment",
+            LoopShape::NonCanonicalInit => "loop init is not `i = <expr>` or `int i = <expr>`",
+            LoopShape::NonCanonicalCondition => "loop condition is not a simple comparison",
+            LoopShape::CounterNotInCondition => "loop condition does not test the loop counter",
+            LoopShape::NonConstantStride => "loop increment is not a constant stride",
+        }
+    }
+}
+
+impl std::fmt::Display for LoopShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.reason())
+    }
+}
+
 /// Recognise the canonical `for (init; cond; inc)` form of a loop and compute
-/// its trip count under `env`. Returns `None` when the loop is not canonical.
+/// its trip count under `env`. Returns `None` when the loop is not canonical;
+/// use [`classify_for`] to learn why.
 pub fn analyze_for(ast: &Ast, for_stmt: NodeId, env: &ConstEnv) -> Option<LoopInfo> {
+    classify_for(ast, for_stmt, env).ok()
+}
+
+/// [`analyze_for`] with a reason on rejection: recognise the canonical
+/// `for (init; cond; inc)` form or report the [`LoopShape`] defect that
+/// blocked recognition.
+pub fn classify_for(ast: &Ast, for_stmt: NodeId, env: &ConstEnv) -> Result<LoopInfo, LoopShape> {
     if ast.kind(for_stmt) != AstKind::ForStmt {
-        return None;
+        return Err(LoopShape::NotAForLoop);
     }
     let children = ast.children(for_stmt);
     if children.len() != 4 {
-        return None;
+        return Err(LoopShape::MissingClause);
     }
     // Paper child order: [init, cond, body, inc].
     let (init, cond, _body, inc) = (children[0], children[1], children[2], children[3]);
 
     // --- init: `int i = <expr>` or `i = <expr>` --------------------------------
-    let (counter, start) = extract_init(ast, init, env)?;
+    let (counter, start) = extract_init(ast, init, env).ok_or(LoopShape::NonCanonicalInit)?;
 
     // --- cond: `i < bound` style comparison ------------------------------------
     let cond_node = ast.node(cond);
     if cond_node.kind != AstKind::BinaryOperator {
-        return None;
+        return Err(LoopShape::NonCanonicalCondition);
     }
-    let comparison = cond_node.data.opcode.clone()?;
+    let comparison = cond_node
+        .data
+        .opcode
+        .clone()
+        .ok_or(LoopShape::NonCanonicalCondition)?;
     if !matches!(comparison.as_str(), "<" | "<=" | ">" | ">=" | "!=") {
-        return None;
+        return Err(LoopShape::NonCanonicalCondition);
     }
-    let lhs = *cond_node.children.first()?;
-    let rhs = *cond_node.children.get(1)?;
+    let lhs = *cond_node
+        .children
+        .first()
+        .ok_or(LoopShape::NonCanonicalCondition)?;
+    let rhs = *cond_node
+        .children
+        .get(1)
+        .ok_or(LoopShape::NonCanonicalCondition)?;
     let (bound_expr, counter_on_left) =
         if referenced_name(ast, lhs).as_deref() == Some(counter.as_str()) {
             (rhs, true)
         } else if referenced_name(ast, rhs).as_deref() == Some(counter.as_str()) {
             (lhs, false)
         } else {
-            return None;
+            return Err(LoopShape::CounterNotInCondition);
         };
     let bound = const_eval(ast, bound_expr, env);
 
     // --- increment --------------------------------------------------------------
-    let step = extract_step(ast, inc, &counter, env)?;
+    let step = extract_step(ast, inc, &counter, env).ok_or(LoopShape::NonConstantStride)?;
 
     // --- trip count --------------------------------------------------------------
     let trip_count = match (start, bound) {
@@ -132,7 +191,7 @@ pub fn analyze_for(ast: &Ast, for_stmt: NodeId, env: &ConstEnv) -> Option<LoopIn
         _ => None,
     };
 
-    Some(LoopInfo {
+    Ok(LoopInfo {
         for_stmt,
         counter,
         start,
@@ -289,6 +348,8 @@ pub struct LoopNestLevel {
     pub depth: usize,
     /// Canonical-loop information, when the loop is canonical.
     pub info: Option<LoopInfo>,
+    /// Why recognition failed, when `info` is `None`.
+    pub shape: Option<LoopShape>,
 }
 
 /// Find the loop nest rooted at `outer_for`: the outer loop plus every loop
@@ -310,10 +371,15 @@ fn collect_nest(
     if ast.kind(for_stmt) != AstKind::ForStmt {
         return;
     }
+    let (info, shape) = match classify_for(ast, for_stmt, env) {
+        Ok(info) => (Some(info), None),
+        Err(shape) => (None, Some(shape)),
+    };
     out.push(LoopNestLevel {
         for_stmt,
         depth,
-        info: analyze_for(ast, for_stmt, env),
+        info,
+        shape,
     });
     // Recurse only into the body (child 2), not the init/cond/inc.
     if let Some(&body) = ast.children(for_stmt).get(2) {
@@ -689,6 +755,59 @@ mod tests {
     fn non_canonical_loop_returns_none() {
         let ast = parse("void f(int n) { for (int i = 0; i * i < n; i++) { } }").unwrap();
         assert!(analyze_for(&ast, first_for(&ast), &ConstEnv::new()).is_none());
+    }
+
+    #[test]
+    fn classify_for_names_the_defect() {
+        let env = ConstEnv::new();
+        let cases: &[(&str, LoopShape)] = &[
+            (
+                "void f(int n) { for (int i = 0; i * i < n; i++) { } }",
+                LoopShape::CounterNotInCondition,
+            ),
+            (
+                "void f(int n, int *done) { for (int i = 0; done[i]; i++) { } }",
+                LoopShape::NonCanonicalCondition,
+            ),
+            (
+                "void f(int n) { for (int i = 1; i < n; i *= 2) { } }",
+                LoopShape::NonConstantStride,
+            ),
+            (
+                "void f(int n, int m) { for (int i = 0; i < n; i += m) { } }",
+                LoopShape::NonConstantStride,
+            ),
+        ];
+        for (src, expected) in cases {
+            let ast = parse(src).unwrap();
+            assert_eq!(
+                classify_for(&ast, first_for(&ast), &env),
+                Err(*expected),
+                "{src}"
+            );
+        }
+        let ok = parse("void f() { for (int i = 0; i < 8; i++) { } }").unwrap();
+        assert!(classify_for(&ok, first_for(&ok), &env).is_ok());
+        // Non-ForStmt nodes classify as NotAForLoop rather than panicking.
+        let root = ok.root();
+        assert_eq!(classify_for(&ok, root, &env), Err(LoopShape::NotAForLoop));
+    }
+
+    #[test]
+    fn loop_nest_records_shape_for_opaque_levels() {
+        let src = r#"
+            void f(int n, int m) {
+                for (int i = 0; i < 8; i++) {
+                    for (int j = 0; j < n; j += m) { }
+                }
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        let nest = loop_nest(&ast, first_for(&ast), &ConstEnv::new());
+        assert_eq!(nest.len(), 2);
+        assert!(nest[0].info.is_some() && nest[0].shape.is_none());
+        assert!(nest[1].info.is_none());
+        assert_eq!(nest[1].shape, Some(LoopShape::NonConstantStride));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! * `OMP*Directive` children: `[associated statement]`.
 
 use crate::omp::OmpDirective;
+use crate::token::SourceLocation;
 use serde::{Deserialize, Serialize};
 
 /// Index of a node inside an [`Ast`] arena.
@@ -218,6 +219,10 @@ pub struct NodeData {
     pub omp: Option<OmpDirective>,
     /// True for unary/compound operators in postfix position (`i++`).
     pub postfix: bool,
+    /// Source location of the token that introduced the node, when the
+    /// parser recorded one. Used by diagnostics to point at the offending
+    /// construct.
+    pub loc: Option<SourceLocation>,
 }
 
 /// One AST node in the arena.

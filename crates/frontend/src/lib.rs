@@ -29,8 +29,10 @@ pub mod printer;
 pub mod symbols;
 pub mod token;
 
+pub use analysis::{classify_for, LoopInfo, LoopShape};
 pub use ast::{Ast, AstKind, AstNode, NodeData, NodeId};
 pub use error::FrontendError;
 pub use omp::{MapDirection, OmpClause, OmpDirective, OmpDirectiveKind, ScheduleKind};
 pub use parser::parse;
 pub use symbols::{resolve, SymbolTable};
+pub use token::SourceLocation;

@@ -114,8 +114,14 @@ pub enum OmpClause {
     FirstPrivate(Vec<String>),
     /// `shared(var, ...)`
     Shared(Vec<String>),
-    /// Any clause we do not model, preserved verbatim.
+    /// A clause we recognise but do not model (e.g. `nowait`, `ordered`),
+    /// preserved verbatim.
     Other(String),
+    /// A clause we do not recognise at all, or a known clause whose
+    /// arguments failed to parse (e.g. `collapse(abc)`), preserved verbatim.
+    /// Analysis passes surface these as warning diagnostics instead of
+    /// silently dropping them.
+    Unknown(String),
 }
 
 /// A parsed OpenMP directive: its kind plus its clause list.
@@ -277,6 +283,43 @@ fn clause_args(clause: &str) -> Option<&str> {
     clause.get(open + 1..close)
 }
 
+/// Clause names that are valid OpenMP but outside the modelled vocabulary.
+/// They parse to [`OmpClause::Other`] (recognised, unmodelled); anything not
+/// in this list or the modelled set parses to [`OmpClause::Unknown`].
+const KNOWN_UNMODELED_CLAUSES: &[&str] = &[
+    "nowait",
+    "untied",
+    "ordered",
+    "default",
+    "device",
+    "if",
+    "proc_bind",
+    "lastprivate",
+    "linear",
+    "aligned",
+    "safelen",
+    "simdlen",
+    "depend",
+    "dist_schedule",
+    "defaultmap",
+    "mergeable",
+    "final",
+    "priority",
+    "grainsize",
+    "num_tasks",
+    "copyin",
+    "copyprivate",
+    "allocate",
+    "uses_allocators",
+    "is_device_ptr",
+    "use_device_ptr",
+    "use_device_addr",
+    "hint",
+    "bind",
+    "filter",
+    "nontemporal",
+];
+
 fn parse_clause(clause: &str) -> OmpClause {
     let name = clause.split('(').next().unwrap_or("").trim().to_lowercase();
     let args = clause_args(clause).unwrap_or("").trim();
@@ -284,19 +327,19 @@ fn parse_clause(clause: &str) -> OmpClause {
         "collapse" => args
             .parse::<u32>()
             .map(OmpClause::Collapse)
-            .unwrap_or_else(|_| OmpClause::Other(clause.to_string())),
+            .unwrap_or_else(|_| OmpClause::Unknown(clause.to_string())),
         "num_threads" => args
             .parse::<u64>()
             .map(OmpClause::NumThreads)
-            .unwrap_or_else(|_| OmpClause::Other(clause.to_string())),
+            .unwrap_or_else(|_| OmpClause::Unknown(clause.to_string())),
         "num_teams" => args
             .parse::<u64>()
             .map(OmpClause::NumTeams)
-            .unwrap_or_else(|_| OmpClause::Other(clause.to_string())),
+            .unwrap_or_else(|_| OmpClause::Unknown(clause.to_string())),
         "thread_limit" => args
             .parse::<u64>()
             .map(OmpClause::ThreadLimit)
-            .unwrap_or_else(|_| OmpClause::Other(clause.to_string())),
+            .unwrap_or_else(|_| OmpClause::Unknown(clause.to_string())),
         "schedule" => {
             let mut parts = args.split(',').map(|p| p.trim());
             let kind = match parts.next().unwrap_or("").to_lowercase().as_str() {
@@ -304,7 +347,7 @@ fn parse_clause(clause: &str) -> OmpClause {
                 "dynamic" => ScheduleKind::Dynamic,
                 "guided" => ScheduleKind::Guided,
                 "auto" => ScheduleKind::Auto,
-                _ => return OmpClause::Other(clause.to_string()),
+                _ => return OmpClause::Unknown(clause.to_string()),
             };
             let chunk = parts.next().and_then(|c| c.parse::<u64>().ok());
             OmpClause::Schedule(kind, chunk)
@@ -334,7 +377,10 @@ fn parse_clause(clause: &str) -> OmpClause {
         "private" => OmpClause::Private(split_top_level_commas(args)),
         "firstprivate" => OmpClause::FirstPrivate(split_top_level_commas(args)),
         "shared" => OmpClause::Shared(split_top_level_commas(args)),
-        _ => OmpClause::Other(clause.to_string()),
+        _ if KNOWN_UNMODELED_CLAUSES.contains(&name.as_str()) => {
+            OmpClause::Other(clause.to_string())
+        }
+        _ => OmpClause::Unknown(clause.to_string()),
     }
 }
 
@@ -450,6 +496,32 @@ mod tests {
             .clauses
             .iter()
             .any(|c| matches!(c, OmpClause::Other(text) if text == "nowait")));
+    }
+
+    #[test]
+    fn unrecognised_clause_becomes_unknown() {
+        let d = parse_pragma("parallel for frobnicate(3)");
+        assert!(d
+            .clauses
+            .iter()
+            .any(|c| matches!(c, OmpClause::Unknown(text) if text == "frobnicate(3)")));
+    }
+
+    #[test]
+    fn malformed_known_clause_becomes_unknown() {
+        let d = parse_pragma("parallel for collapse(abc) num_threads(-2) schedule(chaotic)");
+        let unknowns: Vec<&str> = d
+            .clauses
+            .iter()
+            .filter_map(|c| match c {
+                OmpClause::Unknown(text) => Some(text.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            unknowns,
+            vec!["collapse(abc)", "num_threads(-2)", "schedule(chaotic)"]
+        );
     }
 
     #[test]

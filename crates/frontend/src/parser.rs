@@ -64,6 +64,11 @@ impl Parser {
         matches!(self.peek(), TokenKind::Eof)
     }
 
+    /// Record `loc` as the source location of node `id`.
+    fn stamp(&mut self, id: NodeId, loc: SourceLocation) {
+        self.ast.node_mut(id).data.loc = Some(loc);
+    }
+
     fn check_punct(&self, p: Punct) -> bool {
         matches!(self.peek(), TokenKind::Punct(q) if *q == p)
     }
@@ -166,6 +171,7 @@ impl Parser {
         return_ty: String,
         name: String,
     ) -> Result<(), FrontendError> {
+        let loc = self.location();
         let func = self.ast.add_node(
             AstKind::FunctionDecl,
             NodeData {
@@ -174,6 +180,7 @@ impl Parser {
                 ..NodeData::default()
             },
         );
+        self.stamp(func, loc);
         self.ast.attach(parent, func);
         self.expect_punct(Punct::LParen)?;
         if !self.check_punct(Punct::RParen) {
@@ -203,6 +210,7 @@ impl Parser {
                         }
                         self.expect_punct(Punct::RBracket)?;
                     }
+                    let parm_loc = self.location();
                     let parm = self.ast.add_node(
                         AstKind::ParmVarDecl,
                         NodeData {
@@ -212,6 +220,7 @@ impl Parser {
                             ..NodeData::default()
                         },
                     );
+                    self.stamp(parm, parm_loc);
                     self.ast.attach(func, parm);
                     if !self.eat_punct(Punct::Comma) {
                         break;
@@ -286,6 +295,15 @@ impl Parser {
     }
 
     fn parse_statement(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
+        let loc = self.location();
+        let id = self.parse_statement_inner(parent)?;
+        if self.ast.node(id).data.loc.is_none() {
+            self.stamp(id, loc);
+        }
+        Ok(id)
+    }
+
+    fn parse_statement_inner(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
         match self.peek().clone() {
             TokenKind::OmpPragma(text) => {
                 self.bump();
@@ -384,6 +402,7 @@ impl Parser {
         ty: &str,
         name: String,
     ) -> Result<NodeId, FrontendError> {
+        let loc = self.location();
         let var = self.ast.add_node(
             AstKind::VarDecl,
             NodeData {
@@ -392,6 +411,7 @@ impl Parser {
                 ..NodeData::default()
             },
         );
+        self.stamp(var, loc);
         self.ast.attach(decl_stmt, var);
         let mut dims = Vec::new();
         while self.eat_punct(Punct::LBracket) {
@@ -547,9 +567,11 @@ impl Parser {
         };
         match op {
             Some((spelling, kind)) => {
+                let loc = self.location();
                 self.bump();
                 let rhs = self.parse_assignment_detached()?;
                 let node = self.ast.add_node(kind, NodeData::op(spelling));
+                self.stamp(node, loc);
                 self.ast.attach(node, lhs);
                 self.ast.attach(node, rhs);
                 Ok(node)
@@ -607,11 +629,13 @@ impl Parser {
             _ => None,
         };
         while let Some((prec, spelling)) = next_op(self) {
+            let loc = self.location();
             self.bump();
             let rhs = self.parse_binary_detached(prec + 1)?;
             let node = self
                 .ast
                 .add_node(AstKind::BinaryOperator, NodeData::op(spelling));
+            self.stamp(node, loc);
             self.ast.attach(node, lhs);
             self.ast.attach(node, rhs);
             lhs = node;
@@ -632,9 +656,11 @@ impl Parser {
             _ => None,
         };
         if let Some(op) = prefix {
+            let loc = self.location();
             self.bump();
             let operand = self.parse_unary_detached()?;
             let node = self.ast.add_node(AstKind::UnaryOperator, NodeData::op(op));
+            self.stamp(node, loc);
             self.ast.attach(node, operand);
             return Ok(node);
         }
@@ -684,10 +710,12 @@ impl Parser {
     fn parse_postfix_detached(&mut self) -> Result<NodeId, FrontendError> {
         let mut expr = self.parse_primary_detached()?;
         loop {
+            let loc = self.location();
             match self.peek() {
                 TokenKind::Punct(Punct::LParen) => {
                     self.bump();
                     let call = self.ast.add_simple(AstKind::CallExpr);
+                    self.stamp(call, loc);
                     self.ast.attach(call, expr);
                     if !self.check_punct(Punct::RParen) {
                         loop {
@@ -703,6 +731,7 @@ impl Parser {
                 TokenKind::Punct(Punct::LBracket) => {
                     self.bump();
                     let subscript = self.ast.add_simple(AstKind::ArraySubscriptExpr);
+                    self.stamp(subscript, loc);
                     self.ast.attach(subscript, expr);
                     self.parse_expression(subscript)?;
                     self.expect_punct(Punct::RBracket)?;
@@ -738,6 +767,7 @@ impl Parser {
                             ..NodeData::default()
                         },
                     );
+                    self.stamp(node, loc);
                     self.ast.attach(node, expr);
                     expr = node;
                 }
@@ -748,6 +778,7 @@ impl Parser {
     }
 
     fn parse_primary_detached(&mut self) -> Result<NodeId, FrontendError> {
+        let loc = self.location();
         match self.bump() {
             TokenKind::Identifier(name) => {
                 // As in Figure 2 of the paper, references to declared
@@ -756,16 +787,26 @@ impl Parser {
                 let dre = self
                     .ast
                     .add_node(AstKind::DeclRefExpr, NodeData::named(name));
+                self.stamp(dre, loc);
                 let cast = self.ast.add_simple(AstKind::ImplicitCastExpr);
+                self.stamp(cast, loc);
                 self.ast.attach(cast, dre);
                 Ok(cast)
             }
-            TokenKind::IntLiteral(value) => Ok(self
-                .ast
-                .add_node(AstKind::IntegerLiteral, NodeData::int(value))),
-            TokenKind::FloatLiteral(value) => Ok(self
-                .ast
-                .add_node(AstKind::FloatingLiteral, NodeData::float(value))),
+            TokenKind::IntLiteral(value) => {
+                let node = self
+                    .ast
+                    .add_node(AstKind::IntegerLiteral, NodeData::int(value));
+                self.stamp(node, loc);
+                Ok(node)
+            }
+            TokenKind::FloatLiteral(value) => {
+                let node = self
+                    .ast
+                    .add_node(AstKind::FloatingLiteral, NodeData::float(value));
+                self.stamp(node, loc);
+                Ok(node)
+            }
             TokenKind::StringLiteral(text) => Ok(self.ast.add_node(
                 AstKind::StringLiteral,
                 NodeData {
@@ -1027,6 +1068,25 @@ mod tests {
     fn error_on_garbage_top_level() {
         assert!(parse("42;").is_err());
         assert!(parse("+").is_err());
+    }
+
+    #[test]
+    fn statements_and_writes_carry_source_locations() {
+        let src = "void f(float *a, int n) {\n    for (int i = 0; i < n; i++) {\n        a[i] = a[i] + 1.0;\n    }\n}\n";
+        let ast = parse(src).unwrap();
+        let for_stmt = ast.find_first(AstKind::ForStmt).unwrap();
+        let for_loc = ast.node(for_stmt).data.loc.unwrap();
+        assert_eq!(for_loc.line, 2);
+        let assign = ast
+            .find_all(AstKind::BinaryOperator)
+            .into_iter()
+            .find(|&id| ast.node(id).data.opcode.as_deref() == Some("="))
+            .unwrap();
+        assert_eq!(ast.node(assign).data.loc.unwrap().line, 3);
+        let subscript = ast.find_first(AstKind::ArraySubscriptExpr).unwrap();
+        assert_eq!(ast.node(subscript).data.loc.unwrap().line, 3);
+        let dre = ast.find_first(AstKind::DeclRefExpr).unwrap();
+        assert!(ast.node(dre).data.loc.is_some());
     }
 
     #[test]

@@ -73,7 +73,7 @@ fn print_clause(clause: &OmpClause) -> String {
         OmpClause::Private(vars) => format!("private({})", vars.join(", ")),
         OmpClause::FirstPrivate(vars) => format!("firstprivate({})", vars.join(", ")),
         OmpClause::Shared(vars) => format!("shared({})", vars.join(", ")),
-        OmpClause::Other(text) => text.clone(),
+        OmpClause::Other(text) | OmpClause::Unknown(text) => text.clone(),
     }
 }
 

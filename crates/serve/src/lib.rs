@@ -52,7 +52,7 @@ pub mod server;
 pub mod signal;
 
 pub use batcher::{BatchConfig, MicroBatcher};
-pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use metrics::{MetricsSnapshot, RuleCount, ServeMetrics};
 pub use server::{ServeConfig, Server};
 pub use signal::{install_termination_handler, termination_requested};
 

@@ -5,8 +5,12 @@
 //! synchronization — and a [`MetricsSnapshot`] is a plain copy that the
 //! `/metrics` endpoint renders in Prometheus text exposition format.
 
+use pg_analyze::{Diagnostic, RULE_IDS};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of distinct static-analysis rules ([`pg_analyze::RULE_IDS`]).
+const RULE_COUNT: usize = RULE_IDS.len();
 
 /// Live counters shared by the listener, the connection workers and the
 /// micro-batcher.
@@ -44,10 +48,25 @@ pub struct ServeMetrics {
     pub(crate) coalesced_batches: AtomicU64,
     /// Largest batch executed so far.
     pub(crate) max_batch_size: AtomicU64,
+    /// Variants pruned as provable races by the legality gate, across
+    /// `/advise` and `/tune`.
+    pub(crate) analyze_race_pruned: AtomicU64,
+    /// Static-analysis diagnostics by rule, indexed like
+    /// [`pg_analyze::RULE_IDS`].
+    pub(crate) analyze_rule_counts: [AtomicU64; RULE_COUNT],
+}
+
+/// Diagnostics tallied against one static-analysis rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Default)]
+pub struct RuleCount {
+    /// Stable rule id (one of [`pg_analyze::RULE_IDS`]).
+    pub rule: String,
+    /// Diagnostics of this rule surfaced so far.
+    pub count: u64,
 }
 
 /// A point-in-time copy of every counter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Default)]
 pub struct MetricsSnapshot {
     /// HTTP requests received, any route.
     pub http_requests: u64,
@@ -80,6 +99,11 @@ pub struct MetricsSnapshot {
     pub coalesced_batches: u64,
     /// Largest batch executed.
     pub max_batch_size: u64,
+    /// Variants pruned as provable races by the legality gate.
+    pub analyze_race_pruned: u64,
+    /// Static-analysis diagnostics by rule, in [`pg_analyze::RULE_IDS`]
+    /// order (every rule is present, zero or not).
+    pub analyze_rule_counts: Vec<RuleCount>,
 }
 
 impl ServeMetrics {
@@ -93,6 +117,19 @@ impl ServeMetrics {
         }
         self.max_batch_size
             .fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    /// Record the static-analysis outcome of one served request: every
+    /// surfaced diagnostic tallies against its rule, and `race_pruned`
+    /// counts variants the legality gate removed.
+    pub(crate) fn record_analysis(&self, diagnostics: &[Diagnostic], race_pruned: u64) {
+        self.analyze_race_pruned
+            .fetch_add(race_pruned, Ordering::Relaxed);
+        for diag in diagnostics {
+            if let Some(idx) = RULE_IDS.iter().position(|&id| id == diag.rule) {
+                self.analyze_rule_counts[idx].fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Copy every counter.
@@ -113,6 +150,15 @@ impl ServeMetrics {
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
             max_batch_size: self.max_batch_size.load(Ordering::Relaxed),
+            analyze_race_pruned: self.analyze_race_pruned.load(Ordering::Relaxed),
+            analyze_rule_counts: RULE_IDS
+                .iter()
+                .zip(&self.analyze_rule_counts)
+                .map(|(&rule, count)| RuleCount {
+                    rule: rule.to_string(),
+                    count: count.load(Ordering::Relaxed),
+                })
+                .collect(),
         }
     }
 }
@@ -186,6 +232,21 @@ impl MetricsSnapshot {
             "Batches that coalesced more than one request",
             self.coalesced_batches,
         );
+        counter(
+            "analyze_race_pruned_total",
+            "Variants pruned as provable races by the legality gate",
+            self.analyze_race_pruned,
+        );
+        out.push_str(
+            "# HELP paragraph_serve_analyze_rule_total Static-analysis diagnostics by rule\n\
+             # TYPE paragraph_serve_analyze_rule_total counter\n",
+        );
+        for rule in &self.analyze_rule_counts {
+            out.push_str(&format!(
+                "paragraph_serve_analyze_rule_total{{rule=\"{}\"}} {}\n",
+                rule.rule, rule.count
+            ));
+        }
         out.push_str(&format!(
             "# HELP paragraph_serve_in_flight POST requests (advise + tune) currently in flight\n\
              # TYPE paragraph_serve_in_flight gauge\n\
@@ -236,9 +297,48 @@ mod tests {
             "paragraph_serve_coalesced_batches_total",
             "paragraph_serve_max_batch_size",
             "paragraph_serve_in_flight",
+            "paragraph_serve_analyze_race_pruned_total",
+            "paragraph_serve_analyze_rule_total",
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
         assert!(text.contains("paragraph_serve_max_batch_size 4"));
+    }
+
+    #[test]
+    fn analysis_accounting_tallies_rules_and_pruned_variants() {
+        use pg_analyze::{Diagnostic, Severity};
+        let metrics = ServeMetrics::default();
+        let diag = |rule: &str| Diagnostic {
+            rule: rule.to_string(),
+            severity: Severity::Warning,
+            span: None,
+            message: "x".to_string(),
+        };
+        metrics.record_analysis(
+            &[
+                diag("loop-carried-dependence"),
+                diag("unknown-clause"),
+                diag("loop-carried-dependence"),
+                diag("not-a-registered-rule"), // ignored, never panics
+            ],
+            3,
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.analyze_race_pruned, 3);
+        let count_of = |rule: &str| {
+            snap.analyze_rule_counts
+                .iter()
+                .find(|r| r.rule == rule)
+                .map(|r| r.count)
+        };
+        assert_eq!(count_of("loop-carried-dependence"), Some(2));
+        assert_eq!(count_of("unknown-clause"), Some(1));
+        assert_eq!(count_of("shared-scalar-race"), Some(0));
+        let text = snap.to_prometheus();
+        assert!(
+            text.contains("paragraph_serve_analyze_rule_total{rule=\"loop-carried-dependence\"} 2")
+        );
+        assert!(text.contains("paragraph_serve_analyze_race_pruned_total 3"));
     }
 }

@@ -401,6 +401,9 @@ fn advise(shared: &Shared, body: &[u8]) -> Response {
         Ok(report) => match serde_json::to_string(&report) {
             Ok(json) => {
                 shared.metrics.advise_ok.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .record_analysis(&report.diagnostics, report.race_pruned.len() as u64);
                 Response::json(200, json)
             }
             Err(error) => {
@@ -462,6 +465,9 @@ fn tune(shared: &Shared, body: &[u8]) -> Response {
         Ok(report) => match serde_json::to_string(&report) {
             Ok(json) => {
                 shared.metrics.tune_ok.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .record_analysis(&[], report.space.race_pruned);
                 Response::json(200, json)
             }
             Err(error) => {

@@ -255,3 +255,55 @@ fn tune_over_http_is_bit_identical_to_direct_engine_tune_and_counted() {
     assert_eq!(metrics.tune_failed, 0);
     assert_eq!(metrics.in_flight, 0);
 }
+
+/// The legality gate over the wire: a known-racy raw source POSTed to
+/// `/advise` still answers with ranked variants (raw sources are
+/// diagnosed, never pruned), the response carries the race diagnostics,
+/// and `/metrics` exports the per-rule counter.
+#[test]
+fn racy_raw_source_advise_reports_diagnostics_over_http() {
+    let engine = Arc::new(Engine::builder().platform(PLATFORM).build());
+    let server = Server::start(Arc::clone(&engine), ServeConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let request = AdviseRequest::source(
+        "e2e/scan",
+        "void scan(float *a) {\n\
+         #pragma omp parallel for\n\
+         for (int i = 1; i < 65536; i++) { a[i] = a[i - 1]; }\n}",
+    );
+    let json = serde_json::to_string(&request).unwrap();
+    let (status, body) = post_advise(addr, &json);
+    assert_eq!(status, 200, "{body}");
+    let report: AdviseReport = serde_json::from_str(&body).unwrap();
+    assert!(!report.rankings.is_empty());
+    assert!(report.race_pruned.is_empty());
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "loop-carried-dependence"),
+        "diagnostics missing the race: {:?}",
+        report.diagnostics
+    );
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: e2e\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut metrics_text = String::new();
+    stream.read_to_string(&mut metrics_text).unwrap();
+    let line = metrics_text
+        .lines()
+        .find(|l| {
+            l.starts_with("paragraph_serve_analyze_rule_total{rule=\"loop-carried-dependence\"}")
+        })
+        .unwrap_or_else(|| panic!("metrics missing the rule counter:\n{metrics_text}"));
+    let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(count >= 1, "rule counter never incremented: {line}");
+
+    let snapshot = server.shutdown();
+    // Raw sources are never pruned, so the pruned counter stays at zero
+    // even though diagnostics were recorded.
+    assert_eq!(snapshot.analyze_race_pruned, 0);
+}

@@ -18,6 +18,14 @@ pub enum TuneError {
     },
     /// The launch budget spans no launch configuration.
     EmptyBudget,
+    /// The static legality gate rejected every applicable variant as a data
+    /// race, leaving nothing to search.
+    AllVariantsRace {
+        /// The requested kernel.
+        kernel: String,
+        /// The race reason of the first rejected variant.
+        reason: String,
+    },
     /// The budget could not afford a single launch point, so the search
     /// evaluated nothing: either `max_generations` is zero, or
     /// `max_evaluations` is below the cost of one point (one prediction per
@@ -46,6 +54,10 @@ impl std::fmt::Display for TuneError {
                 platform.name()
             ),
             TuneError::EmptyBudget => write!(f, "the launch budget spans no launch configuration"),
+            TuneError::AllVariantsRace { kernel, reason } => write!(
+                f,
+                "every variant of `{kernel}` was rejected by the legality gate: {reason}"
+            ),
             TuneError::NothingEvaluated {
                 point_cost,
                 max_evaluations,

@@ -129,6 +129,7 @@ impl TuneEngine for Engine {
                     .candidates()
                     .saturating_sub(evaluated)
                     .saturating_sub(eval.failed()),
+                race_pruned: space.race_pruned,
             },
             trajectory: eval.trajectory().to_vec(),
             wall_ms: started.elapsed().as_secs_f64() * 1e3,

@@ -192,6 +192,10 @@ pub struct SpaceAccounting {
     pub failed: u64,
     /// Candidates never attempted (`candidates − evaluated − failed`).
     pub pruned: u64,
+    /// Variants the static legality gate removed before the search started
+    /// (these never enter `candidates` at all — no budget is spent on a
+    /// provable race). Always 0 for the shipped catalogue.
+    pub race_pruned: u64,
 }
 
 /// The tuner's answer: the winning candidate plus full search accounting.
@@ -274,6 +278,7 @@ mod tests {
                 evaluated: 20,
                 failed: 0,
                 pruned: 16,
+                race_pruned: 0,
             },
             trajectory: vec![TrajectoryPoint {
                 generation: 1,

@@ -13,6 +13,7 @@
 
 use crate::error::TuneError;
 use pg_advisor::{LaunchConfig, ParallelismBudget, Variant};
+use pg_analyze::LegalityVerdict;
 use pg_engine::LaunchBudget;
 use pg_kernels::KernelTemplate;
 use pg_perfsim::Platform;
@@ -48,6 +49,10 @@ pub struct SearchSpace {
     pub teams_axis: Vec<u64>,
     /// Thread-count axis of the launch grid.
     pub threads_axis: Vec<u64>,
+    /// Variants the static legality gate removed before the search started
+    /// (provable data races never enter the space, so no budget is spent on
+    /// them). Always 0 for the shipped catalogue.
+    pub race_pruned: u64,
 }
 
 impl SearchSpace {
@@ -62,13 +67,28 @@ impl SearchSpace {
     ) -> Result<SearchSpace, TuneError> {
         let kernel = pg_kernels::find_kernel(kernel_name)
             .ok_or_else(|| TuneError::UnknownKernel(kernel_name.to_string()))?;
+        Self::build_for_template(kernel, platform, sizes, budget)
+    }
+
+    /// [`SearchSpace::build`] for a caller-supplied template (a modified
+    /// catalogue kernel, a hand-written one). The same legality gate
+    /// applies: variants whose instantiated source the analysis proves racy
+    /// are removed from the space before any budget is spent, and counted
+    /// in [`SearchSpace::race_pruned`].
+    pub fn build_for_template(
+        kernel: KernelTemplate,
+        platform: Platform,
+        sizes: Option<HashMap<String, i64>>,
+        budget: &LaunchBudget,
+    ) -> Result<SearchSpace, TuneError> {
+        let kernel_name = kernel.full_name();
         let variants: Vec<Variant> = Variant::applicable_variants(&kernel)
             .into_iter()
             .filter(|v| v.is_gpu() == platform.is_gpu())
             .collect();
         if variants.is_empty() {
             return Err(TuneError::NoApplicableVariants {
-                kernel: kernel_name.to_string(),
+                kernel: kernel_name,
                 platform,
             });
         }
@@ -80,13 +100,42 @@ impl SearchSpace {
         if teams_axis.is_empty() || threads_axis.is_empty() {
             return Err(TuneError::EmptyBudget);
         }
+        // Legality gate: assess each variant once at the grid origin —
+        // launch clauses (num_teams / thread_limit / schedule) never change
+        // legality, so one launch point stands in for the whole grid.
+        let probe_launch = LaunchConfig {
+            teams: teams_axis[0],
+            threads: threads_axis[0],
+        };
+        let effective_sizes = sizes.clone().unwrap_or_else(|| kernel.default_sizes());
+        let mut admitted = Vec::with_capacity(variants.len());
+        let mut race_pruned = 0u64;
+        let mut first_reason: Option<String> = None;
+        for variant in variants {
+            let instance =
+                pg_advisor::instantiate(&kernel, variant, &effective_sizes, probe_launch);
+            let report = pg_advisor::assess_instance(&instance);
+            if let LegalityVerdict::Race(reason) = report.verdict {
+                race_pruned += 1;
+                first_reason.get_or_insert(reason);
+            } else {
+                admitted.push(variant);
+            }
+        }
+        if admitted.is_empty() {
+            return Err(TuneError::AllVariantsRace {
+                kernel: kernel_name,
+                reason: first_reason.unwrap_or_default(),
+            });
+        }
         Ok(SearchSpace {
             kernel,
             platform,
             sizes,
-            variants,
+            variants: admitted,
             teams_axis,
             threads_axis,
+            race_pruned,
         })
     }
 
@@ -299,6 +348,39 @@ mod tests {
         .unwrap();
         assert_eq!(tiny.seed_points().len(), 1);
         assert!(tiny.neighbors(tiny.seed_points()[0]).is_empty());
+    }
+
+    #[test]
+    fn catalogue_spaces_are_never_race_pruned() {
+        assert_eq!(space().race_pruned, 0);
+    }
+
+    #[test]
+    fn racy_template_variants_are_pruned_from_the_space() {
+        // A mutant of the catalogue matmul whose store reads the next
+        // parallel row: every variant of it is a provable race, so the
+        // space cannot be built at all.
+        let mut mutant = pg_kernels::find_kernel("MM/matmul").unwrap();
+        mutant.source = Box::leak(
+            mutant
+                .source
+                .replace("= sum;", "= sum + c[(i + 1) * {{N}} + j];")
+                .into_boxed_str(),
+        );
+        let err = SearchSpace::build_for_template(
+            mutant,
+            Platform::SummitV100,
+            None,
+            &LaunchBudget::PlatformDefault,
+        )
+        .unwrap_err();
+        match err {
+            TuneError::AllVariantsRace { kernel, reason } => {
+                assert_eq!(kernel, "MM/matmul");
+                assert!(reason.contains("loop-carried-dependence"), "{reason}");
+            }
+            other => panic!("expected AllVariantsRace, got {other:?}"),
+        }
     }
 
     #[test]

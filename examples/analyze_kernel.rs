@@ -1,0 +1,72 @@
+//! Run the static legality analysis over the full kernel catalogue — every
+//! Table I kernel × every applicable variant at default sizes — and print a
+//! verdict table. Exits non-zero if any shipped variant is rejected as a race
+//! (after the documented per-kernel tolerances), which is how CI pins the
+//! catalogue as analysis-clean.
+//!
+//! Run with: `cargo run --release --example analyze_kernel [kernel-full-name]`
+
+use paragraph::advisor::{instantiate, LaunchConfig, Variant};
+use paragraph::analyze::{analyze_source_tolerant, catalogue_tolerances, LegalityVerdict};
+use paragraph::kernels::all_kernels;
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    let kernels = all_kernels();
+    let launch = LaunchConfig {
+        teams: 80,
+        threads: 128,
+    };
+
+    let mut analysed = 0usize;
+    let mut safe = 0usize;
+    let mut with_clauses = 0usize;
+    let mut unexpected_races = Vec::new();
+
+    for kernel in &kernels {
+        let full_name = kernel.full_name();
+        if let Some(f) = &filter {
+            if !full_name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let sizes = kernel.default_sizes();
+        let tolerated = catalogue_tolerances(&full_name);
+        for variant in Variant::applicable_variants(kernel) {
+            let instance = instantiate(kernel, variant, &sizes, launch);
+            let report = analyze_source_tolerant(&instance.source, tolerated);
+            analysed += 1;
+            let (tag, detail) = match &report.verdict {
+                LegalityVerdict::Safe => {
+                    safe += 1;
+                    ("safe", String::new())
+                }
+                LegalityVerdict::SafeWithClauses(clauses) => {
+                    with_clauses += 1;
+                    ("safe+clauses", clauses.join(" "))
+                }
+                LegalityVerdict::Race(reason) => {
+                    unexpected_races.push(format!("{full_name} [{variant:?}]: {reason}"));
+                    ("RACE", reason.clone())
+                }
+            };
+            let warnings = report.warnings().count();
+            println!(
+                "{full_name:<28} {variant:<14} {tag:<12} warnings={warnings} {detail}",
+                variant = format!("{variant:?}"),
+            );
+        }
+    }
+
+    println!(
+        "\n{analysed} variants analysed: {safe} safe, {with_clauses} safe-with-clauses, {} races",
+        unexpected_races.len()
+    );
+    if !unexpected_races.is_empty() {
+        eprintln!("\nunexpected races in shipped catalogue variants:");
+        for race in &unexpected_races {
+            eprintln!("  {race}");
+        }
+        std::process::exit(1);
+    }
+}

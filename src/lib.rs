@@ -10,6 +10,8 @@
 //! * [`core`] — the ParaGraph weighted graph representation itself,
 //! * [`kernels`] — the Table I benchmark applications as source templates,
 //! * [`advisor`] — kernel variant generation (cpu / gpu / collapse / mem),
+//! * [`analyze`] — static loop-dependence / data-race analysis that gates
+//!   every variant the advisor proposes (diagnostics + legality verdicts),
 //! * [`perfsim`] — the analytical accelerator simulator used as the runtime
 //!   "measurement" step,
 //! * [`dataset`] — the end-to-end labelled-dataset pipeline,
@@ -41,6 +43,9 @@ pub use pg_kernels as kernels;
 
 /// OpenMP Advisor substitute: variant generation and pragma rewriting.
 pub use pg_advisor as advisor;
+
+/// Static loop-dependence and data-race analysis gating proposed variants.
+pub use pg_analyze as analyze;
 
 /// Accelerator performance simulator (Summit/Corona substitute).
 pub use pg_perfsim as perfsim;
