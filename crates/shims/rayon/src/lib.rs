@@ -243,6 +243,49 @@ impl<'a, T: Send + Sync> ParChunksMut<'a, T> {
             pairs: self.chunks.into_iter().zip(other.chunks).collect(),
         }
     }
+
+    /// Pair every mutable chunk with its index, mirroring rayon's
+    /// `IndexedParallelIterator::enumerate`.
+    pub fn enumerate(self) -> ParEnumerateChunksMut<'a, T> {
+        ParEnumerateChunksMut {
+            chunks: self.chunks.into_iter().enumerate().collect(),
+        }
+    }
+}
+
+/// Index-tagged mutable chunks.
+pub struct ParEnumerateChunksMut<'a, T> {
+    chunks: Vec<(usize, &'a mut [T])>,
+}
+
+impl<T: Send + Sync> ParEnumerateChunksMut<'_, T> {
+    /// Apply `f` to every `(index, chunk)` pair across workers.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let mut chunks = self.chunks;
+        let workers = worker_count(chunks.len());
+        if workers <= 1 {
+            for (i, c) in chunks {
+                f((i, c));
+            }
+            return;
+        }
+        let chunk = chunks.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let f = &f;
+            while !chunks.is_empty() {
+                let batch: Vec<_> = chunks.drain(..chunk.min(chunks.len())).collect();
+                scope.spawn(move || {
+                    IN_WORKER.with(|flag| flag.set(true));
+                    for (i, c) in batch {
+                        f((i, c));
+                    }
+                });
+            }
+        });
+    }
 }
 
 /// Zipped (mutable chunk, shared chunk) pairs.
@@ -315,6 +358,19 @@ mod tests {
         assert_eq!(out[0], 1);
         assert_eq!(out[4], 2 + 3);
         assert_eq!(out[60], 30 + 31);
+    }
+
+    #[test]
+    fn enumerated_chunks_see_their_own_index() {
+        let mut out = vec![0usize; 120];
+        out.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i;
+            }
+        });
+        for (j, &v) in out.iter().enumerate() {
+            assert_eq!(v, j / 3);
+        }
     }
 
     #[test]

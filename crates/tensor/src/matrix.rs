@@ -135,7 +135,7 @@ fn matmul_row_tiled(row_a: &[f32], b: &[f32], n: usize, row_out: &mut [f32]) {
 /// accumulator array is the pattern LLVM's autovectorizer turns into packed
 /// SIMD madds without any unsafe or intrinsics.
 #[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let main = a.len() - a.len() % 8;
     let mut acc = [0.0f32; 8];
