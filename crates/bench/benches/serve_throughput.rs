@@ -12,7 +12,11 @@
 //!   call, the pre-serving baseline shape.
 //!
 //! Besides the criterion registration, the explicit pass records p50/p99
-//! latency and throughput to `BENCH_serve.json` at the repository root.
+//! latency and throughput to `BENCH_serve.json` at the repository root
+//! (schema 2: the schema-1 16-client batched/per-request comparison is
+//! kept verbatim, plus a `sweep` over 16/256/4096 concurrent keep-alive
+//! connections against the event loop, recording req/s, p50/p99, the
+//! coalesced-batch size histogram, and the server thread count).
 //! `PARAGRAPH_BENCH_SMOKE=1` runs tiny counts and skips the JSON rewrite.
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -21,7 +25,7 @@ use pg_dataset::{collect_platform, DatasetScale, PipelineConfig};
 use pg_engine::{AdviseRequest, Engine};
 use pg_gnn::{GnnBackend, TrainConfig, TrainedModel};
 use pg_perfsim::Platform;
-use pg_serve::{BatchConfig, MetricsSnapshot, ServeConfig, Server};
+use pg_serve::{BatchConfig, MetricsSnapshot, ServeConfig, Server, BATCH_SIZE_BUCKETS};
 use serde::Serialize;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -115,6 +119,7 @@ struct LoadOutcome {
     latencies_ms: Vec<f64>,
     wall_s: f64,
     metrics: MetricsSnapshot,
+    server_threads: usize,
 }
 
 /// Run `clients` closed-loop connections of `per_client` requests against
@@ -129,11 +134,13 @@ fn run_load(
         Arc::clone(engine),
         ServeConfig {
             max_inflight: clients * 2,
+            max_connections: clients + 64,
             batch,
             ..ServeConfig::default()
         },
     )
     .expect("bench server starts");
+    let server_threads = server.io_and_worker_threads();
     let addr = server.addr();
     let bodies = request_bodies();
     // Warm the engine's frontend cache so both configurations measure the
@@ -148,7 +155,11 @@ fn run_load(
             let bodies: Vec<String> = (0..bodies.len())
                 .map(|j| bodies[(i + j) % bodies.len()].clone())
                 .collect();
-            std::thread::spawn(move || closed_loop_client(addr, &bodies, per_client))
+            // Small stacks keep a 4096-client sweep point affordable.
+            std::thread::Builder::new()
+                .stack_size(256 * 1024)
+                .spawn(move || closed_loop_client(addr, &bodies, per_client))
+                .expect("spawn bench client")
         })
         .collect();
     let mut latencies_ms: Vec<f64> = Vec::with_capacity(clients * per_client);
@@ -161,6 +172,7 @@ fn run_load(
         latencies_ms,
         wall_s,
         metrics,
+        server_threads,
     }
 }
 
@@ -199,6 +211,48 @@ impl ConfigStats {
     }
 }
 
+/// One point of the concurrency sweep: the batched event-loop server under
+/// `clients` simultaneous keep-alive connections.
+#[derive(Serialize)]
+struct SweepPoint {
+    clients: usize,
+    requests: usize,
+    req_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    /// Coalesced-batch size histogram: count of batches with size <= the
+    /// matching entry of `batch_size_bounds`; the final slot is overflow.
+    batch_size_buckets: Vec<u64>,
+    coalesced_batches: u64,
+    max_batch_size: u64,
+    /// Server-side threads (1 event-loop + fixed worker pool) — constant
+    /// across the sweep; the connection count is carried by epoll, not
+    /// threads.
+    threads: usize,
+    connections_opened: u64,
+    connections_shed: u64,
+}
+
+impl SweepPoint {
+    fn of(clients: usize, outcome: &LoadOutcome) -> Self {
+        let mut sorted = outcome.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self {
+            clients,
+            requests: sorted.len(),
+            req_per_s: sorted.len() as f64 / outcome.wall_s.max(1e-9),
+            p50_ms: percentile(&sorted, 0.50),
+            p99_ms: percentile(&sorted, 0.99),
+            batch_size_buckets: outcome.metrics.batch_size_buckets.clone(),
+            coalesced_batches: outcome.metrics.coalesced_batches,
+            max_batch_size: outcome.metrics.max_batch_size,
+            threads: outcome.server_threads,
+            connections_opened: outcome.metrics.connections_opened,
+            connections_shed: outcome.metrics.connections_shed,
+        }
+    }
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     schema: u32,
@@ -209,6 +263,10 @@ struct BenchReport {
     batched: ConfigStats,
     per_request: ConfigStats,
     throughput_speedup: f64,
+    /// Bucket upper bounds for every `batch_size_buckets` vector below;
+    /// the vectors carry one extra overflow slot.
+    batch_size_bounds: Vec<u64>,
+    sweep: Vec<SweepPoint>,
 }
 
 fn record_json(c: &mut Criterion) {
@@ -246,8 +304,44 @@ fn record_json(c: &mut Criterion) {
     );
     assert_eq!(per_request.metrics.max_batch_size, 1);
 
+    // Concurrency sweep: same batched policy, rising connection counts.
+    // Per-client request counts shrink as the client count grows so every
+    // point issues a comparable total volume.
+    let sweep_points: &[(usize, usize)] = if smoke() {
+        &[(4, 5), (8, 4)]
+    } else {
+        &[(16, 60), (256, 16), (4096, 2)]
+    };
+    let sweep: Vec<SweepPoint> = sweep_points
+        .iter()
+        .map(|&(clients, per_client)| {
+            let outcome = run_load(
+                &engine,
+                BatchConfig {
+                    max_batch: 256,
+                    max_wait: Duration::from_millis(1),
+                    queue_depth: (clients * 4).max(1024),
+                },
+                clients,
+                per_client,
+            );
+            let point = SweepPoint::of(clients, &outcome);
+            println!(
+                "sweep {} clients: {:.0} req/s p50 {:.2}ms p99 {:.2}ms \
+                 (max batch {}, {} threads)",
+                point.clients,
+                point.req_per_s,
+                point.p50_ms,
+                point.p99_ms,
+                point.max_batch_size,
+                point.threads,
+            );
+            point
+        })
+        .collect();
+
     let report = BenchReport {
-        schema: 1,
+        schema: 2,
         platform: PLATFORM.name().to_string(),
         backend: "gnn".to_string(),
         clients,
@@ -256,6 +350,8 @@ fn record_json(c: &mut Criterion) {
         per_request: ConfigStats::of(&per_request),
         throughput_speedup: (batched.latencies_ms.len() as f64 / batched.wall_s)
             / (per_request.latencies_ms.len() as f64 / per_request.wall_s).max(1e-9),
+        batch_size_bounds: BATCH_SIZE_BUCKETS.to_vec(),
+        sweep,
     };
     println!(
         "serve load ({} clients x {} reqs): batched p50 {:.2}ms p99 {:.2}ms {:.0} req/s \

@@ -1,9 +1,15 @@
 //! The micro-batching scheduler: concurrent `/advise` requests coalesce
 //! into one [`Engine::advise_many`] call.
 //!
-//! Connection workers submit requests into a bounded queue and block on a
-//! per-request reply channel. A single scheduler thread drains the queue
-//! with an adaptive flush policy:
+//! Submission is asynchronous: [`MicroBatcher::submit`] enqueues a request
+//! together with a *responder* callback and returns immediately — the
+//! scheduler thread invokes the responder with the outcome after the batch
+//! executes. This is what decouples coalesced-batch size from thread
+//! count: the event-driven server's handful of workers can have hundreds
+//! of requests pending in one batch, because no thread blocks per request.
+//! (The synchronous [`MicroBatcher::advise`] wrapper still exists for
+//! callers that want to wait in place.) A single scheduler thread drains
+//! the queue with an adaptive flush policy:
 //!
 //! 1. **Backlog**: requests that queued while the previous batch executed
 //!    are drained (up to [`BatchConfig::max_batch`]) and flushed
@@ -28,7 +34,7 @@
 
 use crate::metrics::ServeMetrics;
 use crate::ServeError;
-use pg_engine::{AdviseReport, AdviseRequest, Engine, EngineError};
+use pg_engine::{AdviseReport, AdviseRequest, Engine};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -52,16 +58,25 @@ pub struct BatchConfig {
 impl Default for BatchConfig {
     fn default() -> Self {
         Self {
-            max_batch: 64,
+            // Sized for the event-driven server: thousands of keep-alive
+            // connections can have requests pending at once, and a deeper
+            // cap lets one `predict_batch` absorb them. (The pre-event-loop
+            // cap of 64 rarely filled because a blocked thread per request
+            // bounded the backlog at the worker count.)
+            max_batch: 256,
             max_wait: Duration::from_millis(1),
-            queue_depth: 1024,
+            queue_depth: 4096,
         }
     }
 }
 
+/// Callback invoked (exactly once, on the scheduler thread — or inline on
+/// refusal) with the outcome of a submitted request.
+pub type Responder = Box<dyn FnOnce(Result<AdviseReport, ServeError>) + Send>;
+
 struct Job {
     request: AdviseRequest,
-    reply: mpsc::Sender<Result<AdviseReport, EngineError>>,
+    responder: Responder,
 }
 
 struct Shared {
@@ -77,7 +92,7 @@ struct Shared {
 /// [`MicroBatcher::shutdown`] also drains (the thread is joined).
 pub struct MicroBatcher {
     shared: Arc<Shared>,
-    scheduler: Option<std::thread::JoinHandle<()>>,
+    scheduler: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl MicroBatcher {
@@ -90,6 +105,10 @@ impl MicroBatcher {
             config,
             metrics,
         });
+        shared
+            .metrics
+            .batch_capacity
+            .store(config.max_batch.max(1) as u64, Ordering::Relaxed);
         let worker_shared = Arc::clone(&shared);
         let scheduler = std::thread::Builder::new()
             .name("pg-serve-batcher".into())
@@ -97,31 +116,48 @@ impl MicroBatcher {
             .expect("spawning the batcher scheduler thread");
         Self {
             shared,
-            scheduler: Some(scheduler),
+            scheduler: Mutex::new(Some(scheduler)),
         }
+    }
+
+    /// Enqueue one request without blocking; `responder` is invoked exactly
+    /// once with the outcome — on the scheduler thread after the batch
+    /// executes, or inline (with `Overloaded`/`ShuttingDown`) when the
+    /// request is refused without queuing.
+    pub fn submit(&self, request: AdviseRequest, responder: Responder) {
+        let mut queue = self.shared.queue.lock().expect("batcher queue poisoned");
+        if self.shared.draining.load(Ordering::SeqCst) {
+            drop(queue);
+            responder(Err(ServeError::ShuttingDown));
+            return;
+        }
+        if queue.len() >= self.shared.config.queue_depth {
+            let in_flight = queue.len();
+            drop(queue);
+            responder(Err(ServeError::Overloaded {
+                in_flight,
+                limit: self.shared.config.queue_depth,
+            }));
+            return;
+        }
+        queue.push_back(Job { request, responder });
+        drop(queue);
+        self.shared.arrived.notify_one();
     }
 
     /// Submit one request and block until its batch executes. Refused
     /// (without queuing) when the batcher is draining or the queue is full.
     pub fn advise(&self, request: AdviseRequest) -> Result<AdviseReport, ServeError> {
         let (reply, result) = mpsc::channel();
-        {
-            let mut queue = self.shared.queue.lock().expect("batcher queue poisoned");
-            if self.shared.draining.load(Ordering::SeqCst) {
-                return Err(ServeError::ShuttingDown);
-            }
-            if queue.len() >= self.shared.config.queue_depth {
-                return Err(ServeError::Overloaded {
-                    in_flight: queue.len(),
-                    limit: self.shared.config.queue_depth,
-                });
-            }
-            queue.push_back(Job { request, reply });
-        }
-        self.shared.arrived.notify_one();
+        self.submit(
+            request,
+            Box::new(move |outcome| {
+                let _ = reply.send(outcome);
+            }),
+        );
         match result.recv() {
-            Ok(outcome) => outcome.map_err(ServeError::Engine),
-            // The scheduler dropped the reply sender without answering:
+            Ok(outcome) => outcome,
+            // The scheduler dropped the responder without invoking it:
             // only possible if it panicked mid-batch.
             Err(_) => Err(ServeError::ShuttingDown),
         }
@@ -129,14 +165,27 @@ impl MicroBatcher {
 
     /// Drain and stop: refuse new submissions, flush everything queued,
     /// join the scheduler thread.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(self) {
         self.stop();
     }
 
-    fn stop(&mut self) {
+    /// Drain and join the scheduler thread. Idempotent; safe to call from
+    /// any thread. If invoked *on* the scheduler thread (possible when a
+    /// queued responder holds the last reference to the owning structure),
+    /// the handle is detached instead of joined — the scheduler is already
+    /// on its way out, and a self-join would deadlock.
+    pub fn stop(&self) {
         self.shared.draining.store(true, Ordering::SeqCst);
         self.shared.arrived.notify_all();
-        if let Some(handle) = self.scheduler.take() {
+        let handle = self
+            .scheduler
+            .lock()
+            .expect("batcher scheduler handle poisoned")
+            .take();
+        if let Some(handle) = handle {
+            if handle.thread().id() == std::thread::current().id() {
+                return;
+            }
             let _ = handle.join();
         }
     }
@@ -159,9 +208,7 @@ fn scheduler_loop(shared: &Shared, engine: &Engine) {
         let requests: Vec<AdviseRequest> = batch.iter().map(|job| job.request.clone()).collect();
         let results = engine.advise_many(&requests);
         for (job, result) in batch.into_iter().zip(results) {
-            // A receiver may have given up (client disconnected); that is
-            // its problem, not the batch's.
-            let _ = job.reply.send(result);
+            (job.responder)(result.map_err(ServeError::Engine));
         }
     }
 }

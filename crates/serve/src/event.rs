@@ -1,0 +1,666 @@
+//! The readiness-driven I/O core: one thread multiplexing every
+//! connection over an epoll [`Poller`].
+//!
+//! Each connection is a small state machine:
+//!
+//! ```text
+//!             readable: feed IncrementalParser
+//!   Reading ────────────────────────────────────► InFlight
+//!      ▲     (complete request → admission →         │ worker / batcher
+//!      │      worker pool; reads pause)              │ responder
+//!      │                                             ▼
+//!      └──────────────────────────────────────── Writing
+//!        response flushed, keep-alive: parse any      (partial writes
+//!        pipelined leftovers immediately              resume on EPOLLOUT)
+//! ```
+//!
+//! * **Reading** — interest `EPOLLIN`; socket bytes feed the incremental
+//!   parser. A complete request pauses reading (interest none) until its
+//!   response is written: back-pressure is the kernel socket buffer, so a
+//!   pipelining flood cannot balloon per-connection memory beyond one read.
+//! * **InFlight** — the parsed request was dispatched (admission-checked)
+//!   to the worker pool; the connection waits. No deadline: the engine
+//!   bounds its own work.
+//! * **Writing** — interest `EPOLLOUT` until the buffered response drains,
+//!   then either close (`Connection: close`, parse error, drain) or back
+//!   to Reading — where pipelined bytes already buffered are parsed
+//!   without waiting for another readiness event.
+//!
+//! Timeouts are enforced from the loop, not from worker threads: an *idle*
+//! keep-alive connection is closed after `idle_timeout`, and a connection
+//! that has started a request (one byte is enough) must complete it within
+//! `header_read_timeout` — a slow-loris client dribbling a byte at a time
+//! holds only its own connection entry, never a thread, and is cut off on
+//! schedule. Writing shares the same progress bound.
+//!
+//! Shutdown is drain-then-close: the listener is deregistered, idle and
+//! mid-read connections close immediately, in-flight requests finish and
+//! flush, and the loop exits when the connection table is empty.
+
+use crate::http::{IncrementalParser, ParseError, ParseOutcome, Request, Response};
+use crate::poll::{Interest, Poller};
+use crate::server::{Shared, WorkItem};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Token of the listening socket.
+const LISTENER: u64 = 0;
+/// Token of the wakeup eventfd.
+const WAKER: u64 = 1;
+/// First token handed to a connection.
+const FIRST_CONN: u64 = 2;
+
+/// Per-read scratch size; also the per-iteration cap on how far a single
+/// connection can run ahead of its dispatched request.
+const READ_CHUNK: usize = 16 * 1024;
+
+#[cfg(unix)]
+fn raw_fd<T: std::os::fd::AsRawFd>(t: &T) -> i32 {
+    t.as_raw_fd()
+}
+#[cfg(not(unix))]
+fn raw_fd<T>(_t: &T) -> i32 {
+    -1
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Waiting for (more of) a request.
+    Reading,
+    /// A request was dispatched; reads are paused until its response.
+    InFlight,
+    /// Flushing a response; `close_after` ends the connection once done.
+    Writing { close_after: bool },
+}
+
+/// Which timeout the connection's deadline tracks (the deadline is set at
+/// state *transitions*, never refreshed per byte — that is what defeats a
+/// slow-loris dribble).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeadlineKind {
+    None,
+    Idle,
+    Progress,
+}
+
+struct Conn {
+    stream: TcpStream,
+    parser: IncrementalParser,
+    out: Vec<u8>,
+    out_pos: usize,
+    state: ConnState,
+    deadline: Option<Instant>,
+    deadline_kind: DeadlineKind,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    registered: bool,
+    /// The peer closed its write half (read returned 0).
+    eof: bool,
+    /// Marked for removal at the next finalize.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, max_body_bytes: usize) -> Self {
+        Conn {
+            stream,
+            parser: IncrementalParser::new(max_body_bytes),
+            out: Vec::new(),
+            out_pos: 0,
+            state: ConnState::Reading,
+            deadline: None,
+            deadline_kind: DeadlineKind::None,
+            interest: Interest::NONE,
+            registered: false,
+            eof: false,
+            dead: false,
+        }
+    }
+
+    fn out_pending(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    fn desired_interest(&self) -> Interest {
+        match self.state {
+            ConnState::Reading => Interest {
+                readable: true,
+                writable: self.out_pending(),
+            },
+            ConnState::InFlight => Interest::NONE,
+            ConnState::Writing { .. } => Interest::WRITE,
+        }
+    }
+
+    /// Re-aim the deadline for the connection's current phase.
+    fn arm_deadline(&mut self, now: Instant, idle: Duration, progress: Duration) {
+        let (kind, timeout) = match self.state {
+            ConnState::InFlight => (DeadlineKind::None, None),
+            ConnState::Writing { .. } => (DeadlineKind::Progress, Some(progress)),
+            ConnState::Reading => {
+                if self.parser.mid_request() {
+                    (DeadlineKind::Progress, Some(progress))
+                } else {
+                    (DeadlineKind::Idle, Some(idle))
+                }
+            }
+        };
+        if kind != self.deadline_kind {
+            self.deadline_kind = kind;
+            self.deadline = timeout.map(|t| now + t);
+        }
+    }
+}
+
+pub(crate) struct EventLoop {
+    shared: Arc<Shared>,
+    poller: Poller,
+    listener: TcpListener,
+    work_tx: mpsc::Sender<WorkItem>,
+    max_connections: usize,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    drain_started: bool,
+}
+
+impl EventLoop {
+    pub(crate) fn new(
+        shared: Arc<Shared>,
+        poller: Poller,
+        listener: TcpListener,
+        work_tx: mpsc::Sender<WorkItem>,
+        max_connections: usize,
+    ) -> std::io::Result<Self> {
+        listener.set_nonblocking(true)?;
+        poller.register(raw_fd(&listener), LISTENER, Interest::READ)?;
+        poller.register(shared.waker.fd(), WAKER, Interest::READ)?;
+        Ok(EventLoop {
+            shared,
+            poller,
+            listener,
+            work_tx,
+            max_connections,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN,
+            drain_started: false,
+        })
+    }
+
+    pub(crate) fn run(mut self) {
+        let mut events = Vec::with_capacity(256);
+        loop {
+            if self.shared.draining.load(Ordering::SeqCst) && !self.drain_started {
+                self.start_drain();
+            }
+            if self.drain_started && self.conns.is_empty() {
+                return;
+            }
+            let timeout = self.sweep_deadlines();
+            events.clear();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // An unrecoverable poller error would spin; bail out and
+                // let shutdown() observe the thread exit.
+                return;
+            }
+            self.shared
+                .metrics
+                .epoll_wakeups
+                .fetch_add(1, Ordering::Relaxed);
+            let mut accept_ready = false;
+            for event in events.drain(..) {
+                match event.token {
+                    WAKER => self.shared.waker.drain(),
+                    LISTENER => accept_ready = true,
+                    token => self.conn_event(token, event.writable),
+                }
+            }
+            self.process_completions();
+            if accept_ready && !self.drain_started {
+                self.accept_ready();
+            }
+        }
+    }
+
+    /// Close expired connections; return the time until the nearest
+    /// surviving deadline (for the poll timeout).
+    fn sweep_deadlines(&mut self) -> Option<Duration> {
+        let now = Instant::now();
+        let mut expired: Vec<u64> = Vec::new();
+        let mut nearest: Option<Instant> = None;
+        for (&token, conn) in &self.conns {
+            if let Some(deadline) = conn.deadline {
+                if deadline <= now {
+                    expired.push(token);
+                } else {
+                    nearest = Some(nearest.map_or(deadline, |n: Instant| n.min(deadline)));
+                }
+            }
+        }
+        for token in expired {
+            self.shared
+                .metrics
+                .conn_timeouts
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.dead = true;
+            }
+            self.finalize(token);
+        }
+        // Cap the sleep so a drain request never waits on a distant
+        // deadline even if a wake is lost.
+        let cap = Duration::from_millis(500);
+        Some(match nearest {
+            Some(deadline) => (deadline - now).min(cap),
+            None => cap,
+        })
+    }
+
+    fn start_drain(&mut self) {
+        self.drain_started = true;
+        let _ = self.poller.deregister(raw_fd(&self.listener));
+        // Idle and mid-read connections close now; in-flight and writing
+        // connections finish their response first (and then close — see
+        // process_completions / try_write).
+        let reading: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.state == ConnState::Reading && !c.out_pending())
+            .map(|(&t, _)| t)
+            .collect();
+        for token in reading {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.dead = true;
+            }
+            self.finalize(token);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.conns.len() >= self.max_connections {
+                        // Shed before reading a byte: a flood cannot
+                        // accumulate sockets, table entries or threads.
+                        self.shared
+                            .metrics
+                            .connections_shed
+                            .fetch_add(1, Ordering::Relaxed);
+                        let mut payload = Vec::new();
+                        let _ = Response::error(429, "connection limit reached")
+                            .with_header("Retry-After", "1")
+                            .write_to(&mut payload, true);
+                        let _ = stream.set_nonblocking(true);
+                        let _ = (&stream).write(&payload);
+                        continue; // dropped: closed
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let mut conn = Conn::new(stream, self.shared.max_body_bytes);
+                    conn.arm_deadline(
+                        Instant::now(),
+                        self.shared.idle_timeout,
+                        self.shared.header_read_timeout,
+                    );
+                    self.shared
+                        .metrics
+                        .connections_opened
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .metrics
+                        .open_connections
+                        .fetch_add(1, Ordering::SeqCst);
+                    self.conns.insert(token, conn);
+                    self.finalize(token);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // transient (ECONNABORTED etc.); retry on next readiness
+            }
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, writable: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        match conn.state {
+            ConnState::Reading => {
+                Self::do_read(conn, token, &self.shared, &self.work_tx, self.drain_started);
+                if writable && !conn.dead && conn.out_pending() {
+                    // e.g. a partially-written `100 Continue`
+                    Self::try_write(conn);
+                }
+            }
+            ConnState::InFlight => {
+                // Only error/hangup readiness can arrive here (interest is
+                // none). Probe the socket so a vanished peer does not spin
+                // the loop; the connection itself stays until its response
+                // comes back from the worker.
+                let mut probe = [0u8; 64];
+                match conn.stream.read(&mut probe) {
+                    Ok(0) | Err(_) => {
+                        conn.eof = true;
+                        if conn.registered {
+                            let _ = self.poller.deregister(raw_fd(&conn.stream));
+                            conn.registered = false;
+                        }
+                        return; // finalize would re-register; stay parked
+                    }
+                    Ok(n) => conn.parser.feed(&probe[..n]),
+                }
+            }
+            ConnState::Writing { .. } => {
+                if Self::try_write(conn) {
+                    Self::resume_reading(
+                        conn,
+                        token,
+                        &self.shared,
+                        &self.work_tx,
+                        self.drain_started,
+                    );
+                }
+            }
+        }
+        self.finalize(token);
+    }
+
+    fn process_completions(&mut self) {
+        let completions: Vec<_> = {
+            let mut pending = self
+                .shared
+                .completions
+                .lock()
+                .expect("completion queue poisoned");
+            std::mem::take(&mut *pending)
+        };
+        for completion in completions {
+            let token = completion.token;
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue; // the connection died while the request ran
+            };
+            let close = completion.close
+                || conn.eof
+                || self.shared.draining.load(Ordering::SeqCst)
+                || self.drain_started;
+            let _ = completion.response.write_to(&mut conn.out, close);
+            conn.state = ConnState::Writing { close_after: close };
+            conn.deadline_kind = DeadlineKind::None; // force re-arm
+            conn.arm_deadline(
+                Instant::now(),
+                self.shared.idle_timeout,
+                self.shared.header_read_timeout,
+            );
+            if Self::try_write(conn) {
+                Self::resume_reading(conn, token, &self.shared, &self.work_tx, self.drain_started);
+            }
+            self.finalize(token);
+        }
+    }
+
+    /// Drain the socket into the parser, dispatching at most one request
+    /// (further pipelined bytes stay buffered until the response is out).
+    fn do_read(
+        conn: &mut Conn,
+        token: u64,
+        shared: &Shared,
+        work_tx: &mpsc::Sender<WorkItem>,
+        draining: bool,
+    ) {
+        let mut scratch = [0u8; READ_CHUNK];
+        loop {
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.parser.feed(&scratch[..n]);
+                    Self::advance_parser(conn, token, shared, work_tx, draining);
+                    if conn.state != ConnState::Reading || conn.dead {
+                        return; // request dispatched or error queued
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+        if conn.eof && conn.state == ConnState::Reading && !conn.out_pending() {
+            // Clean close between requests, or a request truncated
+            // mid-read: either way there is nothing left to answer.
+            conn.dead = true;
+        }
+    }
+
+    /// After a response is fully flushed on a keep-alive connection:
+    /// re-enter Reading and parse pipelined leftovers immediately.
+    fn resume_reading(
+        conn: &mut Conn,
+        token: u64,
+        shared: &Shared,
+        work_tx: &mpsc::Sender<WorkItem>,
+        draining: bool,
+    ) {
+        if conn.state != ConnState::Reading || conn.dead {
+            return;
+        }
+        if draining {
+            conn.dead = true;
+            return;
+        }
+        Self::advance_parser(conn, token, shared, work_tx, draining);
+        if conn.eof && conn.state == ConnState::Reading && !conn.out_pending() {
+            conn.dead = true;
+        }
+    }
+
+    /// Pull complete requests out of the parser: interim `100 Continue`
+    /// responses are queued as soon as a head announces the expectation,
+    /// and the first complete request is admission-checked and dispatched.
+    fn advance_parser(
+        conn: &mut Conn,
+        token: u64,
+        shared: &Shared,
+        work_tx: &mpsc::Sender<WorkItem>,
+        draining: bool,
+    ) {
+        debug_assert_eq!(conn.state, ConnState::Reading);
+        match conn.parser.next_request() {
+            Ok(ParseOutcome::Incomplete) => {
+                if conn.parser.take_continue() {
+                    conn.out.extend_from_slice(b"HTTP/1.1 100 Continue\r\n\r\n");
+                    Self::try_write(conn);
+                }
+            }
+            Ok(ParseOutcome::Request(request)) => {
+                if conn.parser.take_continue() {
+                    // The body arrived with the head; the interim response
+                    // still precedes the final one, as the blocking parser
+                    // always wrote it.
+                    conn.out.extend_from_slice(b"HTTP/1.1 100 Continue\r\n\r\n");
+                }
+                Self::dispatch(conn, token, *request, shared, work_tx, draining);
+            }
+            Ok(ParseOutcome::Close) => {
+                if conn.out_pending() {
+                    conn.state = ConnState::Writing { close_after: true };
+                } else {
+                    conn.dead = true;
+                }
+            }
+            Err(error) => {
+                shared
+                    .metrics
+                    .http_bad_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                let response = match error {
+                    ParseError::Malformed(detail) => Response::error(400, &detail),
+                    ParseError::BodyTooLarge { declared, limit } => Response::error(
+                        413,
+                        &format!("body of {declared} bytes exceeds the {limit}-byte limit"),
+                    ),
+                    // The incremental parser never produces Io errors.
+                    ParseError::Io(detail) => Response::error(400, &detail),
+                };
+                let _ = response.write_to(&mut conn.out, true);
+                conn.state = ConnState::Writing { close_after: true };
+                Self::try_write(conn);
+            }
+        }
+        conn.arm_deadline(
+            Instant::now(),
+            shared.idle_timeout,
+            shared.header_read_timeout,
+        );
+    }
+
+    /// Admission control + handoff to the worker pool. POST routes hold an
+    /// in-flight slot (released when their response is completed); past
+    /// `max_inflight` they are shed right here with 429 — no worker time,
+    /// no JSON parse, no engine work.
+    fn dispatch(
+        conn: &mut Conn,
+        token: u64,
+        request: Request,
+        shared: &Shared,
+        work_tx: &mpsc::Sender<WorkItem>,
+        draining: bool,
+    ) {
+        shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+        let close = !request.keep_alive() || draining;
+        let gated =
+            request.method == "POST" && matches!(request.path.as_str(), "/advise" | "/tune");
+        let mut slot = false;
+        if gated {
+            let rejected_counter = if request.path == "/tune" {
+                shared.metrics.tune_requests.fetch_add(1, Ordering::Relaxed);
+                &shared.metrics.tune_rejected
+            } else {
+                &shared.metrics.advise_rejected
+            };
+            let admitted = shared.metrics.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+            if admitted > shared.max_inflight as u64 {
+                shared.metrics.in_flight.fetch_sub(1, Ordering::SeqCst);
+                rejected_counter.fetch_add(1, Ordering::Relaxed);
+                let response = Response::error(
+                    429,
+                    &format!(
+                        "{admitted} requests in flight exceeds the {} admitted",
+                        shared.max_inflight
+                    ),
+                )
+                .with_header("Retry-After", "1");
+                let _ = response.write_to(&mut conn.out, close);
+                conn.state = ConnState::Writing { close_after: close };
+                Self::try_write(conn);
+                return;
+            }
+            slot = true;
+        }
+        conn.state = ConnState::InFlight;
+        if work_tx
+            .send(WorkItem {
+                token,
+                request,
+                slot,
+            })
+            .is_err()
+        {
+            // Workers are gone (shutdown race): the connection cannot be
+            // answered.
+            if slot {
+                shared.metrics.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+            conn.dead = true;
+        }
+    }
+
+    /// Flush as much buffered output as the socket accepts. Returns true
+    /// when a Writing connection finished its response and re-entered
+    /// Reading (the caller should then parse pipelined leftovers).
+    fn try_write(conn: &mut Conn) -> bool {
+        while conn.out_pending() {
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return false;
+                }
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return false,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return false;
+                }
+            }
+        }
+        conn.out.clear();
+        conn.out_pos = 0;
+        if let ConnState::Writing { close_after } = conn.state {
+            if close_after {
+                conn.dead = true;
+                return false;
+            }
+            conn.state = ConnState::Reading;
+            conn.deadline_kind = DeadlineKind::None; // force re-arm by caller
+            return true;
+        }
+        false
+    }
+
+    /// Apply a connection's fate: remove it if dead, otherwise reconcile
+    /// its epoll registration with the interest its state wants.
+    fn finalize(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.dead {
+            if conn.registered {
+                let _ = self.poller.deregister(raw_fd(&conn.stream));
+            }
+            self.conns.remove(&token);
+            self.shared
+                .metrics
+                .open_connections
+                .fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let desired = conn.desired_interest();
+        if !conn.registered {
+            if self
+                .poller
+                .register(raw_fd(&conn.stream), token, desired)
+                .is_ok()
+            {
+                conn.registered = true;
+                conn.interest = desired;
+            } else {
+                conn.dead = true;
+                self.conns.remove(&token);
+                self.shared
+                    .metrics
+                    .open_connections
+                    .fetch_sub(1, Ordering::SeqCst);
+            }
+        } else if desired != conn.interest
+            && self
+                .poller
+                .modify(raw_fd(&conn.stream), token, desired)
+                .is_ok()
+        {
+            conn.interest = desired;
+        }
+    }
+}

@@ -9,10 +9,12 @@
 //! rather than within one call.
 //!
 //! ```text
-//!        POST /advise (AdviseRequest JSON)
-//! client ──────────────► connection worker ──┐ submit
-//! client ──────────────► connection worker ──┤    │
-//! client ──────────────► connection worker ──┘    ▼
+//!  thousands of keep-alive clients
+//! client ──┐
+//! client ──┤   epoll event loop        fixed worker pool
+//! client ──┼──► (1 thread: accept,  ──► (N threads: route,   ─┐ async
+//! client ──┤    incremental parse,      parse JSON)           │ submit
+//! client ──┘    write, timeouts)                              ▼
 //!                                     micro-batcher (≤ max_batch, ≤ max_wait)
 //!                                                 │ one Engine::advise_many
 //!                                                 ▼
@@ -43,16 +45,20 @@
 //! ```
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)] // one exception: the libc signal shim in `signal`
+// Two exceptions: the no-libc signal shim in `signal` and the raw epoll
+// syscall bindings in `poll` — both opt back in locally.
+#![deny(unsafe_code)]
 
 pub mod batcher;
+pub(crate) mod event;
 pub mod http;
 pub mod metrics;
+pub mod poll;
 pub mod server;
 pub mod signal;
 
 pub use batcher::{BatchConfig, MicroBatcher};
-pub use metrics::{MetricsSnapshot, RuleCount, ServeMetrics};
+pub use metrics::{MetricsSnapshot, RuleCount, ServeMetrics, BATCH_SIZE_BUCKETS};
 pub use server::{ServeConfig, Server};
 pub use signal::{install_termination_handler, termination_requested};
 

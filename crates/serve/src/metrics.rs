@@ -12,6 +12,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Number of distinct static-analysis rules ([`pg_analyze::RULE_IDS`]).
 const RULE_COUNT: usize = RULE_IDS.len();
 
+/// Upper bounds of the coalesced-batch-size histogram buckets (a batch of
+/// size `s` tallies into the first bucket with `bound >= s`; larger
+/// batches land in the implicit `+Inf` overflow).
+pub const BATCH_SIZE_BUCKETS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
 /// Live counters shared by the listener, the connection workers and the
 /// micro-batcher.
 #[derive(Debug, Default)]
@@ -37,6 +42,18 @@ pub struct ServeMetrics {
     /// Connections shed 429 at accept because `max_connections` was
     /// reached.
     pub(crate) connections_shed: AtomicU64,
+    /// Connections currently registered with the event loop (gauge).
+    pub(crate) open_connections: AtomicU64,
+    /// Connections accepted into the event loop since start.
+    pub(crate) connections_opened: AtomicU64,
+    /// Connections closed by an idle or header-read/write-progress
+    /// timeout.
+    pub(crate) conn_timeouts: AtomicU64,
+    /// Times the event loop woke from `epoll_wait`.
+    pub(crate) epoll_wakeups: AtomicU64,
+    /// The micro-batcher's configured `max_batch` (gauge; denominator of
+    /// the fill ratio).
+    pub(crate) batch_capacity: AtomicU64,
     /// POST requests (`/advise` + `/tune`) currently being served — the
     /// shared admission gauge (gauge).
     pub(crate) in_flight: AtomicU64,
@@ -48,6 +65,9 @@ pub struct ServeMetrics {
     pub(crate) coalesced_batches: AtomicU64,
     /// Largest batch executed so far.
     pub(crate) max_batch_size: AtomicU64,
+    /// Coalesced-batch-size histogram; bucket `i` counts batches of size
+    /// `<= BATCH_SIZE_BUCKETS[i]` (last slot is the `+Inf` overflow).
+    pub(crate) batch_size_buckets: [AtomicU64; BATCH_SIZE_BUCKETS.len() + 1],
     /// Variants pruned as provable races by the legality gate, across
     /// `/advise` and `/tune`.
     pub(crate) analyze_race_pruned: AtomicU64,
@@ -88,6 +108,16 @@ pub struct MetricsSnapshot {
     pub tune_rejected: u64,
     /// Connections shed 429 at accept (`max_connections` reached).
     pub connections_shed: u64,
+    /// Connections currently registered with the event loop (gauge).
+    pub open_connections: u64,
+    /// Connections accepted into the event loop since start.
+    pub connections_opened: u64,
+    /// Connections closed by an idle or progress timeout.
+    pub conn_timeouts: u64,
+    /// Times the event loop woke from `epoll_wait`.
+    pub epoll_wakeups: u64,
+    /// The micro-batcher's configured `max_batch`.
+    pub batch_capacity: u64,
     /// POST requests (`/advise` + `/tune`) currently in flight (the
     /// shared admission gauge).
     pub in_flight: u64,
@@ -99,6 +129,9 @@ pub struct MetricsSnapshot {
     pub coalesced_batches: u64,
     /// Largest batch executed.
     pub max_batch_size: u64,
+    /// Coalesced-batch-size histogram, non-cumulative, one count per
+    /// [`BATCH_SIZE_BUCKETS`] bound plus a final `+Inf` overflow slot.
+    pub batch_size_buckets: Vec<u64>,
     /// Variants pruned as provable races by the legality gate.
     pub analyze_race_pruned: u64,
     /// Static-analysis diagnostics by rule, in [`pg_analyze::RULE_IDS`]
@@ -117,6 +150,11 @@ impl ServeMetrics {
         }
         self.max_batch_size
             .fetch_max(size as u64, Ordering::Relaxed);
+        let bucket = BATCH_SIZE_BUCKETS
+            .iter()
+            .position(|&bound| size as u64 <= bound)
+            .unwrap_or(BATCH_SIZE_BUCKETS.len());
+        self.batch_size_buckets[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record the static-analysis outcome of one served request: every
@@ -145,11 +183,21 @@ impl ServeMetrics {
             tune_failed: self.tune_failed.load(Ordering::Relaxed),
             tune_rejected: self.tune_rejected.load(Ordering::Relaxed),
             connections_shed: self.connections_shed.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            conn_timeouts: self.conn_timeouts.load(Ordering::Relaxed),
+            epoll_wakeups: self.epoll_wakeups.load(Ordering::Relaxed),
+            batch_capacity: self.batch_capacity.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
             max_batch_size: self.max_batch_size.load(Ordering::Relaxed),
+            batch_size_buckets: self
+                .batch_size_buckets
+                .iter()
+                .map(|count| count.load(Ordering::Relaxed))
+                .collect(),
             analyze_race_pruned: self.analyze_race_pruned.load(Ordering::Relaxed),
             analyze_rule_counts: RULE_IDS
                 .iter()
@@ -164,6 +212,19 @@ impl ServeMetrics {
 }
 
 impl MetricsSnapshot {
+    /// Mean fraction of the batch cap that executed batches actually
+    /// filled: `batched_requests / (batches * batch_capacity)`. Zero until
+    /// the first batch runs. The PR 4 blind spot this closes: a cap that
+    /// never fills means the backend's batched path is starved, and
+    /// nothing on `/metrics` said so.
+    pub fn batch_fill_ratio(&self) -> f64 {
+        let denominator = self.batches.saturating_mul(self.batch_capacity);
+        if denominator == 0 {
+            return 0.0;
+        }
+        self.batched_requests as f64 / denominator as f64
+    }
+
     /// Render in Prometheus text exposition format (what `GET /metrics`
     /// returns).
     pub fn to_prometheus(&self) -> String {
@@ -221,6 +282,21 @@ impl MetricsSnapshot {
             "Connections shed at accept by the connection limit",
             self.connections_shed,
         );
+        counter(
+            "connections_opened_total",
+            "Connections accepted into the event loop",
+            self.connections_opened,
+        );
+        counter(
+            "conn_timeouts_total",
+            "Connections closed by an idle or progress timeout",
+            self.conn_timeouts,
+        );
+        counter(
+            "epoll_wakeups_total",
+            "Event-loop wakeups from epoll_wait",
+            self.epoll_wakeups,
+        );
         counter("batches_total", "Prediction batches executed", self.batches);
         counter(
             "batched_requests_total",
@@ -258,6 +334,45 @@ impl MetricsSnapshot {
              # TYPE paragraph_serve_max_batch_size gauge\n\
              paragraph_serve_max_batch_size {}\n",
             self.max_batch_size
+        ));
+        out.push_str(&format!(
+            "# HELP paragraph_serve_open_connections Connections registered with the event loop\n\
+             # TYPE paragraph_serve_open_connections gauge\n\
+             paragraph_serve_open_connections {}\n",
+            self.open_connections
+        ));
+        out.push_str(&format!(
+            "# HELP paragraph_serve_batch_capacity Configured micro-batcher max_batch\n\
+             # TYPE paragraph_serve_batch_capacity gauge\n\
+             paragraph_serve_batch_capacity {}\n",
+            self.batch_capacity
+        ));
+        out.push_str(&format!(
+            "# HELP paragraph_serve_batch_fill_ratio Mean fraction of the batch cap filled\n\
+             # TYPE paragraph_serve_batch_fill_ratio gauge\n\
+             paragraph_serve_batch_fill_ratio {:.6}\n",
+            self.batch_fill_ratio()
+        ));
+        // Cumulative histogram per the Prometheus convention: each bucket
+        // counts batches of size <= its bound.
+        out.push_str(
+            "# HELP paragraph_serve_batch_size Coalesced-batch size distribution\n\
+             # TYPE paragraph_serve_batch_size histogram\n",
+        );
+        let mut cumulative = 0u64;
+        for (i, count) in self.batch_size_buckets.iter().enumerate() {
+            cumulative += count;
+            let bound = BATCH_SIZE_BUCKETS
+                .get(i)
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "+Inf".to_string());
+            out.push_str(&format!(
+                "paragraph_serve_batch_size_bucket{{le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "paragraph_serve_batch_size_sum {}\nparagraph_serve_batch_size_count {}\n",
+            self.batched_requests, self.batches
         ));
         out
     }
@@ -299,10 +414,37 @@ mod tests {
             "paragraph_serve_in_flight",
             "paragraph_serve_analyze_race_pruned_total",
             "paragraph_serve_analyze_rule_total",
+            "paragraph_serve_connections_opened_total",
+            "paragraph_serve_conn_timeouts_total",
+            "paragraph_serve_epoll_wakeups_total",
+            "paragraph_serve_open_connections",
+            "paragraph_serve_batch_capacity",
+            "paragraph_serve_batch_fill_ratio",
+            "paragraph_serve_batch_size_bucket",
+            "paragraph_serve_batch_size_count",
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
         assert!(text.contains("paragraph_serve_max_batch_size 4"));
+    }
+
+    #[test]
+    fn fill_ratio_and_histogram_track_batches() {
+        let metrics = ServeMetrics::default();
+        metrics.batch_capacity.store(8, Ordering::Relaxed);
+        metrics.record_batch(4); // bucket le=4
+        metrics.record_batch(8); // bucket le=8
+        let snap = metrics.snapshot();
+        // 12 requests over 2 batches of capacity 8 → 12/16.
+        assert!((snap.batch_fill_ratio() - 0.75).abs() < 1e-9);
+        assert_eq!(snap.batch_size_buckets.iter().sum::<u64>(), 2);
+        let text = snap.to_prometheus();
+        assert!(text.contains("paragraph_serve_batch_fill_ratio 0.75"));
+        assert!(text.contains("paragraph_serve_batch_size_bucket{le=\"8\"} 2"));
+        assert!(text.contains("paragraph_serve_batch_size_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("paragraph_serve_batch_size_sum 12"));
+        // Empty metrics render a zero ratio, not NaN.
+        assert_eq!(MetricsSnapshot::default().batch_fill_ratio(), 0.0);
     }
 
     #[test]

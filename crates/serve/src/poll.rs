@@ -1,0 +1,416 @@
+//! A thin, std-only epoll shim: readiness notification for the event loop
+//! without a `libc` crate.
+//!
+//! Like the signal shim in [`crate::signal`], the build environment has no
+//! crates.io access, so instead of `mio`/`polling` this module declares the
+//! handful of libc symbols it needs (`std` already links libc on every unix
+//! target) and wraps them in a safe API: a [`Poller`] (one `epoll` instance),
+//! per-fd [`Interest`] registration keyed by a caller-chosen `u64` token, and
+//! a [`Waker`] (an `eventfd`) that lets other threads interrupt a blocking
+//! [`Poller::wait`].
+//!
+//! The shim is deliberately level-triggered: the event loop re-arms interest
+//! from each connection's state machine, so level semantics ("still readable"
+//! fires again) are the forgiving choice — a missed edge can never strand a
+//! connection. Everything here is Linux-only (epoll is a Linux API); on other
+//! targets [`Poller::new`] returns [`std::io::ErrorKind::Unsupported`] and
+//! the serving tier refuses to start rather than silently degrading.
+
+/// What readiness a registered file descriptor is interested in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    /// Wake when the fd has bytes to read (or a peer hangup to observe).
+    pub readable: bool,
+    /// Wake when the fd can accept more outgoing bytes.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-only interest.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// No interest: only error/hangup conditions are reported.
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd is readable (includes EOF — a read will not block).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The peer hung up or the fd errored; the connection is dead either
+    /// way, but the caller should still read to drain any final bytes.
+    pub hangup: bool,
+}
+
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod imp {
+    use super::{Event, Interest};
+    use std::io;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o0004000;
+
+    /// `struct epoll_event` — packed on x86-64, where the kernel ABI has no
+    /// padding between `events` and `data`.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn check(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// One epoll instance.
+    pub struct Poller {
+        epfd: i32,
+        /// Scratch buffer reused across waits.
+        events: Vec<EpollEvent>,
+    }
+
+    // SAFETY: the epoll fd is just an integer handle; epoll syscalls are
+    // thread-safe. `wait` takes `&mut self` so the scratch buffer is never
+    // shared.
+    unsafe impl Send for Poller {}
+
+    impl Poller {
+        /// Create a fresh epoll instance.
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: plain syscall, no pointers.
+            let epfd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller {
+                epfd,
+                events: vec![EpollEvent { events: 0, data: 0 }; 256],
+            })
+        }
+
+        fn ctl(&self, op: i32, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events: (if interest.readable { EPOLLIN } else { 0 })
+                    | (if interest.writable { EPOLLOUT } else { 0 }),
+                data: token,
+            };
+            // SAFETY: `event` outlives the call; the kernel copies it.
+            check(unsafe { epoll_ctl(self.epfd, op, fd, &mut event) })?;
+            Ok(())
+        }
+
+        /// Start watching `fd` under `token`.
+        pub fn register(&self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        /// Change what `fd` is watched for.
+        pub fn modify(&self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        /// Stop watching `fd`. (Closing the fd also deregisters it, but an
+        /// explicit removal keeps the kernel set in lockstep with ours.)
+        pub fn deregister(&self, fd: i32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::NONE)
+        }
+
+        /// Block until at least one fd is ready or the timeout elapses
+        /// (`None` blocks indefinitely). Appends to `out`, returns the
+        /// number of events delivered.
+        pub fn wait(
+            &mut self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                // Round up so a 0.4ms deadline does not become a busy loop.
+                Some(t) => t
+                    .as_millis()
+                    .saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0))
+                    .min(i32::MAX as u128) as i32,
+            };
+            let n = loop {
+                // SAFETY: the scratch buffer is valid for `len` entries and
+                // exclusively borrowed for the duration of the call.
+                let ret = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.events.as_mut_ptr(),
+                        self.events.len() as i32,
+                        timeout_ms,
+                    )
+                };
+                if ret >= 0 {
+                    break ret as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+                // EINTR (e.g. the SIGTERM the drain is waiting for): retry
+                // with a zero timeout so the caller re-checks its flags.
+                if timeout_ms != 0 {
+                    break 0;
+                }
+            };
+            for raw in &self.events[..n] {
+                let (events, data) = (raw.events, raw.data);
+                out.push(Event {
+                    token: data,
+                    readable: events & (EPOLLIN | EPOLLHUP | EPOLLERR) != 0,
+                    writable: events & EPOLLOUT != 0,
+                    hangup: events & (EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: closing an owned fd exactly once.
+            unsafe { close(self.epfd) };
+        }
+    }
+
+    /// Cross-thread wakeup for a blocked [`Poller::wait`], backed by an
+    /// `eventfd` registered in the epoll set like any connection.
+    #[derive(Debug)]
+    pub struct Waker {
+        fd: i32,
+    }
+
+    // SAFETY: eventfd reads/writes are atomic 8-byte syscalls, safe from
+    // any thread.
+    unsafe impl Send for Waker {}
+    unsafe impl Sync for Waker {}
+
+    impl Waker {
+        /// Create a fresh eventfd-backed waker.
+        pub fn new() -> io::Result<Waker> {
+            // SAFETY: plain syscall, no pointers.
+            let fd = check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+            Ok(Waker { fd })
+        }
+
+        /// The fd to register with the poller.
+        pub fn fd(&self) -> i32 {
+            self.fd
+        }
+
+        /// Make the poller's next (or current) wait return.
+        pub fn wake(&self) {
+            let one: u64 = 1;
+            // SAFETY: writing 8 bytes from a valid stack slot; an EAGAIN
+            // (counter saturated) still leaves the eventfd readable, which
+            // is all a wakeup needs.
+            unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+        }
+
+        /// Consume pending wakeups so level-triggered polling goes back to
+        /// sleep.
+        pub fn drain(&self) {
+            let mut buf = 0u64;
+            // SAFETY: reading 8 bytes into a valid stack slot; EAGAIN just
+            // means the counter was already zero.
+            unsafe { read(self.fd, (&mut buf as *mut u64).cast(), 8) };
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            // SAFETY: closing an owned fd exactly once.
+            unsafe { close(self.fd) };
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::{Event, Interest};
+    use std::io;
+    use std::time::Duration;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "the pg-serve event loop requires Linux (epoll)",
+        )
+    }
+
+    /// Stub poller: construction fails on non-Linux targets.
+    #[derive(Debug)]
+    pub struct Poller {}
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Err(unsupported())
+        }
+        pub fn register(&self, _fd: i32, _token: u64, _interest: Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+        pub fn modify(&self, _fd: i32, _token: u64, _interest: Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+        pub fn deregister(&self, _fd: i32) -> io::Result<()> {
+            Err(unsupported())
+        }
+        pub fn wait(&mut self, _out: &mut Vec<Event>, _t: Option<Duration>) -> io::Result<usize> {
+            Err(unsupported())
+        }
+    }
+
+    /// Stub waker: construction fails on non-Linux targets.
+    #[derive(Debug)]
+    pub struct Waker {}
+
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            Err(unsupported())
+        }
+        pub fn fd(&self) -> i32 {
+            -1
+        }
+        pub fn wake(&self) {}
+        pub fn drain(&self) {}
+    }
+}
+
+pub use imp::{Poller, Waker};
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn listener_readiness_is_reported_under_its_token() {
+        let mut poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        poller
+            .register(listener.as_raw_fd(), 7, Interest::READ)
+            .unwrap();
+
+        // Nothing pending: a zero timeout returns no events.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(events.iter().all(|e| e.token != 7));
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 7 && e.readable),
+            "pending accept not reported: {events:?}"
+        );
+    }
+
+    #[test]
+    fn waker_interrupts_and_drains() {
+        let mut poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller.register(waker.fd(), 1, Interest::READ).unwrap();
+        waker.wake();
+        waker.wake(); // coalesces: still one readable eventfd
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+        waker.drain();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(
+            events.iter().all(|e| e.token != 1),
+            "drained waker still readable: {events:?}"
+        );
+    }
+
+    #[test]
+    fn write_readiness_and_interest_changes() {
+        let mut poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let (server_end, _) = listener.accept().unwrap();
+        poller
+            .register(client.as_raw_fd(), 3, Interest::WRITE)
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.writable));
+
+        // Downgrade to no interest: the still-writable socket goes quiet.
+        poller
+            .modify(client.as_raw_fd(), 3, Interest::NONE)
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(events.iter().all(|e| e.token != 3));
+
+        // Back to read interest: bytes from the peer wake us again.
+        poller
+            .modify(client.as_raw_fd(), 3, Interest::READ)
+            .unwrap();
+        (&server_end).write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.readable));
+        poller.deregister(client.as_raw_fd()).unwrap();
+    }
+}

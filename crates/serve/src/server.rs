@@ -1,37 +1,45 @@
-//! The HTTP server: accept loop, per-connection threads, routing,
+//! The HTTP server: event-driven I/O, a fixed worker pool, routing,
 //! admission control and graceful drain.
 //!
-//! Threading model: the accept thread spawns one thread per connection
-//! (sequential keep-alive — one request at a time per connection), bounded
-//! by [`ServeConfig::max_connections`]. At the bound, new connections are
-//! shed immediately with a `429` written straight from the accept loop —
-//! an idle or slow client can hold at most its own thread, never starve
-//! other connections. `/advise` handlers block on the shared
-//! [`MicroBatcher`], so the prediction work of many connections coalesces
-//! into few engine calls regardless of how many connection threads exist.
+//! Threading model: **one event thread** owns the listener and every
+//! connection socket, multiplexed over epoll (see [`crate::event`] and
+//! [`crate::poll`]); a **fixed pool** of [`ServeConfig::workers`] threads
+//! executes parsed requests; the micro-batcher's scheduler thread turns
+//! concurrent `/advise` work into few engine calls. Connection count and
+//! thread count are fully decoupled — thousands of keep-alive sockets are
+//! a few kilobytes of buffer each, not a thread each — and `/advise`
+//! handlers no longer block a thread per request: the worker submits to
+//! the [`MicroBatcher`] asynchronously and moves on, so the coalesced
+//! batch depth is bounded by admitted traffic, not by pool size.
 //!
-//! Admission control is layered: the connection bound caps sockets (and
-//! sheds before reading a single byte), and [`ServeConfig::max_inflight`]
-//! caps concurrent `/advise` work (checked after the HTTP read, before the
-//! JSON body is parsed into a request) — under overload, shedding early
-//! keeps latency sane for the admitted.
+//! Admission control is layered, earliest-first:
 //!
-//! Shutdown is drain-then-close: new connections stop being accepted,
-//! requests already admitted finish (the batcher flushes its queue), and
-//! every connection thread has exited before [`Server::shutdown`] returns
-//! (an idle keep-alive client can delay that by at most
-//! [`ServeConfig::idle_timeout`]).
+//! 1. **Connection bound** — at [`ServeConfig::max_connections`] open
+//!    sockets, new connections are shed with a `429` written straight from
+//!    the accept path, before a single byte is read.
+//! 2. **In-flight bound** — a parsed POST (`/advise`, `/tune`) past
+//!    [`ServeConfig::max_inflight`] is answered `429 Retry-After` from the
+//!    event thread at dispatch, before JSON parsing and before any worker
+//!    or engine time is spent.
+//! 3. **Batcher queue depth** — the batcher's own defensive bound, refused
+//!    as `429` through the same responder path.
+//!
+//! Shutdown is drain-then-close: the listener deregisters, idle
+//! connections close immediately, requests already dispatched finish and
+//! flush their responses, and every thread has exited before
+//! [`Server::shutdown`] returns.
 
 use crate::batcher::{BatchConfig, MicroBatcher};
-use crate::http::{read_request, ParseError, Request, Response};
+use crate::event::EventLoop;
+use crate::http::{Request, Response};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::poll::{Poller, Waker};
 use crate::ServeError;
 use pg_engine::{AdviseRequest, Engine, EngineError};
 use pg_tune::{TuneEngine, TuneError, TuneRequest};
-use std::io::BufReader;
-use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 /// Server configuration.
@@ -39,19 +47,25 @@ use std::time::Duration;
 pub struct ServeConfig {
     /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Most open connections (each owns one thread); beyond it new
-    /// connections are shed with an immediate 429.
+    /// Most open connections; beyond it new connections are shed with an
+    /// immediate 429 (each open connection costs buffers, not a thread).
     pub max_connections: usize,
-    /// Most `/advise` requests in flight before admission control answers
-    /// 429.
+    /// Most POST requests in flight before admission control answers 429.
     pub max_inflight: usize,
+    /// Request-executing worker threads (the event thread and the batcher
+    /// scheduler are separate and always one each).
+    pub workers: usize,
     /// Micro-batcher flush policy.
     pub batch: BatchConfig,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
     /// Idle keep-alive connections are closed after this long without a
-    /// request (also bounds how long a drain can wait on an idle client).
+    /// request.
     pub idle_timeout: Duration,
+    /// A connection that has *started* a request (sent at least one byte
+    /// of it) must deliver the rest within this long or be closed — the
+    /// slow-loris bound. Also caps how long a response write may stall.
+    pub header_read_timeout: Duration,
     /// Server-side ceiling on a `/tune` request's `max_evaluations`: the
     /// wire-supplied budget is clamped to it. A tuning run's work is
     /// client-controlled (budget × sweep axes), and an uncapped request
@@ -67,35 +81,69 @@ impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".to_string(),
-            max_connections: 1024,
+            max_connections: 8192,
             max_inflight: 256,
+            workers: 4,
             batch: BatchConfig::default(),
             max_body_bytes: 1 << 20,
             idle_timeout: Duration::from_secs(5),
+            header_read_timeout: Duration::from_secs(10),
             max_tune_evaluations: 65_536,
             max_tune_generations: 1024,
         }
     }
 }
 
-/// Count of live connection threads; shutdown waits for it to reach zero.
-#[derive(Default)]
-struct ConnGauge {
-    count: Mutex<usize>,
-    all_exited: Condvar,
+/// A parsed request handed from the event thread to the worker pool.
+/// `slot` marks requests holding an in-flight admission slot (released
+/// when their completion is queued).
+pub(crate) struct WorkItem {
+    pub(crate) token: u64,
+    pub(crate) request: Request,
+    pub(crate) slot: bool,
 }
 
-struct Shared {
-    engine: Arc<Engine>,
-    batcher: MicroBatcher,
-    metrics: Arc<ServeMetrics>,
-    draining: AtomicBool,
-    connections: ConnGauge,
-    max_inflight: usize,
-    max_body_bytes: usize,
-    idle_timeout: Duration,
-    max_tune_evaluations: u64,
-    max_tune_generations: u64,
+/// A finished response travelling back to the event thread.
+pub(crate) struct Completion {
+    pub(crate) token: u64,
+    pub(crate) response: Response,
+    pub(crate) close: bool,
+}
+
+pub(crate) struct Shared {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) batcher: MicroBatcher,
+    pub(crate) metrics: Arc<ServeMetrics>,
+    pub(crate) draining: AtomicBool,
+    /// Interrupts `epoll_wait` when a completion is queued or a drain
+    /// begins.
+    pub(crate) waker: Waker,
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    pub(crate) max_inflight: usize,
+    pub(crate) max_body_bytes: usize,
+    pub(crate) idle_timeout: Duration,
+    pub(crate) header_read_timeout: Duration,
+    pub(crate) max_tune_evaluations: u64,
+    pub(crate) max_tune_generations: u64,
+}
+
+impl Shared {
+    /// The single completion point: release the admission slot (if held),
+    /// queue the response for the event thread, wake it.
+    pub(crate) fn complete(&self, token: u64, response: Response, close: bool, slot: bool) {
+        if slot {
+            self.metrics.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+        self.completions
+            .lock()
+            .expect("completion queue poisoned")
+            .push(Completion {
+                token,
+                response,
+                close,
+            });
+        self.waker.wake();
+    }
 }
 
 /// A running server. Keep the handle; [`Server::shutdown`] drains and
@@ -103,7 +151,8 @@ struct Shared {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<std::thread::JoinHandle<()>>,
+    event: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -111,6 +160,8 @@ impl Server {
     pub fn start(engine: Arc<Engine>, config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let poller = Poller::new()?;
+        let waker = Waker::new()?;
         let metrics = Arc::new(ServeMetrics::default());
         let batcher = MicroBatcher::start(Arc::clone(&engine), config.batch, Arc::clone(&metrics));
         let shared = Arc::new(Shared {
@@ -118,66 +169,46 @@ impl Server {
             batcher,
             metrics,
             draining: AtomicBool::new(false),
-            connections: ConnGauge::default(),
+            waker,
+            completions: Mutex::new(Vec::new()),
             max_inflight: config.max_inflight.max(1),
             max_body_bytes: config.max_body_bytes,
             idle_timeout: config.idle_timeout,
+            header_read_timeout: config.header_read_timeout,
             max_tune_evaluations: config.max_tune_evaluations.max(1),
             max_tune_generations: config.max_tune_generations.max(1),
         });
 
-        let max_connections = config.max_connections.max(1);
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::Builder::new()
-            .name("pg-serve-accept".into())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if accept_shared.draining.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    let Ok(mut stream) = stream else { continue };
-                    // Connection-level shedding: at the bound, answer 429
-                    // from the accept loop without reading a byte, so a
-                    // flood cannot accumulate sockets or threads.
-                    {
-                        let mut count = accept_shared
-                            .connections
-                            .count
-                            .lock()
-                            .expect("connection gauge poisoned");
-                        if *count >= max_connections {
-                            drop(count);
-                            accept_shared
-                                .metrics
-                                .connections_shed
-                                .fetch_add(1, Ordering::Relaxed);
-                            let _ = Response::error(429, "connection limit reached")
-                                .with_header("Retry-After", "1")
-                                .write_to(&mut stream, true);
-                            continue;
-                        }
-                        *count += 1;
-                    }
-                    let conn_shared = Arc::clone(&accept_shared);
-                    let spawned = std::thread::Builder::new()
-                        .name("pg-serve-conn".into())
-                        .spawn(move || {
-                            // Decrements even if the handler panics.
-                            let _guard = ConnExit(&conn_shared.connections);
-                            handle_connection(&conn_shared, stream);
-                        });
-                    if spawned.is_err() {
-                        // Spawn failure: roll the registration back.
-                        ConnExit(&accept_shared.connections);
-                    }
-                }
+        let (work_tx, work_rx) = mpsc::channel::<WorkItem>();
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let work_rx = Arc::clone(&work_rx);
+                std::thread::Builder::new()
+                    .name(format!("pg-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &work_rx))
+                    .expect("spawning a worker thread")
             })
-            .expect("spawning the accept thread");
+            .collect();
+
+        let event_loop = EventLoop::new(
+            Arc::clone(&shared),
+            poller,
+            listener,
+            work_tx,
+            config.max_connections.max(1),
+        )?;
+        let event = std::thread::Builder::new()
+            .name("pg-serve-event".into())
+            .spawn(move || event_loop.run())
+            .expect("spawning the event thread");
 
         Ok(Server {
             addr,
             shared,
-            accept: Some(accept),
+            event: Some(event),
+            workers,
         })
     }
 
@@ -191,115 +222,88 @@ impl Server {
         self.shared.metrics.snapshot()
     }
 
-    /// Drain and stop: stop accepting, finish admitted requests, flush the
-    /// batcher, join every thread. Returns the final counters.
+    /// Total serving threads: the event thread plus the worker pool (the
+    /// batcher scheduler is one more). The number that bounds concurrency
+    /// for *thousands* of connections.
+    pub fn io_and_worker_threads(&self) -> usize {
+        1 + self.workers.len()
+    }
+
+    /// Drain and stop: stop accepting, finish dispatched requests, flush
+    /// the batcher, join every thread. Returns the final counters.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.shared.draining.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection. A wildcard
-        // bind address is not connectable on every platform; aim the wake
-        // at the loopback of the same family instead.
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(match wake.ip() {
-                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
-                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
-            });
+        self.shared.waker.wake();
+        // The event thread deregisters the listener, closes idle
+        // connections, finishes in-flight responses, and exits with the
+        // connection table empty — dropping the only work sender.
+        if let Some(event) = self.event.take() {
+            let _ = event.join();
         }
-        let _ = TcpStream::connect(wake);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        // Workers drain whatever the channel still buffers, then see the
+        // disconnect and exit.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
-        // Wait for every connection thread to exit (bounded by the idle
-        // timeout for clients that are holding a silent keep-alive open).
-        let mut count = self
-            .shared
-            .connections
-            .count
-            .lock()
-            .expect("connection gauge poisoned");
-        while *count > 0 {
-            count = self
-                .shared
-                .connections
-                .all_exited
-                .wait(count)
-                .expect("connection gauge poisoned");
-        }
-        drop(count);
+        // Join the batcher's scheduler from here rather than from whichever
+        // thread drops the last `Arc<Shared>`: an in-flight responder on
+        // the scheduler thread can itself hold the last reference, and a
+        // drop-triggered join there would be a self-join. After this the
+        // snapshot includes every batch.
+        self.shared.batcher.stop();
         let snapshot = self.shared.metrics.snapshot();
-        // This handle holds the last `Arc<Shared>` once the threads are
-        // done; dropping it drains and joins the batcher's scheduler.
         drop(self);
         snapshot
     }
 }
 
-/// RAII decrement of the connection gauge (notifies a waiting drain).
-struct ConnExit<'a>(&'a ConnGauge);
-
-impl Drop for ConnExit<'_> {
-    fn drop(&mut self) {
-        let mut count = self.0.count.lock().expect("connection gauge poisoned");
-        *count = count.saturating_sub(1);
-        if *count == 0 {
-            self.0.all_exited.notify_all();
-        }
-    }
-}
-
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(shared.idle_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
+/// One pool thread: pull parsed requests, execute, complete. The receiver
+/// mutex is held only across the `recv` — execution is concurrent.
+fn worker_loop(shared: &Arc<Shared>, work_rx: &Mutex<mpsc::Receiver<WorkItem>>) {
     loop {
-        let request = match read_request(&mut reader, shared.max_body_bytes, &mut writer) {
-            Ok(None) | Err(ParseError::Io(_)) => return, // closed or timed out
-            Ok(Some(request)) => request,
-            Err(ParseError::Malformed(detail)) => {
-                shared
-                    .metrics
-                    .http_bad_requests
-                    .fetch_add(1, Ordering::Relaxed);
-                let _ = Response::error(400, &detail).write_to(&mut writer, true);
-                return;
-            }
-            Err(ParseError::BodyTooLarge { declared, limit }) => {
-                shared
-                    .metrics
-                    .http_bad_requests
-                    .fetch_add(1, Ordering::Relaxed);
-                let _ = Response::error(
-                    413,
-                    &format!("body of {declared} bytes exceeds the {limit}-byte limit"),
-                )
-                .write_to(&mut writer, true);
-                return;
+        let item = {
+            let rx = work_rx.lock().expect("work queue poisoned");
+            match rx.recv() {
+                Ok(item) => item,
+                Err(_) => return, // event thread gone and queue drained
             }
         };
-        shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
-        let response = route(shared, &request);
-        // Drain closes connections after the in-flight response.
-        let close = !request.keep_alive() || shared.draining.load(Ordering::SeqCst);
-        if response.write_to(&mut writer, close).is_err() || close {
-            return;
-        }
+        route(shared, item);
     }
 }
 
-fn route(shared: &Shared, request: &Request) -> Response {
+fn route(shared: &Arc<Shared>, item: WorkItem) {
+    let WorkItem {
+        token,
+        request,
+        slot,
+    } = item;
+    let close = !request.keep_alive() || shared.draining.load(Ordering::SeqCst);
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => healthz(shared),
-        ("GET", "/metrics") => Response::text(200, shared.metrics.snapshot().to_prometheus()),
-        ("POST", "/advise") => advise(shared, &request.body),
-        ("POST", "/tune") => tune(shared, &request.body),
-        (_, "/healthz" | "/metrics" | "/advise" | "/tune") => {
-            Response::error(405, &format!("method {} not allowed", request.method))
+        ("GET", "/healthz") => shared.complete(token, healthz(shared), close, slot),
+        ("GET", "/metrics") => shared.complete(
+            token,
+            Response::text(200, shared.metrics.snapshot().to_prometheus()),
+            close,
+            slot,
+        ),
+        ("POST", "/advise") => advise(shared, token, &request.body, close),
+        ("POST", "/tune") => {
+            let response = tune(shared, &request.body);
+            shared.complete(token, response, close, slot);
         }
-        (_, path) => Response::error(404, &format!("no route for `{path}`")),
+        (method, "/healthz" | "/metrics" | "/advise" | "/tune") => shared.complete(
+            token,
+            Response::error(405, &format!("method {method} not allowed")),
+            close,
+            slot,
+        ),
+        (_, path) => shared.complete(
+            token,
+            Response::error(404, &format!("no route for `{path}`")),
+            close,
+            slot,
+        ),
     }
 }
 
@@ -326,42 +330,14 @@ fn healthz(shared: &Shared) -> Response {
     )
 }
 
-/// RAII decrement of the in-flight gauge.
-struct InFlight<'a>(&'a ServeMetrics);
-
-impl Drop for InFlight<'_> {
-    fn drop(&mut self) {
-        self.0.in_flight.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-/// The admission + body-parse preamble both POST routes share: count the
-/// request into the in-flight gauge (the returned guard holds the slot for
-/// the engine work and releases it on drop), shed 429 + `Retry-After` past
-/// `max_inflight` (bumping the route's `rejected` counter), refuse 503
-/// while draining, and parse the JSON body (400s name the expected
-/// `payload` type). Admission runs before the JSON parse: an overloaded
-/// server sheds after the size-bounded HTTP read, spending no further work.
-fn admit_and_parse<'a, T: for<'de> serde::Deserialize<'de>>(
-    shared: &'a Shared,
+/// The body-parse preamble both POST routes share (admission already ran
+/// at dispatch, on the event thread): refuse 503 while draining, then
+/// parse the JSON body (400s name the expected `payload` type).
+fn parse_body<T: for<'de> serde::Deserialize<'de>>(
+    shared: &Shared,
     body: &[u8],
-    rejected: &AtomicU64,
     payload: &str,
-) -> Result<(T, InFlight<'a>), Response> {
-    let admitted = shared.metrics.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
-    let guard = InFlight(&shared.metrics);
-    if admitted > shared.max_inflight as u64 {
-        drop(guard);
-        rejected.fetch_add(1, Ordering::Relaxed);
-        return Err(Response::error(
-            429,
-            &format!(
-                "{admitted} requests in flight exceeds the {} admitted",
-                shared.max_inflight
-            ),
-        )
-        .with_header("Retry-After", "1"));
-    }
+) -> Result<T, Response> {
     if shared.draining.load(Ordering::SeqCst) {
         return Err(Response::error(503, "server is draining"));
     }
@@ -376,7 +352,7 @@ fn admit_and_parse<'a, T: for<'de> serde::Deserialize<'de>>(
         }
     };
     match serde_json::from_str(text) {
-        Ok(request) => Ok((request, guard)),
+        Ok(request) => Ok(request),
         Err(error) => {
             shared
                 .metrics
@@ -387,68 +363,77 @@ fn admit_and_parse<'a, T: for<'de> serde::Deserialize<'de>>(
     }
 }
 
-fn advise(shared: &Shared, body: &[u8]) -> Response {
-    let (request, _guard): (AdviseRequest, _) = match admit_and_parse(
-        shared,
-        body,
-        &shared.metrics.advise_rejected,
-        "AdviseRequest",
-    ) {
-        Ok(admitted) => admitted,
-        Err(response) => return response,
+/// `POST /advise`: parse, submit to the micro-batcher, return. The
+/// completion happens from the batcher's responder once the batch executes
+/// — the worker thread is free the moment the submit queues, which is why
+/// batch depth is bounded by admitted traffic rather than pool size.
+fn advise(shared: &Arc<Shared>, token: u64, body: &[u8], close: bool) {
+    let request: AdviseRequest = match parse_body(shared, body, "AdviseRequest") {
+        Ok(request) => request,
+        Err(response) => return shared.complete(token, response, close, true),
     };
-    match shared.batcher.advise(request) {
-        Ok(report) => match serde_json::to_string(&report) {
-            Ok(json) => {
-                shared.metrics.advise_ok.fetch_add(1, Ordering::Relaxed);
-                shared
-                    .metrics
-                    .record_analysis(&report.diagnostics, report.race_pruned.len() as u64);
-                Response::json(200, json)
-            }
-            Err(error) => {
-                shared.metrics.advise_failed.fetch_add(1, Ordering::Relaxed);
-                Response::error(500, &format!("serializing report: {error}"))
-            }
-        },
-        Err(error) => {
-            let status = match &error {
-                ServeError::Overloaded { .. } => {
-                    shared
-                        .metrics
-                        .advise_rejected
-                        .fetch_add(1, Ordering::Relaxed);
-                    return Response::error(429, &error.to_string())
-                        .with_header("Retry-After", "1");
-                }
-                ServeError::ShuttingDown => 503,
-                ServeError::Engine(EngineError::BackendUnavailable(_)) => 503,
-                // The request was well-formed HTTP+JSON but the engine
-                // cannot satisfy it (unknown kernel, bad source, empty
-                // budget): the client's fault, a semantic 422.
-                ServeError::Engine(_) => 422,
+    let responder_shared = Arc::clone(shared);
+    shared.batcher.submit(
+        request,
+        Box::new(move |outcome| {
+            let shared = responder_shared;
+            let response = match outcome {
+                Ok(report) => match serde_json::to_string(&report) {
+                    Ok(json) => {
+                        shared.metrics.advise_ok.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .metrics
+                            .record_analysis(&report.diagnostics, report.race_pruned.len() as u64);
+                        Response::json(200, json)
+                    }
+                    Err(error) => {
+                        shared.metrics.advise_failed.fetch_add(1, Ordering::Relaxed);
+                        Response::error(500, &format!("serializing report: {error}"))
+                    }
+                },
+                Err(error) => match &error {
+                    ServeError::Overloaded { .. } => {
+                        shared
+                            .metrics
+                            .advise_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        Response::error(429, &error.to_string()).with_header("Retry-After", "1")
+                    }
+                    other => {
+                        let status = match other {
+                            ServeError::ShuttingDown => 503,
+                            ServeError::Engine(EngineError::BackendUnavailable(_)) => 503,
+                            // The request was well-formed HTTP+JSON but the
+                            // engine cannot satisfy it (unknown kernel, bad
+                            // source, empty budget): the client's fault, a
+                            // semantic 422.
+                            _ => 422,
+                        };
+                        shared.metrics.advise_failed.fetch_add(1, Ordering::Relaxed);
+                        Response::error(status, &error.to_string())
+                    }
+                },
             };
-            shared.metrics.advise_failed.fetch_add(1, Ordering::Relaxed);
-            Response::error(status, &error.to_string())
-        }
-    }
+            shared.complete(token, response, close, true);
+        }),
+    );
 }
 
 /// `POST /tune`: run a budgeted variant-space search with the shared engine
 /// as cost model.
 ///
-/// Admission control is the same in-flight gauge `/advise` uses — a tuning
-/// run is strictly heavier than an advise call (many frontier batches), so
-/// it must not be able to sneak past the load shedding. The micro-batcher
-/// is *not* in this path: the tuner already batches internally (each search
-/// generation is one `advise_many`, i.e. one backend `predict_batch`).
+/// Admission control is the same in-flight gauge `/advise` uses (checked at
+/// dispatch) — a tuning run is strictly heavier than an advise call (many
+/// frontier batches), so it must not be able to sneak past the load
+/// shedding. The micro-batcher is *not* in this path: the tuner already
+/// batches internally (each search generation is one `advise_many`, i.e.
+/// one backend `predict_batch`). It blocks its worker thread for the run —
+/// bounded by the budget clamp below.
 fn tune(shared: &Shared, body: &[u8]) -> Response {
-    shared.metrics.tune_requests.fetch_add(1, Ordering::Relaxed);
-    let (mut request, _guard): (TuneRequest, _) =
-        match admit_and_parse(shared, body, &shared.metrics.tune_rejected, "TuneRequest") {
-            Ok(admitted) => admitted,
-            Err(response) => return response,
-        };
+    let mut request: TuneRequest = match parse_body(shared, body, "TuneRequest") {
+        Ok(request) => request,
+        Err(response) => return response,
+    };
     // Clamp the client-supplied budget to the server's ceiling: search
     // work is otherwise unbounded from the wire, and an admission slot
     // must not be holdable for hours (the report's accounting shows the
@@ -495,6 +480,7 @@ mod tests {
     use pg_engine::AdviseReport;
     use pg_perfsim::Platform;
     use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     fn start(config: ServeConfig) -> (Server, Arc<Engine>) {
         let engine = Arc::new(Engine::builder().platform(Platform::SummitV100).build());
@@ -734,6 +720,8 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("paragraph_serve_advise_ok_total 1"));
         assert!(body.contains("paragraph_serve_batches_total 1"));
+        assert!(body.contains("paragraph_serve_batch_fill_ratio"));
+        assert!(body.contains("paragraph_serve_open_connections 1"));
         server.shutdown();
     }
 
@@ -779,7 +767,8 @@ mod tests {
     #[test]
     fn slow_advise_saturates_admission_for_real() {
         // max_inflight 2 with many connections allowed: flood with slow
-        // GNN-free requests and verify at least one real 429 under load.
+        // one-per-batch requests and verify at least one real 429 under
+        // load.
         let (server, _) = start(ServeConfig {
             max_inflight: 2,
             batch: BatchConfig {
@@ -867,6 +856,7 @@ mod tests {
         drop(stream);
         let metrics = server.shutdown();
         assert_eq!(metrics.http_requests, 3);
+        assert_eq!(metrics.connections_opened, 1);
     }
 
     #[test]

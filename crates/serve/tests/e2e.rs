@@ -307,3 +307,150 @@ fn racy_raw_source_advise_reports_diagnostics_over_http() {
     // even though diagnostics were recorded.
     assert_eq!(snapshot.analyze_race_pruned, 0);
 }
+
+/// The event loop's connection ceiling: 256 concurrent keep-alive sockets
+/// — far beyond the worker pool — each sending its request in interleaved
+/// fragments (every connection's first half lands before any second half),
+/// then a second request on the same connections. Under
+/// thread-per-connection this took 256 threads; here it is a handful.
+#[test]
+fn many_keep_alive_connections_with_interleaved_partial_writes() {
+    let engine = Arc::new(Engine::builder().platform(PLATFORM).build());
+    let server = Server::start(
+        Arc::clone(&engine),
+        ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        server.io_and_worker_threads() <= 8,
+        "connection count must not buy threads"
+    );
+    let addr = server.addr();
+
+    const CONNS: usize = 256;
+    let request = b"GET /healthz HTTP/1.1\r\nHost: many\r\n\r\n";
+    let split = request.len() / 2;
+    let mut sockets: Vec<TcpStream> = (0..CONNS)
+        .map(|_| TcpStream::connect(addr).unwrap())
+        .collect();
+
+    for round in 0..2 {
+        // Interleaved partial writes: all first fragments, then all second
+        // fragments — every connection is mid-request at once, which a
+        // blocking parser would need a thread apiece to survive.
+        for socket in &mut sockets {
+            socket.write_all(&request[..split]).unwrap();
+        }
+        for socket in &mut sockets {
+            socket.write_all(&request[split..]).unwrap();
+        }
+        for (i, socket) in sockets.iter_mut().enumerate() {
+            let mut header = Vec::new();
+            let mut byte = [0u8; 1];
+            while !header.ends_with(b"\r\n\r\n") {
+                socket.read_exact(&mut byte).unwrap();
+                header.push(byte[0]);
+            }
+            let head = String::from_utf8(header).unwrap();
+            assert!(
+                head.starts_with("HTTP/1.1 200"),
+                "conn {i} round {round}: {head}"
+            );
+            let length: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            let mut body = vec![0u8; length];
+            socket.read_exact(&mut body).unwrap();
+        }
+    }
+
+    let live = server.metrics();
+    assert_eq!(live.open_connections, CONNS as u64);
+    assert_eq!(live.connections_opened, CONNS as u64);
+    assert_eq!(live.http_requests, 2 * CONNS as u64);
+    assert_eq!(live.connections_shed, 0);
+
+    // Drain with all 256 still open: idle connections close immediately.
+    let metrics = server.shutdown();
+    assert_eq!(metrics.open_connections, 0);
+    assert_eq!(metrics.http_requests, 2 * CONNS as u64);
+}
+
+/// Slow-loris robustness: a stalled half-request is cut off by the
+/// header-read timeout without occupying a worker, a byte-at-a-time client
+/// that stays under the timeout is served normally, and neither blocks a
+/// concurrent well-behaved client.
+#[test]
+fn slow_loris_is_timed_out_and_does_not_block_others() {
+    let engine = Arc::new(Engine::builder().platform(PLATFORM).build());
+    let server = Server::start(
+        Arc::clone(&engine),
+        ServeConfig {
+            workers: 1, // a single worker: any handler stall would show
+            header_read_timeout: Duration::from_millis(500),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // The stall: half a request line, then silence.
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    stalled.write_all(b"GET /hea").unwrap();
+    let stalled_since = std::time::Instant::now();
+
+    // The dribble: a full request at one byte per write.
+    let dribbler = std::thread::spawn(move || {
+        let mut socket = TcpStream::connect(addr).unwrap();
+        for &byte in b"GET /healthz HTTP/1.1\r\nHost: drib\r\nConnection: close\r\n\r\n" {
+            socket.write_all(&[byte]).unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut response = String::new();
+        socket.read_to_string(&mut response).unwrap();
+        response
+    });
+
+    // A normal client is served while both misbehave.
+    let (status, body) = post_advise(
+        addr,
+        &serde_json::to_string(&AdviseRequest::catalog("MM/matmul")).unwrap(),
+    );
+    assert_eq!(status, 200, "well-behaved client starved: {body}");
+
+    let dribbled = dribbler.join().unwrap();
+    assert!(
+        dribbled.starts_with("HTTP/1.1 200"),
+        "byte-at-a-time client not served: {dribbled}"
+    );
+
+    // The stalled connection is closed by the server (EOF, no response)
+    // once the header-read timeout expires — not left hanging.
+    let mut leftover = String::new();
+    stalled.read_to_string(&mut leftover).unwrap();
+    assert_eq!(leftover, "", "a half request must not be answered");
+    let stalled_for = stalled_since.elapsed();
+    assert!(
+        stalled_for >= Duration::from_millis(400),
+        "cut off before the timeout: {stalled_for:?}"
+    );
+    assert!(
+        stalled_for < Duration::from_secs(5),
+        "timeout never fired: {stalled_for:?}"
+    );
+
+    let metrics = server.shutdown();
+    assert!(
+        metrics.conn_timeouts >= 1,
+        "timeout not accounted: {metrics:?}"
+    );
+    assert_eq!(metrics.advise_ok, 1);
+    assert_eq!(metrics.http_requests, 2);
+}

@@ -11,6 +11,8 @@
 //! cargo run --release --example serve -- --platform summit-v100 \
 //!     --model target/models/summit-v100-<hash>.bundle.json    # hot-load a GNN bundle
 //! cargo run --release --example serve -- --train-fast         # train a small GNN in-process
+//! cargo run --release --example serve -- --workers 8 --max-batch 512 \
+//!     --max-wait-ms 2 --max-connections 16384                 # event-loop sizing
 //! ```
 //!
 //! A round trip:
@@ -88,10 +90,31 @@ fn main() {
     }
     let engine = Arc::new(builder.build());
 
-    let config = ServeConfig {
+    let parsed_flag = |name: &str| -> Option<u64> {
+        flag_value(&args, name).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: {name} expects a number, got `{v}`");
+                std::process::exit(2);
+            })
+        })
+    };
+    let mut config = ServeConfig {
         addr: flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:8970".to_string()),
         ..ServeConfig::default()
     };
+    if let Some(workers) = parsed_flag("--workers") {
+        config.workers = workers.max(1) as usize;
+    }
+    if let Some(max_batch) = parsed_flag("--max-batch") {
+        config.batch.max_batch = max_batch.max(1) as usize;
+        config.batch.queue_depth = config.batch.queue_depth.max(config.batch.max_batch * 4);
+    }
+    if let Some(max_wait_ms) = parsed_flag("--max-wait-ms") {
+        config.batch.max_wait = Duration::from_millis(max_wait_ms);
+    }
+    if let Some(max_connections) = parsed_flag("--max-connections") {
+        config.max_connections = max_connections.max(1) as usize;
+    }
     install_termination_handler();
     let backend_name = engine.backend_name().to_string();
     let server = match Server::start(engine, config) {
