@@ -211,6 +211,10 @@ pub fn analyze_ast_with(
     rules: &[Box<dyn LintRule>],
     tolerated: &[&str],
 ) -> AnalysisReport {
+    // Every analysis entry point funnels through here, so this one timer
+    // is the ground truth for the `analyze` stage histogram (the engine's
+    // gate span above it is trace-only).
+    let _timer = pg_obs::obs().timer(pg_obs::Stage::Analyze);
     let ctx = AnalysisContext::build(ast);
     let mut sink = DiagnosticSink::default();
     for rule in rules {

@@ -1,0 +1,186 @@
+//! Machine-readable baseline for the observability tier: what tracing and
+//! stage histograms add to a warm `Engine::advise` round trip.
+//!
+//! Three configurations of the same warm engine:
+//!
+//! * **off** — the hub disabled (`PARAGRAPH_OBS=0` equivalent): every span
+//!   site degrades to one atomic load, the budget the serving bench's
+//!   within-3% acceptance rides on;
+//! * **hist** — hub enabled, request untraced: stage histograms record but
+//!   no span storage is touched (the common case under 1-in-N sampling);
+//! * **traced** — hub enabled plus a full per-request trace (begin, spans
+//!   in every tier, commit), the worst case a sampled request pays.
+//!
+//! Besides the criterion output, the results are written to
+//! `BENCH_obs.json` at the repository root so future PRs can track the
+//! overhead. Set `PARAGRAPH_BENCH_SMOKE=1` for the CI smoke run: one
+//! repetition, no JSON rewrite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pg_engine::{AdviseRequest, Engine};
+use pg_perfsim::Platform;
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var("PARAGRAPH_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// Median of `reps` wall-clock samples from `f`, in microseconds.
+fn median_wall_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+#[derive(serde::Serialize)]
+struct KernelCase {
+    kernel: String,
+    off_wall_us: f64,
+    hist_wall_us: f64,
+    traced_wall_us: f64,
+    /// `(hist - off) / off`: the histogram-only overhead every request
+    /// pays with the hub on.
+    hist_overhead_fraction: f64,
+    /// `(traced - off) / off`: the full span-collection overhead a
+    /// sampled request pays.
+    traced_overhead_fraction: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Aggregate {
+    cases: usize,
+    mean_hist_overhead_fraction: f64,
+    mean_traced_overhead_fraction: f64,
+    /// The documented overhead budget: full tracing must stay under 10%
+    /// of the warm advise round trip (the disabled path is covered by the
+    /// serve bench's within-3% throughput criterion).
+    traced_within_target: bool,
+}
+
+#[derive(serde::Serialize)]
+struct BenchReport {
+    schema: u32,
+    kernels: Vec<KernelCase>,
+    aggregate: Aggregate,
+}
+
+fn traced_advise(engine: &Engine, request: &AdviseRequest) {
+    let o = pg_obs::obs();
+    let trace = o.begin_trace("bench");
+    let root = o.trace_span(&trace, pg_obs::Stage::Request, None);
+    let reports =
+        engine.advise_many_traced(std::slice::from_ref(request), std::slice::from_ref(&trace));
+    assert!(reports[0].is_ok());
+    root.finish();
+    o.commit(trace);
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let o = pg_obs::obs();
+    let engine = Engine::builder().platform(Platform::SummitV100).build();
+    let request = AdviseRequest::catalog("MM/matmul");
+    engine.advise(&request).unwrap(); // warm frontend + analysis memo
+
+    o.set_enabled(false);
+    c.bench_function("advise_matmul_obs_off", |b| {
+        b.iter(|| engine.advise(std::hint::black_box(&request)).unwrap())
+    });
+    o.set_enabled(true);
+    c.bench_function("advise_matmul_obs_hist", |b| {
+        b.iter(|| engine.advise(std::hint::black_box(&request)).unwrap())
+    });
+    o.set_sample_every(1);
+    c.bench_function("advise_matmul_obs_traced", |b| {
+        b.iter(|| traced_advise(&engine, std::hint::black_box(&request)))
+    });
+    o.clear_traces();
+}
+
+fn record_json(c: &mut Criterion) {
+    let reps = if smoke() { 9 } else { 51 };
+    let o = pg_obs::obs();
+    let engine = Engine::builder().platform(Platform::SummitV100).build();
+    let kernel_names = if smoke() {
+        vec!["MM/matmul".to_string()]
+    } else {
+        pg_kernels::all_kernels()
+            .iter()
+            .map(|k| k.full_name())
+            .collect()
+    };
+
+    let mut kernels = Vec::new();
+    for name in kernel_names {
+        let request = AdviseRequest::catalog(&name);
+        engine.advise(&request).unwrap(); // warm
+
+        o.set_enabled(false);
+        let off = median_wall_us(reps, || {
+            engine.advise(&request).unwrap();
+        });
+        o.set_enabled(true);
+        let hist = median_wall_us(reps, || {
+            engine.advise(&request).unwrap();
+        });
+        o.set_sample_every(1);
+        let traced = median_wall_us(reps, || {
+            traced_advise(&engine, &request);
+        });
+        kernels.push(KernelCase {
+            kernel: name,
+            off_wall_us: off,
+            hist_wall_us: hist,
+            traced_wall_us: traced,
+            hist_overhead_fraction: (hist - off) / off.max(1e-9),
+            traced_overhead_fraction: (traced - off) / off.max(1e-9),
+        });
+    }
+    o.clear_traces();
+
+    let mean = |f: fn(&KernelCase) -> f64| {
+        kernels.iter().map(f).sum::<f64>() / kernels.len().max(1) as f64
+    };
+    let aggregate = Aggregate {
+        cases: kernels.len(),
+        mean_hist_overhead_fraction: mean(|k| k.hist_overhead_fraction),
+        mean_traced_overhead_fraction: mean(|k| k.traced_overhead_fraction),
+        traced_within_target: mean(|k| k.traced_overhead_fraction) < 0.10,
+    };
+    println!(
+        "obs overhead: {} kernels, hist {:+.2}%, traced {:+.2}% vs disabled (traced target < 10%: {})",
+        aggregate.cases,
+        aggregate.mean_hist_overhead_fraction * 100.0,
+        aggregate.mean_traced_overhead_fraction * 100.0,
+        aggregate.traced_within_target,
+    );
+    let report = BenchReport {
+        schema: 1,
+        kernels,
+        aggregate,
+    };
+    if smoke() {
+        // The CI smoke run proves the harness executes end to end; keep the
+        // committed baseline intact.
+        return;
+    }
+    let json = serde_json::to_string(&report).expect("bench report serialises");
+    std::fs::write(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json"),
+        json,
+    )
+    .expect("write BENCH_obs.json at the repository root");
+    let _ = c;
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_obs_overhead, record_json
+}
+criterion_main!(benches);

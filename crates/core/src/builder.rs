@@ -72,7 +72,13 @@ impl BuilderConfig {
 
 /// Build the graph representation of `ast` under `config`.
 pub fn build(ast: &Ast, config: &BuilderConfig) -> ParaGraph {
-    Builder::new(ast, config).run()
+    // Stage-level latency attribution: graph construction shows up as
+    // `graph_build` in the observability histograms (a no-op when pg-obs
+    // is disabled).
+    let timer = pg_obs::obs().timer(pg_obs::Stage::GraphBuild);
+    let graph = Builder::new(ast, config).run();
+    timer.finish();
+    graph
 }
 
 /// Build the full ParaGraph with default configuration (serial launch).

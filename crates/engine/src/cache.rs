@@ -212,7 +212,10 @@ impl FrontendCache {
         source: &str,
         request: Option<&RequestCounters>,
     ) -> Result<Arc<Ast>, EngineError> {
-        if let Some(ast) = self.asts.lock().expect("ast cache poisoned").get_by(source) {
+        let probe = pg_obs::obs().timer(pg_obs::Stage::CacheLookup);
+        let cached = self.asts.lock().expect("ast cache poisoned").get_by(source);
+        probe.finish();
+        if let Some(ast) = cached {
             self.record(request, true);
             return Ok(ast);
         }
@@ -252,7 +255,10 @@ impl FrontendCache {
             teams,
             threads,
         };
-        if let Some(graph) = self.graphs.lock().expect("graph cache poisoned").get(&key) {
+        let probe = pg_obs::obs().timer(pg_obs::Stage::CacheLookup);
+        let cached = self.graphs.lock().expect("graph cache poisoned").get(&key);
+        probe.finish();
+        if let Some(graph) = cached {
             self.record(request, true);
             return Ok(graph);
         }

@@ -48,13 +48,16 @@ pub mod request;
 pub use backend::{PredictionContext, RuntimePredictor, SimulatorBackend};
 pub use cache::{CacheCounters, FrontendCache, LruCache, RequestCounters};
 pub use error::EngineError;
-pub use report::{AdviseReport, CacheActivity, PredictionFailure, Timing, VariantPrediction};
+pub use report::{
+    AdviseReport, CacheActivity, PredictionFailure, StageBreakdown, Timing, VariantPrediction,
+};
 pub use request::{AdviseRequest, KernelSpec, LaunchBudget};
 
 use pg_advisor::{
     instantiate, KernelInstance, LaunchConfig, ParallelismBudget, PrunedVariant, Variant,
 };
 use pg_analyze::{AnalysisReport, Diagnostic, LegalityVerdict};
+use pg_obs::{obs, Obs, Stage, TraceHandle};
 use pg_perfsim::Platform;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -63,9 +66,15 @@ use std::time::Instant;
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 
 /// What candidate enumeration hands the predictor: admitted instances, the
-/// unique diagnostics collected while gating them, and the variants the
-/// legality analysis pruned.
-type GatedCandidates = (Vec<KernelInstance>, Vec<Diagnostic>, Vec<PrunedVariant>);
+/// unique diagnostics collected while gating them, the variants the
+/// legality analysis pruned, and how long the gate itself took.
+struct GatedCandidates {
+    instances: Vec<KernelInstance>,
+    diagnostics: Vec<Diagnostic>,
+    race_pruned: Vec<PrunedVariant>,
+    /// Wall time spent in the legality gate (0 when untraced or gate off).
+    analyze_us: u64,
+}
 
 /// The serving facade: a platform, a prediction backend, and a memoized
 /// frontend, behind one `advise` call.
@@ -228,6 +237,29 @@ impl Engine {
         }
     }
 
+    /// [`Engine::analysis_of`] wrapped in an `analyze` stage span when
+    /// observability is on; with it off this is the bare memoized call.
+    fn analysis_traced(
+        &self,
+        o: &Obs,
+        trace: &TraceHandle,
+        instance: &KernelInstance,
+        analyze_us: &mut u64,
+    ) -> Arc<AnalysisReport> {
+        if !o.enabled() {
+            return self.analysis_of(instance);
+        }
+        let started = Instant::now();
+        // Trace-only: the `analyze` histogram is fed by pg-analyze's own
+        // instrumented entry point, so a memoized warm probe records no
+        // phantom analysis sample.
+        let span = o.trace_span(trace, Stage::Analyze, trace.root());
+        let report = self.analysis_of(instance);
+        span.finish();
+        *analyze_us += started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        report
+    }
+
     /// Enumerate the candidate instances of a request, gated by the static
     /// legality analysis when enabled: catalogue variants with a `Race`
     /// verdict are pruned before prediction, raw-source requests are
@@ -237,7 +269,10 @@ impl Engine {
         &self,
         request: &AdviseRequest,
         counters: &RequestCounters,
+        trace: &TraceHandle,
     ) -> Result<GatedCandidates, EngineError> {
+        let o = obs();
+        let mut analyze_us = 0u64;
         let launches = self.launches(&request.budget, self.platform.is_gpu());
         if launches.is_empty() {
             return Err(EngineError::EmptyBudget);
@@ -271,7 +306,7 @@ impl Engine {
                     // launch-invariance.
                     if self.analysis_gate {
                         let probe = instantiate(&kernel, variant, &sizes, launches[0]);
-                        let report = self.analysis_of(&probe);
+                        let report = self.analysis_traced(o, trace, &probe, &mut analyze_us);
                         Self::merge_diagnostics(&mut diagnostics, &report.diagnostics);
                         if let LegalityVerdict::Race(reason) = &report.verdict {
                             race_pruned.push(PrunedVariant {
@@ -299,7 +334,12 @@ impl Engine {
                             .unwrap_or_default(),
                     });
                 }
-                Ok((out, diagnostics, race_pruned))
+                Ok(GatedCandidates {
+                    instances: out,
+                    diagnostics,
+                    race_pruned,
+                    analyze_us,
+                })
             }
             KernelSpec::Source { name, source } => {
                 // Validate the source once up front so a typo fails the
@@ -327,7 +367,12 @@ impl Engine {
                     })
                     .collect();
                 if !self.analysis_gate {
-                    return Ok((instances, Vec::new(), Vec::new()));
+                    return Ok(GatedCandidates {
+                        instances,
+                        diagnostics: Vec::new(),
+                        race_pruned: Vec::new(),
+                        analyze_us,
+                    });
                 }
                 // Every candidate shares the one raw source, so a single
                 // assessment covers the whole launch sweep. Raw sources
@@ -336,9 +381,16 @@ impl Engine {
                 let mut diagnostics = Vec::new();
                 Self::merge_diagnostics(
                     &mut diagnostics,
-                    &self.analysis_of(&instances[0]).diagnostics,
+                    &self
+                        .analysis_traced(o, trace, &instances[0], &mut analyze_us)
+                        .diagnostics,
                 );
-                Ok((instances, diagnostics, Vec::new()))
+                Ok(GatedCandidates {
+                    instances,
+                    diagnostics,
+                    race_pruned: Vec::new(),
+                    analyze_us,
+                })
             }
         }
     }
@@ -399,16 +451,36 @@ impl Engine {
         &self,
         requests: &[AdviseRequest],
     ) -> Vec<Result<AdviseReport, EngineError>> {
+        self.advise_many_traced(requests, &[])
+    }
+
+    /// [`Engine::advise_many`] with per-request trace handles (`pg_obs`):
+    /// candidate enumeration, the legality gate, and the batched backend
+    /// prediction each record stage spans against the matching handle, and
+    /// traced reports carry a [`StageBreakdown`]. Missing or inactive
+    /// handles (including the empty slice `advise_many` passes) make this
+    /// identical to the untraced path.
+    pub fn advise_many_traced(
+        &self,
+        requests: &[AdviseRequest],
+        traces: &[TraceHandle],
+    ) -> Vec<Result<AdviseReport, EngineError>> {
         struct Pending {
             request_idx: usize,
             started: Instant,
             enumerate_ms: f64,
+            enumerate_us: u64,
+            analyze_us: u64,
             enum_cache: CacheCounters,
             is_catalog: bool,
             range: std::ops::Range<usize>,
             diagnostics: Vec<Diagnostic>,
             race_pruned: Vec<PrunedVariant>,
         }
+
+        let o = obs();
+        let disabled = TraceHandle::disabled();
+        let trace_of = |idx: usize| traces.get(idx).unwrap_or(&disabled);
 
         let mut results: Vec<Option<Result<AdviseReport, EngineError>>> =
             requests.iter().map(|_| None).collect();
@@ -417,19 +489,27 @@ impl Engine {
         for (request_idx, request) in requests.iter().enumerate() {
             let started = Instant::now();
             let counters = RequestCounters::default();
-            match self.candidates(request, &counters) {
-                Ok((mut enumerated, diagnostics, race_pruned)) => {
+            let trace = trace_of(request_idx);
+            let enum_span = o.span(trace, Stage::Enumerate, trace.root());
+            let gated = self.candidates(request, &counters, trace);
+            enum_span.finish();
+            match gated {
+                Ok(gated) => {
                     let start = candidates.len();
+                    let mut enumerated = gated.instances;
                     candidates.append(&mut enumerated);
+                    let elapsed = started.elapsed();
                     pending.push(Pending {
                         request_idx,
                         started,
-                        enumerate_ms: started.elapsed().as_secs_f64() * 1e3,
+                        enumerate_ms: elapsed.as_secs_f64() * 1e3,
+                        enumerate_us: elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+                        analyze_us: gated.analyze_us,
                         enum_cache: counters.snapshot(),
                         is_catalog: matches!(request.kernel, KernelSpec::Catalog(_)),
                         range: start..candidates.len(),
-                        diagnostics,
-                        race_pruned,
+                        diagnostics: gated.diagnostics,
+                        race_pruned: gated.race_pruned,
                     });
                 }
                 Err(error) => results[request_idx] = Some(Err(error)),
@@ -438,12 +518,25 @@ impl Engine {
 
         // One backend call over the whole batch. Cache activity during
         // prediction is shared accounting: the backend resolves graphs for
-        // every request through one context.
+        // every request through one context — and so is predict timing:
+        // every traced member gets a predict span over the same interval.
+        let predict_spans: Vec<pg_obs::Span<'_>> = pending
+            .iter()
+            .map(|entry| {
+                let trace = trace_of(entry.request_idx);
+                o.span(trace, Stage::Predict, trace.root())
+            })
+            .collect();
         let predict_started = Instant::now();
         let batch_counters = RequestCounters::default();
         let ctx = PredictionContext::new(&self.cache, self.platform, &batch_counters);
         let predictions = self.backend.predict_batch(&ctx, &candidates);
-        let predict_ms = predict_started.elapsed().as_secs_f64() * 1e3;
+        let predict_elapsed = predict_started.elapsed();
+        let predict_ms = predict_elapsed.as_secs_f64() * 1e3;
+        let predict_us = predict_elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        for span in predict_spans {
+            span.finish();
+        }
         let predict_cache = batch_counters.snapshot();
 
         for entry in pending {
@@ -502,6 +595,13 @@ impl Engine {
                     },
                     diagnostics: entry.diagnostics,
                     race_pruned: entry.race_pruned,
+                    stages: trace_of(entry.request_idx)
+                        .active()
+                        .then_some(StageBreakdown {
+                            enumerate_us: entry.enumerate_us,
+                            analyze_us: entry.analyze_us,
+                            predict_us,
+                        }),
                 })
             });
         }

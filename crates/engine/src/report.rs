@@ -62,6 +62,23 @@ pub struct Timing {
     pub total_ms: f64,
 }
 
+/// Per-stage latency attribution of one request, in microseconds. Only
+/// present when the request was traced (see `pg_obs`): callers that want
+/// the breakdown opt in by serving through a traced path, and untraced
+/// requests pay nothing for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct StageBreakdown {
+    /// Candidate enumeration, including the legality gate.
+    pub enumerate_us: u64,
+    /// Static legality analysis alone (a subset of `enumerate_us`; zero on
+    /// memoized warm probes and when the gate is disabled).
+    pub analyze_us: u64,
+    /// Batched backend prediction. Batch-scoped like
+    /// [`Timing::predict_ms`]: every member of a coalesced batch reports
+    /// the same value.
+    pub predict_us: u64,
+}
+
 /// The engine's answer to one [`AdviseRequest`](crate::AdviseRequest).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AdviseReport {
@@ -86,6 +103,9 @@ pub struct AdviseReport {
     /// prediction (always empty for raw-source requests, which are
     /// diagnosed but never pruned).
     pub race_pruned: Vec<PrunedVariant>,
+    /// Per-stage latency attribution; `None` unless the request ran
+    /// through a traced path (`Engine::advise_many_traced`).
+    pub stages: Option<StageBreakdown>,
 }
 
 impl AdviseReport {
@@ -133,6 +153,7 @@ mod tests {
             cache: CacheActivity::default(),
             diagnostics: vec![],
             race_pruned: vec![],
+            stages: None,
         };
         assert_eq!(report.best().unwrap().predicted_ms, 1.5);
         assert_eq!(report.best().unwrap().label(), "gpu_collapse @ 80x128");

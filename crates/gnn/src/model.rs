@@ -218,13 +218,17 @@ impl ParaGraphModel {
         // whole d(features) branch of the first layer.
         let mut h = tape.leaf_copy_no_grad(&batch.features);
 
-        // RGAT stack over the disjoint union.
+        // RGAT stack over the disjoint union. Each layer's forward pass is
+        // timed into the `gnn_forward` stage histogram; with observability
+        // disabled the timer is one atomic load and no clock read.
         let mut offset = 0;
         for layer in &self.rgat {
+            let timer = pg_obs::obs().timer(pg_obs::Stage::GnnForward);
             let count = layer.parameter_count();
             let layer_params = &param_vars[offset..offset + count];
             h = layer.forward_with_dispatch(tape, h, layer_params, &batch.relations, n, dispatch);
             offset += count;
+            timer.finish();
         }
 
         // Readout: per-graph mean over that graph's node rows.
@@ -308,7 +312,9 @@ impl ParaGraphModel {
         let mut tape = Tape::new();
         let (_, loss, param_vars) = self.forward_batched(&mut tape, &batch, Some(&[sample.target]));
         let loss = loss.expect("loss requested");
+        let timer = pg_obs::obs().timer(pg_obs::Stage::GnnBackward);
         tape.backward(loss);
+        timer.finish();
         let grads = param_vars.iter().map(|&v| tape.grad(v)).collect();
         (tape.value(loss).get(0, 0), grads)
     }

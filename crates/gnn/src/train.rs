@@ -364,7 +364,9 @@ pub fn train_prepared(
                 .collect();
             let (_, loss, param_vars) = model.forward_batched(&mut tape, &batch, Some(&targets));
             let loss = loss.expect("targets were supplied");
+            let backward_timer = pg_obs::obs().timer(pg_obs::Stage::GnnBackward);
             tape.backward(loss);
+            backward_timer.finish();
             // The batch-mean MSE equals the mean of per-sample losses.
             epoch_loss += f64::from(tape.value(loss).get(0, 0));
             batches += 1;

@@ -1,0 +1,363 @@
+//! Lock-free per-stage latency histograms.
+//!
+//! Every pipeline stage records durations into a fixed array of atomic
+//! buckets with power-of-two microsecond bounds: bucket `i` counts durations
+//! in `[2^i, 2^(i+1))` microseconds (bucket 0 also absorbs sub-microsecond
+//! samples), and one final overflow bucket absorbs everything at or above
+//! `2^FINITE_BUCKETS` microseconds (~134 s). Recording is a handful of
+//! relaxed `fetch_add`s — no locks, no allocation — so it is safe on the
+//! serving hot path, and snapshots are mergeable plain data.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of finite power-of-two buckets (1 µs .. 2^27 µs ≈ 134 s).
+pub const FINITE_BUCKETS: usize = 27;
+
+/// Total buckets including the overflow bucket.
+pub const BUCKET_COUNT: usize = FINITE_BUCKETS + 1;
+
+/// The instrumented pipeline stages, end to end: socket accept through
+/// response write, plus the engine/GNN/tune interior stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Stage {
+    /// Whole-request root span (accept to last response byte flushed).
+    Request,
+    /// Socket accept and connection setup on the event thread.
+    Accept,
+    /// Incremental HTTP read + parse, first byte to complete request.
+    Parse,
+    /// Time a job spends queued in the micro-batcher before its batch forms.
+    BatchWait,
+    /// Candidate variant enumeration inside the engine.
+    Enumerate,
+    /// Static legality analysis (the pg-analyze gate).
+    Analyze,
+    /// Frontend cache probes (source intern / AST / relational graph).
+    CacheLookup,
+    /// ParaGraph graph construction from an AST.
+    GraphBuild,
+    /// Backend `predict_batch` over the collected candidates.
+    Predict,
+    /// One RGAT layer forward pass.
+    GnnForward,
+    /// Reverse-mode sweep over the tape.
+    GnnBackward,
+    /// One search generation inside `pg-tune` (a batched evaluation).
+    TuneGeneration,
+    /// Response serialization to JSON.
+    Serialize,
+    /// Response write, enqueue to last byte flushed.
+    Write,
+}
+
+impl Stage {
+    /// Every stage, in export order.
+    pub const ALL: [Stage; 14] = [
+        Stage::Request,
+        Stage::Accept,
+        Stage::Parse,
+        Stage::BatchWait,
+        Stage::Enumerate,
+        Stage::Analyze,
+        Stage::CacheLookup,
+        Stage::GraphBuild,
+        Stage::Predict,
+        Stage::GnnForward,
+        Stage::GnnBackward,
+        Stage::TuneGeneration,
+        Stage::Serialize,
+        Stage::Write,
+    ];
+
+    /// Number of stages.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// The stable label used in metrics and trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Request => "request",
+            Stage::Accept => "accept",
+            Stage::Parse => "parse",
+            Stage::BatchWait => "batch_wait",
+            Stage::Enumerate => "enumerate",
+            Stage::Analyze => "analyze",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::GraphBuild => "graph_build",
+            Stage::Predict => "predict",
+            Stage::GnnForward => "gnn_forward",
+            Stage::GnnBackward => "gnn_backward",
+            Stage::TuneGeneration => "tune_generation",
+            Stage::Serialize => "serialize",
+            Stage::Write => "write",
+        }
+    }
+}
+
+/// The upper bound of bucket `i`, in seconds (`+Inf` for the overflow
+/// bucket). Bucket `i` counts durations strictly below this bound.
+pub fn bucket_bound_seconds(i: usize) -> f64 {
+    if i >= FINITE_BUCKETS {
+        f64::INFINITY
+    } else {
+        (1u64 << (i + 1)) as f64 / 1e6
+    }
+}
+
+fn bucket_index(us: u64) -> usize {
+    if us < 2 {
+        0
+    } else {
+        // floor(log2(us)), capped into the overflow bucket.
+        let idx = 63 - us.leading_zeros() as usize;
+        idx.min(FINITE_BUCKETS)
+    }
+}
+
+/// One stage's histogram: atomic buckets plus running sum and count.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKET_COUNT],
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one duration (lock-free; three atomic adds).
+    ///
+    /// The count is published *last* with `Release` so a snapshot that
+    /// `Acquire`-reads the count observes at least that many bucket
+    /// increments: snapshots can lag but never tear below the count.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Release);
+    }
+
+    /// Record one duration given as a [`std::time::Duration`].
+    pub fn record(&self, duration: std::time::Duration) {
+        self.record_us(duration.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// A consistent-enough copy: `count <= sum(buckets)` always holds (see
+    /// [`Histogram::record_us`]); after recording quiesces the two agree.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Acquire);
+        let sum_us = self.sum_us.load(Ordering::Relaxed);
+        let mut buckets = [0u64; BUCKET_COUNT];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum_us,
+            count,
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`], mergeable across sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) sample counts.
+    pub buckets: [u64; BUCKET_COUNT],
+    /// Sum of all recorded durations, microseconds.
+    pub sum_us: u64,
+    /// Number of recorded samples.
+    pub count: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKET_COUNT],
+            sum_us: 0,
+            count: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Fold another snapshot into this one (e.g. merging per-shard
+    /// histograms before export).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.sum_us += other.sum_us;
+        self.count += other.count;
+    }
+
+    /// Sum over the per-bucket counts (equals `count` once quiescent).
+    pub fn bucket_total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Cumulative Prometheus-style buckets: `(le_seconds, count <= le)`.
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                acc += c;
+                (bucket_bound_seconds(i), acc)
+            })
+            .collect()
+    }
+}
+
+/// One [`Histogram`] per [`Stage`].
+#[derive(Debug, Default)]
+pub struct StageHistograms {
+    stages: [Histogram; Stage::COUNT],
+}
+
+impl StageHistograms {
+    /// Record one duration against a stage.
+    pub fn record(&self, stage: Stage, duration: std::time::Duration) {
+        self.stages[stage as usize].record(duration);
+    }
+
+    /// Record one duration in microseconds against a stage.
+    pub fn record_us(&self, stage: Stage, us: u64) {
+        self.stages[stage as usize].record_us(us);
+    }
+
+    /// Borrow one stage's histogram.
+    pub fn stage(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage as usize]
+    }
+
+    /// Snapshot every stage, in [`Stage::ALL`] order.
+    pub fn snapshot(&self) -> Vec<(Stage, HistogramSnapshot)> {
+        Stage::ALL
+            .iter()
+            .map(|&s| (s, self.stages[s as usize].snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn bucket_index_is_log2_with_overflow() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1_000_000), 19); // 1 s in [2^19, 2^20) µs
+        assert_eq!(bucket_index(u64::MAX), FINITE_BUCKETS);
+    }
+
+    #[test]
+    fn bounds_are_monotonic_and_end_in_infinity() {
+        let bounds: Vec<f64> = (0..BUCKET_COUNT).map(bucket_bound_seconds).collect();
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(bounds[0], 2e-6);
+        assert!(bounds[BUCKET_COUNT - 1].is_infinite());
+    }
+
+    #[test]
+    fn record_and_snapshot_agree() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_millis(5));
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum_us, 3 + 3 + 5000);
+        assert_eq!(snap.bucket_total(), 3);
+        assert_eq!(snap.buckets[1], 2); // 3 µs twice
+        let cumulative = snap.cumulative();
+        assert_eq!(cumulative.last().unwrap().1, 3);
+    }
+
+    #[test]
+    fn snapshots_merge_by_addition() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        a.record_us(1);
+        b.record_us(1);
+        b.record_us(1 << 20);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.bucket_total(), 3);
+        assert_eq!(merged.sum_us, 2 + (1 << 20));
+    }
+
+    /// Satellite: hammer one histogram from 8 threads while a snapshotter
+    /// spins. Every mid-flight snapshot must satisfy the publication
+    /// invariant (`count <= sum(buckets)` — no torn buckets below the
+    /// published count), and the final snapshot must conserve totals.
+    #[test]
+    fn concurrent_recording_conserves_totals() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 20_000;
+        let hist = Arc::new(Histogram::default());
+
+        let recorders: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let hist = Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Spread samples across many buckets.
+                        hist.record_us((i % 24) * (t as u64 + 1) * 7 + 1);
+                    }
+                })
+            })
+            .collect();
+
+        let snapshotter = {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                let mut seen = 0u64;
+                while seen < THREADS as u64 * PER_THREAD {
+                    let snap = hist.snapshot();
+                    assert!(
+                        snap.count <= snap.bucket_total(),
+                        "torn snapshot: count {} exceeds bucket total {}",
+                        snap.count,
+                        snap.bucket_total()
+                    );
+                    assert!(snap.count >= seen, "count went backwards");
+                    seen = snap.count;
+                }
+            })
+        };
+
+        for r in recorders {
+            r.join().unwrap();
+        }
+        snapshotter.join().unwrap();
+
+        let end = hist.snapshot();
+        let expected = THREADS as u64 * PER_THREAD;
+        assert_eq!(end.count, expected);
+        assert_eq!(end.bucket_total(), expected);
+        let expected_sum: u64 = (0..THREADS as u64)
+            .map(|t| {
+                (0..PER_THREAD)
+                    .map(|i| (i % 24) * (t + 1) * 7 + 1)
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(end.sum_us, expected_sum);
+    }
+}

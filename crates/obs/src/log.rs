@@ -1,0 +1,212 @@
+//! Leveled structured logging: `key=value` lines, an atomic level filter,
+//! and a stderr sink that tests can swap for an in-memory capture buffer.
+//!
+//! Emission goes through the [`crate::error!`] / [`crate::warn!`] /
+//! [`crate::info!`] / [`crate::debug!`] macros, which check the level filter
+//! *before* formatting anything — a filtered-out line costs one atomic load.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severities, most severe first. `Off` disables all output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// No logging at all.
+    Off = 0,
+    /// Unrecoverable or dropped-work conditions.
+    Error = 1,
+    /// Degraded but continuing (shed load, timeouts, retries).
+    Warn = 2,
+    /// Lifecycle events (startup, shutdown, model loads).
+    Info = 3,
+    /// Per-request / per-connection detail.
+    Debug = 4,
+}
+
+impl Level {
+    fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn parse(text: &str) -> Option<Level> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// Sentinel meaning "not yet initialised from `PARAGRAPH_LOG`".
+const UNINIT: u8 = u8::MAX;
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+
+fn init_level() -> u8 {
+    let level = std::env::var("PARAGRAPH_LOG")
+        .ok()
+        .and_then(|v| Level::parse(&v))
+        .unwrap_or(Level::Info) as u8;
+    MAX_LEVEL.store(level, Ordering::Relaxed);
+    level
+}
+
+/// Whether a line at `level` would be emitted (one atomic load once
+/// initialised).
+pub fn enabled(level: Level) -> bool {
+    let mut current = MAX_LEVEL.load(Ordering::Relaxed);
+    if current == UNINIT {
+        current = init_level();
+    }
+    level as u8 <= current && level != Level::Off
+}
+
+/// Override the level filter (tests, CLI flags). Takes effect immediately
+/// on all threads.
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+enum Sink {
+    Stderr,
+    Capture(Arc<Mutex<String>>),
+}
+
+fn sink() -> &'static Mutex<Sink> {
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Sink::Stderr))
+}
+
+/// While held, log lines append to an in-memory buffer instead of stderr;
+/// dropping it restores the stderr sink. Tests use this to assert on
+/// emitted lines without scraping process output.
+pub struct LogCapture {
+    buf: Arc<Mutex<String>>,
+}
+
+impl LogCapture {
+    /// The captured lines so far.
+    pub fn contents(&self) -> String {
+        self.buf.lock().expect("log capture lock poisoned").clone()
+    }
+}
+
+impl Drop for LogCapture {
+    fn drop(&mut self) {
+        *sink().lock().expect("log sink lock poisoned") = Sink::Stderr;
+    }
+}
+
+/// Swap the sink for a capture buffer (restored when the guard drops).
+pub fn capture() -> LogCapture {
+    let buf = Arc::new(Mutex::new(String::new()));
+    *sink().lock().expect("log sink lock poisoned") = Sink::Capture(Arc::clone(&buf));
+    LogCapture { buf }
+}
+
+/// Emit one already-filtered line. Called by the logging macros; prefer
+/// those over calling this directly.
+pub fn emit(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let line = format!("ts={ts_ms} level={} target={target} {args}\n", level.name());
+    match &*sink().lock().expect("log sink lock poisoned") {
+        Sink::Stderr => eprint!("{line}"),
+        Sink::Capture(buf) => buf
+            .lock()
+            .expect("log capture lock poisoned")
+            .push_str(&line),
+    }
+}
+
+/// Core logging macro: `logline!(Level::Info, "message", key = value, ...)`.
+/// The message is rendered quoted (`msg="..."`), each key/value pair as
+/// bare `key=value` via `Display`.
+#[macro_export]
+macro_rules! logline {
+    ($lvl:expr, $msg:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::log::enabled($lvl) {
+            $crate::log::emit(
+                $lvl,
+                module_path!(),
+                format_args!(
+                    concat!("msg={:?}" $(, " ", stringify!($key), "={}")*),
+                    $msg $(, $val)*
+                ),
+            );
+        }
+    };
+}
+
+/// Log at error level: `pg_obs::error!("message", key = value, ...)`.
+#[macro_export]
+macro_rules! error {
+    ($($t:tt)*) => { $crate::logline!($crate::log::Level::Error, $($t)*) };
+}
+
+/// Log at warn level: `pg_obs::warn!("message", key = value, ...)`.
+#[macro_export]
+macro_rules! warn {
+    ($($t:tt)*) => { $crate::logline!($crate::log::Level::Warn, $($t)*) };
+}
+
+/// Log at info level: `pg_obs::info!("message", key = value, ...)`.
+#[macro_export]
+macro_rules! info {
+    ($($t:tt)*) => { $crate::logline!($crate::log::Level::Info, $($t)*) };
+}
+
+/// Log at debug level: `pg_obs::debug!("message", key = value, ...)`.
+#[macro_export]
+macro_rules! debug {
+    ($($t:tt)*) => { $crate::logline!($crate::log::Level::Debug, $($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test covers capture, formatting and filtering together: the
+    /// sink and level filter are process-global, so splitting these into
+    /// parallel tests would race.
+    #[test]
+    fn capture_format_and_filtering() {
+        let cap = capture();
+        set_level(Level::Info);
+
+        crate::info!("model loaded", fingerprint = "abc123", params = 1024);
+        crate::debug!("should be filtered", token = 7);
+        crate::warn!("queue deep", depth = 9000);
+
+        let text = cap.contents();
+        assert!(text.contains("level=info"));
+        assert!(text.contains("msg=\"model loaded\" fingerprint=abc123 params=1024"));
+        assert!(text.contains("level=warn"));
+        assert!(text.contains("depth=9000"));
+        assert!(!text.contains("should be filtered"));
+        for line in text.lines() {
+            assert!(line.starts_with("ts="), "line missing timestamp: {line}");
+            assert!(line.contains(" target="), "line missing target: {line}");
+        }
+
+        // Off silences everything, including errors.
+        set_level(Level::Off);
+        crate::error!("dropped");
+        assert!(!cap.contents().contains("dropped"));
+
+        set_level(Level::Info);
+    }
+}

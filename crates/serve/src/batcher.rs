@@ -35,6 +35,7 @@
 use crate::metrics::ServeMetrics;
 use crate::ServeError;
 use pg_engine::{AdviseReport, AdviseRequest, Engine};
+use pg_obs::{monotonic_us, obs, Span, Stage, TraceHandle};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -77,6 +78,15 @@ pub type Responder = Box<dyn FnOnce(Result<AdviseReport, ServeError>) + Send>;
 struct Job {
     request: AdviseRequest,
     responder: Responder,
+    /// The request's trace, threaded through to `advise_many_traced` so
+    /// engine stages (enumerate / analyze / predict) land in its span tree.
+    trace: TraceHandle,
+    /// Enqueue timestamp ([`monotonic_us`]); feeds the oldest-waiter gauge.
+    enqueued_us: u64,
+    /// Open batch-wait measurement: started at submit, finished when the
+    /// scheduler collects the job into a batch. Feeds both the `batch_wait`
+    /// stage histogram and (for traced requests) the span tree.
+    wait_span: Option<Span<'static>>,
 }
 
 struct Shared {
@@ -123,8 +133,10 @@ impl MicroBatcher {
     /// Enqueue one request without blocking; `responder` is invoked exactly
     /// once with the outcome — on the scheduler thread after the batch
     /// executes, or inline (with `Overloaded`/`ShuttingDown`) when the
-    /// request is refused without queuing.
-    pub fn submit(&self, request: AdviseRequest, responder: Responder) {
+    /// request is refused without queuing. `trace` (the request's trace
+    /// handle, or [`TraceHandle::disabled`]) travels with the job so the
+    /// engine's per-stage spans nest under the request.
+    pub fn submit(&self, request: AdviseRequest, trace: TraceHandle, responder: Responder) {
         let mut queue = self.shared.queue.lock().expect("batcher queue poisoned");
         if self.shared.draining.load(Ordering::SeqCst) {
             drop(queue);
@@ -140,7 +152,23 @@ impl MicroBatcher {
             }));
             return;
         }
-        queue.push_back(Job { request, responder });
+        let o = obs();
+        let enqueued_us = monotonic_us();
+        let wait_span = Some(o.span(&trace, Stage::BatchWait, trace.root()));
+        queue.push_back(Job {
+            request,
+            responder,
+            trace,
+            enqueued_us,
+            wait_span,
+        });
+        if queue.len() == 1 {
+            // Queue was empty: this job is now the oldest waiter.
+            self.shared
+                .metrics
+                .batch_oldest_enqueue_us
+                .store(enqueued_us + 1, Ordering::Relaxed);
+        }
         drop(queue);
         self.shared.arrived.notify_one();
     }
@@ -151,6 +179,7 @@ impl MicroBatcher {
         let (reply, result) = mpsc::channel();
         self.submit(
             request,
+            TraceHandle::disabled(),
             Box::new(move |outcome| {
                 let _ = reply.send(outcome);
             }),
@@ -199,14 +228,22 @@ impl Drop for MicroBatcher {
 
 fn scheduler_loop(shared: &Shared, engine: &Engine) {
     loop {
-        let batch = collect_batch(shared);
+        let mut batch = collect_batch(shared);
         if batch.is_empty() {
             // Only returned empty when draining and the queue is dry.
             return;
         }
+        // The wait is over the moment the batch is assembled; the engine
+        // stages take over latency attribution from here.
+        for job in &mut batch {
+            if let Some(span) = job.wait_span.take() {
+                span.finish();
+            }
+        }
         shared.metrics.record_batch(batch.len());
         let requests: Vec<AdviseRequest> = batch.iter().map(|job| job.request.clone()).collect();
-        let results = engine.advise_many(&requests);
+        let traces: Vec<TraceHandle> = batch.iter().map(|job| job.trace.clone()).collect();
+        let results = engine.advise_many_traced(&requests, &traces);
         for (job, result) in batch.into_iter().zip(results) {
             (job.responder)(result.map_err(ServeError::Engine));
         }
@@ -225,8 +262,19 @@ fn scheduler_loop(shared: &Shared, engine: &Engine) {
 /// single request's latency.
 fn collect_batch(shared: &Shared) -> Vec<Job> {
     let mut queue = shared.queue.lock().expect("batcher queue poisoned");
+    // Re-point the oldest-waiter gauge at whatever still queues (0 when
+    // drained empty); called under the queue lock at every exit so the
+    // gauge can never dangle on a collected job.
+    let sync_oldest = |queue: &VecDeque<Job>| {
+        let stamp = queue.front().map_or(0, |job| job.enqueued_us + 1);
+        shared
+            .metrics
+            .batch_oldest_enqueue_us
+            .store(stamp, Ordering::Relaxed);
+    };
     while queue.is_empty() {
         if shared.draining.load(Ordering::SeqCst) {
+            sync_oldest(&queue);
             return Vec::new();
         }
         queue = shared.arrived.wait(queue).expect("batcher queue poisoned");
@@ -244,6 +292,7 @@ fn collect_batch(shared: &Shared) -> Vec<Job> {
     drain_backlog(&mut queue, &mut batch);
     // Backlog already coalesced (or the cap is 1): flush with no hold.
     if batch.len() > 1 || batch.len() >= shared.config.max_batch {
+        sync_oldest(&queue);
         return batch;
     }
 
@@ -252,10 +301,12 @@ fn collect_batch(shared: &Shared) -> Vec<Job> {
     let deadline = Instant::now() + shared.config.max_wait;
     loop {
         if shared.draining.load(Ordering::SeqCst) {
+            sync_oldest(&queue);
             return batch; // no more traffic is coming
         }
         let now = Instant::now();
         if now >= deadline {
+            sync_oldest(&queue);
             return batch;
         }
         let (guard, _timeout) = shared
@@ -265,6 +316,7 @@ fn collect_batch(shared: &Shared) -> Vec<Job> {
         queue = guard;
         drain_backlog(&mut queue, &mut batch);
         if batch.len() > 1 {
+            sync_oldest(&queue);
             return batch;
         }
     }

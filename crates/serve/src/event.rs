@@ -40,6 +40,7 @@
 use crate::http::{IncrementalParser, ParseError, ParseOutcome, Request, Response};
 use crate::poll::{Interest, Poller};
 use crate::server::{Shared, WorkItem};
+use pg_obs::{obs, Span, Stage, TraceHandle};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -102,6 +103,19 @@ struct Conn {
     eof: bool,
     /// Marked for removal at the next finalize.
     dead: bool,
+    /// The in-flight request's trace (armed at accept, re-armed per
+    /// keep-alive request, committed when its response flushes).
+    trace: TraceHandle,
+    /// Root span of the trace (index 0; every other span parents on it).
+    root_span: Option<Span<'static>>,
+    /// Open parse measurement: first byte of a request to its complete
+    /// parse.
+    parse_span: Option<Span<'static>>,
+    /// Open write measurement: response queued to response flushed.
+    write_span: Option<Span<'static>>,
+    /// When the request was dispatched (or answered inline); closes into
+    /// the `request` stage histogram at flush.
+    req_started: Option<Instant>,
 }
 
 impl Conn {
@@ -118,11 +132,63 @@ impl Conn {
             registered: false,
             eof: false,
             dead: false,
+            trace: TraceHandle::disabled(),
+            root_span: None,
+            parse_span: None,
+            write_span: None,
+            req_started: None,
         }
     }
 
     fn out_pending(&self) -> bool {
         self.out_pos < self.out.len()
+    }
+
+    /// Start a fresh trace for the next request on this connection. The
+    /// root span is pushed first, so `TraceHandle::root()` (span 0) is a
+    /// valid parent in every other tier. The root span is trace-only: the
+    /// `request` histogram is fed from `req_started` instead, so idle
+    /// keep-alive time between requests never pollutes it.
+    fn arm_trace(&mut self) {
+        let o = obs();
+        if !o.enabled() {
+            return;
+        }
+        let trace = o.begin_trace("http");
+        self.root_span = Some(o.trace_span(&trace, Stage::Request, None));
+        self.trace = trace;
+    }
+
+    /// Open the write span when a response is queued (idempotent until the
+    /// flush completes).
+    fn start_write_span(&mut self) {
+        if self.write_span.is_none() && self.trace.active() {
+            let o = obs();
+            self.write_span = Some(o.span(&self.trace, Stage::Write, self.trace.root()));
+        }
+    }
+
+    /// A response finished flushing: close the open spans, record the
+    /// request latency, and commit the trace (kept or dropped per the
+    /// sampling policy).
+    fn finish_trace(&mut self) {
+        if let Some(span) = self.write_span.take() {
+            span.finish();
+        }
+        if let Some(span) = self.parse_span.take() {
+            span.finish();
+        }
+        if let Some(span) = self.root_span.take() {
+            span.finish();
+        }
+        let o = obs();
+        if let Some(started) = self.req_started.take() {
+            o.record_stage(Stage::Request, started.elapsed());
+        }
+        let trace = std::mem::take(&mut self.trace);
+        if trace.active() {
+            o.commit(trace);
+        }
     }
 
     fn desired_interest(&self) -> Interest {
@@ -301,10 +367,21 @@ impl EventLoop {
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
+                    let accepted = Instant::now();
                     let _ = stream.set_nodelay(true);
                     let token = self.next_token;
                     self.next_token += 1;
                     let mut conn = Conn::new(stream, self.shared.max_body_bytes);
+                    conn.arm_trace();
+                    if conn.trace.active() {
+                        let o = obs();
+                        // Marks the accept event in the span tree; the
+                        // histogram gets the measured socket-setup time
+                        // (the marker would double-count it).
+                        o.trace_span(&conn.trace, Stage::Accept, conn.trace.root())
+                            .finish();
+                        o.record_stage(Stage::Accept, accepted.elapsed());
+                    }
                     conn.arm_deadline(
                         Instant::now(),
                         self.shared.idle_timeout,
@@ -391,6 +468,7 @@ impl EventLoop {
                 || conn.eof
                 || self.shared.draining.load(Ordering::SeqCst)
                 || self.drain_started;
+            conn.start_write_span();
             let _ = completion.response.write_to(&mut conn.out, close);
             conn.state = ConnState::Writing { close_after: close };
             conn.deadline_kind = DeadlineKind::None; // force re-arm
@@ -423,6 +501,10 @@ impl EventLoop {
                     break;
                 }
                 Ok(n) => {
+                    if conn.parse_span.is_none() && conn.trace.active() {
+                        conn.parse_span =
+                            Some(obs().span(&conn.trace, Stage::Parse, conn.trace.root()));
+                    }
                     conn.parser.feed(&scratch[..n]);
                     Self::advance_parser(conn, token, shared, work_tx, draining);
                     if conn.state != ConnState::Reading || conn.dead {
@@ -485,6 +567,9 @@ impl EventLoop {
                 }
             }
             Ok(ParseOutcome::Request(request)) => {
+                if let Some(span) = conn.parse_span.take() {
+                    span.finish();
+                }
                 if conn.parser.take_continue() {
                     // The body arrived with the head; the interim response
                     // still precedes the final one, as the blocking parser
@@ -501,10 +586,14 @@ impl EventLoop {
                 }
             }
             Err(error) => {
+                if let Some(span) = conn.parse_span.take() {
+                    span.finish();
+                }
                 shared
                     .metrics
                     .http_bad_requests
                     .fetch_add(1, Ordering::Relaxed);
+                pg_obs::debug!("rejecting malformed request", error = format!("{error:?}"));
                 let response = match error {
                     ParseError::Malformed(detail) => Response::error(400, &detail),
                     ParseError::BodyTooLarge { declared, limit } => Response::error(
@@ -514,6 +603,8 @@ impl EventLoop {
                     // The incremental parser never produces Io errors.
                     ParseError::Io(detail) => Response::error(400, &detail),
                 };
+                conn.req_started = Some(Instant::now());
+                conn.start_write_span();
                 let _ = response.write_to(&mut conn.out, true);
                 conn.state = ConnState::Writing { close_after: true };
                 Self::try_write(conn);
@@ -539,6 +630,7 @@ impl EventLoop {
         draining: bool,
     ) {
         shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+        conn.req_started = Some(Instant::now());
         let close = !request.keep_alive() || draining;
         let gated =
             request.method == "POST" && matches!(request.path.as_str(), "/advise" | "/tune");
@@ -554,6 +646,12 @@ impl EventLoop {
             if admitted > shared.max_inflight as u64 {
                 shared.metrics.in_flight.fetch_sub(1, Ordering::SeqCst);
                 rejected_counter.fetch_add(1, Ordering::Relaxed);
+                pg_obs::debug!(
+                    "shedding request at admission",
+                    path = request.path,
+                    in_flight = admitted,
+                    limit = shared.max_inflight
+                );
                 let response = Response::error(
                     429,
                     &format!(
@@ -562,6 +660,7 @@ impl EventLoop {
                     ),
                 )
                 .with_header("Retry-After", "1");
+                conn.start_write_span();
                 let _ = response.write_to(&mut conn.out, close);
                 conn.state = ConnState::Writing { close_after: close };
                 Self::try_write(conn);
@@ -575,6 +674,7 @@ impl EventLoop {
                 token,
                 request,
                 slot,
+                trace: conn.trace.clone(),
             })
             .is_err()
         {
@@ -609,12 +709,15 @@ impl EventLoop {
         conn.out.clear();
         conn.out_pos = 0;
         if let ConnState::Writing { close_after } = conn.state {
+            // The response is on the wire: the request's trace is complete.
+            conn.finish_trace();
             if close_after {
                 conn.dead = true;
                 return false;
             }
             conn.state = ConnState::Reading;
             conn.deadline_kind = DeadlineKind::None; // force re-arm by caller
+            conn.arm_trace(); // next keep-alive request gets its own trace
             return true;
         }
         false

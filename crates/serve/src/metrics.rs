@@ -6,7 +6,9 @@
 //! `/metrics` endpoint renders in Prometheus text exposition format.
 
 use pg_analyze::{Diagnostic, RULE_IDS};
+use pg_obs::{HistogramSnapshot, Stage};
 use serde::Serialize;
+use std::fmt::Display;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of distinct static-analysis rules ([`pg_analyze::RULE_IDS`]).
@@ -74,6 +76,12 @@ pub struct ServeMetrics {
     /// Static-analysis diagnostics by rule, indexed like
     /// [`pg_analyze::RULE_IDS`].
     pub(crate) analyze_rule_counts: [AtomicU64; RULE_COUNT],
+    /// Enqueue timestamp of the oldest request waiting in the batcher
+    /// queue, as `pg_obs::monotonic_us() + 1` (0 means the queue is
+    /// empty). The snapshot turns it into an age — the live "is the
+    /// scheduler keeping up" gauge that the batch-wait *histogram*
+    /// (which only sees completed waits) cannot show.
+    pub(crate) batch_oldest_enqueue_us: AtomicU64,
 }
 
 /// Diagnostics tallied against one static-analysis rule.
@@ -137,6 +145,9 @@ pub struct MetricsSnapshot {
     /// Static-analysis diagnostics by rule, in [`pg_analyze::RULE_IDS`]
     /// order (every rule is present, zero or not).
     pub analyze_rule_counts: Vec<RuleCount>,
+    /// Age of the oldest request waiting in the batcher queue at snapshot
+    /// time, microseconds (0 when the queue is empty).
+    pub batch_oldest_wait_us: u64,
 }
 
 impl ServeMetrics {
@@ -207,8 +218,130 @@ impl ServeMetrics {
                     count: count.load(Ordering::Relaxed),
                 })
                 .collect(),
+            batch_oldest_wait_us: match self.batch_oldest_enqueue_us.load(Ordering::Relaxed) {
+                0 => 0,
+                stamp => pg_obs::monotonic_us().saturating_sub(stamp - 1),
+            },
         }
     }
+}
+
+/// Incremental Prometheus text-exposition builder: every family gets its
+/// `# HELP`/`# TYPE` header exactly once, immediately before its samples.
+/// Replaces the repeated ad-hoc `String` pushes the endpoint grew by
+/// accretion — a family cannot forget its metadata anymore, because the
+/// only way to emit samples is through a typed family method.
+pub(crate) struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    pub(crate) fn new() -> Self {
+        Self { out: String::new() }
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out
+            .push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    }
+
+    /// A single-sample counter family.
+    pub(crate) fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// A single-sample gauge family (`Display` covers u64 and formatted
+    /// floats alike).
+    pub(crate) fn gauge(&mut self, name: &str, help: &str, value: impl Display) {
+        self.header(name, help, "gauge");
+        self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// A counter family with one `{key="value"}` label per sample.
+    pub(crate) fn labeled_counter(
+        &mut self,
+        name: &str,
+        help: &str,
+        key: &str,
+        rows: impl IntoIterator<Item = (String, u64)>,
+    ) {
+        self.header(name, help, "counter");
+        for (label, value) in rows {
+            self.out
+                .push_str(&format!("{name}{{{key}=\"{label}\"}} {value}\n"));
+        }
+    }
+
+    /// One histogram series: cumulative `_bucket` samples (the last bound
+    /// must be `+Inf`), then `_sum` and `_count`. `labels` is the rendered
+    /// label set shared by every sample (empty for an unlabelled family);
+    /// the `# HELP`/`# TYPE` header is the caller's job via
+    /// [`Exposition::histogram_header`], so multi-series families (one per
+    /// stage) emit it exactly once.
+    pub(crate) fn histogram_series(
+        &mut self,
+        name: &str,
+        labels: &str,
+        buckets: impl IntoIterator<Item = (String, u64)>,
+        sum: impl Display,
+        count: u64,
+    ) {
+        let sep = if labels.is_empty() { "" } else { "," };
+        for (bound, cumulative) in buckets {
+            self.out.push_str(&format!(
+                "{name}_bucket{{{labels}{sep}le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        let braces = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        self.out.push_str(&format!(
+            "{name}_sum{braces} {sum}\n{name}_count{braces} {count}\n"
+        ));
+    }
+
+    /// The `# HELP`/`# TYPE` header of a histogram family.
+    pub(crate) fn histogram_header(&mut self, name: &str, help: &str) {
+        self.header(name, help, "histogram");
+    }
+
+    pub(crate) fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Render the per-stage duration histograms (from
+/// [`pg_obs::Obs::stage_snapshot`]) as one labelled Prometheus histogram
+/// family, `paragraph_stage_duration_seconds{stage="..."}`. Every stage is
+/// present even at zero count, so dashboards and the exposition test see a
+/// stable family shape.
+pub fn stage_histograms_to_prometheus(stages: &[(Stage, HistogramSnapshot)]) -> String {
+    let mut expo = Exposition::new();
+    expo.histogram_header(
+        "paragraph_stage_duration_seconds",
+        "Stage latency distributions across the serving pipeline",
+    );
+    for (stage, snapshot) in stages {
+        let buckets = snapshot.cumulative().into_iter().map(|(bound, count)| {
+            let bound = if bound.is_infinite() {
+                "+Inf".to_string()
+            } else {
+                format!("{bound}")
+            };
+            (bound, count)
+        });
+        expo.histogram_series(
+            "paragraph_stage_duration_seconds",
+            &format!("stage=\"{}\"", stage.name()),
+            buckets,
+            format!("{:.6}", snapshot.sum_us as f64 / 1e6),
+            snapshot.count,
+        );
+    }
+    expo.finish()
 }
 
 impl MetricsSnapshot {
@@ -226,155 +359,161 @@ impl MetricsSnapshot {
     }
 
     /// Render in Prometheus text exposition format (what `GET /metrics`
-    /// returns).
+    /// returns). The per-stage duration histograms live in
+    /// [`stage_histograms_to_prometheus`]; the endpoint concatenates both.
     pub fn to_prometheus(&self) -> String {
-        let mut out = String::new();
-        let mut counter = |name: &str, help: &str, value: u64| {
-            out.push_str(&format!(
-                "# HELP paragraph_serve_{name} {help}\n\
-                 # TYPE paragraph_serve_{name} counter\n\
-                 paragraph_serve_{name} {value}\n"
-            ));
-        };
-        counter(
-            "http_requests_total",
+        let mut expo = Exposition::new();
+        expo.counter(
+            "paragraph_serve_http_requests_total",
             "HTTP requests received",
             self.http_requests,
         );
-        counter(
-            "http_bad_requests_total",
+        expo.counter(
+            "paragraph_serve_http_bad_requests_total",
             "Requests rejected for malformed HTTP or JSON",
             self.http_bad_requests,
         );
-        counter(
-            "advise_ok_total",
+        expo.counter(
+            "paragraph_serve_advise_ok_total",
             "Advise requests answered 200",
             self.advise_ok,
         );
-        counter(
-            "advise_failed_total",
+        expo.counter(
+            "paragraph_serve_advise_failed_total",
             "Advise requests that failed in the engine",
             self.advise_failed,
         );
-        counter(
-            "advise_rejected_total",
+        expo.counter(
+            "paragraph_serve_advise_rejected_total",
             "Advise requests rejected by admission control",
             self.advise_rejected,
         );
-        counter(
-            "tune_requests_total",
+        expo.counter(
+            "paragraph_serve_tune_requests_total",
             "Tune requests received",
             self.tune_requests,
         );
-        counter("tune_ok_total", "Tune requests answered 200", self.tune_ok);
-        counter(
-            "tune_failed_total",
+        expo.counter(
+            "paragraph_serve_tune_ok_total",
+            "Tune requests answered 200",
+            self.tune_ok,
+        );
+        expo.counter(
+            "paragraph_serve_tune_failed_total",
             "Tune requests that failed in the tuner",
             self.tune_failed,
         );
-        counter(
-            "tune_rejected_total",
+        expo.counter(
+            "paragraph_serve_tune_rejected_total",
             "Tune requests rejected by admission control",
             self.tune_rejected,
         );
-        counter(
-            "connections_shed_total",
+        expo.counter(
+            "paragraph_serve_connections_shed_total",
             "Connections shed at accept by the connection limit",
             self.connections_shed,
         );
-        counter(
-            "connections_opened_total",
+        expo.counter(
+            "paragraph_serve_connections_opened_total",
             "Connections accepted into the event loop",
             self.connections_opened,
         );
-        counter(
-            "conn_timeouts_total",
+        expo.counter(
+            "paragraph_serve_conn_timeouts_total",
             "Connections closed by an idle or progress timeout",
             self.conn_timeouts,
         );
-        counter(
-            "epoll_wakeups_total",
+        expo.counter(
+            "paragraph_serve_epoll_wakeups_total",
             "Event-loop wakeups from epoll_wait",
             self.epoll_wakeups,
         );
-        counter("batches_total", "Prediction batches executed", self.batches);
-        counter(
-            "batched_requests_total",
+        expo.counter(
+            "paragraph_serve_batches_total",
+            "Prediction batches executed",
+            self.batches,
+        );
+        expo.counter(
+            "paragraph_serve_batched_requests_total",
             "Advise requests served through the micro-batcher",
             self.batched_requests,
         );
-        counter(
-            "coalesced_batches_total",
+        expo.counter(
+            "paragraph_serve_coalesced_batches_total",
             "Batches that coalesced more than one request",
             self.coalesced_batches,
         );
-        counter(
-            "analyze_race_pruned_total",
+        expo.counter(
+            "paragraph_serve_analyze_race_pruned_total",
             "Variants pruned as provable races by the legality gate",
             self.analyze_race_pruned,
         );
-        out.push_str(
-            "# HELP paragraph_serve_analyze_rule_total Static-analysis diagnostics by rule\n\
-             # TYPE paragraph_serve_analyze_rule_total counter\n",
+        expo.labeled_counter(
+            "paragraph_serve_analyze_rule_total",
+            "Static-analysis diagnostics by rule",
+            "rule",
+            self.analyze_rule_counts
+                .iter()
+                .map(|r| (r.rule.clone(), r.count)),
         );
-        for rule in &self.analyze_rule_counts {
-            out.push_str(&format!(
-                "paragraph_serve_analyze_rule_total{{rule=\"{}\"}} {}\n",
-                rule.rule, rule.count
-            ));
-        }
-        out.push_str(&format!(
-            "# HELP paragraph_serve_in_flight POST requests (advise + tune) currently in flight\n\
-             # TYPE paragraph_serve_in_flight gauge\n\
-             paragraph_serve_in_flight {}\n",
-            self.in_flight
-        ));
-        out.push_str(&format!(
-            "# HELP paragraph_serve_max_batch_size Largest batch executed\n\
-             # TYPE paragraph_serve_max_batch_size gauge\n\
-             paragraph_serve_max_batch_size {}\n",
-            self.max_batch_size
-        ));
-        out.push_str(&format!(
-            "# HELP paragraph_serve_open_connections Connections registered with the event loop\n\
-             # TYPE paragraph_serve_open_connections gauge\n\
-             paragraph_serve_open_connections {}\n",
-            self.open_connections
-        ));
-        out.push_str(&format!(
-            "# HELP paragraph_serve_batch_capacity Configured micro-batcher max_batch\n\
-             # TYPE paragraph_serve_batch_capacity gauge\n\
-             paragraph_serve_batch_capacity {}\n",
-            self.batch_capacity
-        ));
-        out.push_str(&format!(
-            "# HELP paragraph_serve_batch_fill_ratio Mean fraction of the batch cap filled\n\
-             # TYPE paragraph_serve_batch_fill_ratio gauge\n\
-             paragraph_serve_batch_fill_ratio {:.6}\n",
-            self.batch_fill_ratio()
-        ));
+        expo.gauge(
+            "paragraph_serve_in_flight",
+            "POST requests (advise + tune) currently in flight",
+            self.in_flight,
+        );
+        expo.gauge(
+            "paragraph_serve_max_batch_size",
+            "Largest batch executed",
+            self.max_batch_size,
+        );
+        expo.gauge(
+            "paragraph_serve_open_connections",
+            "Connections registered with the event loop",
+            self.open_connections,
+        );
+        expo.gauge(
+            "paragraph_serve_batch_capacity",
+            "Configured micro-batcher max_batch",
+            self.batch_capacity,
+        );
+        expo.gauge(
+            "paragraph_serve_batch_fill_ratio",
+            "Mean fraction of the batch cap filled",
+            format!("{:.6}", self.batch_fill_ratio()),
+        );
+        expo.gauge(
+            "paragraph_serve_batch_oldest_wait_seconds",
+            "Age of the oldest request waiting in the batcher queue",
+            format!("{:.6}", self.batch_oldest_wait_us as f64 / 1e6),
+        );
         // Cumulative histogram per the Prometheus convention: each bucket
         // counts batches of size <= its bound.
-        out.push_str(
-            "# HELP paragraph_serve_batch_size Coalesced-batch size distribution\n\
-             # TYPE paragraph_serve_batch_size histogram\n",
+        expo.histogram_header(
+            "paragraph_serve_batch_size",
+            "Coalesced-batch size distribution",
         );
         let mut cumulative = 0u64;
-        for (i, count) in self.batch_size_buckets.iter().enumerate() {
-            cumulative += count;
-            let bound = BATCH_SIZE_BUCKETS
-                .get(i)
-                .map(|b| b.to_string())
-                .unwrap_or_else(|| "+Inf".to_string());
-            out.push_str(&format!(
-                "paragraph_serve_batch_size_bucket{{le=\"{bound}\"}} {cumulative}\n"
-            ));
-        }
-        out.push_str(&format!(
-            "paragraph_serve_batch_size_sum {}\nparagraph_serve_batch_size_count {}\n",
-            self.batched_requests, self.batches
-        ));
-        out
+        let buckets: Vec<(String, u64)> = self
+            .batch_size_buckets
+            .iter()
+            .enumerate()
+            .map(|(i, count)| {
+                cumulative += count;
+                let bound = BATCH_SIZE_BUCKETS
+                    .get(i)
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "+Inf".to_string());
+                (bound, cumulative)
+            })
+            .collect();
+        expo.histogram_series(
+            "paragraph_serve_batch_size",
+            "",
+            buckets,
+            self.batched_requests,
+            self.batches,
+        );
+        expo.finish()
     }
 }
 
@@ -482,5 +621,124 @@ mod tests {
             text.contains("paragraph_serve_analyze_rule_total{rule=\"loop-carried-dependence\"} 2")
         );
         assert!(text.contains("paragraph_serve_analyze_race_pruned_total 3"));
+    }
+
+    /// Walk the full exposition (serve counters + stage histograms)
+    /// line-by-line: every sample line must parse as `name[{labels}] value`,
+    /// every sample's family must have emitted `# HELP` then `# TYPE`
+    /// beforehand, and no family may emit its header twice.
+    #[test]
+    fn exposition_format_parses_line_by_line() {
+        use std::collections::HashSet;
+        let metrics = ServeMetrics::default();
+        metrics.record_batch(3);
+        let hub = pg_obs::Obs::new(pg_obs::ObsConfig::default());
+        hub.record_stage(Stage::Parse, std::time::Duration::from_micros(120));
+        hub.record_stage(Stage::Predict, std::time::Duration::from_micros(900));
+        let text = format!(
+            "{}{}",
+            metrics.snapshot().to_prometheus(),
+            stage_histograms_to_prometheus(&hub.stage_snapshot())
+        );
+
+        let mut helped: HashSet<String> = HashSet::new();
+        let mut typed: HashSet<String> = HashSet::new();
+        for line in text.lines() {
+            assert!(!line.trim().is_empty(), "blank line in exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let family = rest.split(' ').next().unwrap().to_string();
+                assert!(helped.insert(family.clone()), "duplicate HELP for {family}");
+                assert!(rest.len() > family.len() + 1, "HELP without text: {line}");
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let family = parts.next().unwrap().to_string();
+                let kind = parts.next().unwrap_or("");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "unknown metric type in: {line}"
+                );
+                assert!(helped.contains(&family), "TYPE before HELP for {family}");
+                assert!(typed.insert(family), "duplicate TYPE in: {line}");
+                continue;
+            }
+            // Sample line: name[{labels}] value
+            let (series, value) = line.rsplit_once(' ').expect("sample without value");
+            let value: f64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("bad value: {line}"));
+            assert!(value >= 0.0, "negative sample: {line}");
+            let name = series.split('{').next().unwrap();
+            if let Some(labels) = series.strip_prefix(name) {
+                if !labels.is_empty() {
+                    assert!(
+                        labels.starts_with('{') && labels.ends_with('}'),
+                        "malformed labels: {line}"
+                    );
+                    for pair in labels[1..labels.len() - 1].split(',') {
+                        let (k, v) = pair.split_once('=').expect("label without =");
+                        assert!(!k.is_empty() && v.starts_with('"') && v.ends_with('"'));
+                    }
+                }
+            }
+            // The family of a histogram sample drops the _bucket/_sum/_count
+            // suffix.
+            let family = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .filter(|f| typed.contains(*f))
+                .unwrap_or(name);
+            assert!(
+                typed.contains(family),
+                "sample before its TYPE header: {line}"
+            );
+        }
+        assert_eq!(helped, typed, "every HELP family must also have a TYPE");
+    }
+
+    #[test]
+    fn stage_histograms_render_every_stage_with_cumulative_buckets() {
+        let hub = pg_obs::Obs::new(pg_obs::ObsConfig::default());
+        hub.record_stage(Stage::BatchWait, std::time::Duration::from_micros(3));
+        hub.record_stage(Stage::BatchWait, std::time::Duration::from_micros(5));
+        let text = stage_histograms_to_prometheus(&hub.stage_snapshot());
+        // One header for the whole family, one series per stage.
+        assert_eq!(
+            text.matches("# TYPE paragraph_stage_duration_seconds")
+                .count(),
+            1
+        );
+        for stage in Stage::ALL {
+            assert!(
+                text.contains(&format!(
+                    "paragraph_stage_duration_seconds_count{{stage=\"{}\"}}",
+                    stage.name()
+                )),
+                "missing stage {} in:\n{text}",
+                stage.name()
+            );
+        }
+        assert!(text.contains("paragraph_stage_duration_seconds_count{stage=\"batch_wait\"} 2"));
+        // Both 3us and 5us land at or below the 8us bound; +Inf sees both.
+        assert!(text.contains(
+            "paragraph_stage_duration_seconds_bucket{stage=\"batch_wait\",le=\"+Inf\"} 2"
+        ));
+    }
+
+    #[test]
+    fn oldest_waiter_gauge_reports_age_and_empty_queue() {
+        let metrics = ServeMetrics::default();
+        assert_eq!(metrics.snapshot().batch_oldest_wait_us, 0);
+        let stamp = pg_obs::monotonic_us();
+        metrics
+            .batch_oldest_enqueue_us
+            .store(stamp + 1, Ordering::Relaxed);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let age = metrics.snapshot().batch_oldest_wait_us;
+        assert!(age >= 2_000, "age should reflect the wait: {age}");
+        let text = metrics.snapshot().to_prometheus();
+        assert!(text.contains("paragraph_serve_batch_oldest_wait_seconds"));
     }
 }

@@ -36,6 +36,7 @@ use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::poll::{Poller, Waker};
 use crate::ServeError;
 use pg_engine::{AdviseRequest, Engine, EngineError};
+use pg_obs::{obs, FinishedTrace, Stage, TraceHandle, TraceTree};
 use pg_tune::{TuneEngine, TuneError, TuneRequest};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -101,6 +102,9 @@ pub(crate) struct WorkItem {
     pub(crate) token: u64,
     pub(crate) request: Request,
     pub(crate) slot: bool,
+    /// The request's trace (armed at accept on the event thread); worker
+    /// and batcher stages parent their spans on its root.
+    pub(crate) trace: TraceHandle,
 }
 
 /// A finished response travelling back to the event thread.
@@ -204,6 +208,13 @@ impl Server {
             .spawn(move || event_loop.run())
             .expect("spawning the event thread");
 
+        pg_obs::info!(
+            "pg-serve listening",
+            addr = addr,
+            workers = config.workers.max(1),
+            max_connections = config.max_connections.max(1),
+            max_inflight = config.max_inflight.max(1)
+        );
         Ok(Server {
             addr,
             shared,
@@ -252,6 +263,13 @@ impl Server {
         // snapshot includes every batch.
         self.shared.batcher.stop();
         let snapshot = self.shared.metrics.snapshot();
+        pg_obs::info!(
+            "pg-serve drained",
+            requests = snapshot.http_requests,
+            advise_ok = snapshot.advise_ok,
+            tune_ok = snapshot.tune_ok,
+            batches = snapshot.batches
+        );
         drop(self);
         snapshot
     }
@@ -277,27 +295,33 @@ fn route(shared: &Arc<Shared>, item: WorkItem) {
         token,
         request,
         slot,
+        trace,
     } = item;
     let close = !request.keep_alive() || shared.draining.load(Ordering::SeqCst);
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => shared.complete(token, healthz(shared), close, slot),
-        ("GET", "/metrics") => shared.complete(
-            token,
-            Response::text(200, shared.metrics.snapshot().to_prometheus()),
-            close,
-            slot,
-        ),
-        ("POST", "/advise") => advise(shared, token, &request.body, close),
+        ("GET", "/metrics") => {
+            // Serving counters first, then the per-stage duration
+            // histograms the observability hub collected across every tier.
+            let mut text = shared.metrics.snapshot().to_prometheus();
+            text.push_str(&crate::metrics::stage_histograms_to_prometheus(
+                &obs().stage_snapshot(),
+            ));
+            shared.complete(token, Response::text(200, text), close, slot);
+        }
+        ("GET", "/debug/traces") => shared.complete(token, debug_traces(), close, slot),
+        ("POST", "/advise") => advise(shared, token, &request.body, close, trace),
         ("POST", "/tune") => {
-            let response = tune(shared, &request.body);
+            let response = tune(shared, &request.body, &trace);
             shared.complete(token, response, close, slot);
         }
-        (method, "/healthz" | "/metrics" | "/advise" | "/tune") => shared.complete(
-            token,
-            Response::error(405, &format!("method {method} not allowed")),
-            close,
-            slot,
-        ),
+        (method, "/healthz" | "/metrics" | "/debug/traces" | "/advise" | "/tune") => shared
+            .complete(
+                token,
+                Response::error(405, &format!("method {method} not allowed")),
+                close,
+                slot,
+            ),
         (_, path) => shared.complete(
             token,
             Response::error(404, &format!("no route for `{path}`")),
@@ -305,6 +329,17 @@ fn route(shared: &Arc<Shared>, item: WorkItem) {
             slot,
         ),
     }
+}
+
+/// `GET /debug/traces`: the recorder's most recent traces (newest first)
+/// as JSON span trees — the flight-recorder view of what the sampling
+/// policy kept.
+fn debug_traces() -> Response {
+    let trees: Vec<TraceTree> = obs().traces().iter().map(FinishedTrace::tree).collect();
+    Response::json(
+        200,
+        serde_json::to_string(&trees).unwrap_or_else(|_| "[]".into()),
+    )
 }
 
 fn healthz(shared: &Shared) -> Response {
@@ -367,36 +402,47 @@ fn parse_body<T: for<'de> serde::Deserialize<'de>>(
 /// completion happens from the batcher's responder once the batch executes
 /// — the worker thread is free the moment the submit queues, which is why
 /// batch depth is bounded by admitted traffic rather than pool size.
-fn advise(shared: &Arc<Shared>, token: u64, body: &[u8], close: bool) {
+fn advise(shared: &Arc<Shared>, token: u64, body: &[u8], close: bool, trace: TraceHandle) {
     let request: AdviseRequest = match parse_body(shared, body, "AdviseRequest") {
         Ok(request) => request,
         Err(response) => return shared.complete(token, response, close, true),
     };
     let responder_shared = Arc::clone(shared);
+    let responder_trace = trace.clone();
     shared.batcher.submit(
         request,
+        trace,
         Box::new(move |outcome| {
             let shared = responder_shared;
+            let trace = responder_trace;
             let response = match outcome {
-                Ok(report) => match serde_json::to_string(&report) {
-                    Ok(json) => {
-                        shared.metrics.advise_ok.fetch_add(1, Ordering::Relaxed);
-                        shared
-                            .metrics
-                            .record_analysis(&report.diagnostics, report.race_pruned.len() as u64);
-                        Response::json(200, json)
+                Ok(report) => {
+                    let span = obs().span(&trace, Stage::Serialize, trace.root());
+                    let serialized = serde_json::to_string(&report);
+                    span.finish();
+                    match serialized {
+                        Ok(json) => {
+                            shared.metrics.advise_ok.fetch_add(1, Ordering::Relaxed);
+                            shared.metrics.record_analysis(
+                                &report.diagnostics,
+                                report.race_pruned.len() as u64,
+                            );
+                            Response::json(200, json)
+                        }
+                        Err(error) => {
+                            shared.metrics.advise_failed.fetch_add(1, Ordering::Relaxed);
+                            pg_obs::error!("advise report serialization failed", error = error);
+                            Response::error(500, &format!("serializing report: {error}"))
+                        }
                     }
-                    Err(error) => {
-                        shared.metrics.advise_failed.fetch_add(1, Ordering::Relaxed);
-                        Response::error(500, &format!("serializing report: {error}"))
-                    }
-                },
+                }
                 Err(error) => match &error {
                     ServeError::Overloaded { .. } => {
                         shared
                             .metrics
                             .advise_rejected
                             .fetch_add(1, Ordering::Relaxed);
+                        pg_obs::warn!("advise rejected by batcher backpressure", error = error);
                         Response::error(429, &error.to_string()).with_header("Retry-After", "1")
                     }
                     other => {
@@ -410,6 +456,7 @@ fn advise(shared: &Arc<Shared>, token: u64, body: &[u8], close: bool) {
                             _ => 422,
                         };
                         shared.metrics.advise_failed.fetch_add(1, Ordering::Relaxed);
+                        pg_obs::debug!("advise failed", status = status, error = error);
                         Response::error(status, &error.to_string())
                     }
                 },
@@ -429,7 +476,7 @@ fn advise(shared: &Arc<Shared>, token: u64, body: &[u8], close: bool) {
 /// batches internally (each search generation is one `advise_many`, i.e.
 /// one backend `predict_batch`). It blocks its worker thread for the run —
 /// bounded by the budget clamp below.
-fn tune(shared: &Shared, body: &[u8]) -> Response {
+fn tune(shared: &Shared, body: &[u8], trace: &TraceHandle) -> Response {
     let mut request: TuneRequest = match parse_body(shared, body, "TuneRequest") {
         Ok(request) => request,
         Err(response) => return response,
@@ -446,20 +493,31 @@ fn tune(shared: &Shared, body: &[u8]) -> Response {
         .limits
         .max_generations
         .min(shared.max_tune_generations);
-    match shared.engine.tune(&request) {
-        Ok(report) => match serde_json::to_string(&report) {
-            Ok(json) => {
-                shared.metrics.tune_ok.fetch_add(1, Ordering::Relaxed);
-                shared
-                    .metrics
-                    .record_analysis(&[], report.space.race_pruned);
-                Response::json(200, json)
+    // One span covers the whole search; its generations are attributed
+    // individually to the `tune_generation` histogram by the evaluator.
+    let search = obs().trace_span(trace, Stage::TuneGeneration, trace.root());
+    let outcome = shared.engine.tune(&request);
+    search.finish();
+    match outcome {
+        Ok(report) => {
+            let span = obs().span(trace, Stage::Serialize, trace.root());
+            let serialized = serde_json::to_string(&report);
+            span.finish();
+            match serialized {
+                Ok(json) => {
+                    shared.metrics.tune_ok.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .metrics
+                        .record_analysis(&[], report.space.race_pruned);
+                    Response::json(200, json)
+                }
+                Err(error) => {
+                    shared.metrics.tune_failed.fetch_add(1, Ordering::Relaxed);
+                    pg_obs::error!("tune report serialization failed", error = error);
+                    Response::error(500, &format!("serializing tune report: {error}"))
+                }
             }
-            Err(error) => {
-                shared.metrics.tune_failed.fetch_add(1, Ordering::Relaxed);
-                Response::error(500, &format!("serializing tune report: {error}"))
-            }
-        },
+        }
         Err(error) => {
             let status = match &error {
                 TuneError::Engine(EngineError::BackendUnavailable(_)) => 503,
@@ -469,6 +527,7 @@ fn tune(shared: &Shared, body: &[u8]) -> Response {
                 _ => 422,
             };
             shared.metrics.tune_failed.fetch_add(1, Ordering::Relaxed);
+            pg_obs::debug!("tune failed", status = status, error = error);
             Response::error(status, &error.to_string())
         }
     }
@@ -722,6 +781,52 @@ mod tests {
         assert!(body.contains("paragraph_serve_batches_total 1"));
         assert!(body.contains("paragraph_serve_batch_fill_ratio"));
         assert!(body.contains("paragraph_serve_open_connections 1"));
+        assert!(body.contains("paragraph_serve_batch_oldest_wait_seconds"));
+        // The stage histograms ride along on the same endpoint; the hub is
+        // process-global, so only assert family presence (counts belong to
+        // whichever tests ran first).
+        assert!(body.contains("# TYPE paragraph_stage_duration_seconds histogram"));
+        assert!(body.contains("paragraph_stage_duration_seconds_bucket{stage=\"predict\""));
+        server.shutdown();
+    }
+
+    /// Tentpole acceptance: a single `/advise` over HTTP yields a
+    /// retrievable trace at `/debug/traces` whose span tree covers the
+    /// pipeline from accept to write.
+    #[test]
+    fn debug_traces_endpoint_returns_span_trees() {
+        let (server, _) = start(ServeConfig::default());
+        let json = serde_json::to_string(&AdviseRequest::catalog("MM/matmul")).unwrap();
+        let (status, body) = post_advise(server.addr(), &json);
+        assert_eq!(status, 200, "body: {body}");
+        let (status, body) = roundtrip(
+            server.addr(),
+            "GET /debug/traces HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+        // The default sampling policy (PARAGRAPH_OBS_SAMPLE=1) keeps every
+        // trace, so the advise request must be retrievable with its full
+        // stage ladder. The recorder is process-global: other tests'
+        // traces may interleave, so assert on content, not on count.
+        for stage in [
+            "\"stage\":\"request\"",
+            "\"stage\":\"accept\"",
+            "\"stage\":\"parse\"",
+            "\"stage\":\"batch_wait\"",
+            "\"stage\":\"analyze\"",
+            "\"stage\":\"predict\"",
+            "\"stage\":\"serialize\"",
+            "\"stage\":\"write\"",
+        ] {
+            assert!(body.contains(stage), "missing {stage} in:\n{body}");
+        }
+        assert!(body.contains("\"trace_id\""));
+        assert!(body.contains("\"children\""));
+        let (status, _) = roundtrip(
+            server.addr(),
+            "DELETE /debug/traces HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 405);
         server.shutdown();
     }
 

@@ -234,6 +234,7 @@ impl<'a> Evaluator<'a> {
             self.hit_evaluation_limit = true;
         }
 
+        let gen_started = std::time::Instant::now();
         let requests: Vec<AdviseRequest> = fresh
             .iter()
             .map(|&p| {
@@ -290,10 +291,13 @@ impl<'a> Evaluator<'a> {
             .best
             .as_ref()
             .expect("a scored generation produces a best");
+        let gen_elapsed = gen_started.elapsed();
+        pg_obs::obs().record_stage(pg_obs::Stage::TuneGeneration, gen_elapsed);
         self.trajectory.push(TrajectoryPoint {
             generation: self.generations,
             evaluations: self.evaluations,
             best_ms: best.predicted_ms,
+            gen_ms: gen_elapsed.as_secs_f64() * 1e3,
         });
         Ok(out)
     }

@@ -165,7 +165,7 @@ pub enum StopReason {
 }
 
 /// Best-so-far after one generation (one frontier batch).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct TrajectoryPoint {
     /// 1-based generation index.
     pub generation: u64,
@@ -173,6 +173,21 @@ pub struct TrajectoryPoint {
     pub evaluations: u64,
     /// Best predicted runtime seen so far, milliseconds.
     pub best_ms: f64,
+    /// Wall time this generation's frontier batch took, milliseconds
+    /// (per-generation latency attribution; also recorded into the
+    /// `tune_generation` stage histogram).
+    pub gen_ms: f64,
+}
+
+/// Search identity ignores `gen_ms`: two runs of the same deterministic
+/// search are "the same trajectory" even though their wall clocks differ
+/// (the serve round-trip suite compares served vs direct trajectories).
+impl PartialEq for TrajectoryPoint {
+    fn eq(&self, other: &Self) -> bool {
+        self.generation == other.generation
+            && self.evaluations == other.evaluations
+            && self.best_ms == other.best_ms
+    }
 }
 
 /// How much of the space the run covered and how much it pruned away.
@@ -284,6 +299,7 @@ mod tests {
                 generation: 1,
                 evaluations: 20,
                 best_ms: 1.25,
+                gen_ms: 0.75,
             }],
             wall_ms: 2.5,
         };

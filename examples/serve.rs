@@ -45,9 +45,10 @@ fn main() {
     let platform = match flag_value(&args, "--platform") {
         None => Platform::SummitV100,
         Some(slug) => Platform::from_slug(&slug).unwrap_or_else(|| {
-            eprintln!(
-                "error: unknown platform `{slug}` (one of: {})",
-                Platform::ALL.map(|p| p.slug()).join(", ")
+            paragraph::obs::error!(
+                "unknown platform",
+                slug = slug,
+                known = Platform::ALL.map(|p| p.slug()).join(", ")
             );
             std::process::exit(2);
         }),
@@ -58,15 +59,15 @@ fn main() {
         let loaded = match gnn::load_bundle(std::path::Path::new(&path)) {
             Ok(loaded) => loaded,
             Err(error) => {
-                eprintln!("error: loading model bundle: {error}");
+                paragraph::obs::error!("loading model bundle failed", path = path, error = error);
                 std::process::exit(2);
             }
         };
         if loaded.trained_on != platform {
-            eprintln!(
-                "error: bundle was trained on {} but the server platform is {}",
-                loaded.trained_on.name(),
-                platform.name()
+            paragraph::obs::error!(
+                "bundle/platform mismatch",
+                trained_on = loaded.trained_on.name(),
+                platform = platform.name()
             );
             std::process::exit(2);
         }
@@ -93,7 +94,7 @@ fn main() {
     let parsed_flag = |name: &str| -> Option<u64> {
         flag_value(&args, name).map(|v| {
             v.parse().unwrap_or_else(|_| {
-                eprintln!("error: {name} expects a number, got `{v}`");
+                paragraph::obs::error!("flag expects a number", flag = name, got = v);
                 std::process::exit(2);
             })
         })
@@ -120,7 +121,7 @@ fn main() {
     let server = match Server::start(engine, config) {
         Ok(server) => server,
         Err(error) => {
-            eprintln!("error: binding listener: {error}");
+            paragraph::obs::error!("binding listener failed", error = error);
             std::process::exit(1);
         }
     };
@@ -137,11 +138,11 @@ fn main() {
     let started = Instant::now();
     loop {
         if termination_requested() {
-            println!("signal received, draining...");
+            paragraph::obs::info!("signal received, draining");
             break;
         }
         if max_lifetime.is_some_and(|limit| started.elapsed() >= limit) {
-            println!("PARAGRAPH_SERVE_MAX_SECONDS reached, draining...");
+            paragraph::obs::info!("PARAGRAPH_SERVE_MAX_SECONDS reached, draining");
             break;
         }
         std::thread::sleep(Duration::from_millis(50));

@@ -59,6 +59,10 @@ pub use pg_gnn as gnn;
 /// COMPOFF baseline cost model.
 pub use pg_compoff as compoff;
 
+/// Observability core: request tracing, stage-latency histograms,
+/// structured logging (`/debug/traces`, `paragraph_stage_duration_seconds`).
+pub use pg_obs as obs;
+
 /// HTTP serving tier: micro-batching, admission control, model hot-loading.
 pub use pg_serve as serve;
 
