@@ -1,0 +1,60 @@
+//! The advisor's pragma rewriter against generated programs: for any
+//! program the structured generator emits, `rewrite_to_source` must
+//! produce source that re-parses, carries exactly the requested directive,
+//! and preserves the non-OpenMP structure of the original.
+
+use pg_advisor::rewrite::rewrite_to_source;
+use pg_frontend::testing::generate_program;
+use pg_frontend::{parse, AstKind};
+
+const NON_OMP_KINDS: [AstKind; 7] = [
+    AstKind::FunctionDecl,
+    AstKind::VarDecl,
+    AstKind::ForStmt,
+    AstKind::WhileStmt,
+    AstKind::IfStmt,
+    AstKind::BinaryOperator,
+    AstKind::ArraySubscriptExpr,
+];
+
+fn fuzz_iters() -> u64 {
+    std::env::var("PARAGRAPH_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+        .min(2000)
+}
+
+#[test]
+fn rewritten_generated_programs_reparse_with_structure_preserved() {
+    let pragmas = [
+        "parallel for",
+        "parallel for num_threads(8) schedule(static)",
+        "target teams distribute parallel for num_teams(80) thread_limit(128)",
+    ];
+    for seed in 0..fuzz_iters() {
+        let src = generate_program(seed);
+        let ast = parse(&src).expect("generated program parses");
+        // Only programs with a loop have a rewrite target; the generator
+        // emits plenty of them.
+        if ast.find_first(AstKind::ForStmt).is_none() {
+            continue;
+        }
+        let pragma = pragmas[(seed % pragmas.len() as u64) as usize];
+        let rewritten = rewrite_to_source(&ast, pragma);
+        let reparsed = parse(&rewritten).unwrap_or_else(|e| {
+            panic!("seed {seed}: rewritten source no longer parses: {e}\n---\n{rewritten}")
+        });
+        for kind in NON_OMP_KINDS {
+            assert_eq!(
+                ast.find_all(kind).len(),
+                reparsed.find_all(kind).len(),
+                "seed {seed}: count of {kind:?} changed across rewrite\n---\n{rewritten}"
+            );
+        }
+        assert!(
+            rewritten.contains(&format!("#pragma omp {pragma}")),
+            "seed {seed}: requested pragma missing\n---\n{rewritten}"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! pg-analyze as a consumer of hostile input: the legality gate must be
+//! panic-free on anything the parser can emit, and its verdicts must not
+//! depend on formatting.
+
+use pg_analyze::{analyze_source, LegalityVerdict};
+use pg_frontend::testing::{generate_program, mutate, reformat, Rng};
+
+fn fuzz_iters() -> u64 {
+    std::env::var("PARAGRAPH_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+/// Formatting-independent fingerprint of a report: the verdict shape (with
+/// clause sets, which name variables, not positions) plus the sorted rule
+/// ids. Messages and spans legitimately change when line numbers move.
+fn fingerprint(report: &pg_analyze::AnalysisReport) -> (String, Vec<String>) {
+    let verdict = match &report.verdict {
+        LegalityVerdict::Safe => "safe".to_string(),
+        LegalityVerdict::SafeWithClauses(clauses) => {
+            let mut c = clauses.clone();
+            c.sort();
+            format!("safe-with-clauses:{}", c.join(","))
+        }
+        LegalityVerdict::Race(_) => "race".to_string(),
+    };
+    let mut rules: Vec<String> = report.diagnostics.iter().map(|d| d.rule.clone()).collect();
+    rules.sort();
+    (verdict, rules)
+}
+
+#[test]
+fn verdicts_are_formatting_independent() {
+    let iters = fuzz_iters();
+    for seed in 0..iters {
+        let src = generate_program(seed);
+        let mut style = Rng::new(seed.rotate_left(17) ^ 0xC0FFEE);
+        let twin = reformat(&src, &mut style);
+        let a = analyze_source(&src);
+        let b = analyze_source(&twin);
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "seed {seed}: analyze verdict changed under whitespace/comment mutation\n--- original\n{src}\n--- twin\n{twin}"
+        );
+    }
+}
+
+#[test]
+fn analyze_is_panic_free_on_mutated_inputs() {
+    let iters = fuzz_iters();
+    for seed in 0..iters {
+        let mut rng = Rng::new(seed.wrapping_mul(0x5DEECE66D));
+        let mut src = generate_program(seed);
+        for round in 0..2 {
+            src = mutate(&src, &mut rng);
+            let input = src.clone();
+            let outcome = std::panic::catch_unwind(move || {
+                let _ = analyze_source(&input);
+            });
+            assert!(
+                outcome.is_ok(),
+                "seed {seed} round {round}: analyze_source panicked\n---\n{src}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unparseable_input_yields_race_verdict_with_parse_error_diagnostic() {
+    let report = analyze_source("void f() { int x = ((((; }");
+    assert!(report.verdict.is_race());
+    assert!(report.diagnostics.iter().any(|d| d.rule == "parse-error"));
+    // Limit rejections surface the same way: a gated verdict, not a panic.
+    let bomb = pg_frontend::testing::nesting_bomb(100_000);
+    let report = analyze_source(&bomb);
+    assert!(report.verdict.is_race());
+    assert!(report.diagnostics.iter().any(|d| d.rule == "parse-error"));
+}

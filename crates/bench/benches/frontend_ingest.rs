@@ -1,0 +1,217 @@
+//! Machine-readable baseline for the untrusted-input frontend: what
+//! parsing costs per catalogue kernel and per generated program, what the
+//! `ParseOptions` budget checks add to the happy path, and how fast the
+//! budget rejects hostile input (a bomb must be refused in time
+//! proportional to the *budget*, never to the input).
+//!
+//! Besides the criterion output, results are written to
+//! `BENCH_frontend_ingest.json` at the repository root so future PRs can
+//! track ingestion cost. Set `PARAGRAPH_BENCH_SMOKE=1` for the CI smoke
+//! run: few cases, one repetition, no JSON rewrite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pg_advisor::{instantiate, LaunchConfig, Variant};
+use pg_frontend::testing::generate_program;
+use pg_frontend::{parse_with_options, ParseOptions};
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var("PARAGRAPH_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// Median of `reps` wall-clock samples from `f`, in microseconds.
+fn median_wall_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// The catalogue matmul's first applicable variant, fully instantiated —
+/// the representative honest-request source.
+fn matmul_source() -> String {
+    let kernel = pg_kernels::find_kernel("MM/matmul").unwrap();
+    let instance = instantiate(
+        &kernel,
+        Variant::applicable_variants(&kernel)[0],
+        &kernel.default_sizes(),
+        LaunchConfig {
+            teams: 80,
+            threads: 128,
+        },
+    );
+    instance.source
+}
+
+fn paren_bomb(depth: usize) -> String {
+    format!(
+        "void bomb() {{ int x = {}1{}; }}",
+        "(".repeat(depth),
+        ")".repeat(depth)
+    )
+}
+
+#[derive(serde::Serialize)]
+struct ParseCase {
+    name: String,
+    source_bytes: usize,
+    budgeted_wall_us: f64,
+    unlimited_wall_us: f64,
+    /// `(budgeted - unlimited) / unlimited`: what enforcing the caps costs
+    /// an honest request. Negative values are measurement noise.
+    budget_overhead_fraction: f64,
+}
+
+#[derive(serde::Serialize)]
+struct RejectCase {
+    name: String,
+    source_bytes: usize,
+    reject_wall_us: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Aggregate {
+    parse_cases: usize,
+    reject_cases: usize,
+    mean_budget_overhead_fraction: f64,
+    reject_wall_us_max: f64,
+    /// Acceptance: rejection cost is bounded by the parse budget, never by
+    /// the attacker — the worst admissible input (1 MiB of source, capped
+    /// token count) must be refused within 10 ms of linear lexing work.
+    rejection_is_budget_bounded: bool,
+}
+
+#[derive(serde::Serialize)]
+struct BenchReport {
+    schema: u32,
+    parse: Vec<ParseCase>,
+    reject: Vec<RejectCase>,
+    aggregate: Aggregate,
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let source = matmul_source();
+    c.bench_function("parse_matmul_budgeted", |b| {
+        b.iter(|| parse_with_options(std::hint::black_box(&source), ParseOptions::default()))
+    });
+    let generated = generate_program(42);
+    c.bench_function("parse_generated_budgeted", |b| {
+        b.iter(|| parse_with_options(std::hint::black_box(&generated), ParseOptions::default()))
+    });
+    let bomb = paren_bomb(100_000);
+    c.bench_function("reject_paren_bomb_100k", |b| {
+        b.iter(|| {
+            parse_with_options(std::hint::black_box(&bomb), ParseOptions::default())
+                .expect_err("bomb is rejected")
+        })
+    });
+}
+
+fn record_json(c: &mut Criterion) {
+    let _ = c;
+    let reps = if smoke() { 1 } else { 31 };
+    let seeds: Vec<u64> = if smoke() { vec![1] } else { (0..8).collect() };
+
+    let mut parse = Vec::new();
+    let mut sources: Vec<(String, String)> =
+        vec![("catalog:MM/matmul".to_string(), matmul_source())];
+    for seed in seeds {
+        sources.push((format!("generated:{seed}"), generate_program(seed)));
+    }
+    for (name, source) in sources {
+        let budgeted = median_wall_us(reps, || {
+            parse_with_options(&source, ParseOptions::default()).expect("source parses");
+        });
+        let unlimited = median_wall_us(reps, || {
+            parse_with_options(&source, ParseOptions::unlimited()).expect("source parses");
+        });
+        parse.push(ParseCase {
+            name,
+            source_bytes: source.len(),
+            budgeted_wall_us: budgeted,
+            unlimited_wall_us: unlimited,
+            budget_overhead_fraction: (budgeted - unlimited) / unlimited.max(1e-9),
+        });
+    }
+
+    // Hostile inputs: rejection time must track the budget, not the bomb.
+    let mut reject = Vec::new();
+    let depths: &[usize] = if smoke() {
+        &[10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    for &depth in depths {
+        let bomb = paren_bomb(depth);
+        let wall = median_wall_us(reps, || {
+            parse_with_options(&bomb, ParseOptions::default()).expect_err("bomb rejected");
+        });
+        reject.push(RejectCase {
+            name: format!("paren_bomb:{depth}"),
+            source_bytes: bomb.len(),
+            reject_wall_us: wall,
+        });
+    }
+    let oversized = "x".repeat((1 << 20) + 1);
+    let wall = median_wall_us(reps, || {
+        parse_with_options(&oversized, ParseOptions::default()).expect_err("too large");
+    });
+    reject.push(RejectCase {
+        name: "oversized_1mib_plus_one".to_string(),
+        source_bytes: oversized.len(),
+        reject_wall_us: wall,
+    });
+
+    let mean_overhead = parse
+        .iter()
+        .map(|p| p.budget_overhead_fraction)
+        .sum::<f64>()
+        / parse.len().max(1) as f64;
+    let reject_max = reject
+        .iter()
+        .map(|r| r.reject_wall_us)
+        .fold(0.0f64, f64::max);
+    let aggregate = Aggregate {
+        parse_cases: parse.len(),
+        reject_cases: reject.len(),
+        mean_budget_overhead_fraction: mean_overhead,
+        reject_wall_us_max: reject_max,
+        rejection_is_budget_bounded: reject_max < 10_000.0,
+    };
+    println!(
+        "frontend ingest: {} parse cases, budget overhead mean {:+.2}%; {} hostile cases, slowest rejection {:.1}us (budget-bounded: {})",
+        aggregate.parse_cases,
+        aggregate.mean_budget_overhead_fraction * 100.0,
+        aggregate.reject_cases,
+        aggregate.reject_wall_us_max,
+        aggregate.rejection_is_budget_bounded,
+    );
+    let report = BenchReport {
+        schema: 1,
+        parse,
+        reject,
+        aggregate,
+    };
+    if smoke() {
+        // The CI smoke run proves the harness executes end to end; keep
+        // the committed baseline intact.
+        return;
+    }
+    let json = serde_json::to_string(&report).expect("bench report serialises");
+    std::fs::write(
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_frontend_ingest.json"
+        ),
+        json,
+    )
+    .expect("write BENCH_frontend_ingest.json");
+}
+
+criterion_group!(benches, bench_frontend, record_json);
+criterion_main!(benches);

@@ -12,7 +12,7 @@
 //! [`AdviseReport`](crate::AdviseReport).
 
 use paragraph_core::{build, to_relational, RelationalGraph, Representation};
-use pg_frontend::Ast;
+use pg_frontend::{Ast, ParseOptions};
 use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -163,18 +163,34 @@ pub struct FrontendCache {
     graphs: Mutex<LruCache<GraphKey, Arc<RelationalGraph>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Parse budget applied to every miss. The cache sits on the raw-source
+    /// ingestion path (uncatalogued `/advise` bodies land here), so limits
+    /// are enforced at the same place parsing happens.
+    parse_options: ParseOptions,
 }
 
 impl FrontendCache {
-    /// Create a cache with `capacity` entries per layer.
+    /// Create a cache with `capacity` entries per layer and the default
+    /// parse budget.
     pub fn new(capacity: usize) -> Self {
+        Self::with_parse_options(capacity, ParseOptions::default())
+    }
+
+    /// Create a cache with an explicit per-request parse budget.
+    pub fn with_parse_options(capacity: usize, parse_options: ParseOptions) -> Self {
         Self {
             sources: Mutex::new(LruCache::new(capacity)),
             asts: Mutex::new(LruCache::new(capacity)),
             graphs: Mutex::new(LruCache::new(capacity)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            parse_options,
         }
+    }
+
+    /// The parse budget applied to cache misses.
+    pub fn parse_options(&self) -> ParseOptions {
+        self.parse_options
     }
 
     /// Shared `Arc<str>` for a source. Interning is contents-based, so an
@@ -220,7 +236,7 @@ impl FrontendCache {
             return Ok(ast);
         }
         self.record(request, false);
-        let ast = Arc::new(pg_frontend::parse(source)?);
+        let ast = Arc::new(pg_frontend::parse_with_options(source, self.parse_options)?);
         let key = self.intern(source);
         self.asts
             .lock()

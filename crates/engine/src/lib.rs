@@ -48,6 +48,10 @@ pub mod request;
 pub use backend::{PredictionContext, RuntimePredictor, SimulatorBackend};
 pub use cache::{CacheCounters, FrontendCache, LruCache, RequestCounters};
 pub use error::EngineError;
+// Re-exported so downstream tiers (pg-serve) can inspect typed frontend
+// rejections and configure parse budgets without a direct pg-frontend
+// dependency.
+pub use pg_frontend::{FrontendError, FrontendErrorKind, ParseOptions};
 pub use report::{
     AdviseReport, CacheActivity, PredictionFailure, StageBreakdown, Timing, VariantPrediction,
 };
@@ -103,6 +107,7 @@ pub struct EngineBuilder {
     cache_capacity: usize,
     shared_cache: Option<Arc<FrontendCache>>,
     analysis_gate: bool,
+    parse_options: pg_frontend::ParseOptions,
 }
 
 impl EngineBuilder {
@@ -142,6 +147,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Per-request parse budget for raw (uncatalogued) sources (default:
+    /// [`pg_frontend::ParseOptions::default`]). Ignored when a
+    /// [`shared_cache`](EngineBuilder::shared_cache) is supplied — the
+    /// shared cache's own budget wins, since cached ASTs must all have
+    /// been admitted under one policy.
+    pub fn parse_options(mut self, options: pg_frontend::ParseOptions) -> Self {
+        self.parse_options = options;
+        self
+    }
+
     /// Assemble the engine.
     pub fn build(self) -> Engine {
         Engine {
@@ -149,9 +164,12 @@ impl EngineBuilder {
             backend: self
                 .backend
                 .unwrap_or_else(|| Box::new(SimulatorBackend::noise_free())),
-            cache: self
-                .shared_cache
-                .unwrap_or_else(|| Arc::new(FrontendCache::new(self.cache_capacity))),
+            cache: self.shared_cache.unwrap_or_else(|| {
+                Arc::new(FrontendCache::with_parse_options(
+                    self.cache_capacity,
+                    self.parse_options,
+                ))
+            }),
             analysis_gate: self.analysis_gate,
             analysis_memo: Mutex::new(LruCache::new(self.cache_capacity)),
         }
@@ -167,6 +185,7 @@ impl Engine {
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             shared_cache: None,
             analysis_gate: true,
+            parse_options: pg_frontend::ParseOptions::default(),
         }
     }
 

@@ -1,0 +1,91 @@
+//! The engine as a consumer of raw, never-catalogued kernel source.
+//!
+//! The frontend's per-request parse budget ([`ParseOptions`]) must surface
+//! through the engine as typed [`EngineError::Frontend`] values — never a
+//! panic — and repeated requests for the same raw source must be memoized
+//! by the frontend cache so hostile traffic cannot force re-parsing.
+
+use pg_engine::{AdviseRequest, Engine, EngineError, FrontendCache};
+use pg_frontend::testing::nesting_bomb;
+use pg_frontend::ParseOptions;
+
+const RAW_KERNEL: &str = r#"
+void saxpy(float *a, float *b, int n) {
+    #pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        a[i] = a[i] + 2.0 * b[i];
+    }
+}
+"#;
+
+#[test]
+fn raw_source_advise_succeeds_end_to_end() {
+    let engine = Engine::builder().build();
+    let report = engine
+        .advise(&AdviseRequest::source("demo/saxpy", RAW_KERNEL))
+        .expect("raw uncatalogued source advises");
+    assert!(!report.rankings.is_empty(), "expected ranked candidates");
+    assert!(
+        report.race_pruned.is_empty(),
+        "raw sources are diagnosed, never pruned"
+    );
+}
+
+#[test]
+fn raw_source_asts_are_memoized() {
+    let cache = FrontendCache::new(8);
+    let first = cache.ast(RAW_KERNEL).expect("source parses");
+    let after_first = cache.counters();
+    assert_eq!(after_first.misses, 1);
+
+    let second = cache.ast(RAW_KERNEL).expect("cached source parses");
+    let delta = cache.counters().since(after_first);
+    assert_eq!(delta.misses, 0, "second lookup must not re-parse");
+    assert_eq!(delta.hits, 1);
+    assert!(
+        std::sync::Arc::ptr_eq(&first, &second),
+        "hits share the Arc'd AST"
+    );
+}
+
+#[test]
+fn repeated_raw_source_requests_hit_the_engine_cache() {
+    let engine = Engine::builder().build();
+    let request = AdviseRequest::source("demo/saxpy", RAW_KERNEL);
+    engine.advise(&request).expect("first request advises");
+    let warm = engine.cache_counters();
+    engine.advise(&request).expect("second request advises");
+    let delta = engine.cache_counters().since(warm);
+    assert_eq!(delta.misses, 0, "warm raw-source request must not re-parse");
+    assert!(delta.hits > 0);
+}
+
+#[test]
+fn parse_budget_violations_surface_as_typed_limit_errors() {
+    let engine = Engine::builder().build();
+    let bomb = nesting_bomb(100_000);
+    let err = engine
+        .advise(&AdviseRequest::source("demo/bomb", &bomb))
+        .expect_err("a nesting bomb must be rejected");
+    match err {
+        EngineError::Frontend(e) => assert!(e.is_limit(), "expected a limit rejection, got: {e}"),
+        other => panic!("expected EngineError::Frontend, got: {other}"),
+    }
+}
+
+#[test]
+fn builder_parse_options_reach_the_cache() {
+    let tight = ParseOptions::default().with_max_source_bytes(64);
+    let engine = Engine::builder().parse_options(tight).build();
+    let err = engine
+        .advise(&AdviseRequest::source("demo/saxpy", RAW_KERNEL))
+        .expect_err("64-byte budget rejects the kernel");
+    match err {
+        EngineError::Frontend(e) => assert!(e.is_limit()),
+        other => panic!("expected EngineError::Frontend, got: {other}"),
+    }
+
+    let cache = FrontendCache::with_parse_options(4, tight);
+    assert_eq!(cache.parse_options().max_source_bytes, 64);
+    assert!(cache.ast(RAW_KERNEL).is_err());
+}

@@ -30,7 +30,8 @@ pub fn const_eval(ast: &Ast, node: NodeId, env: &ConstEnv) -> Option<i64> {
         AstKind::UnaryOperator => {
             let value = n.children.first().and_then(|&c| const_eval(ast, c, env))?;
             match n.data.opcode.as_deref() {
-                Some("-") => Some(-value),
+                // checked_neg: `-(i64::MIN)` has no i64 representation.
+                Some("-") => value.checked_neg(),
                 Some("+") => Some(value),
                 Some("~") => Some(!value),
                 Some("!") => Some(i64::from(value == 0)),
@@ -44,20 +45,10 @@ pub fn const_eval(ast: &Ast, node: NodeId, env: &ConstEnv) -> Option<i64> {
                 Some("+") => lhs.checked_add(rhs),
                 Some("-") => lhs.checked_sub(rhs),
                 Some("*") => lhs.checked_mul(rhs),
-                Some("/") => {
-                    if rhs == 0 {
-                        None
-                    } else {
-                        Some(lhs / rhs)
-                    }
-                }
-                Some("%") => {
-                    if rhs == 0 {
-                        None
-                    } else {
-                        Some(lhs % rhs)
-                    }
-                }
+                // checked_div/checked_rem: rejects both rhs == 0 and the
+                // i64::MIN / -1 overflow case.
+                Some("/") => lhs.checked_div(rhs),
+                Some("%") => lhs.checked_rem(rhs),
                 Some("<<") => Some(lhs << (rhs & 63)),
                 Some(">>") => Some(lhs >> (rhs & 63)),
                 _ => None,
@@ -324,19 +315,23 @@ fn compute_trip_count(
             other => other.to_string(),
         }
     };
+    // All arithmetic is checked: hostile inputs can place start/bound/step
+    // anywhere in i64, and a trip count that does not fit is "unknown", not
+    // a debug-overflow panic.
     let (lo, hi, step_abs) = match (comparison.as_str(), step > 0) {
-        ("<", true) => (start, bound - 1, step),
+        ("<", true) => (start, bound.checked_sub(1)?, step),
         ("<=", true) => (start, bound, step),
-        (">", false) => (bound + 1, start, -step),
-        (">=", false) => (bound, start, -step),
-        ("!=", true) => (start, bound - 1, step),
-        ("!=", false) => (bound + 1, start, -step),
+        (">", false) => (bound.checked_add(1)?, start, step.checked_neg()?),
+        (">=", false) => (bound, start, step.checked_neg()?),
+        ("!=", true) => (start, bound.checked_sub(1)?, step),
+        ("!=", false) => (bound.checked_add(1)?, start, step.checked_neg()?),
         _ => return Some(0),
     };
     if hi < lo {
         return Some(0);
     }
-    Some(((hi - lo) / step_abs + 1) as u64)
+    let span = hi.checked_sub(lo)?;
+    Some((span / step_abs).checked_add(1)? as u64)
 }
 
 /// One loop in a loop nest.
@@ -687,6 +682,49 @@ mod tests {
         let mut env = ConstEnv::new();
         env.insert("n".to_string(), 21);
         assert_eq!(const_eval(&ast, init, &env), Some(42));
+    }
+
+    #[test]
+    fn const_eval_overflow_is_none_not_panic() {
+        // Each of these used to panic under debug assertions (the test
+        // profile) before const_eval switched to checked arithmetic.
+        let cases = [
+            // -(i64::MIN): i64::MIN is spelled -(9223372036854775807) - 1.
+            "void f() { int x = -(-9223372036854775807 - 1); }",
+            "void f() { int x = (-9223372036854775807 - 1) / -1; }",
+            "void f() { int x = (-9223372036854775807 - 1) % -1; }",
+            "void f() { int x = 1 / 0; }",
+            "void f() { int x = 1 % 0; }",
+        ];
+        for src in cases {
+            let ast = parse(src).unwrap();
+            let var = ast.find_first(AstKind::VarDecl).unwrap();
+            let init = ast.children(var)[0];
+            assert_eq!(const_eval(&ast, init, &ConstEnv::new()), None, "{src}");
+        }
+        // i64::MIN itself still evaluates.
+        let ast = parse("void f() { int x = -9223372036854775807 - 1; }").unwrap();
+        let var = ast.find_first(AstKind::VarDecl).unwrap();
+        let init = ast.children(var)[0];
+        assert_eq!(const_eval(&ast, init, &ConstEnv::new()), Some(i64::MIN));
+    }
+
+    #[test]
+    fn trip_count_extreme_bounds_do_not_overflow() {
+        // bound - 1 underflows for `!=`/`<` at i64::MIN; step negation
+        // overflows at i64::MIN; the span can exceed i64. All must yield
+        // None or a clamped count, never a panic.
+        let cases = [
+            "void f() { for (long i = 0; i < -9223372036854775807 - 1; i++) { } }",
+            "void f() { for (long i = 9223372036854775807; i > 0; i += -9223372036854775807 - 1) { } }",
+            "void f() { for (long i = -9223372036854775807 - 1; i < 9223372036854775807; i++) { } }",
+            "void f() { for (long i = 0; i != -9223372036854775807 - 1; i++) { } }",
+        ];
+        for src in cases {
+            let ast = parse(src).unwrap();
+            // Must not panic; the resulting trip count may be anything.
+            let _ = analyze_for(&ast, first_for(&ast), &ConstEnv::new());
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@ pub struct FrontendError {
     pub location: SourceLocation,
     /// Human-readable message.
     pub message: String,
+    /// Machine-readable classification of the failure.
+    pub kind: FrontendErrorKind,
 }
 
 /// Compilation phase that raised the error.
@@ -25,6 +27,91 @@ pub enum Phase {
     Sema,
 }
 
+/// Typed classification of a frontend failure.
+///
+/// The limit variants correspond one-to-one to the caps in
+/// [`ParseOptions`](crate::ParseOptions): callers at the trust boundary (the
+/// serving tier) use [`FrontendErrorKind::is_limit`] to distinguish a
+/// request that blew its resource budget from one that is merely
+/// syntactically wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrontendErrorKind {
+    /// Generic syntax error (unexpected token, missing delimiter, ...).
+    Syntax,
+    /// A `/* ... */` comment ran to end of input.
+    UnterminatedComment,
+    /// A string or character literal ran to end of input.
+    UnterminatedLiteral,
+    /// A numeric literal that does not fit its type or is malformed.
+    InvalidLiteral,
+    /// A byte outside the accepted C-subset alphabet.
+    UnexpectedCharacter,
+    /// The input exceeded `max_source_bytes` before lexing started.
+    SourceTooLarge {
+        /// Actual input length in bytes.
+        actual: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// Lexing (including macro expansion) exceeded `max_tokens`.
+    TooManyTokens {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// Statement/expression nesting exceeded `max_nesting_depth`.
+    NestingTooDeep {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The AST arena exceeded `max_ast_nodes`.
+    TooManyNodes {
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl FrontendErrorKind {
+    /// Stable kebab-case name, suitable for wire diagnostics and metrics
+    /// labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FrontendErrorKind::Syntax => "syntax",
+            FrontendErrorKind::UnterminatedComment => "unterminated-comment",
+            FrontendErrorKind::UnterminatedLiteral => "unterminated-literal",
+            FrontendErrorKind::InvalidLiteral => "invalid-literal",
+            FrontendErrorKind::UnexpectedCharacter => "unexpected-character",
+            FrontendErrorKind::SourceTooLarge { .. } => "source-too-large",
+            FrontendErrorKind::TooManyTokens { .. } => "too-many-tokens",
+            FrontendErrorKind::NestingTooDeep { .. } => "nesting-too-deep",
+            FrontendErrorKind::TooManyNodes { .. } => "too-many-nodes",
+        }
+    }
+
+    /// The exhausted budget's configured cap, for limit kinds.
+    pub fn limit(&self) -> Option<usize> {
+        match *self {
+            FrontendErrorKind::SourceTooLarge { limit, .. }
+            | FrontendErrorKind::TooManyTokens { limit }
+            | FrontendErrorKind::NestingTooDeep { limit }
+            | FrontendErrorKind::TooManyNodes { limit } => Some(limit),
+            _ => None,
+        }
+    }
+
+    /// Whether this error means a [`ParseOptions`](crate::ParseOptions)
+    /// budget was exhausted (as opposed to a plain syntax error).
+    pub fn is_limit(&self) -> bool {
+        matches!(
+            self,
+            FrontendErrorKind::SourceTooLarge { .. }
+                | FrontendErrorKind::TooManyTokens { .. }
+                | FrontendErrorKind::NestingTooDeep { .. }
+                | FrontendErrorKind::TooManyNodes { .. }
+        )
+    }
+}
+
 impl FrontendError {
     /// Create a lexer error.
     pub fn lex(location: SourceLocation, message: impl Into<String>) -> Self {
@@ -32,6 +119,7 @@ impl FrontendError {
             phase: Phase::Lex,
             location,
             message: message.into(),
+            kind: FrontendErrorKind::Syntax,
         }
     }
 
@@ -41,6 +129,7 @@ impl FrontendError {
             phase: Phase::Parse,
             location,
             message: message.into(),
+            kind: FrontendErrorKind::Syntax,
         }
     }
 
@@ -50,7 +139,19 @@ impl FrontendError {
             phase: Phase::Sema,
             location,
             message: message.into(),
+            kind: FrontendErrorKind::Syntax,
         }
+    }
+
+    /// Replace the error's kind (builder-style).
+    pub fn with_kind(mut self, kind: FrontendErrorKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Whether this error means a parse budget was exhausted.
+    pub fn is_limit(&self) -> bool {
+        self.kind.is_limit()
     }
 }
 
@@ -79,5 +180,25 @@ mod tests {
         assert!(err.to_string().starts_with("lex error"));
         let err = FrontendError::sema(SourceLocation { line: 9, column: 9 }, "unknown variable");
         assert!(err.to_string().starts_with("sema error"));
+    }
+
+    #[test]
+    fn limit_kinds_are_distinguished_from_syntax() {
+        let loc = SourceLocation { line: 1, column: 1 };
+        let syntax = FrontendError::parse(loc, "expected ';'");
+        assert!(!syntax.is_limit());
+        assert_eq!(syntax.kind, FrontendErrorKind::Syntax);
+        let depth = FrontendError::parse(loc, "too deep")
+            .with_kind(FrontendErrorKind::NestingTooDeep { limit: 128 });
+        assert!(depth.is_limit());
+        assert_eq!(depth.kind.name(), "nesting-too-deep");
+        assert_eq!(depth.kind.limit(), Some(128));
+        assert_eq!(FrontendErrorKind::Syntax.limit(), None);
+        let tokens = FrontendError::lex(loc, "too many")
+            .with_kind(FrontendErrorKind::TooManyTokens { limit: 10 });
+        assert!(tokens.is_limit());
+        let unterminated = FrontendError::lex(loc, "eof in string")
+            .with_kind(FrontendErrorKind::UnterminatedLiteral);
+        assert!(!unterminated.is_limit());
     }
 }

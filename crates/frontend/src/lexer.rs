@@ -1,8 +1,15 @@
 //! Hand-written lexer for the C subset used by the ParaGraph benchmark
 //! kernels, including `#pragma omp` lines and simple object-like `#define`
 //! macros (used to inject problem sizes into kernel templates).
+//!
+//! The lexer is part of the untrusted-input boundary: token production is
+//! capped by [`ParseOptions::max_tokens`], macro bodies are lexed exactly
+//! once at their `#define` (so a large replacement used many times costs
+//! clones, not re-lexing), and preprocessor lines are consumed iteratively
+//! so a flood of directives cannot grow the call stack.
 
-use crate::error::FrontendError;
+use crate::error::{FrontendError, FrontendErrorKind};
+use crate::limits::ParseOptions;
 use crate::token::{Keyword, Punct, SourceLocation, Token, TokenKind};
 use std::collections::HashMap;
 
@@ -12,19 +19,33 @@ pub struct Lexer<'src> {
     pos: usize,
     line: u32,
     column: u32,
-    /// Object-like macros collected from `#define NAME value` lines.
+    options: ParseOptions,
+    /// Object-like macros collected from `#define NAME value` lines
+    /// (name -> raw replacement text).
     macros: HashMap<String, String>,
+    /// Replacement token lists, lexed once at the `#define`. A malformed
+    /// body stores its error, surfaced lazily on first *use* (an unused
+    /// bad define is not an error, matching the re-lex-on-use behaviour
+    /// this cache replaced).
+    macro_tokens: HashMap<String, Result<Vec<Token>, FrontendError>>,
 }
 
 impl<'src> Lexer<'src> {
-    /// Create a lexer over the given source text.
+    /// Create a lexer over the given source text with default limits.
     pub fn new(source: &'src str) -> Self {
+        Self::with_options(source, ParseOptions::default())
+    }
+
+    /// Create a lexer over the given source text with an explicit budget.
+    pub fn with_options(source: &'src str, options: ParseOptions) -> Self {
         Self {
             src: source.as_bytes(),
             pos: 0,
             line: 1,
             column: 1,
+            options,
             macros: HashMap::new(),
+            macro_tokens: HashMap::new(),
         }
     }
 
@@ -40,6 +61,15 @@ impl<'src> Lexer<'src> {
             if let Some(ts) = token {
                 tokens.extend(ts)
             }
+            if tokens.len() > self.options.max_tokens {
+                return Err(FrontendError::lex(
+                    self.location(),
+                    format!("input exceeds the {}-token budget", self.options.max_tokens),
+                )
+                .with_kind(FrontendErrorKind::TooManyTokens {
+                    limit: self.options.max_tokens,
+                }));
+            }
             if eof {
                 break;
             }
@@ -54,12 +84,8 @@ impl<'src> Lexer<'src> {
 
     fn substitute_macro(&self, token: Token) -> Result<Option<Vec<Token>>, FrontendError> {
         if let TokenKind::Identifier(name) = &token.kind {
-            if let Some(replacement) = self.macros.get(name) {
-                // Re-lex the replacement text (macros do not nest in our subset).
-                let sub = Lexer::new(replacement);
-                let mut toks = sub.tokenize()?;
-                // Drop the EOF of the nested lex and fix locations.
-                toks.retain(|t| !t.is_eof());
+            if let Some(prelexed) = self.macro_tokens.get(name) {
+                let mut toks = prelexed.clone()?;
                 for t in &mut toks {
                     t.location = token.location;
                 }
@@ -128,7 +154,8 @@ impl<'src> Lexer<'src> {
                                 return Err(FrontendError::lex(
                                     start,
                                     "unterminated block comment",
-                                ));
+                                )
+                                .with_kind(FrontendErrorKind::UnterminatedComment));
                             }
                         }
                     }
@@ -157,50 +184,73 @@ impl<'src> Lexer<'src> {
     }
 
     fn next_token(&mut self) -> Result<Token, FrontendError> {
-        self.skip_whitespace_and_comments()?;
-        let loc = self.location();
-        let Some(c) = self.peek() else {
-            return Ok(Token {
-                kind: TokenKind::Eof,
-                location: loc,
-            });
-        };
+        // Iterative so that a flood of ignored preprocessor lines consumes
+        // no call-stack depth (the old `return self.next_token()` recursion
+        // overflowed on ~100k consecutive `#define`/`#include` lines).
+        loop {
+            self.skip_whitespace_and_comments()?;
+            let loc = self.location();
+            let Some(c) = self.peek() else {
+                return Ok(Token {
+                    kind: TokenKind::Eof,
+                    location: loc,
+                });
+            };
 
-        // Preprocessor lines.
-        if c == b'#' {
-            self.bump();
-            let line = self.read_line();
-            let trimmed = line.trim();
-            if let Some(rest) = trimmed.strip_prefix("pragma") {
-                let rest = rest.trim();
-                if let Some(omp) = rest.strip_prefix("omp") {
-                    return Ok(Token {
-                        kind: TokenKind::OmpPragma(omp.trim().to_string()),
-                        location: loc,
-                    });
+            // Preprocessor lines.
+            if c == b'#' {
+                self.bump();
+                let line = self.read_line();
+                let trimmed = line.trim();
+                if let Some(rest) = trimmed.strip_prefix("pragma") {
+                    let rest = rest.trim();
+                    if let Some(omp) = rest.strip_prefix("omp") {
+                        return Ok(Token {
+                            kind: TokenKind::OmpPragma(omp.trim().to_string()),
+                            location: loc,
+                        });
+                    }
+                    // Non-OpenMP pragmas are ignored.
+                    continue;
                 }
-                // Non-OpenMP pragmas are ignored.
-                return self.next_token();
-            }
-            if let Some(rest) = trimmed.strip_prefix("define") {
-                let rest = rest.trim();
-                let mut parts = rest.splitn(2, char::is_whitespace);
-                if let Some(name) = parts.next() {
-                    // Function-like macros are not supported; store only
-                    // object-like ones (a bare name followed by a value).
-                    if !name.contains('(') {
-                        let value = parts.next().unwrap_or("").trim().to_string();
-                        if !name.is_empty() && !value.is_empty() {
-                            self.macros.insert(name.to_string(), value);
+                if let Some(rest) = trimmed.strip_prefix("define") {
+                    let rest = rest.trim();
+                    let mut parts = rest.splitn(2, char::is_whitespace);
+                    if let Some(name) = parts.next() {
+                        // Function-like macros are not supported; store only
+                        // object-like ones (a bare name followed by a value).
+                        if !name.contains('(') {
+                            let value = parts.next().unwrap_or("").trim().to_string();
+                            if !name.is_empty() && !value.is_empty() {
+                                self.define_macro(name, value);
+                            }
                         }
                     }
+                    continue;
                 }
-                return self.next_token();
+                // #include and other directives are ignored.
+                continue;
             }
-            // #include and other directives are ignored.
-            return self.next_token();
-        }
 
+            return self.lex_nonpreprocessor(loc, c);
+        }
+    }
+
+    /// Record an object-like macro: the replacement text is lexed here,
+    /// exactly once, with a fresh macro table (macros do not nest in our
+    /// subset — `#define B A` leaves `A` an identifier even if `A` is also
+    /// a macro, matching the old re-lex-per-use behaviour).
+    fn define_macro(&mut self, name: &str, value: String) {
+        let sub = Lexer::with_options(&value, self.options);
+        let prelexed = sub.tokenize().map(|mut toks| {
+            toks.retain(|t| !t.is_eof());
+            toks
+        });
+        self.macro_tokens.insert(name.to_string(), prelexed);
+        self.macros.insert(name.to_string(), value);
+    }
+
+    fn lex_nonpreprocessor(&mut self, loc: SourceLocation, c: u8) -> Result<Token, FrontendError> {
         // Identifiers and keywords.
         if c.is_ascii_alphabetic() || c == b'_' {
             let mut ident = String::new();
@@ -242,7 +292,10 @@ impl<'src> Lexer<'src> {
                         }
                     }
                     Some(other) => s.push(other as char),
-                    None => return Err(FrontendError::lex(loc, "unterminated string literal")),
+                    None => {
+                        return Err(FrontendError::lex(loc, "unterminated string literal")
+                            .with_kind(FrontendErrorKind::UnterminatedLiteral))
+                    }
                 }
             }
             return Ok(Token {
@@ -256,9 +309,10 @@ impl<'src> Lexer<'src> {
             self.bump();
             let ch = match self.bump() {
                 Some(b'\\') => {
-                    let esc = self
-                        .bump()
-                        .ok_or_else(|| FrontendError::lex(loc, "unterminated char literal"))?;
+                    let esc = self.bump().ok_or_else(|| {
+                        FrontendError::lex(loc, "unterminated char literal")
+                            .with_kind(FrontendErrorKind::UnterminatedLiteral)
+                    })?;
                     match esc {
                         b'n' => '\n',
                         b't' => '\t',
@@ -269,10 +323,14 @@ impl<'src> Lexer<'src> {
                     }
                 }
                 Some(other) => other as char,
-                None => return Err(FrontendError::lex(loc, "unterminated char literal")),
+                None => {
+                    return Err(FrontendError::lex(loc, "unterminated char literal")
+                        .with_kind(FrontendErrorKind::UnterminatedLiteral))
+                }
             };
             if self.bump() != Some(b'\'') {
-                return Err(FrontendError::lex(loc, "unterminated char literal"));
+                return Err(FrontendError::lex(loc, "unterminated char literal")
+                    .with_kind(FrontendErrorKind::UnterminatedLiteral));
             }
             return Ok(Token {
                 kind: TokenKind::CharLiteral(ch),
@@ -355,10 +413,10 @@ impl<'src> Lexer<'src> {
                     location: loc,
                 })
             }
-            None => Err(FrontendError::lex(
-                loc,
-                format!("unexpected character '{}'", c as char),
-            )),
+            None => Err(
+                FrontendError::lex(loc, format!("unexpected character '{}'", c as char))
+                    .with_kind(FrontendErrorKind::UnexpectedCharacter),
+            ),
         }
     }
 
@@ -398,8 +456,10 @@ impl<'src> Lexer<'src> {
                             break;
                         }
                     }
-                    let value = i64::from_str_radix(&hex, 16)
-                        .map_err(|_| FrontendError::lex(loc, "invalid hexadecimal literal"))?;
+                    let value = i64::from_str_radix(&hex, 16).map_err(|_| {
+                        FrontendError::lex(loc, "invalid hexadecimal literal")
+                            .with_kind(FrontendErrorKind::InvalidLiteral)
+                    })?;
                     return Ok(Token {
                         kind: TokenKind::IntLiteral(value),
                         location: loc,
@@ -409,13 +469,15 @@ impl<'src> Lexer<'src> {
             }
         }
         let kind = if is_float {
-            let value: f64 = text
-                .parse()
-                .map_err(|_| FrontendError::lex(loc, format!("invalid float literal '{text}'")))?;
+            let value: f64 = text.parse().map_err(|_| {
+                FrontendError::lex(loc, format!("invalid float literal '{text}'"))
+                    .with_kind(FrontendErrorKind::InvalidLiteral)
+            })?;
             TokenKind::FloatLiteral(value)
         } else {
             let value: i64 = text.parse().map_err(|_| {
                 FrontendError::lex(loc, format!("invalid integer literal '{text}'"))
+                    .with_kind(FrontendErrorKind::InvalidLiteral)
             })?;
             TokenKind::IntLiteral(value)
         };
@@ -426,9 +488,17 @@ impl<'src> Lexer<'src> {
     }
 }
 
-/// Convenience function: lex a full source string.
+/// Convenience function: lex a full source string with default limits.
 pub fn tokenize(source: &str) -> Result<Vec<Token>, FrontendError> {
     Lexer::new(source).tokenize()
+}
+
+/// Lex a full source string under an explicit budget.
+pub fn tokenize_with_options(
+    source: &str,
+    options: ParseOptions,
+) -> Result<Vec<Token>, FrontendError> {
+    Lexer::with_options(source, options).tokenize()
 }
 
 #[cfg(test)]
@@ -545,6 +615,53 @@ mod tests {
     #[test]
     fn unknown_character_is_an_error() {
         assert!(tokenize("int x = `;").is_err());
+    }
+
+    #[test]
+    fn token_budget_is_enforced() {
+        let options = ParseOptions::default().with_max_tokens(8);
+        let err = tokenize_with_options("int a; int b; int c; int d;", options).unwrap_err();
+        assert_eq!(
+            err.kind,
+            FrontendErrorKind::TooManyTokens { limit: 8 },
+            "{err}"
+        );
+        // Macro expansion counts against the same budget.
+        let err = tokenize_with_options("#define V 1 + 2 + 3 + 4\nint x = V; int y = V;", options)
+            .unwrap_err();
+        assert!(err.is_limit());
+    }
+
+    #[test]
+    fn preprocessor_flood_lexes_iteratively() {
+        // 100k consecutive ignored directives used to recurse once per line
+        // and overflow the stack; the loop form must finish.
+        let mut src = String::new();
+        for i in 0..100_000 {
+            src.push_str(&format!("#define M{i} {i}\n"));
+        }
+        src.push_str("int x;");
+        let toks = tokenize(&src).unwrap();
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Keyword(Keyword::Int)));
+    }
+
+    #[test]
+    fn self_referential_macro_expands_once_and_terminates() {
+        // `#define N N` must not loop: the replacement is lexed with a fresh
+        // macro table, so the expansion is the identifier `N` itself.
+        let toks = kinds("#define N N\nint a[N];");
+        assert!(toks.contains(&TokenKind::Identifier("N".into())));
+    }
+
+    #[test]
+    fn bad_macro_body_errors_on_use_not_define() {
+        // Unused malformed define: fine.
+        assert!(tokenize("#define BAD \"unterminated\nint x;").is_ok());
+        // Used malformed define: the stored lex error surfaces.
+        let err = tokenize("#define BAD \"unterminated\nint x = BAD;").unwrap_err();
+        assert_eq!(err.kind, FrontendErrorKind::UnterminatedLiteral);
     }
 
     #[test]

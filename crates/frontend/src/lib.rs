@@ -23,16 +23,19 @@ pub mod analysis;
 pub mod ast;
 pub mod error;
 pub mod lexer;
+pub mod limits;
 pub mod omp;
 pub mod parser;
 pub mod printer;
 pub mod symbols;
+pub mod testing;
 pub mod token;
 
 pub use analysis::{classify_for, LoopInfo, LoopShape};
 pub use ast::{Ast, AstKind, AstNode, NodeData, NodeId};
-pub use error::FrontendError;
+pub use error::{FrontendError, FrontendErrorKind};
+pub use limits::ParseOptions;
 pub use omp::{MapDirection, OmpClause, OmpDirective, OmpDirectiveKind, ScheduleKind};
-pub use parser::parse;
+pub use parser::{parse, parse_with_options};
 pub use symbols::{resolve, SymbolTable};
 pub use token::SourceLocation;

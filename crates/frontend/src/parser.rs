@@ -6,17 +6,50 @@
 //! array declarations, `for`/`while`/`if`/`return` statements, the usual
 //! C expression grammar, and OpenMP pragmas attached to the statement that
 //! follows them.
+//!
+//! The parser treats its input as untrusted: every recursive production is
+//! depth-gated against [`ParseOptions::max_nesting_depth`] (so a
+//! parenthesis or brace bomb yields a typed error instead of a stack
+//! overflow), node creation goes through an arena budget check
+//! ([`ParseOptions::max_ast_nodes`]), and nodes live in the flat `Vec`
+//! arena of [`Ast`] — ids, not per-node boxes, following the arena/slot
+//! discipline of parser combinator libraries.
 
 use crate::ast::{Ast, AstKind, NodeData, NodeId};
-use crate::error::FrontendError;
-use crate::lexer::tokenize;
+use crate::error::{FrontendError, FrontendErrorKind};
+use crate::lexer::tokenize_with_options;
+use crate::limits::ParseOptions;
 use crate::omp::{self, OmpDirectiveKind};
 use crate::token::{Keyword, Punct, SourceLocation, Token, TokenKind};
 
-/// Parse a full translation unit.
+/// Parse a full translation unit with the default resource budget.
 pub fn parse(source: &str) -> Result<Ast, FrontendError> {
-    let tokens = tokenize(source)?;
-    Parser::new(tokens).parse_translation_unit()
+    parse_with_options(source, ParseOptions::default())
+}
+
+/// Parse a full translation unit under an explicit [`ParseOptions`] budget.
+///
+/// Exceeding any cap returns a [`FrontendError`] whose
+/// [`kind`](FrontendError::kind) is one of the limit variants
+/// (`SourceTooLarge`, `TooManyTokens`, `NestingTooDeep`, `TooManyNodes`);
+/// the function never panics or overflows the stack, whatever the input.
+pub fn parse_with_options(source: &str, options: ParseOptions) -> Result<Ast, FrontendError> {
+    if source.len() > options.max_source_bytes {
+        return Err(FrontendError::lex(
+            SourceLocation { line: 1, column: 1 },
+            format!(
+                "source of {} bytes exceeds the {}-byte budget",
+                source.len(),
+                options.max_source_bytes
+            ),
+        )
+        .with_kind(FrontendErrorKind::SourceTooLarge {
+            actual: source.len(),
+            limit: options.max_source_bytes,
+        }));
+    }
+    let tokens = tokenize_with_options(source, options)?;
+    Parser::new(tokens, options).parse_translation_unit()
 }
 
 /// Parser state.
@@ -24,15 +57,68 @@ struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     ast: Ast,
+    options: ParseOptions,
+    /// Current combined statement/expression nesting depth (gated against
+    /// `options.max_nesting_depth`).
+    depth: usize,
 }
 
 impl Parser {
-    fn new(tokens: Vec<Token>) -> Self {
+    fn new(tokens: Vec<Token>, options: ParseOptions) -> Self {
         Self {
             tokens,
             pos: 0,
             ast: Ast::new(),
+            options,
+            depth: 0,
         }
+    }
+
+    // -- budget guards -------------------------------------------------------
+
+    /// Enter one nesting level of the grammar; paired with [`Self::leave`].
+    /// Every mutually-recursive production passes through here, so the
+    /// parser's stack usage is bounded by `max_nesting_depth` times a small
+    /// constant number of frames.
+    fn enter(&mut self) -> Result<(), FrontendError> {
+        self.depth += 1;
+        if self.depth > self.options.max_nesting_depth {
+            self.depth -= 1;
+            return Err(FrontendError::parse(
+                self.location(),
+                format!(
+                    "nesting exceeds the {}-level budget",
+                    self.options.max_nesting_depth
+                ),
+            )
+            .with_kind(FrontendErrorKind::NestingTooDeep {
+                limit: self.options.max_nesting_depth,
+            }));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    /// Create an AST node, enforcing the arena budget.
+    fn add_node(&mut self, kind: AstKind, data: NodeData) -> Result<NodeId, FrontendError> {
+        if self.ast.len() >= self.options.max_ast_nodes {
+            return Err(FrontendError::parse(
+                self.location(),
+                format!("AST exceeds the {}-node budget", self.options.max_ast_nodes),
+            )
+            .with_kind(FrontendErrorKind::TooManyNodes {
+                limit: self.options.max_ast_nodes,
+            }));
+        }
+        Ok(self.ast.add_node(kind, data))
+    }
+
+    /// [`Self::add_node`] with default data.
+    fn add_simple(&mut self, kind: AstKind) -> Result<NodeId, FrontendError> {
+        self.add_node(kind, NodeData::default())
     }
 
     // -- token helpers -------------------------------------------------------
@@ -153,7 +239,7 @@ impl Parser {
             self.parse_function_definition(parent, ty, name)
         } else {
             // Global variable declaration(s).
-            let decl_stmt = self.ast.add_simple(AstKind::DeclStmt);
+            let decl_stmt = self.add_simple(AstKind::DeclStmt)?;
             self.ast.attach(parent, decl_stmt);
             self.parse_declarator_rest(decl_stmt, &ty, name)?;
             while self.eat_punct(Punct::Comma) {
@@ -172,14 +258,14 @@ impl Parser {
         name: String,
     ) -> Result<(), FrontendError> {
         let loc = self.location();
-        let func = self.ast.add_node(
+        let func = self.add_node(
             AstKind::FunctionDecl,
             NodeData {
                 name: Some(name),
                 ty: Some(return_ty),
                 ..NodeData::default()
             },
-        );
+        )?;
         self.stamp(func, loc);
         self.ast.attach(parent, func);
         self.expect_punct(Punct::LParen)?;
@@ -211,7 +297,7 @@ impl Parser {
                         self.expect_punct(Punct::RBracket)?;
                     }
                     let parm_loc = self.location();
-                    let parm = self.ast.add_node(
+                    let parm = self.add_node(
                         AstKind::ParmVarDecl,
                         NodeData {
                             name: Some(pname),
@@ -219,7 +305,7 @@ impl Parser {
                             array_dims: dims,
                             ..NodeData::default()
                         },
-                    );
+                    )?;
                     self.stamp(parm, parm_loc);
                     self.ast.attach(func, parm);
                     if !self.eat_punct(Punct::Comma) {
@@ -282,7 +368,7 @@ impl Parser {
 
     fn parse_compound_statement(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
         self.expect_punct(Punct::LBrace)?;
-        let compound = self.ast.add_simple(AstKind::CompoundStmt);
+        let compound = self.add_simple(AstKind::CompoundStmt)?;
         self.ast.attach(parent, compound);
         while !self.check_punct(Punct::RBrace) {
             if self.at_eof() {
@@ -304,6 +390,13 @@ impl Parser {
     }
 
     fn parse_statement_inner(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
+        self.enter()?;
+        let result = self.parse_statement_variants(parent);
+        self.leave();
+        result
+    }
+
+    fn parse_statement_variants(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
         match self.peek().clone() {
             TokenKind::OmpPragma(text) => {
                 self.bump();
@@ -312,7 +405,7 @@ impl Parser {
             TokenKind::Punct(Punct::LBrace) => self.parse_compound_statement(parent),
             TokenKind::Punct(Punct::Semicolon) => {
                 self.bump();
-                let null = self.ast.add_simple(AstKind::NullStmt);
+                let null = self.add_simple(AstKind::NullStmt)?;
                 self.ast.attach(parent, null);
                 Ok(null)
             }
@@ -321,7 +414,7 @@ impl Parser {
             TokenKind::Keyword(Keyword::If) => self.parse_if_statement(parent),
             TokenKind::Keyword(Keyword::Return) => {
                 self.bump();
-                let ret = self.ast.add_simple(AstKind::ReturnStmt);
+                let ret = self.add_simple(AstKind::ReturnStmt)?;
                 self.ast.attach(parent, ret);
                 if !self.check_punct(Punct::Semicolon) {
                     let value = self.parse_expression(ret)?;
@@ -333,14 +426,14 @@ impl Parser {
             TokenKind::Keyword(Keyword::Break) => {
                 self.bump();
                 self.expect_punct(Punct::Semicolon)?;
-                let node = self.ast.add_simple(AstKind::BreakStmt);
+                let node = self.add_simple(AstKind::BreakStmt)?;
                 self.ast.attach(parent, node);
                 Ok(node)
             }
             TokenKind::Keyword(Keyword::Continue) => {
                 self.bump();
                 self.expect_punct(Punct::Semicolon)?;
-                let node = self.ast.add_simple(AstKind::ContinueStmt);
+                let node = self.add_simple(AstKind::ContinueStmt)?;
                 self.ast.attach(parent, node);
                 Ok(node)
             }
@@ -366,13 +459,13 @@ impl Parser {
             OmpDirectiveKind::Simd => AstKind::OmpSimdDirective,
             OmpDirectiveKind::Other => AstKind::OmpUnknownDirective,
         };
-        let node = self.ast.add_node(
+        let node = self.add_node(
             kind,
             NodeData {
                 omp: Some(directive),
                 ..NodeData::default()
             },
-        );
+        )?;
         self.ast.attach(parent, node);
         // The associated statement (for loop-bound directives: the loop).
         self.parse_statement(node)?;
@@ -380,7 +473,7 @@ impl Parser {
     }
 
     fn parse_declaration_statement(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
-        let decl_stmt = self.ast.add_simple(AstKind::DeclStmt);
+        let decl_stmt = self.add_simple(AstKind::DeclStmt)?;
         self.ast.attach(parent, decl_stmt);
         let ty = self.parse_type_specifier()?;
         let name = self.expect_identifier()?;
@@ -403,14 +496,14 @@ impl Parser {
         name: String,
     ) -> Result<NodeId, FrontendError> {
         let loc = self.location();
-        let var = self.ast.add_node(
+        let var = self.add_node(
             AstKind::VarDecl,
             NodeData {
                 name: Some(name),
                 ty: Some(ty.to_string()),
                 ..NodeData::default()
             },
-        );
+        )?;
         self.stamp(var, loc);
         self.ast.attach(decl_stmt, var);
         let mut dims = Vec::new();
@@ -439,8 +532,15 @@ impl Parser {
     }
 
     fn parse_init_list(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
+        self.enter()?;
+        let result = self.parse_init_list_unguarded(parent);
+        self.leave();
+        result
+    }
+
+    fn parse_init_list_unguarded(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
         self.expect_punct(Punct::LBrace)?;
-        let list = self.ast.add_simple(AstKind::InitListExpr);
+        let list = self.add_simple(AstKind::InitListExpr)?;
         self.ast.attach(parent, list);
         if !self.check_punct(Punct::RBrace) {
             loop {
@@ -460,13 +560,13 @@ impl Parser {
 
     fn parse_for_statement(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
         self.bump(); // for
-        let for_stmt = self.ast.add_simple(AstKind::ForStmt);
+        let for_stmt = self.add_simple(AstKind::ForStmt)?;
         self.ast.attach(parent, for_stmt);
         self.expect_punct(Punct::LParen)?;
 
         // Child 1: initialiser.
         if self.check_punct(Punct::Semicolon) {
-            let null = self.ast.add_simple(AstKind::NullStmt);
+            let null = self.add_simple(AstKind::NullStmt)?;
             self.ast.attach(for_stmt, null);
             self.bump();
         } else if self.at_type_specifier() {
@@ -478,7 +578,7 @@ impl Parser {
 
         // Child 2: condition.
         if self.check_punct(Punct::Semicolon) {
-            let null = self.ast.add_simple(AstKind::NullStmt);
+            let null = self.add_simple(AstKind::NullStmt)?;
             self.ast.attach(for_stmt, null);
         } else {
             self.parse_expression(for_stmt)?;
@@ -501,7 +601,7 @@ impl Parser {
         match increment {
             Some(inc) => self.ast.attach(for_stmt, inc),
             None => {
-                let null = self.ast.add_simple(AstKind::NullStmt);
+                let null = self.add_simple(AstKind::NullStmt)?;
                 self.ast.attach(for_stmt, null);
             }
         }
@@ -510,7 +610,7 @@ impl Parser {
 
     fn parse_while_statement(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
         self.bump(); // while
-        let while_stmt = self.ast.add_simple(AstKind::WhileStmt);
+        let while_stmt = self.add_simple(AstKind::WhileStmt)?;
         self.ast.attach(parent, while_stmt);
         self.expect_punct(Punct::LParen)?;
         self.parse_expression(while_stmt)?;
@@ -521,7 +621,7 @@ impl Parser {
 
     fn parse_if_statement(&mut self, parent: NodeId) -> Result<NodeId, FrontendError> {
         self.bump(); // if
-        let if_stmt = self.ast.add_simple(AstKind::IfStmt);
+        let if_stmt = self.add_simple(AstKind::IfStmt)?;
         self.ast.attach(parent, if_stmt);
         self.expect_punct(Punct::LParen)?;
         self.parse_expression(if_stmt)?;
@@ -555,6 +655,13 @@ impl Parser {
     }
 
     fn parse_assignment_detached(&mut self) -> Result<NodeId, FrontendError> {
+        self.enter()?;
+        let result = self.parse_assignment_unguarded();
+        self.leave();
+        result
+    }
+
+    fn parse_assignment_unguarded(&mut self) -> Result<NodeId, FrontendError> {
         let lhs = self.parse_conditional_detached()?;
         let op = match self.peek() {
             TokenKind::Punct(Punct::Assign) => Some(("=", AstKind::BinaryOperator)),
@@ -570,7 +677,7 @@ impl Parser {
                 let loc = self.location();
                 self.bump();
                 let rhs = self.parse_assignment_detached()?;
-                let node = self.ast.add_node(kind, NodeData::op(spelling));
+                let node = self.add_node(kind, NodeData::op(spelling))?;
                 self.stamp(node, loc);
                 self.ast.attach(node, lhs);
                 self.ast.attach(node, rhs);
@@ -581,12 +688,19 @@ impl Parser {
     }
 
     fn parse_conditional_detached(&mut self) -> Result<NodeId, FrontendError> {
+        self.enter()?;
+        let result = self.parse_conditional_unguarded();
+        self.leave();
+        result
+    }
+
+    fn parse_conditional_unguarded(&mut self) -> Result<NodeId, FrontendError> {
         let cond = self.parse_binary_detached(1)?;
         if self.eat_punct(Punct::Question) {
             let then = self.parse_expression_detached()?;
             self.expect_punct(Punct::Colon)?;
             let otherwise = self.parse_conditional_detached()?;
-            let node = self.ast.add_simple(AstKind::ConditionalOperator);
+            let node = self.add_simple(AstKind::ConditionalOperator)?;
             self.ast.attach(node, cond);
             self.ast.attach(node, then);
             self.ast.attach(node, otherwise);
@@ -632,9 +746,7 @@ impl Parser {
             let loc = self.location();
             self.bump();
             let rhs = self.parse_binary_detached(prec + 1)?;
-            let node = self
-                .ast
-                .add_node(AstKind::BinaryOperator, NodeData::op(spelling));
+            let node = self.add_node(AstKind::BinaryOperator, NodeData::op(spelling))?;
             self.stamp(node, loc);
             self.ast.attach(node, lhs);
             self.ast.attach(node, rhs);
@@ -644,6 +756,13 @@ impl Parser {
     }
 
     fn parse_unary_detached(&mut self) -> Result<NodeId, FrontendError> {
+        self.enter()?;
+        let result = self.parse_unary_unguarded();
+        self.leave();
+        result
+    }
+
+    fn parse_unary_unguarded(&mut self) -> Result<NodeId, FrontendError> {
         let prefix = match self.peek() {
             TokenKind::Punct(Punct::Minus) => Some("-"),
             TokenKind::Punct(Punct::Plus) => Some("+"),
@@ -659,7 +778,7 @@ impl Parser {
             let loc = self.location();
             self.bump();
             let operand = self.parse_unary_detached()?;
-            let node = self.ast.add_node(AstKind::UnaryOperator, NodeData::op(op));
+            let node = self.add_node(AstKind::UnaryOperator, NodeData::op(op))?;
             self.stamp(node, loc);
             self.ast.attach(node, operand);
             return Ok(node);
@@ -668,9 +787,7 @@ impl Parser {
         // sizeof(expr) / sizeof(type) — modelled as a UnaryOperator.
         if self.check_keyword(Keyword::Sizeof) {
             self.bump();
-            let node = self
-                .ast
-                .add_node(AstKind::UnaryOperator, NodeData::op("sizeof"));
+            let node = self.add_node(AstKind::UnaryOperator, NodeData::op("sizeof"))?;
             self.expect_punct(Punct::LParen)?;
             if self.at_type_specifier() {
                 let ty = self.parse_type_specifier()?;
@@ -691,13 +808,13 @@ impl Parser {
                     let ty = self.parse_type_specifier()?;
                     self.expect_punct(Punct::RParen)?;
                     let operand = self.parse_unary_detached()?;
-                    let node = self.ast.add_node(
+                    let node = self.add_node(
                         AstKind::CStyleCastExpr,
                         NodeData {
                             ty: Some(ty),
                             ..NodeData::default()
                         },
-                    );
+                    )?;
                     self.ast.attach(node, operand);
                     return Ok(node);
                 }
@@ -714,7 +831,7 @@ impl Parser {
             match self.peek() {
                 TokenKind::Punct(Punct::LParen) => {
                     self.bump();
-                    let call = self.ast.add_simple(AstKind::CallExpr);
+                    let call = self.add_simple(AstKind::CallExpr)?;
                     self.stamp(call, loc);
                     self.ast.attach(call, expr);
                     if !self.check_punct(Punct::RParen) {
@@ -730,7 +847,7 @@ impl Parser {
                 }
                 TokenKind::Punct(Punct::LBracket) => {
                     self.bump();
-                    let subscript = self.ast.add_simple(AstKind::ArraySubscriptExpr);
+                    let subscript = self.add_simple(AstKind::ArraySubscriptExpr)?;
                     self.stamp(subscript, loc);
                     self.ast.attach(subscript, expr);
                     self.parse_expression(subscript)?;
@@ -741,14 +858,14 @@ impl Parser {
                     let arrow = matches!(self.peek(), TokenKind::Punct(Punct::Arrow));
                     self.bump();
                     let member = self.expect_identifier()?;
-                    let node = self.ast.add_node(
+                    let node = self.add_node(
                         AstKind::MemberExpr,
                         NodeData {
                             name: Some(member),
                             opcode: Some(if arrow { "->".into() } else { ".".into() }),
                             ..NodeData::default()
                         },
-                    );
+                    )?;
                     self.ast.attach(node, expr);
                     expr = node;
                 }
@@ -759,14 +876,14 @@ impl Parser {
                         "--"
                     };
                     self.bump();
-                    let node = self.ast.add_node(
+                    let node = self.add_node(
                         AstKind::UnaryOperator,
                         NodeData {
                             opcode: Some(op.into()),
                             postfix: true,
                             ..NodeData::default()
                         },
-                    );
+                    )?;
                     self.stamp(node, loc);
                     self.ast.attach(node, expr);
                     expr = node;
@@ -784,48 +901,42 @@ impl Parser {
                 // As in Figure 2 of the paper, references to declared
                 // variables appear as DeclRefExpr wrapped in an
                 // ImplicitCastExpr.
-                let dre = self
-                    .ast
-                    .add_node(AstKind::DeclRefExpr, NodeData::named(name));
+                let dre = self.add_node(AstKind::DeclRefExpr, NodeData::named(name))?;
                 self.stamp(dre, loc);
-                let cast = self.ast.add_simple(AstKind::ImplicitCastExpr);
+                let cast = self.add_simple(AstKind::ImplicitCastExpr)?;
                 self.stamp(cast, loc);
                 self.ast.attach(cast, dre);
                 Ok(cast)
             }
             TokenKind::IntLiteral(value) => {
-                let node = self
-                    .ast
-                    .add_node(AstKind::IntegerLiteral, NodeData::int(value));
+                let node = self.add_node(AstKind::IntegerLiteral, NodeData::int(value))?;
                 self.stamp(node, loc);
                 Ok(node)
             }
             TokenKind::FloatLiteral(value) => {
-                let node = self
-                    .ast
-                    .add_node(AstKind::FloatingLiteral, NodeData::float(value));
+                let node = self.add_node(AstKind::FloatingLiteral, NodeData::float(value))?;
                 self.stamp(node, loc);
                 Ok(node)
             }
-            TokenKind::StringLiteral(text) => Ok(self.ast.add_node(
+            TokenKind::StringLiteral(text) => Ok(self.add_node(
                 AstKind::StringLiteral,
                 NodeData {
                     literal: Some(text),
                     ..NodeData::default()
                 },
-            )),
-            TokenKind::CharLiteral(c) => Ok(self.ast.add_node(
+            )?),
+            TokenKind::CharLiteral(c) => Ok(self.add_node(
                 AstKind::CharacterLiteral,
                 NodeData {
                     literal: Some(c.to_string()),
                     int_value: Some(c as i64),
                     ..NodeData::default()
                 },
-            )),
+            )?),
             TokenKind::Punct(Punct::LParen) => {
                 let inner = self.parse_expression_detached()?;
                 self.expect_punct(Punct::RParen)?;
-                let paren = self.ast.add_simple(AstKind::ParenExpr);
+                let paren = self.add_simple(AstKind::ParenExpr)?;
                 self.ast.attach(paren, inner);
                 Ok(paren)
             }
@@ -843,6 +954,107 @@ mod tests {
 
     fn kinds_of(ast: &Ast, kind: AstKind) -> usize {
         ast.find_all(kind).len()
+    }
+
+    #[test]
+    fn source_byte_budget_is_enforced_before_lexing() {
+        let src = "void f() { int x = 1; }";
+        let opts = ParseOptions::default().with_max_source_bytes(8);
+        let err = parse_with_options(src, opts).unwrap_err();
+        assert!(err.is_limit());
+        assert!(matches!(
+            err.kind,
+            FrontendErrorKind::SourceTooLarge { actual, limit }
+                if actual == src.len() && limit == 8
+        ));
+        // At or under the cap it parses.
+        parse_with_options(
+            src,
+            ParseOptions::default().with_max_source_bytes(src.len()),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn nesting_depth_budget_stops_paren_bombs() {
+        let depth = 600;
+        let mut src = String::from("void f() { int x = ");
+        src.extend(std::iter::repeat_n('(', depth));
+        src.push('1');
+        src.extend(std::iter::repeat_n(')', depth));
+        src.push_str("; }");
+        let err = parse(&src).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            FrontendErrorKind::NestingTooDeep { limit } if limit == 128
+        ));
+        // A raised budget admits the same input.
+        parse_with_options(&src, ParseOptions::default().with_max_nesting_depth(4096)).unwrap();
+    }
+
+    #[test]
+    fn nesting_depth_budget_stops_brace_bombs() {
+        let depth = 600;
+        let mut src = String::from("void f() ");
+        src.extend(std::iter::repeat_n('{', depth));
+        src.extend(std::iter::repeat_n('}', depth));
+        let err = parse(&src).unwrap_err();
+        assert!(err.is_limit());
+    }
+
+    #[test]
+    fn deep_else_and_assignment_chains_are_depth_gated() {
+        // `a ? b : a ? b : ...` and `x = x = x = ...` both self-recurse.
+        let mut cond = String::from("void f() { int a = 1; int r = ");
+        for _ in 0..400 {
+            cond.push_str("a ? a : ");
+        }
+        cond.push_str("a; }");
+        assert!(parse(&cond).unwrap_err().is_limit());
+
+        let mut chain = String::from("void f() { int x = 0; x ");
+        for _ in 0..400 {
+            chain.push_str("= x ");
+        }
+        chain.push_str("; }");
+        assert!(parse(&chain).unwrap_err().is_limit());
+
+        let mut unary = String::from("void f() { int x = ");
+        unary.extend(std::iter::repeat_n('-', 800));
+        unary.push_str("1; }");
+        assert!(parse(&unary).unwrap_err().is_limit());
+    }
+
+    #[test]
+    fn ast_node_budget_is_enforced() {
+        let mut src = String::from("void f() { ");
+        for i in 0..64 {
+            src.push_str(&format!("int v{i} = {i}; "));
+        }
+        src.push('}');
+        let err =
+            parse_with_options(&src, ParseOptions::default().with_max_ast_nodes(16)).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            FrontendErrorKind::TooManyNodes { limit: 16 }
+        ));
+        parse(&src).unwrap();
+    }
+
+    #[test]
+    fn catalogue_style_kernel_fits_defaults_with_headroom() {
+        let src = r#"
+            void stencil(float *in, float *out, int n) {
+                #pragma omp parallel for collapse(2)
+                for (int i = 1; i < n - 1; i++) {
+                    for (int j = 1; j < n - 1; j++) {
+                        out[i * n + j] = (in[(i - 1) * n + j] + in[(i + 1) * n + j]
+                            + in[i * n + j - 1] + in[i * n + j + 1]) / 4.0;
+                    }
+                }
+            }
+        "#;
+        parse_with_options(src, ParseOptions::default()).unwrap();
     }
 
     #[test]

@@ -382,7 +382,15 @@ impl<'a> Printer<'a> {
             }
             AstKind::FloatingLiteral => {
                 let v = node.data.float_value.unwrap_or_default();
-                if v.fract() == 0.0 && v.abs() < 1e15 {
+                if v.is_nan() {
+                    // There is no NaN literal in the subset; 0.0 keeps the
+                    // output parseable (NaN only arises from hostile input).
+                    self.out.push_str("0.0");
+                } else if v.is_infinite() {
+                    // 1e999 overflows to infinity when re-lexed, so the
+                    // round trip reproduces the value.
+                    self.out.push_str(if v > 0.0 { "1e999" } else { "-1e999" });
+                } else if v.fract() == 0.0 && v.abs() < 1e15 {
                     self.out.push_str(&format!("{v:.1}"));
                 } else {
                     self.out.push_str(&format!("{v}"));
@@ -602,6 +610,21 @@ mod tests {
                 AstKind::ArraySubscriptExpr,
             ],
         );
+    }
+
+    #[test]
+    fn round_trip_infinite_float_literal() {
+        // 1e999 overflows f64 to infinity at lex time; the printer must
+        // emit something that re-parses to the same value instead of the
+        // unparseable "inf".
+        let ast1 = parse("void f() { float x = 1e999; }").unwrap();
+        let printed = print(&ast1);
+        let ast2 = parse(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        let lit1 = ast1.find_first(AstKind::FloatingLiteral).unwrap();
+        let lit2 = ast2.find_first(AstKind::FloatingLiteral).unwrap();
+        let v1 = ast1.node(lit1).data.float_value.unwrap();
+        let v2 = ast2.node(lit2).data.float_value.unwrap();
+        assert!(v1.is_infinite() && v2.is_infinite() && v1 == v2);
     }
 
     #[test]

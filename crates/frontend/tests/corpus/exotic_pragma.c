@@ -1,0 +1,4 @@
+#pragma omp ��
+#pragma omp parallel for schedule(
+#pragma not_omp at(all
+void f() { }

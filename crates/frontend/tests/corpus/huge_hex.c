@@ -1,0 +1,1 @@
+void f() { long x = 0xFFFFFFFFFFFFFFFFFFFFFFFF; }

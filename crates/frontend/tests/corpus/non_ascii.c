@@ -1,0 +1,1 @@
+void f�() { int é = 1; }

@@ -1,0 +1,2 @@
+#define N N
+void f() { int x = N; }

@@ -1,0 +1,1 @@
+void f() { /* runs to end of input

@@ -1,0 +1,134 @@
+//! Minimized regression tests for crashes and hangs found by the fuzz
+//! harness (`fuzz_smoke.rs`).
+//!
+//! Every file in `tests/corpus/` is a minimized crasher: an input that once
+//! panicked, overflowed the stack, or took quadratic time in the frontend.
+//! The blanket test below parses each under the default budget and asserts
+//! the outcome is a plain `Ok`/`Err` — never a panic. Targeted tests pin
+//! the specific error taxonomy for the most instructive cases.
+//!
+//! To check in a new crasher: minimize the input (line-at-a-time, then
+//! token-at-a-time, re-running the failing parse after each cut), drop it
+//! in `tests/corpus/` with a descriptive name, and — if the failure mode is
+//! novel — add a targeted test asserting its typed `FrontendErrorKind`.
+
+use pg_frontend::{parse, FrontendErrorKind};
+
+mod corpus_support {
+    use pg_frontend::{analysis, symbols, Ast};
+
+    /// Run every panic-prone downstream consumer over a parsed AST, the
+    /// way `pg-analyze` and the graph builder would.
+    pub fn exercise_downstream(ast: &Ast) {
+        let _ = symbols::resolve(ast);
+        let env = analysis::ConstEnv::new();
+        for for_stmt in ast.find_all(pg_frontend::AstKind::ForStmt) {
+            let _ = analysis::classify_for(ast, for_stmt, &env);
+            let _ = analysis::loop_nest(ast, for_stmt, &env);
+        }
+    }
+}
+
+#[test]
+fn every_corpus_file_parses_without_panicking() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("corpus dir exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("c") {
+            continue;
+        }
+        seen += 1;
+        let source = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+            String::from_utf8_lossy(&std::fs::read(&path).unwrap()).into_owned()
+        });
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let outcome = std::panic::catch_unwind(move || parse(&source));
+        match outcome {
+            Ok(result) => {
+                // Either outcome is acceptable; panics are not. When the
+                // parse succeeds, downstream analyses must also hold.
+                if let Ok(ast) = result {
+                    corpus_support::exercise_downstream(&ast);
+                }
+            }
+            Err(_) => panic!("corpus file {name} panicked the frontend"),
+        }
+    }
+    assert!(seen >= 10, "corpus unexpectedly small: {seen} files");
+}
+
+#[test]
+fn paren_and_brace_bombs_hit_the_depth_budget() {
+    for file in ["parens_bomb.c", "brace_bomb.c"] {
+        let src = std::fs::read_to_string(format!(
+            "{}/tests/corpus/{file}",
+            env!("CARGO_MANIFEST_DIR")
+        ))
+        .unwrap();
+        let err = parse(&src).unwrap_err();
+        assert!(
+            matches!(err.kind, FrontendErrorKind::NestingTooDeep { .. }),
+            "{file}: expected NestingTooDeep, got {:?}",
+            err.kind
+        );
+    }
+}
+
+#[test]
+fn unterminated_literals_and_comments_are_typed() {
+    let err = parse("void f() { char *s = \"never closed; }").unwrap_err();
+    assert_eq!(err.kind, FrontendErrorKind::UnterminatedLiteral);
+    let err = parse("void f() { char c = 'x; }").unwrap_err();
+    assert_eq!(err.kind, FrontendErrorKind::UnterminatedLiteral);
+    let err = parse("void f() { /* runs to end of input").unwrap_err();
+    assert_eq!(err.kind, FrontendErrorKind::UnterminatedComment);
+}
+
+#[test]
+fn malformed_numeric_literals_are_typed() {
+    let err = parse("void f() { long x = 0xFFFFFFFFFFFFFFFFFFFFFFFF; }").unwrap_err();
+    assert_eq!(err.kind, FrontendErrorKind::InvalidLiteral);
+    let err = parse("void f() { long x = 9223372036854775808; }").unwrap_err();
+    assert_eq!(err.kind, FrontendErrorKind::InvalidLiteral);
+}
+
+#[test]
+fn non_utf8_replacement_chars_are_rejected_not_panicked() {
+    // Byte-flip mutations go through from_utf8_lossy, so the parser sees
+    // U+FFFD and other non-ASCII in identifier position.
+    let err = parse("void f\u{fffd}() { int \u{e9} = 1; }").unwrap_err();
+    assert_eq!(err.kind, FrontendErrorKind::UnexpectedCharacter);
+}
+
+#[test]
+fn exotic_pragmas_do_not_panic_the_omp_parser() {
+    // Non-OpenMP pragmas are skipped; malformed OpenMP pragmas degrade to
+    // `Other` directives with unknown clauses; none of them panic.
+    let src = "#pragma STDC FENV_ACCESS ON\nvoid f() { }\n";
+    parse(src).unwrap();
+    let src = "void f() { \n#pragma omp parallel for schedule(\nfor (int i = 0; i < 4; i++) { } }";
+    parse(src).unwrap();
+    let src = "void f() { \n#pragma omp \u{fffd}\u{fffd}\nfor (int i = 0; i < 4; i++) { } }";
+    parse(src).unwrap();
+}
+
+#[test]
+fn preprocessor_floods_parse_in_bounded_time_and_stack() {
+    // 20k consecutive #define lines: the old recursive next_token
+    // overflowed the stack here, and per-use macro re-lexing made this
+    // quadratic.
+    let mut src = String::new();
+    for i in 0..20_000 {
+        src.push_str(&format!("#define M{i} {i}\n"));
+    }
+    src.push_str("void f() { int x = M0 + M19999; }\n");
+    let ast = parse(&src).unwrap();
+    corpus_support::exercise_downstream(&ast);
+}
+
+#[test]
+fn self_referential_macro_terminates() {
+    let ast = parse("#define N N\nvoid f() { int x = N; }\n").unwrap();
+    corpus_support::exercise_downstream(&ast);
+}

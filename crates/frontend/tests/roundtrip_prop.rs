@@ -1,0 +1,75 @@
+//! Property tests over the structured program generator: printer round-trip
+//! and the formatting-independence of downstream analysis inputs.
+//!
+//! These complement `fuzz_smoke.rs`: the fuzz harness drives volume and
+//! mutation coverage; the properties here are the precise invariants,
+//! expressed through proptest strategies over generator seeds and size
+//! knobs.
+
+use pg_frontend::testing::{reformat, GenConfig, Generator, Rng as FuzzRng};
+use pg_frontend::{parse, printer, AstKind};
+use proptest::prelude::*;
+
+const STRUCTURAL_KINDS: [AstKind; 10] = [
+    AstKind::FunctionDecl,
+    AstKind::VarDecl,
+    AstKind::ForStmt,
+    AstKind::WhileStmt,
+    AstKind::IfStmt,
+    AstKind::BinaryOperator,
+    AstKind::CompoundAssignOperator,
+    AstKind::ConditionalOperator,
+    AstKind::ArraySubscriptExpr,
+    AstKind::OmpParallelForDirective,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parse_print_reparse_is_structure_preserving(
+        seed in 0u64..1_000_000u64,
+        funcs in 1usize..4usize,
+        depth in 2usize..5usize,
+    ) {
+        let config = GenConfig {
+            max_functions: funcs,
+            max_block_depth: depth,
+            ..GenConfig::default()
+        };
+        let src = Generator::with_config(seed, config).program();
+        let ast1 = parse(&src).expect("generated program parses");
+        let printed = printer::print(&ast1);
+        let ast2 = parse(&printed).expect("printed program re-parses");
+        for kind in STRUCTURAL_KINDS {
+            prop_assert_eq!(
+                ast1.find_all(kind).len(),
+                ast2.find_all(kind).len(),
+                "count of {:?} changed across round trip (seed {})",
+                kind,
+                seed
+            );
+        }
+    }
+
+    #[test]
+    fn reformatting_never_changes_the_parsed_structure(
+        seed in 0u64..1_000_000u64,
+        style_seed in 0u64..1_000u64,
+    ) {
+        let src = Generator::new(seed).program();
+        let mut style = FuzzRng::new(style_seed);
+        let twin = reformat(&src, &mut style);
+        let ast1 = parse(&src).expect("original parses");
+        let ast2 = parse(&twin).expect("whitespace/comment twin parses");
+        for kind in STRUCTURAL_KINDS {
+            prop_assert_eq!(
+                ast1.find_all(kind).len(),
+                ast2.find_all(kind).len(),
+                "count of {:?} changed under reformatting (seed {})",
+                kind,
+                seed
+            );
+        }
+    }
+}

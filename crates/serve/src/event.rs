@@ -596,10 +596,16 @@ impl EventLoop {
                 pg_obs::debug!("rejecting malformed request", error = format!("{error:?}"));
                 let response = match error {
                     ParseError::Malformed(detail) => Response::error(400, &detail),
-                    ParseError::BodyTooLarge { declared, limit } => Response::error(
-                        413,
-                        &format!("body of {declared} bytes exceeds the {limit}-byte limit"),
-                    ),
+                    ParseError::BodyTooLarge { declared, limit } => {
+                        shared
+                            .metrics
+                            .parse_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        Response::error(
+                            413,
+                            &format!("body of {declared} bytes exceeds the {limit}-byte limit"),
+                        )
+                    }
                     // The incremental parser never produces Io errors.
                     ParseError::Io(detail) => Response::error(400, &detail),
                 };

@@ -33,6 +33,9 @@ pub struct ServeMetrics {
     pub(crate) advise_failed: AtomicU64,
     /// `/advise` requests rejected 429 by admission control.
     pub(crate) advise_rejected: AtomicU64,
+    /// Requests rejected at the untrusted-input boundary: oversized
+    /// bodies (413) and frontend parse-budget violations (422).
+    pub(crate) parse_rejected: AtomicU64,
     /// `/tune` requests received (admitted or not).
     pub(crate) tune_requests: AtomicU64,
     /// `/tune` requests answered 200.
@@ -106,6 +109,9 @@ pub struct MetricsSnapshot {
     pub advise_failed: u64,
     /// `/advise` requests rejected 429 by admission control.
     pub advise_rejected: u64,
+    /// Requests rejected at the untrusted-input boundary (oversized
+    /// body or parse-budget violation).
+    pub parse_rejected: u64,
     /// `/tune` requests received (admitted or not).
     pub tune_requests: u64,
     /// `/tune` requests answered 200.
@@ -189,6 +195,7 @@ impl ServeMetrics {
             advise_ok: self.advise_ok.load(Ordering::Relaxed),
             advise_failed: self.advise_failed.load(Ordering::Relaxed),
             advise_rejected: self.advise_rejected.load(Ordering::Relaxed),
+            parse_rejected: self.parse_rejected.load(Ordering::Relaxed),
             tune_requests: self.tune_requests.load(Ordering::Relaxed),
             tune_ok: self.tune_ok.load(Ordering::Relaxed),
             tune_failed: self.tune_failed.load(Ordering::Relaxed),
@@ -387,6 +394,11 @@ impl MetricsSnapshot {
             "paragraph_serve_advise_rejected_total",
             "Advise requests rejected by admission control",
             self.advise_rejected,
+        );
+        expo.counter(
+            "paragraph_serve_parse_rejected_total",
+            "Requests rejected at the untrusted-input boundary (oversized body or parse budget)",
+            self.parse_rejected,
         );
         expo.counter(
             "paragraph_serve_tune_requests_total",

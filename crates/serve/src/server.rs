@@ -445,6 +445,21 @@ fn advise(shared: &Arc<Shared>, token: u64, body: &[u8], close: bool, trace: Tra
                         pg_obs::warn!("advise rejected by batcher backpressure", error = error);
                         Response::error(429, &error.to_string()).with_header("Retry-After", "1")
                     }
+                    // Raw kernel source the frontend refused — a syntax
+                    // error or a blown parse budget. Still a semantic 422,
+                    // but with machine-readable diagnostics and its own
+                    // counter: at the trust boundary, "client sent garbage"
+                    // and "client sent a resource bomb" must be observable
+                    // apart from ordinary engine failures.
+                    ServeError::Engine(EngineError::Frontend(frontend)) => {
+                        shared.metrics.advise_failed.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .metrics
+                            .parse_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        pg_obs::debug!("advise source rejected by frontend", error = error);
+                        frontend_rejection(frontend)
+                    }
                     other => {
                         let status = match other {
                             ServeError::ShuttingDown => 503,
@@ -464,6 +479,39 @@ fn advise(shared: &Arc<Shared>, token: u64, body: &[u8], close: bool, trace: Tra
             shared.complete(token, response, close, true);
         }),
     );
+}
+
+/// The 422 body for a request whose raw kernel source the frontend
+/// rejected: the typed diagnostic (stable kind name, 1-based location,
+/// and — for budget violations — the cap that was exhausted) lets a
+/// client distinguish a typo from a parse bomb without string matching.
+fn frontend_rejection(error: &pg_engine::FrontendError) -> Response {
+    use serde::Value;
+    let mut fields = vec![
+        ("error".to_string(), Value::Str(error.to_string())),
+        (
+            "kind".to_string(),
+            Value::Str(error.kind.name().to_string()),
+        ),
+        (
+            "line".to_string(),
+            Value::UInt(u64::from(error.location.line)),
+        ),
+        (
+            "column".to_string(),
+            Value::UInt(u64::from(error.location.column)),
+        ),
+        (
+            "limit_exceeded".to_string(),
+            Value::Bool(error.kind.is_limit()),
+        ),
+    ];
+    if let Some(limit) = error.kind.limit() {
+        fields.push(("limit".to_string(), Value::UInt(limit as u64)));
+    }
+    let payload = serde_json::to_string(&Value::Object(fields))
+        .unwrap_or_else(|_| "{\"error\":\"unrenderable frontend rejection\"}".to_string());
+    Response::json(422, payload)
 }
 
 /// `POST /tune`: run a budgeted variant-space search with the shared engine

@@ -1,0 +1,203 @@
+//! The serving tier as an untrusted-input boundary: oversized bodies are
+//! refused 413 before the engine sees a byte, parse bombs inside
+//! well-formed JSON come back as typed 422 diagnostics, and neither
+//! failure mode poisons the server or a keep-alive connection.
+
+use pg_engine::{AdviseRequest, Engine};
+use pg_perfsim::Platform;
+use pg_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start(config: ServeConfig) -> Server {
+    let engine = Arc::new(Engine::builder().platform(Platform::SummitV100).build());
+    Server::start(engine, config).unwrap()
+}
+
+/// Read one HTTP/1.1 response off the stream: headers to the blank line,
+/// then exactly `Content-Length` body bytes — leaving the connection
+/// usable for the next request.
+fn read_response(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut chunk).expect("read headers");
+        assert!(n > 0, "connection closed before headers completed");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .expect("Content-Length header");
+    let mut body = buf[header_end..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "connection closed mid-body");
+        body.extend_from_slice(&chunk[..n]);
+    }
+    assert_eq!(body.len(), content_length, "no trailing bytes expected");
+    (status, head, String::from_utf8_lossy(&body).to_string())
+}
+
+fn send_advise(stream: &mut TcpStream, json: &str) {
+    stream
+        .write_all(
+            format!(
+                "POST /advise HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{json}",
+                json.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+}
+
+/// A syntactically valid kernel whose expression nesting is far past the
+/// default 128-level budget — well-formed JSON around a parse bomb.
+fn nesting_bomb_request() -> String {
+    let bomb = format!(
+        "void bomb() {{ int x = {}1{}; }}",
+        "(".repeat(5000),
+        ")".repeat(5000)
+    );
+    serde_json::to_string(&AdviseRequest::source("fuzz/bomb", bomb)).unwrap()
+}
+
+#[test]
+fn oversized_body_is_413_and_the_server_survives() {
+    let server = start(ServeConfig {
+        max_body_bytes: 1024,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    // Declare a body past the cap. The server must answer 413 from the
+    // header alone and close, without buffering the body.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"POST /advise HTTP/1.1\r\nHost: t\r\nContent-Length: 10485760\r\n\r\n")
+        .unwrap();
+    let (status, head, body) = read_response(&mut stream);
+    assert_eq!(status, 413, "body: {body}");
+    assert!(
+        head.to_ascii_lowercase().contains("connection: close"),
+        "413 must close the connection: {head}"
+    );
+    assert!(body.contains("exceeds the 1024-byte limit"), "body: {body}");
+
+    // A fresh connection is served normally: the rejection was scoped to
+    // one socket, not the listener.
+    let (status, body) = healthz(addr);
+    assert_eq!(status, 200, "body: {body}");
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.parse_rejected, 1);
+    assert_eq!(metrics.http_bad_requests, 1);
+}
+
+fn healthz(addr: SocketAddr) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn parse_bomb_is_a_typed_422_and_keep_alive_survives() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    send_advise(&mut stream, &nesting_bomb_request());
+    let (status, _, body) = read_response(&mut stream);
+    assert_eq!(status, 422, "body: {body}");
+    // The diagnostic is machine-readable: stable kind, the exhausted cap,
+    // and an explicit budget-vs-syntax flag.
+    assert!(
+        body.contains("\"kind\":\"nesting-too-deep\""),
+        "body: {body}"
+    );
+    assert!(body.contains("\"limit_exceeded\":true"), "body: {body}");
+    assert!(body.contains("\"limit\":128"), "body: {body}");
+
+    // Same socket, next request: the rejection must not poison the
+    // keep-alive connection.
+    let good = serde_json::to_string(&AdviseRequest::source(
+        "demo/saxpy",
+        "void saxpy(float *a, float *b, int n) {\n\
+         #pragma omp parallel for\n\
+         for (int i = 0; i < n; i++) { a[i] = a[i] + 2.0 * b[i]; }\n}",
+    ))
+    .unwrap();
+    send_advise(&mut stream, &good);
+    let (status, _, body) = read_response(&mut stream);
+    assert_eq!(status, 200, "body: {body}");
+    assert!(body.contains("\"rankings\""), "body: {body}");
+
+    // A plain syntax error is 422 too, but flagged as not-a-limit.
+    let typo = serde_json::to_string(&AdviseRequest::source("demo/typo", "void f( {")).unwrap();
+    send_advise(&mut stream, &typo);
+    let (status, _, body) = read_response(&mut stream);
+    assert_eq!(status, 422, "body: {body}");
+    assert!(body.contains("\"limit_exceeded\":false"), "body: {body}");
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.parse_rejected, 2);
+    assert_eq!(metrics.advise_failed, 2);
+    assert_eq!(metrics.advise_ok, 1);
+}
+
+#[test]
+fn parse_rejections_are_exported_on_the_metrics_endpoint() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    send_advise(&mut stream, &nesting_bomb_request());
+    let (status, _, _) = read_response(&mut stream);
+    assert_eq!(status, 422);
+
+    let mut metrics_stream = TcpStream::connect(addr).unwrap();
+    metrics_stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    metrics_stream.read_to_string(&mut response).unwrap();
+    assert!(
+        response.contains("# TYPE paragraph_serve_parse_rejected_total counter"),
+        "missing family header:\n{response}"
+    );
+    assert!(
+        response.contains("paragraph_serve_parse_rejected_total 1"),
+        "missing sample:\n{response}"
+    );
+    server.shutdown();
+}

@@ -1,0 +1,115 @@
+//! Advise on a raw, never-catalogued OpenMP kernel over the wire.
+//!
+//! Demonstrates the open-world ingestion path end-to-end: an in-process
+//! server on an ephemeral port takes `POST /advise` with a `Source`
+//! kernel spec — source text the engine has never seen, straight from the
+//! client — and answers with ranked launch configurations plus the
+//! legality gate's diagnostics. A second request shows the other side of
+//! the trust boundary: a parse bomb is refused with a typed 422
+//! diagnostic instead of tying up the server.
+//!
+//! ```text
+//! cargo run --release --example advise_raw
+//! ```
+
+use paragraph::engine::Engine;
+use paragraph::perfsim::Platform;
+use paragraph::serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+const RAW_KERNEL: &str = r#"
+void stencil(float *a, float *b, int n) {
+    #pragma omp parallel for schedule(static)
+    for (int i = 1; i < n - 1; i++) {
+        b[i] = 0.25 * (a[i - 1] + 2.0 * a[i] + a[i + 1]);
+    }
+}
+"#;
+
+fn post_advise(addr: std::net::SocketAddr, json: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to in-process server");
+    stream
+        .write_all(
+            format!(
+                "POST /advise HTTP/1.1\r\nHost: advise-raw\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n{json}",
+                json.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn main() {
+    let engine = Arc::new(Engine::builder().platform(Platform::SummitV100).build());
+    let server = Server::start(engine, ServeConfig::default()).expect("start server");
+    let addr = server.addr();
+    println!("in-process server on http://{addr}");
+
+    // 1. Raw source the catalogue has never seen: parsed, gated, ranked.
+    let request = paragraph::engine::AdviseRequest::source("demo/stencil", RAW_KERNEL);
+    let json = serde_json::to_string(&request).expect("serialize request");
+    let (status, body) = post_advise(addr, &json);
+    println!("\nPOST /advise (raw stencil kernel) -> {status}");
+    assert_eq!(status, 200, "raw-source advise failed: {body}");
+    let report: paragraph::engine::AdviseReport =
+        serde_json::from_str(&body).expect("parse report");
+    assert!(!report.rankings.is_empty(), "expected ranked candidates");
+    println!("ranked {} candidates:", report.rankings.len());
+    for (rank, prediction) in report.rankings.iter().enumerate().take(5) {
+        println!(
+            "  #{:<2} {:<24} predicted {:.3} ms",
+            rank + 1,
+            prediction.label(),
+            prediction.predicted_ms
+        );
+    }
+    if report.diagnostics.is_empty() {
+        println!("no analysis diagnostics: the parallelisation is clean");
+    } else {
+        for diagnostic in &report.diagnostics {
+            println!(
+                "diagnostic [{}] {:?}: {}",
+                diagnostic.rule, diagnostic.severity, diagnostic.message
+            );
+        }
+    }
+
+    // 2. A parse bomb hits the frontend's nesting budget and is refused
+    //    with a machine-readable diagnostic — the engine never sees it.
+    let bomb = format!(
+        "void bomb() {{ int x = {}1{}; }}",
+        "(".repeat(5000),
+        ")".repeat(5000)
+    );
+    let request = paragraph::engine::AdviseRequest::source("fuzz/bomb", bomb);
+    let json = serde_json::to_string(&request).expect("serialize bomb request");
+    let (status, body) = post_advise(addr, &json);
+    println!("\nPOST /advise (5000-deep paren bomb) -> {status}");
+    println!("rejection body: {body}");
+    assert_eq!(status, 422, "parse bomb must be refused");
+    assert!(
+        body.contains("\"kind\":\"nesting-too-deep\""),
+        "rejection must carry the typed diagnostic: {body}"
+    );
+
+    let metrics = server.shutdown();
+    println!(
+        "\nserver drained: advise_ok={} parse_rejected={}",
+        metrics.advise_ok, metrics.parse_rejected
+    );
+}
